@@ -1,0 +1,41 @@
+// Ablation: best-effort message loss vs transport queue capacity.
+//
+// LDMS Streams has no resend, so the per-route queue capacity is the one
+// knob between memory footprint on the compute node and data loss under
+// I/O bursts.  This study drives the burstiest paper workload (HMMER at
+// reduced scale) through the pipeline across queue capacities and reports
+// delivered/dropped message counts and the DSOS-visible completeness —
+// quantifying the deployment choice DESIGN.md calls out.
+#include <cstdio>
+
+#include "exp/specs.hpp"
+#include "exp/table.hpp"
+
+using namespace dlc;
+
+int main() {
+  std::printf("== Ablation: stream transport queue capacity vs message loss "
+              "(HMMER burst) ==\n\n");
+
+  exp::TextTable table({"Queue capacity", "Published", "Stored", "Dropped",
+                        "Loss", "Runtime (s)"});
+  for (const std::size_t capacity :
+       {64ul, 256ul, 1024ul, 4096ul, 16384ul, 65536ul}) {
+    exp::ExperimentSpec spec = exp::hmmer_spec(simfs::FsKind::kLustre, 0.05);
+    spec.transport.queue_capacity = capacity;
+    // Realistic hop budget: the drain rate, not just the buffer, bounds
+    // loss; keep the default latency/bandwidth.
+    const exp::RunResult r = exp::run_experiment(spec);
+    const double loss =
+        r.messages ? static_cast<double>(r.messages - r.stored) /
+                         static_cast<double>(r.messages) * 100.0
+                   : 0.0;
+    table.add_row({std::to_string(capacity), exp::cell_u(r.messages),
+                   exp::cell_u(r.stored), exp::cell_u(r.dropped),
+                   exp::cell_pct(loss), exp::cell_f(r.runtime_s, 1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Best effort means loss is silent: below the knee, bursts\n"
+              "overflow the node-local route and events never reach DSOS.\n");
+  return 0;
+}

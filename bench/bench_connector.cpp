@@ -1,0 +1,100 @@
+// Microbenchmark: real per-event cost of the connector hook (format +
+// publish) under the three format modes and several sampling rates — the
+// software cost that the virtual CostModel abstracts.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/connector.hpp"
+#include "ldms/store.hpp"
+#include "sim/engine.hpp"
+#include "simfs/nfs.hpp"
+#include "simhpc/cluster.hpp"
+#include "simhpc/job.hpp"
+
+namespace {
+
+using namespace dlc;
+
+struct Harness {
+  sim::Engine engine;
+  simhpc::Cluster cluster{simhpc::ClusterConfig{}};
+  std::shared_ptr<simfs::VariabilityProcess> variability;
+  std::unique_ptr<simfs::NfsModel> fs;
+  std::unique_ptr<simhpc::Job> job;
+  std::unique_ptr<darshan::Runtime> runtime;
+  ldms::LdmsDaemon daemon{nullptr, "nid00040"};
+  ldms::CountingStore store;
+  std::unique_ptr<core::DarshanLdmsConnector> connector;
+
+  explicit Harness(core::ConnectorConfig ccfg) {
+    simfs::VariabilityConfig vcfg;
+    vcfg.epoch_sigma = 0;
+    vcfg.ar_sigma = 0;
+    variability = std::make_shared<simfs::VariabilityProcess>(vcfg, 1);
+    fs = std::make_unique<simfs::NfsModel>(engine, simfs::NfsConfig{},
+                                           variability, 1);
+    simhpc::JobConfig jcfg;
+    jcfg.node_count = 1;
+    job = std::make_unique<simhpc::Job>(engine, cluster, jcfg);
+    runtime = std::make_unique<darshan::Runtime>(engine, *fs, *job);
+    store.attach(daemon, ccfg.stream_tag);
+    ccfg.charge_costs = false;  // measure real cost, not modelled cost
+    connector = std::make_unique<core::DarshanLdmsConnector>(
+        *runtime, [this](int) { return &daemon; }, ccfg);
+  }
+
+  /// Drives one event through the darshan hook (includes counter updates,
+  /// DXT and the connector).
+  void one_event() {
+    auto proc = [](darshan::Runtime& rt) -> sim::Task<void> {
+      darshan::RankIo io = rt.rank(0);
+      const darshan::Fd fd =
+          co_await io.open(darshan::Module::kPosix, "/f", true);
+      co_await io.write(fd, 4096);
+      co_await io.close(fd);
+    };
+    engine.spawn(proc(*runtime));
+    engine.run();
+  }
+};
+
+void run_mode(benchmark::State& state, core::FormatMode mode,
+              std::uint64_t sample_n) {
+  core::ConnectorConfig cfg;
+  cfg.format = mode;
+  cfg.sample_every_n = sample_n;
+  Harness h(cfg);
+  for (auto _ : state) {
+    h.one_event();
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(h.connector->stats().events_seen));
+  state.counters["published"] =
+      static_cast<double>(h.connector->stats().messages_published);
+}
+
+void BM_Connector_SnprintfJson(benchmark::State& state) {
+  run_mode(state, core::FormatMode::kSnprintfJson, 1);
+}
+BENCHMARK(BM_Connector_SnprintfJson);
+
+void BM_Connector_FastJson(benchmark::State& state) {
+  run_mode(state, core::FormatMode::kFastJson, 1);
+}
+BENCHMARK(BM_Connector_FastJson);
+
+void BM_Connector_NoFormat(benchmark::State& state) {
+  run_mode(state, core::FormatMode::kNone, 1);
+}
+BENCHMARK(BM_Connector_NoFormat);
+
+void BM_Connector_Sampling(benchmark::State& state) {
+  run_mode(state, core::FormatMode::kSnprintfJson,
+           static_cast<std::uint64_t>(state.range(0)));
+}
+BENCHMARK(BM_Connector_Sampling)->Arg(2)->Arg(10)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

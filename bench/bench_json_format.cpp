@@ -1,0 +1,130 @@
+// Microbenchmark: real cost of formatting one connector message — the
+// paper's culprit for the HMMER overhead.  Compares snprintf-based number
+// formatting (what the paper shipped), the two-digit-table itoa path, and
+// the no-format ablation.
+#include <benchmark/benchmark.h>
+
+#include "core/connector.hpp"
+#include "json/writer.hpp"
+#include "util/format.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dlc;
+
+darshan::IoEvent sample_event(const std::string* path) {
+  darshan::IoEvent e;
+  e.module = darshan::Module::kPosix;
+  e.op = darshan::Op::kWrite;
+  e.rank = 3;
+  e.record_id = fnv1a64(*path);
+  e.file_path = path;
+  e.max_byte = 16 * 1024 * 1024 - 1;
+  e.switches = 2;
+  e.cnt = 17;
+  e.offset = 48 * 1024 * 1024;
+  e.length = 16 * 1024 * 1024;
+  e.start = 123 * kSecond;
+  e.end = 123 * kSecond + 250 * kMillisecond;
+  return e;
+}
+
+void write_message_fields(json::Writer& w, const darshan::IoEvent& e) {
+  // Field-for-field replica of the connector's MOD message (standalone so
+  // the benchmark needs no darshan runtime).
+  w.reset();
+  w.begin_object();
+  w.member("uid", std::uint64_t{99066});
+  w.member("exe", "N/A");
+  w.member("job_id", std::uint64_t{259903});
+  w.member("rank", std::int64_t{e.rank});
+  w.member("ProducerName", "nid00046");
+  w.member("file", "N/A");
+  w.member("record_id", e.record_id);
+  w.member("module", darshan::module_name(e.module));
+  w.member("type", "MOD");
+  w.member("max_byte", e.max_byte);
+  w.member("switches", e.switches);
+  w.member("flushes", e.flushes);
+  w.member("cnt", e.cnt);
+  w.member("op", darshan::op_name(e.op));
+  w.key("seg");
+  w.begin_array();
+  w.begin_object();
+  w.member("data_set", "N/A");
+  w.member("pt_sel", std::int64_t{-1});
+  w.member("irreg_hslab", std::int64_t{-1});
+  w.member("reg_hslab", std::int64_t{-1});
+  w.member("ndims", std::int64_t{-1});
+  w.member("npoints", std::int64_t{-1});
+  w.member("off", static_cast<std::int64_t>(e.offset));
+  w.member("len", static_cast<std::int64_t>(e.length));
+  w.member("dur", 0.25);
+  w.member("timestamp", 1656633723.25);
+  w.end_object();
+  w.end_array();
+  w.end_object();
+}
+
+void BM_FormatMessage_Snprintf(benchmark::State& state) {
+  const std::string path = "/scratch/mpi-io-test.tmp.dat";
+  const darshan::IoEvent e = sample_event(&path);
+  json::Writer w(json::NumberFormat::kSnprintf);
+  for (auto _ : state) {
+    write_message_fields(w, e);
+    benchmark::DoNotOptimize(w.str().data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(w.str().size()));
+}
+BENCHMARK(BM_FormatMessage_Snprintf);
+
+void BM_FormatMessage_FastItoa(benchmark::State& state) {
+  const std::string path = "/scratch/mpi-io-test.tmp.dat";
+  const darshan::IoEvent e = sample_event(&path);
+  json::Writer w(json::NumberFormat::kFastItoa);
+  for (auto _ : state) {
+    write_message_fields(w, e);
+    benchmark::DoNotOptimize(w.str().data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(w.str().size()));
+}
+BENCHMARK(BM_FormatMessage_FastItoa);
+
+void BM_FormatMessage_NoFormat(benchmark::State& state) {
+  json::Writer w(json::NumberFormat::kNull);
+  for (auto _ : state) {
+    w.reset();
+    w.value_string("darshanConnector: formatting disabled");
+    benchmark::DoNotOptimize(w.str().data());
+  }
+}
+BENCHMARK(BM_FormatMessage_NoFormat);
+
+void BM_IntFormat_Snprintf(benchmark::State& state) {
+  Rng rng(1);
+  std::string out;
+  for (auto _ : state) {
+    out.clear();
+    append_int_snprintf(out, static_cast<std::int64_t>(rng.next_u64()));
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_IntFormat_Snprintf);
+
+void BM_IntFormat_FastItoa(benchmark::State& state) {
+  Rng rng(1);
+  std::string out;
+  for (auto _ : state) {
+    out.clear();
+    append_int(out, static_cast<std::int64_t>(rng.next_u64()));
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_IntFormat_FastItoa);
+
+}  // namespace
+
+BENCHMARK_MAIN();

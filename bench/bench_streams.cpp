@@ -1,0 +1,92 @@
+// Microbenchmark: LDMS Streams publish/subscribe throughput — local bus
+// delivery, and real multi-threaded transport across 1..3 hops with
+// best-effort drop semantics.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "ldms/stream_bus.hpp"
+#include "ldms/threaded.hpp"
+
+namespace {
+
+using namespace dlc::ldms;
+
+StreamMessage sample_message() {
+  StreamMessage m;
+  m.tag = "darshanConnector";
+  m.format = PayloadFormat::kJson;
+  m.payload = std::string(600, 'x');  // typical connector message size
+  m.producer = "nid00046";
+  return m;
+}
+
+void BM_BusPublish_NoSubscriber(benchmark::State& state) {
+  StreamBus bus;
+  const StreamMessage msg = sample_message();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bus.publish(msg));
+  }
+  state.counters["missed"] = static_cast<double>(bus.missed());
+}
+BENCHMARK(BM_BusPublish_NoSubscriber);
+
+void BM_BusPublish_OneSubscriber(benchmark::State& state) {
+  StreamBus bus;
+  std::uint64_t sink = 0;
+  bus.subscribe("darshanConnector",
+                [&sink](const StreamMessage& m) { sink += m.payload.size(); });
+  const StreamMessage msg = sample_message();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bus.publish(msg));
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_BusPublish_OneSubscriber);
+
+void BM_BusPublish_FanOut(benchmark::State& state) {
+  StreamBus bus;
+  std::uint64_t sink = 0;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    bus.subscribe("darshanConnector",
+                  [&sink](const StreamMessage& m) { sink += m.hops; });
+  }
+  const StreamMessage msg = sample_message();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bus.publish(msg));
+  }
+}
+BENCHMARK(BM_BusPublish_FanOut)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_ThreadedTransport_Hops(benchmark::State& state) {
+  const auto hops = static_cast<std::size_t>(state.range(0));
+  std::vector<std::unique_ptr<StreamBus>> buses;
+  for (std::size_t i = 0; i <= hops; ++i) {
+    buses.push_back(std::make_unique<StreamBus>());
+  }
+  std::atomic<std::uint64_t> received{0};
+  buses.back()->subscribe("darshanConnector", [&](const StreamMessage&) {
+    received.fetch_add(1, std::memory_order_relaxed);
+  });
+  std::vector<std::unique_ptr<ThreadedForwarder>> forwarders;
+  for (std::size_t i = 0; i < hops; ++i) {
+    forwarders.push_back(std::make_unique<ThreadedForwarder>(
+        *buses[i], *buses[i + 1], "darshanConnector", 1 << 18));
+  }
+  const StreamMessage msg = sample_message();
+  for (auto _ : state) {
+    buses.front()->publish(msg);
+  }
+  for (auto& f : forwarders) f->stop();
+  std::uint64_t dropped = 0;
+  for (auto& f : forwarders) dropped += f->dropped();
+  state.counters["received"] = static_cast<double>(received.load());
+  state.counters["dropped"] = static_cast<double>(dropped);
+}
+BENCHMARK(BM_ThreadedTransport_Hops)->Arg(1)->Arg(2)->Arg(3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

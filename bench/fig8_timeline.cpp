@@ -1,0 +1,61 @@
+// Reproduces Fig. 8: distribution of read/write operations through the
+// anomalous job's execution time — ten write phases then reads at the
+// end; writes degrade over the run, slowest after ~250 s.
+#include <cstdio>
+
+#include "analysis/figures.hpp"
+#include "analysis/render.hpp"
+#include "exp/figdata.hpp"
+
+using namespace dlc;
+
+int main() {
+  std::printf("== Fig. 8: op durations vs execution time, anomalous job ==\n");
+  std::printf("paper: ten write phases, reads at the end, writes slowest "
+              "after 250s\n\n");
+
+  const exp::FigDataset data = exp::mpiio_independent_campaign(5, 42);
+  const analysis::DataFrame timeline =
+      analysis::fig8_timeline(*data.db, data.anomalous_job);
+
+  analysis::ScatterSeries writes{'w', {}, {}};
+  analysis::ScatterSeries reads{'r', {}, {}};
+  for (std::size_t r = 0; r < timeline.rows(); ++r) {
+    const double t = timeline.get_double(r, "rel_time_s");
+    const double d = timeline.get_double(r, "dur_s");
+    if (timeline.get_string(r, "op") == "write") {
+      writes.x.push_back(t);
+      writes.y.push_back(d);
+    } else {
+      reads.x.push_back(t);
+      reads.y.push_back(d);
+    }
+  }
+  std::printf("%s\n",
+              analysis::ascii_scatter({writes, reads}, 78, 22,
+                                      "time since job start (s)",
+                                      "op duration (s)")
+                  .c_str());
+
+  // Quantify the degradation: mean write duration in the first vs last
+  // third of the run.
+  double t_end = 0;
+  for (std::size_t i = 0; i < writes.x.size(); ++i) {
+    t_end = std::max(t_end, writes.x[i]);
+  }
+  RunningStats early, late;
+  for (std::size_t i = 0; i < writes.x.size(); ++i) {
+    if (writes.x[i] < t_end / 3) early.add(writes.y[i]);
+    if (writes.x[i] > 2 * t_end / 3) late.add(writes.y[i]);
+  }
+  std::printf("write duration, first third: %.2fs mean; last third: %.2fs "
+              "mean (%.2fx degradation)\n",
+              early.mean(), late.mean(),
+              early.mean() > 0 ? late.mean() / early.mean() : 0.0);
+  std::printf("reads begin at t=%.0fs of %.0fs total (tail of the run)\n",
+              reads.x.empty() ? 0.0
+                              : *std::min_element(reads.x.begin(),
+                                                  reads.x.end()),
+              t_end);
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Reproduces Table IIb: HACC-IO on NFS and Lustre with 5M / 10M particles
+// per rank — messages, rates, Darshan vs dC runtimes, % overhead.
+#include <cstdio>
+#include <cstdlib>
+
+#include "exp/campaign.hpp"
+#include "exp/specs.hpp"
+#include "exp/table.hpp"
+
+using namespace dlc;
+
+int main() {
+  exp::CampaignConfig campaign;
+  if (const char* v = std::getenv("DLC_REPS")) {
+    const long n = std::atol(v);
+    if (n > 0) campaign.repetitions = static_cast<std::size_t>(n);
+  }
+  campaign.baseline_epoch = 5000;
+  campaign.connector_epoch = 6000;
+
+  std::printf("== Table IIb: HACC-IO (16 nodes, %zu reps) ==\n",
+              campaign.repetitions);
+  std::printf("paper: NFS/5M 882.46s (-12.15%%)  NFS/10M 1353.87s (+0.84%%)  "
+              "Lustre/5M 417.14s (+12.01%%)  Lustre/10M 1616.87s (-36.45%%)\n\n");
+
+  exp::TextTable table({"Config", "Avg msgs", "Rate (msg/s)", "Darshan (s)",
+                        "dC (s)", "% Overhead", "Drops"});
+  for (const auto fs : {simfs::FsKind::kNfs, simfs::FsKind::kLustre}) {
+    for (const std::uint64_t particles : {5'000'000ull, 10'000'000ull}) {
+      exp::ExperimentSpec spec = exp::hacc_io_spec(fs, particles);
+      const std::string label = std::string(simfs::fs_kind_name(fs)) + "/" +
+                                std::to_string(particles / 1'000'000) + "M";
+      const exp::OverheadRow row =
+          exp::measure_overhead(label, spec, campaign);
+      table.add_row({row.label, exp::cell_f(row.avg_messages, 0),
+                     exp::cell_f(row.msg_rate, 1),
+                     exp::cell_f(row.darshan_runtime_s),
+                     exp::cell_f(row.dc_runtime_s),
+                     exp::cell_pct(row.overhead_pct),
+                     exp::cell_f(row.dropped, 0)});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Note: negative overheads reproduce the paper's artefact — the\n"
+              "baseline campaign ran under different file-system weather\n"
+              "(epoch seeds %llu vs %llu).\n\n",
+              static_cast<unsigned long long>(campaign.baseline_epoch),
+              static_cast<unsigned long long>(campaign.connector_epoch));
+
+  // The methodology the paper proposes but could not run: interleave each
+  // Darshan-only run with a dC run so the weather term pairs out.
+  exp::CampaignConfig interleaved = campaign;
+  interleaved.interleaved = true;
+  std::printf("== Interleaved campaign (paper future work): paired runs, "
+              "same weather ==\n\n");
+  exp::TextTable clean({"Config", "Darshan (s)", "dC (s)", "% Overhead"});
+  for (const auto fs : {simfs::FsKind::kNfs, simfs::FsKind::kLustre}) {
+    for (const std::uint64_t particles : {5'000'000ull, 10'000'000ull}) {
+      exp::ExperimentSpec spec = exp::hacc_io_spec(fs, particles);
+      const std::string label = std::string(simfs::fs_kind_name(fs)) + "/" +
+                                std::to_string(particles / 1'000'000) + "M";
+      const exp::OverheadRow row =
+          exp::measure_overhead(label, spec, interleaved);
+      clean.add_row({row.label, exp::cell_f(row.darshan_runtime_s),
+                     exp::cell_f(row.dc_runtime_s),
+                     exp::cell_pct(row.overhead_pct)});
+    }
+  }
+  std::printf("%s", clean.render().c_str());
+  std::printf("With pairing, the connector's true cost is consistently small "
+              "and positive.\n");
+  return 0;
+}

@@ -1,0 +1,188 @@
+// dsos_cmd: the command-line data-examination workflow the paper calls
+// out ("DSOS ... allows for interaction via a command line interface
+// which allows for fast query testing and data examination").
+//
+// With no arguments it runs a demo: generate a monitored IOR job, persist
+// the event database to disk, reload it, and walk through the query
+// commands.  With arguments it operates on a previously saved database:
+//
+//   dsos_cmd <dir> schema                 # show schema and indices
+//   dsos_cmd <dir> count                  # object count per shard
+//   dsos_cmd <dir> query <index> [k=v]... # filtered, index-ordered rows
+//   dsos_cmd <dir> export <index>         # CSV to stdout
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/schema_darshan.hpp"
+#include "dsos/csv.hpp"
+#include "dsos/persist.hpp"
+#include "exp/specs.hpp"
+#include "workloads/ior.hpp"
+
+using namespace dlc;
+
+namespace {
+
+dsos::ClusterConfig db_config() {
+  dsos::ClusterConfig cfg;
+  cfg.shard_count = 4;
+  cfg.shard_attr = "rank";
+  cfg.parallel_query = false;
+  return cfg;
+}
+
+/// Parses "attr=value" into a typed condition against darshan_data.
+bool parse_condition(const dsos::SchemaPtr& schema, const std::string& token,
+                     dsos::Filter& filter) {
+  const std::size_t eq = token.find('=');
+  if (eq == std::string::npos) return false;
+  const std::string attr = token.substr(0, eq);
+  const std::string value = token.substr(eq + 1);
+  const auto attr_id = schema->find_attr(attr);
+  if (!attr_id) return false;
+  switch (schema->attrs()[*attr_id].type) {
+    case dsos::AttrType::kInt64:
+      filter.push_back({attr, dsos::Cmp::kEq,
+                        static_cast<std::int64_t>(std::atoll(value.c_str()))});
+      return true;
+    case dsos::AttrType::kUint64:
+      filter.push_back({attr, dsos::Cmp::kEq,
+                        static_cast<std::uint64_t>(
+                            std::strtoull(value.c_str(), nullptr, 10))});
+      return true;
+    case dsos::AttrType::kDouble:
+    case dsos::AttrType::kTimestamp:
+      filter.push_back({attr, dsos::Cmp::kEq, std::atof(value.c_str())});
+      return true;
+    case dsos::AttrType::kString:
+      filter.push_back({attr, dsos::Cmp::kEq, value});
+      return true;
+  }
+  return false;
+}
+
+int run_command(dsos::DsosCluster& db, const std::vector<std::string>& args) {
+  const auto schema = core::darshan_data_schema();
+  const std::string& cmd = args[0];
+  if (cmd == "schema") {
+    std::printf("schema %s\n", schema->name().c_str());
+    for (const auto& attr : schema->attrs()) {
+      std::printf("  attr %-16s %s\n", attr.name.c_str(),
+                  std::string(dsos::attr_type_name(attr.type)).c_str());
+    }
+    for (const auto& idx : schema->indices()) {
+      std::printf("  index %s (", idx.name.c_str());
+      for (std::size_t i = 0; i < idx.attr_ids.size(); ++i) {
+        std::printf("%s%s", i ? "," : "",
+                    schema->attrs()[idx.attr_ids[i]].name.c_str());
+      }
+      std::printf(")\n");
+    }
+    return 0;
+  }
+  if (cmd == "count") {
+    for (std::size_t s = 0; s < db.shard_count(); ++s) {
+      std::printf("%s: %zu objects\n", db.shard(s).name().c_str(),
+                  db.shard(s).container().size());
+    }
+    std::printf("total: %zu\n", db.total_objects());
+    return 0;
+  }
+  if (cmd == "query" || cmd == "export") {
+    if (args.size() < 2) {
+      std::fprintf(stderr, "%s needs an index name\n", cmd.c_str());
+      return 2;
+    }
+    dsos::Filter filter;
+    for (std::size_t i = 2; i < args.size(); ++i) {
+      if (!parse_condition(schema, args[i], filter)) {
+        std::fprintf(stderr, "bad condition: %s\n", args[i].c_str());
+        return 2;
+      }
+    }
+    const auto rows = db.query("darshan_data", args[1], filter);
+    if (cmd == "export") {
+      std::ostringstream out;
+      dsos::export_csv(out, *schema, rows);
+      std::fputs(out.str().c_str(), stdout);
+    } else {
+      std::printf("%zu rows (index %s)\n", rows.size(), args[1].c_str());
+      std::size_t shown = 0;
+      for (const auto* row : rows) {
+        if (++shown > 10) {
+          std::printf("  ... (%zu more)\n", rows.size() - 10);
+          break;
+        }
+        std::printf("  job=%llu rank=%lld op=%-5s ts=%.3f dur=%.4f len=%lld\n",
+                    static_cast<unsigned long long>(row->as_uint("job_id")),
+                    static_cast<long long>(row->as_int("rank")),
+                    row->as_string("op").c_str(),
+                    row->as_double("seg_timestamp"),
+                    row->as_double("seg_dur"),
+                    static_cast<long long>(row->as_int("seg_len")));
+      }
+    }
+    return 0;
+  }
+  std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 3) {
+    auto db = dsos::load_cluster(argv[1], db_config());
+    if (!db) {
+      std::fprintf(stderr, "cannot load DSOS database from %s\n", argv[1]);
+      return 1;
+    }
+    std::vector<std::string> args(argv + 2, argv + argc);
+    return run_command(*db, args);
+  }
+
+  // Demo mode: build, persist, reload, query.
+  std::printf("== dsos_cmd demo: monitored IOR job -> persisted DSOS -> "
+              "CLI queries ==\n\n");
+  exp::ExperimentSpec spec = exp::base_spec(simfs::FsKind::kLustre);
+  workloads::IorConfig ior_cfg;
+  ior_cfg.use_mpiio = true;
+  ior_cfg.collective = true;
+  ior_cfg.segments = 2;
+  ior_cfg.reorder_shift = 1;
+  spec.workload = workloads::ior(ior_cfg);
+  spec.exe = workloads::kIorExe;
+  spec.node_count = 4;
+  spec.ranks_per_node = 2;
+  spec.job_id = 5150;
+  spec.decode_to_dsos = true;
+  spec.dsos_shards = 4;
+  const exp::RunResult result = exp::run_experiment(spec);
+  std::printf("IOR job: %.1fs, %llu events stored\n\n", result.runtime_s,
+              static_cast<unsigned long long>(result.stored));
+
+  const std::string dir = "dlc_export/dsos_demo";
+  if (!dsos::save_cluster(*result.dsos, dir)) {
+    std::fprintf(stderr, "persist failed\n");
+    return 1;
+  }
+  auto db = dsos::load_cluster(dir, db_config());
+  if (!db) {
+    std::fprintf(stderr, "reload failed\n");
+    return 1;
+  }
+  std::printf("persisted to %s and reloaded (%zu objects)\n\n", dir.c_str(),
+              db->total_objects());
+
+  std::printf("$ dsos_cmd %s count\n", dir.c_str());
+  run_command(*db, {"count"});
+  std::printf("\n$ dsos_cmd %s query job_rank_time rank=3 op=write\n",
+              dir.c_str());
+  run_command(*db, {"query", "job_rank_time", "rank=3", "op=write"});
+  std::printf("\n$ dsos_cmd %s schema\n", dir.c_str());
+  run_command(*db, {"schema"});
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Live monitoring example: subscribe to the connector's LDMS stream while
+// a HACC-IO checkpoint runs and print a per-interval activity feed — the
+// "know it *while* it happens" capability that distinguishes the
+// Darshan-LDMS Connector from post-mortem Darshan logs.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "analysis/render.hpp"
+#include "exp/specs.hpp"
+#include "json/parser.hpp"
+#include "util/time.hpp"
+
+using namespace dlc;
+
+namespace {
+
+/// A live subscriber on the analysis-cluster aggregator: bins incoming
+/// connector messages into 20-virtual-second windows as they arrive.
+class LiveFeed {
+ public:
+  void on_message(const ldms::StreamMessage& msg) {
+    const auto doc = json::parse(msg.payload);
+    if (!doc) return;
+    const auto* seg = doc->find("seg");
+    if (!seg || !seg->is_array() || seg->as_array().empty()) return;
+    const auto& s = seg->as_array()[0];
+    Window& w = windows_[msg.deliver_time / (20 * kSecond)];
+    const std::string op = doc->get_string("op");
+    ++w.ops[op];
+    const std::int64_t len = std::max<std::int64_t>(0, s.get_int("len", 0));
+    if (op == "write") w.bytes_written += len;
+    if (op == "read") w.bytes_read += len;
+  }
+
+  void print() const {
+    std::printf("%-12s %6s %6s %6s %6s %12s %12s\n", "window", "open",
+                "write", "read", "close", "written", "read-bytes");
+    for (const auto& [idx, w] : windows_) {
+      auto count = [&w](const char* op) {
+        const auto it = w.ops.find(op);
+        return it == w.ops.end() ? std::int64_t{0} : it->second;
+      };
+      std::printf(
+          "%4llds-%-5llds %6lld %6lld %6lld %6lld %12s %12s\n",
+          static_cast<long long>(idx * 20),
+          static_cast<long long>((idx + 1) * 20),
+          static_cast<long long>(count("open")),
+          static_cast<long long>(count("write")),
+          static_cast<long long>(count("read")),
+          static_cast<long long>(count("close")),
+          format_bytes(static_cast<std::uint64_t>(w.bytes_written)).c_str(),
+          format_bytes(static_cast<std::uint64_t>(w.bytes_read)).c_str());
+    }
+  }
+
+ private:
+  struct Window {
+    std::map<std::string, std::int64_t> ops;
+    std::int64_t bytes_written = 0;
+    std::int64_t bytes_read = 0;
+  };
+  std::map<SimTime, Window> windows_;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("== HACC-IO checkpoint monitor (live LDMS stream feed) ==\n\n");
+
+  exp::ExperimentSpec spec =
+      exp::hacc_io_spec(simfs::FsKind::kLustre, 2'000'000);
+  spec.node_count = 8;
+  spec.ranks_per_node = 2;
+  spec.job_id = 2024;
+
+  LiveFeed feed;
+  spec.live_subscriber = [&feed](const ldms::StreamMessage& msg) {
+    feed.on_message(msg);
+  };
+
+  const exp::RunResult result = exp::run_experiment(spec);
+  std::printf("job %llu: %.1fs runtime, %llu events, %llu messages\n\n",
+              static_cast<unsigned long long>(spec.job_id), result.runtime_s,
+              static_cast<unsigned long long>(result.events),
+              static_cast<unsigned long long>(result.messages));
+  feed.print();
+  std::printf("\n(write burst = checkpoint phase; read burst = validation "
+              "read-back)\n");
+
+  // darshan heatmap-module view: per-rank write intensity over time.
+  std::vector<std::string> labels;
+  for (std::size_t r = 0; r < result.heatmap_write_bytes.size(); ++r) {
+    labels.push_back("rank" + std::to_string(r));
+  }
+  std::printf("\nwrite-intensity heatmap (1s bins, darshan heatmap "
+              "module):\n%s",
+              analysis::ascii_heatmap(result.heatmap_write_bytes, labels, 90)
+                  .c_str());
+  return 0;
+}

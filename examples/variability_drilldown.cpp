@@ -1,0 +1,76 @@
+// Root-cause drill-down example: the Section VI workflow end to end.
+//
+// 1. Run a campaign of five identical MPI-IO-TEST jobs (one degrades).
+// 2. Detect the anomalous job from the stored run-time event data.
+// 3. Drill into it: per-rank durations (spatial view, Fig. 7) and the
+//    execution-time distribution (temporal view, Fig. 8) that Darshan's
+//    post-run summary alone cannot provide.
+#include <algorithm>
+#include <cstdio>
+
+#include "analysis/figures.hpp"
+#include "analysis/render.hpp"
+#include "exp/figdata.hpp"
+#include "exp/table.hpp"
+
+using namespace dlc;
+
+int main() {
+  std::printf("== Variability drill-down: five nominally identical jobs ==\n\n");
+  const exp::FigDataset data = exp::mpiio_independent_campaign(5, 42);
+
+  // --- step 1: campaign overview -----------------------------------------
+  const analysis::DataFrame summary =
+      analysis::fig7_job_summary(*data.db, data.job_ids);
+  std::printf("campaign overview (mean op durations):\n");
+  exp::TextTable overview({"Job", "op", "Mean dur (s)"});
+  for (std::size_t r = 0; r < summary.rows(); ++r) {
+    overview.add_row({std::to_string(summary.get_int(r, "job_id")),
+                      summary.get_string(r, "op"),
+                      exp::cell_f(summary.get_double(r, "mean_dur"), 3)});
+  }
+  std::printf("%s\n", overview.render().c_str());
+
+  // --- step 2: anomaly detection -----------------------------------------
+  const std::uint64_t suspect = analysis::find_anomalous_job(summary, "read");
+  std::printf("job %llu deviates most from the campaign median -> drill in\n\n",
+              static_cast<unsigned long long>(suspect));
+
+  // --- step 3a: spatial view (which ranks/nodes?) -------------------------
+  const analysis::DataFrame ranks =
+      analysis::fig7_rank_durations(*data.db, {suspect});
+  RunningStats read_means;
+  for (std::size_t r = 0; r < ranks.rows(); ++r) {
+    if (ranks.get_string(r, "op") == "read") {
+      read_means.add(ranks.get_double(r, "mean_dur"));
+    }
+  }
+  std::printf("spatial: reads across ranks — mean %.2fs, min %.2fs, max "
+              "%.2fs (every rank affected => not a single bad node)\n\n",
+              read_means.mean(), read_means.min(), read_means.max());
+
+  // --- step 3b: temporal view (when in the run?) ---------------------------
+  const analysis::DataFrame timeline =
+      analysis::fig8_timeline(*data.db, suspect);
+  analysis::ScatterSeries writes{'w', {}, {}};
+  analysis::ScatterSeries reads{'r', {}, {}};
+  for (std::size_t r = 0; r < timeline.rows(); ++r) {
+    auto& series =
+        timeline.get_string(r, "op") == "write" ? writes : reads;
+    series.x.push_back(timeline.get_double(r, "rel_time_s"));
+    series.y.push_back(timeline.get_double(r, "dur_s"));
+  }
+  std::printf("temporal: op durations through the run (w=write, r=read):\n");
+  std::printf("%s\n",
+              analysis::ascii_scatter({writes, reads}, 78, 18,
+                                      "time since job start (s)",
+                                      "duration (s)")
+                  .c_str());
+  std::printf(
+      "diagnosis: write service degrades steadily through the run and the\n"
+      "read-back pass misses cache — consistent with growing file-system\n"
+      "contention, not an application change.  The absolute timestamps\n"
+      "that the connector adds are what make this temporal correlation\n"
+      "possible at run time.\n");
+  return 0;
+}

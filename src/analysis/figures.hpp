@@ -1,0 +1,60 @@
+// Figure pipelines: the analyses behind the paper's Figures 5-9, computed
+// from connector data stored in DSOS (the role of the paper's Python
+// analysis modules behind Grafana).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/frame.hpp"
+#include "dsos/cluster.hpp"
+
+namespace dlc::analysis {
+
+/// Pulls all darshan_data rows for one job, ordered by time.
+DataFrame job_events(const dsos::DsosCluster& db, std::uint64_t job_id);
+
+/// Fig. 5: mean occurrences of each op type across jobs, with the 95% CI
+/// across jobs.  Columns: op, mean_count, ci95.
+DataFrame fig5_op_counts(const dsos::DsosCluster& db,
+                         const std::vector<std::uint64_t>& job_ids);
+
+/// Fig. 6: open/close request counts per node for the given jobs.
+/// Columns: job_id, ProducerName, op, count.
+DataFrame fig6_requests_per_node(const dsos::DsosCluster& db,
+                                 const std::vector<std::uint64_t>& job_ids);
+
+/// Fig. 7: read/write durations per rank per job.  Columns: job_id, rank,
+/// op, mean_dur, total_dur, count.
+DataFrame fig7_rank_durations(const dsos::DsosCluster& db,
+                              const std::vector<std::uint64_t>& job_ids);
+
+/// Fig. 7 companion: per-job per-op mean duration (the view in which
+/// job 2's anomaly is visible).  Columns: job_id, op, mean_dur.
+DataFrame fig7_job_summary(const dsos::DsosCluster& db,
+                           const std::vector<std::uint64_t>& job_ids);
+
+/// The job whose mean duration for `op` deviates most from the cross-job
+/// median (the paper's job_id 2).  Returns 0 when fewer than 3 jobs.
+std::uint64_t find_anomalous_job(const DataFrame& job_summary,
+                                 std::string_view op = "read");
+
+/// Fig. 8: per-operation scatter through one job's execution.  Columns:
+/// rel_time_s (since job start), dur_s, op, rank.
+DataFrame fig8_timeline(const dsos::DsosCluster& db, std::uint64_t job_id);
+
+/// Fig. 9 (Grafana view): per-time-bucket op counts and byte volumes
+/// aggregated across ranks.  Columns: bucket_s, op, count, bytes.
+DataFrame fig9_throughput_buckets(const dsos::DsosCluster& db,
+                                  std::uint64_t job_id,
+                                  double bucket_seconds = 10.0);
+
+/// Hot files: the record_ids with the most I/O time/bytes across the
+/// given jobs — the "which file is the problem" drill-down.  Columns:
+/// record_id, ops, bytes, total_dur; ordered by total_dur descending,
+/// truncated to `top_n`.
+DataFrame hot_files(const dsos::DsosCluster& db,
+                    const std::vector<std::uint64_t>& job_ids,
+                    std::size_t top_n = 10);
+
+}  // namespace dlc::analysis

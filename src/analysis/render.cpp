@@ -1,0 +1,220 @@
+#include "analysis/render.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "json/writer.hpp"
+
+namespace dlc::analysis {
+
+std::string ascii_bar_chart(const std::vector<std::string>& labels,
+                            const std::vector<double>& values,
+                            const std::vector<double>& errors,
+                            std::size_t width) {
+  std::string out;
+  if (labels.empty() || labels.size() != values.size()) return out;
+  std::size_t label_width = 0;
+  for (const auto& l : labels) label_width = std::max(label_width, l.size());
+  const double max_value =
+      std::max(1e-12, *std::max_element(values.begin(), values.end()));
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const auto bar = static_cast<std::size_t>(
+        std::round(values[i] / max_value * static_cast<double>(width)));
+    out += labels[i] + std::string(label_width - labels[i].size(), ' ') +
+           " |" + std::string(bar, '#');
+    char buf[64];
+    if (i < errors.size()) {
+      std::snprintf(buf, sizeof(buf), " %.2f +/- %.2f", values[i], errors[i]);
+    } else {
+      std::snprintf(buf, sizeof(buf), " %.2f", values[i]);
+    }
+    out += buf;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string ascii_scatter(const std::vector<ScatterSeries>& series,
+                          std::size_t width, std::size_t height,
+                          const std::string& x_label,
+                          const std::string& y_label) {
+  double xmin = 0, xmax = 1, ymin = 0, ymax = 1;
+  bool any = false;
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      if (!any) {
+        xmin = xmax = s.x[i];
+        ymin = ymax = s.y[i];
+        any = true;
+      } else {
+        xmin = std::min(xmin, s.x[i]);
+        xmax = std::max(xmax, s.x[i]);
+        ymin = std::min(ymin, s.y[i]);
+        ymax = std::max(ymax, s.y[i]);
+      }
+    }
+  }
+  if (!any) return "(no data)\n";
+  if (xmax == xmin) xmax = xmin + 1;
+  if (ymax == ymin) ymax = ymin + 1;
+
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      const auto cx = static_cast<std::size_t>(
+          (s.x[i] - xmin) / (xmax - xmin) * static_cast<double>(width - 1));
+      const auto cy = static_cast<std::size_t>(
+          (s.y[i] - ymin) / (ymax - ymin) * static_cast<double>(height - 1));
+      grid[height - 1 - cy][cx] = s.glyph;
+    }
+  }
+  char buf[128];
+  std::string out;
+  std::snprintf(buf, sizeof(buf), "%s: [%.3g, %.3g]\n", y_label.c_str(), ymin,
+                ymax);
+  out += buf;
+  for (const auto& row : grid) out += "|" + row + "\n";
+  out += "+" + std::string(width, '-') + "\n";
+  std::snprintf(buf, sizeof(buf), "%s: [%.3g, %.3g]\n", x_label.c_str(), xmin,
+                xmax);
+  out += buf;
+  return out;
+}
+
+namespace {
+
+std::map<std::string, std::vector<std::pair<double, double>>> series_points(
+    const DataFrame& df, const std::string& x_col, const std::string& y_col,
+    const std::string& series_col) {
+  std::map<std::string, std::vector<std::pair<double, double>>> by_series;
+  for (std::size_t r = 0; r < df.rows(); ++r) {
+    by_series[df.get_string(r, series_col)].emplace_back(
+        df.get_number(r, x_col), df.get_number(r, y_col));
+  }
+  return by_series;
+}
+
+}  // namespace
+
+std::string gnuplot_script(const DataFrame& df, const std::string& x_col,
+                           const std::string& y_col,
+                           const std::string& series_col,
+                           const std::string& title) {
+  const auto by_series = series_points(df, x_col, y_col, series_col);
+  std::string out;
+  out += "set title \"" + title + "\"\n";
+  out += "set xlabel \"" + x_col + "\"\nset ylabel \"" + y_col + "\"\n";
+  out += "set key outside\nplot ";
+  bool first = true;
+  for (const auto& [name, points] : by_series) {
+    if (!first) out += ", ";
+    out += "'-' using 1:2 with points title \"" + name + "\"";
+    first = false;
+  }
+  out += "\n";
+  for (const auto& [name, points] : by_series) {
+    char buf[64];
+    for (const auto& [x, y] : points) {
+      std::snprintf(buf, sizeof(buf), "%.9g %.9g\n", x, y);
+      out += buf;
+    }
+    out += "e\n";
+  }
+  return out;
+}
+
+std::string grafana_panel_json(const DataFrame& df, const std::string& x_col,
+                               const std::string& y_col,
+                               const std::string& series_col,
+                               const std::string& title) {
+  const auto by_series = series_points(df, x_col, y_col, series_col);
+  json::Writer w(json::NumberFormat::kFastItoa);
+  w.begin_object();
+  w.member("title", title);
+  w.member("type", "timeseries");
+  w.key("datasource");
+  w.begin_object();
+  w.member("type", "sandia-dsos-datasource");
+  w.member("database", "darshan_data");
+  w.end_object();
+  w.key("series");
+  w.begin_array();
+  for (const auto& [name, points] : by_series) {
+    w.begin_object();
+    w.member("target", name);
+    w.key("datapoints");
+    w.begin_array();
+    for (const auto& [x, y] : points) {
+      w.begin_array();
+      w.value_double(y, 9);
+      w.value_double(x * 1000.0, 3);  // grafana wants epoch millis
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+std::string ascii_heatmap(const std::vector<std::vector<double>>& rows,
+                          const std::vector<std::string>& row_labels,
+                          std::size_t max_cols) {
+  static constexpr char kShades[] = " .:-=+*#%@";
+  constexpr std::size_t kShadeCount = sizeof(kShades) - 1;
+  if (rows.empty()) return "(no data)\n";
+
+  std::size_t cols = 0;
+  double max_value = 0.0;
+  for (const auto& row : rows) {
+    cols = std::max(cols, row.size());
+    for (double v : row) max_value = std::max(max_value, v);
+  }
+  if (cols == 0) return "(no data)\n";
+  // Down-sample columns to fit the terminal: each cell is the max of its
+  // covered bins (peaks matter more than means in an intensity map).
+  const std::size_t out_cols = std::min(cols, max_cols);
+  const double bins_per_col =
+      static_cast<double>(cols) / static_cast<double>(out_cols);
+
+  std::size_t label_width = 0;
+  for (const auto& l : row_labels) label_width = std::max(label_width, l.size());
+
+  std::string out;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (r < row_labels.size()) {
+      out += row_labels[r] +
+             std::string(label_width - row_labels[r].size(), ' ') + " |";
+    } else if (label_width > 0) {
+      out += std::string(label_width, ' ') + " |";
+    } else {
+      out += "|";
+    }
+    for (std::size_t c = 0; c < out_cols; ++c) {
+      const auto lo = static_cast<std::size_t>(
+          static_cast<double>(c) * bins_per_col);
+      const auto hi = std::min(
+          cols,
+          std::max(lo + 1, static_cast<std::size_t>(std::ceil(
+                               static_cast<double>(c + 1) * bins_per_col))));
+      double cell = 0.0;
+      for (std::size_t b = lo; b < hi && b < rows[r].size(); ++b) {
+        cell = std::max(cell, rows[r][b]);
+      }
+      const auto shade =
+          max_value > 0
+              ? std::min(kShadeCount - 1,
+                         static_cast<std::size_t>(cell / max_value *
+                                                  (kShadeCount - 1) + 0.5))
+              : 0;
+      out.push_back(kShades[shade]);
+    }
+    out += "|\n";
+  }
+  return out;
+}
+
+}  // namespace dlc::analysis

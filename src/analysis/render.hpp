@@ -1,0 +1,54 @@
+// Renderers: terminal charts, gnuplot scripts and Grafana-panel JSON
+// exports — the stand-ins for the paper's Grafana dashboard.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/frame.hpp"
+
+namespace dlc::analysis {
+
+/// Horizontal ASCII bar chart.  `errors` (optional, same length) renders
+/// a +/- suffix, used for the Fig. 5 CI bars.
+std::string ascii_bar_chart(const std::vector<std::string>& labels,
+                            const std::vector<double>& values,
+                            const std::vector<double>& errors = {},
+                            std::size_t width = 50);
+
+struct ScatterSeries {
+  char glyph = '*';
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// ASCII scatter plot with multiple glyph series (Fig. 8 style).
+std::string ascii_scatter(const std::vector<ScatterSeries>& series,
+                          std::size_t width = 78, std::size_t height = 20,
+                          const std::string& x_label = "x",
+                          const std::string& y_label = "y");
+
+/// gnuplot script that plots `df` columns x_col vs y_col grouped by the
+/// string column `series_col`, reading inline data.
+std::string gnuplot_script(const DataFrame& df, const std::string& x_col,
+                           const std::string& y_col,
+                           const std::string& series_col,
+                           const std::string& title);
+
+/// Grafana-style panel JSON: one timeseries target per value of
+/// `series_col`, data as [value, time-ms] pairs — the shape the paper's
+/// DSOS Grafana plugin feeds to the dashboard.
+std::string grafana_panel_json(const DataFrame& df, const std::string& x_col,
+                               const std::string& y_col,
+                               const std::string& series_col,
+                               const std::string& title);
+
+/// ASCII heatmap: one text row per entry of `rows` (e.g. ranks), one
+/// column per time bin, shaded " .:-=+*#%@" by value relative to the
+/// global maximum.  Ragged rows are padded with zeros.  Used to render
+/// darshan's heatmap module (per-rank I/O intensity over time).
+std::string ascii_heatmap(const std::vector<std::vector<double>>& rows,
+                          const std::vector<std::string>& row_labels = {},
+                          std::size_t max_cols = 100);
+
+}  // namespace dlc::analysis

@@ -1,0 +1,77 @@
+// The Darshan-LDMS Connector: the paper's primary contribution.
+//
+// Hooks darshan-runtime's event path; on every detected I/O event it
+// formats the event as a JSON message (Fig. 3 / Table I schema, including
+// the absolute timestamp) and publishes it to the LDMS Streams tag on the
+// issuing rank's node-local LDMS daemon.  `type` is "MET" for open events
+// (which carry the static metadata: exe and file absolute paths) and
+// "MOD" otherwise; fields a module does not trace are "N/A" / -1.
+//
+// Implements the paper's future-work sampling knob (publish every n-th
+// event) and the formatting ablation modes used in Table IIc.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "darshan/events.hpp"
+#include "darshan/runtime.hpp"
+#include "json/writer.hpp"
+#include "ldms/daemon.hpp"
+#include "util/time.hpp"
+
+namespace dlc::core {
+
+/// Maps a rank to its node-local LDMS daemon.
+using DaemonOfRank = std::function<ldms::LdmsDaemon*(int rank)>;
+
+struct ConnectorStats {
+  std::uint64_t events_seen = 0;
+  std::uint64_t messages_published = 0;
+  std::uint64_t events_sampled_out = 0;
+  std::uint64_t bytes_published = 0;
+  /// Total virtual time charged to application ranks.
+  SimDuration charged = 0;
+  /// Real (wall-clock) nanoseconds spent formatting, for the µbenches.
+  std::uint64_t real_format_ns = 0;
+};
+
+class DarshanLdmsConnector {
+ public:
+  /// Attaches to `runtime`'s event hook on construction.
+  DarshanLdmsConnector(darshan::Runtime& runtime, DaemonOfRank daemon_of_rank,
+                       ConnectorConfig config = {});
+
+  const ConnectorStats& stats() const { return stats_; }
+  const ConnectorConfig& config() const { return config_; }
+
+  /// Formats one event into `writer` (exposed for tests and benches).
+  /// `epoch` anchors virtual times to epoch seconds.
+  static void format_message(json::Writer& writer, const darshan::IoEvent& e,
+                             const darshan::Runtime& runtime,
+                             const SimEpoch& epoch);
+
+ private:
+  SimDuration on_event(const darshan::IoEvent& e);
+
+  darshan::Runtime& runtime_;
+  DaemonOfRank daemon_of_rank_;
+  ConnectorConfig config_;
+  ConnectorStats stats_;
+  SimEpoch epoch_;
+  json::Writer writer_;
+  /// Per-rank event counters for every-nth sampling.
+  std::vector<std::uint64_t> rank_event_counts_;
+  /// Per-rank last published data-event time (rate limiting); sentinel
+  /// means "never" (kept distinct so the first event always passes
+  /// without risking signed-overflow arithmetic).
+  static constexpr SimTime kNeverPublished =
+      std::numeric_limits<SimTime>::min();
+  std::vector<SimTime> rank_last_publish_;
+};
+
+}  // namespace dlc::core

@@ -1,0 +1,112 @@
+#include "core/decoder.hpp"
+
+#include "json/parser.hpp"
+#include "util/strings.hpp"
+
+namespace dlc::core {
+
+namespace {
+
+std::int64_t geti(const json::Value& v, std::string_view k,
+                  std::int64_t fallback = -1) {
+  return v.get_int(k, fallback);
+}
+
+std::string gets(const json::Value& v, std::string_view k) {
+  return v.get_string(k, "N/A");
+}
+
+}  // namespace
+
+std::vector<dsos::Object> decode_message(const dsos::SchemaPtr& schema,
+                                         const std::string& payload) {
+  std::vector<dsos::Object> out;
+  const auto doc = json::parse(payload);
+  if (!doc || !doc->is_object()) return out;
+
+  const json::Value* seg = doc->find("seg");
+  if (!seg || !seg->is_array()) return out;
+
+  for (const json::Value& s : seg->as_array()) {
+    if (!s.is_object()) continue;
+    std::vector<dsos::Value> values;
+    values.reserve(schema->attrs().size());
+    values.emplace_back(gets(*doc, "module"));
+    values.emplace_back(doc->get_uint("uid", 0));
+    values.emplace_back(gets(*doc, "ProducerName"));
+    values.emplace_back(geti(*doc, "switches"));
+    values.emplace_back(gets(*doc, "file"));
+    values.emplace_back(geti(*doc, "rank", 0));
+    values.emplace_back(geti(*doc, "flushes"));
+    values.emplace_back(doc->get_uint("record_id", 0));
+    values.emplace_back(gets(*doc, "exe"));
+    values.emplace_back(geti(*doc, "max_byte"));
+    values.emplace_back(gets(*doc, "type"));
+    values.emplace_back(doc->get_uint("job_id", 0));
+    values.emplace_back(gets(*doc, "op"));
+    values.emplace_back(geti(*doc, "cnt", 0));
+    values.emplace_back(geti(s, "off"));
+    values.emplace_back(geti(s, "pt_sel"));
+    values.emplace_back(s.get_double("dur", 0.0));
+    values.emplace_back(geti(s, "len"));
+    values.emplace_back(geti(s, "ndims"));
+    values.emplace_back(geti(s, "reg_hslab"));
+    values.emplace_back(geti(s, "irreg_hslab"));
+    values.emplace_back(gets(s, "data_set"));
+    values.emplace_back(geti(s, "npoints"));
+    values.emplace_back(s.get_double("timestamp", 0.0));
+    out.push_back(dsos::make_object(schema, std::move(values)));
+  }
+  return out;
+}
+
+std::string to_csv_row(const dsos::Object& obj) {
+  // Fig. 3 column order == schema attribute order.
+  std::string row;
+  for (std::size_t i = 0; i < obj.values.size(); ++i) {
+    if (i) row.push_back(',');
+    const dsos::Value& v = obj.values[i];
+    std::visit(
+        [&row](const auto& x) {
+          using T = std::decay_t<decltype(x)>;
+          if constexpr (std::is_same_v<T, std::string>) {
+            row += csv_escape(x);
+          } else if constexpr (std::is_same_v<T, double>) {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%.6f", x);
+            row += buf;
+          } else {
+            row += std::to_string(x);
+          }
+        },
+        v);
+  }
+  return row;
+}
+
+DarshanDecoder::DarshanDecoder(ldms::LdmsDaemon& daemon, const std::string& tag,
+                               dsos::DsosCluster& cluster)
+    : schema_(darshan_data_schema()), cluster_(cluster) {
+  cluster_.register_schema(schema_);
+  daemon.bus().subscribe(tag, [this](const ldms::StreamMessage& msg) {
+    on_message(msg);
+  });
+}
+
+void DarshanDecoder::on_message(const ldms::StreamMessage& msg) {
+  if (msg.format != ldms::PayloadFormat::kJson) {
+    ++malformed_;  // placeholder payloads from the kNone ablation
+    return;
+  }
+  auto objects = decode_message(schema_, msg.payload);
+  if (objects.empty()) {
+    ++malformed_;
+    return;
+  }
+  for (auto& obj : objects) {
+    cluster_.insert(std::move(obj));
+    ++decoded_;
+  }
+}
+
+}  // namespace dlc::core

@@ -1,0 +1,44 @@
+// Decode path: LDMS Streams subscriber that parses connector JSON
+// messages, flattens the `seg` list into one row per segment (CSV layout
+// of Fig. 3) and ingests the rows into a DSOS cluster.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/schema_darshan.hpp"
+#include "dsos/cluster.hpp"
+#include "ldms/daemon.hpp"
+#include "ldms/message.hpp"
+
+namespace dlc::core {
+
+/// Parses one connector JSON message into darshan_data objects (one per
+/// `seg` entry).  Returns empty on malformed input.
+std::vector<dsos::Object> decode_message(const dsos::SchemaPtr& schema,
+                                         const std::string& payload);
+
+/// Renders a decoded object as a Fig. 3 CSV row (no header).
+std::string to_csv_row(const dsos::Object& obj);
+
+/// Subscribes to `tag` on `daemon` and ingests decoded rows into
+/// `cluster`.  Owns nothing; keep alive while messages flow.
+class DarshanDecoder {
+ public:
+  DarshanDecoder(ldms::LdmsDaemon& daemon, const std::string& tag,
+                 dsos::DsosCluster& cluster);
+
+  std::uint64_t decoded() const { return decoded_; }
+  std::uint64_t malformed() const { return malformed_; }
+
+ private:
+  void on_message(const ldms::StreamMessage& msg);
+
+  dsos::SchemaPtr schema_;
+  dsos::DsosCluster& cluster_;
+  std::uint64_t decoded_ = 0;
+  std::uint64_t malformed_ = 0;
+};
+
+}  // namespace dlc::core

@@ -1,0 +1,79 @@
+#include "core/env_config.hpp"
+
+#include <charconv>
+#include <cstdlib>
+
+#include "util/strings.hpp"
+
+namespace dlc::core {
+
+namespace {
+
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc() && p == s.data() + s.size();
+}
+
+}  // namespace
+
+EnvConfig connector_config_from_env(const EnvGetter& getenv_fn) {
+  const EnvGetter get =
+      getenv_fn ? getenv_fn
+                : [](const char* name) { return std::getenv(name); };
+  EnvConfig cfg;
+
+  if (const char* v = get("DARSHAN_LDMS_ENABLE")) {
+    cfg.enabled = std::string(v) != "0";
+  }
+  if (const char* v = get("DARSHAN_LDMS_STREAM")) {
+    if (*v != '\0') {
+      cfg.connector.stream_tag = v;
+    } else {
+      cfg.errors.push_back("DARSHAN_LDMS_STREAM=");
+    }
+  }
+  if (const char* v = get("DARSHAN_LDMS_FORMAT")) {
+    const std::string mode(v);
+    if (mode == "snprintf") {
+      cfg.connector.format = FormatMode::kSnprintfJson;
+    } else if (mode == "fast") {
+      cfg.connector.format = FormatMode::kFastJson;
+    } else if (mode == "none") {
+      cfg.connector.format = FormatMode::kNone;
+    } else {
+      cfg.errors.push_back("DARSHAN_LDMS_FORMAT=" + mode);
+    }
+  }
+  if (const char* v = get("DARSHAN_LDMS_SAMPLE_N")) {
+    std::uint64_t n;
+    if (parse_u64(v, n) && n >= 1) {
+      cfg.connector.sample_every_n = n;
+    } else {
+      cfg.errors.push_back(std::string("DARSHAN_LDMS_SAMPLE_N=") + v);
+    }
+  }
+  if (const char* v = get("DARSHAN_LDMS_MIN_INTERVAL_US")) {
+    std::uint64_t us;
+    if (parse_u64(v, us)) {
+      cfg.connector.min_publish_interval =
+          static_cast<SimDuration>(us) * kMicrosecond;
+    } else {
+      cfg.errors.push_back(std::string("DARSHAN_LDMS_MIN_INTERVAL_US=") + v);
+    }
+  }
+  if (const char* v = get("DARSHAN_LDMS_MODULES")) {
+    for (const std::string& part : split(v, ',')) {
+      const std::string name(trim(part));
+      if (name.empty()) continue;
+      darshan::Module module;
+      if (darshan::module_from_name(name, module)) {
+        cfg.connector.module_filter.push_back(module);
+      } else {
+        cfg.errors.push_back("DARSHAN_LDMS_MODULES=" + name);
+      }
+    }
+  }
+  return cfg;
+}
+
+}  // namespace dlc::core

@@ -1,0 +1,38 @@
+// Environment-variable configuration of the connector.
+//
+// The real Darshan-LDMS connector is switched on and tuned through
+// environment variables at job launch (the paper's deployment sets
+// LD_PRELOAD plus connector env vars).  This mirrors that interface:
+//
+//   DARSHAN_LDMS_ENABLE      unset/0 => connector off
+//   DARSHAN_LDMS_STREAM      stream tag (default "darshanConnector")
+//   DARSHAN_LDMS_FORMAT      snprintf | fast | none
+//   DARSHAN_LDMS_SAMPLE_N    publish every n-th event (>= 1)
+//   DARSHAN_LDMS_MIN_INTERVAL_US  per-rank publish rate limit
+//   DARSHAN_LDMS_MODULES     comma list, e.g. "POSIX,MPIIO" (empty = all)
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "core/config.hpp"
+
+namespace dlc::core {
+
+/// Getter abstraction so tests can inject an environment; the default
+/// reads the process environment via std::getenv.
+using EnvGetter = std::function<const char*(const char*)>;
+
+struct EnvConfig {
+  bool enabled = false;
+  ConnectorConfig connector;
+  /// Variables that were present but unparsable (name=value), reported so
+  /// deployments notice typos instead of silently running defaults.
+  std::vector<std::string> errors;
+};
+
+/// Parses the connector configuration from the (injected) environment.
+EnvConfig connector_config_from_env(const EnvGetter& getenv_fn = nullptr);
+
+}  // namespace dlc::core

@@ -1,0 +1,26 @@
+// The canonical DSOS schema for decoded Darshan-LDMS connector data.
+//
+// Attribute set mirrors the CSV header of Fig. 3:
+//   #module,uid,ProducerName,switches,file,rank,flushes,record_id,exe,
+//   max_byte,type,job_id,op,cnt,seg:off,seg:pt_sel,seg:dur,seg:len,
+//   seg:ndims,seg:reg_hslab,seg:irreg_hslab,seg:data_set,seg:npoints,
+//   seg:timestamp
+// (colons become underscores in attribute names).
+//
+// Joint indices reproduce the paper's query setup: "combinations of the
+// job ID, rank and timestamp are used to create joint indices where each
+// index provided a different query performance", e.g. job_rank_time.
+#pragma once
+
+#include "dsos/schema.hpp"
+
+namespace dlc::core {
+
+/// Builds the darshan_data schema with the job_rank_time, job_time_rank
+/// and time joint indices.
+dsos::SchemaPtr darshan_data_schema();
+
+/// The CSV header line of Fig. 3 (leading '#' included).
+const char* darshan_csv_header();
+
+}  // namespace dlc::core

@@ -1,0 +1,114 @@
+#include "darshan/counters.hpp"
+
+#include <algorithm>
+
+namespace dlc::darshan {
+
+std::string_view module_name(Module m) {
+  switch (m) {
+    case Module::kPosix:
+      return "POSIX";
+    case Module::kMpiio:
+      return "MPIIO";
+    case Module::kStdio:
+      return "STDIO";
+    case Module::kH5F:
+      return "H5F";
+    case Module::kH5D:
+      return "H5D";
+  }
+  return "?";
+}
+
+bool module_from_name(std::string_view name, Module& out) {
+  for (std::size_t i = 0; i < kModuleCount; ++i) {
+    const auto m = static_cast<Module>(i);
+    if (module_name(m) == name) {
+      out = m;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string_view op_name(Op op) {
+  switch (op) {
+    case Op::kOpen:
+      return "open";
+    case Op::kRead:
+      return "read";
+    case Op::kWrite:
+      return "write";
+    case Op::kClose:
+      return "close";
+    case Op::kFlush:
+      return "flush";
+  }
+  return "?";
+}
+
+bool op_from_name(std::string_view name, Op& out) {
+  for (std::size_t i = 0; i < kOpCount; ++i) {
+    const auto op = static_cast<Op>(i);
+    if (op_name(op) == name) {
+      out = op;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t size_bin_index(std::uint64_t bytes) {
+  if (bytes <= 100) return 0;
+  if (bytes <= 1024) return 1;
+  if (bytes <= 10 * 1024) return 2;
+  if (bytes <= 100 * 1024) return 3;
+  if (bytes <= 1024 * 1024) return 4;
+  if (bytes <= 4ull * 1024 * 1024) return 5;
+  if (bytes <= 10ull * 1024 * 1024) return 6;
+  if (bytes <= 100ull * 1024 * 1024) return 7;
+  if (bytes <= 1024ull * 1024 * 1024) return 8;
+  return 9;
+}
+
+std::string_view size_bin_name(std::size_t bin) {
+  static constexpr std::array<std::string_view, kSizeBinCount> kNames = {
+      "0_100",    "100_1K",   "1K_10K",   "10K_100K", "100K_1M",
+      "1M_4M",    "4M_10M",   "10M_100M", "100M_1G",  "1G_PLUS"};
+  return bin < kNames.size() ? kNames[bin] : "?";
+}
+
+void RecordCounters::merge(const RecordCounters& other) {
+  opens += other.opens;
+  closes += other.closes;
+  reads += other.reads;
+  writes += other.writes;
+  flushes += other.flushes;
+  seeks += other.seeks;
+  bytes_read += other.bytes_read;
+  bytes_written += other.bytes_written;
+  max_byte_read = std::max(max_byte_read, other.max_byte_read);
+  max_byte_written = std::max(max_byte_written, other.max_byte_written);
+  rw_switches += other.rw_switches;
+  consec_reads += other.consec_reads;
+  consec_writes += other.consec_writes;
+  seq_reads += other.seq_reads;
+  seq_writes += other.seq_writes;
+  for (std::size_t i = 0; i < kSizeBinCount; ++i) {
+    read_size_bins[i] += other.read_size_bins[i];
+    write_size_bins[i] += other.write_size_bins[i];
+  }
+  if (f_open_start < 0 ||
+      (other.f_open_start >= 0 && other.f_open_start < f_open_start)) {
+    f_open_start = other.f_open_start;
+  }
+  f_open_end = std::max(f_open_end, other.f_open_end);
+  f_close_end = std::max(f_close_end, other.f_close_end);
+  f_read_time += other.f_read_time;
+  f_write_time += other.f_write_time;
+  f_meta_time += other.f_meta_time;
+  f_max_read_time = std::max(f_max_read_time, other.f_max_read_time);
+  f_max_write_time = std::max(f_max_write_time, other.f_max_write_time);
+}
+
+}  // namespace dlc::darshan

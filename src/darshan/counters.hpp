@@ -1,0 +1,80 @@
+// Per-record counters, following darshan-runtime's counter design: each
+// (module, rank, file-record) accumulates integer counters, floating-point
+// timers and access-size histograms that darshan-util later reduces into
+// the summary log.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "darshan/module.hpp"
+
+namespace dlc::darshan {
+
+/// Darshan's canonical access-size histogram bin edges (upper bounds).
+/// SIZE_*_0_100, 100_1K, 1K_10K, 10K_100K, 100K_1M, 1M_4M, 4M_10M,
+/// 10M_100M, 100M_1G, 1G_PLUS.
+constexpr std::size_t kSizeBinCount = 10;
+std::size_t size_bin_index(std::uint64_t bytes);
+std::string_view size_bin_name(std::size_t bin);
+
+/// Counters for one file record on one rank.
+struct RecordCounters {
+  // Operation counts.
+  std::int64_t opens = 0;
+  std::int64_t closes = 0;
+  std::int64_t reads = 0;
+  std::int64_t writes = 0;
+  std::int64_t flushes = 0;
+  std::int64_t seeks = 0;
+
+  // Byte volumes.
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+
+  // Highest offset byte read/written (darshan's *_MAX_BYTE_*): -1 if none.
+  std::int64_t max_byte_read = -1;
+  std::int64_t max_byte_written = -1;
+
+  // Number of times access alternated between read and write (RW_SWITCHES).
+  std::int64_t rw_switches = 0;
+
+  // Access pattern: consecutive (next offset == previous end) and
+  // sequential (next offset > previous end) accesses, per darshan's
+  // CONSEC_*/SEQ_* counters.
+  std::int64_t consec_reads = 0;
+  std::int64_t consec_writes = 0;
+  std::int64_t seq_reads = 0;
+  std::int64_t seq_writes = 0;
+
+  // Access size histograms.
+  std::array<std::int64_t, kSizeBinCount> read_size_bins{};
+  std::array<std::int64_t, kSizeBinCount> write_size_bins{};
+
+  // Timers (seconds on the virtual timeline, like darshan's F_* counters).
+  double f_open_start = -1.0;
+  double f_open_end = -1.0;
+  double f_close_end = -1.0;
+  double f_read_time = 0.0;
+  double f_write_time = 0.0;
+  double f_meta_time = 0.0;
+
+  // Fastest/slowest single op (F_MAX_*_TIME analogues).
+  double f_max_read_time = 0.0;
+  double f_max_write_time = 0.0;
+
+  /// Merges `other` into this record (used for shared-file reduction).
+  void merge(const RecordCounters& other);
+};
+
+/// One file record: identity plus counters.
+struct Record {
+  Module module = Module::kPosix;
+  int rank = 0;
+  std::uint64_t record_id = 0;
+  std::string file_path;
+  RecordCounters counters;
+};
+
+}  // namespace dlc::darshan

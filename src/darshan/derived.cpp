@@ -1,0 +1,210 @@
+#include "darshan/derived.hpp"
+
+#include <algorithm>
+#include <array>
+#include <set>
+
+namespace dlc::darshan {
+
+Log reduce_shared_records(const Log& log) {
+  Log reduced;
+  reduced.job_id = log.job_id;
+  reduced.uid = log.uid;
+  reduced.exe = log.exe;
+  reduced.nprocs = log.nprocs;
+  reduced.start_time = log.start_time;
+  reduced.end_time = log.end_time;
+
+  struct Key {
+    Module module;
+    std::uint64_t record_id;
+    auto operator<=>(const Key&) const = default;
+  };
+  std::map<Key, Log::RecordEntry> merged;
+  std::map<Key, std::set<int>> ranks_seen;
+
+  for (const auto& entry : log.records) {
+    const Key key{entry.record.module, entry.record.record_id};
+    ranks_seen[key].insert(entry.record.rank);
+    auto it = merged.find(key);
+    if (it == merged.end()) {
+      Log::RecordEntry copy = entry;
+      merged.emplace(key, std::move(copy));
+    } else {
+      it->second.record.counters.merge(entry.record.counters);
+      it->second.dxt.insert(it->second.dxt.end(), entry.dxt.begin(),
+                            entry.dxt.end());
+      it->second.dxt_dropped += entry.dxt_dropped;
+    }
+  }
+
+  reduced.records.reserve(merged.size());
+  for (auto& [key, entry] : merged) {
+    if (ranks_seen[key].size() > 1) {
+      entry.record.rank = -1;  // darshan's shared-record marker
+    }
+    std::sort(entry.dxt.begin(), entry.dxt.end(),
+              [](const DxtSegment& a, const DxtSegment& b) {
+                if (a.start != b.start) return a.start < b.start;
+                return a.offset < b.offset;
+              });
+    reduced.records.push_back(std::move(entry));
+  }
+  return reduced;
+}
+
+PerfEstimate estimate_performance(const Log& log) {
+  PerfEstimate est;
+  std::map<int, double> per_rank_io_time;
+  for (const auto& entry : log.records) {
+    const auto& c = entry.record.counters;
+    est.total_bytes += c.bytes_read + c.bytes_written;
+    per_rank_io_time[entry.record.rank] +=
+        c.f_read_time + c.f_write_time + c.f_meta_time;
+  }
+  for (const auto& [rank, io_time] : per_rank_io_time) {
+    if (io_time > est.slowest_rank_io_time) {
+      est.slowest_rank_io_time = io_time;
+      est.slowest_rank = rank;
+    }
+  }
+  if (est.slowest_rank_io_time > 0) {
+    est.agg_perf_by_slowest_mibs =
+        static_cast<double>(est.total_bytes) / (1024.0 * 1024.0) /
+        est.slowest_rank_io_time;
+  }
+  return est;
+}
+
+FileCountSummary count_files(const Log& log) {
+  struct FileFacts {
+    bool read = false;
+    bool write = false;
+    std::set<int> ranks;
+  };
+  std::map<std::uint64_t, FileFacts> files;
+  for (const auto& entry : log.records) {
+    FileFacts& facts = files[entry.record.record_id];
+    facts.read |= entry.record.counters.reads > 0;
+    facts.write |= entry.record.counters.writes > 0;
+    facts.ranks.insert(entry.record.rank);
+  }
+  FileCountSummary summary;
+  summary.total = files.size();
+  for (const auto& [id, facts] : files) {
+    if (facts.read && facts.write) {
+      ++summary.read_write;
+    } else if (facts.read) {
+      ++summary.read_only;
+    } else if (facts.write) {
+      ++summary.write_only;
+    }
+    if (facts.ranks.size() > 1) ++summary.shared;
+  }
+  return summary;
+}
+
+std::map<std::string, ModuleTotals> module_totals(const Log& log) {
+  std::map<std::string, ModuleTotals> totals;
+  for (const auto& entry : log.records) {
+    ModuleTotals& t = totals[std::string(module_name(entry.record.module))];
+    const auto& c = entry.record.counters;
+    t.reads += c.reads;
+    t.writes += c.writes;
+    t.bytes_read += c.bytes_read;
+    t.bytes_written += c.bytes_written;
+    t.read_time += c.f_read_time;
+    t.write_time += c.f_write_time;
+    t.meta_time += c.f_meta_time;
+  }
+  return totals;
+}
+
+RegressionReport check_regression(const std::vector<Log>& history,
+                                  const Log& current, double threshold) {
+  RegressionReport report;
+  for (const Log& log : history) {
+    const PerfEstimate est = estimate_performance(log);
+    if (est.agg_perf_by_slowest_mibs > 0) {
+      report.history_mibs.push_back(est.agg_perf_by_slowest_mibs);
+    }
+  }
+  const PerfEstimate current_est = estimate_performance(current);
+  report.current_mibs = current_est.agg_perf_by_slowest_mibs;
+  if (report.history_mibs.size() < 2 || report.current_mibs <= 0) {
+    return report;  // not enough signal to judge
+  }
+  // Median baseline: robust to the occasional bad historical run.
+  std::vector<double> sorted = report.history_mibs;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t mid = sorted.size() / 2;
+  report.baseline_mibs = sorted.size() % 2
+                             ? sorted[mid]
+                             : 0.5 * (sorted[mid - 1] + sorted[mid]);
+  report.ratio = report.current_mibs / report.baseline_mibs;
+  report.is_regression = report.current_mibs < threshold * report.baseline_mibs;
+  return report;
+}
+
+AccessPattern access_pattern_summary(const Log& log) {
+  AccessPattern p;
+  std::int64_t consec_reads = 0, consec_writes = 0;
+  std::int64_t seq_reads = 0, seq_writes = 0;
+  std::array<std::int64_t, kSizeBinCount> read_bins{};
+  std::array<std::int64_t, kSizeBinCount> write_bins{};
+  for (const auto& entry : log.records) {
+    const auto& c = entry.record.counters;
+    p.total_reads += c.reads;
+    p.total_writes += c.writes;
+    consec_reads += c.consec_reads;
+    consec_writes += c.consec_writes;
+    seq_reads += c.seq_reads;
+    seq_writes += c.seq_writes;
+    for (std::size_t i = 0; i < kSizeBinCount; ++i) {
+      read_bins[i] += c.read_size_bins[i];
+      write_bins[i] += c.write_size_bins[i];
+    }
+  }
+  auto pct = [](std::int64_t part, std::int64_t whole) {
+    // The first access of a record has no predecessor, so the maximum
+    // attainable count is ops-1 per record; report against total ops,
+    // which keeps the metric in [0, 100].
+    return whole > 0 ? 100.0 * static_cast<double>(part) /
+                           static_cast<double>(whole)
+                     : 0.0;
+  };
+  p.consec_read_pct = pct(consec_reads, p.total_reads);
+  p.consec_write_pct = pct(consec_writes, p.total_writes);
+  p.seq_read_pct = pct(seq_reads, p.total_reads);
+  p.seq_write_pct = pct(seq_writes, p.total_writes);
+
+  auto common = [](const std::array<std::int64_t, kSizeBinCount>& bins) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < bins.size(); ++i) {
+      if (bins[i] > bins[best]) best = i;
+    }
+    return bins[best] > 0 ? std::string(size_bin_name(best)) : std::string();
+  };
+  p.common_read_size = common(read_bins);
+  p.common_write_size = common(write_bins);
+
+  const std::int64_t total = p.total_reads + p.total_writes;
+  if (total == 0) {
+    p.classification = "no-io";
+  } else {
+    const double seq =
+        (p.seq_read_pct * static_cast<double>(p.total_reads) +
+         p.seq_write_pct * static_cast<double>(p.total_writes)) /
+        static_cast<double>(total);
+    if (seq >= 85.0) {
+      p.classification = "sequential";
+    } else if (seq >= 50.0) {
+      p.classification = "mostly-sequential";
+    } else {
+      p.classification = "random";
+    }
+  }
+  return p;
+}
+
+}  // namespace dlc::darshan

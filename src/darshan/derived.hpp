@@ -1,0 +1,101 @@
+// darshan-util derived analyses: shared-record reduction and the summary
+// statistics darshan's job-summary tooling computes from a log.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "darshan/runtime.hpp"
+
+namespace dlc::darshan {
+
+/// Reduces per-rank records of the same (module, record_id) into one
+/// shared record with rank = -1, the way darshan-runtime reduces
+/// shared-file records at finalize: counters summed, extrema maxed,
+/// open/close window widened.  Per-rank DXT segments are concatenated in
+/// time order.
+Log reduce_shared_records(const Log& log);
+
+/// darshan job-summary style I/O performance estimate.
+struct PerfEstimate {
+  std::uint64_t total_bytes = 0;
+  /// Slowest single rank's cumulative I/O time (seconds) — the basis of
+  /// darshan's agg_perf_by_slowest.
+  double slowest_rank_io_time = 0.0;
+  int slowest_rank = -1;
+  /// total_bytes / slowest_rank_io_time, in MiB/s (0 when undefined).
+  double agg_perf_by_slowest_mibs = 0.0;
+};
+PerfEstimate estimate_performance(const Log& log);
+
+/// darshan-util file-count summary: how many files were accessed in each
+/// category across the whole job.
+struct FileCountSummary {
+  std::uint64_t total = 0;
+  std::uint64_t read_only = 0;
+  std::uint64_t write_only = 0;
+  std::uint64_t read_write = 0;
+  /// Files opened by more than one rank (shared).
+  std::uint64_t shared = 0;
+};
+FileCountSummary count_files(const Log& log);
+
+/// Per-module totals (ops and bytes), keyed by module name.
+struct ModuleTotals {
+  std::int64_t reads = 0;
+  std::int64_t writes = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  double read_time = 0.0;
+  double write_time = 0.0;
+  double meta_time = 0.0;
+};
+std::map<std::string, ModuleTotals> module_totals(const Log& log);
+
+/// I/O performance regression check: "Generally, the I/O performance is
+/// analyzed post-run ... in the form of regression testing" (paper §I).
+/// Compares the current job's aggregate perf estimate against the median
+/// of historical logs of the same application.
+struct RegressionReport {
+  /// Median agg_perf_by_slowest over the history (MiB/s).
+  double baseline_mibs = 0.0;
+  double current_mibs = 0.0;
+  /// current / baseline; < 1 means slower than history.
+  double ratio = 0.0;
+  /// True when current < threshold * baseline.
+  bool is_regression = false;
+  /// Historical per-run values, for reporting.
+  std::vector<double> history_mibs;
+};
+
+/// `threshold` is the tolerated fraction of the baseline (e.g. 0.8 flags
+/// runs slower than 80% of the historical median).  Returns a report with
+/// is_regression = false when fewer than 2 history logs are supplied or
+/// any estimate is degenerate (zero I/O time).
+RegressionReport check_regression(const std::vector<Log>& history,
+                                  const Log& current,
+                                  double threshold = 0.8);
+
+/// Access-pattern summary (darshan job-summary's sequential/consecutive
+/// percentages): how much of the job's I/O advanced monotonically.
+struct AccessPattern {
+  std::int64_t total_reads = 0;
+  std::int64_t total_writes = 0;
+  /// Fraction of reads/writes at exactly the previous end offset.
+  double consec_read_pct = 0.0;
+  double consec_write_pct = 0.0;
+  /// Fraction at or beyond the previous end offset (includes consecutive).
+  double seq_read_pct = 0.0;
+  double seq_write_pct = 0.0;
+  /// Dominant access size bin name per direction ("1M_4M", ...).
+  std::string common_read_size;
+  std::string common_write_size;
+  /// Coarse classification: "sequential", "mostly-sequential", "random",
+  /// or "no-io".
+  std::string classification;
+};
+AccessPattern access_pattern_summary(const Log& log);
+
+}  // namespace dlc::darshan

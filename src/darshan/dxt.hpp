@@ -1,0 +1,52 @@
+// DXT (eXtended Tracing): per-operation trace segments.
+//
+// Where the counter module keeps aggregates, DXT records every individual
+// read/write with offset, length, start and end time — the high-fidelity
+// trace the paper's connector taps.  Like darshan-runtime, the trace is
+// bounded per record; overflowing segments are counted but not stored.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "darshan/module.hpp"
+#include "util/time.hpp"
+
+namespace dlc::darshan {
+
+struct DxtSegment {
+  Op op = Op::kRead;
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  /// Virtual start/end of the operation.
+  SimTime start = 0;
+  SimTime end = 0;
+};
+
+class DxtTrace {
+ public:
+  explicit DxtTrace(std::size_t max_segments = kDefaultMaxSegments)
+      : max_segments_(max_segments) {}
+
+  /// Default matches darshan's per-record trace memory cap in spirit.
+  static constexpr std::size_t kDefaultMaxSegments = 16384;
+
+  void add(const DxtSegment& seg) {
+    if (segments_.size() < max_segments_) {
+      segments_.push_back(seg);
+    } else {
+      ++dropped_;
+    }
+  }
+
+  const std::vector<DxtSegment>& segments() const { return segments_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::size_t max_segments() const { return max_segments_; }
+
+ private:
+  std::size_t max_segments_;
+  std::vector<DxtSegment> segments_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace dlc::darshan

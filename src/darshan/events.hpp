@@ -1,0 +1,63 @@
+// The I/O event record handed to hook subscribers (the Darshan-LDMS
+// connector) at the moment Darshan instruments an operation.
+//
+// This is the reproduction of the paper's core code change: darshan-runtime
+// was patched to thread a timestamp struct through its modules so the
+// *absolute* end time of each operation is available at event time, not
+// just at log-reduction time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "darshan/module.hpp"
+#include "util/time.hpp"
+
+namespace dlc::darshan {
+
+/// HDF5-specific per-op metadata (Table I's seg:* HDF5 fields).  For
+/// non-HDF5 modules everything stays at the sentinel values, which the
+/// connector serialises as -1 / "N/A" exactly as Fig. 3 shows.
+struct Hdf5Info {
+  std::int64_t pt_sel = -1;       // number of different access selections
+  std::int64_t irreg_hslab = -1;  // irregular hyperslabs
+  std::int64_t reg_hslab = -1;    // regular hyperslabs
+  std::int64_t ndims = -1;        // dataspace dimensionality
+  std::int64_t npoints = -1;      // dataspace point count
+  std::string data_set;           // dataset name; empty => "N/A"
+};
+
+struct IoEvent {
+  Module module = Module::kPosix;
+  Op op = Op::kRead;
+  int rank = 0;
+  std::uint64_t record_id = 0;
+  /// Absolute file path; guaranteed valid only for the duration of the
+  /// hook call (points into the runtime's record table).
+  const std::string* file_path = nullptr;
+
+  // Running per-record state at the time of the event (Table I fields).
+  std::int64_t max_byte = -1;   // highest offset byte accessed by this op
+  std::int64_t switches = -1;   // r/w alternations so far (-1: not traced)
+  std::int64_t flushes = -1;    // flush count so far (-1: not traced)
+  std::int64_t cnt = 0;         // ops per module per rank since last close
+
+  // The access itself.
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  SimTime start = 0;   // virtual start time
+  SimTime end = 0;     // virtual end time: the "absolute timestamp"
+  bool collective = false;
+
+  Hdf5Info h5;
+};
+
+/// Hook invoked synchronously on every instrumented operation, on the
+/// issuing rank's virtual-time context.  The returned duration is charged
+/// to the issuing rank's virtual clock *after* the event — this is how the
+/// connector's per-event cost (JSON formatting, streams publish) perturbs
+/// application runtime, the effect Table II measures.
+using EventHook = std::function<SimDuration(const IoEvent&)>;
+
+}  // namespace dlc::darshan

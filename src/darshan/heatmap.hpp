@@ -1,0 +1,69 @@
+// Darshan heatmap module analogue: time-binned read/write byte volumes per
+// rank.  Darshan uses this for its runtime I/O intensity heatmaps; here it
+// also backs the Fig. 9-style aggregated timeline renders.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace dlc::darshan {
+
+class Heatmap {
+ public:
+  Heatmap(std::size_t ranks, SimDuration bin_width = kSecond)
+      : bin_width_(bin_width <= 0 ? kSecond : bin_width), per_rank_(ranks) {}
+
+  void add_read(std::size_t rank, SimTime t, std::uint64_t bytes) {
+    cell(rank, t).read_bytes += bytes;
+  }
+  void add_write(std::size_t rank, SimTime t, std::uint64_t bytes) {
+    cell(rank, t).write_bytes += bytes;
+  }
+
+  struct Cell {
+    std::uint64_t read_bytes = 0;
+    std::uint64_t write_bytes = 0;
+  };
+
+  std::size_t ranks() const { return per_rank_.size(); }
+  SimDuration bin_width() const { return bin_width_; }
+
+  /// Number of bins for `rank` (bins are created lazily as time advances).
+  std::size_t bins(std::size_t rank) const { return per_rank_[rank].size(); }
+  const Cell& at(std::size_t rank, std::size_t bin) const {
+    return per_rank_[rank][bin];
+  }
+
+  /// Sums a bin across all ranks.
+  Cell aggregate(std::size_t bin) const {
+    Cell total;
+    for (const auto& row : per_rank_) {
+      if (bin < row.size()) {
+        total.read_bytes += row[bin].read_bytes;
+        total.write_bytes += row[bin].write_bytes;
+      }
+    }
+    return total;
+  }
+
+  std::size_t max_bins() const {
+    std::size_t m = 0;
+    for (const auto& row : per_rank_) m = std::max(m, row.size());
+    return m;
+  }
+
+ private:
+  Cell& cell(std::size_t rank, SimTime t) {
+    const auto bin = static_cast<std::size_t>((t < 0 ? 0 : t) / bin_width_);
+    auto& row = per_rank_[rank];
+    if (row.size() <= bin) row.resize(bin + 1);
+    return row[bin];
+  }
+
+  SimDuration bin_width_;
+  std::vector<std::vector<Cell>> per_rank_;
+};
+
+}  // namespace dlc::darshan

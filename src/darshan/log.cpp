@@ -1,0 +1,240 @@
+#include "darshan/log.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/time.hpp"
+
+namespace dlc::darshan {
+
+namespace {
+
+constexpr char kMagic[4] = {'D', 'L', 'C', 'L'};
+constexpr std::uint32_t kVersion = 1;
+
+// --- primitive writers/readers (little-endian; explicit byte order so logs
+// are portable across hosts) ---
+
+template <typename T>
+void put(std::ostream& out, T v) {
+  static_assert(std::is_integral_v<T>);
+  unsigned char buf[sizeof(T)];
+  auto u = static_cast<std::make_unsigned_t<T>>(v);
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    buf[i] = static_cast<unsigned char>(u >> (8 * i));
+  }
+  out.write(reinterpret_cast<const char*>(buf), sizeof(T));
+}
+
+void put_double(std::ostream& out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put(out, bits);
+}
+
+void put_string(std::ostream& out, const std::string& s) {
+  put(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+template <typename T>
+bool get(std::istream& in, T& v) {
+  static_assert(std::is_integral_v<T>);
+  unsigned char buf[sizeof(T)];
+  if (!in.read(reinterpret_cast<char*>(buf), sizeof(T))) return false;
+  std::make_unsigned_t<T> u = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    u |= static_cast<std::make_unsigned_t<T>>(buf[i]) << (8 * i);
+  }
+  v = static_cast<T>(u);
+  return true;
+}
+
+bool get_double(std::istream& in, double& v) {
+  std::uint64_t bits;
+  if (!get(in, bits)) return false;
+  std::memcpy(&v, &bits, sizeof(v));
+  return true;
+}
+
+bool get_string(std::istream& in, std::string& s) {
+  std::uint32_t len;
+  if (!get(in, len)) return false;
+  if (len > (1u << 24)) return false;  // sanity cap
+  s.resize(len);
+  return static_cast<bool>(
+      in.read(s.data(), static_cast<std::streamsize>(len)));
+}
+
+void put_counters(std::ostream& out, const RecordCounters& c) {
+  put(out, c.opens);
+  put(out, c.closes);
+  put(out, c.reads);
+  put(out, c.writes);
+  put(out, c.flushes);
+  put(out, c.seeks);
+  put(out, c.bytes_read);
+  put(out, c.bytes_written);
+  put(out, c.max_byte_read);
+  put(out, c.max_byte_written);
+  put(out, c.rw_switches);
+  put(out, c.consec_reads);
+  put(out, c.consec_writes);
+  put(out, c.seq_reads);
+  put(out, c.seq_writes);
+  for (auto b : c.read_size_bins) put(out, b);
+  for (auto b : c.write_size_bins) put(out, b);
+  put_double(out, c.f_open_start);
+  put_double(out, c.f_open_end);
+  put_double(out, c.f_close_end);
+  put_double(out, c.f_read_time);
+  put_double(out, c.f_write_time);
+  put_double(out, c.f_meta_time);
+  put_double(out, c.f_max_read_time);
+  put_double(out, c.f_max_write_time);
+}
+
+bool get_counters(std::istream& in, RecordCounters& c) {
+  bool ok = get(in, c.opens) && get(in, c.closes) && get(in, c.reads) &&
+            get(in, c.writes) && get(in, c.flushes) && get(in, c.seeks) &&
+            get(in, c.bytes_read) && get(in, c.bytes_written) &&
+            get(in, c.max_byte_read) && get(in, c.max_byte_written) &&
+            get(in, c.rw_switches) && get(in, c.consec_reads) &&
+            get(in, c.consec_writes) && get(in, c.seq_reads) &&
+            get(in, c.seq_writes);
+  for (auto& b : c.read_size_bins) ok = ok && get(in, b);
+  for (auto& b : c.write_size_bins) ok = ok && get(in, b);
+  ok = ok && get_double(in, c.f_open_start) && get_double(in, c.f_open_end) &&
+       get_double(in, c.f_close_end) && get_double(in, c.f_read_time) &&
+       get_double(in, c.f_write_time) && get_double(in, c.f_meta_time) &&
+       get_double(in, c.f_max_read_time) && get_double(in, c.f_max_write_time);
+  return ok;
+}
+
+}  // namespace
+
+void write_log(const Log& log, std::ostream& out) {
+  out.write(kMagic, sizeof(kMagic));
+  put(out, kVersion);
+  put(out, log.job_id);
+  put(out, log.uid);
+  put(out, static_cast<std::uint64_t>(log.nprocs));
+  put(out, log.start_time);
+  put(out, log.end_time);
+  put_string(out, log.exe);
+  put(out, static_cast<std::uint64_t>(log.records.size()));
+  for (const auto& entry : log.records) {
+    const Record& r = entry.record;
+    put(out, static_cast<std::uint8_t>(r.module));
+    put(out, static_cast<std::int32_t>(r.rank));
+    put(out, r.record_id);
+    put_string(out, r.file_path);
+    put_counters(out, r.counters);
+    put(out, static_cast<std::uint64_t>(entry.dxt.size()));
+    for (const auto& seg : entry.dxt) {
+      put(out, static_cast<std::uint8_t>(seg.op));
+      put(out, seg.offset);
+      put(out, seg.length);
+      put(out, seg.start);
+      put(out, seg.end);
+    }
+    put(out, entry.dxt_dropped);
+  }
+}
+
+bool write_log_file(const Log& log, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  write_log(log, out);
+  return static_cast<bool>(out);
+}
+
+std::optional<Log> read_log(std::istream& in) {
+  char magic[4];
+  if (!in.read(magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return std::nullopt;
+  }
+  std::uint32_t version;
+  if (!get(in, version) || version != kVersion) return std::nullopt;
+  Log log;
+  std::uint64_t nprocs;
+  if (!get(in, log.job_id) || !get(in, log.uid) || !get(in, nprocs) ||
+      !get(in, log.start_time) || !get(in, log.end_time) ||
+      !get_string(in, log.exe)) {
+    return std::nullopt;
+  }
+  log.nprocs = nprocs;
+  std::uint64_t record_count;
+  if (!get(in, record_count) || record_count > (1u << 26)) {
+    return std::nullopt;
+  }
+  log.records.reserve(record_count);
+  for (std::uint64_t i = 0; i < record_count; ++i) {
+    Log::RecordEntry entry;
+    std::uint8_t module_raw;
+    std::int32_t rank;
+    if (!get(in, module_raw) || module_raw >= kModuleCount ||
+        !get(in, rank) || !get(in, entry.record.record_id) ||
+        !get_string(in, entry.record.file_path) ||
+        !get_counters(in, entry.record.counters)) {
+      return std::nullopt;
+    }
+    entry.record.module = static_cast<Module>(module_raw);
+    entry.record.rank = rank;
+    std::uint64_t seg_count;
+    if (!get(in, seg_count) || seg_count > (1u << 28)) return std::nullopt;
+    entry.dxt.reserve(seg_count);
+    for (std::uint64_t s = 0; s < seg_count; ++s) {
+      DxtSegment seg;
+      std::uint8_t op_raw;
+      if (!get(in, op_raw) || op_raw >= kOpCount || !get(in, seg.offset) ||
+          !get(in, seg.length) || !get(in, seg.start) || !get(in, seg.end)) {
+        return std::nullopt;
+      }
+      seg.op = static_cast<Op>(op_raw);
+      entry.dxt.push_back(seg);
+    }
+    if (!get(in, entry.dxt_dropped)) return std::nullopt;
+    log.records.push_back(std::move(entry));
+  }
+  return log;
+}
+
+std::optional<Log> read_log_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  return read_log(in);
+}
+
+std::string log_to_text(const Log& log) {
+  std::ostringstream out;
+  out << "# darshan log: job_id=" << log.job_id << " uid=" << log.uid
+      << " nprocs=" << log.nprocs << "\n"
+      << "# exe: " << log.exe << "\n"
+      << "# runtime: " << format_duration(log.end_time - log.start_time)
+      << "\n";
+  for (const auto& entry : log.records) {
+    const Record& r = entry.record;
+    const RecordCounters& c = r.counters;
+    out << module_name(r.module) << "\trank=" << r.rank << "\tid=0x"
+        << std::hex << r.record_id << std::dec << "\t" << r.file_path << "\n"
+        << "  opens=" << c.opens << " closes=" << c.closes
+        << " reads=" << c.reads << " writes=" << c.writes
+        << " flushes=" << c.flushes << " seeks=" << c.seeks << "\n"
+        << "  bytes_read=" << c.bytes_read
+        << " bytes_written=" << c.bytes_written
+        << " max_byte_read=" << c.max_byte_read
+        << " max_byte_written=" << c.max_byte_written
+        << " rw_switches=" << c.rw_switches << "\n"
+        << "  f_read_time=" << c.f_read_time
+        << " f_write_time=" << c.f_write_time
+        << " f_meta_time=" << c.f_meta_time << "\n"
+        << "  dxt_segments=" << entry.dxt.size()
+        << " dxt_dropped=" << entry.dxt_dropped << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace dlc::darshan

@@ -1,0 +1,34 @@
+// Darshan log serialisation: the post-run summary file darshan-runtime
+// writes at finalize, and the darshan-util-style reader.
+//
+// Format (little-endian, versioned):
+//   magic "DLCL", u32 version,
+//   job header (job_id, uid, nprocs, start/end ns, exe string),
+//   u64 record count, then per record:
+//     module u8, rank i32, record_id u64, path string,
+//     RecordCounters (fixed layout, field by field),
+//     u64 dxt segment count + segments, u64 dxt dropped.
+// Strings are u32 length + bytes.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "darshan/runtime.hpp"
+
+namespace dlc::darshan {
+
+/// Serialises a finalized log to a binary stream/file.
+void write_log(const Log& log, std::ostream& out);
+bool write_log_file(const Log& log, const std::string& path);
+
+/// Parses a log previously written by write_log.  Returns nullopt on
+/// malformed input (bad magic, truncation, unknown version).
+std::optional<Log> read_log(std::istream& in);
+std::optional<Log> read_log_file(const std::string& path);
+
+/// darshan-parser-style human-readable dump of one log (tests, examples).
+std::string log_to_text(const Log& log);
+
+}  // namespace dlc::darshan

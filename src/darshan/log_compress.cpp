@@ -1,0 +1,278 @@
+#include "darshan/log_compress.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace dlc::darshan {
+
+namespace {
+constexpr char kMagic[4] = {'D', 'L', 'C', '2'};
+}
+
+void put_varint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+bool get_varint(const std::string& in, std::size_t& pos, std::uint64_t& v) {
+  v = 0;
+  int shift = 0;
+  while (pos < in.size() && shift < 64) {
+    const auto byte = static_cast<unsigned char>(in[pos++]);
+    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if (!(byte & 0x80)) return true;
+    shift += 7;
+  }
+  return false;
+}
+
+namespace {
+
+void put_svarint(std::string& out, std::int64_t v) {
+  put_varint(out, zigzag_encode(v));
+}
+
+bool get_svarint(const std::string& in, std::size_t& pos, std::int64_t& v) {
+  std::uint64_t u;
+  if (!get_varint(in, pos, u)) return false;
+  v = zigzag_decode(u);
+  return true;
+}
+
+void put_string(std::string& out, const std::string& s) {
+  put_varint(out, s.size());
+  out += s;
+}
+
+bool get_string(const std::string& in, std::size_t& pos, std::string& s) {
+  std::uint64_t len;
+  if (!get_varint(in, pos, len) || pos + len > in.size()) return false;
+  s.assign(in, pos, len);
+  pos += len;
+  return true;
+}
+
+void put_double(std::string& out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  // Doubles don't varint well; store raw little-endian.
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>(bits >> (8 * i)));
+  }
+}
+
+bool get_double(const std::string& in, std::size_t& pos, double& v) {
+  if (pos + 8 > in.size()) return false;
+  std::uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) {
+    bits |= static_cast<std::uint64_t>(static_cast<unsigned char>(in[pos++]))
+            << (8 * i);
+  }
+  std::memcpy(&v, &bits, sizeof(v));
+  return true;
+}
+
+void put_counters(std::string& out, const RecordCounters& c) {
+  put_svarint(out, c.opens);
+  put_svarint(out, c.closes);
+  put_svarint(out, c.reads);
+  put_svarint(out, c.writes);
+  put_svarint(out, c.flushes);
+  put_svarint(out, c.seeks);
+  put_varint(out, c.bytes_read);
+  put_varint(out, c.bytes_written);
+  put_svarint(out, c.max_byte_read);
+  put_svarint(out, c.max_byte_written);
+  put_svarint(out, c.rw_switches);
+  put_svarint(out, c.consec_reads);
+  put_svarint(out, c.consec_writes);
+  put_svarint(out, c.seq_reads);
+  put_svarint(out, c.seq_writes);
+  for (auto b : c.read_size_bins) put_svarint(out, b);
+  for (auto b : c.write_size_bins) put_svarint(out, b);
+  put_double(out, c.f_open_start);
+  put_double(out, c.f_open_end);
+  put_double(out, c.f_close_end);
+  put_double(out, c.f_read_time);
+  put_double(out, c.f_write_time);
+  put_double(out, c.f_meta_time);
+  put_double(out, c.f_max_read_time);
+  put_double(out, c.f_max_write_time);
+}
+
+bool get_counters(const std::string& in, std::size_t& pos,
+                  RecordCounters& c) {
+  bool ok = get_svarint(in, pos, c.opens) && get_svarint(in, pos, c.closes) &&
+            get_svarint(in, pos, c.reads) && get_svarint(in, pos, c.writes) &&
+            get_svarint(in, pos, c.flushes) && get_svarint(in, pos, c.seeks) &&
+            get_varint(in, pos, c.bytes_read) &&
+            get_varint(in, pos, c.bytes_written) &&
+            get_svarint(in, pos, c.max_byte_read) &&
+            get_svarint(in, pos, c.max_byte_written) &&
+            get_svarint(in, pos, c.rw_switches) &&
+            get_svarint(in, pos, c.consec_reads) &&
+            get_svarint(in, pos, c.consec_writes) &&
+            get_svarint(in, pos, c.seq_reads) &&
+            get_svarint(in, pos, c.seq_writes);
+  for (auto& b : c.read_size_bins) ok = ok && get_svarint(in, pos, b);
+  for (auto& b : c.write_size_bins) ok = ok && get_svarint(in, pos, b);
+  ok = ok && get_double(in, pos, c.f_open_start) &&
+       get_double(in, pos, c.f_open_end) &&
+       get_double(in, pos, c.f_close_end) &&
+       get_double(in, pos, c.f_read_time) &&
+       get_double(in, pos, c.f_write_time) &&
+       get_double(in, pos, c.f_meta_time) &&
+       get_double(in, pos, c.f_max_read_time) &&
+       get_double(in, pos, c.f_max_write_time);
+  return ok;
+}
+
+}  // namespace
+
+void write_log_compressed(const Log& log, std::ostream& out) {
+  std::string buf;
+  buf.reserve(4096);
+  put_varint(buf, log.job_id);
+  put_varint(buf, log.uid);
+  put_varint(buf, log.nprocs);
+  put_svarint(buf, log.start_time);
+  put_svarint(buf, log.end_time);
+  put_string(buf, log.exe);
+  put_varint(buf, log.records.size());
+  for (const auto& entry : log.records) {
+    const Record& r = entry.record;
+    buf.push_back(static_cast<char>(r.module));
+    put_svarint(buf, r.rank);
+    put_varint(buf, r.record_id);
+    put_string(buf, r.file_path);
+    put_counters(buf, r.counters);
+
+    // DXT: delta-encoded (offsets/times are near-monotone within a
+    // record, so deltas are small and varint-friendly).
+    put_varint(buf, entry.dxt.size());
+    std::uint64_t prev_offset = 0;
+    SimTime prev_start = 0;
+    for (const auto& seg : entry.dxt) {
+      buf.push_back(static_cast<char>(seg.op));
+      put_svarint(buf, static_cast<std::int64_t>(seg.offset) -
+                           static_cast<std::int64_t>(prev_offset));
+      put_varint(buf, seg.length);
+      put_svarint(buf, seg.start - prev_start);
+      put_varint(buf, static_cast<std::uint64_t>(seg.end - seg.start));
+      prev_offset = seg.offset;
+      prev_start = seg.start;
+    }
+    put_varint(buf, entry.dxt_dropped);
+  }
+
+  out.write(kMagic, sizeof(kMagic));
+  const std::uint64_t size = buf.size();
+  char size_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    size_bytes[i] = static_cast<char>(size >> (8 * i));
+  }
+  out.write(size_bytes, sizeof(size_bytes));
+  out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+}
+
+bool write_log_compressed_file(const Log& log, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  write_log_compressed(log, out);
+  return static_cast<bool>(out);
+}
+
+std::optional<Log> read_log_compressed(std::istream& in) {
+  char magic[4];
+  if (!in.read(magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return std::nullopt;
+  }
+  char size_bytes[8];
+  if (!in.read(size_bytes, sizeof(size_bytes))) return std::nullopt;
+  std::uint64_t size = 0;
+  for (int i = 0; i < 8; ++i) {
+    size |= static_cast<std::uint64_t>(
+                static_cast<unsigned char>(size_bytes[i]))
+            << (8 * i);
+  }
+  if (size > (1ull << 32)) return std::nullopt;
+  std::string buf(size, '\0');
+  if (!in.read(buf.data(), static_cast<std::streamsize>(size))) {
+    return std::nullopt;
+  }
+
+  std::size_t pos = 0;
+  Log log;
+  std::uint64_t nprocs, record_count;
+  if (!get_varint(buf, pos, log.job_id) || !get_varint(buf, pos, log.uid) ||
+      !get_varint(buf, pos, nprocs) ||
+      !get_svarint(buf, pos, log.start_time) ||
+      !get_svarint(buf, pos, log.end_time) ||
+      !get_string(buf, pos, log.exe) ||
+      !get_varint(buf, pos, record_count) || record_count > (1u << 26)) {
+    return std::nullopt;
+  }
+  log.nprocs = nprocs;
+  log.records.reserve(record_count);
+  for (std::uint64_t i = 0; i < record_count; ++i) {
+    if (pos >= buf.size()) return std::nullopt;
+    Log::RecordEntry entry;
+    const auto module_raw = static_cast<std::uint8_t>(buf[pos++]);
+    if (module_raw >= kModuleCount) return std::nullopt;
+    entry.record.module = static_cast<Module>(module_raw);
+    std::int64_t rank;
+    if (!get_svarint(buf, pos, rank) ||
+        !get_varint(buf, pos, entry.record.record_id) ||
+        !get_string(buf, pos, entry.record.file_path) ||
+        !get_counters(buf, pos, entry.record.counters)) {
+      return std::nullopt;
+    }
+    entry.record.rank = static_cast<int>(rank);
+
+    std::uint64_t seg_count;
+    if (!get_varint(buf, pos, seg_count) || seg_count > (1u << 28)) {
+      return std::nullopt;
+    }
+    entry.dxt.reserve(seg_count);
+    std::uint64_t prev_offset = 0;
+    SimTime prev_start = 0;
+    for (std::uint64_t s = 0; s < seg_count; ++s) {
+      if (pos >= buf.size()) return std::nullopt;
+      DxtSegment seg;
+      const auto op_raw = static_cast<std::uint8_t>(buf[pos++]);
+      if (op_raw >= kOpCount) return std::nullopt;
+      seg.op = static_cast<Op>(op_raw);
+      std::int64_t offset_delta, start_delta;
+      std::uint64_t duration;
+      if (!get_svarint(buf, pos, offset_delta) ||
+          !get_varint(buf, pos, seg.length) ||
+          !get_svarint(buf, pos, start_delta) ||
+          !get_varint(buf, pos, duration)) {
+        return std::nullopt;
+      }
+      seg.offset = prev_offset + static_cast<std::uint64_t>(offset_delta);
+      seg.start = prev_start + start_delta;
+      seg.end = seg.start + static_cast<SimTime>(duration);
+      prev_offset = seg.offset;
+      prev_start = seg.start;
+      entry.dxt.push_back(seg);
+    }
+    if (!get_varint(buf, pos, entry.dxt_dropped)) return std::nullopt;
+    log.records.push_back(std::move(entry));
+  }
+  return log;
+}
+
+std::optional<Log> read_log_compressed_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  return read_log_compressed(in);
+}
+
+}  // namespace dlc::darshan

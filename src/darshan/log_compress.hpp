@@ -1,0 +1,48 @@
+// Compressed darshan log format.
+//
+// Real darshan writes zlib-compressed logs; a full-DXT trace of a big job
+// dominates the log size.  This version-2 format compresses exactly where
+// the redundancy lives, with no external dependency:
+//   * DXT segments are delta-encoded (offsets and timestamps are nearly
+//     monotone within a record) and stored as LEB128 varints with zigzag
+//     for the signed deltas;
+//   * counters are varint-encoded (most are small);
+//   * strings stay raw (paths dominate neither count nor entropy here).
+// Typical DXT-heavy logs shrink 3-6x (bench_log measures it).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "darshan/runtime.hpp"
+
+namespace dlc::darshan {
+
+/// Writes the v2 (compressed) log format.
+void write_log_compressed(const Log& log, std::ostream& out);
+bool write_log_compressed_file(const Log& log, const std::string& path);
+
+/// Reads a v2 log; nullopt on malformed input.
+std::optional<Log> read_log_compressed(std::istream& in);
+std::optional<Log> read_log_compressed_file(const std::string& path);
+
+// --- building blocks (exposed for tests) ----------------------------------
+
+/// LEB128 unsigned varint.
+void put_varint(std::string& out, std::uint64_t v);
+/// Returns false on truncation; advances `pos`.
+bool get_varint(const std::string& in, std::size_t& pos, std::uint64_t& v);
+
+/// Zigzag mapping for signed deltas.
+constexpr std::uint64_t zigzag_encode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+constexpr std::int64_t zigzag_decode(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+}  // namespace dlc::darshan

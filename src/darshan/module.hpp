@@ -1,0 +1,41 @@
+// Darshan instrumentation modules and operation kinds.
+//
+// Mirrors darshan-runtime's module taxonomy for the layers the paper's
+// connector publishes: POSIX, MPI-IO, STDIO and the two HDF5 modules (H5F
+// file-level, H5D dataset-level).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace dlc::darshan {
+
+enum class Module : std::uint8_t {
+  kPosix = 0,
+  kMpiio = 1,
+  kStdio = 2,
+  kH5F = 3,
+  kH5D = 4,
+};
+constexpr std::size_t kModuleCount = 5;
+
+/// Module name as it appears in the connector JSON ("POSIX", "MPIIO", ...).
+std::string_view module_name(Module m);
+
+/// Parses a module name; returns false on unknown names.
+bool module_from_name(std::string_view name, Module& out);
+
+enum class Op : std::uint8_t {
+  kOpen = 0,
+  kRead = 1,
+  kWrite = 2,
+  kClose = 3,
+  kFlush = 4,
+};
+constexpr std::size_t kOpCount = 5;
+
+/// Op name as it appears in the connector JSON ("open", "read", ...).
+std::string_view op_name(Op op);
+bool op_from_name(std::string_view name, Op& out);
+
+}  // namespace dlc::darshan

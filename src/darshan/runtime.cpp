@@ -1,0 +1,396 @@
+#include "darshan/runtime.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace dlc::darshan {
+
+Runtime::Runtime(sim::Engine& engine, simfs::FileSystem& fs, simhpc::Job& job,
+                 RuntimeConfig config)
+    : engine_(engine),
+      fs_(fs),
+      job_(job),
+      config_(std::move(config)),
+      heatmap_(job.rank_count(), config_.heatmap_bin),
+      rank_states_(job.rank_count()) {}
+
+Runtime::RecordState& Runtime::record_state(Module module, int rank,
+                                            const std::string& path) {
+  const RecordKey key{module, rank, fnv1a64(path)};
+  auto it = records_.find(key);
+  if (it == records_.end()) {
+    RecordState state;
+    state.record.module = module;
+    state.record.rank = rank;
+    state.record.record_id = key.record_id;
+    state.record.file_path = path;
+    state.dxt = DxtTrace(config_.dxt_max_segments);
+    it = records_.emplace(key, std::move(state)).first;
+  }
+  return it->second;
+}
+
+Runtime::RankState& Runtime::rank_state(int rank) {
+  return rank_states_.at(static_cast<std::size_t>(rank));
+}
+
+Runtime::OpenFile& Runtime::file(int rank, Fd fd) {
+  auto& fds = rank_state(rank).fds;
+  if (fd < 0 || static_cast<std::size_t>(fd) >= fds.size() ||
+      !fds[static_cast<std::size_t>(fd)].open) {
+    throw std::invalid_argument("darshan: bad fd " + std::to_string(fd));
+  }
+  return fds[static_cast<std::size_t>(fd)];
+}
+
+SimDuration Runtime::emit(IoEvent event) {
+  ++event_count_;
+  return hook_ ? hook_(event) : 0;
+}
+
+void Runtime::note_access(RecordState& state, Op op, std::uint64_t offset,
+                          std::uint64_t bytes) {
+  auto& c = state.record.counters;
+  const auto bin = size_bin_index(bytes);
+  const std::uint64_t end_offset = offset + bytes;
+  if (op == Op::kRead) {
+    ++c.reads;
+    c.bytes_read += bytes;
+    c.max_byte_read =
+        std::max(c.max_byte_read, static_cast<std::int64_t>(end_offset) - 1);
+    ++c.read_size_bins[bin];
+    if (state.has_read) {
+      if (offset == state.next_read_offset) {
+        ++c.consec_reads;
+        ++c.seq_reads;
+      } else if (offset > state.next_read_offset) {
+        ++c.seq_reads;
+      }
+    }
+    state.next_read_offset = end_offset;
+    state.has_read = true;
+    if (state.last_rw == 'w') ++c.rw_switches;
+    state.last_rw = 'r';
+  } else {
+    ++c.writes;
+    c.bytes_written += bytes;
+    c.max_byte_written =
+        std::max(c.max_byte_written, static_cast<std::int64_t>(end_offset) - 1);
+    ++c.write_size_bins[bin];
+    if (state.has_write) {
+      if (offset == state.next_write_offset) {
+        ++c.consec_writes;
+        ++c.seq_writes;
+      } else if (offset > state.next_write_offset) {
+        ++c.seq_writes;
+      }
+    }
+    state.next_write_offset = end_offset;
+    state.has_write = true;
+    if (state.last_rw == 'r') ++c.rw_switches;
+    state.last_rw = 'w';
+  }
+}
+
+std::int64_t Runtime::bump_cnt(Module module, int rank) {
+  return ++rank_state(rank)
+               .cnt_since_close[static_cast<std::size_t>(module)];
+}
+
+sim::Task<Fd> RankIo::open(Module module, std::string path, bool create,
+                           simfs::IoFlags flags) {
+  Runtime& rt = *runtime_;
+  const SimTime start = rt.engine_.now();
+  co_await rt.fs_.open(static_cast<int>(rt.job_.node_of_rank(
+                           static_cast<std::size_t>(rank_))),
+                       path, create);
+  const SimTime end = rt.engine_.now();
+
+  auto& state = rt.record_state(module, rank_, path);
+  auto& c = state.record.counters;
+  ++c.opens;
+  const double open_start = to_seconds(start);
+  if (c.f_open_start < 0 || open_start < c.f_open_start) {
+    c.f_open_start = open_start;
+  }
+  c.f_open_end = std::max(c.f_open_end, to_seconds(end));
+  c.f_meta_time += to_seconds(end - start);
+
+  // Allocate an fd slot (reuse closed slots).
+  auto& fds = rt.rank_state(rank_).fds;
+  Fd fd = -1;
+  for (std::size_t i = 0; i < fds.size(); ++i) {
+    if (!fds[i].open) {
+      fd = static_cast<Fd>(i);
+      break;
+    }
+  }
+  if (fd < 0) {
+    fd = static_cast<Fd>(fds.size());
+    fds.emplace_back();
+  }
+  auto& of = fds[static_cast<std::size_t>(fd)];
+  of.module = module;
+  of.path = std::move(path);
+  of.record_id = state.record.record_id;
+  of.cursor = 0;
+  of.open = true;
+
+  IoEvent event;
+  event.module = module;
+  event.op = Op::kOpen;
+  event.rank = rank_;
+  event.record_id = of.record_id;
+  event.file_path = &state.record.file_path;
+  event.cnt = rt.bump_cnt(module, rank_);
+  event.start = start;
+  event.end = end;
+  event.collective = flags.collective;
+  if (const SimDuration hook_cost = rt.emit(event); hook_cost > 0) {
+    co_await rt.engine_.delay(hook_cost);
+  }
+  co_return fd;
+}
+
+sim::Task<std::uint64_t> Runtime::data_op(int rank, Fd fd, Op op,
+                                          std::uint64_t offset,
+                                          std::uint64_t bytes,
+                                          simfs::IoFlags flags,
+                                          const Hdf5Info* h5) {
+  OpenFile& of = file(rank, fd);
+  const Module module = of.module;
+  const std::string path = of.path;  // stable copy across the await
+  const int node = static_cast<int>(
+      job_.node_of_rank(static_cast<std::size_t>(rank)));
+
+  const SimTime start = engine_.now();
+  if (op == Op::kRead) {
+    co_await fs_.read(node, path, offset, bytes, flags);
+  } else {
+    co_await fs_.write(node, path, offset, bytes, flags);
+  }
+  const SimTime end = engine_.now();
+  const double dur = to_seconds(end - start);
+
+  // MPI-IO also shows up at the POSIX layer beneath it.  Collective ops
+  // decompose into two contiguous phase accesses (two-phase I/O).
+  if (module == Module::kMpiio && config_.mpiio_emits_posix) {
+    auto& posix = record_state(Module::kPosix, rank, path);
+    const int sub_events = flags.collective ? 2 : 1;
+    const std::uint64_t sub_bytes =
+        bytes / static_cast<std::uint64_t>(sub_events);
+    for (int i = 0; i < sub_events; ++i) {
+      const std::uint64_t sub_offset =
+          offset + static_cast<std::uint64_t>(i) * sub_bytes;
+      note_access(posix, op, sub_offset, sub_bytes);
+      IoEvent sub;
+      sub.module = Module::kPosix;
+      sub.op = op;
+      sub.rank = rank;
+      sub.record_id = posix.record.record_id;
+      sub.file_path = &posix.record.file_path;
+      sub.max_byte = static_cast<std::int64_t>(sub_offset + sub_bytes) - 1;
+      sub.switches = posix.record.counters.rw_switches;
+      sub.cnt = bump_cnt(Module::kPosix, rank);
+      sub.offset = sub_offset;
+      sub.length = sub_bytes;
+      sub.start = start;
+      sub.end = end;
+      sub.collective = flags.collective;
+      if (const SimDuration hook_cost = emit(sub); hook_cost > 0) {
+        co_await engine_.delay(hook_cost);
+      }
+    }
+  }
+
+  auto& state = record_state(module, rank, path);
+  auto& c = state.record.counters;
+  const auto end_offset = offset + bytes;
+  note_access(state, op, offset, bytes);
+  if (op == Op::kRead) {
+    c.f_read_time += dur;
+    c.f_max_read_time = std::max(c.f_max_read_time, dur);
+    heatmap_.add_read(static_cast<std::size_t>(rank), end, bytes);
+  } else {
+    c.f_write_time += dur;
+    c.f_max_write_time = std::max(c.f_max_write_time, dur);
+    heatmap_.add_write(static_cast<std::size_t>(rank), end, bytes);
+  }
+
+  if (config_.dxt_enabled &&
+      (module == Module::kPosix || module == Module::kMpiio)) {
+    // DXT traces the POSIX and MPI-IO layers (per the darshan docs).
+    state.dxt.add(DxtSegment{op, offset, bytes, start, end});
+  }
+
+  IoEvent event;
+  event.module = module;
+  event.op = op;
+  event.rank = rank;
+  event.record_id = state.record.record_id;
+  event.file_path = &state.record.file_path;
+  event.max_byte = static_cast<std::int64_t>(end_offset) - 1;
+  event.switches = c.rw_switches;
+  if (module == Module::kH5F || module == Module::kH5D) {
+    event.flushes = c.flushes;
+  }
+  event.cnt = bump_cnt(module, rank);
+  event.offset = offset;
+  event.length = bytes;
+  event.start = start;
+  event.end = end;
+  event.collective = flags.collective;
+  if (h5) event.h5 = *h5;
+  if (const SimDuration hook_cost = emit(event); hook_cost > 0) {
+    co_await engine_.delay(hook_cost);
+  }
+
+  // Advance the fd cursor.  Re-resolve: the fd table may have reallocated
+  // while this coroutine was suspended (another rank opening files).
+  file(rank, fd).cursor = end_offset;
+  co_return bytes;
+}
+
+sim::Task<std::uint64_t> RankIo::read(Fd fd, std::uint64_t bytes,
+                                      simfs::IoFlags flags) {
+  const std::uint64_t offset = runtime_->file(rank_, fd).cursor;
+  return runtime_->data_op(rank_, fd, Op::kRead, offset, bytes, flags,
+                           nullptr);
+}
+
+sim::Task<std::uint64_t> RankIo::write(Fd fd, std::uint64_t bytes,
+                                       simfs::IoFlags flags) {
+  const std::uint64_t offset = runtime_->file(rank_, fd).cursor;
+  return runtime_->data_op(rank_, fd, Op::kWrite, offset, bytes, flags,
+                           nullptr);
+}
+
+sim::Task<std::uint64_t> RankIo::read_at(Fd fd, std::uint64_t offset,
+                                         std::uint64_t bytes,
+                                         simfs::IoFlags flags) {
+  return runtime_->data_op(rank_, fd, Op::kRead, offset, bytes, flags,
+                           nullptr);
+}
+
+sim::Task<std::uint64_t> RankIo::write_at(Fd fd, std::uint64_t offset,
+                                          std::uint64_t bytes,
+                                          simfs::IoFlags flags) {
+  return runtime_->data_op(rank_, fd, Op::kWrite, offset, bytes, flags,
+                           nullptr);
+}
+
+sim::Task<std::uint64_t> RankIo::h5d_read(Fd fd, const Hdf5Info& info,
+                                          std::uint64_t offset,
+                                          std::uint64_t bytes) {
+  return runtime_->data_op(rank_, fd, Op::kRead, offset, bytes, {}, &info);
+}
+
+sim::Task<std::uint64_t> RankIo::h5d_write(Fd fd, const Hdf5Info& info,
+                                           std::uint64_t offset,
+                                           std::uint64_t bytes) {
+  return runtime_->data_op(rank_, fd, Op::kWrite, offset, bytes, {}, &info);
+}
+
+void RankIo::seek(Fd fd, std::uint64_t offset) {
+  Runtime& rt = *runtime_;
+  auto& of = rt.file(rank_, fd);
+  of.cursor = offset;
+  ++rt.record_state(of.module, rank_, of.path).record.counters.seeks;
+}
+
+sim::Task<void> RankIo::flush(Fd fd) {
+  Runtime& rt = *runtime_;
+  // Copy identity before awaiting (fd table may move).
+  const Module module = rt.file(rank_, fd).module;
+  const std::string path = rt.file(rank_, fd).path;
+  const std::uint64_t record_id = rt.file(rank_, fd).record_id;
+  const int node =
+      static_cast<int>(rt.job_.node_of_rank(static_cast<std::size_t>(rank_)));
+  const SimTime start = rt.engine_.now();
+  co_await rt.fs_.flush(node, path);
+  const SimTime end = rt.engine_.now();
+
+  auto& state = rt.record_state(module, rank_, path);
+  auto& c = state.record.counters;
+  ++c.flushes;
+  c.f_meta_time += to_seconds(end - start);
+
+  IoEvent event;
+  event.module = module;
+  event.op = Op::kFlush;
+  event.rank = rank_;
+  event.record_id = record_id;
+  event.file_path = &state.record.file_path;
+  event.flushes = c.flushes;
+  event.switches = c.rw_switches;
+  event.cnt = rt.bump_cnt(module, rank_);
+  event.start = start;
+  event.end = end;
+  if (const SimDuration hook_cost = rt.emit(event); hook_cost > 0) {
+    co_await rt.engine_.delay(hook_cost);
+  }
+}
+
+sim::Task<void> RankIo::close(Fd fd) {
+  Runtime& rt = *runtime_;
+  const Module module = rt.file(rank_, fd).module;
+  const std::string path = rt.file(rank_, fd).path;
+  const std::uint64_t record_id = rt.file(rank_, fd).record_id;
+  const int node =
+      static_cast<int>(rt.job_.node_of_rank(static_cast<std::size_t>(rank_)));
+  const SimTime start = rt.engine_.now();
+  co_await rt.fs_.close(node, path);
+  const SimTime end = rt.engine_.now();
+
+  auto& state = rt.record_state(module, rank_, path);
+  auto& c = state.record.counters;
+  ++c.closes;
+  c.f_close_end = std::max(c.f_close_end, to_seconds(end));
+  c.f_meta_time += to_seconds(end - start);
+
+  IoEvent event;
+  event.module = module;
+  event.op = Op::kClose;
+  event.rank = rank_;
+  event.record_id = record_id;
+  event.file_path = &state.record.file_path;
+  event.cnt = rt.bump_cnt(module, rank_);
+  event.start = start;
+  event.end = end;
+  if (const SimDuration hook_cost = rt.emit(event); hook_cost > 0) {
+    co_await rt.engine_.delay(hook_cost);
+  }
+
+  // Table I: "cnt ... resets to 0 after each close".
+  rt.rank_state(rank_).cnt_since_close[static_cast<std::size_t>(module)] = 0;
+  rt.file(rank_, fd).open = false;
+}
+
+Log Runtime::finalize() const {
+  Log log;
+  log.job_id = job_.job_id();
+  log.uid = job_.uid();
+  log.exe = config_.exe;
+  log.nprocs = job_.rank_count();
+  log.start_time = job_.start_time();
+  log.end_time = job_.end_time();
+  log.records.reserve(records_.size());
+  for (const auto& [key, state] : records_) {
+    Log::RecordEntry entry;
+    entry.record = state.record;
+    entry.dxt = state.dxt.segments();
+    entry.dxt_dropped = state.dxt.dropped();
+    log.records.push_back(std::move(entry));
+  }
+  return log;
+}
+
+std::vector<const Record*> Runtime::records() const {
+  std::vector<const Record*> out;
+  out.reserve(records_.size());
+  for (const auto& [key, state] : records_) out.push_back(&state.record);
+  return out;
+}
+
+}  // namespace dlc::darshan

@@ -1,0 +1,174 @@
+#include "dsos/container.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dlc::dsos {
+
+bool matches(const Object& obj, const Filter& filter) {
+  for (const Condition& cond : filter) {
+    const auto attr_id = obj.schema->find_attr(cond.attr);
+    if (!attr_id) return false;
+    const int c = compare_values(obj.values[*attr_id], cond.value);
+    switch (cond.cmp) {
+      case Cmp::kEq:
+        if (c != 0) return false;
+        break;
+      case Cmp::kNe:
+        if (c == 0) return false;
+        break;
+      case Cmp::kLt:
+        if (c >= 0) return false;
+        break;
+      case Cmp::kLe:
+        if (c > 0) return false;
+        break;
+      case Cmp::kGt:
+        if (c <= 0) return false;
+        break;
+      case Cmp::kGe:
+        if (c < 0) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+void Container::register_schema(SchemaPtr schema) {
+  // Idempotent: re-registering (e.g. a second decoder joining a shared
+  // cluster) must not discard existing indices.
+  if (schemas_.contains(schema->name())) return;
+  SchemaState state;
+  state.schema = schema;
+  for (const IndexDef& def : schema->indices()) {
+    state.indices.emplace_back(def);
+  }
+  schemas_.emplace(schema->name(), std::move(state));
+}
+
+SchemaPtr Container::schema(std::string_view name) const {
+  const auto it = schemas_.find(name);
+  return it == schemas_.end() ? nullptr : it->second.schema;
+}
+
+const Container::SchemaState& Container::schema_state(
+    std::string_view name) const {
+  const auto it = schemas_.find(name);
+  if (it == schemas_.end()) {
+    throw std::out_of_range("dsos: unknown schema " + std::string(name));
+  }
+  return it->second;
+}
+
+std::size_t Container::insert(Object obj) {
+  auto it = schemas_.find(obj.schema->name());
+  if (it == schemas_.end()) {
+    throw std::out_of_range("dsos: insert into unregistered schema " +
+                            obj.schema->name());
+  }
+  const std::size_t slot = objects_.size();
+  objects_.push_back(std::move(obj));
+  for (Index& index : it->second.indices) {
+    index.insert(objects_.back(), slot);
+  }
+  return slot;
+}
+
+std::vector<QueryHit> Container::query(std::string_view schema_name,
+                                       std::string_view index_name,
+                                       const Filter& filter) const {
+  const SchemaState& state = schema_state(schema_name);
+  const Schema& schema = *state.schema;
+  const auto index_pos = schema.find_index(index_name);
+  if (!index_pos) {
+    throw std::out_of_range("dsos: unknown index " + std::string(index_name));
+  }
+  const Index& index = state.indices[*index_pos];
+  const IndexDef& def = index.def();
+
+  // Longest run of equality conditions covering the leading key attrs.
+  std::vector<Value> leading;
+  std::vector<bool> consumed(filter.size(), false);
+  for (std::size_t key_pos = 0; key_pos < def.attr_ids.size(); ++key_pos) {
+    const std::string& attr_name = schema.attrs()[def.attr_ids[key_pos]].name;
+    bool found = false;
+    for (std::size_t f = 0; f < filter.size(); ++f) {
+      if (!consumed[f] && filter[f].cmp == Cmp::kEq &&
+          filter[f].attr == attr_name) {
+        leading.push_back(filter[f].value);
+        consumed[f] = true;
+        found = true;
+        break;
+      }
+    }
+    if (!found) break;
+  }
+
+  const std::vector<std::size_t> slots =
+      leading.empty()
+          ? index.full_scan()
+          : index.prefix_scan(encode_prefix(schema, def, leading));
+  last_scanned_ = slots.size();
+
+  // Residual conditions (those not folded into the prefix).
+  Filter residual;
+  for (std::size_t f = 0; f < filter.size(); ++f) {
+    if (!consumed[f]) residual.push_back(filter[f]);
+  }
+
+  std::vector<QueryHit> hits;
+  hits.reserve(slots.size());
+  for (std::size_t slot : slots) {
+    const Object& obj = objects_[slot];
+    if (residual.empty() || matches(obj, residual)) {
+      hits.push_back(QueryHit{encode_key(obj, def), &obj});
+    }
+  }
+  return hits;
+}
+
+const IndexDef& Container::best_index(std::string_view schema_name,
+                                      const Filter& filter) const {
+  const SchemaState& state = schema_state(schema_name);
+  const Schema& schema = *state.schema;
+  if (schema.indices().empty()) {
+    throw std::out_of_range("dsos: schema has no indices");
+  }
+  std::size_t best = 0;
+  std::size_t best_prefix = 0;
+  for (std::size_t i = 0; i < schema.indices().size(); ++i) {
+    const IndexDef& def = schema.indices()[i];
+    std::size_t prefix = 0;
+    for (const std::size_t attr_id : def.attr_ids) {
+      const std::string& attr_name = schema.attrs()[attr_id].name;
+      const bool has_eq = std::any_of(
+          filter.begin(), filter.end(), [&](const Condition& c) {
+            return c.cmp == Cmp::kEq && c.attr == attr_name;
+          });
+      if (!has_eq) break;
+      ++prefix;
+    }
+    if (prefix > best_prefix) {
+      best_prefix = prefix;
+      best = i;
+    }
+  }
+  return schema.indices()[best];
+}
+
+std::vector<QueryHit> Container::query_auto(std::string_view schema_name,
+                                            const Filter& filter) const {
+  return query(schema_name, best_index(schema_name, filter).name, filter);
+}
+
+std::vector<const Object*> Container::select(std::string_view schema_name,
+                                             std::string_view index_name,
+                                             const Filter& filter) const {
+  std::vector<const Object*> out;
+  for (const QueryHit& hit : query(schema_name, index_name, filter)) {
+    out.push_back(hit.object);
+  }
+  return out;
+}
+
+}  // namespace dlc::dsos

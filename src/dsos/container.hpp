@@ -1,0 +1,89 @@
+// DSOS container: object storage for one or more schemas with their
+// ordered indices, plus the filtered query machinery.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dsos/index.hpp"
+#include "dsos/schema.hpp"
+
+namespace dlc::dsos {
+
+enum class Cmp : std::uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+struct Condition {
+  std::string attr;
+  Cmp cmp = Cmp::kEq;
+  Value value;
+};
+
+/// Conjunction of conditions (DSOS filter expressions are ANDs).
+using Filter = std::vector<Condition>;
+
+/// True when `obj` satisfies every condition.
+bool matches(const Object& obj, const Filter& filter);
+
+struct QueryHit {
+  KeyBytes key;          // encoded index key (for cross-shard merging)
+  const Object* object;  // borrowed from the container
+};
+
+class Container {
+ public:
+  /// Registers a schema; objects of unregistered schemas are rejected.
+  void register_schema(SchemaPtr schema);
+  SchemaPtr schema(std::string_view name) const;
+
+  /// Inserts an object (copies into the container arena) and updates all
+  /// of its schema's indices.  Returns the object slot.
+  std::size_t insert(Object obj);
+
+  std::size_t size() const { return objects_.size(); }
+  const Object& object(std::size_t slot) const { return objects_[slot]; }
+
+  /// Index-ordered query: uses the longest equality prefix of `filter`
+  /// matching the index's leading attributes as a byte-range scan, then
+  /// applies the remaining conditions.
+  std::vector<QueryHit> query(std::string_view schema_name,
+                              std::string_view index_name,
+                              const Filter& filter = {}) const;
+
+  /// Convenience: query returning objects only.
+  std::vector<const Object*> select(std::string_view schema_name,
+                                    std::string_view index_name,
+                                    const Filter& filter = {}) const;
+
+  /// Query planning: the index whose leading attributes match the longest
+  /// run of equality conditions in `filter` (ties broken by declaration
+  /// order).  This is what a SOS client library does when the caller does
+  /// not name an index.
+  const IndexDef& best_index(std::string_view schema_name,
+                             const Filter& filter) const;
+
+  /// query() against the planner-chosen index.
+  std::vector<QueryHit> query_auto(std::string_view schema_name,
+                                   const Filter& filter = {}) const;
+
+  /// Diagnostic: how many index entries were scanned by the last query on
+  /// this container (measures joint-index selectivity; bench_dsos).
+  std::uint64_t last_scanned() const { return last_scanned_; }
+
+ private:
+  struct SchemaState {
+    SchemaPtr schema;
+    std::vector<Index> indices;
+  };
+
+  const SchemaState& schema_state(std::string_view name) const;
+
+  std::deque<Object> objects_;
+  std::map<std::string, SchemaState, std::less<>> schemas_;
+  mutable std::uint64_t last_scanned_ = 0;
+};
+
+}  // namespace dlc::dsos

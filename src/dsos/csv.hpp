@@ -1,0 +1,32 @@
+// CSV import/export for DSOS objects (the paper's pipeline converts the
+// JSON stream messages to CSV before storing to DSOS; the command-line
+// examination workflow reads them back out).
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dsos/cluster.hpp"
+#include "dsos/container.hpp"
+
+namespace dlc::dsos {
+
+/// Header line for a schema: attribute names joined by commas.
+std::string csv_header(const Schema& schema);
+
+/// One CSV row for an object (RFC 4180-escaped strings; doubles printed
+/// with enough digits to round-trip).
+std::string csv_row(const Object& obj);
+
+/// Parses one row against `schema`; returns nullopt on arity or numeric
+/// conversion failure.
+std::optional<Object> csv_parse_row(const SchemaPtr& schema,
+                                    const std::string& line);
+
+/// Writes header + all hits of a query to `out`.
+void export_csv(std::ostream& out, const Schema& schema,
+                const std::vector<const Object*>& objects);
+
+}  // namespace dlc::dsos

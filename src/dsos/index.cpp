@@ -1,0 +1,120 @@
+#include "dsos/index.hpp"
+
+#include <cstring>
+
+namespace dlc::dsos {
+
+namespace {
+void put_be64(KeyBytes& out, std::uint64_t u) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<char>((u >> shift) & 0xFF));
+  }
+}
+}  // namespace
+
+void encode_uint64(KeyBytes& out, std::uint64_t v) { put_be64(out, v); }
+
+void encode_int64(KeyBytes& out, std::int64_t v) {
+  put_be64(out, static_cast<std::uint64_t>(v) ^ (1ULL << 63));
+}
+
+void encode_double(KeyBytes& out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  if (bits & (1ULL << 63)) {
+    bits = ~bits;  // negative: reverse order
+  } else {
+    bits |= (1ULL << 63);  // positive: above all negatives
+  }
+  put_be64(out, bits);
+}
+
+void encode_string(KeyBytes& out, std::string_view v) {
+  for (char c : v) {
+    out.push_back(c);
+    if (c == '\0') out.push_back('\x01');
+  }
+  out.push_back('\0');
+  out.push_back('\0');
+}
+
+void encode_value(KeyBytes& out, const Value& v, AttrType type) {
+  switch (type) {
+    case AttrType::kInt64:
+      encode_int64(out, std::get<std::int64_t>(v));
+      break;
+    case AttrType::kUint64:
+      encode_uint64(out, std::get<std::uint64_t>(v));
+      break;
+    case AttrType::kDouble:
+    case AttrType::kTimestamp:
+      encode_double(out, std::get<double>(v));
+      break;
+    case AttrType::kString:
+      encode_string(out, std::get<std::string>(v));
+      break;
+  }
+}
+
+KeyBytes encode_key(const Object& obj, const IndexDef& def) {
+  KeyBytes key;
+  key.reserve(def.attr_ids.size() * 9);
+  for (std::size_t attr_id : def.attr_ids) {
+    encode_value(key, obj.values[attr_id], obj.schema->attrs()[attr_id].type);
+  }
+  return key;
+}
+
+KeyBytes encode_prefix(const Schema& schema, const IndexDef& def,
+                       const std::vector<Value>& leading_values) {
+  if (leading_values.size() > def.attr_ids.size()) {
+    throw std::invalid_argument("prefix longer than index key");
+  }
+  KeyBytes key;
+  for (std::size_t i = 0; i < leading_values.size(); ++i) {
+    const std::size_t attr_id = def.attr_ids[i];
+    const AttrType type = schema.attrs()[attr_id].type;
+    if (!value_matches_type(leading_values[i], type)) {
+      throw std::invalid_argument("prefix value type mismatch");
+    }
+    encode_value(key, leading_values[i], type);
+  }
+  return key;
+}
+
+KeyBytes prefix_upper_bound(KeyBytes p) {
+  while (!p.empty() && static_cast<unsigned char>(p.back()) == 0xFF) {
+    p.pop_back();
+  }
+  if (!p.empty()) {
+    p.back() = static_cast<char>(static_cast<unsigned char>(p.back()) + 1);
+  }
+  return p;  // empty => unbounded above
+}
+
+void Index::insert(const Object& obj, std::size_t slot) {
+  map_.emplace(encode_key(obj, def_), slot);
+}
+
+std::vector<std::size_t> Index::prefix_scan(const KeyBytes& prefix) const {
+  const KeyBytes hi = prefix_upper_bound(prefix);
+  return range_scan(prefix, hi);
+}
+
+std::vector<std::size_t> Index::range_scan(const KeyBytes& lo,
+                                           const KeyBytes& hi) const {
+  auto it = lo.empty() ? map_.begin() : map_.lower_bound(lo);
+  const auto end = hi.empty() ? map_.end() : map_.lower_bound(hi);
+  std::vector<std::size_t> slots;
+  for (; it != end; ++it) slots.push_back(it->second);
+  return slots;
+}
+
+std::vector<std::size_t> Index::full_scan() const {
+  std::vector<std::size_t> slots;
+  slots.reserve(map_.size());
+  for (const auto& [key, slot] : map_) slots.push_back(slot);
+  return slots;
+}
+
+}  // namespace dlc::dsos

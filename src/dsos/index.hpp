@@ -1,0 +1,80 @@
+// Order-preserving composite key encoding and the ordered index.
+//
+// Keys are encoded so that plain byte-wise comparison (std::string's
+// operator<) matches the typed ordering of the attribute tuple:
+//   * uint64      — 8 bytes big-endian
+//   * int64       — sign bit flipped, then big-endian
+//   * double/ts   — IEEE bits; negative values bit-inverted, positive get
+//                   the sign bit set (classic total-order trick)
+//   * string      — bytes with 0x00 escaped as {0x00,0x01}, terminated by
+//                   {0x00,0x00} so shorter strings sort before extensions
+//
+// Because the encoding is prefix-composable, an equality constraint on the
+// leading attributes of a joint index becomes a byte-prefix range scan —
+// exactly the DSOS query pattern the paper describes for job_rank_time.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dsos/schema.hpp"
+
+namespace dlc::dsos {
+
+/// Encoded composite key (byte-comparable).
+using KeyBytes = std::string;
+
+void encode_int64(KeyBytes& out, std::int64_t v);
+void encode_uint64(KeyBytes& out, std::uint64_t v);
+void encode_double(KeyBytes& out, double v);
+void encode_string(KeyBytes& out, std::string_view v);
+
+/// Encodes one typed value per its attribute type.
+void encode_value(KeyBytes& out, const Value& v, AttrType type);
+
+/// Builds the composite key of `obj` under index `def`.
+KeyBytes encode_key(const Object& obj, const IndexDef& def);
+
+/// Given values for the first k attrs of `def`, builds the byte prefix
+/// shared by all keys with those leading values.
+KeyBytes encode_prefix(const Schema& schema, const IndexDef& def,
+                       const std::vector<Value>& leading_values);
+
+/// Smallest string strictly greater than every string with prefix `p`
+/// (i.e. p with a 0xFF... increment); empty optional when p is all-0xFF.
+KeyBytes prefix_upper_bound(KeyBytes p);
+
+/// Ordered multimap from encoded key to object slot (insertion-stable for
+/// duplicate keys).
+class Index {
+ public:
+  explicit Index(IndexDef def) : def_(std::move(def)) {}
+
+  const IndexDef& def() const { return def_; }
+
+  void insert(const Object& obj, std::size_t slot);
+
+  /// Object slots whose key has prefix `prefix`, in key order.
+  std::vector<std::size_t> prefix_scan(const KeyBytes& prefix) const;
+
+  /// Object slots with lo <= key < hi (byte order); empty strings mean
+  /// unbounded.
+  std::vector<std::size_t> range_scan(const KeyBytes& lo,
+                                      const KeyBytes& hi) const;
+
+  /// All slots in key order.
+  std::vector<std::size_t> full_scan() const;
+
+  std::size_t size() const { return map_.size(); }
+
+  /// Exposes entries for merge iteration: (key, slot) pairs in order.
+  const std::multimap<KeyBytes, std::size_t>& entries() const { return map_; }
+
+ private:
+  IndexDef def_;
+  std::multimap<KeyBytes, std::size_t> map_;
+};
+
+}  // namespace dlc::dsos

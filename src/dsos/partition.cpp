@@ -1,0 +1,162 @@
+#include "dsos/partition.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "dsos/persist.hpp"
+
+namespace dlc::dsos {
+
+std::string_view partition_state_name(PartitionState s) {
+  switch (s) {
+    case PartitionState::kPrimary:
+      return "PRIMARY";
+    case PartitionState::kActive:
+      return "ACTIVE";
+    case PartitionState::kOffline:
+      return "OFFLINE";
+  }
+  return "?";
+}
+
+PartitionedStore::PartitionedStore(std::string initial_partition)
+    : primary_(initial_partition) {
+  auto part = std::make_unique<Partition>();
+  part->name = std::move(initial_partition);
+  part->state = PartitionState::kPrimary;
+  partitions_.push_back(std::move(part));
+}
+
+PartitionedStore::Partition* PartitionedStore::find(const std::string& name) {
+  for (auto& p : partitions_) {
+    if (p->name == name) return p.get();
+  }
+  return nullptr;
+}
+
+const PartitionedStore::Partition* PartitionedStore::find(
+    const std::string& name) const {
+  for (const auto& p : partitions_) {
+    if (p->name == name) return p.get();
+  }
+  return nullptr;
+}
+
+void PartitionedStore::register_schema(SchemaPtr schema) {
+  for (auto& p : partitions_) p->container.register_schema(schema);
+  schemas_.push_back(std::move(schema));
+}
+
+void PartitionedStore::insert(Object obj) {
+  find(primary_)->container.insert(std::move(obj));
+}
+
+bool PartitionedStore::rotate(const std::string& new_partition) {
+  if (find(new_partition)) return false;
+  auto part = std::make_unique<Partition>();
+  part->name = new_partition;
+  part->state = PartitionState::kPrimary;
+  for (const auto& schema : schemas_) {
+    part->container.register_schema(schema);
+  }
+  find(primary_)->state = PartitionState::kActive;
+  primary_ = new_partition;
+  partitions_.push_back(std::move(part));
+  return true;
+}
+
+bool PartitionedStore::set_offline(const std::string& name) {
+  Partition* p = find(name);
+  if (!p || p->state == PartitionState::kPrimary) return false;
+  p->state = PartitionState::kOffline;
+  return true;
+}
+
+bool PartitionedStore::set_active(const std::string& name) {
+  Partition* p = find(name);
+  if (!p || p->state != PartitionState::kOffline) return false;
+  p->state = PartitionState::kActive;
+  return true;
+}
+
+std::vector<PartitionedStore::PartitionInfo> PartitionedStore::partitions()
+    const {
+  std::vector<PartitionInfo> out;
+  out.reserve(partitions_.size());
+  for (const auto& p : partitions_) {
+    out.push_back(PartitionInfo{p->name, p->state, p->container.size()});
+  }
+  return out;
+}
+
+std::size_t PartitionedStore::queryable_objects() const {
+  std::size_t total = 0;
+  for (const auto& p : partitions_) {
+    if (p->state != PartitionState::kOffline) total += p->container.size();
+  }
+  return total;
+}
+
+std::vector<const Object*> PartitionedStore::query(
+    std::string_view schema_name, std::string_view index_name,
+    const Filter& filter) const {
+  // Per-partition ordered hits, then a k-way merge (same pattern as the
+  // cluster merge; partitions play the role of shards).
+  std::vector<std::vector<QueryHit>> per_part;
+  for (const auto& p : partitions_) {
+    if (p->state == PartitionState::kOffline) continue;
+    per_part.push_back(p->container.query(schema_name, index_name, filter));
+  }
+  struct Cursor {
+    std::size_t part;
+    std::size_t pos;
+  };
+  auto cmp = [&per_part](const Cursor& a, const Cursor& b) {
+    const auto& ka = per_part[a.part][a.pos].key;
+    const auto& kb = per_part[b.part][b.pos].key;
+    if (ka != kb) return ka > kb;
+    return a.part > b.part;
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(cmp)> heap(cmp);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < per_part.size(); ++i) {
+    total += per_part[i].size();
+    if (!per_part[i].empty()) heap.push(Cursor{i, 0});
+  }
+  std::vector<const Object*> merged;
+  merged.reserve(total);
+  while (!heap.empty()) {
+    Cursor cur = heap.top();
+    heap.pop();
+    merged.push_back(per_part[cur.part][cur.pos].object);
+    if (++cur.pos < per_part[cur.part].size()) heap.push(cur);
+  }
+  return merged;
+}
+
+bool PartitionedStore::save_partition(const std::string& name,
+                                      std::ostream& out) const {
+  const Partition* p = find(name);
+  if (!p) return false;
+  save_container(p->container, out);
+  return static_cast<bool>(out);
+}
+
+bool PartitionedStore::load_partition(const std::string& name,
+                                      std::istream& in) {
+  if (find(name)) return false;  // no overwrite
+  auto loaded = load_container(in);
+  if (!loaded) return false;
+  auto part = std::make_unique<Partition>();
+  part->name = name;
+  part->state = PartitionState::kActive;
+  part->container = std::move(*loaded);
+  // Ensure current schemas are present (register_schema is idempotent).
+  for (const auto& schema : schemas_) {
+    part->container.register_schema(schema);
+  }
+  partitions_.push_back(std::move(part));
+  return true;
+}
+
+}  // namespace dlc::dsos

@@ -1,0 +1,88 @@
+// SOS-style partitions: operational segmentation of a store's data.
+//
+// Production SOS containers are divided into partitions (`sos_part`):
+// new objects land in the PRIMARY partition, older partitions stay ACTIVE
+// (queryable) until an operator takes them OFFLINE to age data out, and
+// offline partitions can be re-attached later.  Monitoring deployments
+// rotate partitions on a time cadence so the store never grows without
+// bound — exactly what a months-long Darshan-LDMS deployment needs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dsos/container.hpp"
+
+namespace dlc::dsos {
+
+enum class PartitionState : std::uint8_t {
+  kPrimary = 0,  // receives new objects, queryable
+  kActive = 1,   // queryable
+  kOffline = 2,  // detached from queries, kept on storage
+};
+
+std::string_view partition_state_name(PartitionState s);
+
+class PartitionedStore {
+ public:
+  /// Creates the store with an initial primary partition.
+  explicit PartitionedStore(std::string initial_partition = "part0");
+
+  /// Registers a schema on all current and future partitions.
+  void register_schema(SchemaPtr schema);
+
+  /// Inserts into the primary partition.
+  void insert(Object obj);
+
+  // --- sos_part-style operations -----------------------------------------
+  /// Creates a new partition and makes it primary; the old primary
+  /// becomes ACTIVE.  Fails (false) on duplicate names.
+  bool rotate(const std::string& new_partition);
+
+  /// Takes a partition offline (excluded from queries).  The primary
+  /// cannot be taken offline.
+  bool set_offline(const std::string& name);
+
+  /// Brings an offline partition back to ACTIVE.
+  bool set_active(const std::string& name);
+
+  struct PartitionInfo {
+    std::string name;
+    PartitionState state;
+    std::size_t objects;
+  };
+  std::vector<PartitionInfo> partitions() const;
+  const std::string& primary() const { return primary_; }
+
+  /// Objects in queryable (PRIMARY + ACTIVE) partitions.
+  std::size_t queryable_objects() const;
+
+  /// Index-ordered query across all queryable partitions (k-way merged).
+  std::vector<const Object*> query(std::string_view schema_name,
+                                   std::string_view index_name,
+                                   const Filter& filter = {}) const;
+
+  /// Persists one partition to a stream / restores it as ACTIVE.  Used
+  /// with set_offline to archive aged data.
+  bool save_partition(const std::string& name, std::ostream& out) const;
+  bool load_partition(const std::string& name, std::istream& in);
+
+ private:
+  struct Partition {
+    std::string name;
+    PartitionState state = PartitionState::kActive;
+    Container container;
+  };
+
+  Partition* find(const std::string& name);
+  const Partition* find(const std::string& name) const;
+
+  std::vector<std::unique_ptr<Partition>> partitions_;
+  std::vector<SchemaPtr> schemas_;
+  std::string primary_;
+};
+
+}  // namespace dlc::dsos

@@ -1,0 +1,251 @@
+#include "dsos/persist.hpp"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <vector>
+
+namespace dlc::dsos {
+
+namespace {
+
+constexpr char kMagic[4] = {'D', 'S', 'O', 'S'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void put(std::ostream& out, T v) {
+  static_assert(std::is_integral_v<T>);
+  auto u = static_cast<std::make_unsigned_t<T>>(v);
+  unsigned char buf[sizeof(T)];
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    buf[i] = static_cast<unsigned char>(u >> (8 * i));
+  }
+  out.write(reinterpret_cast<const char*>(buf), sizeof(T));
+}
+
+template <typename T>
+bool get(std::istream& in, T& v) {
+  unsigned char buf[sizeof(T)];
+  if (!in.read(reinterpret_cast<char*>(buf), sizeof(T))) return false;
+  std::make_unsigned_t<T> u = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    u |= static_cast<std::make_unsigned_t<T>>(buf[i]) << (8 * i);
+  }
+  v = static_cast<T>(u);
+  return true;
+}
+
+void put_string(std::ostream& out, const std::string& s) {
+  put(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool get_string(std::istream& in, std::string& s) {
+  std::uint32_t len;
+  if (!get(in, len) || len > (1u << 26)) return false;
+  s.resize(len);
+  return static_cast<bool>(
+      in.read(s.data(), static_cast<std::streamsize>(len)));
+}
+
+void put_value(std::ostream& out, const Value& v) {
+  put(out, static_cast<std::uint8_t>(v.index()));
+  std::visit(
+      [&out](const auto& x) {
+        using T = std::decay_t<decltype(x)>;
+        if constexpr (std::is_same_v<T, std::string>) {
+          put_string(out, x);
+        } else if constexpr (std::is_same_v<T, double>) {
+          std::uint64_t bits;
+          std::memcpy(&bits, &x, sizeof(bits));
+          put(out, bits);
+        } else {
+          put(out, x);
+        }
+      },
+      v);
+}
+
+bool get_value(std::istream& in, Value& v) {
+  std::uint8_t index;
+  if (!get(in, index)) return false;
+  switch (index) {
+    case 0: {
+      std::int64_t x;
+      if (!get(in, x)) return false;
+      v = x;
+      return true;
+    }
+    case 1: {
+      std::uint64_t x;
+      if (!get(in, x)) return false;
+      v = x;
+      return true;
+    }
+    case 2: {
+      std::uint64_t bits;
+      if (!get(in, bits)) return false;
+      double x;
+      std::memcpy(&x, &bits, sizeof(x));
+      v = x;
+      return true;
+    }
+    case 3: {
+      std::string s;
+      if (!get_string(in, s)) return false;
+      v = std::move(s);
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+void put_schema(std::ostream& out, const Schema& schema) {
+  put_string(out, schema.name());
+  put(out, static_cast<std::uint32_t>(schema.attrs().size()));
+  for (const AttrDef& a : schema.attrs()) {
+    put_string(out, a.name);
+    put(out, static_cast<std::uint8_t>(a.type));
+  }
+  put(out, static_cast<std::uint32_t>(schema.indices().size()));
+  for (const IndexDef& idx : schema.indices()) {
+    put_string(out, idx.name);
+    put(out, static_cast<std::uint32_t>(idx.attr_ids.size()));
+    for (std::size_t id : idx.attr_ids) {
+      put(out, static_cast<std::uint32_t>(id));
+    }
+  }
+}
+
+SchemaPtr get_schema(std::istream& in) {
+  std::string name;
+  std::uint32_t attr_count;
+  if (!get_string(in, name) || !get(in, attr_count) || attr_count > 4096) {
+    return nullptr;
+  }
+  std::vector<AttrDef> attrs;
+  attrs.reserve(attr_count);
+  for (std::uint32_t i = 0; i < attr_count; ++i) {
+    AttrDef a;
+    std::uint8_t type;
+    if (!get_string(in, a.name) || !get(in, type) || type > 4) return nullptr;
+    a.type = static_cast<AttrType>(type);
+    attrs.push_back(std::move(a));
+  }
+  std::uint32_t index_count;
+  if (!get(in, index_count) || index_count > 1024) return nullptr;
+  std::vector<IndexDef> indices;
+  for (std::uint32_t i = 0; i < index_count; ++i) {
+    IndexDef idx;
+    std::uint32_t key_len;
+    if (!get_string(in, idx.name) || !get(in, key_len) || key_len > 64) {
+      return nullptr;
+    }
+    for (std::uint32_t k = 0; k < key_len; ++k) {
+      std::uint32_t attr_id;
+      if (!get(in, attr_id) || attr_id >= attr_count) return nullptr;
+      idx.attr_ids.push_back(attr_id);
+    }
+    indices.push_back(std::move(idx));
+  }
+  return std::make_shared<const Schema>(std::move(name), std::move(attrs),
+                                        std::move(indices));
+}
+
+}  // namespace
+
+void save_container(const Container& container, std::ostream& out) {
+  out.write(kMagic, sizeof(kMagic));
+  put(out, kVersion);
+
+  // Collect distinct schemas (by name) from the objects plus registered
+  // ones; iterate objects to keep it simple and complete.
+  std::map<std::string, SchemaPtr> schemas;
+  for (std::size_t i = 0; i < container.size(); ++i) {
+    const Object& obj = container.object(i);
+    schemas.emplace(obj.schema->name(), obj.schema);
+  }
+  put(out, static_cast<std::uint32_t>(schemas.size()));
+  for (const auto& [name, schema] : schemas) put_schema(out, *schema);
+
+  put(out, static_cast<std::uint64_t>(container.size()));
+  for (std::size_t i = 0; i < container.size(); ++i) {
+    const Object& obj = container.object(i);
+    put_string(out, obj.schema->name());
+    for (const Value& v : obj.values) put_value(out, v);
+  }
+}
+
+std::optional<Container> load_container(std::istream& in) {
+  char magic[4];
+  if (!in.read(magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return std::nullopt;
+  }
+  std::uint32_t version;
+  if (!get(in, version) || version != kVersion) return std::nullopt;
+
+  Container container;
+  std::uint32_t schema_count;
+  if (!get(in, schema_count) || schema_count > 4096) return std::nullopt;
+  std::map<std::string, SchemaPtr> schemas;
+  for (std::uint32_t i = 0; i < schema_count; ++i) {
+    SchemaPtr schema = get_schema(in);
+    if (!schema) return std::nullopt;
+    schemas.emplace(schema->name(), schema);
+    container.register_schema(schema);
+  }
+
+  std::uint64_t object_count;
+  if (!get(in, object_count)) return std::nullopt;
+  for (std::uint64_t i = 0; i < object_count; ++i) {
+    std::string schema_name;
+    if (!get_string(in, schema_name)) return std::nullopt;
+    const auto it = schemas.find(schema_name);
+    if (it == schemas.end()) return std::nullopt;
+    std::vector<Value> values(it->second->attrs().size());
+    for (Value& v : values) {
+      if (!get_value(in, v)) return std::nullopt;
+    }
+    try {
+      container.insert(make_object(it->second, std::move(values)));
+    } catch (const std::invalid_argument&) {
+      return std::nullopt;  // type mismatch => corrupt file
+    }
+  }
+  return container;
+}
+
+bool save_cluster(const DsosCluster& cluster, const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return false;
+  for (std::size_t s = 0; s < cluster.shard_count(); ++s) {
+    const std::string path =
+        dir + "/" + cluster.shard(s).name() + ".sos";
+    std::ofstream out(path, std::ios::binary);
+    if (!out) return false;
+    save_container(cluster.shard(s).container(), out);
+    if (!out) return false;
+  }
+  return true;
+}
+
+std::optional<DsosCluster> load_cluster(const std::string& dir,
+                                        ClusterConfig config) {
+  DsosCluster cluster(std::move(config));
+  for (std::size_t s = 0; s < cluster.shard_count(); ++s) {
+    const std::string path =
+        dir + "/" + cluster.shard(s).name() + ".sos";
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return std::nullopt;
+    auto container = load_container(in);
+    if (!container) return std::nullopt;
+    cluster.shard(s).container() = std::move(*container);
+  }
+  return cluster;
+}
+
+}  // namespace dlc::dsos

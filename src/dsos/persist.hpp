@@ -1,0 +1,29 @@
+// DSOS persistence: binary save/load of containers and clusters (SOS is a
+// persistent object store; dsosd instances survive restarts).  Objects and
+// schema definitions are serialised; indices are rebuilt on load.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "dsos/cluster.hpp"
+
+namespace dlc::dsos {
+
+/// Serialises all schemas and objects of `container`.
+void save_container(const Container& container, std::ostream& out);
+
+/// Loads a container previously saved with save_container; nullopt on
+/// malformed input.  Indices are rebuilt from the object data.
+std::optional<Container> load_container(std::istream& in);
+
+/// Saves each shard to `<dir>/dsosd<N>.sos`; creates `dir` if needed.
+bool save_cluster(const DsosCluster& cluster, const std::string& dir);
+
+/// Loads shards saved by save_cluster into a new cluster with the given
+/// config (shard_count must match the saved layout).
+std::optional<DsosCluster> load_cluster(const std::string& dir,
+                                        ClusterConfig config);
+
+}  // namespace dlc::dsos

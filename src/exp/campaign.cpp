@@ -1,0 +1,86 @@
+#include "exp/campaign.hpp"
+
+#include "util/rng.hpp"
+
+namespace dlc::exp {
+
+RepeatedResult run_repeated(ExperimentSpec spec, std::size_t reps,
+                            std::uint64_t epoch) {
+  RepeatedResult out;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    ExperimentSpec run_spec = spec;
+    run_spec.seed = spec.seed ^ (0x9e37'79b9'7f4a'7c15ULL * (rep + 1));
+    // Back-to-back repetitions see slightly different FS weather: jitter
+    // the epoch seed per repetition within the campaign.
+    std::uint64_t mix = epoch + rep;
+    run_spec.epoch_seed = splitmix64(mix);
+    run_spec.job_id = spec.job_id + rep;
+    RunResult r = run_experiment(run_spec);
+    out.runtime_s.add(r.runtime_s);
+    out.messages.add(static_cast<double>(r.messages));
+    out.msg_rate.add(r.msg_rate);
+    out.dropped.add(static_cast<double>(r.dropped));
+    out.runs.push_back(std::move(r));
+  }
+  return out;
+}
+
+OverheadRow measure_overhead(std::string label, ExperimentSpec spec,
+                             const CampaignConfig& campaign) {
+  ExperimentSpec baseline = spec;
+  baseline.connector_enabled = false;
+  ExperimentSpec with_connector = spec;
+  with_connector.connector_enabled = true;
+
+  if (campaign.interleaved) {
+    // Paired runs: the same epoch seed for both arms of each repetition
+    // cancels the weather term exactly.
+    RepeatedResult base_runs, dc_runs;
+    RunningStats pair_overheads;
+    for (std::size_t rep = 0; rep < campaign.repetitions; ++rep) {
+      const RepeatedResult b =
+          run_repeated(baseline, 1, campaign.baseline_epoch + rep);
+      const RepeatedResult d =
+          run_repeated(with_connector, 1, campaign.baseline_epoch + rep);
+      base_runs.runtime_s.merge(b.runtime_s);
+      dc_runs.runtime_s.merge(d.runtime_s);
+      dc_runs.messages.merge(d.messages);
+      dc_runs.msg_rate.merge(d.msg_rate);
+      dc_runs.dropped.merge(d.dropped);
+      if (b.runtime_s.mean() > 0) {
+        pair_overheads.add((d.runtime_s.mean() - b.runtime_s.mean()) /
+                           b.runtime_s.mean() * 100.0);
+      }
+    }
+    OverheadRow row;
+    row.label = std::move(label);
+    row.darshan_runtime_s = base_runs.runtime_s.mean();
+    row.dc_runtime_s = dc_runs.runtime_s.mean();
+    row.overhead_pct = pair_overheads.mean();
+    row.avg_messages = dc_runs.messages.mean();
+    row.msg_rate = dc_runs.msg_rate.mean();
+    row.dropped = dc_runs.dropped.mean();
+    return row;
+  }
+
+  const RepeatedResult base =
+      run_repeated(baseline, campaign.repetitions, campaign.baseline_epoch);
+  const RepeatedResult dc = run_repeated(with_connector, campaign.repetitions,
+                                         campaign.connector_epoch);
+
+  OverheadRow row;
+  row.label = std::move(label);
+  row.darshan_runtime_s = base.runtime_s.mean();
+  row.dc_runtime_s = dc.runtime_s.mean();
+  row.overhead_pct =
+      base.runtime_s.mean() > 0
+          ? (dc.runtime_s.mean() - base.runtime_s.mean()) /
+                base.runtime_s.mean() * 100.0
+          : 0.0;
+  row.avg_messages = dc.messages.mean();
+  row.msg_rate = dc.msg_rate.mean();
+  row.dropped = dc.dropped.mean();
+  return row;
+}
+
+}  // namespace dlc::exp

@@ -1,0 +1,62 @@
+// Campaign driver: repeats experiments the way the paper's evaluation did
+// (5 repetitions per configuration, Darshan-only baselines recorded 1-2
+// weeks before the connector runs) and computes the Table II statistics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/pipeline.hpp"
+#include "util/stats.hpp"
+
+namespace dlc::exp {
+
+struct CampaignConfig {
+  std::size_t repetitions = 5;  // paper: 5
+  /// Campaign epoch seeds.  The Darshan-only baseline and the connector
+  /// runs use different epochs — the paper's runs were "performed and
+  /// recorded 1-2 weeks before", which is how the negative overheads in
+  /// Table II arise.  Set them equal for a controlled (same-weather)
+  /// comparison.
+  std::uint64_t baseline_epoch = 1000;
+  std::uint64_t connector_epoch = 2000;
+  /// Interleaved mode: each Darshan-only run is immediately followed by a
+  /// dC run under the *same* per-repetition weather, pairing out the
+  /// file-system drift.  This is the methodology the paper says it could
+  /// not run ("have not been able to ... interleave the experiments");
+  /// implemented here it isolates the true connector overhead.
+  bool interleaved = false;
+};
+
+struct RepeatedResult {
+  RunningStats runtime_s;
+  RunningStats messages;
+  RunningStats msg_rate;
+  RunningStats dropped;
+  std::vector<RunResult> runs;
+};
+
+/// Runs `spec` `reps` times with per-rep seeds derived from (seed, rep)
+/// and per-rep epoch jitter around `epoch`.
+RepeatedResult run_repeated(ExperimentSpec spec, std::size_t reps,
+                            std::uint64_t epoch);
+
+/// One Table II cell: an application configuration measured Darshan-only
+/// vs with the Darshan-LDMS Connector ("dC").
+struct OverheadRow {
+  std::string label;
+  double darshan_runtime_s = 0.0;
+  double dc_runtime_s = 0.0;
+  double overhead_pct = 0.0;  // (dC - darshan) / darshan * 100
+  double avg_messages = 0.0;
+  double msg_rate = 0.0;  // messages per second during dC runs
+  double dropped = 0.0;
+};
+
+/// Measures one configuration: runs the baseline (connector disabled) and
+/// the dC variant, and assembles the row.  In interleaved mode the
+/// overhead is the mean of the per-pair (same-weather) overheads.
+OverheadRow measure_overhead(std::string label, ExperimentSpec spec,
+                             const CampaignConfig& campaign);
+
+}  // namespace dlc::exp

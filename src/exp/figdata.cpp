@@ -1,0 +1,70 @@
+#include "exp/figdata.hpp"
+
+#include "exp/specs.hpp"
+#include "util/rng.hpp"
+
+namespace dlc::exp {
+
+namespace {
+
+std::shared_ptr<dsos::DsosCluster> make_db() {
+  dsos::ClusterConfig cfg;
+  cfg.shard_count = 4;
+  cfg.shard_attr = "rank";
+  cfg.parallel_query = true;
+  return std::make_shared<dsos::DsosCluster>(cfg);
+}
+
+}  // namespace
+
+FigDataset mpiio_independent_campaign(std::size_t jobs, std::uint64_t seed) {
+  FigDataset dataset;
+  dataset.db = make_db();
+  dataset.anomalous_job = jobs >= 2 ? 2 : 0;
+
+  for (std::size_t j = 1; j <= jobs; ++j) {
+    ExperimentSpec spec = mpi_io_test_spec(simfs::FsKind::kNfs,
+                                           /*collective=*/false);
+    spec.job_id = j;
+    spec.seed = seed ^ (0x9e37'79b9'7f4a'7c15ULL * j);
+    std::uint64_t emix = seed + 31 * j;
+    spec.epoch_seed = splitmix64(emix);
+    spec.decode_to_dsos = true;
+    spec.shared_dsos = dataset.db;
+    if (j == dataset.anomalous_job) {
+      // Memory pressure defeats part of the read-back cache...
+      spec.nfs.read_cache_hit_rate = 0.88;
+      // ...and server-side congestion ramps write service up through the
+      // run (Fig. 8: writes slowest after ~250 s).
+      spec.incidents.push_back(simfs::Incident{
+          .start = 0,
+          .end = 2000 * kSecond,  // outlasts the job: degradation only grows
+          .peak_factor = 2.6,
+          .ramp = true,
+          .applies_to = simfs::OpClass::kWrite});
+    }
+    run_experiment(spec);
+    dataset.job_ids.push_back(j);
+  }
+  return dataset;
+}
+
+FigDataset hacc_campaign(simfs::FsKind fs, std::uint64_t particles_per_rank,
+                         std::size_t jobs, std::uint64_t seed) {
+  FigDataset dataset;
+  dataset.db = make_db();
+  for (std::size_t j = 1; j <= jobs; ++j) {
+    ExperimentSpec spec = hacc_io_spec(fs, particles_per_rank);
+    spec.job_id = j;
+    spec.seed = seed ^ (0x9e37'79b9'7f4a'7c15ULL * j);
+    std::uint64_t emix = seed + 17 * j;
+    spec.epoch_seed = splitmix64(emix);
+    spec.decode_to_dsos = true;
+    spec.shared_dsos = dataset.db;
+    run_experiment(spec);
+    dataset.job_ids.push_back(j);
+  }
+  return dataset;
+}
+
+}  // namespace dlc::exp

@@ -1,0 +1,31 @@
+// Figure datasets: multi-job campaigns decoded into one shared DSOS
+// database, ready for the Figure 5-9 analysis pipelines.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dsos/cluster.hpp"
+#include "exp/pipeline.hpp"
+
+namespace dlc::exp {
+
+struct FigDataset {
+  std::shared_ptr<dsos::DsosCluster> db;
+  std::vector<std::uint64_t> job_ids;
+  /// Job scripted to misbehave (the paper's job_id 2); 0 when none.
+  std::uint64_t anomalous_job = 0;
+};
+
+/// Figs. 7-9 dataset: five MPI-IO-TEST (independent I/O, NFS) jobs; job 2
+/// suffers a within-run incident — its client read cache is under memory
+/// pressure and write service degrades over the run, slowest at the end.
+FigDataset mpiio_independent_campaign(std::size_t jobs = 5,
+                                      std::uint64_t seed = 42);
+
+/// Figs. 5-6 dataset: `jobs` repetitions of one HACC-IO configuration.
+FigDataset hacc_campaign(simfs::FsKind fs, std::uint64_t particles_per_rank,
+                         std::size_t jobs = 5, std::uint64_t seed = 7);
+
+}  // namespace dlc::exp

@@ -1,0 +1,173 @@
+#include "exp/pipeline.hpp"
+
+#include <map>
+#include <stdexcept>
+
+#include "exp/system_sampler.hpp"
+#include "ldms/metrics.hpp"
+#include "sim/engine.hpp"
+
+namespace dlc::exp {
+
+RunResult run_experiment(const ExperimentSpec& spec) {
+  if (!spec.workload) {
+    throw std::invalid_argument("experiment spec has no workload");
+  }
+
+  sim::Engine engine;
+  simhpc::Cluster cluster(spec.cluster);
+  if (spec.node_count > cluster.node_count()) {
+    throw std::invalid_argument("job larger than cluster");
+  }
+
+  // File system with campaign-epoch weather and any scripted incidents.
+  auto variability = std::make_shared<simfs::VariabilityProcess>(
+      spec.variability, spec.epoch_seed);
+  for (const auto& incident : spec.incidents) {
+    variability->add_incident(incident);
+  }
+  std::unique_ptr<simfs::FileSystem> fs;
+  if (spec.fs == simfs::FsKind::kNfs) {
+    fs = std::make_unique<simfs::NfsModel>(engine, spec.nfs, variability,
+                                           spec.seed);
+  } else {
+    fs = std::make_unique<simfs::LustreModel>(engine, spec.lustre, variability,
+                                              spec.seed);
+  }
+
+  simhpc::JobConfig jcfg;
+  jcfg.job_id = spec.job_id;
+  jcfg.node_count = spec.node_count;
+  jcfg.ranks_per_node = spec.ranks_per_node;
+  jcfg.seed = spec.seed;
+  simhpc::Job job(engine, cluster, jcfg);
+
+  darshan::RuntimeConfig dcfg = spec.darshan;
+  dcfg.exe = spec.exe;
+  darshan::Runtime runtime(engine, *fs, job, dcfg);
+
+  // LDMS topology: one sampler daemon per allocated node, L1 aggregator on
+  // the head node, L2 aggregator on the analysis cluster.
+  std::vector<std::unique_ptr<ldms::LdmsDaemon>> node_daemons;
+  auto l1 = std::make_unique<ldms::LdmsDaemon>(&engine, "voltrino-head");
+  auto l2 = std::make_unique<ldms::LdmsDaemon>(&engine, "shirley");
+  const std::string& tag = spec.connector.stream_tag;
+  for (std::size_t n = 0; n < spec.node_count; ++n) {
+    node_daemons.push_back(std::make_unique<ldms::LdmsDaemon>(
+        &engine, cluster.node_name(n)));
+    node_daemons.back()->add_forward(tag, *l1, spec.transport);
+  }
+  l1->add_forward(tag, *l2, spec.transport);
+
+  // Terminal consumers on the analysis cluster.
+  ldms::CountingStore counting;
+  counting.attach(*l2, tag);
+  if (spec.live_subscriber) {
+    l2->bus().subscribe(tag, spec.live_subscriber);
+  }
+  std::shared_ptr<dsos::DsosCluster> dsos_cluster;
+  std::unique_ptr<core::DarshanDecoder> decoder;
+  if (spec.decode_to_dsos) {
+    if (spec.shared_dsos) {
+      dsos_cluster = spec.shared_dsos;
+    } else {
+      dsos::ClusterConfig ccfg;
+      ccfg.shard_count = spec.dsos_shards;
+      ccfg.shard_attr = "rank";
+      ccfg.parallel_query = true;
+      dsos_cluster = std::make_shared<dsos::DsosCluster>(ccfg);
+    }
+    decoder = std::make_unique<core::DarshanDecoder>(*l2, tag, *dsos_cluster);
+  }
+
+  // System metric samplers: one per allocated node, publishing on the
+  // metrics tag through the same transport; a collector on the analysis
+  // aggregator reassembles per-channel time series.
+  std::vector<std::unique_ptr<ldms::MetricSampler>> samplers;
+  std::map<std::string, analysis::TimeSeries> metric_series;
+  if (spec.sample_system_metrics) {
+    const std::string metrics_tag = "ldms-metrics";
+    for (std::size_t n = 0; n < spec.node_count; ++n) {
+      node_daemons[n]->add_forward(metrics_tag, *l1, spec.transport);
+    }
+    // (l1 -> l2 forward already covers the connector tag; add metrics.)
+    l1->add_forward(metrics_tag, *l2, spec.transport);
+    l2->bus().subscribe(metrics_tag, [&metric_series](
+                                         const ldms::StreamMessage& msg) {
+      ldms::MetricSample sample;
+      if (!ldms::MetricSampler::from_json(msg.payload, sample)) return;
+      for (std::size_t i = 0; i < sample.values.size(); ++i) {
+        const std::string key = sample.names[i] + "@" + sample.producer;
+        auto& series = metric_series[key];
+        series.name = key;
+        series.t.push_back(to_seconds(sample.timestamp));
+        series.v.push_back(sample.values[i]);
+      }
+    });
+    for (std::size_t n = 0; n < spec.node_count; ++n) {
+      auto sampler = std::make_unique<ldms::MetricSampler>(
+          engine, *node_daemons[n],
+          std::make_unique<SystemStateSampler>(variability,
+                                               spec.seed + 1000 + n),
+          spec.metric_interval, metrics_tag);
+      sampler->set_stop_predicate([&job] { return job.end_time() > 0; });
+      sampler->start();
+      samplers.push_back(std::move(sampler));
+    }
+  }
+
+  std::unique_ptr<core::DarshanLdmsConnector> connector;
+  if (spec.connector_enabled) {
+    connector = std::make_unique<core::DarshanLdmsConnector>(
+        runtime,
+        [&node_daemons, &job](int rank) {
+          // Node-local daemon index: rank's node relative to the job base.
+          const std::size_t node =
+              job.node_of_rank(static_cast<std::size_t>(rank)) -
+              job.config().first_node;
+          return node_daemons[node].get();
+        },
+        spec.connector);
+  }
+
+  simhpc::launch_job(engine, job, spec.workload(runtime));
+  engine.run();
+  if (engine.unfinished_tasks() != 0) {
+    throw std::logic_error("experiment deadlocked: unfinished rank tasks");
+  }
+
+  RunResult result;
+  result.runtime_s = to_seconds(job.runtime());
+  result.events = runtime.event_count();
+  if (connector) {
+    result.messages = connector->stats().messages_published;
+    result.charged_s = to_seconds(connector->stats().charged);
+  }
+  result.msg_rate =
+      result.runtime_s > 0
+          ? static_cast<double>(result.messages) / result.runtime_s
+          : 0.0;
+  for (const auto& d : node_daemons) result.dropped += d->dropped();
+  result.dropped += l1->dropped();
+  result.stored = counting.stored();
+  result.mean_latency_s = counting.mean_latency_seconds();
+  result.dsos = dsos_cluster;
+  result.darshan_log = runtime.finalize();
+  for (auto& [key, series] : metric_series) {
+    result.system_metrics.push_back(std::move(series));
+  }
+  const darshan::Heatmap& hm = runtime.heatmap();
+  result.heatmap_write_bytes.resize(hm.ranks());
+  result.heatmap_read_bytes.resize(hm.ranks());
+  for (std::size_t r = 0; r < hm.ranks(); ++r) {
+    for (std::size_t b = 0; b < hm.bins(r); ++b) {
+      result.heatmap_write_bytes[r].push_back(
+          static_cast<double>(hm.at(r, b).write_bytes));
+      result.heatmap_read_bytes[r].push_back(
+          static_cast<double>(hm.at(r, b).read_bytes));
+    }
+  }
+  return result;
+}
+
+}  // namespace dlc::exp

@@ -1,0 +1,98 @@
+// Experiment pipeline: wires one job through the full monitoring stack —
+//   workload ranks -> darshan runtime -> connector -> node LDMS daemons ->
+//   L1 aggregator (head node) -> L2 aggregator (Shirley) -> decoder/DSOS
+// — mirroring the paper's Voltrino/Shirley deployment.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/correlate.hpp"
+#include "core/connector.hpp"
+#include "core/decoder.hpp"
+#include "darshan/log.hpp"
+#include "darshan/runtime.hpp"
+#include "dsos/cluster.hpp"
+#include "ldms/store.hpp"
+#include "simfs/lustre.hpp"
+#include "simfs/nfs.hpp"
+#include "simhpc/cluster.hpp"
+#include "simhpc/job.hpp"
+#include "workloads/workload.hpp"
+
+namespace dlc::exp {
+
+struct ExperimentSpec {
+  // --- workload ---------------------------------------------------------
+  workloads::WorkloadFactory workload;
+  std::string exe = "/projects/apps/bin/app";
+  std::size_t node_count = 1;
+  std::size_t ranks_per_node = 1;
+  std::uint64_t job_id = 1;
+  std::uint64_t seed = 1;
+
+  // --- file system ------------------------------------------------------
+  simfs::FsKind fs = simfs::FsKind::kNfs;
+  simfs::NfsConfig nfs;
+  simfs::LustreConfig lustre;
+  simfs::VariabilityConfig variability;
+  /// Campaign epoch: seeds the FS state (the "ran 1-2 weeks earlier"
+  /// effect).  Runs with different epoch seeds see different FS weather.
+  std::uint64_t epoch_seed = 1000;
+  std::vector<simfs::Incident> incidents;
+
+  // --- monitoring -------------------------------------------------------
+  /// false => Darshan-only baseline (instrumentation without connector).
+  bool connector_enabled = true;
+  core::ConnectorConfig connector;
+  darshan::RuntimeConfig darshan;
+  /// Decode messages into DSOS (figures) vs count-only (overhead tables).
+  bool decode_to_dsos = false;
+  std::size_t dsos_shards = 4;
+  /// When set (and decode_to_dsos), events are ingested into this shared
+  /// database instead of a per-run one — the multi-job view the paper's
+  /// figures query.
+  std::shared_ptr<dsos::DsosCluster> shared_dsos;
+  /// Optional live tap: subscribed on the final aggregator alongside the
+  /// stores, invoked at each message's virtual arrival time (monitoring
+  /// dashboards, alerting examples).
+  ldms::SubscriberFn live_subscriber;
+  /// Run the system-state metric sampler on every allocated node and
+  /// collect the series (for I/O-vs-system correlation analyses).
+  bool sample_system_metrics = false;
+  SimDuration metric_interval = 10 * kSecond;
+  ldms::ForwardConfig transport;
+
+  // --- cluster ----------------------------------------------------------
+  simhpc::ClusterConfig cluster{.node_count = 24, .first_node_id = 40,
+                                .node_prefix = "nid"};
+};
+
+struct RunResult {
+  double runtime_s = 0.0;
+  std::uint64_t events = 0;    // darshan-instrumented events
+  std::uint64_t messages = 0;  // connector messages published
+  double msg_rate = 0.0;       // messages per virtual second
+  std::uint64_t dropped = 0;   // transport drops (best-effort losses)
+  std::uint64_t stored = 0;    // messages reaching the final store
+  double mean_latency_s = 0.0; // publish -> store latency
+  double charged_s = 0.0;      // virtual time charged by the connector
+  /// Populated when decode_to_dsos: the queryable event database.
+  std::shared_ptr<dsos::DsosCluster> dsos;
+  /// The post-run darshan summary log.
+  darshan::Log darshan_log;
+  /// Populated when sample_system_metrics: one series per metric channel,
+  /// timestamps relative to job start (node 0's sampler).
+  std::vector<analysis::TimeSeries> system_metrics;
+  /// darshan heatmap snapshot: per-rank written/read bytes per time bin
+  /// (bin width = darshan config's heatmap_bin).
+  std::vector<std::vector<double>> heatmap_write_bytes;
+  std::vector<std::vector<double>> heatmap_read_bytes;
+};
+
+/// Runs one job end to end and returns its measurements.
+RunResult run_experiment(const ExperimentSpec& spec);
+
+}  // namespace dlc::exp

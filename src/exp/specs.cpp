@@ -1,0 +1,121 @@
+#include "exp/specs.hpp"
+
+namespace dlc::exp {
+
+simfs::NfsConfig paper_nfs() {
+  simfs::NfsConfig cfg;
+  cfg.server_slots = 4;
+  // 4 slots x 8 MiB/s ~= 32 MiB/s effective write aggregate (reads mostly
+  // hit the client page cache): what Table IIa's NFS runtimes imply for
+  // the shared appliance.
+  cfg.bandwidth_bytes_per_sec = 8.0 * 1024 * 1024;
+  // Small-file path: NFS metadata and sync-write round trips are pricey;
+  // this is what stretches HMMER on NFS (Table IIc: 750 s vs 135 s).
+  cfg.per_op_latency = 9500 * kMicrosecond;
+  cfg.metadata_latency = 2 * kMillisecond;
+  cfg.small_io_threshold = 64 * 1024;
+  cfg.small_io_batch = 16;
+  cfg.cached_op_cost = 30 * kMicrosecond;
+  cfg.collective_penalty_factor = 1.55;
+  cfg.jitter_sigma = 0.08;
+  return cfg;
+}
+
+simfs::LustreConfig paper_lustre() {
+  simfs::LustreConfig cfg;
+  cfg.ost_count = 8;
+  cfg.stripe_count = 4;
+  cfg.stripe_size = 1 * 1024 * 1024;
+  cfg.ost_slots = 2;
+  // 8 OSTs x 2 slots x 13 MiB/s / 1.6 lock penalty ~= 130 MiB/s effective
+  // write aggregate for independent I/O; ~208 MiB/s collective — the
+  // rates Table IIa's Lustre runtimes imply.
+  cfg.ost_bandwidth_bytes_per_sec = 13.0 * 1024 * 1024;
+  cfg.rpc_latency = 1000 * kMicrosecond;
+  cfg.mds_latency = 1200 * kMicrosecond;
+  cfg.collective_exchange = 30 * kMicrosecond;
+  cfg.collective_amortisation = 8.0;
+  cfg.independent_lock_penalty = 1.6;
+  cfg.small_io_threshold = 64 * 1024;
+  cfg.small_io_batch = 16;
+  cfg.cached_op_cost = 30 * kMicrosecond;
+  cfg.jitter_sigma = 0.06;
+  return cfg;
+}
+
+ExperimentSpec base_spec(simfs::FsKind fs) {
+  ExperimentSpec spec;
+  spec.fs = fs;
+  spec.nfs = paper_nfs();
+  spec.lustre = paper_lustre();
+  spec.cluster = simhpc::ClusterConfig{.node_count = 24, .first_node_id = 40,
+                                       .node_prefix = "nid"};
+  spec.variability.epoch_sigma = 0.12;
+  spec.variability.ar_phi = 0.9;
+  spec.variability.ar_sigma = 0.04;
+  spec.variability.window = 10 * kSecond;
+  spec.transport.queue_capacity = 1 << 16;
+  spec.transport.hop_latency = 100 * kMicrosecond;
+  spec.transport.bandwidth_bytes_per_sec = 1.0 * 1024 * 1024 * 1024;
+  return spec;
+}
+
+ExperimentSpec mpi_io_test_spec(simfs::FsKind fs, bool collective) {
+  ExperimentSpec spec = base_spec(fs);
+  workloads::MpiIoTestConfig cfg;
+  cfg.block_size = 16ull * 1024 * 1024;
+  cfg.iterations = 10;
+  cfg.collective = collective;
+  cfg.compute_per_iteration = 2 * kSecond;
+  spec.workload = workloads::mpi_io_test(cfg);
+  spec.exe = workloads::kMpiIoTestExe;
+  spec.node_count = 22;     // paper: 22 nodes
+  spec.ranks_per_node = 8;  // 176 ranks
+  return spec;
+}
+
+ExperimentSpec hacc_io_spec(simfs::FsKind fs,
+                            std::uint64_t particles_per_rank) {
+  ExperimentSpec spec = base_spec(fs);
+  workloads::HaccIoConfig cfg;
+  cfg.particles_per_rank = particles_per_rank;
+  cfg.mode = workloads::HaccIoConfig::Mode::kPosix;
+  cfg.segments_min = 2;
+  cfg.segments_max = 4;
+  cfg.initial_compute = 30 * kSecond;
+  spec.workload = workloads::hacc_io(cfg);
+  spec.exe = workloads::kHaccIoExe;
+  spec.node_count = 16;     // paper: 16 nodes
+  spec.ranks_per_node = 2;  // 32 ranks -> ~1.9k events, Table IIb's range
+  // The HACC-IO campaign saw much lower effective throughput than the
+  // MPI-IO-TEST campaign (Table IIb's runtimes imply ~14 MiB/s on NFS);
+  // model the busier production window with reduced per-server rates.
+  spec.nfs.bandwidth_bytes_per_sec = 2.0 * 1024 * 1024;
+  spec.lustre.ost_bandwidth_bytes_per_sec = 3.5 * 1024 * 1024;
+  return spec;
+}
+
+ExperimentSpec hmmer_spec(simfs::FsKind fs, double scale) {
+  ExperimentSpec spec = base_spec(fs);
+  workloads::HmmerConfig cfg;
+  cfg.profiles = static_cast<std::uint64_t>(19'000 * scale);
+  cfg.reads_per_profile = 90;
+  cfg.writes_per_profile = 60;
+  spec.workload = workloads::hmmer_build(cfg);
+  spec.exe = workloads::kHmmerExe;
+  spec.node_count = 1;       // paper: single node
+  spec.ranks_per_node = 32;  // 32 MPI ranks
+  return spec;
+}
+
+ExperimentSpec sw4_spec(simfs::FsKind fs) {
+  ExperimentSpec spec = base_spec(fs);
+  workloads::Sw4Config cfg;
+  spec.workload = workloads::sw4(cfg);
+  spec.exe = workloads::kSw4Exe;
+  spec.node_count = 8;
+  spec.ranks_per_node = 4;
+  return spec;
+}
+
+}  // namespace dlc::exp

@@ -1,0 +1,18 @@
+#include "exp/system_sampler.hpp"
+
+#include <algorithm>
+
+namespace dlc::exp {
+
+SystemStateSampler::SystemStateSampler(
+    std::shared_ptr<simfs::VariabilityProcess> variability, std::uint64_t seed)
+    : variability_(std::move(variability)),
+      rng_(Rng(seed).fork("system-sampler")) {}
+
+void SystemStateSampler::sample(SimTime now, std::vector<double>& out) {
+  out.push_back(variability_->factor(now, simfs::OpClass::kWrite));
+  out.push_back(std::max(1.0, rng_.normal(48.0, 4.0)));       // mem_free_gb
+  out.push_back(std::clamp(rng_.normal(35.0, 10.0), 0.0, 100.0));
+}
+
+}  // namespace dlc::exp

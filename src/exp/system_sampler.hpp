@@ -1,0 +1,42 @@
+// Synthetic system-state sampler.
+//
+// Implements ldms::SamplerPlugin over the same VariabilityProcess that
+// perturbs the file-system models, so the sampled "fs_congestion" metric
+// is the ground truth behind observed I/O slowdowns — which lets the
+// correlation analyses demonstrate the paper's end goal: "identify any
+// correlations between the file system, network congestion or resource
+// contentions and the I/O performance".
+#pragma once
+
+#include <memory>
+
+#include "ldms/metrics.hpp"
+#include "simfs/variability.hpp"
+#include "util/rng.hpp"
+
+namespace dlc::exp {
+
+class SystemStateSampler final : public ldms::SamplerPlugin {
+ public:
+  SystemStateSampler(std::shared_ptr<simfs::VariabilityProcess> variability,
+                     std::uint64_t seed);
+
+  const std::string& set_name() const override { return set_name_; }
+  const std::vector<std::string>& metric_names() const override {
+    return metric_names_;
+  }
+
+  /// Metrics: fs_congestion (the variability factor for writes),
+  /// mem_free_gb and cpu_idle_pct (noisy nuisance channels that should
+  /// NOT correlate with I/O durations).
+  void sample(SimTime now, std::vector<double>& out) override;
+
+ private:
+  std::string set_name_ = "system_state";
+  std::vector<std::string> metric_names_ = {"fs_congestion", "mem_free_gb",
+                                            "cpu_idle_pct"};
+  std::shared_ptr<simfs::VariabilityProcess> variability_;
+  Rng rng_;
+};
+
+}  // namespace dlc::exp

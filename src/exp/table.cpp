@@ -1,0 +1,59 @@
+#include "exp/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dlc::exp {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) line += "  ";
+      const std::size_t pad = widths[c] - row[c].size();
+      if (c == 0) {
+        line += row[c] + std::string(pad, ' ');
+      } else {
+        line += std::string(pad, ' ') + row[c];
+      }
+    }
+    return line + "\n";
+  };
+  std::string out = render_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  out += std::string(total > 2 ? total - 2 : 0, '-') + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string cell_f(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string cell_pct(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, v);
+  return buf;
+}
+
+std::string cell_u(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace dlc::exp

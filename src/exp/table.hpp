@@ -1,0 +1,29 @@
+// Fixed-width text tables for the Table II / figure reproduction output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dlc::exp {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column widths fit to content; first column left-aligned,
+  /// the rest right-aligned.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style helpers for table cells.
+std::string cell_f(double v, int precision = 2);
+std::string cell_pct(double v, int precision = 2);
+std::string cell_u(std::uint64_t v);
+
+}  // namespace dlc::exp

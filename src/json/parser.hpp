@@ -1,0 +1,22 @@
+// Recursive-descent JSON parser (RFC 8259 subset sufficient for the
+// connector's messages: no surrogate-pair \u escapes beyond BMP pass-through).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "json/value.hpp"
+
+namespace dlc::json {
+
+struct ParseError {
+  std::size_t offset = 0;
+  std::string message;
+};
+
+/// Parses a complete JSON document.  Returns nullopt and fills `error`
+/// (when provided) on malformed input or trailing garbage.
+std::optional<Value> parse(std::string_view text, ParseError* error = nullptr);
+
+}  // namespace dlc::json

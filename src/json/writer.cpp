@@ -1,0 +1,201 @@
+#include "json/writer.hpp"
+
+#include <cassert>
+
+#include "util/format.hpp"
+
+namespace dlc::json {
+
+Writer::Writer(NumberFormat fmt) : fmt_(fmt) { buf_.reserve(512); }
+
+void Writer::reset() {
+  buf_.clear();
+  need_comma_ = 0;
+  depth_ = 0;
+  pending_key_ = false;
+}
+
+void Writer::comma() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (depth_ > 0) {
+    const std::uint64_t bit = 1ULL << (depth_ - 1);
+    if (need_comma_ & bit) {
+      buf_.push_back(',');
+    } else {
+      need_comma_ |= bit;
+    }
+  }
+}
+
+void Writer::begin_object() {
+  comma();
+  buf_.push_back('{');
+  assert(depth_ < 63);
+  ++depth_;
+  need_comma_ &= ~(1ULL << (depth_ - 1));
+}
+
+void Writer::end_object() {
+  assert(depth_ > 0);
+  --depth_;
+  buf_.push_back('}');
+}
+
+void Writer::begin_array() {
+  comma();
+  buf_.push_back('[');
+  assert(depth_ < 63);
+  ++depth_;
+  need_comma_ &= ~(1ULL << (depth_ - 1));
+}
+
+void Writer::end_array() {
+  assert(depth_ > 0);
+  --depth_;
+  buf_.push_back(']');
+}
+
+void Writer::key(std::string_view k) {
+  comma();
+  append_escaped(buf_, k);
+  buf_.push_back(':');
+  pending_key_ = true;
+}
+
+void Writer::value_string(std::string_view v) {
+  comma();
+  append_escaped(buf_, v);
+}
+
+void Writer::value_int(std::int64_t v) {
+  comma();
+  switch (fmt_) {
+    case NumberFormat::kSnprintf:
+      append_int_snprintf(buf_, v);
+      break;
+    case NumberFormat::kFastItoa:
+      append_int(buf_, v);
+      break;
+    case NumberFormat::kNull:
+      buf_.push_back('0');
+      break;
+  }
+}
+
+void Writer::value_uint(std::uint64_t v) {
+  comma();
+  switch (fmt_) {
+    case NumberFormat::kSnprintf:
+      append_int_snprintf(buf_, static_cast<std::int64_t>(v));
+      break;
+    case NumberFormat::kFastItoa:
+      append_uint(buf_, v);
+      break;
+    case NumberFormat::kNull:
+      buf_.push_back('0');
+      break;
+  }
+}
+
+void Writer::value_double(double v, int precision) {
+  comma();
+  switch (fmt_) {
+    case NumberFormat::kSnprintf:
+      append_fixed_snprintf(buf_, v, precision);
+      break;
+    case NumberFormat::kFastItoa:
+      append_fixed(buf_, v, precision);
+      break;
+    case NumberFormat::kNull:
+      buf_.push_back('0');
+      break;
+  }
+}
+
+void Writer::value_bool(bool v) {
+  comma();
+  buf_.append(v ? "true" : "false");
+}
+
+void Writer::value_null() {
+  comma();
+  buf_.append("null");
+}
+
+void Writer::value_raw(std::string_view token) {
+  comma();
+  buf_.append(token);
+}
+
+void Writer::member(std::string_view k, std::string_view v) {
+  key(k);
+  value_string(v);
+}
+void Writer::member(std::string_view k, const char* v) {
+  key(k);
+  value_string(v);
+}
+void Writer::member(std::string_view k, std::int64_t v) {
+  key(k);
+  value_int(v);
+}
+void Writer::member(std::string_view k, std::uint64_t v) {
+  key(k);
+  value_uint(v);
+}
+void Writer::member(std::string_view k, int v) {
+  key(k);
+  value_int(v);
+}
+void Writer::member(std::string_view k, double v) {
+  key(k);
+  value_double(v);
+}
+void Writer::member(std::string_view k, bool v) {
+  key(k);
+  value_bool(v);
+}
+
+void Writer::append_escaped(std::string& out, std::string_view v) {
+  out.push_back('"');
+  for (char c : v) {
+    switch (c) {
+      case '"':
+        out.append("\\\"");
+        break;
+      case '\\':
+        out.append("\\\\");
+        break;
+      case '\n':
+        out.append("\\n");
+        break;
+      case '\r':
+        out.append("\\r");
+        break;
+      case '\t':
+        out.append("\\t");
+        break;
+      case '\b':
+        out.append("\\b");
+        break;
+      case '\f':
+        out.append("\\f");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof(hex), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out.append(hex);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace dlc::json

@@ -1,0 +1,142 @@
+#include "ldms/config.hpp"
+
+#include <charconv>
+
+#include "util/strings.hpp"
+
+namespace dlc::ldms {
+
+namespace {
+
+bool to_u64(const std::string& s, std::uint64_t& out) {
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc() && p == s.data() + s.size();
+}
+
+}  // namespace
+
+bool parse_config_line(const std::string& line, std::string& command,
+                       std::map<std::string, std::string>& args) {
+  command.clear();
+  args.clear();
+  for (const std::string& raw : split(std::string(trim(line)), ' ')) {
+    const std::string token(trim(raw));
+    if (token.empty()) continue;
+    if (command.empty()) {
+      if (token.find('=') != std::string::npos) return false;
+      command = token;
+      continue;
+    }
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) return false;
+    args[token.substr(0, eq)] = token.substr(eq + 1);
+  }
+  return !command.empty();
+}
+
+std::optional<Topology> parse_topology(const std::string& text,
+                                       sim::Engine* engine,
+                                       ConfigError* error) {
+  Topology topo;
+  auto fail = [&](std::size_t line_no,
+                  std::string msg) -> std::optional<Topology> {
+    if (error) *error = ConfigError{line_no, std::move(msg)};
+    return std::nullopt;
+  };
+
+  const auto lines = split(text, '\n');
+  // Continuation handling: a trailing backslash joins the next line.
+  std::vector<std::pair<std::size_t, std::string>> logical;
+  std::string pending;
+  std::size_t pending_line = 0;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::string piece(trim(lines[i]));
+    const bool continued = ends_with(piece, "\\");
+    if (continued) piece.pop_back();
+    if (pending.empty()) pending_line = i + 1;
+    pending += piece;
+    pending.push_back(' ');
+    if (!continued) {
+      logical.emplace_back(pending_line, pending);
+      pending.clear();
+    }
+  }
+  if (!pending.empty()) logical.emplace_back(pending_line, pending);
+
+  for (const auto& [line_no, raw] : logical) {
+    const std::string_view stripped = trim(raw);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    std::string command;
+    std::map<std::string, std::string> args;
+    if (!parse_config_line(std::string(stripped), command, args)) {
+      return fail(line_no, "malformed line");
+    }
+
+    if (command == "daemon") {
+      if (!args.contains("name")) return fail(line_no, "daemon needs name=");
+      const std::string& name = args["name"];
+      if (topo.daemons.contains(name)) {
+        return fail(line_no, "duplicate daemon " + name);
+      }
+      topo.daemons.emplace(name,
+                           std::make_unique<LdmsDaemon>(engine, name));
+    } else if (command == "route") {
+      if (!args.contains("from") || !args.contains("to") ||
+          !args.contains("tag")) {
+        return fail(line_no, "route needs from=, to=, tag=");
+      }
+      LdmsDaemon* from = topo.daemon(args["from"]);
+      LdmsDaemon* to = topo.daemon(args["to"]);
+      if (!from || !to) return fail(line_no, "route references unknown daemon");
+      ForwardConfig cfg;
+      if (args.contains("queue")) {
+        std::uint64_t q;
+        if (!to_u64(args["queue"], q) || q == 0) {
+          return fail(line_no, "bad queue=");
+        }
+        cfg.queue_capacity = q;
+      }
+      if (args.contains("latency_us")) {
+        std::uint64_t us;
+        if (!to_u64(args["latency_us"], us)) {
+          return fail(line_no, "bad latency_us=");
+        }
+        cfg.hop_latency = static_cast<SimDuration>(us) * kMicrosecond;
+      }
+      if (args.contains("bw_mbps")) {
+        std::uint64_t mbps;
+        if (!to_u64(args["bw_mbps"], mbps)) {
+          return fail(line_no, "bad bw_mbps=");
+        }
+        cfg.bandwidth_bytes_per_sec =
+            static_cast<double>(mbps) * 1024.0 * 1024.0;
+      }
+      from->add_forward(args["tag"], *to, cfg);
+    } else if (command == "store") {
+      if (!args.contains("daemon") || !args.contains("tag") ||
+          !args.contains("type")) {
+        return fail(line_no, "store needs daemon=, tag=, type=");
+      }
+      LdmsDaemon* daemon = topo.daemon(args["daemon"]);
+      if (!daemon) return fail(line_no, "store references unknown daemon");
+      const std::string& type = args["type"];
+      std::unique_ptr<StorePlugin> store;
+      if (type == "counting") {
+        store = std::make_unique<CountingStore>();
+      } else if (type == "csv") {
+        store = args.contains("path")
+                    ? std::make_unique<CsvStore>(args["path"])
+                    : std::make_unique<CsvStore>();
+      } else {
+        return fail(line_no, "unknown store type " + type);
+      }
+      store->attach(*daemon, args["tag"]);
+      topo.stores.push_back(std::move(store));
+    } else {
+      return fail(line_no, "unknown command " + command);
+    }
+  }
+  return topo;
+}
+
+}  // namespace dlc::ldms

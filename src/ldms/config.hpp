@@ -1,0 +1,59 @@
+// ldmsd_controller-style topology configuration.
+//
+// Real LDMS deployments are described by daemon configuration scripts
+// (prdcr_add / updtr_add / strgp_add lines of key=value pairs).  This is
+// the reproduction's equivalent dialect — line-oriented, key=value, with
+// `#` comments — so experiments and examples can declare their transport
+// topology as data instead of code:
+//
+//   daemon name=nid00040
+//   daemon name=head
+//   daemon name=shirley
+//   route from=nid00040 to=head tag=darshanConnector queue=65536 <backslash>
+//         latency_us=100 bw_mbps=1024    (trailing backslash continues)
+//   route from=head to=shirley tag=darshanConnector
+//   store daemon=shirley tag=darshanConnector type=csv path=/tmp/events.csv
+//   store daemon=shirley tag=darshanConnector type=counting
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ldms/daemon.hpp"
+#include "ldms/store.hpp"
+#include "sim/engine.hpp"
+
+namespace dlc::ldms {
+
+/// A parsed-and-instantiated topology: owning the daemons and stores.
+struct Topology {
+  std::map<std::string, std::unique_ptr<LdmsDaemon>> daemons;
+  std::vector<std::unique_ptr<StorePlugin>> stores;
+
+  LdmsDaemon* daemon(const std::string& name) {
+    const auto it = daemons.find(name);
+    return it == daemons.end() ? nullptr : it->second.get();
+  }
+};
+
+struct ConfigError {
+  std::size_t line = 0;
+  std::string message;
+};
+
+/// Parses and instantiates a topology script.  Returns nullopt and fills
+/// `error` on the first malformed line; `engine` may be null for
+/// real-thread (inline-forwarding) use.
+std::optional<Topology> parse_topology(const std::string& text,
+                                       sim::Engine* engine,
+                                       ConfigError* error = nullptr);
+
+/// Splits one config line into (command, key=value map).  Exposed for
+/// tests; returns false on syntax errors (missing '=', empty command).
+bool parse_config_line(const std::string& line, std::string& command,
+                       std::map<std::string, std::string>& args);
+
+}  // namespace dlc::ldms

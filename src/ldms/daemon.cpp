@@ -1,0 +1,111 @@
+#include "ldms/daemon.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace dlc::ldms {
+
+LdmsDaemon::LdmsDaemon(sim::Engine* engine, std::string name)
+    : engine_(engine), name_(std::move(name)) {}
+
+std::size_t LdmsDaemon::publish(std::string_view tag, PayloadFormat format,
+                                std::string payload) {
+  StreamMessage msg;
+  msg.tag = std::string(tag);
+  msg.format = format;
+  msg.payload = std::move(payload);
+  msg.producer = name_;
+  if (engine_) {
+    msg.publish_time = engine_->now();
+    msg.deliver_time = engine_->now();
+  }
+  return bus_.publish(msg);
+}
+
+void LdmsDaemon::add_forward(const std::string& tag, LdmsDaemon& upstream,
+                             ForwardConfig config) {
+  routes_.push_back(std::make_unique<Route>());
+  Route* route = routes_.back().get();
+  route->upstream = &upstream;
+  route->config = config;
+  bus_.subscribe(tag,
+                 [this, route](const StreamMessage& msg) { enqueue(*route, msg); });
+}
+
+void LdmsDaemon::set_outage(SimTime start, SimTime end) {
+  outage_start_ = start;
+  outage_end_ = end;
+}
+
+bool LdmsDaemon::in_outage() const {
+  if (outage_end_ <= outage_start_ || !engine_) return false;
+  const SimTime now = engine_->now();
+  return now >= outage_start_ && now < outage_end_;
+}
+
+void LdmsDaemon::enqueue(Route& route, const StreamMessage& msg) {
+  if (in_outage()) {
+    ++outage_dropped_;  // transport down: the message is simply gone
+    return;
+  }
+  if (route.queue.size() >= route.config.queue_capacity) {
+    ++route.dropped;  // best effort: no resend, no back-pressure
+    return;
+  }
+  route.queue.push_back(msg);
+  route.max_depth = std::max(route.max_depth, route.queue.size());
+  if (engine_ && !route.pump_active) {
+    route.pump_active = true;
+    engine_->spawn(pump(route));
+  } else if (!engine_) {
+    // No virtual transport: deliver inline (degenerate zero-latency hop).
+    StreamMessage inline_msg = std::move(route.queue.front());
+    route.queue.pop_front();
+    ++inline_msg.hops;
+    route.upstream->bus().publish(inline_msg);
+    ++route.forwarded;
+  }
+}
+
+sim::Task<void> LdmsDaemon::pump(Route& route) {
+  // Drains the route queue, modelling per-message hop cost; exits when the
+  // queue is empty (re-spawned on the next enqueue).
+  while (!route.queue.empty()) {
+    StreamMessage msg = std::move(route.queue.front());
+    route.queue.pop_front();
+    SimDuration cost = route.config.hop_latency;
+    if (route.config.bandwidth_bytes_per_sec > 0) {
+      cost += static_cast<SimDuration>(
+          static_cast<double>(msg.payload.size()) /
+          route.config.bandwidth_bytes_per_sec *
+          static_cast<double>(kSecond));
+    }
+    co_await engine_->delay(cost);
+    msg.deliver_time = engine_->now();
+    ++msg.hops;
+    route.upstream->bus().publish(msg);
+    ++route.forwarded;
+  }
+  route.pump_active = false;
+}
+
+std::uint64_t LdmsDaemon::dropped() const {
+  std::uint64_t total = outage_dropped_;
+  for (const auto& r : routes_) total += r->dropped;
+  return total;
+}
+
+std::uint64_t LdmsDaemon::forwarded() const {
+  std::uint64_t total = 0;
+  for (const auto& r : routes_) total += r->forwarded;
+  return total;
+}
+
+std::size_t LdmsDaemon::max_queue_depth() const {
+  std::size_t depth = 0;
+  for (const auto& r : routes_) depth = std::max(depth, r->max_depth);
+  return depth;
+}
+
+}  // namespace dlc::ldms

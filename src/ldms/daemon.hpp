@@ -1,0 +1,96 @@
+// LDMSD: an LDMS daemon with a local stream bus and push-based forwarding.
+//
+// Mirrors the paper's deployment: sampler daemons on compute nodes push
+// Darshan stream data one hop to the head-node aggregator, which pushes to
+// a second-level aggregator on the analysis cluster (Shirley) where the
+// storage plugin subscribes.  Forwarding is best-effort: each route has a
+// bounded in-flight queue; overflow drops the message and bumps a counter
+// (LDMS Streams has no resend).  Hop latency and per-byte transport cost
+// advance virtual time.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ldms/message.hpp"
+#include "ldms/stream_bus.hpp"
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+
+namespace dlc::ldms {
+
+struct ForwardConfig {
+  /// Max messages queued on this route before drops begin.
+  std::size_t queue_capacity = 4096;
+  /// Per-hop transport latency.
+  SimDuration hop_latency = 50 * kMicrosecond;
+  /// Transport bandwidth for the payload (bytes/sec); 0 => unmetered.
+  double bandwidth_bytes_per_sec = 1.0 * 1024 * 1024 * 1024;
+};
+
+class LdmsDaemon {
+ public:
+  /// `engine` may be null for pure real-thread use (no virtual transport).
+  LdmsDaemon(sim::Engine* engine, std::string name);
+
+  const std::string& name() const { return name_; }
+  StreamBus& bus() { return bus_; }
+  const StreamBus& bus() const { return bus_; }
+
+  /// ldms_stream_publish: stamps times/producer and delivers to the local
+  /// bus (whence forward routes pick it up).  Returns subscribers reached.
+  std::size_t publish(std::string_view tag, PayloadFormat format,
+                      std::string payload);
+
+  /// Configures push-forwarding of `tag` to `upstream` (prdcr/updtr
+  /// analogue).  Messages published to this daemon's bus with a matching
+  /// tag are queued and delivered to the upstream daemon's bus after the
+  /// modelled hop delay.
+  void add_forward(const std::string& tag, LdmsDaemon& upstream,
+                   ForwardConfig config = {});
+
+  /// Failure injection: during [start, end) the daemon's forward routes
+  /// drop everything (aggregator crash / network partition).  Messages
+  /// already queued keep draining once the daemon recovers — queue
+  /// contents survive a transport outage, new arrivals do not (LDMS has
+  /// no reconnect/resend).
+  void set_outage(SimTime start, SimTime end);
+  bool in_outage() const;
+  std::uint64_t outage_dropped() const { return outage_dropped_; }
+
+  /// Messages dropped across all routes of this daemon (queue overflow +
+  /// outage losses).
+  std::uint64_t dropped() const;
+  /// Messages successfully handed to upstream buses.
+  std::uint64_t forwarded() const;
+  /// Largest queue depth observed on any route (transport back-pressure).
+  std::size_t max_queue_depth() const;
+
+ private:
+  struct Route {
+    LdmsDaemon* upstream = nullptr;
+    ForwardConfig config;
+    std::deque<StreamMessage> queue;
+    bool pump_active = false;
+    std::uint64_t dropped = 0;
+    std::uint64_t forwarded = 0;
+    std::size_t max_depth = 0;
+  };
+
+  void enqueue(Route& route, const StreamMessage& msg);
+  sim::Task<void> pump(Route& route);
+
+  sim::Engine* engine_;
+  std::string name_;
+  StreamBus bus_;
+  SimTime outage_start_ = 0;
+  SimTime outage_end_ = 0;
+  std::uint64_t outage_dropped_ = 0;
+  // Stable addresses: routes are captured by reference in pump coroutines.
+  std::vector<std::unique_ptr<Route>> routes_;
+};
+
+}  // namespace dlc::ldms

@@ -1,0 +1,32 @@
+// LDMS Streams message: a tagged, variable-length event payload.
+//
+// Per the paper: "Event data can be specified as either string or JSON
+// format", publishers and subscribers rendezvous on a stream *tag*, and
+// delivery is best effort — no cache, no resend, subscribers only see data
+// published after they subscribed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/time.hpp"
+
+namespace dlc::ldms {
+
+enum class PayloadFormat : std::uint8_t { kString = 0, kJson = 1 };
+
+struct StreamMessage {
+  std::string tag;
+  PayloadFormat format = PayloadFormat::kJson;
+  std::string payload;
+  /// Name of the daemon that first published the message.
+  std::string producer;
+  /// Virtual time of the original publish call.
+  SimTime publish_time = 0;
+  /// Virtual time of delivery at the current hop (updated in transit).
+  SimTime deliver_time = 0;
+  /// Number of transport hops traversed so far.
+  int hops = 0;
+};
+
+}  // namespace dlc::ldms

@@ -1,0 +1,73 @@
+#include "ldms/metrics.hpp"
+
+#include "json/parser.hpp"
+#include "json/writer.hpp"
+
+namespace dlc::ldms {
+
+MetricSampler::MetricSampler(sim::Engine& engine, LdmsDaemon& daemon,
+                             std::unique_ptr<SamplerPlugin> plugin,
+                             SimDuration interval, std::string tag)
+    : engine_(engine),
+      daemon_(daemon),
+      plugin_(std::move(plugin)),
+      interval_(interval <= 0 ? kSecond : interval),
+      tag_(std::move(tag)) {}
+
+void MetricSampler::start(SimTime until) { engine_.spawn(run(until)); }
+
+sim::Task<void> MetricSampler::run(SimTime until) {
+  while (engine_.now() + interval_ <= until) {
+    if (stop_ && stop_()) break;
+    co_await engine_.delay(interval_);
+    if (stop_ && stop_()) break;
+    scratch_.clear();
+    plugin_->sample(engine_.now(), scratch_);
+    MetricSample sample;
+    sample.set_name = plugin_->set_name();
+    sample.producer = daemon_.name();
+    sample.timestamp = engine_.now();
+    sample.values = scratch_;
+    daemon_.publish(tag_, PayloadFormat::kJson,
+                    to_json(sample, plugin_->metric_names()));
+    ++samples_;
+  }
+}
+
+std::string MetricSampler::to_json(const MetricSample& sample,
+                                   const std::vector<std::string>& names) {
+  json::Writer w;
+  w.begin_object();
+  w.member("schema", sample.set_name);
+  w.member("ProducerName", sample.producer);
+  w.member("timestamp", to_seconds(sample.timestamp));
+  w.key("metrics");
+  w.begin_object();
+  const std::size_t n = std::min(names.size(), sample.values.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    w.member(names[i], sample.values[i]);
+  }
+  w.end_object();
+  w.end_object();
+  return w.take();
+}
+
+bool MetricSampler::from_json(const std::string& payload, MetricSample& out) {
+  const auto doc = json::parse(payload);
+  if (!doc || !doc->is_object()) return false;
+  const json::Value* metrics = doc->find("metrics");
+  if (!metrics || !metrics->is_object()) return false;
+  out.set_name = doc->get_string("schema");
+  out.producer = doc->get_string("ProducerName");
+  out.timestamp = from_seconds(doc->get_double("timestamp"));
+  out.values.clear();
+  out.names.clear();
+  for (const auto& [name, value] : metrics->as_object()) {
+    if (!value.is_number()) return false;
+    out.names.push_back(name);
+    out.values.push_back(value.as_double());
+  }
+  return true;
+}
+
+}  // namespace dlc::ldms

@@ -1,0 +1,88 @@
+// LDMS metric sets: the sampler half of LDMS.
+//
+// Beyond streams, real LDMS daemons run *sampler plugins* that collect
+// fixed-schema system metric sets (meminfo, vmstat, network counters) on
+// a synchronous cadence; aggregators pull/push them alongside stream
+// data.  The paper's motivation is correlating application I/O behaviour
+// with exactly this system-state data, so the reproduction includes a
+// sampler framework plus a synthetic "system state" sampler driven by the
+// same variability process that perturbs the file-system models — giving
+// the correlation analyses something true to correlate against.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ldms/daemon.hpp"
+#include "sim/engine.hpp"
+#include "util/time.hpp"
+
+namespace dlc::ldms {
+
+/// One sampled metric set instance: schema name, producer, timestamp and
+/// the metric values (fixed order defined by the sampler).
+struct MetricSample {
+  std::string set_name;     // e.g. "meminfo"
+  std::string producer;     // node name
+  SimTime timestamp = 0;
+  std::vector<double> values;
+  /// Channel names; filled by from_json (parallel to `values`).  Samplers
+  /// leave it empty and carry names in the plugin instead.
+  std::vector<std::string> names;
+};
+
+/// Sampler plugin interface: fills `out` with the current metric values.
+class SamplerPlugin {
+ public:
+  virtual ~SamplerPlugin() = default;
+  virtual const std::string& set_name() const = 0;
+  virtual const std::vector<std::string>& metric_names() const = 0;
+  virtual void sample(SimTime now, std::vector<double>& out) = 0;
+};
+
+/// Periodic sampler runner: samples every `interval` on the virtual
+/// timeline and publishes each sample as a JSON stream message on
+/// `tag` (so the existing transport/storage path carries metric sets
+/// too, like the LDMS store plugins would).
+class MetricSampler {
+ public:
+  MetricSampler(sim::Engine& engine, LdmsDaemon& daemon,
+                std::unique_ptr<SamplerPlugin> plugin, SimDuration interval,
+                std::string tag = "ldms-metrics");
+
+  /// Starts sampling until `until` (virtual time).
+  void start(SimTime until = INT64_MAX);
+
+  /// Optional early-stop check, evaluated at each tick (e.g. "job is
+  /// done") so open-ended samplers don't run the engine forever.
+  void set_stop_predicate(std::function<bool()> stop) {
+    stop_ = std::move(stop);
+  }
+
+  std::uint64_t samples_taken() const { return samples_; }
+  const SamplerPlugin& plugin() const { return *plugin_; }
+
+  /// Renders a sample as the JSON payload published on the bus.
+  static std::string to_json(const MetricSample& sample,
+                             const std::vector<std::string>& names);
+
+  /// Parses a payload produced by to_json; returns false on mismatch.
+  static bool from_json(const std::string& payload, MetricSample& out);
+
+ private:
+  sim::Task<void> run(SimTime until);
+
+  sim::Engine& engine_;
+  LdmsDaemon& daemon_;
+  std::unique_ptr<SamplerPlugin> plugin_;
+  SimDuration interval_;
+  std::string tag_;
+  std::function<bool()> stop_;
+  std::uint64_t samples_ = 0;
+  std::vector<double> scratch_;
+};
+
+}  // namespace dlc::ldms

@@ -1,0 +1,27 @@
+#include "ldms/store.hpp"
+
+namespace dlc::ldms {
+
+void StorePlugin::attach(LdmsDaemon& daemon, const std::string& tag) {
+  daemon.bus().subscribe(tag,
+                         [this](const StreamMessage& msg) { store(msg); });
+}
+
+void CountingStore::store(const StreamMessage& msg) {
+  account(msg);
+  latency_sum_ += to_seconds(msg.deliver_time - msg.publish_time);
+}
+
+double CountingStore::mean_latency_seconds() const {
+  return stored() ? latency_sum_ / static_cast<double>(stored()) : 0.0;
+}
+
+CsvStore::CsvStore(const std::string& file_path) : file_(file_path) {}
+
+void CsvStore::store(const StreamMessage& msg) {
+  account(msg);
+  rows_.push_back(msg.payload);
+  if (file_.is_open()) file_ << msg.payload << '\n';
+}
+
+}  // namespace dlc::ldms

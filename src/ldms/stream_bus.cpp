@@ -1,0 +1,59 @@
+#include "ldms/stream_bus.hpp"
+
+#include <algorithm>
+
+namespace dlc::ldms {
+
+SubscriptionId StreamBus::subscribe(std::string tag, SubscriberFn fn) {
+  const std::scoped_lock lock(mutex_);
+  const SubscriptionId id = next_id_++;
+  subs_.push_back(Subscription{id, std::move(tag), std::move(fn)});
+  return id;
+}
+
+void StreamBus::unsubscribe(SubscriptionId id) {
+  const std::scoped_lock lock(mutex_);
+  std::erase_if(subs_, [id](const Subscription& s) { return s.id == id; });
+}
+
+std::size_t StreamBus::publish(const StreamMessage& msg) {
+  // Snapshot matching callbacks under the lock, invoke outside it (CP.22:
+  // never call unknown code while holding a lock).
+  std::vector<SubscriberFn> targets;
+  {
+    const std::scoped_lock lock(mutex_);
+    ++published_;
+    for (const Subscription& s : subs_) {
+      if (s.tag == msg.tag) targets.push_back(s.fn);
+    }
+    if (targets.empty()) {
+      ++missed_;
+    } else {
+      delivered_ += targets.size();
+    }
+  }
+  for (const auto& fn : targets) fn(msg);
+  return targets.size();
+}
+
+std::uint64_t StreamBus::published() const {
+  const std::scoped_lock lock(mutex_);
+  return published_;
+}
+
+std::uint64_t StreamBus::delivered() const {
+  const std::scoped_lock lock(mutex_);
+  return delivered_;
+}
+
+std::uint64_t StreamBus::missed() const {
+  const std::scoped_lock lock(mutex_);
+  return missed_;
+}
+
+std::size_t StreamBus::subscriber_count() const {
+  const std::scoped_lock lock(mutex_);
+  return subs_.size();
+}
+
+}  // namespace dlc::ldms

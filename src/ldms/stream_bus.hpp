@@ -1,0 +1,62 @@
+// LDMS Streams publish/subscribe bus (one per daemon).
+//
+// Subscribers register on a tag; publish() synchronously delivers to every
+// matching subscriber.  Messages with no matching subscriber are dropped
+// and counted — LDMS Streams "does not cache its data so the published
+// data can only be received after subscription".
+//
+// The bus is thread-safe (mutex-protected subscriber table) so the same
+// type serves both the single-threaded virtual-time pipeline and the
+// real-thread transport benchmarks.  Per CP.22, subscriber callbacks are
+// invoked *outside* the lock.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ldms/message.hpp"
+
+namespace dlc::ldms {
+
+using SubscriberFn = std::function<void(const StreamMessage&)>;
+using SubscriptionId = std::uint64_t;
+
+class StreamBus {
+ public:
+  /// Registers `fn` for messages whose tag equals `tag`.
+  SubscriptionId subscribe(std::string tag, SubscriberFn fn);
+
+  /// Removes a subscription; no-op for unknown ids.
+  void unsubscribe(SubscriptionId id);
+
+  /// Delivers `msg` to all current subscribers of its tag.  Returns the
+  /// number of subscribers reached (0 => the message is gone for good).
+  std::size_t publish(const StreamMessage& msg);
+
+  // --- statistics -------------------------------------------------------
+  std::uint64_t published() const;
+  std::uint64_t delivered() const;
+  /// Messages that found no subscriber.
+  std::uint64_t missed() const;
+  std::size_t subscriber_count() const;
+
+ private:
+  struct Subscription {
+    SubscriptionId id;
+    std::string tag;
+    SubscriberFn fn;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<Subscription> subs_;
+  SubscriptionId next_id_ = 1;
+  std::uint64_t published_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t missed_ = 0;
+};
+
+}  // namespace dlc::ldms

@@ -1,0 +1,35 @@
+#include "ldms/threaded.hpp"
+
+namespace dlc::ldms {
+
+ThreadedForwarder::ThreadedForwarder(StreamBus& from, StreamBus& to,
+                                     const std::string& tag,
+                                     std::size_t queue_capacity)
+    : to_(to), queue_(queue_capacity), from_(from) {
+  sub_id_ = from.subscribe(tag, [this](const StreamMessage& msg) {
+    if (!queue_.try_push(msg)) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  worker_ = std::thread([this] { run(); });
+}
+
+ThreadedForwarder::~ThreadedForwarder() { stop(); }
+
+void ThreadedForwarder::stop() {
+  if (worker_.joinable()) {
+    from_.unsubscribe(sub_id_);
+    queue_.close();
+    worker_.join();
+  }
+}
+
+void ThreadedForwarder::run() {
+  while (auto msg = queue_.pop()) {
+    ++msg->hops;
+    to_.publish(*msg);
+    forwarded_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace dlc::ldms

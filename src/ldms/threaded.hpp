@@ -1,0 +1,52 @@
+// Real-thread LDMS transport: a bounded queue drained by a worker thread.
+//
+// The virtual-time pipeline (LdmsDaemon routes) measures *modelled*
+// latency; this forwarder exists to measure the *actual* software cost of
+// the streams path on real hardware — used by bench_streams to report
+// publish throughput across 1..3 hops with best-effort drop semantics.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "ldms/message.hpp"
+#include "ldms/stream_bus.hpp"
+#include "util/queue.hpp"
+
+namespace dlc::ldms {
+
+class ThreadedForwarder {
+ public:
+  /// Subscribes to `tag` on `from` and pushes matching messages to `to`
+  /// from a dedicated worker thread.
+  ThreadedForwarder(StreamBus& from, StreamBus& to, const std::string& tag,
+                    std::size_t queue_capacity = 65536);
+  ~ThreadedForwarder();
+
+  ThreadedForwarder(const ThreadedForwarder&) = delete;
+  ThreadedForwarder& operator=(const ThreadedForwarder&) = delete;
+
+  /// Stops the worker after draining in-flight messages.
+  void stop();
+
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t forwarded() const {
+    return forwarded_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void run();
+
+  StreamBus& to_;
+  BoundedQueue<StreamMessage> queue_;
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> forwarded_{0};
+  SubscriptionId sub_id_;
+  StreamBus& from_;
+  std::thread worker_;
+};
+
+}  // namespace dlc::ldms

@@ -1,0 +1,68 @@
+#include "sim/engine.hpp"
+
+#include <stdexcept>
+
+namespace dlc::sim {
+
+Engine::~Engine() = default;
+
+void Engine::spawn(Task<void> task, SimTime start) {
+  if (!task.valid()) return;
+  if (++spawns_since_reap_ >= 1024) {
+    reap_completed();
+    spawns_since_reap_ = 0;
+  }
+  // The Task object keeps owning the frame; the run queue holds a
+  // non-owning handle for the initial resume.  Frame addresses are stable
+  // across vector reallocation because moving a Task moves only the handle.
+  root_tasks_.push_back(std::move(task));
+  schedule_at(start < now_ ? now_ : start, root_tasks_.back().raw_handle());
+}
+
+void Engine::reap_completed() {
+  std::erase_if(root_tasks_, [this](const Task<void>& t) {
+    if (!t.done()) return false;
+    if (!pending_exception_) {
+      try {
+        t.rethrow_if_failed();
+      } catch (...) {
+        pending_exception_ = std::current_exception();
+      }
+    }
+    return true;
+  });
+}
+
+void Engine::schedule_at(SimTime t, std::coroutine_handle<> h) {
+  queue_.push(ScheduledEvent{t < now_ ? now_ : t, seq_++, h});
+}
+
+void Engine::run(SimTime until) {
+  while (!queue_.empty()) {
+    const ScheduledEvent ev = queue_.top();
+    if (ev.time > until) break;
+    queue_.pop();
+    now_ = ev.time;
+    ++dispatched_;
+    if (dispatch_limit_ != 0 && dispatched_ > dispatch_limit_) {
+      throw std::runtime_error("sim::Engine dispatch limit exceeded");
+    }
+    ev.handle.resume();
+  }
+  if (pending_exception_) {
+    std::exception_ptr ex = pending_exception_;
+    pending_exception_ = nullptr;
+    std::rethrow_exception(ex);
+  }
+  for (const auto& t : root_tasks_) t.rethrow_if_failed();
+}
+
+std::size_t Engine::unfinished_tasks() const {
+  std::size_t n = 0;
+  for (const auto& t : root_tasks_) {
+    if (t.valid() && !t.done()) ++n;
+  }
+  return n;
+}
+
+}  // namespace dlc::sim

@@ -1,0 +1,97 @@
+// Discrete-event engine: a virtual clock plus a time-ordered run queue of
+// suspended coroutines.  Ties are broken by insertion sequence so identical
+// seeds replay identically regardless of allocator behaviour.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "util/time.hpp"
+
+namespace dlc::sim {
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine();
+
+  /// Current virtual time.
+  SimTime now() const { return now_; }
+
+  /// Registers a root process; it starts when run() reaches `start`.
+  void spawn(Task<void> task, SimTime start = 0);
+
+  /// Schedules a raw coroutine handle to resume at absolute time `t`
+  /// (clamped to now).  Building block for awaitables.
+  void schedule_at(SimTime t, std::coroutine_handle<> h);
+
+  /// Schedules `h` to resume after `d` ns of virtual time.
+  void schedule_after(SimDuration d, std::coroutine_handle<> h) {
+    schedule_at(now_ + (d < 0 ? 0 : d), h);
+  }
+
+  /// Runs until the event queue is empty or `until` is reached (whichever
+  /// first).  Rethrows the first exception that escaped a root task.
+  void run(SimTime until = INT64_MAX);
+
+  /// Number of spawned root tasks that have not completed.  A non-zero
+  /// value after run() means deadlock (process waiting on an event nobody
+  /// will signal) — tests assert on this.
+  std::size_t unfinished_tasks() const;
+
+  /// Total events dispatched (diagnostics / perf counters).
+  std::uint64_t events_dispatched() const { return dispatched_; }
+
+  /// Runaway guard: run() throws std::runtime_error once this many events
+  /// have been dispatched in total (0 disables).  Catches accidental
+  /// zero-delay self-rescheduling loops in workload code.
+  void set_dispatch_limit(std::uint64_t limit) { dispatch_limit_ = limit; }
+
+  /// Awaitable: suspends the current coroutine for `d` virtual ns.
+  auto delay(SimDuration d) {
+    struct Awaiter {
+      Engine& engine;
+      SimDuration dur;
+      bool await_ready() const noexcept { return dur <= 0; }
+      void await_suspend(std::coroutine_handle<> h) const {
+        engine.schedule_after(dur, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, d};
+  }
+
+ private:
+  struct ScheduledEvent {
+    SimTime time;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;
+    bool operator>(const ScheduledEvent& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  /// Frees frames of completed root tasks; called periodically from
+  /// spawn() so long-running pipelines don't accumulate dead frames.
+  /// The first escaped exception is parked and rethrown by run().
+  void reap_completed();
+
+  SimTime now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t dispatched_ = 0;
+  std::uint64_t dispatch_limit_ = 0;
+  std::priority_queue<ScheduledEvent, std::vector<ScheduledEvent>,
+                      std::greater<>>
+      queue_;
+  std::vector<Task<void>> root_tasks_;
+  std::exception_ptr pending_exception_;
+  std::size_t spawns_since_reap_ = 0;
+};
+
+}  // namespace dlc::sim

@@ -1,0 +1,41 @@
+#include "sim/sync.hpp"
+
+namespace dlc::sim {
+
+void Event::set() {
+  if (set_) return;
+  set_ = true;
+  // Wake via the run queue (not inline resume) so wakeup order is the
+  // deterministic queue order and the setter's frame isn't re-entered.
+  for (auto h : waiters_) engine_.schedule_after(0, h);
+  waiters_.clear();
+}
+
+void Barrier::release_all() {
+  ++generation_;
+  for (auto h : waiting_) engine_.schedule_after(0, h);
+  waiting_.clear();
+}
+
+void Resource::release() {
+  if (!waiters_.empty()) {
+    // Slot transfers directly to the head of the queue; in_use_ unchanged.
+    const Waiter next = waiters_.front();
+    waiters_.pop_front();
+    wait_time_ += engine_.now() - next.enqueued_at;
+    engine_.schedule_after(0, next.handle);
+  } else if (in_use_ > 0) {
+    --in_use_;
+  }
+}
+
+Task<void> Resource::use(SimDuration service) {
+  co_await acquire();
+  const SimTime start = engine_.now();
+  co_await engine_.delay(service);
+  busy_time_ += engine_.now() - start;
+  ++completed_;
+  release();
+}
+
+}  // namespace dlc::sim

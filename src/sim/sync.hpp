@@ -1,0 +1,150 @@
+// Synchronisation primitives on the virtual timeline.
+//
+//   Event    — one-shot signal (fan-out wakeup)
+//   Barrier  — reusable rendezvous for N processes (MPI_Barrier analogue)
+//   Resource — FIFO multi-server queue: `co_await res.use(service)` models a
+//              request that waits for one of `capacity` servers, holds it
+//              for `service` ns, then releases.  Queueing delay — the source
+//              of file-system contention in simfs — falls out naturally.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+#include "util/time.hpp"
+
+namespace dlc::sim {
+
+/// One-shot event: wait() suspends until set() is called; waits after set()
+/// complete immediately.
+class Event {
+ public:
+  explicit Event(Engine& engine) : engine_(engine) {}
+
+  bool is_set() const { return set_; }
+
+  /// Wakes all current and future waiters.
+  void set();
+
+  /// Awaitable wait.
+  auto wait() {
+    struct Awaiter {
+      Event& event;
+      bool await_ready() const noexcept { return event.set_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        event.waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Engine& engine_;
+  bool set_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Reusable N-party barrier.  The Nth arrival releases everyone (including
+/// itself, without suspension) and resets for the next generation.
+class Barrier {
+ public:
+  Barrier(Engine& engine, std::size_t parties)
+      : engine_(engine), parties_(parties) {}
+
+  std::size_t parties() const { return parties_; }
+  std::uint64_t generation() const { return generation_; }
+
+  auto arrive_and_wait() {
+    struct Awaiter {
+      Barrier& barrier;
+      bool await_ready() const noexcept {
+        return barrier.parties_ <= 1;  // degenerate barrier never blocks
+      }
+      bool await_suspend(std::coroutine_handle<> h) {
+        if (barrier.waiting_.size() + 1 == barrier.parties_) {
+          barrier.release_all();
+          return false;  // last arrival continues immediately
+        }
+        barrier.waiting_.push_back(h);
+        return true;
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  void release_all();
+
+  Engine& engine_;
+  std::size_t parties_;
+  std::uint64_t generation_ = 0;
+  std::vector<std::coroutine_handle<>> waiting_;
+};
+
+/// FIFO multi-server resource with utilisation accounting.
+class Resource {
+ public:
+  Resource(Engine& engine, std::size_t capacity)
+      : engine_(engine), capacity_(capacity == 0 ? 1 : capacity) {}
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t in_use() const { return in_use_; }
+  std::size_t queue_length() const { return waiters_.size(); }
+
+  /// Total busy server-nanoseconds accumulated so far.
+  SimDuration busy_time() const { return busy_time_; }
+  /// Total request-nanoseconds spent waiting in the queue.
+  SimDuration wait_time() const { return wait_time_; }
+  std::uint64_t completed() const { return completed_; }
+
+  /// Acquire one server slot (FIFO).  Pair with release().
+  auto acquire() {
+    struct Awaiter {
+      Resource& res;
+      SimTime enqueue_time = 0;
+      bool await_ready() {
+        if (res.in_use_ < res.capacity_ && res.waiters_.empty()) {
+          ++res.in_use_;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        enqueue_time = res.engine_.now();
+        res.waiters_.push_back(Waiter{h, enqueue_time});
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  /// Releases one slot; hands it to the longest-waiting request, if any.
+  void release();
+
+  /// Acquire + hold for `service` + release, accounting busy time.
+  Task<void> use(SimDuration service);
+
+ private:
+  struct Waiter {
+    std::coroutine_handle<> handle;
+    SimTime enqueued_at;
+  };
+
+  Engine& engine_;
+  std::size_t capacity_;
+  std::size_t in_use_ = 0;
+  std::deque<Waiter> waiters_;
+  SimDuration busy_time_ = 0;
+  SimDuration wait_time_ = 0;
+  std::uint64_t completed_ = 0;
+
+  friend class ResourceAwaiterAccess;
+};
+
+}  // namespace dlc::sim

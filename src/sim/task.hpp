@@ -1,0 +1,195 @@
+// Coroutine task type for simulated processes.
+//
+// A sim::Task<T> is a lazily-started coroutine on the virtual timeline.
+// Rank processes read like MPI code:
+//
+//   sim::Task<void> rank_main(RankCtx& ctx) {
+//     co_await ctx.fs.write(ctx.node, fh, bytes);
+//     co_await ctx.job.barrier();
+//   }
+//
+// Tasks are single-threaded: the Engine resumes exactly one coroutine at a
+// time, so no synchronisation is needed inside frames (determinism is the
+// point — every experiment replays bit-identically from its seed).
+//
+// Ownership: the Task object owns the coroutine frame (destroying a Task
+// destroys a suspended frame safely).  `co_await child_task` starts the
+// child via symmetric transfer and resumes the parent when the child's
+// final_suspend runs.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace dlc::sim {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation;
+  std::exception_ptr exception;
+  bool started = false;
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<Promise> h) const noexcept {
+      auto cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() const noexcept {}
+  };
+
+  std::suspend_always initial_suspend() const noexcept { return {}; }
+  FinalAwaiter final_suspend() const noexcept { return {}; }
+  void unhandled_exception() noexcept { exception = std::current_exception(); }
+};
+
+template <typename T>
+struct Promise : PromiseBase {
+  std::optional<T> value;
+
+  Task<T> get_return_object() noexcept;
+  template <typename U>
+  void return_value(U&& v) {
+    value.emplace(std::forward<U>(v));
+  }
+};
+
+template <>
+struct Promise<void> : PromiseBase {
+  Task<void> get_return_object() noexcept;
+  void return_void() const noexcept {}
+};
+
+}  // namespace detail
+
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  using promise_type = detail::Promise<T>;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  explicit Task(Handle h) : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+  bool done() const { return handle_ && handle_.done(); }
+
+  /// Starts or resumes the coroutine directly (used by the Engine for root
+  /// tasks; in-task code should `co_await` instead).
+  void resume() const { handle_.resume(); }
+
+  /// Rethrows an exception that escaped the task body, if any.
+  void rethrow_if_failed() const {
+    if (handle_ && handle_.promise().exception) {
+      std::rethrow_exception(handle_.promise().exception);
+    }
+  }
+
+  /// Non-owning view of the frame, e.g. for scheduling the initial resume.
+  std::coroutine_handle<> raw_handle() const { return handle_; }
+
+  // --- awaiter: `co_await task` starts the child and suspends the parent.
+  struct Awaiter {
+    Handle handle;
+    bool await_ready() const noexcept { return !handle || handle.done(); }
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<> parent) const noexcept {
+      handle.promise().continuation = parent;
+      return handle;  // symmetric transfer: run the child now
+    }
+    T await_resume() const {
+      if (handle.promise().exception) {
+        std::rethrow_exception(handle.promise().exception);
+      }
+      if constexpr (!std::is_void_v<T>) {
+        return std::move(*handle.promise().value);
+      }
+    }
+  };
+
+  Awaiter operator co_await() const noexcept {
+    handle_.promise().started = true;
+    return Awaiter{handle_};
+  }
+
+  /// Starts the task eagerly (runs inline until its first suspension).
+  /// Idempotent.  Combine with join() for fork/join parallelism:
+  ///
+  ///   for (auto& t : chunks) t.start();
+  ///   for (auto& t : chunks) co_await t.join();
+  void start() const {
+    auto& p = handle_.promise();
+    if (!p.started) {
+      p.started = true;
+      handle_.resume();
+    }
+  }
+
+  /// Awaiter for a task that was already start()ed: never transfers into
+  /// the child (it may be suspended in the engine queue); just parks the
+  /// parent as the child's continuation.
+  struct JoinAwaiter {
+    Handle handle;
+    bool await_ready() const noexcept { return !handle || handle.done(); }
+    void await_suspend(std::coroutine_handle<> parent) const noexcept {
+      handle.promise().continuation = parent;
+    }
+    T await_resume() const {
+      if (handle.promise().exception) {
+        std::rethrow_exception(handle.promise().exception);
+      }
+      if constexpr (!std::is_void_v<T>) {
+        return std::move(*handle.promise().value);
+      }
+    }
+  };
+
+  JoinAwaiter join() const {
+    start();
+    return JoinAwaiter{handle_};
+  }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  Handle handle_;
+};
+
+namespace detail {
+
+template <typename T>
+Task<T> Promise<T>::get_return_object() noexcept {
+  return Task<T>(std::coroutine_handle<Promise<T>>::from_promise(*this));
+}
+
+inline Task<void> Promise<void>::get_return_object() noexcept {
+  return Task<void>(std::coroutine_handle<Promise<void>>::from_promise(*this));
+}
+
+}  // namespace detail
+
+}  // namespace dlc::sim

@@ -1,0 +1,142 @@
+#include "simfs/lustre.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dlc::simfs {
+
+LustreModel::LustreModel(sim::Engine& engine, const LustreConfig& config,
+                         std::shared_ptr<VariabilityProcess> variability,
+                         std::uint64_t seed)
+    : engine_(engine),
+      config_(config),
+      variability_(std::move(variability)),
+      mds_(engine, config.mds_slots),
+      jitter_rng_(Rng(seed).fork("lustre-jitter")) {
+  osts_.reserve(config_.ost_count);
+  for (std::size_t i = 0; i < config_.ost_count; ++i) {
+    osts_.push_back(std::make_unique<sim::Resource>(engine, config_.ost_slots));
+  }
+}
+
+double LustreModel::jitter() {
+  if (config_.jitter_sigma <= 0.0) return 1.0;
+  return jitter_rng_.lognormal(0.0, config_.jitter_sigma);
+}
+
+std::vector<LustreModel::Chunk> LustreModel::layout(std::string_view path,
+                                                    std::uint64_t offset,
+                                                    std::uint64_t bytes) const {
+  std::vector<Chunk> chunks;
+  const std::uint64_t stripe = config_.stripe_size;
+  const std::size_t base_ost = fnv1a64(path) % osts_.size();
+  while (bytes > 0) {
+    const std::uint64_t stripe_index = offset / stripe;
+    const std::uint64_t within = offset % stripe;
+    const std::uint64_t take = std::min(bytes, stripe - within);
+    const std::size_t ost =
+        (base_ost + stripe_index % config_.stripe_count) % osts_.size();
+    if (!chunks.empty() && chunks.back().ost == ost) {
+      chunks.back().bytes += take;  // merge contiguous same-OST spans
+    } else {
+      chunks.push_back(Chunk{ost, take});
+    }
+    offset += take;
+    bytes -= take;
+  }
+  return chunks;
+}
+
+sim::Task<void> LustreModel::chunk_rpc(std::size_t ost, SimDuration service) {
+  co_await osts_[ost]->use(service);
+}
+
+sim::Task<SimDuration> LustreModel::metadata_op() {
+  const SimTime start = engine_.now();
+  const double factor =
+      variability_->factor(start, OpClass::kMetadata) * jitter();
+  const auto service = static_cast<SimDuration>(
+      static_cast<double>(config_.mds_latency) * factor);
+  co_await mds_.use(service);
+  co_return engine_.now() - start;
+}
+
+sim::Task<SimDuration> LustreModel::data_op(std::string_view path,
+                                            std::uint64_t offset,
+                                            std::uint64_t bytes, IoFlags flags,
+                                            OpClass op_class) {
+  const SimTime start = engine_.now();
+  if (bytes < config_.small_io_threshold && config_.small_io_batch > 1 &&
+      !flags.sync) {
+    if (++small_ops_since_rpc_ % config_.small_io_batch != 0) {
+      co_await engine_.delay(config_.cached_op_cost);
+      co_return engine_.now() - start;
+    }
+    bytes *= config_.small_io_batch;
+  }
+  double latency = static_cast<double>(config_.rpc_latency);
+  double lock_penalty = config_.independent_lock_penalty;
+  if (flags.collective) {
+    co_await engine_.delay(config_.collective_exchange);
+    latency /= config_.collective_amortisation;
+    lock_penalty = 1.0;  // stripe-aligned aggregator access
+  }
+  const double factor =
+      variability_->factor(start, op_class) * jitter() * lock_penalty;
+  std::vector<sim::Task<void>> rpcs;
+  for (const Chunk& chunk : layout(path, offset, bytes)) {
+    const double transfer_sec = static_cast<double>(chunk.bytes) /
+                                config_.ost_bandwidth_bytes_per_sec;
+    const auto service = static_cast<SimDuration>(
+        (latency + transfer_sec * static_cast<double>(kSecond)) * factor);
+    rpcs.push_back(chunk_rpc(chunk.ost, service));
+  }
+  for (auto& rpc : rpcs) rpc.start();
+  for (auto& rpc : rpcs) co_await rpc.join();
+  co_return engine_.now() - start;
+}
+
+sim::Task<SimDuration> LustreModel::open(int /*node*/,
+                                         std::string_view /*path*/,
+                                         bool /*create*/) {
+  return metadata_op();
+}
+
+sim::Task<SimDuration> LustreModel::close(int /*node*/,
+                                          std::string_view /*path*/) {
+  return metadata_op();
+}
+
+sim::Task<SimDuration> LustreModel::read(int node, std::string_view path,
+                                         std::uint64_t offset,
+                                         std::uint64_t bytes, IoFlags flags) {
+  if (config_.read_cache_bandwidth_bytes_per_sec > 0 &&
+      node_wrote(node, path, offset, bytes) &&
+      jitter_rng_.bernoulli(config_.read_cache_hit_rate)) {
+    return cached_read(bytes);
+  }
+  return data_op(path, offset, bytes, flags, OpClass::kRead);
+}
+
+sim::Task<SimDuration> LustreModel::cached_read(std::uint64_t bytes) {
+  const SimTime start = engine_.now();
+  co_await engine_.delay(static_cast<SimDuration>(
+      static_cast<double>(bytes) /
+      config_.read_cache_bandwidth_bytes_per_sec *
+      static_cast<double>(kSecond)));
+  co_return engine_.now() - start;
+}
+
+sim::Task<SimDuration> LustreModel::write(int node, std::string_view path,
+                                          std::uint64_t offset,
+                                          std::uint64_t bytes, IoFlags flags) {
+  note_write(node, path, offset, bytes);
+  return data_op(path, offset, bytes, flags, OpClass::kWrite);
+}
+
+sim::Task<SimDuration> LustreModel::flush(int /*node*/,
+                                          std::string_view /*path*/) {
+  return metadata_op();
+}
+
+}  // namespace dlc::simfs

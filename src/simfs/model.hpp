@@ -1,0 +1,82 @@
+// Abstract file-system model interface.
+//
+// Operations are coroutines on the virtual timeline: awaiting one advances
+// the calling rank's clock by the modelled service time, including any
+// queueing delay at the (shared) servers — which is how cross-rank
+// contention and I/O variability arise.  Each call returns the operation's
+// duration in virtual nanoseconds, which is exactly what Darshan's DXT
+// records as `seg:dur`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "sim/task.hpp"
+#include "util/time.hpp"
+
+namespace dlc::simfs {
+
+enum class FsKind { kNfs, kLustre };
+
+/// Returns "NFS" / "Lustre" (table headers in the paper).
+std::string_view fs_kind_name(FsKind kind);
+
+struct IoFlags {
+  /// MPI collective I/O (two-phase aggregation on Lustre).
+  bool collective = false;
+  /// Synchronous write-through (fsync-like).
+  bool sync = false;
+};
+
+/// Abstract file system.  `node` is the index of the compute node issuing
+/// the request; models may use it to seed per-node jitter.
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  virtual FsKind kind() const = 0;
+  std::string_view name() const { return fs_kind_name(kind()); }
+
+  /// Metadata operations.
+  virtual sim::Task<SimDuration> open(int node, std::string_view path,
+                                      bool create) = 0;
+  virtual sim::Task<SimDuration> close(int node, std::string_view path) = 0;
+
+  /// Data operations.  `offset` is the file offset of the access.
+  virtual sim::Task<SimDuration> read(int node, std::string_view path,
+                                      std::uint64_t offset,
+                                      std::uint64_t bytes, IoFlags flags) = 0;
+  virtual sim::Task<SimDuration> write(int node, std::string_view path,
+                                       std::uint64_t offset,
+                                       std::uint64_t bytes, IoFlags flags) = 0;
+  virtual sim::Task<SimDuration> flush(int node, std::string_view path) = 0;
+
+  /// Size bookkeeping: the largest offset+len written so far (0 if never).
+  std::uint64_t file_size(std::string_view path) const;
+
+ protected:
+  void note_write(int node, std::string_view path, std::uint64_t offset,
+                  std::uint64_t bytes);
+
+  /// True when [offset, offset+bytes) lies within the extent this node has
+  /// previously written to `path` — i.e. the node's page cache plausibly
+  /// still holds the data (read-back after checkpoint, the MPI-IO-TEST
+  /// verification pass).
+  bool node_wrote(int node, std::string_view path, std::uint64_t offset,
+                  std::uint64_t bytes) const;
+
+ private:
+  struct Extent {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;  // exclusive
+    bool valid = false;
+  };
+
+  std::map<std::string, std::uint64_t, std::less<>> sizes_;
+  // (node, path) -> written extent envelope.
+  std::map<std::pair<int, std::string>, Extent> node_extents_;
+};
+
+}  // namespace dlc::simfs

@@ -1,0 +1,139 @@
+#include "simfs/nfs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dlc::simfs {
+
+std::string_view fs_kind_name(FsKind kind) {
+  switch (kind) {
+    case FsKind::kNfs:
+      return "NFS";
+    case FsKind::kLustre:
+      return "Lustre";
+  }
+  return "?";
+}
+
+std::uint64_t FileSystem::file_size(std::string_view path) const {
+  const auto it = sizes_.find(path);
+  return it == sizes_.end() ? 0 : it->second;
+}
+
+void FileSystem::note_write(int node, std::string_view path,
+                            std::uint64_t offset, std::uint64_t bytes) {
+  auto it = sizes_.find(path);
+  if (it == sizes_.end()) {
+    sizes_.emplace(std::string(path), offset + bytes);
+  } else {
+    it->second = std::max(it->second, offset + bytes);
+  }
+  Extent& ext = node_extents_[{node, std::string(path)}];
+  if (!ext.valid) {
+    ext = Extent{offset, offset + bytes, true};
+  } else {
+    ext.lo = std::min(ext.lo, offset);
+    ext.hi = std::max(ext.hi, offset + bytes);
+  }
+}
+
+bool FileSystem::node_wrote(int node, std::string_view path,
+                            std::uint64_t offset, std::uint64_t bytes) const {
+  const auto it = node_extents_.find({node, std::string(path)});
+  if (it == node_extents_.end() || !it->second.valid) return false;
+  return offset >= it->second.lo && offset + bytes <= it->second.hi;
+}
+
+NfsModel::NfsModel(sim::Engine& engine, const NfsConfig& config,
+                   std::shared_ptr<VariabilityProcess> variability,
+                   std::uint64_t seed)
+    : engine_(engine),
+      config_(config),
+      variability_(std::move(variability)),
+      server_(engine, config.server_slots),
+      jitter_rng_(Rng(seed).fork("nfs-jitter")) {}
+
+double NfsModel::jitter() {
+  if (config_.jitter_sigma <= 0.0) return 1.0;
+  return jitter_rng_.lognormal(0.0, config_.jitter_sigma);
+}
+
+sim::Task<SimDuration> NfsModel::metadata_op() {
+  const SimTime start = engine_.now();
+  const double factor =
+      variability_->factor(start, OpClass::kMetadata) * jitter();
+  const auto service = static_cast<SimDuration>(
+      static_cast<double>(config_.metadata_latency) * factor);
+  co_await server_.use(service);
+  co_return engine_.now() - start;
+}
+
+sim::Task<SimDuration> NfsModel::data_op(std::uint64_t bytes,
+                                         OpClass op_class, bool collective) {
+  const SimTime start = engine_.now();
+  if (collective) co_await engine_.delay(config_.collective_exchange);
+  // Client page cache absorbs most tiny accesses; only every Nth one
+  // results in a server RPC.
+  if (bytes < config_.small_io_threshold && config_.small_io_batch > 1) {
+    if (++small_ops_since_rpc_ % config_.small_io_batch != 0) {
+      co_await engine_.delay(config_.cached_op_cost);
+      co_return engine_.now() - start;
+    }
+    // The RPC that does go out carries the batched bytes.
+    bytes *= config_.small_io_batch;
+  }
+  double factor = variability_->factor(start, op_class) * jitter();
+  if (collective) factor *= config_.collective_penalty_factor;
+  const double transfer_sec =
+      static_cast<double>(bytes) / config_.bandwidth_bytes_per_sec;
+  const auto service = static_cast<SimDuration>(
+      (static_cast<double>(config_.per_op_latency) +
+       transfer_sec * static_cast<double>(kSecond)) *
+      factor);
+  co_await server_.use(service);
+  co_return engine_.now() - start;
+}
+
+sim::Task<SimDuration> NfsModel::open(int /*node*/, std::string_view /*path*/,
+                                      bool /*create*/) {
+  return metadata_op();
+}
+
+sim::Task<SimDuration> NfsModel::close(int /*node*/,
+                                       std::string_view /*path*/) {
+  return metadata_op();
+}
+
+sim::Task<SimDuration> NfsModel::read(int node, std::string_view path,
+                                      std::uint64_t offset,
+                                      std::uint64_t bytes, IoFlags flags) {
+  if (config_.read_cache_bandwidth_bytes_per_sec > 0 &&
+      node_wrote(node, path, offset, bytes) &&
+      jitter_rng_.bernoulli(config_.read_cache_hit_rate)) {
+    return cached_read(bytes);
+  }
+  return data_op(bytes, OpClass::kRead, flags.collective);
+}
+
+sim::Task<SimDuration> NfsModel::cached_read(std::uint64_t bytes) {
+  const SimTime start = engine_.now();
+  co_await engine_.delay(static_cast<SimDuration>(
+      static_cast<double>(bytes) /
+      config_.read_cache_bandwidth_bytes_per_sec *
+      static_cast<double>(kSecond)));
+  co_return engine_.now() - start;
+}
+
+sim::Task<SimDuration> NfsModel::write(int node, std::string_view path,
+                                       std::uint64_t offset,
+                                       std::uint64_t bytes, IoFlags flags) {
+  note_write(node, path, offset, bytes);
+  return data_op(bytes, OpClass::kWrite, flags.collective);
+}
+
+sim::Task<SimDuration> NfsModel::flush(int /*node*/,
+                                       std::string_view /*path*/) {
+  return metadata_op();
+}
+
+}  // namespace dlc::simfs

@@ -1,0 +1,97 @@
+// NFS model: a single network file server.
+//
+// All data and metadata requests funnel through one server with a small
+// number of concurrent service slots, so many clients doing small
+// operations queue behind each other — the mechanism that makes NFS slower
+// than Lustre for the paper's MPI-IO-TEST and HACC-IO configurations, and
+// pathological for HMMER's metadata-light but very-small-access pattern.
+//
+// Service time for a data op:
+//   (per_op_latency + bytes / bandwidth) * variability(t, class) * jitter
+// Metadata ops (open/close/flush) use metadata_latency instead of the
+// byte term.  Collective flags are ignored: NFS has no MPI-aware path, so
+// collective runs see the same per-op costs (matching Table IIa, where
+// collective NFS is the slowest configuration: the two-phase shuffle adds
+// messages without a striped back end to exploit).
+#pragma once
+
+#include <memory>
+
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "simfs/model.hpp"
+#include "simfs/variability.hpp"
+#include "util/rng.hpp"
+
+namespace dlc::simfs {
+
+struct NfsConfig {
+  /// Concurrent RPC slots at the server.
+  std::size_t server_slots = 4;
+  /// Fixed cost per data RPC.
+  SimDuration per_op_latency = 400 * kMicrosecond;
+  /// Server streaming bandwidth shared by all clients (bytes/second).
+  double bandwidth_bytes_per_sec = 700.0 * 1024 * 1024;
+  /// Fixed cost of a metadata RPC (open/close/flush).
+  SimDuration metadata_latency = 700 * kMicrosecond;
+  /// Requests smaller than this pay the full per_op_latency but are
+  /// batched by the client page cache: only every `small_io_batch`-th
+  /// tiny access hits the server.
+  std::uint64_t small_io_threshold = 64 * 1024;
+  std::uint64_t small_io_batch = 16;
+  /// Client-side cached cost of a batched (absorbed) small access.
+  SimDuration cached_op_cost = 2 * kMicrosecond;
+  /// Lognormal sigma of per-op jitter.
+  double jitter_sigma = 0.08;
+  /// Two-phase collective I/O has no striped back end to exploit on NFS;
+  /// the shuffle is pure added cost per data op (Table IIa: collective is
+  /// the *slowest* NFS configuration): a fixed exchange delay plus a
+  /// service multiplier for the unaligned aggregated requests.
+  SimDuration collective_exchange = 2 * kMillisecond;
+  double collective_penalty_factor = 1.55;
+  /// Client page cache for read-back of extents this node wrote: reads
+  /// that hit stream at this rate instead of touching the server
+  /// (0 disables).  `read_cache_hit_rate` is the probability a covered
+  /// read actually hits — lowering it models memory pressure evicting the
+  /// cache (the Fig. 7/8 job-2 anomaly).
+  double read_cache_bandwidth_bytes_per_sec = 320.0 * 1024 * 1024;
+  double read_cache_hit_rate = 1.0;
+};
+
+class NfsModel final : public FileSystem {
+ public:
+  NfsModel(sim::Engine& engine, const NfsConfig& config,
+           std::shared_ptr<VariabilityProcess> variability,
+           std::uint64_t seed);
+
+  FsKind kind() const override { return FsKind::kNfs; }
+
+  sim::Task<SimDuration> open(int node, std::string_view path,
+                              bool create) override;
+  sim::Task<SimDuration> close(int node, std::string_view path) override;
+  sim::Task<SimDuration> read(int node, std::string_view path,
+                              std::uint64_t offset, std::uint64_t bytes,
+                              IoFlags flags) override;
+  sim::Task<SimDuration> write(int node, std::string_view path,
+                               std::uint64_t offset, std::uint64_t bytes,
+                               IoFlags flags) override;
+  sim::Task<SimDuration> flush(int node, std::string_view path) override;
+
+  const sim::Resource& server() const { return server_; }
+
+ private:
+  sim::Task<SimDuration> data_op(std::uint64_t bytes, OpClass op_class,
+                                 bool collective);
+  sim::Task<SimDuration> cached_read(std::uint64_t bytes);
+  sim::Task<SimDuration> metadata_op();
+  double jitter();
+
+  sim::Engine& engine_;
+  NfsConfig config_;
+  std::shared_ptr<VariabilityProcess> variability_;
+  sim::Resource server_;
+  Rng jitter_rng_;
+  std::uint64_t small_ops_since_rpc_ = 0;
+};
+
+}  // namespace dlc::simfs

@@ -1,0 +1,58 @@
+#include "simfs/variability.hpp"
+
+#include <cmath>
+
+namespace dlc::simfs {
+
+namespace {
+bool applies(OpClass incident_class, OpClass query_class) {
+  return incident_class == OpClass::kAny || query_class == OpClass::kAny ||
+         incident_class == query_class;
+}
+}  // namespace
+
+VariabilityProcess::VariabilityProcess(const VariabilityConfig& config,
+                                       std::uint64_t epoch_seed)
+    : config_(config),
+      ar_seed_(epoch_seed),
+      ar_rng_(Rng(epoch_seed).fork("ar-path")) {
+  Rng epoch_rng = Rng(epoch_seed).fork("epoch-factor");
+  epoch_factor_ = config.epoch_sigma > 0.0
+                      ? epoch_rng.lognormal(0.0, config.epoch_sigma)
+                      : 1.0;
+}
+
+void VariabilityProcess::add_incident(const Incident& incident) {
+  incidents_.push_back(incident);
+}
+
+double VariabilityProcess::ar_level_at(SimTime t) const {
+  if (config_.ar_sigma <= 0.0 || config_.window <= 0) return 0.0;
+  const auto window =
+      static_cast<std::size_t>(t < 0 ? 0 : t / config_.window);
+  while (ar_path_.size() <= window) {
+    const double prev = ar_path_.empty() ? 0.0 : ar_path_.back();
+    ar_path_.push_back(config_.ar_phi * prev +
+                       ar_rng_.normal(0.0, config_.ar_sigma));
+  }
+  return ar_path_[window];
+}
+
+double VariabilityProcess::factor(SimTime t, OpClass op_class) const {
+  double f = epoch_factor_ * std::exp(ar_level_at(t));
+  for (const Incident& inc : incidents_) {
+    if (t < inc.start || t >= inc.end || !applies(inc.applies_to, op_class)) {
+      continue;
+    }
+    if (inc.ramp && inc.end > inc.start) {
+      const double progress = static_cast<double>(t - inc.start) /
+                              static_cast<double>(inc.end - inc.start);
+      f *= 1.0 + (inc.peak_factor - 1.0) * progress;
+    } else {
+      f *= inc.peak_factor;
+    }
+  }
+  return f;
+}
+
+}  // namespace dlc::simfs

@@ -1,0 +1,76 @@
+// Temporal file-system performance variability.
+//
+// The paper leans on two variability phenomena:
+//  * Between campaigns: the Darshan-only baselines were run "1-2 weeks
+//    before" the connector runs, and the authors attribute the *negative*
+//    overheads in Table II to the file systems simply being in a different
+//    state.  We model this as an epoch-level multiplier drawn from a
+//    lognormal keyed on a campaign-epoch seed.
+//  * Within a run: Fig. 7/8's job 2 shows writes degrading over the course
+//    of one execution (slowest after 250 s).  We model this with explicit
+//    Incidents — time windows during which service is inflated, optionally
+//    ramping up — plus a slowly-varying AR(1) congestion level.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace dlc::simfs {
+
+/// Identifies which operation class an incident or query applies to.
+enum class OpClass { kRead, kWrite, kMetadata, kAny };
+
+/// A contention episode: between [start, end) service times are multiplied
+/// by a factor that ramps linearly from 1 at `start` to `peak_factor` at
+/// `end` when `ramp` is true, or applies `peak_factor` flat otherwise.
+struct Incident {
+  SimTime start = 0;
+  SimTime end = 0;
+  double peak_factor = 1.0;
+  bool ramp = false;
+  OpClass applies_to = OpClass::kAny;
+};
+
+struct VariabilityConfig {
+  /// Sigma of the lognormal epoch-level multiplier (0 disables drift).
+  double epoch_sigma = 0.12;
+  /// AR(1) within-run congestion: correlation per window and innovation
+  /// sigma; the level multiplies service times as exp(level).
+  double ar_phi = 0.9;
+  double ar_sigma = 0.05;
+  /// Window length over which the AR(1) level is held constant.
+  SimDuration window = 10 * kSecond;
+};
+
+/// Deterministic multiplier process: factor(t) =
+///   epoch_factor * exp(ar_level(t)) * incident_factor(t, op_class).
+class VariabilityProcess {
+ public:
+  /// `epoch_seed` identifies *when* the campaign ran (the paper's "weeks
+  /// apart" effect): same seed -> same epoch factor and congestion path.
+  VariabilityProcess(const VariabilityConfig& config, std::uint64_t epoch_seed);
+
+  /// Adds a contention episode (e.g. the Fig. 8 write slowdown).
+  void add_incident(const Incident& incident);
+
+  /// Service-time multiplier at virtual time `t` for the given op class.
+  double factor(SimTime t, OpClass op_class = OpClass::kAny) const;
+
+  double epoch_factor() const { return epoch_factor_; }
+
+ private:
+  double ar_level_at(SimTime t) const;
+
+  VariabilityConfig config_;
+  double epoch_factor_;
+  std::uint64_t ar_seed_;
+  std::vector<Incident> incidents_;
+  // Lazily extended AR(1) sample path, one level per window.
+  mutable std::vector<double> ar_path_;
+  mutable Rng ar_rng_;
+};
+
+}  // namespace dlc::simfs

@@ -1,0 +1,17 @@
+#include "simhpc/cluster.hpp"
+
+#include <cstdio>
+
+namespace dlc::simhpc {
+
+Cluster::Cluster(const ClusterConfig& config) {
+  node_names_.reserve(config.node_count);
+  for (std::size_t i = 0; i < config.node_count; ++i) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%s%05d", config.node_prefix.c_str(),
+                  config.first_node_id + static_cast<int>(i));
+    node_names_.emplace_back(buf);
+  }
+}
+
+}  // namespace dlc::simhpc

@@ -1,0 +1,34 @@
+// Simulated cluster topology: a set of diskless compute nodes with Cray-ish
+// names ("nid00046"), mirroring the paper's 24-node Voltrino XC40.  The
+// node name becomes the `ProducerName` field of every connector message.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dlc::simhpc {
+
+struct ClusterConfig {
+  std::size_t node_count = 24;
+  /// First node id; Voltrino logs in the paper show nid00046.
+  int first_node_id = 40;
+  std::string node_prefix = "nid";
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& config);
+
+  std::size_t node_count() const { return node_names_.size(); }
+
+  /// "nid00046"-style name of node `index`.
+  const std::string& node_name(std::size_t index) const {
+    return node_names_.at(index);
+  }
+
+ private:
+  std::vector<std::string> node_names_;
+};
+
+}  // namespace dlc::simhpc

@@ -1,0 +1,36 @@
+#include "simhpc/job.hpp"
+
+#include <utility>
+
+namespace dlc::simhpc {
+
+namespace {
+
+struct JobTracker {
+  std::size_t remaining;
+};
+
+sim::Task<void> rank_wrapper(sim::Engine& engine, Job& job, std::size_t rank,
+                             RankMain rank_main,
+                             std::shared_ptr<JobTracker> tracker) {
+  if (rank == 0) job.note_start(engine.now());
+  co_await rank_main(job, rank);
+  if (--tracker->remaining == 0) job.note_end(engine.now());
+}
+
+}  // namespace
+
+Job::Job(sim::Engine& engine, const Cluster& cluster, const JobConfig& config)
+    : engine_(engine),
+      cluster_(cluster),
+      config_(config),
+      barrier_(engine, config.node_count * config.ranks_per_node) {}
+
+void launch_job(sim::Engine& engine, Job& job, RankMain rank_main) {
+  auto tracker = std::make_shared<JobTracker>(JobTracker{job.rank_count()});
+  for (std::size_t rank = 0; rank < job.rank_count(); ++rank) {
+    engine.spawn(rank_wrapper(engine, job, rank, rank_main, tracker));
+  }
+}
+
+}  // namespace dlc::simhpc

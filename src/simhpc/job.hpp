@@ -1,0 +1,89 @@
+// Job context: the MPI-world abstraction a workload's rank processes see.
+//
+// A Job allocates `node_count` nodes from the cluster and runs
+// `ranks_per_node` rank processes on each (block distribution, like
+// `srun --distribution=block`).  It provides the barrier used by MPI-style
+// collectives and per-rank deterministic RNG streams.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "simhpc/cluster.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace dlc::simhpc {
+
+struct JobConfig {
+  std::uint64_t job_id = 1;
+  std::uint64_t uid = 99066;  // uid shown in the paper's Fig. 3 sample
+  std::size_t node_count = 1;
+  std::size_t ranks_per_node = 1;
+  /// Index of the first allocated node within the cluster.
+  std::size_t first_node = 0;
+  /// Master seed; every rank derives its own stream from it.
+  std::uint64_t seed = 1;
+};
+
+class Job {
+ public:
+  Job(sim::Engine& engine, const Cluster& cluster, const JobConfig& config);
+
+  std::uint64_t job_id() const { return config_.job_id; }
+  std::uint64_t uid() const { return config_.uid; }
+  std::size_t rank_count() const {
+    return config_.node_count * config_.ranks_per_node;
+  }
+  std::size_t node_count() const { return config_.node_count; }
+
+  /// Cluster-wide node index hosting `rank` (block distribution).
+  std::size_t node_of_rank(std::size_t rank) const {
+    return config_.first_node + rank / config_.ranks_per_node;
+  }
+
+  /// ProducerName for `rank` (its node's name).
+  const std::string& producer_name(std::size_t rank) const {
+    return cluster_.node_name(node_of_rank(rank));
+  }
+
+  /// MPI_Barrier across all ranks of the job.
+  auto barrier() { return barrier_.arrive_and_wait(); }
+
+  /// Deterministic per-rank random stream.
+  Rng rank_rng(std::size_t rank, std::string_view purpose) const {
+    return Rng(config_.seed).fork(purpose, rank);
+  }
+
+  sim::Engine& engine() { return engine_; }
+  const JobConfig& config() const { return config_; }
+
+  /// Wall-clock anchors recorded by the runner.
+  SimTime start_time() const { return start_time_; }
+  SimTime end_time() const { return end_time_; }
+  SimDuration runtime() const { return end_time_ - start_time_; }
+  void note_start(SimTime t) { start_time_ = t; }
+  void note_end(SimTime t) { end_time_ = t; }
+
+ private:
+  sim::Engine& engine_;
+  const Cluster& cluster_;
+  JobConfig config_;
+  sim::Barrier barrier_;
+  SimTime start_time_ = 0;
+  SimTime end_time_ = 0;
+};
+
+/// Rank process body: invoked once per rank.
+using RankMain = std::function<sim::Task<void>(Job&, std::size_t rank)>;
+
+/// Spawns all rank processes of `job` into the engine with a tracking
+/// wrapper that records the job's start/end times.  Call engine.run()
+/// afterwards (multiple jobs may be launched into one engine).
+void launch_job(sim::Engine& engine, Job& job, RankMain rank_main);
+
+}  // namespace dlc::simhpc

@@ -1,0 +1,107 @@
+#include "util/format.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace dlc {
+
+namespace {
+constexpr char kDigitPairs[] =
+    "00010203040506070809101112131415161718192021222324"
+    "25262728293031323334353637383940414243444546474849"
+    "50515253545556575859606162636465666768697071727374"
+    "75767778798081828384858687888990919293949596979899";
+}  // namespace
+
+int decimal_digits(std::uint64_t v) {
+  int digits = 1;
+  while (v >= 10) {
+    v /= 10;
+    ++digits;
+  }
+  return digits;
+}
+
+void append_uint(std::string& out, std::uint64_t v) {
+  char buf[20];
+  char* end = buf + sizeof(buf);
+  char* p = end;
+  while (v >= 100) {
+    const auto idx = static_cast<std::size_t>((v % 100) * 2);
+    v /= 100;
+    *--p = kDigitPairs[idx + 1];
+    *--p = kDigitPairs[idx];
+  }
+  if (v >= 10) {
+    const auto idx = static_cast<std::size_t>(v * 2);
+    *--p = kDigitPairs[idx + 1];
+    *--p = kDigitPairs[idx];
+  } else {
+    *--p = static_cast<char>('0' + v);
+  }
+  out.append(p, static_cast<std::size_t>(end - p));
+}
+
+void append_int(std::string& out, std::int64_t v) {
+  std::uint64_t mag;
+  if (v < 0) {
+    out.push_back('-');
+    // Negate in unsigned space so INT64_MIN is handled.
+    mag = ~static_cast<std::uint64_t>(v) + 1;
+  } else {
+    mag = static_cast<std::uint64_t>(v);
+  }
+  append_uint(out, mag);
+}
+
+void append_fixed(std::string& out, double v, int precision) {
+  if (!std::isfinite(v)) {
+    out.push_back('0');
+    return;
+  }
+  if (v < 0) {
+    out.push_back('-');
+    v = -v;
+  }
+  // Fixed-point path only when the scaled value fits u64 comfortably.
+  double scale = 1.0;
+  for (int i = 0; i < precision; ++i) scale *= 10.0;
+  const double scaled = v * scale;
+  if (scaled < 9.0e18) {
+    auto total = static_cast<std::uint64_t>(scaled + 0.5);
+    const auto unit = static_cast<std::uint64_t>(scale);
+    append_uint(out, unit == 0 ? total : total / unit);
+    if (precision > 0) {
+      out.push_back('.');
+      std::uint64_t frac = unit == 0 ? 0 : total % unit;
+      char buf[24];
+      for (int i = precision - 1; i >= 0; --i) {
+        buf[i] = static_cast<char>('0' + frac % 10);
+        frac /= 10;
+      }
+      out.append(buf, static_cast<std::size_t>(precision));
+    }
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  out.append(buf);
+}
+
+void append_int_snprintf(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out.append(buf);
+}
+
+void append_fixed_snprintf(std::string& out, double v, int precision) {
+  if (!std::isfinite(v)) {
+    out.push_back('0');
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  out.append(buf);
+}
+
+}  // namespace dlc

@@ -1,0 +1,33 @@
+// Fast integer/double-to-string formatting.
+//
+// The paper's headline overhead result (Table IIc: +277% / +1277% on HMMER)
+// is attributed to sprintf-style int->string conversion when building JSON
+// messages.  This header provides the two competing back ends that the JSON
+// writer and the ablation benchmarks compare: the libc snprintf path and a
+// hand-rolled two-digit-table itoa/dtoa.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dlc {
+
+/// Appends the decimal representation of `v` to `out` using a two-digit
+/// lookup table (no locale, no allocation beyond the string's growth).
+void append_int(std::string& out, std::int64_t v);
+void append_uint(std::string& out, std::uint64_t v);
+
+/// Appends `v` with exactly `precision` digits after the decimal point
+/// (fixed notation, round-half-away-from-zero).  Falls back to snprintf for
+/// values too large for fixed-point handling, and prints non-finite values
+/// as "0" to keep emitted JSON valid.
+void append_fixed(std::string& out, double v, int precision = 6);
+
+/// snprintf-based equivalents; the "what the paper actually shipped" path.
+void append_int_snprintf(std::string& out, std::int64_t v);
+void append_fixed_snprintf(std::string& out, double v, int precision = 6);
+
+/// Number of decimal digits in `v` (1 for 0).
+int decimal_digits(std::uint64_t v);
+
+}  // namespace dlc

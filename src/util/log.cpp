@@ -1,0 +1,52 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace dlc {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_sink_mutex;
+LogSink g_sink;  // guarded by g_sink_mutex
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+void set_log_sink(LogSink sink) {
+  const std::scoped_lock lock(g_sink_mutex);
+  g_sink = std::move(sink);
+}
+
+void log_message(LogLevel level, const std::string& msg) {
+  if (level < log_level()) return;
+  const std::scoped_lock lock(g_sink_mutex);
+  if (g_sink) {
+    g_sink(level, msg);
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+  }
+}
+
+}  // namespace dlc

@@ -1,0 +1,53 @@
+// Minimal leveled logger.  Components log through a process-global sink so
+// tests can silence or capture output; hot paths guard with level checks.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace dlc {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Returns/sets the global minimum level (default kWarn so tests are quiet).
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Replaces the sink (default: stderr).  Pass nullptr to restore the default.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+void set_log_sink(LogSink sink);
+
+/// Emits a message if `level` passes the global threshold.
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace dlc
+
+#define DLC_LOG(level)                                  \
+  if (::dlc::log_level() <= ::dlc::LogLevel::level)     \
+  ::dlc::detail::LogLine(::dlc::LogLevel::level)
+
+#define DLC_LOG_DEBUG DLC_LOG(kDebug)
+#define DLC_LOG_INFO DLC_LOG(kInfo)
+#define DLC_LOG_WARN DLC_LOG(kWarn)
+#define DLC_LOG_ERROR DLC_LOG(kError)

@@ -1,0 +1,66 @@
+// Deterministic, splittable random number generation.
+//
+// Every stochastic element of the reproduction (file-system variability,
+// workload jitter, rank compute phases) draws from an Rng seeded from an
+// explicit (campaign, job, rank, purpose) tuple, so any experiment replays
+// bit-identically.  The generator is xoshiro256**, seeded via splitmix64 as
+// its authors recommend.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace dlc {
+
+/// Mixes a 64-bit seed into a well-distributed stream; used both to expand
+/// seeds for xoshiro and as a standalone hash for stable ids.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Stable 64-bit FNV-1a hash; used for Darshan record ids and seed derivation
+/// from strings (file paths, purpose labels).
+std::uint64_t fnv1a64(std::string_view s);
+
+/// xoshiro256** PRNG with convenience distributions.
+class Rng {
+ public:
+  /// Seeds from a single 64-bit value (expanded with splitmix64).
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Derives an independent child stream, e.g. `rng.fork("lustre-ost", 3)`.
+  /// Forking does not perturb the parent stream.
+  Rng fork(std::string_view purpose, std::uint64_t index = 0) const;
+
+  /// Next raw 64 random bits.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box-Muller (cached spare).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Log-normal parameterised by the mean/stddev of the *underlying* normal.
+  double lognormal(double mu, double sigma);
+
+  /// Exponential with the given rate (1/mean); rate must be positive.
+  double exponential(double rate);
+
+  /// Bernoulli trial with probability p of returning true.
+  bool bernoulli(double p);
+
+ private:
+  std::uint64_t s_[4];
+  double spare_normal_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace dlc

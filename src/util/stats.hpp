@@ -1,0 +1,70 @@
+// Streaming and batch statistics used across the analysis layer and the
+// experiment harness: Welford accumulators, 95% confidence intervals (the
+// error bars in the paper's Fig. 5), percentiles and fixed-width histograms.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dlc {
+
+/// Numerically stable streaming mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Half-width of the 95% confidence interval on the mean, using a
+  /// small-sample t quantile (exact rows for n <= 30, 1.96 beyond).
+  double ci95_half_width() const;
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Two-sided t-distribution 97.5% quantile for `dof` degrees of freedom.
+double t_quantile_975(std::size_t dof);
+
+/// Linear-interpolated percentile of an unsorted sample (copies + sorts).
+/// `p` is in [0, 100].  Returns 0 for an empty sample.
+double percentile(std::vector<double> values, double p);
+
+/// Fixed-width histogram over [lo, hi); values outside are clamped into the
+/// first/last bin.  Used by the heatmap module and ASCII renderers.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, double weight = 1.0);
+
+  std::size_t bins() const { return counts_.size(); }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+  double count(std::size_t i) const { return counts_[i]; }
+  double total() const { return total_; }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+}  // namespace dlc

@@ -1,0 +1,32 @@
+// Small string helpers shared by the CSV layer, log parser and renderers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dlc {
+
+/// Splits on a single delimiter; keeps empty fields ("a,,b" -> 3 fields).
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Joins with a delimiter.
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view delim);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// True if `s` begins with `prefix` / ends with `suffix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Quotes a CSV field when it contains a delimiter, quote or newline
+/// (RFC 4180 rules); returns the field unchanged otherwise.
+std::string csv_escape(std::string_view field, char delim = ',');
+
+/// Parses one CSV line honouring RFC 4180 quoting.
+std::vector<std::string> csv_parse_line(std::string_view line,
+                                        char delim = ',');
+
+}  // namespace dlc

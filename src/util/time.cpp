@@ -1,0 +1,57 @@
+#include "util/time.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace dlc {
+
+SimDuration from_seconds(double seconds) {
+  const double ns = seconds * static_cast<double>(kSecond);
+  if (ns >= static_cast<double>(std::numeric_limits<SimDuration>::max())) {
+    return std::numeric_limits<SimDuration>::max();
+  }
+  if (ns <= static_cast<double>(std::numeric_limits<SimDuration>::min())) {
+    return std::numeric_limits<SimDuration>::min();
+  }
+  return static_cast<SimDuration>(std::llround(ns));
+}
+
+std::string format_duration(SimDuration d) {
+  char buf[64];
+  const double abs = std::abs(static_cast<double>(d));
+  if (abs >= static_cast<double>(kSecond)) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", to_seconds(d));
+  } else if (abs >= static_cast<double>(kMillisecond)) {
+    std::snprintf(buf, sizeof(buf), "%.2fms",
+                  static_cast<double>(d) / static_cast<double>(kMillisecond));
+  } else if (abs >= static_cast<double>(kMicrosecond)) {
+    std::snprintf(buf, sizeof(buf), "%.2fus",
+                  static_cast<double>(d) / static_cast<double>(kMicrosecond));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(d));
+  }
+  return buf;
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  static constexpr std::array<const char*, 6> kUnits = {"B",   "KiB", "MiB",
+                                                        "GiB", "TiB", "PiB"};
+  double v = static_cast<double>(bytes);
+  std::size_t unit = 0;
+  while (v >= 1024.0 && unit + 1 < kUnits.size()) {
+    v /= 1024.0;
+    ++unit;
+  }
+  char buf[64];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%lluB",
+                  static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f%s", v, kUnits[unit]);
+  }
+  return buf;
+}
+
+}  // namespace dlc

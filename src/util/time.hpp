@@ -1,0 +1,63 @@
+// Virtual time primitives shared by the discrete-event simulator and the
+// monitoring pipeline.
+//
+// All simulated components (file-system models, LDMS transport hops, the
+// Darshan runtime) agree on a single 64-bit signed nanosecond timeline.  The
+// connector publishes *absolute* timestamps on this timeline, which is the
+// paper's central data product, so the representation is explicit and cheap
+// to convert to the epoch-seconds doubles that appear in the JSON messages.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dlc {
+
+/// A point on the simulated timeline, in nanoseconds since the simulation
+/// epoch.  The simulation epoch itself can be anchored to a wall-clock epoch
+/// (see SimEpoch) so published timestamps look like real epoch seconds.
+using SimTime = std::int64_t;
+
+/// A span of simulated time in nanoseconds.
+using SimDuration = std::int64_t;
+
+constexpr SimDuration kNanosecond = 1;
+constexpr SimDuration kMicrosecond = 1'000;
+constexpr SimDuration kMillisecond = 1'000'000;
+constexpr SimDuration kSecond = 1'000'000'000;
+
+/// Converts whole/fractional seconds into a SimDuration, saturating on
+/// overflow rather than wrapping.
+SimDuration from_seconds(double seconds);
+
+/// Converts a SimDuration (or SimTime offset) into fractional seconds.
+constexpr double to_seconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+/// Anchors the simulated timeline to a wall-clock epoch so published
+/// timestamps resemble the `seg:timestamp` epoch values in the paper.
+class SimEpoch {
+ public:
+  SimEpoch() = default;
+  explicit SimEpoch(double epoch_seconds) : epoch_seconds_(epoch_seconds) {}
+
+  /// Absolute epoch seconds for a simulated instant.
+  double to_epoch_seconds(SimTime t) const {
+    return epoch_seconds_ + to_seconds(t);
+  }
+
+  double epoch_seconds() const { return epoch_seconds_; }
+
+ private:
+  double epoch_seconds_ = 1'656'633'600.0;  // 2022-07-01T00:00:00Z, paper era.
+};
+
+/// Renders a duration as a compact human-readable string, e.g. "1.25s",
+/// "340ms", "18.2us".  Used by table printers and log lines.
+std::string format_duration(SimDuration d);
+
+/// Renders a byte count as a compact human-readable string, e.g. "16MiB".
+std::string format_bytes(std::uint64_t bytes);
+
+}  // namespace dlc

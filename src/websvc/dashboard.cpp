@@ -1,0 +1,59 @@
+#include "websvc/dashboard.hpp"
+
+#include "json/parser.hpp"
+#include "json/writer.hpp"
+
+namespace dlc::websvc {
+
+Dashboard default_io_dashboard(std::uint64_t job_id) {
+  const std::string job = std::to_string(job_id);
+  Dashboard dash;
+  dash.title = "Application I/O (Darshan-LDMS Connector)";
+  dash.panels = {
+      PanelDef{"Op occurrences", "fig5", {{"job", job}}, "bars"},
+      PanelDef{"Requests per node", "fig6", {{"job", job}}, "bars"},
+      PanelDef{"Durations per rank", "fig7", {{"job", job}}, "table"},
+      PanelDef{"I/O timeline", "fig8", {{"job", job}}, "timeseries"},
+      PanelDef{"Throughput (10s buckets)",
+               "fig9",
+               {{"job", job}, {"bucket_s", "10"}},
+               "timeseries"},
+  };
+  return dash;
+}
+
+std::string render_dashboard(const DashboardService& service,
+                             const Dashboard& dashboard) {
+  json::Writer w;
+  w.begin_object();
+  w.member("title", dashboard.title);
+  w.key("panels");
+  w.begin_array();
+  for (const PanelDef& panel : dashboard.panels) {
+    w.begin_object();
+    w.member("title", panel.title);
+    w.member("module", panel.module);
+    w.member("viz", panel.viz);
+    // Run the panel through the same URL surface a remote front end uses.
+    std::string url = "/api/panel?module=" + panel.module;
+    for (const auto& [k, v] : panel.params) url += "&" + k + "=" + v;
+    const Response response = service.handle(url);
+    if (response.status == 200) {
+      const auto doc = json::parse(response.body);
+      if (doc && doc->find("data")) {
+        w.key("data");
+        w.value_raw(doc->find("data")->dump());
+      } else {
+        w.member("error", "panel returned malformed data");
+      }
+    } else {
+      w.member("error", response.body);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace dlc::websvc

@@ -1,0 +1,177 @@
+#include "websvc/http.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace dlc::websvc {
+
+namespace {
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 500:
+      return "Internal Server Error";
+    default:
+      return "Status";
+  }
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
+    if (n <= 0) return;
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+/// Reads until the end of the header block (no request bodies: GET only).
+std::string read_request(int fd) {
+  std::string buffer;
+  char chunk[2048];
+  while (buffer.find("\r\n\r\n") == std::string::npos &&
+         buffer.size() < 64 * 1024) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  return buffer;
+}
+
+}  // namespace
+
+HttpServer::HttpServer(std::uint16_t port, HttpHandler handler)
+    : handler_(std::move(handler)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("http: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, 16) < 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("http: bind/listen failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  thread_ = std::thread([this] { run(); });
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::stop() {
+  if (!stopping_.exchange(true)) {
+    // Shutdown unblocks accept().
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void HttpServer::run() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) break;  // stopped or fatal
+    connections_.fetch_add(1, std::memory_order_relaxed);
+
+    const std::string request = read_request(client);
+    const std::size_t line_end = request.find("\r\n");
+    std::string method, url;
+    if (line_end != std::string::npos) {
+      const auto parts = split(request.substr(0, line_end), ' ');
+      if (parts.size() >= 2) {
+        method = parts[0];
+        url = parts[1];
+      }
+    }
+
+    Response response;
+    if (method.empty()) {
+      response = Response{400, "text/plain", "malformed request"};
+    } else if (method != "GET") {
+      response = Response{400, "text/plain", "only GET is supported"};
+    } else {
+      response = handler_(method, url);
+    }
+
+    std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                      status_text(response.status) + "\r\n";
+    out += "Content-Type: " + response.content_type + "\r\n";
+    out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+    out += "Connection: close\r\n\r\n";
+    out += response.body;
+    send_all(client, out);
+    ::close(client);
+  }
+}
+
+HttpHandler HttpServer::wrap(const DashboardService& service) {
+  return [&service](const std::string& /*method*/, const std::string& url) {
+    return service.handle(url);
+  };
+}
+
+std::optional<std::string> http_get(std::uint16_t port,
+                                    const std::string& path, int* status,
+                                    std::string* content_type) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return std::nullopt;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  const std::string request = "GET " + path +
+                              " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                              "Connection: close\r\n\r\n";
+  send_all(fd, request);
+
+  std::string response;
+  char chunk[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, chunk, sizeof(chunk), 0)) > 0) {
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  const std::size_t header_end = response.find("\r\n\r\n");
+  if (header_end == std::string::npos) return std::nullopt;
+  const std::string headers = response.substr(0, header_end);
+  const auto lines = split(headers, '\n');
+  if (lines.empty()) return std::nullopt;
+  const auto status_parts = split(lines[0], ' ');
+  if (status_parts.size() < 2) return std::nullopt;
+  if (status) *status = std::atoi(status_parts[1].c_str());
+  if (content_type) {
+    for (const std::string& line : lines) {
+      if (starts_with(line, "Content-Type:")) {
+        *content_type = std::string(trim(line.substr(13)));
+      }
+    }
+  }
+  return response.substr(header_end + 4);
+}
+
+}  // namespace dlc::websvc

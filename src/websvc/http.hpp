@@ -1,0 +1,66 @@
+// Minimal HTTP/1.1 server for the dashboard service.
+//
+// Enough protocol for a Grafana-style data source to GET the /api routes:
+// one accept thread, blocking per-connection handling, request-line +
+// header parsing, Content-Length responses, no keep-alive.  Loopback only
+// by design (the paper's web services run behind the lab network, not on
+// the open internet).  A matching blocking client is provided for tests
+// and examples.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "websvc/service.hpp"
+
+namespace dlc::websvc {
+
+/// Request handler: method + url -> response.
+using HttpHandler =
+    std::function<Response(const std::string& method, const std::string& url)>;
+
+class HttpServer {
+ public:
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the accept thread.
+  /// Throws std::runtime_error when the socket cannot be bound.
+  HttpServer(std::uint16_t port, HttpHandler handler);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// The actually-bound port (useful with port 0).
+  std::uint16_t port() const { return port_; }
+
+  /// Stops accepting and joins the server thread.
+  void stop();
+
+  std::uint64_t connections_handled() const {
+    return connections_.load(std::memory_order_relaxed);
+  }
+
+  /// Convenience: serve a DashboardService (GET only).
+  static HttpHandler wrap(const DashboardService& service);
+
+ private:
+  void run();
+
+  HttpHandler handler_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> connections_{0};
+  std::thread thread_;
+};
+
+/// Blocking GET against 127.0.0.1:`port`; returns nullopt on connection
+/// or protocol failure.  Fills `status` and returns the body.
+std::optional<std::string> http_get(std::uint16_t port,
+                                    const std::string& path, int* status,
+                                    std::string* content_type = nullptr);
+
+}  // namespace dlc::websvc

@@ -1,0 +1,349 @@
+#include "websvc/service.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "analysis/figures.hpp"
+#include "analysis/render.hpp"
+#include "core/schema_darshan.hpp"
+#include "dsos/csv.hpp"
+#include "json/writer.hpp"
+#include "util/strings.hpp"
+
+namespace dlc::websvc {
+
+namespace {
+
+constexpr const char* kSchema = "darshan_data";
+
+std::string error_body(const std::string& message) {
+  json::Writer w;
+  w.begin_object();
+  w.member("error", message);
+  w.end_object();
+  return w.take();
+}
+
+Response bad_request(const std::string& message) {
+  return Response{400, "application/json", error_body(message)};
+}
+
+Response not_found(const std::string& message) {
+  return Response{404, "application/json", error_body(message)};
+}
+
+char from_hex(char c) {
+  if (c >= '0' && c <= '9') return static_cast<char>(c - '0');
+  if (c >= 'a' && c <= 'f') return static_cast<char>(c - 'a' + 10);
+  if (c >= 'A' && c <= 'F') return static_cast<char>(c - 'A' + 10);
+  return 0;
+}
+
+std::string url_decode(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '+') {
+      out.push_back(' ');
+    } else if (s[i] == '%' && i + 2 < s.size()) {
+      out.push_back(
+          static_cast<char>((from_hex(s[i + 1]) << 4) | from_hex(s[i + 2])));
+      i += 2;
+    } else {
+      out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+/// Builds an equality filter from the query params that name schema
+/// attributes (anything that is not a control key).
+dsos::Filter filter_from_params(const dsos::Schema& schema,
+                                const Params& params) {
+  static const std::set<std::string> kControl = {"index", "limit", "module",
+                                                 "schema"};
+  dsos::Filter filter;
+  for (const auto& [key, value] : params) {
+    if (kControl.contains(key)) continue;
+    const auto attr_id = schema.find_attr(key);
+    if (!attr_id) continue;
+    switch (schema.attrs()[*attr_id].type) {
+      case dsos::AttrType::kInt64:
+        filter.push_back({key, dsos::Cmp::kEq,
+                          static_cast<std::int64_t>(
+                              std::strtoll(value.c_str(), nullptr, 10))});
+        break;
+      case dsos::AttrType::kUint64:
+        filter.push_back({key, dsos::Cmp::kEq,
+                          static_cast<std::uint64_t>(
+                              std::strtoull(value.c_str(), nullptr, 10))});
+        break;
+      case dsos::AttrType::kDouble:
+      case dsos::AttrType::kTimestamp:
+        filter.push_back(
+            {key, dsos::Cmp::kEq, std::strtod(value.c_str(), nullptr)});
+        break;
+      case dsos::AttrType::kString:
+        filter.push_back({key, dsos::Cmp::kEq, value});
+        break;
+    }
+  }
+  return filter;
+}
+
+void frame_to_json(json::Writer& w, const analysis::DataFrame& df) {
+  w.begin_object();
+  w.key("columns");
+  w.begin_array();
+  for (const auto& name : df.column_names()) w.value_string(name);
+  w.end_array();
+  w.key("rows");
+  w.begin_array();
+  for (std::size_t r = 0; r < df.rows(); ++r) {
+    w.begin_array();
+    for (const auto& name : df.column_names()) {
+      switch (df.column_type(name)) {
+        case analysis::ColType::kInt:
+          w.value_int(df.get_int(r, name));
+          break;
+        case analysis::ColType::kDouble:
+          w.value_double(df.get_double(r, name), 9);
+          break;
+        case analysis::ColType::kString:
+          w.value_string(df.get_string(r, name));
+          break;
+      }
+    }
+    w.end_array();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+std::vector<std::uint64_t> job_list(const dsos::DsosCluster& db,
+                                    const Params& params) {
+  std::vector<std::uint64_t> jobs;
+  const auto it = params.find("job");
+  if (it != params.end()) {
+    for (const std::string& part : split(it->second, ',')) {
+      jobs.push_back(std::strtoull(part.c_str(), nullptr, 10));
+    }
+    return jobs;
+  }
+  // All jobs present in the database.
+  std::set<std::uint64_t> distinct;
+  for (const auto* obj : db.query(kSchema, "time")) {
+    distinct.insert(obj->as_uint("job_id"));
+  }
+  jobs.assign(distinct.begin(), distinct.end());
+  return jobs;
+}
+
+}  // namespace
+
+DashboardService::DashboardService(std::shared_ptr<dsos::DsosCluster> db)
+    : db_(std::move(db)) {
+  // The paper's figure analyses ship as pre-registered modules.
+  register_module("fig5", [](const dsos::DsosCluster& db,
+                             const Params& params) {
+    return analysis::fig5_op_counts(db, job_list(db, params));
+  });
+  register_module("fig6", [](const dsos::DsosCluster& db,
+                             const Params& params) {
+    return analysis::fig6_requests_per_node(db, job_list(db, params));
+  });
+  register_module("fig7", [](const dsos::DsosCluster& db,
+                             const Params& params) {
+    return analysis::fig7_rank_durations(db, job_list(db, params));
+  });
+  register_module("fig7_summary", [](const dsos::DsosCluster& db,
+                                     const Params& params) {
+    return analysis::fig7_job_summary(db, job_list(db, params));
+  });
+  register_module("fig8", [](const dsos::DsosCluster& db,
+                             const Params& params) {
+    const auto jobs = job_list(db, params);
+    return jobs.empty() ? analysis::DataFrame{}
+                        : analysis::fig8_timeline(db, jobs.front());
+  });
+  register_module("fig9", [](const dsos::DsosCluster& db,
+                             const Params& params) {
+    const auto jobs = job_list(db, params);
+    const auto it = params.find("bucket_s");
+    const double bucket =
+        it != params.end() ? std::strtod(it->second.c_str(), nullptr) : 10.0;
+    return jobs.empty() ? analysis::DataFrame{}
+                        : analysis::fig9_throughput_buckets(
+                              db, jobs.front(), bucket > 0 ? bucket : 10.0);
+  });
+  register_module("hot_files", [](const dsos::DsosCluster& db,
+                                  const Params& params) {
+    const auto it = params.find("top");
+    const std::size_t top_n =
+        it != params.end()
+            ? static_cast<std::size_t>(
+                  std::strtoull(it->second.c_str(), nullptr, 10))
+            : 10;
+    return analysis::hot_files(db, job_list(db, params),
+                               top_n > 0 ? top_n : 10);
+  });
+}
+
+void DashboardService::register_module(const std::string& name,
+                                       AnalysisModule module) {
+  modules_[name] = std::move(module);
+}
+
+void DashboardService::split_url(const std::string& url, std::string& path,
+                                 Params& params) {
+  params.clear();
+  const std::size_t qmark = url.find('?');
+  path = url.substr(0, qmark);
+  if (qmark == std::string::npos) return;
+  for (const std::string& pair : split(url.substr(qmark + 1), '&')) {
+    if (pair.empty()) continue;
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      params[url_decode(pair)] = "";
+    } else {
+      params[url_decode(pair.substr(0, eq))] = url_decode(pair.substr(eq + 1));
+    }
+  }
+}
+
+Response DashboardService::handle(const std::string& path_and_query) const {
+  ++requests_;
+  std::string path;
+  Params params;
+  split_url(path_and_query, path, params);
+  try {
+    if (path == "/api/health") return api_health();
+    if (path == "/api/schemas") return api_schemas();
+    if (path == "/api/jobs") return api_jobs();
+    if (path == "/api/query") return api_query(params);
+    if (path == "/api/panel") return api_panel(params);
+    if (path == "/api/csv") return api_csv(params);
+  } catch (const std::exception& e) {
+    return Response{500, "application/json", error_body(e.what())};
+  }
+  return not_found("no route for " + path);
+}
+
+Response DashboardService::api_health() const {
+  json::Writer w;
+  w.begin_object();
+  w.member("status", "ok");
+  w.member("objects", static_cast<std::uint64_t>(db_->total_objects()));
+  w.member("shards", static_cast<std::uint64_t>(db_->shard_count()));
+  w.end_object();
+  return Response{200, "application/json", w.take()};
+}
+
+Response DashboardService::api_schemas() const {
+  const auto schema = core::darshan_data_schema();
+  json::Writer w;
+  w.begin_object();
+  w.key("schemas");
+  w.begin_array();
+  w.begin_object();
+  w.member("name", schema->name());
+  w.key("attrs");
+  w.begin_array();
+  for (const auto& attr : schema->attrs()) {
+    w.begin_object();
+    w.member("name", attr.name);
+    w.member("type", dsos::attr_type_name(attr.type));
+    w.end_object();
+  }
+  w.end_array();
+  w.key("indices");
+  w.begin_array();
+  for (const auto& idx : schema->indices()) w.value_string(idx.name);
+  w.end_array();
+  w.end_object();
+  w.end_array();
+  w.end_object();
+  return Response{200, "application/json", w.take()};
+}
+
+Response DashboardService::api_jobs() const {
+  std::map<std::uint64_t, std::uint64_t> counts;
+  for (const auto* obj : db_->query(kSchema, "time")) {
+    ++counts[obj->as_uint("job_id")];
+  }
+  json::Writer w;
+  w.begin_object();
+  w.key("jobs");
+  w.begin_array();
+  for (const auto& [job, rows] : counts) {
+    w.begin_object();
+    w.member("job_id", job);
+    w.member("rows", rows);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return Response{200, "application/json", w.take()};
+}
+
+Response DashboardService::api_query(const Params& params) const {
+  const auto schema = db_->shard(0).container().schema(kSchema);
+  if (!schema) return not_found("no darshan_data schema loaded");
+  const auto index_it = params.find("index");
+  const std::string index =
+      index_it != params.end() ? index_it->second : "job_rank_time";
+  if (!schema->find_index(index)) return bad_request("unknown index " + index);
+
+  std::size_t limit = 1000;
+  if (const auto it = params.find("limit"); it != params.end()) {
+    limit = static_cast<std::size_t>(
+        std::strtoull(it->second.c_str(), nullptr, 10));
+  }
+  auto rows = db_->query(kSchema, index, filter_from_params(*schema, params));
+  const std::size_t total = rows.size();
+  if (rows.size() > limit) rows.resize(limit);
+
+  const analysis::DataFrame df = analysis::DataFrame::from_objects(rows);
+  json::Writer w(json::NumberFormat::kFastItoa);
+  w.begin_object();
+  w.member("total", static_cast<std::uint64_t>(total));
+  w.member("returned", static_cast<std::uint64_t>(rows.size()));
+  w.key("data");
+  frame_to_json(w, df);
+  w.end_object();
+  return Response{200, "application/json", w.take()};
+}
+
+Response DashboardService::api_panel(const Params& params) const {
+  const auto it = params.find("module");
+  if (it == params.end()) return bad_request("panel needs module=");
+  const auto module_it = modules_.find(it->second);
+  if (module_it == modules_.end()) {
+    return not_found("unknown module " + it->second);
+  }
+  const analysis::DataFrame df = module_it->second(*db_, params);
+  json::Writer w;
+  w.begin_object();
+  w.member("module", it->second);
+  w.key("data");
+  frame_to_json(w, df);
+  w.end_object();
+  return Response{200, "application/json", w.take()};
+}
+
+Response DashboardService::api_csv(const Params& params) const {
+  const auto schema = db_->shard(0).container().schema(kSchema);
+  if (!schema) return not_found("no darshan_data schema loaded");
+  const auto index_it = params.find("index");
+  const std::string index =
+      index_it != params.end() ? index_it->second : "time";
+  if (!schema->find_index(index)) return bad_request("unknown index " + index);
+  const auto rows =
+      db_->query(kSchema, index, filter_from_params(*schema, params));
+  std::ostringstream out;
+  dsos::export_csv(out, *schema, rows);
+  return Response{200, "text/csv", out.str()};
+}
+
+}  // namespace dlc::websvc

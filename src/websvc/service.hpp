@@ -1,0 +1,75 @@
+// HPC Web Services: the analysis/visualization back end (paper §IV-E).
+//
+// "Any data queries start from a front-end application and [are]
+// transferred to a back-end application running on an HPC cluster" —
+// Grafana panels name an analysis module; the back end runs it against
+// DSOS and returns the transformed series.  This service is that back
+// end: named analysis modules over a DSOS cluster, addressed through a
+// small URL-style API (servable in-process or over the bundled HTTP
+// server in websvc/http.hpp):
+//
+//   /api/health                         -> {"status":"ok", ...}
+//   /api/schemas                        -> schema + index inventory
+//   /api/jobs                           -> distinct job ids with row counts
+//   /api/query?index=job_rank_time&job_id=2&rank=3&limit=100
+//                                       -> raw rows (JSON)
+//   /api/panel?module=fig9&job=2&bucket_s=10
+//                                       -> Grafana panel JSON
+//   /api/csv?index=time&job_id=2        -> text/csv export
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "analysis/frame.hpp"
+#include "dsos/cluster.hpp"
+
+namespace dlc::websvc {
+
+struct Response {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+/// Parsed query string: key -> value (last occurrence wins).
+using Params = std::map<std::string, std::string>;
+
+/// An analysis module: DSOS + request params -> tidy frame.
+using AnalysisModule = std::function<analysis::DataFrame(
+    const dsos::DsosCluster& db, const Params& params)>;
+
+class DashboardService {
+ public:
+  explicit DashboardService(std::shared_ptr<dsos::DsosCluster> db);
+
+  /// Registers a module under `name` (addressable via /api/panel).
+  /// The figure pipelines (fig5..fig9) are pre-registered.
+  void register_module(const std::string& name, AnalysisModule module);
+
+  /// Handles one request; never throws (errors become 4xx/5xx bodies).
+  Response handle(const std::string& path_and_query) const;
+
+  /// Splits "/a/b?x=1&y=2" into path and params (URL-decoding %XX and +).
+  static void split_url(const std::string& url, std::string& path,
+                        Params& params);
+
+  std::uint64_t requests_served() const { return requests_; }
+
+ private:
+  Response api_health() const;
+  Response api_schemas() const;
+  Response api_jobs() const;
+  Response api_query(const Params& params) const;
+  Response api_panel(const Params& params) const;
+  Response api_csv(const Params& params) const;
+
+  std::shared_ptr<dsos::DsosCluster> db_;
+  std::map<std::string, AnalysisModule> modules_;
+  mutable std::uint64_t requests_ = 0;
+};
+
+}  // namespace dlc::websvc

@@ -1,0 +1,85 @@
+#include "workloads/hacc_io.hpp"
+
+namespace dlc::workloads {
+
+namespace {
+
+sim::Task<void> rank_body(darshan::Runtime& rt, simhpc::Job& job,
+                          std::size_t rank, HaccIoConfig cfg) {
+  darshan::RankIo io = rt.rank(static_cast<int>(rank));
+  Rng rng = job.rank_rng(rank, "hacc-io");
+
+  const bool posix = cfg.mode == HaccIoConfig::Mode::kPosix;
+  const darshan::Module module =
+      posix ? darshan::Module::kPosix : darshan::Module::kMpiio;
+  const simfs::IoFlags flags{
+      .collective = cfg.mode == HaccIoConfig::Mode::kMpiCollective,
+      .sync = false};
+
+  // Simulation compute preceding the checkpoint.
+  co_await job.engine().delay(static_cast<SimDuration>(
+      static_cast<double>(cfg.initial_compute) *
+      rng.lognormal(0.0, cfg.compute_jitter_sigma)));
+  co_await job.barrier();
+
+  // Rank's slab base offset within the shared checkpoint.
+  const std::uint64_t rank_bytes =
+      cfg.particles_per_rank * kHaccBytesPerParticle;
+  const std::uint64_t base = rank * rank_bytes;
+
+  // --- write checkpoint: nine variables, each in a jittered number of
+  // segments (buffer-state-dependent segmentation).
+  darshan::Fd fd = co_await io.open(module, cfg.file_path, true, flags);
+  std::uint64_t var_offset = base;
+  for (const std::uint64_t var_bytes_per_particle : kHaccVariableBytes) {
+    const std::uint64_t var_bytes =
+        cfg.particles_per_rank * var_bytes_per_particle;
+    const auto segments = static_cast<std::uint64_t>(
+        rng.uniform_int(cfg.segments_min, cfg.segments_max));
+    const std::uint64_t seg_bytes = var_bytes / segments;
+    for (std::uint64_t s = 0; s < segments; ++s) {
+      const std::uint64_t len =
+          s + 1 == segments ? var_bytes - s * seg_bytes : seg_bytes;
+      co_await io.write_at(fd, var_offset + s * seg_bytes, len, flags);
+    }
+    var_offset += var_bytes;
+    if (rng.bernoulli(cfg.reopen_probability)) {
+      co_await io.close(fd);
+      fd = co_await io.open(module, cfg.file_path, false, flags);
+    }
+  }
+  co_await io.flush(fd);
+  co_await io.close(fd);
+  co_await job.barrier();
+
+  // --- read back for validation.
+  fd = co_await io.open(module, cfg.file_path, false, flags);
+  var_offset = base;
+  for (const std::uint64_t var_bytes_per_particle : kHaccVariableBytes) {
+    const std::uint64_t var_bytes =
+        cfg.particles_per_rank * var_bytes_per_particle;
+    const auto segments = static_cast<std::uint64_t>(
+        rng.uniform_int(cfg.segments_min, cfg.segments_max));
+    const std::uint64_t seg_bytes = var_bytes / segments;
+    for (std::uint64_t s = 0; s < segments; ++s) {
+      const std::uint64_t len =
+          s + 1 == segments ? var_bytes - s * seg_bytes : seg_bytes;
+      co_await io.read_at(fd, var_offset + s * seg_bytes, len, flags);
+    }
+    var_offset += var_bytes;
+  }
+  co_await io.close(fd);
+}
+
+}  // namespace
+
+WorkloadFactory hacc_io(HaccIoConfig config) {
+  return [config](darshan::Runtime& runtime) -> simhpc::RankMain {
+    return [&runtime, config](simhpc::Job& job,
+                              std::size_t rank) -> sim::Task<void> {
+      return rank_body(runtime, job, rank, config);
+    };
+  };
+}
+
+}  // namespace dlc::workloads

@@ -1,0 +1,48 @@
+// HACC-IO: the I/O proxy of the HACC cosmology code.
+//
+// Each rank writes a simulated checkpoint — nine particle variables
+// (xx,yy,zz,vx,vy,vz,phi as 4-byte floats; pid 8 bytes; mask 2 bytes,
+// 38 bytes per particle total) — into a shared file, then reads it back
+// for validation, exactly the write-checkpoint/read-verify cycle the
+// paper describes.  Particles per rank is the workload knob of Table IIb.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "workloads/workload.hpp"
+
+namespace dlc::workloads {
+
+struct HaccIoConfig {
+  std::uint64_t particles_per_rank = 5'000'000;  // paper: 5e6 / 1e7
+  /// POSIX, MPI independent, or MPI collective I/O mode (HACC-IO
+  /// "simulates the POSIX, MPI collective, and MPI independent I/O
+  /// patterns"); the paper's Table IIb runs use MPI independent.
+  enum class Mode { kPosix, kMpiIndependent, kMpiCollective };
+  Mode mode = Mode::kMpiIndependent;
+  std::string file_path = "/scratch/hacc-checkpoint.dat";
+  /// Each variable is written/read in [segments_min, segments_max]
+  /// segments — HACC-IO's transfer segmentation depends on runtime buffer
+  /// state, which is why the same configuration performs a different
+  /// number of I/O operations across jobs (the paper's Fig. 5).
+  int segments_min = 2;
+  int segments_max = 4;
+  /// Probability (per variable) that a rank cycles close+reopen on the
+  /// checkpoint between variables, adding per-node open/close variation
+  /// (Fig. 6).
+  double reopen_probability = 0.15;
+  /// Compute (FFT/force solve) before the checkpoint begins.
+  SimDuration initial_compute = 30 * kSecond;
+  double compute_jitter_sigma = 0.1;
+};
+
+/// Bytes per particle per variable, per HACC-IO's record layout.
+constexpr std::uint64_t kHaccVariableBytes[9] = {4, 4, 4, 4, 4, 4, 4, 8, 2};
+constexpr std::uint64_t kHaccBytesPerParticle = 38;
+
+inline const char* kHaccIoExe = "/projects/hacc/bin/hacc_io";
+
+WorkloadFactory hacc_io(HaccIoConfig config);
+
+}  // namespace dlc::workloads

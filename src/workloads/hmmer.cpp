@@ -1,0 +1,96 @@
+#include "workloads/hmmer.hpp"
+
+namespace dlc::workloads {
+
+namespace {
+
+sim::Task<void> rank_body(darshan::Runtime& rt, simhpc::Job& job,
+                          std::size_t rank, HmmerConfig cfg) {
+  // hmmbuild --mpi roles: rank 0 is the master — it receives finished
+  // profiles from the workers and concatenates them into the output
+  // database; ranks 1..N-1 are workers that parse and build their share of
+  // the alignments.  (With one rank, it does both.)
+  darshan::RankIo io = rt.rank(static_cast<int>(rank));
+  Rng rng = job.rank_rng(rank, "hmmer");
+  const std::uint64_t nranks = job.rank_count();
+  const std::uint64_t workers = nranks > 1 ? nranks - 1 : 1;
+
+  auto jittered = [&rng](std::uint64_t mean) {
+    return static_cast<std::uint64_t>(std::max<std::int64_t>(
+        16, rng.uniform_int(static_cast<std::int64_t>(mean / 2),
+                            static_cast<std::int64_t>(mean * 3 / 2))));
+  };
+
+  if (rank == 0 && nranks > 1) {
+    // Master: stream every profile's text into the database.
+    const darshan::Fd out_fd =
+        co_await io.open(darshan::Module::kStdio, cfg.out_path, true);
+    for (std::uint64_t p = 0; p < cfg.profiles; ++p) {
+      for (int w = 0; w < cfg.writes_per_profile; ++w) {
+        co_await io.write(out_fd, jittered(cfg.write_size));
+      }
+    }
+    co_await io.flush(out_fd);
+    co_await io.close(out_fd);
+  } else {
+    // Worker: parse and build this rank's share of the alignments.
+    const std::uint64_t widx = nranks > 1 ? rank - 1 : 0;
+    const std::uint64_t lo = cfg.profiles * widx / workers;
+    const std::uint64_t hi = cfg.profiles * (widx + 1) / workers;
+
+    const darshan::Fd seed_fd =
+        co_await io.open(darshan::Module::kStdio, cfg.seed_path, false);
+    const std::uint64_t mean_profile_bytes =
+        static_cast<std::uint64_t>(cfg.reads_per_profile) * cfg.read_size;
+    io.seek(seed_fd, lo * mean_profile_bytes);
+
+    darshan::Fd solo_out = -1;
+    if (nranks == 1) {
+      solo_out = co_await io.open(darshan::Module::kStdio, cfg.out_path, true);
+    }
+    for (std::uint64_t p = lo; p < hi; ++p) {
+      for (int r = 0; r < cfg.reads_per_profile; ++r) {
+        co_await io.read(seed_fd, jittered(cfg.read_size));
+      }
+      co_await job.engine().delay(static_cast<SimDuration>(
+          static_cast<double>(cfg.compute_per_profile) *
+          rng.lognormal(0.0, cfg.compute_jitter_sigma)));
+      if (nranks == 1) {
+        for (int w = 0; w < cfg.writes_per_profile; ++w) {
+          co_await io.write(solo_out, jittered(cfg.write_size));
+        }
+      }
+    }
+    co_await io.close(seed_fd);
+    if (nranks == 1) {
+      co_await io.flush(solo_out);
+      co_await io.close(solo_out);
+    }
+  }
+  co_await job.barrier();
+}
+
+}  // namespace
+
+WorkloadFactory hmmer_build(HmmerConfig config) {
+  return [config](darshan::Runtime& runtime) -> simhpc::RankMain {
+    return [&runtime, config](simhpc::Job& job,
+                              std::size_t rank) -> sim::Task<void> {
+      return rank_body(runtime, job, rank, config);
+    };
+  };
+}
+
+std::uint64_t hmmer_expected_events(const HmmerConfig& config,
+                                    std::size_t ranks) {
+  const std::uint64_t reads =
+      config.profiles * static_cast<std::uint64_t>(config.reads_per_profile);
+  const std::uint64_t writes =
+      config.profiles * static_cast<std::uint64_t>(config.writes_per_profile);
+  // Workers: seed open/close each.  Master: db open + flush + close.
+  const std::uint64_t worker_count = ranks > 1 ? ranks - 1 : 1;
+  const std::uint64_t meta = 2 * worker_count + 3;
+  return reads + writes + meta;
+}
+
+}  // namespace dlc::workloads

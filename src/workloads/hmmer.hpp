@@ -1,0 +1,47 @@
+// HMMER hmmbuild: builds the Pfam-A.hmm profile database from the
+// Pfam-A.seed Stockholm alignment file.
+//
+// The I/O skeleton: every worker rank streams its share of the seed file
+// with many small STDIO reads (Stockholm alignments are line-oriented
+// text), runs the HMM construction (compute), and the master rank
+// concatenates the resulting profiles into the output database with many
+// small STDIO writes.  This makes hmmbuild the paper's stress case:
+// millions of tiny I/O events in a (relatively) short run, where the
+// connector's per-event JSON formatting dominates (Table IIc: +277% NFS,
+// +1277% Lustre; 0.37% with formatting disabled).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "workloads/workload.hpp"
+
+namespace dlc::workloads {
+
+struct HmmerConfig {
+  /// Profiles in Pfam-A.seed (Pfam release ~35 has about 19k families).
+  std::uint64_t profiles = 19'000;
+  /// Small reads per profile while parsing the alignment block.
+  int reads_per_profile = 90;
+  /// Mean read size in bytes (alignment line + bookkeeping).
+  std::uint64_t read_size = 420;
+  /// Small writes per profile while emitting the .hmm text.
+  int writes_per_profile = 60;
+  std::uint64_t write_size = 310;
+  /// HMM construction compute per profile (per worker).
+  SimDuration compute_per_profile = 8 * kMillisecond;
+  double compute_jitter_sigma = 0.4;
+  std::string seed_path = "/nscratch/pfam/Pfam-A.seed";
+  std::string out_path = "/nscratch/pfam/Pfam-A.hmm";
+};
+
+inline const char* kHmmerExe = "/projects/bio/hmmer/bin/hmmbuild";
+
+WorkloadFactory hmmer_build(HmmerConfig config);
+
+/// Expected instrumented event count for a config (opens/closes + data
+/// ops), used by tests and the campaign driver's message-rate reporting.
+std::uint64_t hmmer_expected_events(const HmmerConfig& config,
+                                    std::size_t ranks);
+
+}  // namespace dlc::workloads

@@ -1,0 +1,98 @@
+#include "workloads/ior.hpp"
+
+#include <stdexcept>
+
+namespace dlc::workloads {
+
+namespace {
+
+sim::Task<void> rank_body(darshan::Runtime& rt, simhpc::Job& job,
+                          std::size_t rank, IorConfig cfg) {
+  if (cfg.transfer_size == 0 || cfg.block_size % cfg.transfer_size != 0) {
+    throw std::invalid_argument("ior: block_size % transfer_size != 0");
+  }
+  darshan::RankIo io = rt.rank(static_cast<int>(rank));
+  const darshan::Module module =
+      cfg.use_mpiio ? darshan::Module::kMpiio : darshan::Module::kPosix;
+  const simfs::IoFlags flags{.collective = cfg.use_mpiio && cfg.collective,
+                             .sync = false};
+  const std::uint64_t nranks = job.rank_count();
+  const std::uint64_t transfers_per_block =
+      cfg.block_size / cfg.transfer_size;
+
+  const std::string path =
+      cfg.file_per_process ? cfg.path + "." + std::to_string(rank) : cfg.path;
+
+  // IOR segment layout in a shared file: segment s, rank r starts at
+  // (s * nranks + r) * block_size.  File-per-process packs segments
+  // back to back.
+  auto block_base = [&](std::uint64_t segment, std::uint64_t as_rank) {
+    return cfg.file_per_process
+               ? segment * cfg.block_size
+               : (segment * nranks + as_rank) * cfg.block_size;
+  };
+
+  if (cfg.do_write) {
+    const darshan::Fd fd = co_await io.open(module, path, true, flags);
+    for (int s = 0; s < cfg.segments; ++s) {
+      const std::uint64_t base =
+          block_base(static_cast<std::uint64_t>(s), rank);
+      for (std::uint64_t t = 0; t < transfers_per_block; ++t) {
+        co_await io.write_at(fd, base + t * cfg.transfer_size,
+                             cfg.transfer_size, flags);
+      }
+    }
+    if (cfg.fsync_after_write) co_await io.flush(fd);
+    co_await io.close(fd);
+    co_await job.barrier();
+  }
+
+  if (cfg.do_read) {
+    co_await job.engine().delay(cfg.inter_phase_compute);
+    // Task reordering (-C): read the block another rank wrote.  With
+    // file-per-process the shift selects another rank's file.
+    const std::uint64_t read_as =
+        (rank + static_cast<std::uint64_t>(cfg.reorder_shift)) % nranks;
+    const std::string read_path =
+        cfg.file_per_process ? cfg.path + "." + std::to_string(read_as)
+                             : cfg.path;
+    const darshan::Fd fd = co_await io.open(module, read_path, false, flags);
+    for (int s = 0; s < cfg.segments; ++s) {
+      const std::uint64_t base =
+          block_base(static_cast<std::uint64_t>(s), read_as);
+      for (std::uint64_t t = 0; t < transfers_per_block; ++t) {
+        co_await io.read_at(fd, base + t * cfg.transfer_size,
+                            cfg.transfer_size, flags);
+      }
+    }
+    co_await io.close(fd);
+    co_await job.barrier();
+  }
+}
+
+}  // namespace
+
+WorkloadFactory ior(IorConfig config) {
+  return [config](darshan::Runtime& runtime) -> simhpc::RankMain {
+    return [&runtime, config](simhpc::Job& job,
+                              std::size_t rank) -> sim::Task<void> {
+      return rank_body(runtime, job, rank, config);
+    };
+  };
+}
+
+std::uint64_t ior_expected_events(const IorConfig& config, std::size_t ranks) {
+  const std::uint64_t transfers =
+      config.block_size / config.transfer_size *
+      static_cast<std::uint64_t>(config.segments);
+  std::uint64_t per_rank = 0;
+  if (config.do_write) {
+    per_rank += 1 + transfers + (config.fsync_after_write ? 1 : 0) + 1;
+  }
+  if (config.do_read) {
+    per_rank += 1 + transfers + 1;
+  }
+  return per_rank * ranks;
+}
+
+}  // namespace dlc::workloads

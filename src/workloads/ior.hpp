@@ -1,0 +1,52 @@
+// IOR-style parallel I/O benchmark skeleton.
+//
+// Not part of the paper's evaluation, but the de-facto standard tool a
+// downstream user of this library would reach for first.  Supports the
+// core IOR knobs: shared file vs file-per-process, transfer/block/segment
+// geometry, write/read phases, fsync, and `-C`-style task reordering
+// (each rank reads data written by another rank, defeating node-local
+// page caches — the knob that exposes read-cache effects).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "workloads/workload.hpp"
+
+namespace dlc::workloads {
+
+struct IorConfig {
+  /// Bytes per individual I/O call (IOR -t).
+  std::uint64_t transfer_size = 1 << 20;
+  /// Contiguous bytes per rank per segment (IOR -b); must be a multiple
+  /// of transfer_size.
+  std::uint64_t block_size = 8ull << 20;
+  /// Segments per rank (IOR -s).
+  int segments = 1;
+  /// Shared file (IOR default) vs file-per-process (IOR -F).
+  bool file_per_process = false;
+  /// Phases.
+  bool do_write = true;
+  bool do_read = true;
+  /// fsync after the write phase (IOR -e).
+  bool fsync_after_write = true;
+  /// Reorder tasks for the read phase (IOR -C): rank r reads the block
+  /// written by rank (r + reorder_shift) % nranks.
+  int reorder_shift = 0;
+  /// Use the MPI-IO layer (collective optional) instead of POSIX.
+  bool use_mpiio = false;
+  bool collective = false;
+  std::string path = "/scratch/ior/testfile";
+  /// Think time between phases.
+  SimDuration inter_phase_compute = kSecond;
+};
+
+inline const char* kIorExe = "/projects/benchmarks/ior/bin/ior";
+
+WorkloadFactory ior(IorConfig config);
+
+/// Expected instrumented events for a config (per job): helps tests and
+/// sizing (excludes MPIIO->POSIX sub-events).
+std::uint64_t ior_expected_events(const IorConfig& config, std::size_t ranks);
+
+}  // namespace dlc::workloads

@@ -1,0 +1,55 @@
+#include "workloads/mpi_io_test.hpp"
+
+namespace dlc::workloads {
+
+namespace {
+
+sim::Task<void> rank_body(darshan::Runtime& rt, simhpc::Job& job,
+                          std::size_t rank, MpiIoTestConfig cfg) {
+  darshan::RankIo io = rt.rank(static_cast<int>(rank));
+  Rng rng = job.rank_rng(rank, "mpi-io-test");
+  const simfs::IoFlags flags{.collective = cfg.collective, .sync = false};
+  const std::uint64_t nranks = job.rank_count();
+  const std::uint64_t stride = cfg.block_size * nranks;
+
+  const darshan::Fd fd =
+      co_await io.open(darshan::Module::kMpiio, cfg.file_path, true, flags);
+
+  // Write phases: each iteration writes one block per rank into the shared
+  // file (rank-interleaved layout), separated by compute.
+  for (int iter = 0; iter < cfg.iterations; ++iter) {
+    const auto compute = static_cast<SimDuration>(
+        static_cast<double>(cfg.compute_per_iteration) *
+        rng.lognormal(0.0, cfg.compute_jitter_sigma));
+    co_await job.engine().delay(compute);
+    const std::uint64_t offset =
+        static_cast<std::uint64_t>(iter) * stride + rank * cfg.block_size;
+    co_await io.write_at(fd, offset, cfg.block_size, flags);
+    co_await job.barrier();
+  }
+
+  co_await io.flush(fd);
+  co_await job.barrier();
+
+  // Read-back verification at the end of the run (Fig. 8: reads cluster at
+  // the tail of the execution).
+  for (int iter = 0; iter < cfg.iterations; ++iter) {
+    const std::uint64_t offset =
+        static_cast<std::uint64_t>(iter) * stride + rank * cfg.block_size;
+    co_await io.read_at(fd, offset, cfg.block_size, flags);
+  }
+  co_await io.close(fd);
+}
+
+}  // namespace
+
+WorkloadFactory mpi_io_test(MpiIoTestConfig config) {
+  return [config](darshan::Runtime& runtime) -> simhpc::RankMain {
+    return [&runtime, config](simhpc::Job& job,
+                              std::size_t rank) -> sim::Task<void> {
+      return rank_body(runtime, job, rank, config);
+    };
+  };
+}
+
+}  // namespace dlc::workloads

@@ -1,0 +1,33 @@
+// MPI-IO-TEST: Darshan's bundled MPI I/O benchmark.
+//
+// Per the paper's methodology: N iterations of fixed-size blocks written
+// by every rank to a shared file (collective or independent MPI-IO),
+// followed by a read-back verification pass.  The write phases are spaced
+// by a compute gap, producing the "ten write phases then reads at the
+// end" pattern of Fig. 8.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "workloads/workload.hpp"
+
+namespace dlc::workloads {
+
+struct MpiIoTestConfig {
+  std::uint64_t block_size = 16ull * 1024 * 1024;  // paper: 16*1024*1024
+  int iterations = 10;                             // paper: 10
+  bool collective = true;
+  std::string file_path = "/scratch/mpi-io-test.tmp.dat";
+  /// Compute gap between write iterations (gives the phase structure).
+  SimDuration compute_per_iteration = 2 * kSecond;
+  /// Lognormal sigma of per-rank compute jitter.
+  double compute_jitter_sigma = 0.15;
+};
+
+/// darshan exe path used for this app's runs.
+inline const char* kMpiIoTestExe = "/home/users/darshan/tests/mpi-io-test";
+
+WorkloadFactory mpi_io_test(MpiIoTestConfig config);
+
+}  // namespace dlc::workloads

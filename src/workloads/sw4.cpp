@@ -1,0 +1,71 @@
+#include "workloads/sw4.hpp"
+
+namespace dlc::workloads {
+
+namespace {
+
+sim::Task<void> rank_body(darshan::Runtime& rt, simhpc::Job& job,
+                          std::size_t rank, Sw4Config cfg) {
+  darshan::RankIo io = rt.rank(static_cast<int>(rank));
+  Rng rng = job.rank_rng(rank, "sw4");
+  const std::uint64_t field_bytes = cfg.grid_points_per_rank * 8;  // doubles
+
+  // Read the input deck (small STDIO reads on every rank).
+  {
+    const darshan::Fd fd =
+        co_await io.open(darshan::Module::kStdio, cfg.input_path, false);
+    for (int i = 0; i < 8; ++i) co_await io.read(fd, 512);
+    co_await io.close(fd);
+  }
+  co_await job.barrier();
+
+  for (int step = 1; step <= cfg.timesteps; ++step) {
+    co_await job.engine().delay(static_cast<SimDuration>(
+        static_cast<double>(cfg.compute_per_step) *
+        rng.lognormal(0.0, cfg.compute_jitter_sigma)));
+
+    if (cfg.checkpoint_every > 0 && step % cfg.checkpoint_every == 0) {
+      co_await job.barrier();
+      const darshan::Fd fd = co_await io.open(
+          darshan::Module::kH5D,
+          cfg.checkpoint_path + "." + std::to_string(step), true);
+      for (int f = 0; f < cfg.fields; ++f) {
+        darshan::Hdf5Info info;
+        info.data_set = "/fields/u" + std::to_string(f);
+        info.ndims = 3;
+        info.npoints = static_cast<std::int64_t>(cfg.grid_points_per_rank);
+        info.reg_hslab = 1;
+        info.irreg_hslab = 0;
+        info.pt_sel = 0;
+        co_await io.h5d_write(fd, info, rank * field_bytes * cfg.fields +
+                                            static_cast<std::uint64_t>(f) *
+                                                field_bytes,
+                              field_bytes);
+      }
+      co_await io.flush(fd);
+      co_await io.close(fd);
+      co_await job.barrier();
+    }
+
+    if (cfg.image_every > 0 && step % cfg.image_every == 0 && rank == 0) {
+      const darshan::Fd fd = co_await io.open(
+          darshan::Module::kPosix,
+          cfg.image_path + "." + std::to_string(step), true);
+      co_await io.write(fd, cfg.image_bytes);
+      co_await io.close(fd);
+    }
+  }
+}
+
+}  // namespace
+
+WorkloadFactory sw4(Sw4Config config) {
+  return [config](darshan::Runtime& runtime) -> simhpc::RankMain {
+    return [&runtime, config](simhpc::Job& job,
+                              std::size_t rank) -> sim::Task<void> {
+      return rank_body(runtime, job, rank, config);
+    };
+  };
+}
+
+}  // namespace dlc::workloads

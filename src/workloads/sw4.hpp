@@ -1,0 +1,40 @@
+// sw4: seismic wave propagation with local mesh refinement.
+//
+// I/O skeleton: read the input deck, alternating compute timesteps with
+// periodic HDF5 checkpoint dumps (one dataset per field per rank) and
+// occasional 2D image slices, then a final volume snapshot — a classic
+// bursty checkpoint pattern.  The paper lists sw4 in its methodology; we
+// implement it for completeness and exercise it in tests and examples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "workloads/workload.hpp"
+
+namespace dlc::workloads {
+
+struct Sw4Config {
+  /// Simulated timesteps and checkpoint cadence.
+  int timesteps = 40;
+  int checkpoint_every = 10;
+  /// Grid points per rank (drives checkpoint volume; the paper sized the
+  /// grid to ~50% of node memory).
+  std::uint64_t grid_points_per_rank = 2'000'000;
+  /// Fields dumped per checkpoint (displacement components etc.).
+  int fields = 3;
+  /// Image slice every k-th step (0 disables).
+  int image_every = 20;
+  std::uint64_t image_bytes = 4ull * 1024 * 1024;
+  SimDuration compute_per_step = 1500 * kMillisecond;
+  double compute_jitter_sigma = 0.1;
+  std::string checkpoint_path = "/scratch/sw4/ckpt.sw4checkpoint";
+  std::string image_path = "/scratch/sw4/image.sw4img";
+  std::string input_path = "/projects/sw4/tests/berkeley.in";
+};
+
+inline const char* kSw4Exe = "/projects/geo/sw4/bin/sw4";
+
+WorkloadFactory sw4(Sw4Config config);
+
+}  // namespace dlc::workloads

@@ -1,0 +1,17 @@
+// Common workload interface: each application is a factory producing the
+// per-rank coroutine body, given the job's darshan runtime.
+#pragma once
+
+#include <functional>
+
+#include "darshan/runtime.hpp"
+#include "simhpc/job.hpp"
+
+namespace dlc::workloads {
+
+/// Builds the rank body for one application instance.  The returned
+/// RankMain is handed to simhpc::launch_job.
+using WorkloadFactory =
+    std::function<simhpc::RankMain(darshan::Runtime& runtime)>;
+
+}  // namespace dlc::workloads

@@ -1,0 +1,560 @@
+// Tests for the Darshan-LDMS Connector: message schema (Fig. 3 / Table I),
+// MET/MOD typing, N/A|-1 fill, sampling, cost charging, ablation modes,
+// decoder and end-to-end mini pipeline into DSOS.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "core/connector.hpp"
+#include "core/decoder.hpp"
+#include "core/env_config.hpp"
+#include "core/schema_darshan.hpp"
+#include "json/parser.hpp"
+#include "ldms/store.hpp"
+#include "sim/engine.hpp"
+#include "simfs/nfs.hpp"
+#include "simhpc/cluster.hpp"
+#include "simhpc/job.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace dlc::core {
+namespace {
+
+using darshan::Fd;
+using darshan::Module;
+
+struct Pipeline {
+  sim::Engine engine;
+  simhpc::Cluster cluster{simhpc::ClusterConfig{.node_count = 4,
+                                                .first_node_id = 40,
+                                                .node_prefix = "nid"}};
+  std::shared_ptr<simfs::VariabilityProcess> variability;
+  std::unique_ptr<simfs::NfsModel> fs;
+  std::unique_ptr<simhpc::Job> job;
+  std::unique_ptr<darshan::Runtime> runtime;
+  std::vector<std::unique_ptr<ldms::LdmsDaemon>> node_daemons;
+  std::unique_ptr<ldms::LdmsDaemon> aggregator;
+  std::unique_ptr<DarshanLdmsConnector> connector;
+
+  static const std::string& store_row_or(const ldms::CsvStore& store,
+                                         std::size_t index) {
+    static const std::string kEmpty;
+    return index < store.rows().size() ? store.rows()[index] : kEmpty;
+  }
+
+  explicit Pipeline(ConnectorConfig ccfg = {}, std::size_t ranks = 2) {
+    simfs::VariabilityConfig vcfg;
+    vcfg.epoch_sigma = 0.0;
+    vcfg.ar_sigma = 0.0;
+    variability = std::make_shared<simfs::VariabilityProcess>(vcfg, 1);
+    simfs::NfsConfig ncfg;
+    ncfg.jitter_sigma = 0.0;
+    ncfg.small_io_batch = 1;
+    fs = std::make_unique<simfs::NfsModel>(engine, ncfg, variability, 1);
+    simhpc::JobConfig jcfg;
+    jcfg.job_id = 259903;
+    jcfg.uid = 99066;
+    jcfg.node_count = ranks;
+    jcfg.ranks_per_node = 1;
+    job = std::make_unique<simhpc::Job>(engine, cluster, jcfg);
+    darshan::RuntimeConfig rcfg;
+    rcfg.exe = "/home/user/mpi-io-test";
+    runtime = std::make_unique<darshan::Runtime>(engine, *fs, *job, rcfg);
+    for (std::size_t n = 0; n < cluster.node_count(); ++n) {
+      node_daemons.push_back(
+          std::make_unique<ldms::LdmsDaemon>(&engine, cluster.node_name(n)));
+    }
+    aggregator = std::make_unique<ldms::LdmsDaemon>(&engine, "shirley");
+    for (auto& d : node_daemons) {
+      d->add_forward(ccfg.stream_tag, *aggregator,
+                     ldms::ForwardConfig{.queue_capacity = 1 << 20,
+                                         .hop_latency = 10 * kMicrosecond,
+                                         .bandwidth_bytes_per_sec = 0});
+    }
+    connector = std::make_unique<DarshanLdmsConnector>(
+        *runtime,
+        [this](int rank) {
+          return node_daemons[job->node_of_rank(
+                                  static_cast<std::size_t>(rank))]
+              .get();
+        },
+        ccfg);
+  }
+};
+
+sim::Task<void> session(darshan::Runtime& rt, int rank) {
+  darshan::RankIo io = rt.rank(rank);
+  const Fd fd = co_await io.open(Module::kPosix, "/scratch/out.dat", true);
+  co_await io.write(fd, 1 << 20);
+  co_await io.read_at(fd, 0, 4096);
+  co_await io.close(fd);
+}
+
+TEST(Connector, MessageMatchesFig3Schema) {
+  Pipeline p;
+  ldms::CsvStore store;
+  store.attach(*p.aggregator, "darshanConnector");
+  p.engine.spawn(session(*p.runtime, 0));
+  p.engine.run();
+
+  ASSERT_EQ(store.rows().size(), 4u);  // open, write, read, close
+  const auto open_msg = json::parse(store.rows()[0]);
+  ASSERT_TRUE(open_msg.has_value());
+  EXPECT_EQ(open_msg->get_uint("uid"), 99066u);
+  EXPECT_EQ(open_msg->get_string("exe"), "/home/user/mpi-io-test");
+  EXPECT_EQ(open_msg->get_uint("job_id"), 259903u);
+  EXPECT_EQ(open_msg->get_int("rank"), 0);
+  EXPECT_EQ(open_msg->get_string("ProducerName"), "nid00040");
+  EXPECT_EQ(open_msg->get_string("file"), "/scratch/out.dat");
+  EXPECT_EQ(open_msg->get_uint("record_id"), fnv1a64("/scratch/out.dat"));
+  EXPECT_EQ(open_msg->get_string("module"), "POSIX");
+  EXPECT_EQ(open_msg->get_string("type"), "MET");
+  EXPECT_EQ(open_msg->get_int("max_byte"), -1);
+  EXPECT_EQ(open_msg->get_int("switches"), -1);
+  EXPECT_EQ(open_msg->get_int("flushes"), -1);
+  EXPECT_EQ(open_msg->get_int("cnt"), 1);
+  EXPECT_EQ(open_msg->get_string("op"), "open");
+  const auto& seg = open_msg->find("seg")->as_array();
+  ASSERT_EQ(seg.size(), 1u);
+  EXPECT_EQ(seg[0].get_string("data_set"), "N/A");
+  EXPECT_EQ(seg[0].get_int("pt_sel"), -1);
+  EXPECT_EQ(seg[0].get_int("ndims"), -1);
+  EXPECT_EQ(seg[0].get_int("len"), -1);
+  EXPECT_GT(seg[0].get_double("timestamp"), 1.6e9);  // absolute epoch time
+}
+
+TEST(Connector, ModMessagesElideMetadata) {
+  Pipeline p;
+  ldms::CsvStore store;
+  store.attach(*p.aggregator, "darshanConnector");
+  p.engine.spawn(session(*p.runtime, 0));
+  p.engine.run();
+  const auto write_msg = json::parse(store.rows()[1]);
+  EXPECT_EQ(write_msg->get_string("type"), "MOD");
+  EXPECT_EQ(write_msg->get_string("exe"), "N/A");
+  EXPECT_EQ(write_msg->get_string("file"), "N/A");
+  EXPECT_EQ(write_msg->get_string("op"), "write");
+  EXPECT_EQ(write_msg->get_int("max_byte"), (1 << 20) - 1);
+  EXPECT_EQ(write_msg->get_int("switches"), 0);
+  const auto& seg = write_msg->find("seg")->as_array();
+  EXPECT_EQ(seg[0].get_int("off"), 0);
+  EXPECT_EQ(seg[0].get_int("len"), 1 << 20);
+  EXPECT_GT(seg[0].get_double("dur"), 0.0);
+}
+
+TEST(Connector, ProducerNameTracksRankNode) {
+  Pipeline p(ConnectorConfig{}, 2);
+  ldms::CsvStore store;
+  store.attach(*p.aggregator, "darshanConnector");
+  p.engine.spawn(session(*p.runtime, 0));
+  p.engine.spawn(session(*p.runtime, 1));
+  p.engine.run();
+  int saw_40 = 0, saw_41 = 0;
+  for (const auto& row : store.rows()) {
+    const auto msg = json::parse(row);
+    const auto producer = msg->get_string("ProducerName");
+    saw_40 += producer == "nid00040";
+    saw_41 += producer == "nid00041";
+  }
+  EXPECT_EQ(saw_40, 4);
+  EXPECT_EQ(saw_41, 4);
+}
+
+TEST(Connector, ChargesFormattingCostToVirtualTime) {
+  ConnectorConfig on;
+  on.charge_costs = true;
+  ConnectorConfig off;
+  off.charge_costs = false;
+  SimTime with_cost, without_cost;
+  {
+    Pipeline p(on, 1);
+    p.engine.spawn(session(*p.runtime, 0));
+    p.engine.run();
+    with_cost = p.engine.now();
+    EXPECT_GT(p.connector->stats().charged, 0);
+  }
+  {
+    Pipeline p(off, 1);
+    p.engine.spawn(session(*p.runtime, 0));
+    p.engine.run();
+    without_cost = p.engine.now();
+    EXPECT_EQ(p.connector->stats().charged, 0);
+  }
+  EXPECT_GT(with_cost, without_cost);
+}
+
+TEST(Connector, NoneModeSkipsFormattingButPublishes) {
+  ConnectorConfig cfg;
+  cfg.format = FormatMode::kNone;
+  Pipeline p(cfg, 1);
+  ldms::CountingStore store;
+  store.attach(*p.aggregator, "darshanConnector");
+  p.engine.spawn(session(*p.runtime, 0));
+  p.engine.run();
+  EXPECT_EQ(store.stored(), 4u);
+  // Only the publish cost is charged: far below one format_base per event.
+  EXPECT_LT(p.connector->stats().charged,
+            4 * p.connector->config().costs.format_base);
+  EXPECT_EQ(p.connector->stats().charged,
+            4 * p.connector->config().costs.publish_cost);
+}
+
+TEST(Connector, FastJsonCostsLessThanSnprintf) {
+  ConnectorConfig slow;
+  slow.format = FormatMode::kSnprintfJson;
+  ConnectorConfig fast;
+  fast.format = FormatMode::kFastJson;
+  SimDuration slow_charge, fast_charge;
+  {
+    Pipeline p(slow, 1);
+    p.engine.spawn(session(*p.runtime, 0));
+    p.engine.run();
+    slow_charge = p.connector->stats().charged;
+  }
+  {
+    Pipeline p(fast, 1);
+    p.engine.spawn(session(*p.runtime, 0));
+    p.engine.run();
+    fast_charge = p.connector->stats().charged;
+  }
+  EXPECT_LT(fast_charge, slow_charge / 4);
+}
+
+TEST(Connector, SamplingPublishesEveryNth) {
+  ConnectorConfig cfg;
+  cfg.sample_every_n = 4;
+  Pipeline p(cfg, 1);
+  ldms::CountingStore store;
+  store.attach(*p.aggregator, "darshanConnector");
+  auto many_ops = [](darshan::Runtime& rt) -> sim::Task<void> {
+    darshan::RankIo io = rt.rank(0);
+    const Fd fd = co_await io.open(Module::kPosix, "/f", true);
+    for (int i = 0; i < 16; ++i) co_await io.write(fd, 100);
+    co_await io.close(fd);
+  };
+  p.engine.spawn(many_ops(*p.runtime));
+  p.engine.run();
+  // open + close always published; 16 writes sampled 1-in-4.
+  EXPECT_EQ(p.connector->stats().events_seen, 18u);
+  EXPECT_EQ(p.connector->stats().messages_published, 2u + 4u);
+  EXPECT_EQ(p.connector->stats().events_sampled_out, 12u);
+  EXPECT_EQ(store.stored(), 6u);
+}
+
+TEST(Connector, SamplingReducesCharge) {
+  auto run_with_n = [](std::uint64_t n) {
+    ConnectorConfig cfg;
+    cfg.sample_every_n = n;
+    Pipeline p(cfg, 1);
+    auto many_ops = [](darshan::Runtime& rt) -> sim::Task<void> {
+      darshan::RankIo io = rt.rank(0);
+      const Fd fd = co_await io.open(Module::kPosix, "/f", true);
+      for (int i = 0; i < 100; ++i) co_await io.write(fd, 100);
+      co_await io.close(fd);
+    };
+    p.engine.spawn(many_ops(*p.runtime));
+    p.engine.run();
+    return p.connector->stats().charged;
+  };
+  const auto full = run_with_n(1);
+  const auto tenth = run_with_n(10);
+  EXPECT_LT(tenth, full / 5);
+}
+
+TEST(Connector, PublishDisabledObservesOnly) {
+  ConnectorConfig cfg;
+  cfg.publish = false;
+  Pipeline p(cfg, 1);
+  ldms::CountingStore store;
+  store.attach(*p.aggregator, "darshanConnector");
+  p.engine.spawn(session(*p.runtime, 0));
+  p.engine.run();
+  EXPECT_EQ(store.stored(), 0u);
+  EXPECT_EQ(p.connector->stats().events_seen, 4u);
+  EXPECT_EQ(p.connector->stats().messages_published, 0u);
+}
+
+// ------------------------------------------------------------- decoder ----
+
+TEST(Decoder, DecodesConnectorMessage) {
+  Pipeline p;
+  dsos::DsosCluster cluster(dsos::ClusterConfig{.shard_count = 2,
+                                                .shard_attr = "rank",
+                                                .parallel_query = false});
+  DarshanDecoder decoder(*p.aggregator, "darshanConnector", cluster);
+  p.engine.spawn(session(*p.runtime, 0));
+  p.engine.run();
+  EXPECT_EQ(decoder.decoded(), 4u);
+  EXPECT_EQ(decoder.malformed(), 0u);
+  EXPECT_EQ(cluster.total_objects(), 4u);
+
+  const auto rows = cluster.query("darshan_data", "job_rank_time");
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0]->as_string("op"), "open");
+  EXPECT_EQ(rows[0]->as_string("type"), "MET");
+  EXPECT_EQ(rows[3]->as_string("op"), "close");
+  EXPECT_EQ(rows[1]->as_uint("record_id"), fnv1a64("/scratch/out.dat"));
+  // Timestamps strictly increase along the rank's timeline.
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GE(rows[i]->as_double("seg_timestamp"),
+              rows[i - 1]->as_double("seg_timestamp"));
+  }
+}
+
+TEST(Decoder, RejectsMalformedPayloads) {
+  dsos::DsosCluster cluster(dsos::ClusterConfig{.shard_count = 1,
+                                                .shard_attr = "rank",
+                                                .parallel_query = false});
+  sim::Engine engine;
+  ldms::LdmsDaemon daemon(&engine, "d");
+  DarshanDecoder decoder(daemon, "t", cluster);
+  auto proc = [](ldms::LdmsDaemon& d) -> sim::Task<void> {
+    d.publish("t", ldms::PayloadFormat::kJson, "{not json");
+    d.publish("t", ldms::PayloadFormat::kJson, "{\"no\":\"seg\"}");
+    d.publish("t", ldms::PayloadFormat::kString, "plain");
+    co_return;
+  };
+  engine.spawn(proc(daemon));
+  engine.run();
+  EXPECT_EQ(decoder.decoded(), 0u);
+  EXPECT_EQ(decoder.malformed(), 3u);
+}
+
+TEST(Decoder, CsvRowMatchesHeaderArity) {
+  const auto schema = darshan_data_schema();
+  const std::string header(darshan_csv_header());
+  const auto msgs = decode_message(
+      schema,
+      R"({"uid":1,"exe":"/e","job_id":2,"rank":0,"ProducerName":"n","file":"/f",)"
+      R"("record_id":3,"module":"POSIX","type":"MET","max_byte":-1,)"
+      R"("switches":-1,"flushes":-1,"cnt":1,"op":"open",)"
+      R"("seg":[{"data_set":"N/A","pt_sel":-1,"irreg_hslab":-1,"reg_hslab":-1,)"
+      R"("ndims":-1,"npoints":-1,"off":-1,"len":-1,"dur":0.1,"timestamp":1.5}]})");
+  ASSERT_EQ(msgs.size(), 1u);
+  const std::string row = to_csv_row(msgs[0]);
+  EXPECT_EQ(dlc::split(row, ',').size(), dlc::split(header, ',').size());
+}
+
+TEST(Decoder, MultiSegmentMessagesFlatten) {
+  const auto schema = darshan_data_schema();
+  const auto msgs = decode_message(
+      schema,
+      R"({"uid":1,"exe":"N/A","job_id":2,"rank":0,"ProducerName":"n",)"
+      R"("file":"N/A","record_id":3,"module":"POSIX","type":"MOD",)"
+      R"("max_byte":99,"switches":0,"flushes":-1,"cnt":2,"op":"write",)"
+      R"("seg":[{"off":0,"len":50,"dur":0.1,"timestamp":1.0},)"
+      R"({"off":50,"len":50,"dur":0.2,"timestamp":2.0}]})");
+  ASSERT_EQ(msgs.size(), 2u);
+  EXPECT_EQ(msgs[0].as_int("seg_off"), 0);
+  EXPECT_EQ(msgs[1].as_int("seg_off"), 50);
+  // Missing HDF5 fields fall back to sentinels.
+  EXPECT_EQ(msgs[0].as_int("seg_ndims"), -1);
+  EXPECT_EQ(msgs[0].as_string("seg_data_set"), "N/A");
+}
+
+TEST(Schema, JointIndicesExist) {
+  const auto schema = darshan_data_schema();
+  EXPECT_TRUE(schema->find_index("job_rank_time").has_value());
+  EXPECT_TRUE(schema->find_index("job_time_rank").has_value());
+  EXPECT_TRUE(schema->find_index("time").has_value());
+  EXPECT_EQ(schema->attrs().size(), 24u);
+}
+
+
+// ------------------------------------------------ filters & rate limits ---
+
+TEST(Connector, ModuleFilterDropsOtherModules) {
+  ConnectorConfig cfg;
+  cfg.module_filter = {darshan::Module::kMpiio};
+  Pipeline p(cfg, 1);
+  ldms::CsvStore store;
+  store.attach(*p.aggregator, "darshanConnector");
+  auto proc = [](darshan::Runtime& rt) -> sim::Task<void> {
+    darshan::RankIo io = rt.rank(0);
+    const Fd posix_fd = co_await io.open(Module::kPosix, "/p", true);
+    co_await io.write(posix_fd, 10);
+    co_await io.close(posix_fd);
+    const Fd mpi_fd = co_await io.open(Module::kMpiio, "/m", true);
+    co_await io.write(mpi_fd, 10);
+    co_await io.close(mpi_fd);
+  };
+  p.engine.spawn(proc(*p.runtime));
+  p.engine.run();
+  // Only the MPIIO-layer events pass (the POSIX sub-event is filtered).
+  ASSERT_EQ(store.rows().size(), 3u);
+  for (const auto& row : store.rows()) {
+    EXPECT_NE(row.find("\"module\":\"MPIIO\""), std::string::npos) << row;
+  }
+  EXPECT_GT(p.connector->stats().events_sampled_out, 0u);
+}
+
+TEST(Connector, RateLimitBoundsPublishRate) {
+  ConnectorConfig cfg;
+  cfg.min_publish_interval = 10 * kSecond;
+  Pipeline p(cfg, 1);
+  ldms::CountingStore store;
+  store.attach(*p.aggregator, "darshanConnector");
+  auto proc = [](darshan::Runtime& rt) -> sim::Task<void> {
+    darshan::RankIo io = rt.rank(0);
+    const Fd fd = co_await io.open(Module::kPosix, "/f", true);
+    // 100 writes in quick succession: far faster than 1 per 10s.
+    for (int i = 0; i < 100; ++i) co_await io.write(fd, 100);
+    co_await io.close(fd);
+  };
+  p.engine.spawn(proc(*p.runtime));
+  p.engine.run();
+  const double runtime_s = to_seconds(p.engine.now());
+  const auto data_published = p.connector->stats().messages_published - 2;
+  // At most one data event per 10 s window (plus the first).
+  EXPECT_LE(static_cast<double>(data_published), runtime_s / 10.0 + 1.0);
+  EXPECT_GT(p.connector->stats().events_sampled_out, 50u);
+  // Open/close always pass.
+  EXPECT_GE(store.stored(), 2u);
+}
+
+TEST(Connector, RateLimitAndSamplingCompose) {
+  ConnectorConfig cfg;
+  cfg.sample_every_n = 2;
+  cfg.min_publish_interval = kSecond;
+  Pipeline p(cfg, 1);
+  auto proc = [](darshan::Runtime& rt) -> sim::Task<void> {
+    darshan::RankIo io = rt.rank(0);
+    const Fd fd = co_await io.open(Module::kPosix, "/f", true);
+    for (int i = 0; i < 20; ++i) co_await io.write(fd, 100);
+    co_await io.close(fd);
+  };
+  p.engine.spawn(proc(*p.runtime));
+  p.engine.run();
+  // Both mitigations applied: strictly fewer messages than either alone
+  // would allow at most.
+  EXPECT_LT(p.connector->stats().messages_published, 12u);
+  EXPECT_EQ(p.connector->stats().events_seen, 22u);
+}
+
+
+
+TEST(Connector, MessageFieldOrderMatchesFig3) {
+  Pipeline p;
+  ldms::CsvStore store;
+  store.attach(*p.aggregator, "darshanConnector");
+  p.engine.spawn(session(*p.runtime, 0));
+  p.engine.run();
+  // The paper's sample message (Fig. 3) fixes the field order; verify the
+  // raw text, not just the parsed content.
+  const std::string& raw = p.store_row_or(store, 0);
+  const char* expected_order[] = {"\"uid\":",      "\"exe\":",
+                                  "\"job_id\":",   "\"rank\":",
+                                  "\"ProducerName\":", "\"file\":",
+                                  "\"record_id\":", "\"module\":",
+                                  "\"type\":",     "\"max_byte\":",
+                                  "\"switches\":", "\"flushes\":",
+                                  "\"cnt\":",      "\"op\":",
+                                  "\"seg\":"};
+  std::size_t pos = 0;
+  for (const char* field : expected_order) {
+    const std::size_t found = raw.find(field, pos);
+    ASSERT_NE(found, std::string::npos) << field << " out of order in " << raw;
+    pos = found;
+  }
+}
+
+TEST(Decoder, FuzzedPayloadsNeverCrash) {
+  // Mutate a valid message with random byte edits; the decoder must either
+  // decode or count the payload malformed — never throw or crash.
+  Pipeline p;
+  ldms::CsvStore store;
+  store.attach(*p.aggregator, "darshanConnector");
+  p.engine.spawn(session(*p.runtime, 0));
+  p.engine.run();
+  const std::string valid = store.rows()[1];
+
+  const auto schema = darshan_data_schema();
+  Rng rng(20260706);
+  int decoded = 0, rejected = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string mutated = valid;
+    const int edits = static_cast<int>(rng.uniform_int(1, 6));
+    for (int e = 0; e < edits; ++e) {
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(mutated.size()) - 1));
+      switch (rng.uniform_int(0, 2)) {
+        case 0:
+          mutated[pos] = static_cast<char>(rng.uniform_int(32, 126));
+          break;
+        case 1:
+          mutated.erase(pos, 1);
+          break;
+        default:
+          mutated.insert(pos, 1, static_cast<char>(rng.uniform_int(32, 126)));
+          break;
+      }
+      if (mutated.empty()) mutated = "x";
+    }
+    const auto objects = decode_message(schema, mutated);
+    objects.empty() ? ++rejected : ++decoded;
+  }
+  // Most mutations break the JSON; some survive.  Both paths executed.
+  EXPECT_GT(rejected, 0);
+  EXPECT_EQ(decoded + rejected, 2000);
+}
+
+// ---------------------------------------------------------- env config ----
+
+core::EnvGetter fake_env(std::map<std::string, std::string> vars) {
+  auto owned = std::make_shared<std::map<std::string, std::string>>(
+      std::move(vars));
+  return [owned](const char* name) -> const char* {
+    const auto it = owned->find(name);
+    return it == owned->end() ? nullptr : it->second.c_str();
+  };
+}
+
+TEST(EnvConfig, DisabledByDefault) {
+  const EnvConfig cfg = connector_config_from_env(fake_env({}));
+  EXPECT_FALSE(cfg.enabled);
+  EXPECT_TRUE(cfg.errors.empty());
+  EXPECT_EQ(cfg.connector.stream_tag, "darshanConnector");
+}
+
+TEST(EnvConfig, ParsesAllKnobs) {
+  const EnvConfig cfg = connector_config_from_env(fake_env({
+      {"DARSHAN_LDMS_ENABLE", "1"},
+      {"DARSHAN_LDMS_STREAM", "my-stream"},
+      {"DARSHAN_LDMS_FORMAT", "fast"},
+      {"DARSHAN_LDMS_SAMPLE_N", "10"},
+      {"DARSHAN_LDMS_MIN_INTERVAL_US", "2500"},
+      {"DARSHAN_LDMS_MODULES", "POSIX, MPIIO"},
+  }));
+  EXPECT_TRUE(cfg.enabled);
+  EXPECT_TRUE(cfg.errors.empty());
+  EXPECT_EQ(cfg.connector.stream_tag, "my-stream");
+  EXPECT_EQ(cfg.connector.format, FormatMode::kFastJson);
+  EXPECT_EQ(cfg.connector.sample_every_n, 10u);
+  EXPECT_EQ(cfg.connector.min_publish_interval, 2500 * kMicrosecond);
+  ASSERT_EQ(cfg.connector.module_filter.size(), 2u);
+  EXPECT_EQ(cfg.connector.module_filter[0], darshan::Module::kPosix);
+  EXPECT_EQ(cfg.connector.module_filter[1], darshan::Module::kMpiio);
+}
+
+TEST(EnvConfig, EnableZeroMeansOff) {
+  const EnvConfig cfg = connector_config_from_env(
+      fake_env({{"DARSHAN_LDMS_ENABLE", "0"}}));
+  EXPECT_FALSE(cfg.enabled);
+}
+
+TEST(EnvConfig, ReportsUnparsableValues) {
+  const EnvConfig cfg = connector_config_from_env(fake_env({
+      {"DARSHAN_LDMS_FORMAT", "yaml"},
+      {"DARSHAN_LDMS_SAMPLE_N", "zero"},
+      {"DARSHAN_LDMS_MODULES", "POSIX,NVME"},
+  }));
+  ASSERT_EQ(cfg.errors.size(), 3u);
+  // The valid parts still apply.
+  ASSERT_EQ(cfg.connector.module_filter.size(), 1u);
+  EXPECT_EQ(cfg.connector.sample_every_n, 1u);  // default kept
+}
+
+}  // namespace
+}  // namespace dlc::core

@@ -1,0 +1,587 @@
+// Tests for the DSOS layer: key encoding order preservation, schemas,
+// joint indices, filtered queries, sharded clusters with merged parallel
+// queries, CSV round-trips.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+
+#include "dsos/cluster.hpp"
+#include "dsos/container.hpp"
+#include "dsos/csv.hpp"
+#include "dsos/index.hpp"
+#include "dsos/partition.hpp"
+#include "dsos/persist.hpp"
+#include "dsos/schema.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace dlc::dsos {
+namespace {
+
+// ------------------------------------------------------------ encoding ----
+
+template <typename T, typename Encode>
+void expect_order_preserved(const std::vector<T>& sorted, Encode encode) {
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    KeyBytes a, b;
+    encode(a, sorted[i - 1]);
+    encode(b, sorted[i]);
+    EXPECT_LT(a, b) << "at " << i;
+  }
+}
+
+TEST(Encoding, Int64OrderPreserved) {
+  expect_order_preserved<std::int64_t>(
+      {std::numeric_limits<std::int64_t>::min(), -1'000'000, -1, 0, 1, 42,
+       std::numeric_limits<std::int64_t>::max()},
+      [](KeyBytes& out, std::int64_t v) { encode_int64(out, v); });
+}
+
+TEST(Encoding, Uint64OrderPreserved) {
+  expect_order_preserved<std::uint64_t>(
+      {0, 1, 255, 256, 1'000'000, std::numeric_limits<std::uint64_t>::max()},
+      [](KeyBytes& out, std::uint64_t v) { encode_uint64(out, v); });
+}
+
+TEST(Encoding, DoubleOrderPreserved) {
+  expect_order_preserved<double>(
+      {-1e300, -1.5, -1e-300, 0.0, 1e-300, 1.0, 3.14, 1e300},
+      [](KeyBytes& out, double v) { encode_double(out, v); });
+}
+
+TEST(Encoding, StringOrderPreservedIncludingPrefixes) {
+  expect_order_preserved<std::string>(
+      {"", "a", "aa", "ab", "b", std::string("b\0c", 3), "bc"},
+      [](KeyBytes& out, const std::string& v) { encode_string(out, v); });
+}
+
+TEST(Encoding, PropertyRandomInt64PairsOrdered) {
+  Rng rng(101);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = static_cast<std::int64_t>(rng.next_u64());
+    const auto b = static_cast<std::int64_t>(rng.next_u64());
+    KeyBytes ka, kb;
+    encode_int64(ka, a);
+    encode_int64(kb, b);
+    EXPECT_EQ(a < b, ka < kb);
+    EXPECT_EQ(a == b, ka == kb);
+  }
+}
+
+TEST(Encoding, PropertyRandomDoublePairsOrdered) {
+  Rng rng(103);
+  for (int i = 0; i < 2000; ++i) {
+    const double a = rng.uniform(-1e6, 1e6);
+    const double b = rng.uniform(-1e6, 1e6);
+    KeyBytes ka, kb;
+    encode_double(ka, a);
+    encode_double(kb, b);
+    EXPECT_EQ(a < b, ka < kb) << a << " vs " << b;
+  }
+}
+
+TEST(Encoding, PrefixUpperBound) {
+  EXPECT_EQ(prefix_upper_bound("abc"), "abd");
+  EXPECT_EQ(prefix_upper_bound(std::string("a\xff", 2)), "b");
+  EXPECT_TRUE(prefix_upper_bound(std::string("\xff\xff", 2)).empty());
+}
+
+// -------------------------------------------------------------- schema ----
+
+SchemaPtr test_schema() {
+  return SchemaBuilder("events")
+      .attr("job_id", AttrType::kUint64)
+      .attr("rank", AttrType::kInt64)
+      .attr("timestamp", AttrType::kTimestamp)
+      .attr("op", AttrType::kString)
+      .attr("dur", AttrType::kDouble)
+      .index("job_rank_time", {"job_id", "rank", "timestamp"})
+      .index("job_time_rank", {"job_id", "timestamp", "rank"})
+      .index("time", {"timestamp"})
+      .build();
+}
+
+Object make_event(const SchemaPtr& schema, std::uint64_t job, std::int64_t rank,
+                  double ts, std::string op, double dur) {
+  return make_object(schema,
+                     {job, rank, ts, std::move(op), dur});
+}
+
+TEST(Schema, BuilderWiresAttrsAndIndices) {
+  const auto schema = test_schema();
+  EXPECT_EQ(schema->name(), "events");
+  EXPECT_EQ(schema->attrs().size(), 5u);
+  EXPECT_EQ(schema->attr_id("rank"), 1u);
+  EXPECT_THROW(schema->attr_id("nope"), std::out_of_range);
+  EXPECT_EQ(schema->index("job_rank_time").attr_ids,
+            (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_FALSE(schema->find_index("bogus").has_value());
+}
+
+TEST(Schema, BuilderRejectsUnknownIndexAttr) {
+  EXPECT_THROW(SchemaBuilder("s").attr("a", AttrType::kInt64).index("i", {"b"}),
+               std::invalid_argument);
+}
+
+TEST(Schema, MakeObjectValidatesTypes) {
+  const auto schema = test_schema();
+  EXPECT_THROW(make_object(schema, {std::int64_t{1}}), std::invalid_argument);
+  EXPECT_THROW(
+      make_object(schema, {std::uint64_t{1}, std::int64_t{0}, 0.0,
+                           std::string("open"), std::string("oops")}),
+      std::invalid_argument);
+}
+
+// ----------------------------------------------------------- container ----
+
+TEST(Container, InsertAndIndexOrderedScan) {
+  Container c;
+  const auto schema = test_schema();
+  c.register_schema(schema);
+  c.insert(make_event(schema, 2, 0, 30.0, "write", 0.5));
+  c.insert(make_event(schema, 1, 1, 20.0, "read", 0.1));
+  c.insert(make_event(schema, 1, 0, 10.0, "open", 0.01));
+  const auto hits = c.select("events", "job_rank_time");
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0]->as_uint("job_id"), 1u);
+  EXPECT_EQ(hits[0]->as_int("rank"), 0);
+  EXPECT_EQ(hits[1]->as_int("rank"), 1);
+  EXPECT_EQ(hits[2]->as_uint("job_id"), 2u);
+}
+
+TEST(Container, RejectsUnregisteredSchema) {
+  Container c;
+  const auto schema = test_schema();
+  EXPECT_THROW(c.insert(make_event(schema, 1, 0, 0.0, "open", 0.0)),
+               std::out_of_range);
+  c.register_schema(schema);
+  EXPECT_THROW(c.select("other", "time"), std::out_of_range);
+  EXPECT_THROW(c.select("events", "nope"), std::out_of_range);
+}
+
+TEST(Container, EqualityPrefixNarrowsScan) {
+  Container c;
+  const auto schema = test_schema();
+  c.register_schema(schema);
+  for (std::uint64_t job = 1; job <= 4; ++job) {
+    for (std::int64_t rank = 0; rank < 8; ++rank) {
+      for (int t = 0; t < 10; ++t) {
+        c.insert(make_event(schema, job, rank, t * 1.0, "write", 0.1));
+      }
+    }
+  }
+  // job==2 && rank==3 via job_rank_time: exactly 10 entries scanned.
+  const Filter filter{{"job_id", Cmp::kEq, std::uint64_t{2}},
+                      {"rank", Cmp::kEq, std::int64_t{3}}};
+  const auto hits = c.select("events", "job_rank_time", filter);
+  EXPECT_EQ(hits.size(), 10u);
+  EXPECT_EQ(c.last_scanned(), 10u);
+  // Same query via the `time` index must scan everything.
+  const auto hits2 = c.select("events", "time", filter);
+  EXPECT_EQ(hits2.size(), 10u);
+  EXPECT_EQ(c.last_scanned(), 320u);
+}
+
+TEST(Container, ResidualConditionsApply) {
+  Container c;
+  const auto schema = test_schema();
+  c.register_schema(schema);
+  for (int t = 0; t < 10; ++t) {
+    c.insert(make_event(schema, 1, 0, t * 1.0, t % 2 ? "read" : "write",
+                        t * 0.1));
+  }
+  const Filter filter{{"job_id", Cmp::kEq, std::uint64_t{1}},
+                      {"op", Cmp::kEq, std::string("read")},
+                      {"dur", Cmp::kGt, 0.25}};
+  const auto hits = c.select("events", "job_rank_time", filter);
+  ASSERT_EQ(hits.size(), 4u);  // t in {3,5,7,9}
+  for (const Object* o : hits) {
+    EXPECT_EQ(o->as_string("op"), "read");
+    EXPECT_GT(o->as_double("dur"), 0.25);
+  }
+}
+
+TEST(Container, ComparisonOperatorsWork) {
+  Container c;
+  const auto schema = test_schema();
+  c.register_schema(schema);
+  for (int t = 0; t < 5; ++t) {
+    c.insert(make_event(schema, 1, t, t * 10.0, "w", 1.0));
+  }
+  EXPECT_EQ(c.select("events", "time",
+                     {{"timestamp", Cmp::kGe, 20.0}}).size(),
+            3u);
+  EXPECT_EQ(c.select("events", "time",
+                     {{"timestamp", Cmp::kLt, 20.0}}).size(),
+            2u);
+  EXPECT_EQ(c.select("events", "time",
+                     {{"rank", Cmp::kNe, std::int64_t{0}}}).size(),
+            4u);
+}
+
+TEST(Container, DuplicateKeysAreKept) {
+  Container c;
+  const auto schema = test_schema();
+  c.register_schema(schema);
+  c.insert(make_event(schema, 1, 0, 5.0, "a", 0.0));
+  c.insert(make_event(schema, 1, 0, 5.0, "b", 0.0));
+  EXPECT_EQ(c.select("events", "job_rank_time").size(), 2u);
+}
+
+// ------------------------------------------------------------- cluster ----
+
+TEST(Cluster, ShardsByRankAndMergesInKeyOrder) {
+  ClusterConfig cfg;
+  cfg.shard_count = 4;
+  cfg.shard_attr = "rank";
+  DsosCluster cluster(cfg);
+  const auto schema = test_schema();
+  cluster.register_schema(schema);
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    cluster.insert(make_event(schema, 1 + static_cast<std::uint64_t>(i % 3),
+                              rng.uniform_int(0, 15), rng.uniform(0, 100),
+                              "write", 0.1));
+  }
+  EXPECT_EQ(cluster.total_objects(), 500u);
+  // Objects should be spread across shards.
+  std::size_t nonempty = 0;
+  for (std::size_t s = 0; s < cluster.shard_count(); ++s) {
+    nonempty += cluster.shard(s).container().size() > 0;
+  }
+  EXPECT_GE(nonempty, 3u);
+
+  const auto merged = cluster.query("events", "job_rank_time");
+  ASSERT_EQ(merged.size(), 500u);
+  for (std::size_t i = 1; i < merged.size(); ++i) {
+    const auto& a = *merged[i - 1];
+    const auto& b = *merged[i];
+    const auto ta = std::tuple(a.as_uint("job_id"), a.as_int("rank"),
+                               a.as_double("timestamp"));
+    const auto tb = std::tuple(b.as_uint("job_id"), b.as_int("rank"),
+                               b.as_double("timestamp"));
+    EXPECT_LE(ta, tb);
+  }
+}
+
+TEST(Cluster, ParallelAndSerialQueriesAgree) {
+  const auto schema = test_schema();
+  ClusterConfig par;
+  par.shard_count = 4;
+  par.parallel_query = true;
+  ClusterConfig ser = par;
+  ser.parallel_query = false;
+  DsosCluster a(par), b(ser);
+  a.register_schema(schema);
+  b.register_schema(schema);
+  Rng rng(11);
+  for (int i = 0; i < 300; ++i) {
+    auto obj = make_event(schema, 1, rng.uniform_int(0, 7),
+                          rng.uniform(0, 50), i % 2 ? "read" : "write",
+                          rng.uniform(0, 2));
+    b.insert(obj);
+    a.insert(std::move(obj));
+  }
+  const Filter filter{{"job_id", Cmp::kEq, std::uint64_t{1}},
+                      {"op", Cmp::kEq, std::string("read")}};
+  const auto ra = a.query("events", "job_rank_time", filter);
+  const auto rb = b.query("events", "job_rank_time", filter);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i]->as_double("timestamp"), rb[i]->as_double("timestamp"));
+    EXPECT_EQ(ra[i]->as_int("rank"), rb[i]->as_int("rank"));
+  }
+}
+
+TEST(Cluster, FallsBackToRoundRobinWithoutShardAttr) {
+  ClusterConfig cfg;
+  cfg.shard_count = 3;
+  cfg.shard_attr = "no_such_attr";
+  DsosCluster cluster(cfg);
+  const auto schema = test_schema();
+  cluster.register_schema(schema);
+  for (int i = 0; i < 9; ++i) {
+    cluster.insert(make_event(schema, 1, 0, i * 1.0, "w", 0.0));
+  }
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(cluster.shard(s).container().size(), 3u);
+  }
+}
+
+// ----------------------------------------------------------------- csv ----
+
+TEST(Csv, HeaderAndRowRoundTrip) {
+  const auto schema = test_schema();
+  EXPECT_EQ(csv_header(*schema), "job_id,rank,timestamp,op,dur");
+  const Object obj = make_event(schema, 7, 3, 123.456, "op,with,commas", 0.25);
+  const std::string row = csv_row(obj);
+  const auto parsed = csv_parse_row(schema, row);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->as_uint("job_id"), 7u);
+  EXPECT_EQ(parsed->as_int("rank"), 3);
+  EXPECT_DOUBLE_EQ(parsed->as_double("timestamp"), 123.456);
+  EXPECT_EQ(parsed->as_string("op"), "op,with,commas");
+  EXPECT_DOUBLE_EQ(parsed->as_double("dur"), 0.25);
+}
+
+TEST(Csv, ParseRejectsBadRows) {
+  const auto schema = test_schema();
+  EXPECT_FALSE(csv_parse_row(schema, "1,2").has_value());
+  EXPECT_FALSE(csv_parse_row(schema, "x,0,0,op,0").has_value());
+  EXPECT_FALSE(csv_parse_row(schema, "1,0,zebra,op,0").has_value());
+}
+
+TEST(Csv, ExportWritesAllRows) {
+  Container c;
+  const auto schema = test_schema();
+  c.register_schema(schema);
+  c.insert(make_event(schema, 1, 0, 1.0, "open", 0.0));
+  c.insert(make_event(schema, 1, 0, 2.0, "close", 0.0));
+  std::ostringstream out;
+  export_csv(out, *schema, c.select("events", "time"));
+  const auto lines = dlc::split(out.str(), '\n');
+  ASSERT_EQ(lines.size(), 4u);  // header + 2 rows + trailing empty
+  EXPECT_EQ(lines[0], "job_id,rank,timestamp,op,dur");
+  EXPECT_NE(lines[1].find("open"), std::string::npos);
+}
+
+
+// ------------------------------------------------------------- persist ----
+
+TEST(Persist, ContainerRoundTrip) {
+  Container original;
+  const auto schema = test_schema();
+  original.register_schema(schema);
+  Rng rng(55);
+  for (int i = 0; i < 200; ++i) {
+    original.insert(make_event(schema, 1 + static_cast<std::uint64_t>(i % 4),
+                               rng.uniform_int(0, 7), rng.uniform(0, 100),
+                               i % 2 ? "read" : "write", rng.uniform(0, 2)));
+  }
+
+  std::stringstream stream;
+  save_container(original, stream);
+  auto loaded = load_container(stream);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), original.size());
+
+  // Queries over the rebuilt indices agree with the original.
+  const Filter filter{{"job_id", Cmp::kEq, std::uint64_t{2}},
+                      {"op", Cmp::kEq, std::string("read")}};
+  const auto a = original.select("events", "job_rank_time", filter);
+  const auto b = loaded->select("events", "job_rank_time", filter);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i]->as_double("timestamp"),
+                     b[i]->as_double("timestamp"));
+    EXPECT_EQ(a[i]->as_int("rank"), b[i]->as_int("rank"));
+  }
+}
+
+TEST(Persist, RejectsCorruptStreams) {
+  std::stringstream empty;
+  EXPECT_FALSE(load_container(empty).has_value());
+  std::stringstream garbage("garbage data here");
+  EXPECT_FALSE(load_container(garbage).has_value());
+
+  Container c;
+  const auto schema = test_schema();
+  c.register_schema(schema);
+  c.insert(make_event(schema, 1, 0, 1.0, "open", 0.0));
+  std::stringstream full;
+  save_container(c, full);
+  const std::string bytes = full.str();
+  std::stringstream truncated(bytes.substr(0, bytes.size() - 4));
+  EXPECT_FALSE(load_container(truncated).has_value());
+}
+
+TEST(Persist, ClusterRoundTripOnDisk) {
+  ClusterConfig cfg;
+  cfg.shard_count = 3;
+  cfg.shard_attr = "rank";
+  cfg.parallel_query = false;
+  DsosCluster cluster(cfg);
+  const auto schema = test_schema();
+  cluster.register_schema(schema);
+  Rng rng(66);
+  for (int i = 0; i < 100; ++i) {
+    cluster.insert(make_event(schema, 1, rng.uniform_int(0, 9),
+                              rng.uniform(0, 50), "write", 0.1));
+  }
+
+  const std::string dir = "/tmp/dlc_dsos_persist_test";
+  ASSERT_TRUE(save_cluster(cluster, dir));
+  auto loaded = load_cluster(dir, cfg);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->total_objects(), 100u);
+  // Shard contents preserved shard by shard.
+  for (std::size_t shard = 0; shard < 3; ++shard) {
+    EXPECT_EQ(loaded->shard(shard).container().size(),
+              cluster.shard(shard).container().size());
+  }
+  const auto a = cluster.query("events", "job_rank_time");
+  const auto b = loaded->query("events", "job_rank_time");
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i]->as_int("rank"), b[i]->as_int("rank"));
+  }
+}
+
+TEST(Persist, LoadClusterFailsOnMissingDir) {
+  EXPECT_FALSE(load_cluster("/tmp/definitely-not-a-dlc-dir", ClusterConfig{})
+                   .has_value());
+}
+
+
+// ----------------------------------------------------------- partition ----
+
+TEST(Partition, InsertsLandInPrimary) {
+  PartitionedStore store("2022-06");
+  const auto schema = test_schema();
+  store.register_schema(schema);
+  store.insert(make_event(schema, 1, 0, 1.0, "open", 0.0));
+  const auto parts = store.partitions();
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0].name, "2022-06");
+  EXPECT_EQ(parts[0].state, PartitionState::kPrimary);
+  EXPECT_EQ(parts[0].objects, 1u);
+}
+
+TEST(Partition, RotateRetargetsInsertsAndKeepsOldQueryable) {
+  PartitionedStore store("june");
+  const auto schema = test_schema();
+  store.register_schema(schema);
+  store.insert(make_event(schema, 1, 0, 1.0, "write", 0.1));
+  ASSERT_TRUE(store.rotate("july"));
+  EXPECT_EQ(store.primary(), "july");
+  store.insert(make_event(schema, 2, 0, 2.0, "write", 0.1));
+
+  const auto parts = store.partitions();
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0].state, PartitionState::kActive);
+  EXPECT_EQ(parts[1].state, PartitionState::kPrimary);
+  EXPECT_EQ(parts[0].objects, 1u);
+  EXPECT_EQ(parts[1].objects, 1u);
+  // Both partitions answer queries, merged in index order.
+  const auto rows = store.query("events", "time");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(rows[0]->as_double("timestamp"), 1.0);
+  EXPECT_DOUBLE_EQ(rows[1]->as_double("timestamp"), 2.0);
+  // Duplicate rotation target rejected.
+  EXPECT_FALSE(store.rotate("june"));
+}
+
+TEST(Partition, OfflineExcludesFromQueries) {
+  PartitionedStore store("a");
+  const auto schema = test_schema();
+  store.register_schema(schema);
+  store.insert(make_event(schema, 1, 0, 1.0, "write", 0.1));
+  store.rotate("b");
+  store.insert(make_event(schema, 2, 0, 2.0, "write", 0.1));
+
+  ASSERT_TRUE(store.set_offline("a"));
+  EXPECT_EQ(store.queryable_objects(), 1u);
+  EXPECT_EQ(store.query("events", "time").size(), 1u);
+  // Primary cannot go offline; unknown names fail.
+  EXPECT_FALSE(store.set_offline("b"));
+  EXPECT_FALSE(store.set_offline("zzz"));
+  // Reattach.
+  ASSERT_TRUE(store.set_active("a"));
+  EXPECT_EQ(store.query("events", "time").size(), 2u);
+  EXPECT_FALSE(store.set_active("b"));  // not offline
+}
+
+TEST(Partition, ArchiveAndRestoreRoundTrip) {
+  PartitionedStore store("old");
+  const auto schema = test_schema();
+  store.register_schema(schema);
+  for (int i = 0; i < 10; ++i) {
+    store.insert(make_event(schema, 1, i % 3, i * 1.0, "write", 0.1));
+  }
+  store.rotate("new");
+
+  // Archive the old partition to a stream, then drop it offline.
+  std::stringstream archive;
+  ASSERT_TRUE(store.save_partition("old", archive));
+  ASSERT_TRUE(store.set_offline("old"));
+  EXPECT_EQ(store.query("events", "time").size(), 0u);
+
+  // Restore it under a new name (e.g. on a different analysis host).
+  PartitionedStore other("current");
+  other.register_schema(schema);
+  ASSERT_TRUE(other.load_partition("restored-old", archive));
+  EXPECT_EQ(other.query("events", "time").size(), 10u);
+  const auto parts = other.partitions();
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[1].name, "restored-old");
+  EXPECT_EQ(parts[1].state, PartitionState::kActive);
+  // Name collisions are rejected.
+  std::stringstream again;
+  ASSERT_TRUE(other.save_partition("restored-old", again));
+  EXPECT_FALSE(other.load_partition("restored-old", again));
+}
+
+TEST(Partition, SchemaRegistrationCoversFuturePartitions) {
+  PartitionedStore store("p0");
+  const auto schema = test_schema();
+  store.register_schema(schema);
+  store.rotate("p1");
+  // Insert into the post-rotation primary works (schema was propagated).
+  store.insert(make_event(schema, 1, 0, 1.0, "open", 0.0));
+  EXPECT_EQ(store.queryable_objects(), 1u);
+}
+
+
+TEST(Container, QueryPlannerPicksLongestEqualityPrefix) {
+  Container c;
+  const auto schema = test_schema();
+  c.register_schema(schema);
+  for (std::uint64_t job = 1; job <= 3; ++job) {
+    for (std::int64_t rank = 0; rank < 4; ++rank) {
+      for (int t = 0; t < 5; ++t) {
+        c.insert(make_event(schema, job, rank, t * 1.0, "write", 0.1));
+      }
+    }
+  }
+  // job+rank equalities -> job_rank_time (2-attr prefix).
+  const Filter jr{{"rank", Cmp::kEq, std::int64_t{1}},
+                  {"job_id", Cmp::kEq, std::uint64_t{2}}};
+  EXPECT_EQ(c.best_index("events", jr).name, "job_rank_time");
+  const auto hits = c.query_auto("events", jr);
+  EXPECT_EQ(hits.size(), 5u);
+  EXPECT_EQ(c.last_scanned(), 5u);  // prefix scan, not full scan
+
+  // Only timestamp equality -> time index.
+  const Filter t_only{{"timestamp", Cmp::kEq, 2.0}};
+  EXPECT_EQ(c.best_index("events", t_only).name, "time");
+
+  // No equalities -> first declared index.
+  EXPECT_EQ(c.best_index("events", {}).name, "job_rank_time");
+}
+
+TEST(Cluster, QueryAutoMatchesExplicitIndex) {
+  ClusterConfig cfg;
+  cfg.shard_count = 3;
+  cfg.parallel_query = false;
+  DsosCluster cluster(cfg);
+  const auto schema = test_schema();
+  cluster.register_schema(schema);
+  Rng rng(77);
+  for (int i = 0; i < 200; ++i) {
+    cluster.insert(make_event(schema, 1 + static_cast<std::uint64_t>(i % 2),
+                              rng.uniform_int(0, 5), rng.uniform(0, 10),
+                              "write", 0.1));
+  }
+  const Filter filter{{"job_id", Cmp::kEq, std::uint64_t{1}},
+                      {"rank", Cmp::kEq, std::int64_t{2}}};
+  const auto manual = cluster.query("events", "job_rank_time", filter);
+  const auto automatic = cluster.query_auto("events", filter);
+  ASSERT_EQ(manual.size(), automatic.size());
+  for (std::size_t i = 0; i < manual.size(); ++i) {
+    EXPECT_EQ(manual[i], automatic[i]);
+  }
+}
+
+}  // namespace
+}  // namespace dlc::dsos

@@ -1,0 +1,378 @@
+// Parameterized property sweeps (TEST_P / INSTANTIATE_TEST_SUITE_P):
+// invariants that must hold across the whole configuration space —
+// file-system models, connector modes, transport capacities, sampling
+// rates.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "core/connector.hpp"
+#include "core/decoder.hpp"
+#include "json/parser.hpp"
+#include "ldms/store.hpp"
+#include "sim/engine.hpp"
+#include "simfs/lustre.hpp"
+#include "simfs/nfs.hpp"
+#include "simhpc/cluster.hpp"
+#include "simhpc/job.hpp"
+
+namespace dlc {
+namespace {
+
+std::shared_ptr<simfs::VariabilityProcess> flat_variability() {
+  simfs::VariabilityConfig cfg;
+  cfg.epoch_sigma = 0.0;
+  cfg.ar_sigma = 0.0;
+  return std::make_shared<simfs::VariabilityProcess>(cfg, 1);
+}
+
+std::unique_ptr<simfs::FileSystem> make_fs(sim::Engine& engine,
+                                           simfs::FsKind kind) {
+  if (kind == simfs::FsKind::kNfs) {
+    simfs::NfsConfig cfg;
+    cfg.jitter_sigma = 0.0;
+    cfg.small_io_batch = 1;
+    cfg.read_cache_bandwidth_bytes_per_sec = 0;  // exercise the server path
+    return std::make_unique<simfs::NfsModel>(engine, cfg, flat_variability(),
+                                             1);
+  }
+  simfs::LustreConfig cfg;
+  cfg.jitter_sigma = 0.0;
+  cfg.small_io_batch = 1;
+  cfg.read_cache_bandwidth_bytes_per_sec = 0;
+  return std::make_unique<simfs::LustreModel>(engine, cfg, flat_variability(),
+                                              1);
+}
+
+// ------------------------------------------------- fs model properties ----
+
+// (fs kind, collective, op-is-write)
+using FsParam = std::tuple<simfs::FsKind, bool, bool>;
+
+class FsModelProperty : public ::testing::TestWithParam<FsParam> {};
+
+SimDuration run_one_op(simfs::FsKind kind, bool collective, bool write,
+                       std::uint64_t bytes) {
+  sim::Engine engine;
+  auto fs = make_fs(engine, kind);
+  SimDuration dur = 0;
+  auto proc = [](simfs::FileSystem& f, bool is_write, bool coll,
+                 std::uint64_t n, SimDuration& out) -> sim::Task<void> {
+    const simfs::IoFlags flags{.collective = coll, .sync = false};
+    if (is_write) {
+      out = co_await f.write(0, "/prop/file", 0, n, flags);
+    } else {
+      out = co_await f.read(0, "/prop/file", 0, n, flags);
+    }
+  };
+  engine.spawn(proc(*fs, write, collective, bytes, dur));
+  engine.run();
+  return dur;
+}
+
+TEST_P(FsModelProperty, DurationIsPositive) {
+  const auto [kind, collective, write] = GetParam();
+  EXPECT_GT(run_one_op(kind, collective, write, 4096), 0);
+}
+
+TEST_P(FsModelProperty, DurationMonotoneInBytes) {
+  const auto [kind, collective, write] = GetParam();
+  SimDuration prev = 0;
+  for (const std::uint64_t bytes :
+       {1ull << 12, 1ull << 16, 1ull << 20, 1ull << 24, 1ull << 27}) {
+    const SimDuration dur = run_one_op(kind, collective, write, bytes);
+    EXPECT_GE(dur, prev) << "bytes=" << bytes;
+    prev = dur;
+  }
+}
+
+TEST_P(FsModelProperty, DeterministicGivenSeed) {
+  const auto [kind, collective, write] = GetParam();
+  EXPECT_EQ(run_one_op(kind, collective, write, 1 << 20),
+            run_one_op(kind, collective, write, 1 << 20));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFsModes, FsModelProperty,
+    ::testing::Combine(::testing::Values(simfs::FsKind::kNfs,
+                                         simfs::FsKind::kLustre),
+                       ::testing::Bool(), ::testing::Bool()),
+    [](const ::testing::TestParamInfo<FsParam>& info) {
+      return std::string(simfs::fs_kind_name(std::get<0>(info.param))) +
+             (std::get<1>(info.param) ? "_coll" : "_indep") +
+             (std::get<2>(info.param) ? "_write" : "_read");
+    });
+
+// --------------------------------------------- connector message sweep ----
+
+struct MessagePipeline {
+  sim::Engine engine;
+  simhpc::Cluster cluster{simhpc::ClusterConfig{}};
+  std::shared_ptr<simfs::VariabilityProcess> variability = flat_variability();
+  std::unique_ptr<simfs::NfsModel> fs;
+  std::unique_ptr<simhpc::Job> job;
+  std::unique_ptr<darshan::Runtime> runtime;
+  ldms::LdmsDaemon daemon{&engine, "nid00040"};
+  ldms::CsvStore store;
+  std::unique_ptr<core::DarshanLdmsConnector> connector;
+
+  MessagePipeline() {
+    simfs::NfsConfig cfg;
+    cfg.jitter_sigma = 0;
+    cfg.small_io_batch = 1;
+    fs = std::make_unique<simfs::NfsModel>(engine, cfg, variability, 1);
+    simhpc::JobConfig jcfg;
+    jcfg.node_count = 1;
+    job = std::make_unique<simhpc::Job>(engine, cluster, jcfg);
+    runtime = std::make_unique<darshan::Runtime>(engine, *fs, *job);
+    store.attach(daemon, "darshanConnector");
+    connector = std::make_unique<core::DarshanLdmsConnector>(
+        *runtime, [this](int) { return &daemon; }, core::ConnectorConfig{});
+  }
+};
+
+class MessageSchemaProperty
+    : public ::testing::TestWithParam<darshan::Module> {};
+
+TEST_P(MessageSchemaProperty, EveryOpYieldsParsableCompleteMessage) {
+  const darshan::Module module = GetParam();
+  MessagePipeline p;
+  auto proc = [](darshan::Runtime& rt, darshan::Module m) -> sim::Task<void> {
+    darshan::RankIo io = rt.rank(0);
+    const darshan::Fd fd = co_await io.open(m, "/prop/file.dat", true);
+    co_await io.write(fd, 4096);
+    co_await io.read_at(fd, 0, 1024);
+    co_await io.flush(fd);
+    co_await io.close(fd);
+  };
+  p.engine.spawn(proc(*p.runtime, module));
+  p.engine.run();
+
+  // MPIIO additionally emits POSIX sub-events.
+  const std::size_t expected =
+      module == darshan::Module::kMpiio ? 7u : 5u;
+  ASSERT_EQ(p.store.rows().size(), expected);
+
+  static const char* kRequired[] = {"uid",     "exe",    "job_id", "rank",
+                                    "ProducerName", "file", "record_id",
+                                    "module",  "type",   "max_byte",
+                                    "switches", "flushes", "cnt", "op"};
+  for (const std::string& row : p.store.rows()) {
+    const auto msg = json::parse(row);
+    ASSERT_TRUE(msg.has_value()) << row;
+    for (const char* field : kRequired) {
+      EXPECT_TRUE(msg->find(field) != nullptr) << field << " in " << row;
+    }
+    const auto* seg = msg->find("seg");
+    ASSERT_TRUE(seg && seg->is_array() && seg->as_array().size() == 1) << row;
+    // MET if and only if open.
+    const bool is_open = msg->get_string("op") == "open";
+    EXPECT_EQ(msg->get_string("type") == "MET", is_open) << row;
+    // Non-HDF5 modules carry the -1 / N/A HDF5 sentinels.
+    const auto& s = seg->as_array()[0];
+    const std::string mod_name = msg->get_string("module");
+    if (mod_name != "H5F" && mod_name != "H5D") {
+      EXPECT_EQ(s.get_int("ndims"), -1);
+      EXPECT_EQ(s.get_string("data_set"), "N/A");
+    }
+    EXPECT_GT(s.get_double("timestamp"), 1.6e9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModules, MessageSchemaProperty,
+    ::testing::Values(darshan::Module::kPosix, darshan::Module::kMpiio,
+                      darshan::Module::kStdio, darshan::Module::kH5F,
+                      darshan::Module::kH5D),
+    [](const ::testing::TestParamInfo<darshan::Module>& info) {
+      return std::string(darshan::module_name(info.param));
+    });
+
+// ------------------------------------------------- sampling rate sweep ----
+
+class SamplingProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SamplingProperty, PublishedCountMatchesFormula) {
+  const std::uint64_t n = GetParam();
+  MessagePipeline base;  // reuse wiring but swap connector config
+  core::ConnectorConfig cfg;
+  cfg.sample_every_n = n;
+  base.connector = std::make_unique<core::DarshanLdmsConnector>(
+      *base.runtime, [&base](int) { return &base.daemon; }, cfg);
+
+  constexpr int kWrites = 120;
+  auto proc = [](darshan::Runtime& rt) -> sim::Task<void> {
+    darshan::RankIo io = rt.rank(0);
+    const darshan::Fd fd =
+        co_await io.open(darshan::Module::kPosix, "/f", true);
+    for (int i = 0; i < kWrites; ++i) co_await io.write(fd, 64);
+    co_await io.close(fd);
+  };
+  base.engine.spawn(proc(*base.runtime));
+  base.engine.run();
+
+  const auto& stats = base.connector->stats();
+  EXPECT_EQ(stats.events_seen, kWrites + 2u);
+  // Data events pass when the per-rank counter is divisible by n; the
+  // counter includes open/close, but only data events can be skipped.
+  std::uint64_t expected_data = 0;
+  for (std::uint64_t count = 2; count < kWrites + 2u; ++count) {
+    if (n <= 1 || count % n == 0) ++expected_data;
+  }
+  EXPECT_EQ(stats.messages_published, expected_data + 2);
+  EXPECT_EQ(stats.messages_published + stats.events_sampled_out,
+            stats.events_seen);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, SamplingProperty,
+                         ::testing::Values(1, 2, 3, 10, 60, 1000));
+
+// ------------------------------------------- transport capacity sweep ----
+
+class QueueCapacityProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(QueueCapacityProperty, LossesShrinkWithCapacity) {
+  const std::size_t capacity = GetParam();
+  sim::Engine engine;
+  ldms::LdmsDaemon src(&engine, "src");
+  ldms::LdmsDaemon dst(&engine, "dst");
+  ldms::ForwardConfig cfg;
+  cfg.queue_capacity = capacity;
+  cfg.hop_latency = kSecond;  // slow drain => overflow pressure
+  cfg.bandwidth_bytes_per_sec = 0;
+  src.add_forward("t", dst, cfg);
+  constexpr std::uint64_t kBurst = 64;
+  auto proc = [](ldms::LdmsDaemon& d) -> sim::Task<void> {
+    for (std::uint64_t i = 0; i < kBurst; ++i) {
+      d.publish("t", ldms::PayloadFormat::kString, "x");
+    }
+    co_return;
+  };
+  engine.spawn(proc(src));
+  engine.run();
+  // Conservation: forwarded + dropped == burst.
+  EXPECT_EQ(src.forwarded() + src.dropped(), kBurst);
+  // The publisher never yields during the burst, so the pump cannot drain
+  // concurrently: exactly `capacity` messages queue, the rest drop.
+  const std::uint64_t expected_drops =
+      kBurst > capacity ? kBurst - capacity : 0;
+  EXPECT_EQ(src.dropped(), expected_drops);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, QueueCapacityProperty,
+                         ::testing::Values(1, 4, 16, 63, 64, 128));
+
+}  // namespace
+}  // namespace dlc
+
+// ------------------------------------------- workload x fs integration ----
+
+#include "exp/specs.hpp"
+#include "workloads/hacc_io.hpp"
+#include "workloads/hmmer.hpp"
+#include "workloads/ior.hpp"
+#include "workloads/mpi_io_test.hpp"
+#include "workloads/sw4.hpp"
+
+namespace dlc {
+namespace {
+
+enum class App { kMpiIoTest, kHaccIo, kHmmer, kSw4, kIor };
+
+const char* app_name(App app) {
+  switch (app) {
+    case App::kMpiIoTest:
+      return "MpiIoTest";
+    case App::kHaccIo:
+      return "HaccIo";
+    case App::kHmmer:
+      return "Hmmer";
+    case App::kSw4:
+      return "Sw4";
+    case App::kIor:
+      return "Ior";
+  }
+  return "?";
+}
+
+using AppFsParam = std::tuple<App, simfs::FsKind>;
+
+class WorkloadPipelineProperty
+    : public ::testing::TestWithParam<AppFsParam> {};
+
+TEST_P(WorkloadPipelineProperty, RunsCleanlyThroughFullPipeline) {
+  const auto [app, fs] = GetParam();
+  exp::ExperimentSpec spec = exp::base_spec(fs);
+  spec.node_count = 2;
+  spec.ranks_per_node = 2;
+  spec.decode_to_dsos = true;
+  switch (app) {
+    case App::kMpiIoTest: {
+      workloads::MpiIoTestConfig cfg;
+      cfg.iterations = 2;
+      cfg.block_size = 1 << 20;
+      spec.workload = workloads::mpi_io_test(cfg);
+      break;
+    }
+    case App::kHaccIo: {
+      workloads::HaccIoConfig cfg;
+      cfg.particles_per_rank = 20'000;
+      cfg.initial_compute = 0;
+      spec.workload = workloads::hacc_io(cfg);
+      break;
+    }
+    case App::kHmmer: {
+      workloads::HmmerConfig cfg;
+      cfg.profiles = 50;
+      cfg.reads_per_profile = 4;
+      cfg.writes_per_profile = 3;
+      spec.workload = workloads::hmmer_build(cfg);
+      break;
+    }
+    case App::kSw4: {
+      workloads::Sw4Config cfg;
+      cfg.timesteps = 6;
+      cfg.checkpoint_every = 3;
+      cfg.image_every = 6;
+      cfg.grid_points_per_rank = 10'000;
+      cfg.compute_per_step = 10 * kMillisecond;
+      spec.workload = workloads::sw4(cfg);
+      break;
+    }
+    case App::kIor: {
+      workloads::IorConfig cfg;
+      cfg.segments = 2;
+      cfg.reorder_shift = 1;
+      spec.workload = workloads::ior(cfg);
+      break;
+    }
+  }
+  const exp::RunResult r = exp::run_experiment(spec);
+  // Pipeline invariants that must hold for every app on every fs:
+  EXPECT_GT(r.runtime_s, 0.0);
+  EXPECT_GT(r.events, 0u);
+  EXPECT_EQ(r.messages, r.events);   // n=1 sampling publishes everything
+  EXPECT_EQ(r.stored, r.messages);   // default queues never overflow here
+  EXPECT_EQ(r.dropped, 0u);
+  ASSERT_TRUE(r.dsos != nullptr);
+  EXPECT_EQ(r.dsos->total_objects(), r.stored);
+  // Every stored event carries a plausible absolute timestamp.
+  for (const auto* obj : r.dsos->query("darshan_data", "time")) {
+    EXPECT_GT(obj->as_double("seg_timestamp"), 1.6e9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAppsAllFs, WorkloadPipelineProperty,
+    ::testing::Combine(::testing::Values(App::kMpiIoTest, App::kHaccIo,
+                                         App::kHmmer, App::kSw4, App::kIor),
+                       ::testing::Values(simfs::FsKind::kNfs,
+                                         simfs::FsKind::kLustre)),
+    [](const ::testing::TestParamInfo<AppFsParam>& info) {
+      return std::string(app_name(std::get<0>(info.param))) + "_" +
+             std::string(simfs::fs_kind_name(std::get<1>(info.param)));
+    });
+
+}  // namespace
+}  // namespace dlc

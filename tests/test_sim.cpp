@@ -1,0 +1,415 @@
+// Unit tests for the discrete-event engine: determinism, ordering, barriers,
+// FIFO resources and task composition.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+#include "util/time.hpp"
+
+namespace dlc::sim {
+namespace {
+
+Task<void> delayer(Engine& engine, SimDuration d, std::vector<SimTime>& out) {
+  co_await engine.delay(d);
+  out.push_back(engine.now());
+}
+
+TEST(Engine, DelayAdvancesVirtualClock) {
+  Engine engine;
+  std::vector<SimTime> times;
+  engine.spawn(delayer(engine, 5 * kSecond, times));
+  engine.run();
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_EQ(times[0], 5 * kSecond);
+  EXPECT_EQ(engine.now(), 5 * kSecond);
+  EXPECT_EQ(engine.unfinished_tasks(), 0u);
+}
+
+TEST(Engine, EventsDispatchInTimeOrder) {
+  Engine engine;
+  std::vector<SimTime> times;
+  engine.spawn(delayer(engine, 30, times));
+  engine.spawn(delayer(engine, 10, times));
+  engine.spawn(delayer(engine, 20, times));
+  engine.run();
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_EQ(times, (std::vector<SimTime>{10, 20, 30}));
+}
+
+TEST(Engine, TiesBreakByScheduleOrder) {
+  Engine engine;
+  std::vector<int> order;
+  auto proc = [](Engine& eng, int id, std::vector<int>& ord) -> Task<void> {
+    co_await eng.delay(100);
+    ord.push_back(id);
+  };
+  for (int i = 0; i < 8; ++i) engine.spawn(proc(engine, i, order));
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(Engine, ZeroDelayDoesNotSuspend) {
+  Engine engine;
+  std::vector<SimTime> times;
+  engine.spawn(delayer(engine, 0, times));
+  engine.run();
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_EQ(times[0], 0);
+}
+
+TEST(Engine, RunUntilStopsEarly) {
+  Engine engine;
+  std::vector<SimTime> times;
+  engine.spawn(delayer(engine, 10 * kSecond, times));
+  engine.spawn(delayer(engine, 1 * kSecond, times));
+  engine.run(5 * kSecond);
+  EXPECT_EQ(times.size(), 1u);
+  EXPECT_EQ(engine.unfinished_tasks(), 1u);
+  engine.run();
+  EXPECT_EQ(times.size(), 2u);
+  EXPECT_EQ(engine.unfinished_tasks(), 0u);
+}
+
+Task<int> answer(Engine& engine) {
+  co_await engine.delay(7);
+  co_return 42;
+}
+
+Task<void> ask(Engine& engine, int& out) {
+  out = co_await answer(engine);
+}
+
+TEST(Task, ValueTasksComposeAcrossDelays) {
+  Engine engine;
+  int result = 0;
+  engine.spawn(ask(engine, result));
+  engine.run();
+  EXPECT_EQ(result, 42);
+  EXPECT_EQ(engine.now(), 7);
+}
+
+Task<void> thrower(Engine& engine) {
+  co_await engine.delay(1);
+  throw std::runtime_error("boom");
+}
+
+TEST(Task, ExceptionsPropagateFromRootTasks) {
+  Engine engine;
+  engine.spawn(thrower(engine));
+  EXPECT_THROW(engine.run(), std::runtime_error);
+}
+
+Task<void> nested_thrower_parent(Engine& engine, bool& caught) {
+  try {
+    co_await thrower(engine);
+  } catch (const std::runtime_error&) {
+    caught = true;
+  }
+}
+
+TEST(Task, ExceptionsPropagateThroughAwait) {
+  Engine engine;
+  bool caught = false;
+  engine.spawn(nested_thrower_parent(engine, caught));
+  engine.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(Event, WakesAllWaiters) {
+  Engine engine;
+  Event event(engine);
+  std::vector<int> woke;
+  auto waiter = [](Event& ev, int id, std::vector<int>& out) -> Task<void> {
+    co_await ev.wait();
+    out.push_back(id);
+  };
+  auto setter = [](Engine& eng, Event& ev) -> Task<void> {
+    co_await eng.delay(100);
+    ev.set();
+  };
+  engine.spawn(waiter(event, 1, woke));
+  engine.spawn(waiter(event, 2, woke));
+  engine.spawn(setter(engine, event));
+  engine.run();
+  EXPECT_EQ(woke, (std::vector<int>{1, 2}));
+  EXPECT_EQ(engine.now(), 100);
+  EXPECT_TRUE(event.is_set());
+}
+
+TEST(Event, WaitAfterSetIsImmediate) {
+  Engine engine;
+  Event event(engine);
+  event.set();
+  std::vector<int> woke;
+  auto waiter = [](Event& ev, std::vector<int>& out) -> Task<void> {
+    co_await ev.wait();
+    out.push_back(1);
+  };
+  engine.spawn(waiter(event, woke));
+  engine.run();
+  EXPECT_EQ(woke.size(), 1u);
+  EXPECT_EQ(engine.now(), 0);
+}
+
+Task<void> barrier_proc(Engine& engine, Barrier& barrier, int id,
+                        SimDuration arrive_after,
+                        std::vector<std::pair<int, SimTime>>& out) {
+  co_await engine.delay(arrive_after);
+  co_await barrier.arrive_and_wait();
+  out.emplace_back(id, engine.now());
+}
+
+TEST(Barrier, AllPartiesLeaveAtLastArrival) {
+  Engine engine;
+  Barrier barrier(engine, 3);
+  std::vector<std::pair<int, SimTime>> out;
+  engine.spawn(barrier_proc(engine, barrier, 0, 10, out));
+  engine.spawn(barrier_proc(engine, barrier, 1, 50, out));
+  engine.spawn(barrier_proc(engine, barrier, 2, 30, out));
+  engine.run();
+  ASSERT_EQ(out.size(), 3u);
+  for (const auto& [id, t] : out) EXPECT_EQ(t, 50) << "rank " << id;
+  EXPECT_EQ(barrier.generation(), 1u);
+}
+
+TEST(Barrier, IsReusableAcrossGenerations) {
+  Engine engine;
+  Barrier barrier(engine, 2);
+  std::vector<SimTime> times;
+  auto proc = [](Engine& eng, Barrier& bar, SimDuration step,
+                 std::vector<SimTime>& out) -> Task<void> {
+    for (int i = 0; i < 3; ++i) {
+      co_await eng.delay(step);
+      co_await bar.arrive_and_wait();
+      out.push_back(eng.now());
+    }
+  };
+  engine.spawn(proc(engine, barrier, 10, times));
+  engine.spawn(proc(engine, barrier, 25, times));
+  engine.run();
+  ASSERT_EQ(times.size(), 6u);
+  // Each round completes at the slower process's arrival.
+  EXPECT_EQ(times[0], 25);
+  EXPECT_EQ(times[1], 25);
+  EXPECT_EQ(times[2], 50);
+  EXPECT_EQ(times[3], 50);
+  EXPECT_EQ(times[4], 75);
+  EXPECT_EQ(times[5], 75);
+  EXPECT_EQ(barrier.generation(), 3u);
+}
+
+TEST(Barrier, SinglePartyNeverBlocks) {
+  Engine engine;
+  Barrier barrier(engine, 1);
+  std::vector<std::pair<int, SimTime>> out;
+  engine.spawn(barrier_proc(engine, barrier, 0, 5, out));
+  engine.run();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].second, 5);
+}
+
+Task<void> resource_user(Engine& engine, Resource& res, SimDuration service,
+                         std::vector<SimTime>& done) {
+  co_await res.use(service);
+  done.push_back(engine.now());
+}
+
+TEST(Resource, SingleServerSerialisesRequests) {
+  Engine engine;
+  Resource res(engine, 1);
+  std::vector<SimTime> done;
+  for (int i = 0; i < 3; ++i) {
+    engine.spawn(resource_user(engine, res, 100, done));
+  }
+  engine.run();
+  EXPECT_EQ(done, (std::vector<SimTime>{100, 200, 300}));
+  EXPECT_EQ(res.completed(), 3u);
+  EXPECT_EQ(res.busy_time(), 300);
+  EXPECT_EQ(res.wait_time(), 100 + 200);
+  EXPECT_EQ(res.in_use(), 0u);
+}
+
+TEST(Resource, MultiServerRunsInParallel) {
+  Engine engine;
+  Resource res(engine, 2);
+  std::vector<SimTime> done;
+  for (int i = 0; i < 4; ++i) {
+    engine.spawn(resource_user(engine, res, 100, done));
+  }
+  engine.run();
+  // Two waves of two parallel requests.
+  EXPECT_EQ(done, (std::vector<SimTime>{100, 100, 200, 200}));
+  EXPECT_EQ(res.busy_time(), 400);
+}
+
+TEST(Resource, FifoOrderIsPreserved) {
+  Engine engine;
+  Resource res(engine, 1);
+  std::vector<int> order;
+  auto user = [](Engine& eng, Resource& r, int id, SimDuration arrive,
+                 std::vector<int>& out) -> Task<void> {
+    co_await eng.delay(arrive);
+    co_await r.use(50);
+    out.push_back(id);
+  };
+  engine.spawn(user(engine, res, 0, 0, order));
+  engine.spawn(user(engine, res, 1, 10, order));
+  engine.spawn(user(engine, res, 2, 20, order));
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Resource, AcquireReleaseManualPairing) {
+  Engine engine;
+  Resource res(engine, 1);
+  std::vector<SimTime> done;
+  auto holder = [](Engine& eng, Resource& r,
+                   std::vector<SimTime>& out) -> Task<void> {
+    co_await r.acquire();
+    co_await eng.delay(500);
+    r.release();
+    out.push_back(eng.now());
+  };
+  engine.spawn(holder(engine, res, done));
+  engine.spawn(holder(engine, res, done));
+  engine.run();
+  EXPECT_EQ(done, (std::vector<SimTime>{500, 1000}));
+}
+
+Task<void> timed_use_nothing(Engine& engine) { co_await engine.delay(5); }
+
+Task<SimDuration> timed_use(Engine& engine, Resource& res, SimDuration service) {
+  const SimTime start = engine.now();
+  co_await res.use(service);
+  co_return engine.now() - start;
+}
+
+Task<void> fork_join_parent(Engine& engine, Resource& res,
+                            std::vector<SimDuration>& durations) {
+  // Three chunks against a 2-server resource: two run in parallel, one
+  // queues.  start()/join() must overlap them, not serialise.
+  std::vector<Task<SimDuration>> chunks;
+  for (int i = 0; i < 3; ++i) chunks.push_back(timed_use(engine, res, 100));
+  for (auto& c : chunks) c.start();
+  for (auto& c : chunks) durations.push_back(co_await c.join());
+}
+
+TEST(Task, ForkJoinOverlapsChildren) {
+  Engine engine;
+  Resource res(engine, 2);
+  std::vector<SimDuration> durations;
+  engine.spawn(fork_join_parent(engine, res, durations));
+  engine.run();
+  ASSERT_EQ(durations.size(), 3u);
+  EXPECT_EQ(durations[0], 100);
+  EXPECT_EQ(durations[1], 100);
+  EXPECT_EQ(durations[2], 200);  // queued behind the first two
+  EXPECT_EQ(engine.now(), 200);  // not 300: children overlapped
+}
+
+Task<void> join_after_done(Engine& engine, bool& ok) {
+  auto child = timed_use_nothing(engine);
+  child.start();
+  co_await engine.delay(1000);
+  // Child finished long ago; join must be a no-op await.
+  co_await child.join();
+  ok = true;
+}
+
+TEST(Task, JoinAfterCompletionIsImmediate) {
+  Engine engine;
+  bool ok = false;
+  engine.spawn(join_after_done(engine, ok));
+  engine.run();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(engine.now(), 1000);
+}
+
+TEST(Engine, DeadlockLeavesUnfinishedTasks) {
+  Engine engine;
+  Event never(engine);
+  auto waiter = [](Event& ev) -> Task<void> { co_await ev.wait(); };
+  engine.spawn(waiter(never));
+  engine.run();
+  EXPECT_EQ(engine.unfinished_tasks(), 1u);
+}
+
+TEST(Engine, ManyProcessesStress) {
+  Engine engine;
+  Resource res(engine, 4);
+  std::vector<SimTime> done;
+  done.reserve(1000);
+  for (int i = 0; i < 1000; ++i) {
+    engine.spawn(resource_user(engine, res, 10, done));
+  }
+  engine.run();
+  EXPECT_EQ(done.size(), 1000u);
+  EXPECT_EQ(engine.now(), 1000 / 4 * 10);
+  EXPECT_EQ(engine.unfinished_tasks(), 0u);
+}
+
+
+Task<void> zero_delay_loop(Engine& engine) {
+  while (true) {
+    co_await engine.delay(1);  // tiny but nonzero: queue never drains
+  }
+}
+
+TEST(Engine, DispatchLimitCatchesRunaways) {
+  Engine engine;
+  engine.set_dispatch_limit(1000);
+  engine.spawn(zero_delay_loop(engine));
+  EXPECT_THROW(engine.run(), std::runtime_error);
+  EXPECT_GT(engine.events_dispatched(), 999u);
+}
+
+TEST(Engine, DispatchLimitZeroDisablesGuard) {
+  Engine engine;
+  std::vector<SimTime> times;
+  for (int i = 0; i < 100; ++i) engine.spawn(delayer(engine, i, times));
+  EXPECT_NO_THROW(engine.run());
+  EXPECT_EQ(times.size(), 100u);
+}
+
+
+Task<int> failing_child(Engine& engine) {
+  co_await engine.delay(5);
+  throw std::logic_error("child failed");
+  co_return 0;  // unreachable
+}
+
+Task<void> join_failed_child(Engine& engine, bool& caught) {
+  auto child = failing_child(engine);
+  child.start();
+  co_await engine.delay(100);  // child fails long before the join
+  try {
+    (void)co_await child.join();
+  } catch (const std::logic_error&) {
+    caught = true;
+  }
+}
+
+TEST(Task, JoinPropagatesChildException) {
+  Engine engine;
+  bool caught = false;
+  engine.spawn(join_failed_child(engine, caught));
+  engine.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(Engine, ReapedTaskExceptionStillSurfaces) {
+  // Spawn enough completed tasks to trigger reaping, one of which threw:
+  // run() must still rethrow the parked exception.
+  Engine engine;
+  engine.spawn(thrower(engine));
+  auto noop = [](Engine& eng) -> Task<void> { co_await eng.delay(1); };
+  for (int i = 0; i < 2000; ++i) engine.spawn(noop(engine));
+  EXPECT_THROW(engine.run(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dlc::sim

@@ -1,0 +1,413 @@
+// Tests for the file-system models: service-time scaling, contention,
+// striping, collective amortisation, variability processes.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/engine.hpp"
+#include "simfs/lustre.hpp"
+#include "simfs/nfs.hpp"
+#include "simfs/variability.hpp"
+
+namespace dlc::simfs {
+namespace {
+
+std::shared_ptr<VariabilityProcess> flat_variability() {
+  VariabilityConfig cfg;
+  cfg.epoch_sigma = 0.0;
+  cfg.ar_sigma = 0.0;
+  return std::make_shared<VariabilityProcess>(cfg, 1);
+}
+
+NfsConfig quiet_nfs() {
+  NfsConfig cfg;
+  cfg.jitter_sigma = 0.0;
+  cfg.small_io_batch = 1;  // disable client caching for determinism
+  return cfg;
+}
+
+LustreConfig quiet_lustre() {
+  LustreConfig cfg;
+  cfg.jitter_sigma = 0.0;
+  cfg.small_io_batch = 1;
+  return cfg;
+}
+
+sim::Task<void> one_write(sim::Engine& engine, FileSystem& fs,
+                          std::uint64_t bytes, IoFlags flags,
+                          SimDuration& out) {
+  out = co_await fs.write(0, "/scratch/f.dat", 0, bytes, flags);
+  (void)engine;
+}
+
+TEST(Nfs, WriteCostScalesWithBytes) {
+  sim::Engine engine;
+  NfsModel fs(engine, quiet_nfs(), flat_variability(), 1);
+  SimDuration small = 0, large = 0;
+  engine.spawn(one_write(engine, fs, 1 << 20, {}, small));
+  engine.run();
+  sim::Engine engine2;
+  NfsModel fs2(engine2, quiet_nfs(), flat_variability(), 1);
+  engine2.spawn(one_write(engine2, fs2, 16u << 20, {}, large));
+  engine2.run();
+  EXPECT_GT(large, small);
+  // 16x the bytes should be ~16x the transfer term (latency additive).
+  EXPECT_GT(static_cast<double>(large) / static_cast<double>(small), 8.0);
+}
+
+TEST(Nfs, ContentionQueuesBehindSharedServer) {
+  const auto cfg = quiet_nfs();
+  // Sequential baseline.
+  sim::Engine e1;
+  NfsModel fs1(e1, cfg, flat_variability(), 1);
+  SimDuration solo = 0;
+  e1.spawn(one_write(e1, fs1, 8u << 20, {}, solo));
+  e1.run();
+  // 16 concurrent writers (> server_slots=4) must see queueing delay.
+  sim::Engine e2;
+  NfsModel fs2(e2, cfg, flat_variability(), 1);
+  std::vector<SimDuration> durs(16);
+  for (int i = 0; i < 16; ++i) {
+    e2.spawn(one_write(e2, fs2, 8u << 20, {}, durs[i]));
+  }
+  e2.run();
+  SimDuration max_dur = 0;
+  for (auto d : durs) max_dur = std::max(max_dur, d);
+  EXPECT_GT(max_dur, 2 * solo);
+  EXPECT_GT(fs2.server().wait_time(), 0);
+}
+
+TEST(Nfs, SmallIoBatchingAbsorbsClientCachedOps) {
+  NfsConfig cfg = quiet_nfs();
+  cfg.small_io_batch = 16;
+  sim::Engine engine;
+  NfsModel fs(engine, cfg, flat_variability(), 1);
+  auto writer = [](FileSystem& f, int n, SimDuration& total) -> sim::Task<void> {
+    SimDuration sum = 0;
+    for (int i = 0; i < n; ++i) {
+      sum += co_await f.write(0, "/f", static_cast<std::uint64_t>(i) * 100,
+                              100, {});
+    }
+    total = sum;
+  };
+  SimDuration batched_total = 0;
+  engine.spawn(writer(fs, 64, batched_total));
+  engine.run();
+
+  NfsConfig nocache = quiet_nfs();
+  sim::Engine engine2;
+  NfsModel fs2(engine2, nocache, flat_variability(), 1);
+  SimDuration unbatched_total = 0;
+  engine2.spawn(writer(fs2, 64, unbatched_total));
+  engine2.run();
+  EXPECT_LT(batched_total, unbatched_total / 4);
+}
+
+TEST(Nfs, CollectiveIsSlowerThanIndependent) {
+  // No striped back end on NFS: the two-phase shuffle is pure overhead
+  // (Table IIa shows collective NFS as the slowest configuration).
+  SimDuration independent = 0, collective = 0;
+  {
+    sim::Engine engine;
+    NfsModel fs(engine, quiet_nfs(), flat_variability(), 1);
+    engine.spawn(one_write(engine, fs, 16u << 20, {}, independent));
+    engine.run();
+  }
+  {
+    sim::Engine engine;
+    NfsModel fs(engine, quiet_nfs(), flat_variability(), 1);
+    engine.spawn(one_write(engine, fs, 16u << 20,
+                           IoFlags{.collective = true, .sync = false},
+                           collective));
+    engine.run();
+  }
+  EXPECT_GT(collective, independent);
+}
+
+TEST(Lustre, CollectiveBeatsIndependentForLargeSharedIo) {
+  // Stripe-aligned aggregator access avoids the extent-lock penalty.
+  SimDuration independent = 0, collective = 0;
+  {
+    sim::Engine engine;
+    LustreModel fs(engine, quiet_lustre(), flat_variability(), 1);
+    engine.spawn(one_write(engine, fs, 16u << 20, {}, independent));
+    engine.run();
+  }
+  {
+    sim::Engine engine;
+    LustreModel fs(engine, quiet_lustre(), flat_variability(), 1);
+    engine.spawn(one_write(engine, fs, 16u << 20,
+                           IoFlags{.collective = true, .sync = false},
+                           collective));
+    engine.run();
+  }
+  EXPECT_LT(collective, independent);
+}
+
+TEST(Nfs, MetadataOpsUseMetadataLatency) {
+  sim::Engine engine;
+  NfsConfig cfg = quiet_nfs();
+  NfsModel fs(engine, cfg, flat_variability(), 1);
+  SimDuration open_dur = 0;
+  auto proc = [](FileSystem& f, SimDuration& out) -> sim::Task<void> {
+    out = co_await f.open(0, "/f", true);
+  };
+  engine.spawn(proc(fs, open_dur));
+  engine.run();
+  EXPECT_EQ(open_dur, cfg.metadata_latency);
+}
+
+TEST(Nfs, TracksFileSizes) {
+  sim::Engine engine;
+  NfsModel fs(engine, quiet_nfs(), flat_variability(), 1);
+  auto proc = [](FileSystem& f) -> sim::Task<void> {
+    co_await f.write(0, "/a", 0, 1000, {});
+    co_await f.write(0, "/a", 5000, 2000, {});
+    co_await f.write(0, "/a", 100, 10, {});
+  };
+  engine.spawn(proc(fs));
+  engine.run();
+  EXPECT_EQ(fs.file_size("/a"), 7000u);
+  EXPECT_EQ(fs.file_size("/missing"), 0u);
+}
+
+TEST(Lustre, LargeWritesStripeAcrossOsts) {
+  sim::Engine engine;
+  LustreConfig cfg = quiet_lustre();
+  LustreModel fs(engine, cfg, flat_variability(), 1);
+  auto proc = [](FileSystem& f) -> sim::Task<void> {
+    co_await f.write(0, "/scratch/big", 0, 16u << 20, {});
+  };
+  engine.spawn(proc(fs));
+  engine.run();
+  // 16 MiB at 1 MiB stripes over stripe_count=4 OSTs: 4 OSTs busy.
+  int busy_osts = 0;
+  for (std::size_t i = 0; i < fs.ost_count(); ++i) {
+    if (fs.ost(i).busy_time() > 0) ++busy_osts;
+  }
+  EXPECT_EQ(busy_osts, 4);
+}
+
+TEST(Lustre, StripingBeatsSingleServerForLargeIo) {
+  // Same nominal bandwidth: Lustre with 4 stripes should complete a large
+  // write faster than NFS's single funnel.
+  SimDuration lustre_dur = 0, nfs_dur = 0;
+  {
+    sim::Engine engine;
+    LustreModel fs(engine, quiet_lustre(), flat_variability(), 1);
+    engine.spawn(one_write(engine, fs, 64u << 20, {}, lustre_dur));
+    engine.run();
+  }
+  {
+    sim::Engine engine;
+    NfsModel fs(engine, quiet_nfs(), flat_variability(), 1);
+    engine.spawn(one_write(engine, fs, 64u << 20, {}, nfs_dur));
+    engine.run();
+  }
+  EXPECT_LT(lustre_dur, nfs_dur);
+}
+
+TEST(Lustre, CollectiveAmortisesLatencyForManySmallChunks) {
+  LustreConfig cfg = quiet_lustre();
+  cfg.small_io_batch = 1;
+  SimDuration independent = 0, collective = 0;
+  {
+    sim::Engine engine;
+    LustreModel fs(engine, cfg, flat_variability(), 1);
+    auto proc = [](FileSystem& f, IoFlags flags,
+                   SimDuration& out) -> sim::Task<void> {
+      SimDuration total = 0;
+      for (int i = 0; i < 64; ++i) {
+        total += co_await f.write(0, "/f", static_cast<std::uint64_t>(i) * 4096,
+                                  4096, flags);
+      }
+      out = total;
+    };
+    engine.spawn(proc(fs, IoFlags{}, independent));
+    engine.run();
+    sim::Engine engine2;
+    LustreModel fs2(engine2, cfg, flat_variability(), 1);
+    engine2.spawn(proc(fs2, IoFlags{.collective = true, .sync = false},
+                       collective));
+    engine2.run();
+  }
+  EXPECT_LT(collective, independent);
+}
+
+TEST(Lustre, LayoutMergesContiguousSameOstSpans) {
+  sim::Engine engine;
+  LustreConfig cfg = quiet_lustre();
+  cfg.stripe_count = 1;  // everything lands on one OST
+  LustreModel fs(engine, cfg, flat_variability(), 1);
+  auto proc = [](FileSystem& f) -> sim::Task<void> {
+    co_await f.write(0, "/one-ost", 0, 8u << 20, {});
+  };
+  engine.spawn(proc(fs));
+  engine.run();
+  int busy = 0;
+  for (std::size_t i = 0; i < fs.ost_count(); ++i) {
+    busy += fs.ost(i).busy_time() > 0;
+  }
+  EXPECT_EQ(busy, 1);
+}
+
+TEST(Lustre, OffsetDeterminesOst) {
+  sim::Engine engine;
+  LustreConfig cfg = quiet_lustre();
+  LustreModel fs(engine, cfg, flat_variability(), 1);
+  // Two writes to the same stripe index must hit the same OST set.
+  auto proc = [](FileSystem& f) -> sim::Task<void> {
+    co_await f.write(0, "/f", 0, 1 << 20, {});
+    co_await f.read(0, "/f", 0, 1 << 20, {});
+  };
+  engine.spawn(proc(fs));
+  engine.run();
+  int busy = 0;
+  for (std::size_t i = 0; i < fs.ost_count(); ++i) {
+    busy += fs.ost(i).completed() > 0;
+  }
+  EXPECT_EQ(busy, 1);  // same 1 MiB extent -> same single OST
+}
+
+
+TEST(Lustre, StripeCountLargerThanOstsWraps) {
+  sim::Engine engine;
+  LustreConfig cfg = quiet_lustre();
+  cfg.ost_count = 3;
+  cfg.stripe_count = 8;  // > ost_count: layout must wrap, not crash
+  LustreModel fs(engine, cfg, flat_variability(), 1);
+  auto proc = [](FileSystem& f) -> sim::Task<void> {
+    co_await f.write(0, "/wrap", 0, 12u << 20, {});
+  };
+  engine.spawn(proc(fs));
+  engine.run();
+  int busy = 0;
+  for (std::size_t i = 0; i < fs.ost_count(); ++i) {
+    busy += fs.ost(i).busy_time() > 0;
+  }
+  EXPECT_EQ(busy, 3);
+}
+
+TEST(Nfs, ReadCacheHitsAfterWriteMissesOutsideExtent) {
+  sim::Engine engine;
+  NfsConfig cfg = quiet_nfs();
+  cfg.read_cache_bandwidth_bytes_per_sec = 1024.0 * 1024 * 1024;
+  cfg.read_cache_hit_rate = 1.0;
+  NfsModel fs(engine, cfg, flat_variability(), 1);
+  SimDuration cached = 0, uncached = 0, other_node = 0;
+  auto proc = [](FileSystem& f, SimDuration& hit, SimDuration& miss,
+                 SimDuration& other) -> sim::Task<void> {
+    co_await f.write(0, "/rc", 0, 1 << 20, {});
+    hit = co_await f.read(0, "/rc", 0, 1 << 20, {});        // covered
+    miss = co_await f.read(0, "/rc", 10u << 20, 1 << 20, {});  // beyond
+    other = co_await f.read(1, "/rc", 0, 1 << 20, {});      // wrong node
+  };
+  engine.spawn(proc(fs, cached, uncached, other_node));
+  engine.run();
+  // The covered read streams from the page cache; the others pay the
+  // server's per-op latency + slower bandwidth.
+  EXPECT_LT(cached, uncached);
+  EXPECT_EQ(uncached, other_node);
+  EXPECT_GT(uncached, cached + kMillisecond / 2);
+}
+
+TEST(Nfs, FlushIsMetadataPriced) {
+  sim::Engine engine;
+  NfsConfig cfg = quiet_nfs();
+  NfsModel fs(engine, cfg, flat_variability(), 1);
+  SimDuration dur = 0;
+  auto proc = [](FileSystem& f, SimDuration& out) -> sim::Task<void> {
+    out = co_await f.flush(0, "/f");
+  };
+  engine.spawn(proc(fs, dur));
+  engine.run();
+  EXPECT_EQ(dur, cfg.metadata_latency);
+}
+
+// ----------------------------------------------------------- variability --
+
+TEST(Variability, FlatConfigIsUnity) {
+  VariabilityConfig cfg;
+  cfg.epoch_sigma = 0.0;
+  cfg.ar_sigma = 0.0;
+  VariabilityProcess v(cfg, 7);
+  EXPECT_DOUBLE_EQ(v.factor(0), 1.0);
+  EXPECT_DOUBLE_EQ(v.factor(100 * kSecond), 1.0);
+}
+
+TEST(Variability, EpochSeedChangesFactorDeterministically) {
+  VariabilityConfig cfg;
+  cfg.ar_sigma = 0.0;
+  VariabilityProcess a1(cfg, 42), a2(cfg, 42), b(cfg, 43);
+  EXPECT_DOUBLE_EQ(a1.epoch_factor(), a2.epoch_factor());
+  EXPECT_NE(a1.epoch_factor(), b.epoch_factor());
+}
+
+TEST(Variability, ArPathIsReproducibleAndTimeVarying) {
+  VariabilityConfig cfg;
+  cfg.epoch_sigma = 0.0;
+  cfg.ar_sigma = 0.2;
+  VariabilityProcess a(cfg, 5), b(cfg, 5);
+  bool varied = false;
+  for (int w = 0; w < 20; ++w) {
+    const SimTime t = w * cfg.window + 1;
+    EXPECT_DOUBLE_EQ(a.factor(t), b.factor(t));
+    if (std::abs(a.factor(t) - 1.0) > 1e-9) varied = true;
+  }
+  EXPECT_TRUE(varied);
+}
+
+TEST(Variability, ArPathHandlesOutOfOrderQueries) {
+  VariabilityConfig cfg;
+  cfg.epoch_sigma = 0.0;
+  cfg.ar_sigma = 0.2;
+  VariabilityProcess a(cfg, 5), b(cfg, 5);
+  const double late_first = a.factor(15 * cfg.window);
+  (void)b.factor(2 * cfg.window);
+  const double late_second = b.factor(15 * cfg.window);
+  EXPECT_DOUBLE_EQ(late_first, late_second);
+}
+
+TEST(Variability, FlatIncidentAppliesInWindow) {
+  VariabilityConfig cfg;
+  cfg.epoch_sigma = 0.0;
+  cfg.ar_sigma = 0.0;
+  VariabilityProcess v(cfg, 1);
+  v.add_incident({.start = 10 * kSecond,
+                  .end = 20 * kSecond,
+                  .peak_factor = 3.0,
+                  .ramp = false,
+                  .applies_to = OpClass::kWrite});
+  EXPECT_DOUBLE_EQ(v.factor(5 * kSecond, OpClass::kWrite), 1.0);
+  EXPECT_DOUBLE_EQ(v.factor(15 * kSecond, OpClass::kWrite), 3.0);
+  EXPECT_DOUBLE_EQ(v.factor(15 * kSecond, OpClass::kRead), 1.0);
+  EXPECT_DOUBLE_EQ(v.factor(20 * kSecond, OpClass::kWrite), 1.0);  // end excl
+}
+
+TEST(Variability, RampedIncidentGrowsLinearly) {
+  VariabilityConfig cfg;
+  cfg.epoch_sigma = 0.0;
+  cfg.ar_sigma = 0.0;
+  VariabilityProcess v(cfg, 1);
+  v.add_incident({.start = 0,
+                  .end = 100 * kSecond,
+                  .peak_factor = 5.0,
+                  .ramp = true,
+                  .applies_to = OpClass::kAny});
+  EXPECT_DOUBLE_EQ(v.factor(0), 1.0);
+  EXPECT_DOUBLE_EQ(v.factor(50 * kSecond), 3.0);
+  EXPECT_NEAR(v.factor(99 * kSecond), 4.96, 0.01);
+}
+
+TEST(Variability, IncidentsCompose) {
+  VariabilityConfig cfg;
+  cfg.epoch_sigma = 0.0;
+  cfg.ar_sigma = 0.0;
+  VariabilityProcess v(cfg, 1);
+  v.add_incident({.start = 0, .end = 10, .peak_factor = 2.0});
+  v.add_incident({.start = 0, .end = 10, .peak_factor = 3.0});
+  EXPECT_DOUBLE_EQ(v.factor(5), 6.0);
+}
+
+}  // namespace
+}  // namespace dlc::simfs

@@ -1,0 +1,116 @@
+// Tests for the cluster/job layer: node naming, rank placement, barriers,
+// job launch bookkeeping.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simhpc/cluster.hpp"
+#include "simhpc/job.hpp"
+
+namespace dlc::simhpc {
+namespace {
+
+TEST(Cluster, CrayStyleNodeNames) {
+  Cluster cluster(ClusterConfig{.node_count = 24, .first_node_id = 40,
+                                .node_prefix = "nid"});
+  EXPECT_EQ(cluster.node_count(), 24u);
+  EXPECT_EQ(cluster.node_name(0), "nid00040");
+  EXPECT_EQ(cluster.node_name(6), "nid00046");  // the paper's sample node
+  EXPECT_EQ(cluster.node_name(23), "nid00063");
+}
+
+TEST(Job, BlockRankPlacement) {
+  sim::Engine engine;
+  Cluster cluster(ClusterConfig{.node_count = 8});
+  JobConfig cfg;
+  cfg.node_count = 4;
+  cfg.ranks_per_node = 2;
+  cfg.first_node = 2;
+  Job job(engine, cluster, cfg);
+  EXPECT_EQ(job.rank_count(), 8u);
+  EXPECT_EQ(job.node_of_rank(0), 2u);
+  EXPECT_EQ(job.node_of_rank(1), 2u);
+  EXPECT_EQ(job.node_of_rank(2), 3u);
+  EXPECT_EQ(job.node_of_rank(7), 5u);
+  EXPECT_EQ(job.producer_name(0), cluster.node_name(2));
+}
+
+TEST(Job, RankRngIsDeterministicPerRank) {
+  sim::Engine engine;
+  Cluster cluster(ClusterConfig{});
+  JobConfig cfg;
+  cfg.seed = 77;
+  cfg.node_count = 2;
+  cfg.ranks_per_node = 1;
+  Job job(engine, cluster, cfg);
+  Rng a = job.rank_rng(0, "io");
+  Rng b = job.rank_rng(0, "io");
+  Rng c = job.rank_rng(1, "io");
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_NE(a.next_u64(), c.next_u64());
+}
+
+TEST(Job, LaunchRunsAllRanksAndRecordsTimes) {
+  sim::Engine engine;
+  Cluster cluster(ClusterConfig{});
+  JobConfig cfg;
+  cfg.node_count = 3;
+  cfg.ranks_per_node = 2;
+  Job job(engine, cluster, cfg);
+  std::vector<int> ran;
+  launch_job(engine, job, [&ran](Job& j, std::size_t rank) -> sim::Task<void> {
+    co_await j.engine().delay(static_cast<SimDuration>(rank + 1) * 100);
+    ran.push_back(static_cast<int>(rank));
+  });
+  engine.run();
+  EXPECT_EQ(ran.size(), 6u);
+  EXPECT_EQ(job.start_time(), 0);
+  EXPECT_EQ(job.end_time(), 600);  // slowest rank finishes at 600
+  EXPECT_EQ(job.runtime(), 600);
+}
+
+TEST(Job, BarrierSynchronisesRanks) {
+  sim::Engine engine;
+  Cluster cluster(ClusterConfig{});
+  JobConfig cfg;
+  cfg.node_count = 4;
+  cfg.ranks_per_node = 1;
+  Job job(engine, cluster, cfg);
+  std::vector<SimTime> after_barrier;
+  launch_job(engine, job,
+             [&after_barrier](Job& j, std::size_t rank) -> sim::Task<void> {
+               co_await j.engine().delay(
+                   static_cast<SimDuration>(rank) * 1000);
+               co_await j.barrier();
+               after_barrier.push_back(j.engine().now());
+             });
+  engine.run();
+  ASSERT_EQ(after_barrier.size(), 4u);
+  for (SimTime t : after_barrier) EXPECT_EQ(t, 3000);
+}
+
+TEST(Job, MultipleJobsShareOneEngine) {
+  sim::Engine engine;
+  Cluster cluster(ClusterConfig{});
+  JobConfig cfg1;
+  cfg1.job_id = 1;
+  cfg1.node_count = 2;
+  JobConfig cfg2;
+  cfg2.job_id = 2;
+  cfg2.node_count = 2;
+  Job job1(engine, cluster, cfg1);
+  Job job2(engine, cluster, cfg2);
+  int done = 0;
+  auto body = [&done](Job& j, std::size_t) -> sim::Task<void> {
+    co_await j.engine().delay(10);
+    ++done;
+  };
+  launch_job(engine, job1, body);
+  launch_job(engine, job2, body);
+  engine.run();
+  EXPECT_EQ(done, 4);
+  EXPECT_EQ(engine.unfinished_tasks(), 0u);
+}
+
+}  // namespace
+}  // namespace dlc::simhpc

@@ -1,0 +1,358 @@
+// Unit and property tests for the util substrate: rng, stats, formatting,
+// strings, bounded queue, virtual time.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <thread>
+
+#include "util/format.hpp"
+#include "util/queue.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/time.hpp"
+
+namespace dlc {
+namespace {
+
+// ---------------------------------------------------------------- time ----
+
+TEST(Time, FromSecondsRoundTrips) {
+  EXPECT_EQ(from_seconds(1.0), kSecond);
+  EXPECT_EQ(from_seconds(0.001), kMillisecond);
+  EXPECT_DOUBLE_EQ(to_seconds(from_seconds(12.5)), 12.5);
+  EXPECT_EQ(from_seconds(-2.0), -2 * kSecond);
+}
+
+TEST(Time, FromSecondsSaturates) {
+  EXPECT_EQ(from_seconds(1e30), std::numeric_limits<SimDuration>::max());
+  EXPECT_EQ(from_seconds(-1e30), std::numeric_limits<SimDuration>::min());
+}
+
+TEST(Time, SimEpochAnchorsTimestamps) {
+  SimEpoch epoch(1'000'000.0);
+  EXPECT_DOUBLE_EQ(epoch.to_epoch_seconds(0), 1'000'000.0);
+  EXPECT_DOUBLE_EQ(epoch.to_epoch_seconds(2 * kSecond + kSecond / 2),
+                   1'000'002.5);
+}
+
+TEST(Time, FormatDurationPicksUnits) {
+  EXPECT_EQ(format_duration(2 * kSecond), "2.00s");
+  EXPECT_EQ(format_duration(3 * kMillisecond), "3.00ms");
+  EXPECT_EQ(format_duration(7 * kMicrosecond), "7.00us");
+  EXPECT_EQ(format_duration(42), "42ns");
+}
+
+TEST(Time, FormatBytesPicksUnits) {
+  EXPECT_EQ(format_bytes(512), "512B");
+  EXPECT_EQ(format_bytes(16ull * 1024 * 1024), "16.00MiB");
+}
+
+// ----------------------------------------------------------------- rng ----
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkIsIndependentOfParentFuture) {
+  Rng parent(7);
+  Rng child1 = parent.fork("io", 0);
+  parent.next_u64();  // advance parent
+  Rng parent2(7);
+  Rng child2 = parent2.fork("io", 0);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(child1.next_u64(), child2.next_u64());
+}
+
+TEST(Rng, ForkDistinctPurposesDiffer) {
+  Rng parent(7);
+  Rng a = parent.fork("alpha", 0);
+  Rng b = parent.fork("beta", 0);
+  Rng c = parent.fork("alpha", 1);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+  Rng a2 = parent.fork("alpha", 0);
+  EXPECT_NE(a2.next_u64(), c.next_u64());
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(99);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-2, 3);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(Rng, NormalMomentsAreSane) {
+  Rng rng(11);
+  RunningStats s;
+  for (int i = 0; i < 50'000; ++i) s.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(13);
+  RunningStats s;
+  for (int i = 0; i < 50'000; ++i) s.add(rng.exponential(0.5));
+  EXPECT_NEAR(s.mean(), 2.0, 0.1);
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 20'000; ++i) hits += rng.bernoulli(0.25);
+  EXPECT_NEAR(hits / 20'000.0, 0.25, 0.02);
+}
+
+TEST(Rng, Fnv1aIsStable) {
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_NE(fnv1a64("/path/a"), fnv1a64("/path/b"));
+}
+
+// --------------------------------------------------------------- stats ----
+
+TEST(Stats, WelfordMatchesClosedForm) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Stats, MergeEqualsSequential) {
+  Rng rng(3);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.normal();
+    all.add(v);
+    (i % 2 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(Stats, Ci95UsesSmallSampleT) {
+  RunningStats s;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(v);
+  // stddev = sqrt(2.5), se = sqrt(0.5), t(4 dof) = 2.776.
+  EXPECT_NEAR(s.ci95_half_width(), 2.776 * std::sqrt(0.5), 1e-9);
+}
+
+TEST(Stats, Ci95ZeroForTinySamples) {
+  RunningStats s;
+  EXPECT_EQ(s.ci95_half_width(), 0.0);
+  s.add(1.0);
+  EXPECT_EQ(s.ci95_half_width(), 0.0);
+}
+
+TEST(Stats, TQuantileTable) {
+  EXPECT_NEAR(t_quantile_975(1), 12.706, 1e-6);
+  EXPECT_NEAR(t_quantile_975(30), 2.042, 1e-6);
+  EXPECT_NEAR(t_quantile_975(1000), 1.96, 1e-6);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> v{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 10);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 40);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 25);
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0);
+}
+
+TEST(Stats, HistogramBinsAndClamps) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);   // clamps to first bin
+  h.add(0.5);
+  h.add(9.9);
+  h.add(100.0);  // clamps to last bin
+  EXPECT_DOUBLE_EQ(h.count(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.count(4), 2.0);
+  EXPECT_DOUBLE_EQ(h.total(), 4.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+}
+
+// -------------------------------------------------------------- format ----
+
+TEST(Format, AppendIntMatchesSnprintf) {
+  Rng rng(23);
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = static_cast<std::int64_t>(rng.next_u64());
+    std::string fast, slow;
+    append_int(fast, v);
+    append_int_snprintf(slow, v);
+    EXPECT_EQ(fast, slow) << v;
+  }
+}
+
+TEST(Format, AppendIntEdgeCases) {
+  std::string out;
+  append_int(out, 0);
+  EXPECT_EQ(out, "0");
+  out.clear();
+  append_int(out, std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(out, "-9223372036854775808");
+  out.clear();
+  append_int(out, std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(out, "9223372036854775807");
+}
+
+TEST(Format, AppendUintEdgeCases) {
+  std::string out;
+  append_uint(out, std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(out, "18446744073709551615");
+}
+
+TEST(Format, AppendFixedMatchesSnprintfWithinOneUlp) {
+  // The fast path rounds half-away-from-zero on the scaled integer; libc
+  // rounds on the exact binary value, so the last printed digit may differ
+  // by one.  Assert the parsed values agree to within one unit in the last
+  // (6th) decimal place.
+  Rng rng(29);
+  for (int i = 0; i < 2000; ++i) {
+    const double v = rng.uniform(-1e9, 1e9);
+    std::string fast, slow;
+    append_fixed(fast, v, 6);
+    append_fixed_snprintf(slow, v, 6);
+    EXPECT_NEAR(std::stod(fast), std::stod(slow), 2e-6) << v;
+    EXPECT_EQ(fast.size(), slow.size()) << v;
+  }
+}
+
+TEST(Format, AppendFixedExactOnRepresentableValues) {
+  std::string out;
+  append_fixed(out, 0.25, 2);
+  EXPECT_EQ(out, "0.25");
+  out.clear();
+  append_fixed(out, -1.5, 1);
+  EXPECT_EQ(out, "-1.5");
+  out.clear();
+  append_fixed(out, 3.0, 0);
+  EXPECT_EQ(out, "3");
+  out.clear();
+  append_fixed(out, 1e19, 2);  // falls back to snprintf path
+  std::string ref;
+  append_fixed_snprintf(ref, 1e19, 2);
+  EXPECT_EQ(out, ref);
+}
+
+TEST(Format, AppendFixedHandlesNonFinite) {
+  std::string out;
+  append_fixed(out, std::nan(""), 3);
+  EXPECT_EQ(out, "0");
+  out.clear();
+  append_fixed(out, std::numeric_limits<double>::infinity(), 3);
+  EXPECT_EQ(out, "0");
+}
+
+TEST(Format, DecimalDigits) {
+  EXPECT_EQ(decimal_digits(0), 1);
+  EXPECT_EQ(decimal_digits(9), 1);
+  EXPECT_EQ(decimal_digits(10), 2);
+  EXPECT_EQ(decimal_digits(18446744073709551615ULL), 20);
+}
+
+// ------------------------------------------------------------- strings ----
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  EXPECT_EQ(split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split("x", ','), (std::vector<std::string>{"x"}));
+}
+
+TEST(Strings, JoinRoundTripsSplit) {
+  const std::vector<std::string> parts{"a", "bb", "", "c"};
+  EXPECT_EQ(split(join(parts, ","), ','), parts);
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x y \t\n"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("darshan.log", "darshan"));
+  EXPECT_FALSE(starts_with("dar", "darshan"));
+  EXPECT_TRUE(ends_with("darshan.log", ".log"));
+  EXPECT_FALSE(ends_with("log", ".log"));
+}
+
+TEST(Strings, CsvEscapeRoundTrip) {
+  const std::vector<std::string> fields{"plain", "has,comma", "has\"quote",
+                                        "multi\nline", ""};
+  std::string line;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) line.push_back(',');
+    line += csv_escape(fields[i]);
+  }
+  EXPECT_EQ(csv_parse_line(line), fields);
+}
+
+// --------------------------------------------------------------- queue ----
+
+TEST(Queue, DropsOnOverflow) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.try_pop().value(), 1);
+  EXPECT_TRUE(q.try_push(3));
+}
+
+TEST(Queue, CloseDrainsThenSignalsEnd) {
+  BoundedQueue<int> q(8);
+  q.try_push(1);
+  q.close();
+  EXPECT_FALSE(q.try_push(2));
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(Queue, CrossThreadDelivery) {
+  BoundedQueue<int> q(1024);
+  std::thread producer([&] {
+    for (int i = 0; i < 1000; ++i) {
+      while (!q.try_push(i)) std::this_thread::yield();
+    }
+    q.close();
+  });
+  int expected = 0;
+  while (auto v = q.pop()) {
+    EXPECT_EQ(*v, expected++);
+  }
+  producer.join();
+  EXPECT_EQ(expected, 1000);
+}
+
+}  // namespace
+}  // namespace dlc

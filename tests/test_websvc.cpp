@@ -1,0 +1,224 @@
+// Tests for the HPC Web Services layer: URL parsing, API routes, panel
+// modules, the HTTP server round-trip, dashboard rendering.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/schema_darshan.hpp"
+#include "json/parser.hpp"
+#include "websvc/dashboard.hpp"
+#include "websvc/http.hpp"
+#include "websvc/service.hpp"
+
+namespace dlc::websvc {
+namespace {
+
+/// Small populated database: 2 jobs x 2 ranks x a few ops.
+std::shared_ptr<dsos::DsosCluster> demo_db() {
+  dsos::ClusterConfig cfg;
+  cfg.shard_count = 2;
+  cfg.shard_attr = "rank";
+  cfg.parallel_query = false;
+  auto db = std::make_shared<dsos::DsosCluster>(cfg);
+  const auto schema = core::darshan_data_schema();
+  db->register_schema(schema);
+  auto add = [&](std::uint64_t job, std::int64_t rank, const std::string& op,
+                 double ts, double dur, std::int64_t len) {
+    db->insert(dsos::make_object(
+        schema,
+        {std::string("POSIX"), std::uint64_t{99066}, std::string("nid00040"),
+         std::int64_t{0}, std::string("N/A"), rank, std::int64_t{-1},
+         std::uint64_t{7}, std::string("N/A"), std::int64_t{len - 1},
+         std::string("MOD"), job, op, std::int64_t{1}, std::int64_t{0},
+         std::int64_t{-1}, dur, len, std::int64_t{-1}, std::int64_t{-1},
+         std::int64_t{-1}, std::string("N/A"), std::int64_t{-1}, ts}));
+  };
+  for (std::uint64_t job : {1u, 2u}) {
+    for (std::int64_t rank : {0, 1}) {
+      add(job, rank, "write", 100.0 + static_cast<double>(job), 0.5, 1024);
+      add(job, rank, "read", 200.0 + static_cast<double>(job), 0.1, 512);
+    }
+  }
+  return db;
+}
+
+TEST(Service, SplitUrlDecodesParams) {
+  std::string path;
+  Params params;
+  DashboardService::split_url("/api/query?index=time&op=read%2Bwrite&x=a+b",
+                              path, params);
+  EXPECT_EQ(path, "/api/query");
+  EXPECT_EQ(params.at("index"), "time");
+  EXPECT_EQ(params.at("op"), "read+write");
+  EXPECT_EQ(params.at("x"), "a b");
+  DashboardService::split_url("/plain", path, params);
+  EXPECT_EQ(path, "/plain");
+  EXPECT_TRUE(params.empty());
+}
+
+TEST(Service, HealthReportsObjectCount) {
+  DashboardService service(demo_db());
+  const Response r = service.handle("/api/health");
+  EXPECT_EQ(r.status, 200);
+  const auto doc = json::parse(r.body);
+  EXPECT_EQ(doc->get_string("status"), "ok");
+  EXPECT_EQ(doc->get_uint("objects"), 8u);
+}
+
+TEST(Service, SchemasListsIndices) {
+  DashboardService service(demo_db());
+  const Response r = service.handle("/api/schemas");
+  ASSERT_EQ(r.status, 200);
+  EXPECT_NE(r.body.find("job_rank_time"), std::string::npos);
+  EXPECT_NE(r.body.find("seg_timestamp"), std::string::npos);
+}
+
+TEST(Service, JobsEnumeratesDistinctJobs) {
+  DashboardService service(demo_db());
+  const Response r = service.handle("/api/jobs");
+  const auto doc = json::parse(r.body);
+  const auto& jobs = doc->find("jobs")->as_array();
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].get_uint("job_id"), 1u);
+  EXPECT_EQ(jobs[0].get_uint("rows"), 4u);
+}
+
+TEST(Service, QueryFiltersAndLimits) {
+  DashboardService service(demo_db());
+  const Response r =
+      service.handle("/api/query?index=job_rank_time&job_id=2&rank=1");
+  ASSERT_EQ(r.status, 200);
+  const auto doc = json::parse(r.body);
+  EXPECT_EQ(doc->get_uint("total"), 2u);
+  EXPECT_EQ(doc->get_uint("returned"), 2u);
+
+  const Response limited =
+      service.handle("/api/query?index=time&limit=3");
+  const auto ldoc = json::parse(limited.body);
+  EXPECT_EQ(ldoc->get_uint("total"), 8u);
+  EXPECT_EQ(ldoc->get_uint("returned"), 3u);
+}
+
+TEST(Service, QueryRejectsUnknownIndex) {
+  DashboardService service(demo_db());
+  EXPECT_EQ(service.handle("/api/query?index=bogus").status, 400);
+}
+
+TEST(Service, PanelRunsFigureModules) {
+  DashboardService service(demo_db());
+  const Response r = service.handle("/api/panel?module=fig5&job=1,2");
+  ASSERT_EQ(r.status, 200);
+  const auto doc = json::parse(r.body);
+  const auto* data = doc->find("data");
+  ASSERT_TRUE(data);
+  const auto& columns = data->find("columns")->as_array();
+  ASSERT_EQ(columns.size(), 3u);  // op, mean_count, ci95
+  const auto& rows = data->find("rows")->as_array();
+  ASSERT_EQ(rows.size(), 2u);  // read, write
+}
+
+TEST(Service, PanelUnknownModuleIs404) {
+  DashboardService service(demo_db());
+  EXPECT_EQ(service.handle("/api/panel?module=nope").status, 404);
+  EXPECT_EQ(service.handle("/api/panel").status, 400);
+}
+
+TEST(Service, CustomModuleRegistration) {
+  DashboardService service(demo_db());
+  service.register_module(
+      "row_count", [](const dsos::DsosCluster& db, const Params&) {
+        analysis::DataFrame df;
+        df.add_int_column(
+            "rows", {static_cast<std::int64_t>(db.total_objects())});
+        return df;
+      });
+  const Response r = service.handle("/api/panel?module=row_count");
+  ASSERT_EQ(r.status, 200);
+  EXPECT_NE(r.body.find("[8]"), std::string::npos);
+}
+
+TEST(Service, CsvExportsRows) {
+  DashboardService service(demo_db());
+  const Response r = service.handle("/api/csv?index=time&op=read");
+  ASSERT_EQ(r.status, 200);
+  EXPECT_EQ(r.content_type, "text/csv");
+  // Header + 4 read rows (+ trailing newline).
+  EXPECT_EQ(std::count(r.body.begin(), r.body.end(), '\n'), 5);
+}
+
+TEST(Service, UnknownRouteIs404) {
+  DashboardService service(demo_db());
+  EXPECT_EQ(service.handle("/api/nope").status, 404);
+  EXPECT_EQ(service.handle("/").status, 404);
+}
+
+TEST(Http, RoundTripOverLoopback) {
+  DashboardService service(demo_db());
+  HttpServer server(0, HttpServer::wrap(service));
+  ASSERT_GT(server.port(), 0);
+
+  int status = 0;
+  std::string content_type;
+  const auto body =
+      http_get(server.port(), "/api/health", &status, &content_type);
+  ASSERT_TRUE(body.has_value());
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(content_type, "application/json");
+  const auto doc = json::parse(*body);
+  EXPECT_EQ(doc->get_string("status"), "ok");
+
+  const auto query = http_get(
+      server.port(), "/api/query?index=job_rank_time&job_id=1", &status);
+  ASSERT_TRUE(query.has_value());
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(query->find("\"total\":4"), std::string::npos);
+
+  const auto missing = http_get(server.port(), "/api/nope", &status);
+  ASSERT_TRUE(missing.has_value());
+  EXPECT_EQ(status, 404);
+
+  server.stop();
+  EXPECT_GE(server.connections_handled(), 3u);
+}
+
+TEST(Http, ServesManySequentialClients) {
+  DashboardService service(demo_db());
+  HttpServer server(0, HttpServer::wrap(service));
+  for (int i = 0; i < 32; ++i) {
+    int status = 0;
+    const auto body = http_get(server.port(), "/api/jobs", &status);
+    ASSERT_TRUE(body.has_value()) << i;
+    EXPECT_EQ(status, 200);
+  }
+  server.stop();
+}
+
+TEST(Dashboard, DefaultDashboardRendersAllPanels) {
+  DashboardService service(demo_db());
+  const Dashboard dash = default_io_dashboard(2);
+  const std::string rendered = render_dashboard(service, dash);
+  const auto doc = json::parse(rendered);
+  ASSERT_TRUE(doc.has_value()) << rendered.substr(0, 200);
+  const auto& panels = doc->find("panels")->as_array();
+  ASSERT_EQ(panels.size(), 5u);
+  for (const auto& panel : panels) {
+    EXPECT_TRUE(panel.find("data") != nullptr)
+        << panel.get_string("title") << ": "
+        << panel.get_string("error", "(no error)");
+  }
+}
+
+TEST(Dashboard, BrokenPanelReportsErrorInline) {
+  DashboardService service(demo_db());
+  Dashboard dash;
+  dash.title = "broken";
+  dash.panels = {PanelDef{"nope", "missing_module", {}, "table"}};
+  const std::string rendered = render_dashboard(service, dash);
+  const auto doc = json::parse(rendered);
+  const auto& panels = doc->find("panels")->as_array();
+  ASSERT_EQ(panels.size(), 1u);
+  EXPECT_FALSE(panels[0].get_string("error").empty());
+}
+
+}  // namespace
+}  // namespace dlc::websvc

@@ -1,0 +1,394 @@
+// Tests for the application I/O skeletons: event inventories, byte
+// volumes, pattern structure (phases, roles), determinism.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <memory>
+
+#include "darshan/runtime.hpp"
+#include "sim/engine.hpp"
+#include "simfs/lustre.hpp"
+#include "simfs/nfs.hpp"
+#include "simhpc/cluster.hpp"
+#include "simhpc/job.hpp"
+#include "workloads/hacc_io.hpp"
+#include "workloads/hmmer.hpp"
+#include "workloads/ior.hpp"
+#include "workloads/mpi_io_test.hpp"
+#include "workloads/sw4.hpp"
+
+namespace dlc::workloads {
+namespace {
+
+struct Harness {
+  sim::Engine engine;
+  simhpc::Cluster cluster{simhpc::ClusterConfig{.node_count = 8}};
+  std::shared_ptr<simfs::VariabilityProcess> variability;
+  std::unique_ptr<simfs::LustreModel> fs;
+  std::unique_ptr<simhpc::Job> job;
+  std::unique_ptr<darshan::Runtime> runtime;
+  std::vector<darshan::IoEvent> events;
+
+  Harness(std::size_t nodes, std::size_t rpn, std::uint64_t seed = 1) {
+    simfs::VariabilityConfig vcfg;
+    vcfg.epoch_sigma = 0;
+    vcfg.ar_sigma = 0;
+    variability = std::make_shared<simfs::VariabilityProcess>(vcfg, 1);
+    simfs::LustreConfig lcfg;
+    lcfg.jitter_sigma = 0;
+    fs = std::make_unique<simfs::LustreModel>(engine, lcfg, variability, 1);
+    simhpc::JobConfig jcfg;
+    jcfg.node_count = nodes;
+    jcfg.ranks_per_node = rpn;
+    jcfg.seed = seed;
+    job = std::make_unique<simhpc::Job>(engine, cluster, jcfg);
+    runtime = std::make_unique<darshan::Runtime>(engine, *fs, *job);
+    runtime->set_event_hook([this](const darshan::IoEvent& e) -> SimDuration {
+      events.push_back(e);
+      return 0;
+    });
+  }
+
+  void run(const WorkloadFactory& factory) {
+    simhpc::launch_job(engine, *job, factory(*runtime));
+    engine.run();
+    ASSERT_EQ(engine.unfinished_tasks(), 0u);
+  }
+
+  std::map<darshan::Op, int> op_counts() const {
+    std::map<darshan::Op, int> counts;
+    for (const auto& e : events) ++counts[e.op];
+    return counts;
+  }
+
+  std::uint64_t bytes(darshan::Op op, darshan::Module module) const {
+    std::uint64_t total = 0;
+    for (const auto& e : events) {
+      if (e.op == op && e.module == module) total += e.length;
+    }
+    return total;
+  }
+};
+
+TEST(MpiIoTest, EventInventoryMatchesConfig) {
+  Harness h(4, 2);
+  MpiIoTestConfig cfg;
+  cfg.iterations = 5;
+  cfg.block_size = 1 << 20;
+  cfg.collective = false;
+  h.run(mpi_io_test(cfg));
+  const auto counts = h.op_counts();
+  // 8 ranks x (5 writes + 5 reads) at the MPIIO layer, each mirrored once
+  // at POSIX (independent I/O).
+  EXPECT_EQ(counts.at(darshan::Op::kWrite), 8 * 5 * 2);
+  EXPECT_EQ(counts.at(darshan::Op::kRead), 8 * 5 * 2);
+  EXPECT_EQ(counts.at(darshan::Op::kOpen), 8);
+  EXPECT_EQ(counts.at(darshan::Op::kClose), 8);
+  EXPECT_EQ(counts.at(darshan::Op::kFlush), 8);
+  EXPECT_EQ(h.bytes(darshan::Op::kWrite, darshan::Module::kMpiio),
+            8ull * 5 * (1 << 20));
+}
+
+TEST(MpiIoTest, CollectiveDoublesPosixSubEvents) {
+  Harness h(2, 1);
+  MpiIoTestConfig cfg;
+  cfg.iterations = 3;
+  cfg.block_size = 1 << 20;
+  cfg.collective = true;
+  h.run(mpi_io_test(cfg));
+  int posix_writes = 0, mpiio_writes = 0;
+  for (const auto& e : h.events) {
+    if (e.op != darshan::Op::kWrite) continue;
+    (e.module == darshan::Module::kPosix ? posix_writes : mpiio_writes)++;
+  }
+  EXPECT_EQ(mpiio_writes, 2 * 3);
+  EXPECT_EQ(posix_writes, 2 * 3 * 2);  // two-phase
+}
+
+TEST(MpiIoTest, RankInterleavedSharedFileLayout) {
+  Harness h(2, 1);
+  MpiIoTestConfig cfg;
+  cfg.iterations = 2;
+  cfg.block_size = 1000;
+  cfg.collective = false;
+  h.run(mpi_io_test(cfg));
+  // Rank r writes iteration i at offset i*nranks*B + r*B.
+  std::map<std::pair<int, int>, std::uint64_t> offsets;  // (rank, iter)
+  for (const auto& e : h.events) {
+    if (e.op == darshan::Op::kWrite && e.module == darshan::Module::kMpiio) {
+      const int iter = static_cast<int>(e.offset / 2000);
+      offsets[{e.rank, iter}] = e.offset;
+    }
+  }
+  EXPECT_EQ(offsets.at({0, 0}), 0u);
+  EXPECT_EQ(offsets.at({1, 0}), 1000u);
+  EXPECT_EQ(offsets.at({0, 1}), 2000u);
+  EXPECT_EQ(offsets.at({1, 1}), 3000u);
+}
+
+TEST(MpiIoTest, WritePhasesPrecedeReads) {
+  Harness h(2, 1);
+  MpiIoTestConfig cfg;
+  cfg.iterations = 4;
+  h.run(mpi_io_test(cfg));
+  SimTime last_write = 0, first_read = INT64_MAX;
+  for (const auto& e : h.events) {
+    if (e.module != darshan::Module::kMpiio) continue;
+    if (e.op == darshan::Op::kWrite) last_write = std::max(last_write, e.end);
+    if (e.op == darshan::Op::kRead) first_read = std::min(first_read, e.start);
+  }
+  EXPECT_GT(first_read, last_write);  // reads strictly at the tail
+}
+
+TEST(HaccIo, WritesAllNineVariables) {
+  Harness h(2, 2);
+  HaccIoConfig cfg;
+  cfg.particles_per_rank = 1000;
+  cfg.initial_compute = 0;
+  h.run(hacc_io(cfg));
+  // Per rank per phase: 38 bytes/particle across all variables.
+  EXPECT_EQ(h.bytes(darshan::Op::kWrite, darshan::Module::kMpiio),
+            4ull * 1000 * kHaccBytesPerParticle);
+  EXPECT_EQ(h.bytes(darshan::Op::kRead, darshan::Module::kMpiio),
+            4ull * 1000 * kHaccBytesPerParticle);
+}
+
+TEST(HaccIo, PosixModeSkipsMpiioLayer) {
+  Harness h(2, 1);
+  HaccIoConfig cfg;
+  cfg.particles_per_rank = 100;
+  cfg.mode = HaccIoConfig::Mode::kPosix;
+  cfg.initial_compute = 0;
+  h.run(hacc_io(cfg));
+  for (const auto& e : h.events) {
+    EXPECT_EQ(e.module, darshan::Module::kPosix);
+  }
+}
+
+TEST(HaccIo, SegmentCountVariesAcrossSeeds) {
+  auto count_writes = [](std::uint64_t seed) {
+    Harness h(2, 2, seed);
+    HaccIoConfig cfg;
+    cfg.particles_per_rank = 1000;
+    cfg.initial_compute = 0;
+    cfg.segments_min = 2;
+    cfg.segments_max = 4;
+    h.run(hacc_io(cfg));
+    return h.op_counts().at(darshan::Op::kWrite);
+  };
+  // The Fig. 5 premise: op counts differ run to run.
+  const int a = count_writes(1);
+  const int b = count_writes(2);
+  const int c = count_writes(3);
+  EXPECT_TRUE(a != b || b != c);
+}
+
+TEST(HaccIo, RankSlabsAreDisjoint) {
+  Harness h(2, 1);
+  HaccIoConfig cfg;
+  cfg.particles_per_rank = 1000;
+  cfg.initial_compute = 0;
+  cfg.reopen_probability = 0;
+  h.run(hacc_io(cfg));
+  const std::uint64_t slab = 1000 * kHaccBytesPerParticle;
+  for (const auto& e : h.events) {
+    if (e.op != darshan::Op::kWrite) continue;
+    const auto rank = static_cast<std::uint64_t>(e.rank);
+    EXPECT_GE(e.offset, rank * slab);
+    EXPECT_LE(e.offset + e.length, (rank + 1) * slab);
+  }
+}
+
+TEST(Hmmer, MasterWritesWorkersRead) {
+  Harness h(1, 4);
+  HmmerConfig cfg;
+  cfg.profiles = 90;
+  cfg.reads_per_profile = 5;
+  cfg.writes_per_profile = 3;
+  h.run(hmmer_build(cfg));
+  std::map<int, int> writes_by_rank, reads_by_rank;
+  for (const auto& e : h.events) {
+    if (e.op == darshan::Op::kWrite) ++writes_by_rank[e.rank];
+    if (e.op == darshan::Op::kRead) ++reads_by_rank[e.rank];
+  }
+  EXPECT_EQ(writes_by_rank.size(), 1u);
+  EXPECT_EQ(writes_by_rank.at(0), 90 * 3);
+  EXPECT_EQ(reads_by_rank.count(0), 0u);  // master does not parse
+  int total_reads = 0;
+  for (const auto& [rank, n] : reads_by_rank) total_reads += n;
+  EXPECT_EQ(total_reads, 90 * 5);
+}
+
+TEST(Hmmer, ExpectedEventCountMatches) {
+  Harness h(1, 4);
+  HmmerConfig cfg;
+  cfg.profiles = 60;
+  cfg.reads_per_profile = 4;
+  cfg.writes_per_profile = 2;
+  h.run(hmmer_build(cfg));
+  EXPECT_EQ(h.events.size(), hmmer_expected_events(cfg, 4));
+}
+
+TEST(Hmmer, SingleRankDoesBothRoles) {
+  Harness h(1, 1);
+  HmmerConfig cfg;
+  cfg.profiles = 10;
+  cfg.reads_per_profile = 3;
+  cfg.writes_per_profile = 2;
+  h.run(hmmer_build(cfg));
+  const auto counts = h.op_counts();
+  EXPECT_EQ(counts.at(darshan::Op::kRead), 30);
+  EXPECT_EQ(counts.at(darshan::Op::kWrite), 20);
+}
+
+TEST(Hmmer, UsesStdioModule) {
+  Harness h(1, 2);
+  HmmerConfig cfg;
+  cfg.profiles = 10;
+  h.run(hmmer_build(cfg));
+  for (const auto& e : h.events) {
+    EXPECT_EQ(e.module, darshan::Module::kStdio);
+  }
+}
+
+TEST(Sw4, CheckpointCadenceAndHdf5Metadata) {
+  Harness h(2, 2);
+  Sw4Config cfg;
+  cfg.timesteps = 20;
+  cfg.checkpoint_every = 10;
+  cfg.image_every = 0;
+  cfg.fields = 3;
+  cfg.grid_points_per_rank = 1000;
+  cfg.compute_per_step = kMillisecond;
+  h.run(sw4(cfg));
+  int h5_writes = 0;
+  for (const auto& e : h.events) {
+    if (e.module == darshan::Module::kH5D && e.op == darshan::Op::kWrite) {
+      ++h5_writes;
+      EXPECT_EQ(e.h5.ndims, 3);
+      EXPECT_EQ(e.h5.npoints, 1000);
+      EXPECT_FALSE(e.h5.data_set.empty());
+    }
+  }
+  // 2 checkpoints x 4 ranks x 3 fields.
+  EXPECT_EQ(h5_writes, 2 * 4 * 3);
+}
+
+TEST(Sw4, ImageSlicesOnlyOnRankZero) {
+  Harness h(2, 2);
+  Sw4Config cfg;
+  cfg.timesteps = 20;
+  cfg.checkpoint_every = 0;
+  cfg.image_every = 10;
+  cfg.compute_per_step = kMillisecond;
+  h.run(sw4(cfg));
+  int posix_writes = 0;
+  for (const auto& e : h.events) {
+    if (e.module == darshan::Module::kPosix &&
+        e.op == darshan::Op::kWrite) {
+      EXPECT_EQ(e.rank, 0);
+      ++posix_writes;
+    }
+  }
+  EXPECT_EQ(posix_writes, 2);
+}
+
+
+TEST(Ior, SharedFileEventInventory) {
+  Harness h(2, 2);
+  IorConfig cfg;
+  cfg.transfer_size = 1 << 20;
+  cfg.block_size = 4u << 20;
+  cfg.segments = 2;
+  h.run(ior(cfg));
+  EXPECT_EQ(h.events.size(), ior_expected_events(cfg, 4));
+  const auto counts = h.op_counts();
+  EXPECT_EQ(counts.at(darshan::Op::kWrite), 4 * 2 * 4);  // ranks*segs*xfers
+  EXPECT_EQ(counts.at(darshan::Op::kRead), 4 * 2 * 4);
+  EXPECT_EQ(counts.at(darshan::Op::kFlush), 4);
+}
+
+TEST(Ior, SegmentLayoutInterleavesRanks) {
+  Harness h(2, 1);
+  IorConfig cfg;
+  cfg.transfer_size = 1000;
+  cfg.block_size = 1000;
+  cfg.segments = 2;
+  cfg.do_read = false;
+  h.run(ior(cfg));
+  // Segment s, rank r at offset (s*nranks + r) * block.
+  std::set<std::uint64_t> offsets;
+  for (const auto& e : h.events) {
+    if (e.op == darshan::Op::kWrite) offsets.insert(e.offset);
+  }
+  EXPECT_EQ(offsets, (std::set<std::uint64_t>{0, 1000, 2000, 3000}));
+}
+
+TEST(Ior, FilePerProcessCreatesDistinctRecords) {
+  Harness h(2, 2);
+  IorConfig cfg;
+  cfg.file_per_process = true;
+  cfg.do_read = false;
+  h.run(ior(cfg));
+  std::set<std::uint64_t> record_ids;
+  for (const auto& e : h.events) record_ids.insert(e.record_id);
+  EXPECT_EQ(record_ids.size(), 4u);  // one file per rank
+}
+
+TEST(Ior, ReorderShiftReadsOtherRanksData) {
+  Harness h(2, 1);
+  IorConfig cfg;
+  cfg.transfer_size = 1 << 20;
+  cfg.block_size = 1 << 20;
+  cfg.reorder_shift = 1;
+  h.run(ior(cfg));
+  // Rank 0 reads rank 1's block and vice versa.
+  for (const auto& e : h.events) {
+    if (e.op != darshan::Op::kRead) continue;
+    const std::uint64_t expected_offset =
+        ((static_cast<std::uint64_t>(e.rank) + 1) % 2) * (1 << 20);
+    EXPECT_EQ(e.offset, expected_offset) << "rank " << e.rank;
+  }
+}
+
+TEST(Ior, MpiioModeEmitsBothLayers) {
+  Harness h(2, 1);
+  IorConfig cfg;
+  cfg.use_mpiio = true;
+  cfg.collective = true;
+  cfg.do_read = false;
+  h.run(ior(cfg));
+  int mpiio = 0, posix = 0;
+  for (const auto& e : h.events) {
+    if (e.op != darshan::Op::kWrite) continue;
+    (e.module == darshan::Module::kMpiio ? mpiio : posix)++;
+  }
+  EXPECT_GT(mpiio, 0);
+  EXPECT_EQ(posix, 2 * mpiio);  // collective two-phase
+}
+
+TEST(Ior, InvalidGeometryThrows) {
+  Harness h(1, 1);
+  IorConfig cfg;
+  cfg.transfer_size = 3000;
+  cfg.block_size = 4000;  // not a multiple
+  simhpc::launch_job(h.engine, *h.job, ior(cfg)(*h.runtime));
+  EXPECT_THROW(h.engine.run(), std::invalid_argument);
+}
+
+TEST(Workloads, DeterministicAcrossRuns) {
+  auto run_once = []() {
+    Harness h(2, 2, 99);
+    MpiIoTestConfig cfg;
+    cfg.iterations = 3;
+    h.run(mpi_io_test(cfg));
+    std::vector<std::pair<SimTime, std::uint64_t>> sig;
+    for (const auto& e : h.events) sig.emplace_back(e.end, e.offset);
+    return sig;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace dlc::workloads
