@@ -1,0 +1,265 @@
+// Wire-format benchmark: bytes/event and events/sec for the three
+// connector wire formats (json | binary | binary_batched).
+//
+// Part 1 runs MPI-IO-TEST through the full virtual pipeline once per
+// format and reports the on-wire volume (the paper lists reducing message
+// size as future work; the acceptance bar here is binary_batched using
+// >= 3x fewer bytes/event than JSON).  Part 2 pushes pre-formatted
+// payloads through 1..3 real-thread ThreadedForwarder hops and reports
+// delivered events/sec per format.
+//
+// Env knobs: DLC_WIRE_NODES (default 22), DLC_WIRE_ITERS (default 10),
+// DLC_WIRE_EVENTS (part 2 event count, default 50000).
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/connector.hpp"
+#include "exp/specs.hpp"
+#include "exp/table.hpp"
+#include "ldms/threaded.hpp"
+#include "sim/engine.hpp"
+#include "simfs/nfs.hpp"
+#include "simhpc/cluster.hpp"
+#include "simhpc/job.hpp"
+#include "workloads/mpi_io_test.hpp"
+#include "wire/batcher.hpp"
+#include "wire/codec.hpp"
+
+using namespace dlc;
+
+namespace {
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  if (const char* v = std::getenv(name)) {
+    const long n = std::atol(v);
+    if (n > 0) return static_cast<std::size_t>(n);
+  }
+  return fallback;
+}
+
+// ------------------------------------------------ part 1: bytes/event ----
+
+struct WireVolume {
+  std::uint64_t events = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  double bytes_per_event = 0.0;
+};
+
+WireVolume run_pipeline(core::WireFormat wf, std::size_t nodes,
+                        std::size_t iters) {
+  exp::ExperimentSpec spec = exp::mpi_io_test_spec(simfs::FsKind::kNfs, true);
+  spec.node_count = nodes;
+  workloads::MpiIoTestConfig cfg;
+  cfg.block_size = 16ull * 1024 * 1024;
+  cfg.iterations = iters;
+  cfg.collective = true;
+  cfg.compute_per_iteration = 2 * kSecond;
+  spec.workload = workloads::mpi_io_test(cfg);
+  spec.connector.wire_format = wf;
+  const exp::RunResult r = exp::run_experiment(spec);
+  WireVolume v;
+  v.events = r.events_published;
+  v.messages = r.messages;
+  v.bytes = r.bytes_published;
+  v.bytes_per_event =
+      v.events ? static_cast<double>(v.bytes) / static_cast<double>(v.events)
+               : 0.0;
+  return v;
+}
+
+// --------------------------------------------- part 2: events/sec x hop ----
+
+/// Minimal darshan rig so part 2's JSON payloads come from the real
+/// connector formatter rather than a synthetic approximation.
+struct FormatRig {
+  sim::Engine engine;
+  simhpc::Cluster cluster{simhpc::ClusterConfig{}};
+  std::shared_ptr<simfs::VariabilityProcess> variability;
+  std::unique_ptr<simfs::NfsModel> fs;
+  std::unique_ptr<simhpc::Job> job;
+  std::unique_ptr<darshan::Runtime> runtime;
+
+  FormatRig() {
+    simfs::VariabilityConfig vcfg;
+    vcfg.epoch_sigma = 0.0;
+    vcfg.ar_sigma = 0.0;
+    variability = std::make_shared<simfs::VariabilityProcess>(vcfg, 1);
+    fs = std::make_unique<simfs::NfsModel>(engine, simfs::NfsConfig{},
+                                           variability, 1);
+    simhpc::JobConfig jcfg;
+    jcfg.node_count = 1;
+    job = std::make_unique<simhpc::Job>(engine, cluster, jcfg);
+    runtime = std::make_unique<darshan::Runtime>(engine, *fs, *job);
+  }
+};
+
+std::vector<darshan::IoEvent> synth_events(std::size_t n,
+                                           const std::string& path) {
+  std::vector<darshan::IoEvent> events;
+  events.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    darshan::IoEvent e;
+    e.module = darshan::Module::kMpiio;
+    e.op = i % 100 == 0 ? darshan::Op::kOpen
+           : i % 2     ? darshan::Op::kRead
+                       : darshan::Op::kWrite;
+    if (e.op == darshan::Op::kOpen) e.file_path = &path;
+    e.rank = 0;
+    e.record_id = 9'184'815'607'937'547'264ull + (i % 4);
+    e.max_byte = static_cast<std::int64_t>(i * 4096);
+    e.switches = static_cast<std::int64_t>(i % 7);
+    e.flushes = -1;
+    e.cnt = static_cast<std::int64_t>(i % 100);
+    e.offset = i * 4096;
+    e.length = 4096;
+    e.end = static_cast<SimTime>(i) * 50 * kMicrosecond;
+    e.start = e.end - 20 * kMicrosecond;
+    events.push_back(e);
+  }
+  return events;
+}
+
+std::vector<std::string> payloads_for(core::WireFormat wf,
+                                      const FormatRig& rig,
+                                      const std::vector<darshan::IoEvent>& ev) {
+  const SimEpoch epoch;
+  std::vector<std::string> payloads;
+  if (wf == core::WireFormat::kJson) {
+    json::Writer w;
+    payloads.reserve(ev.size());
+    for (const auto& e : ev) {
+      core::DarshanLdmsConnector::format_message(w, e, *rig.runtime, epoch);
+      payloads.push_back(w.str());
+    }
+    return payloads;
+  }
+  wire::FrameEncoder enc(
+      core::DarshanLdmsConnector::encode_context(*rig.runtime, epoch));
+  const std::string producer = rig.job->producer_name(0);
+  const std::size_t batch =
+      wf == core::WireFormat::kBinaryBatched ? wire::BatchConfig{}.max_events
+                                             : 1;
+  for (const auto& e : ev) {
+    enc.add(e, producer);
+    if (enc.event_count() >= batch) payloads.push_back(enc.take_frame());
+  }
+  if (!enc.empty()) payloads.push_back(enc.take_frame());
+  return payloads;
+}
+
+struct HopResult {
+  double events_per_sec = 0.0;
+  std::uint64_t wire_bytes = 0;
+};
+
+HopResult push_through_hops(const std::vector<std::string>& payloads,
+                            std::size_t events, std::size_t hops,
+                            ldms::PayloadFormat format) {
+  std::vector<std::unique_ptr<ldms::StreamBus>> buses;
+  for (std::size_t i = 0; i <= hops; ++i) {
+    buses.push_back(std::make_unique<ldms::StreamBus>());
+  }
+  std::atomic<std::uint64_t> arrived{0};
+  buses.back()->subscribe("w", [&](const ldms::StreamMessage&) {
+    arrived.fetch_add(1, std::memory_order_relaxed);
+  });
+  std::vector<std::unique_ptr<ldms::ThreadedForwarder>> forwarders;
+  for (std::size_t i = 0; i < hops; ++i) {
+    forwarders.push_back(std::make_unique<ldms::ThreadedForwarder>(
+        *buses[i], *buses[i + 1], "w", 1 << 20));
+  }
+
+  HopResult r;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const std::string& p : payloads) {
+    ldms::StreamMessage msg;
+    msg.tag = "w";
+    msg.format = format;
+    msg.payload = p;
+    buses[0]->publish(msg);
+    r.wire_bytes += p.size();
+  }
+  while (arrived.load(std::memory_order_relaxed) < payloads.size()) {
+    std::this_thread::yield();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  for (auto& f : forwarders) f->stop();
+  const double secs =
+      std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0)
+          .count();
+  r.events_per_sec =
+      secs > 0 ? static_cast<double>(events) / secs : 0.0;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t nodes = env_size("DLC_WIRE_NODES", 22);
+  const std::size_t iters = env_size("DLC_WIRE_ITERS", 10);
+  const std::size_t part2_events = env_size("DLC_WIRE_EVENTS", 50'000);
+
+  const core::WireFormat kFormats[] = {core::WireFormat::kJson,
+                                       core::WireFormat::kBinary,
+                                       core::WireFormat::kBinaryBatched};
+
+  std::printf("== bench_wire part 1: MPI-IO-TEST/NFS, %zu nodes, %zu iters, "
+              "full virtual pipeline ==\n",
+              nodes, iters);
+  exp::TextTable t1({"Wire format", "Events", "Messages", "Wire bytes",
+                     "Bytes/event", "vs json"});
+  double json_bpe = 0.0, batched_bpe = 0.0;
+  for (const auto wf : kFormats) {
+    const WireVolume v = run_pipeline(wf, nodes, iters);
+    if (wf == core::WireFormat::kJson) json_bpe = v.bytes_per_event;
+    if (wf == core::WireFormat::kBinaryBatched) batched_bpe = v.bytes_per_event;
+    t1.add_row({std::string(core::wire_format_name(wf)),
+                exp::cell_u(v.events), exp::cell_u(v.messages),
+                exp::cell_u(v.bytes),
+                exp::cell_f(v.bytes_per_event, 1),
+                json_bpe > 0 && v.bytes_per_event > 0
+                    ? exp::cell_f(json_bpe / v.bytes_per_event, 1) + "x"
+                    : "-"});
+  }
+  std::printf("%s\n", t1.render().c_str());
+
+  std::printf("== bench_wire part 2: ThreadedForwarder chains, %zu events "
+              "==\n",
+              part2_events);
+  FormatRig rig;
+  const std::string path = "/fscratch/mpi-io-test.out";
+  const auto events = synth_events(part2_events, path);
+  exp::TextTable t2({"Wire format", "Hops", "Messages", "Wire MB",
+                     "Events/sec"});
+  for (const auto wf : kFormats) {
+    const auto payloads = payloads_for(wf, rig, events);
+    const auto format = wf == core::WireFormat::kJson
+                            ? ldms::PayloadFormat::kJson
+                            : ldms::PayloadFormat::kBinary;
+    for (std::size_t hops = 1; hops <= 3; ++hops) {
+      const HopResult r =
+          push_through_hops(payloads, events.size(), hops, format);
+      t2.add_row({std::string(core::wire_format_name(wf)),
+                  exp::cell_u(hops), exp::cell_u(payloads.size()),
+                  exp::cell_f(static_cast<double>(r.wire_bytes) / 1.0e6, 2),
+                  exp::cell_f(r.events_per_sec, 0)});
+    }
+  }
+  std::printf("%s\n", t2.render().c_str());
+
+  const double ratio = batched_bpe > 0 ? json_bpe / batched_bpe : 0.0;
+  std::printf("binary_batched bytes/event reduction vs json: %.1fx "
+              "(acceptance bar: >= 3x)\n",
+              ratio);
+  if (ratio < 3.0) {
+    std::printf("FAIL: batched wire format does not meet the 3x bar\n");
+    return 1;
+  }
+  return 0;
+}

@@ -3,15 +3,32 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "darshan/module.hpp"
 #include "json/writer.hpp"
 #include "util/time.hpp"
+#include "wire/batcher.hpp"
 
 namespace dlc::core {
 
-/// How the connector turns an I/O event into a stream message.
+/// What goes on the wire for each published event.
+enum class WireFormat : std::uint8_t {
+  /// One JSON message per event (the paper's connector).
+  kJson = 0,
+  /// One binary frame per event (compact codec, no coalescing).
+  kBinary = 1,
+  /// Events coalesced into multi-event binary frames by a per-daemon
+  /// StreamBatcher; daemons forward O(batches) instead of O(events).
+  kBinaryBatched = 2,
+};
+
+std::string_view wire_format_name(WireFormat f);
+bool wire_format_from_name(std::string_view name, WireFormat& out);
+
+/// How the connector renders the JSON payload (ignored by the binary wire
+/// formats, which bypass JSON entirely).
 enum class FormatMode : std::uint8_t {
   /// Full JSON message via snprintf number formatting — what the paper's
   /// connector shipped, and the cause of its HMMER overhead.
@@ -39,6 +56,10 @@ struct CostModel {
   /// Fast formatter cost relative to snprintf (kFastJson multiplies the
   /// format terms by this factor).
   double fast_format_factor = 0.12;
+  /// Binary wire-encoder cost relative to snprintf JSON: varint stores
+  /// replace every int->string conversion, so encoding is cheaper per
+  /// event than even the fast JSON path (calibrated from bench_wire).
+  double binary_format_factor = 0.05;
   /// Cost of the ldms_stream_publish call itself (always paid when the
   /// event is published, even under kNone).
   SimDuration publish_cost = 1 * kMicrosecond;
@@ -51,6 +72,11 @@ struct ConnectorConfig {
   /// unique LDMS Stream tag for this data source".
   std::string stream_tag = "darshanConnector";
   FormatMode format = FormatMode::kSnprintfJson;
+  /// On-wire payload encoding.  kJson preserves the paper's behaviour;
+  /// the binary formats use the src/wire codec (and, for kBinaryBatched,
+  /// per-daemon StreamBatchers configured by `batch`).
+  WireFormat wire_format = WireFormat::kJson;
+  wire::BatchConfig batch;
   /// Publish every n-th event per rank (1 = every event).  This is the
   /// paper's proposed future-work mitigation, implemented here.
   /// `open` and `close` events are always published: they carry the MET

@@ -2,6 +2,7 @@
 
 #include "json/parser.hpp"
 #include "util/strings.hpp"
+#include "wire/codec.hpp"
 
 namespace dlc::core {
 
@@ -94,11 +95,16 @@ DarshanDecoder::DarshanDecoder(ldms::LdmsDaemon& daemon, const std::string& tag,
 }
 
 void DarshanDecoder::on_message(const ldms::StreamMessage& msg) {
-  if (msg.format != ldms::PayloadFormat::kJson) {
+  std::vector<dsos::Object> objects;
+  if (msg.format == ldms::PayloadFormat::kJson) {
+    objects = decode_message(schema_, msg.payload);
+  } else if (msg.format == ldms::PayloadFormat::kBinary) {
+    objects = wire::decode_frame(schema_, msg.payload);
+    if (!objects.empty()) ++frames_decoded_;
+  } else {
     ++malformed_;  // placeholder payloads from the kNone ablation
     return;
   }
-  auto objects = decode_message(schema_, msg.payload);
   if (objects.empty()) {
     ++malformed_;
     return;

@@ -1,6 +1,8 @@
-// Decode path: LDMS Streams subscriber that parses connector JSON
-// messages, flattens the `seg` list into one row per segment (CSV layout
-// of Fig. 3) and ingests the rows into a DSOS cluster.
+// Decode path: LDMS Streams subscriber that parses connector messages —
+// JSON (flattening the `seg` list into one row per segment, CSV layout of
+// Fig. 3) or binary wire frames (one row per encoded event) — and ingests
+// the rows into a DSOS cluster.  Both paths produce identical rows; see
+// wire/codec.hpp and the round-trip property test.
 #pragma once
 
 #include <cstdint>
@@ -29,8 +31,11 @@ class DarshanDecoder {
   DarshanDecoder(ldms::LdmsDaemon& daemon, const std::string& tag,
                  dsos::DsosCluster& cluster);
 
+  /// Rows ingested (one per JSON seg entry / binary frame event).
   std::uint64_t decoded() const { return decoded_; }
   std::uint64_t malformed() const { return malformed_; }
+  /// Binary frames among the decoded messages.
+  std::uint64_t frames_decoded() const { return frames_decoded_; }
 
  private:
   void on_message(const ldms::StreamMessage& msg);
@@ -39,6 +44,7 @@ class DarshanDecoder {
   dsos::DsosCluster& cluster_;
   std::uint64_t decoded_ = 0;
   std::uint64_t malformed_ = 0;
+  std::uint64_t frames_decoded_ = 0;
 };
 
 }  // namespace dlc::core

@@ -16,6 +16,31 @@ bool parse_u64(const std::string& s, std::uint64_t& out) {
 
 }  // namespace
 
+std::string_view wire_format_name(WireFormat f) {
+  switch (f) {
+    case WireFormat::kJson:
+      return "json";
+    case WireFormat::kBinary:
+      return "binary";
+    case WireFormat::kBinaryBatched:
+      return "binary_batched";
+  }
+  return "?";
+}
+
+bool wire_format_from_name(std::string_view name, WireFormat& out) {
+  if (name == "json") {
+    out = WireFormat::kJson;
+  } else if (name == "binary") {
+    out = WireFormat::kBinary;
+  } else if (name == "binary_batched") {
+    out = WireFormat::kBinaryBatched;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 EnvConfig connector_config_from_env(const EnvGetter& getenv_fn) {
   const EnvGetter get =
       getenv_fn ? getenv_fn
@@ -42,6 +67,36 @@ EnvConfig connector_config_from_env(const EnvGetter& getenv_fn) {
       cfg.connector.format = FormatMode::kNone;
     } else {
       cfg.errors.push_back("DARSHAN_LDMS_FORMAT=" + mode);
+    }
+  }
+  if (const char* v = get("DARSHAN_LDMS_WIRE_FORMAT")) {
+    if (!wire_format_from_name(v, cfg.connector.wire_format)) {
+      cfg.errors.push_back(std::string("DARSHAN_LDMS_WIRE_FORMAT=") + v);
+    }
+  }
+  if (const char* v = get("DARSHAN_LDMS_BATCH_EVENTS")) {
+    std::uint64_t n;
+    if (parse_u64(v, n) && n >= 1) {
+      cfg.connector.batch.max_events = static_cast<std::size_t>(n);
+    } else {
+      cfg.errors.push_back(std::string("DARSHAN_LDMS_BATCH_EVENTS=") + v);
+    }
+  }
+  if (const char* v = get("DARSHAN_LDMS_BATCH_BYTES")) {
+    std::uint64_t n;
+    if (parse_u64(v, n) && n >= 1) {
+      cfg.connector.batch.max_bytes = static_cast<std::size_t>(n);
+    } else {
+      cfg.errors.push_back(std::string("DARSHAN_LDMS_BATCH_BYTES=") + v);
+    }
+  }
+  if (const char* v = get("DARSHAN_LDMS_BATCH_DELAY_US")) {
+    std::uint64_t us;
+    if (parse_u64(v, us)) {
+      cfg.connector.batch.max_delay =
+          static_cast<SimDuration>(us) * kMicrosecond;
+    } else {
+      cfg.errors.push_back(std::string("DARSHAN_LDMS_BATCH_DELAY_US=") + v);
     }
   }
   if (const char* v = get("DARSHAN_LDMS_SAMPLE_N")) {

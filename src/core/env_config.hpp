@@ -7,6 +7,10 @@
 //   DARSHAN_LDMS_ENABLE      unset/0 => connector off
 //   DARSHAN_LDMS_STREAM      stream tag (default "darshanConnector")
 //   DARSHAN_LDMS_FORMAT      snprintf | fast | none
+//   DARSHAN_LDMS_WIRE_FORMAT json | binary | binary_batched
+//   DARSHAN_LDMS_BATCH_EVENTS    events per batch frame (>= 1)
+//   DARSHAN_LDMS_BATCH_BYTES     frame size flush threshold (>= 1)
+//   DARSHAN_LDMS_BATCH_DELAY_US  staleness flush threshold (0 disables)
 //   DARSHAN_LDMS_SAMPLE_N    publish every n-th event (>= 1)
 //   DARSHAN_LDMS_MIN_INTERVAL_US  per-rank publish rate limit
 //   DARSHAN_LDMS_MODULES     comma list, e.g. "POSIX,MPIIO" (empty = all)

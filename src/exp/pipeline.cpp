@@ -132,6 +132,12 @@ RunResult run_experiment(const ExperimentSpec& spec) {
 
   simhpc::launch_job(engine, job, spec.workload(runtime));
   engine.run();
+  if (connector) {
+    // Job end: force out any partially-filled wire batches, then run the
+    // engine again so the tail frames traverse the transport.
+    connector->flush();
+    engine.run();
+  }
   if (engine.unfinished_tasks() != 0) {
     throw std::logic_error("experiment deadlocked: unfinished rank tasks");
   }
@@ -141,6 +147,8 @@ RunResult run_experiment(const ExperimentSpec& spec) {
   result.events = runtime.event_count();
   if (connector) {
     result.messages = connector->stats().messages_published;
+    result.events_published = connector->stats().events_published;
+    result.bytes_published = connector->stats().bytes_published;
     result.charged_s = to_seconds(connector->stats().charged);
   }
   result.msg_rate =

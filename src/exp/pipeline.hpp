@@ -74,6 +74,11 @@ struct RunResult {
   double runtime_s = 0.0;
   std::uint64_t events = 0;    // darshan-instrumented events
   std::uint64_t messages = 0;  // connector messages published
+  /// Events carried inside those messages (== messages for the per-event
+  /// wire formats; >= messages under binary batching).
+  std::uint64_t events_published = 0;
+  /// On-wire payload bytes handed to ldms_stream_publish.
+  std::uint64_t bytes_published = 0;
   double msg_rate = 0.0;       // messages per virtual second
   std::uint64_t dropped = 0;   // transport drops (best-effort losses)
   std::uint64_t stored = 0;    // messages reaching the final store

@@ -49,12 +49,17 @@ void LdmsDaemon::enqueue(Route& route, const StreamMessage& msg) {
     ++outage_dropped_;  // transport down: the message is simply gone
     return;
   }
-  if (route.queue.size() >= route.config.queue_capacity) {
+  if (route.queue.size() >= route.config.queue_capacity ||
+      (route.config.queue_capacity_bytes > 0 &&
+       route.queued_bytes + msg.payload.size() >
+           route.config.queue_capacity_bytes)) {
     ++route.dropped;  // best effort: no resend, no back-pressure
     return;
   }
+  route.queued_bytes += msg.payload.size();
   route.queue.push_back(msg);
   route.max_depth = std::max(route.max_depth, route.queue.size());
+  route.max_depth_bytes = std::max(route.max_depth_bytes, route.queued_bytes);
   if (engine_ && !route.pump_active) {
     route.pump_active = true;
     engine_->spawn(pump(route));
@@ -62,7 +67,9 @@ void LdmsDaemon::enqueue(Route& route, const StreamMessage& msg) {
     // No virtual transport: deliver inline (degenerate zero-latency hop).
     StreamMessage inline_msg = std::move(route.queue.front());
     route.queue.pop_front();
+    route.queued_bytes -= inline_msg.payload.size();
     ++inline_msg.hops;
+    route.forwarded_bytes += inline_msg.payload.size();
     route.upstream->bus().publish(inline_msg);
     ++route.forwarded;
   }
@@ -74,6 +81,7 @@ sim::Task<void> LdmsDaemon::pump(Route& route) {
   while (!route.queue.empty()) {
     StreamMessage msg = std::move(route.queue.front());
     route.queue.pop_front();
+    route.queued_bytes -= msg.payload.size();
     SimDuration cost = route.config.hop_latency;
     if (route.config.bandwidth_bytes_per_sec > 0) {
       cost += static_cast<SimDuration>(
@@ -84,6 +92,7 @@ sim::Task<void> LdmsDaemon::pump(Route& route) {
     co_await engine_->delay(cost);
     msg.deliver_time = engine_->now();
     ++msg.hops;
+    route.forwarded_bytes += msg.payload.size();
     route.upstream->bus().publish(msg);
     ++route.forwarded;
   }
@@ -102,10 +111,22 @@ std::uint64_t LdmsDaemon::forwarded() const {
   return total;
 }
 
+std::uint64_t LdmsDaemon::forwarded_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& r : routes_) total += r->forwarded_bytes;
+  return total;
+}
+
 std::size_t LdmsDaemon::max_queue_depth() const {
   std::size_t depth = 0;
   for (const auto& r : routes_) depth = std::max(depth, r->max_depth);
   return depth;
+}
+
+std::size_t LdmsDaemon::max_queue_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& r : routes_) bytes = std::max(bytes, r->max_depth_bytes);
+  return bytes;
 }
 
 }  // namespace dlc::ldms

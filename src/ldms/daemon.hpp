@@ -25,6 +25,11 @@ namespace dlc::ldms {
 struct ForwardConfig {
   /// Max messages queued on this route before drops begin.
   std::size_t queue_capacity = 4096;
+  /// Max queued payload *bytes* on this route (0 => unlimited).  Message
+  /// counts stop being a meaningful capacity once batching makes message
+  /// sizes differ by orders of magnitude; a bytes cap models the real
+  /// buffer limit and is fair across wire formats.
+  std::size_t queue_capacity_bytes = 0;
   /// Per-hop transport latency.
   SimDuration hop_latency = 50 * kMicrosecond;
   /// Transport bandwidth for the payload (bytes/sec); 0 => unmetered.
@@ -66,18 +71,25 @@ class LdmsDaemon {
   std::uint64_t dropped() const;
   /// Messages successfully handed to upstream buses.
   std::uint64_t forwarded() const;
+  /// Payload bytes successfully handed to upstream buses.
+  std::uint64_t forwarded_bytes() const;
   /// Largest queue depth observed on any route (transport back-pressure).
   std::size_t max_queue_depth() const;
+  /// Largest queued payload byte total observed on any route.
+  std::size_t max_queue_bytes() const;
 
  private:
   struct Route {
     LdmsDaemon* upstream = nullptr;
     ForwardConfig config;
     std::deque<StreamMessage> queue;
+    std::size_t queued_bytes = 0;
     bool pump_active = false;
     std::uint64_t dropped = 0;
     std::uint64_t forwarded = 0;
+    std::uint64_t forwarded_bytes = 0;
     std::size_t max_depth = 0;
+    std::size_t max_depth_bytes = 0;
   };
 
   void enqueue(Route& route, const StreamMessage& msg);

@@ -13,7 +13,8 @@
 
 namespace dlc::ldms {
 
-enum class PayloadFormat : std::uint8_t { kString = 0, kJson = 1 };
+enum class PayloadFormat : std::uint8_t { kString = 0, kJson = 1, kBinary = 2 };
+inline constexpr std::size_t kPayloadFormatCount = 3;
 
 struct StreamMessage {
   std::string tag;

@@ -5,6 +5,24 @@
 
 namespace dlc::ldms {
 
+BusBytesSampler::BusBytesSampler(const LdmsDaemon& daemon)
+    : daemon_(daemon),
+      names_({"msgs_string", "msgs_json", "msgs_binary", "bytes_string",
+              "bytes_json", "bytes_binary", "bytes_total"}) {}
+
+void BusBytesSampler::sample(SimTime /*now*/, std::vector<double>& out) {
+  const StreamBus& bus = daemon_.bus();
+  for (const auto f :
+       {PayloadFormat::kString, PayloadFormat::kJson, PayloadFormat::kBinary}) {
+    out.push_back(static_cast<double>(bus.published_count(f)));
+  }
+  for (const auto f :
+       {PayloadFormat::kString, PayloadFormat::kJson, PayloadFormat::kBinary}) {
+    out.push_back(static_cast<double>(bus.published_bytes(f)));
+  }
+  out.push_back(static_cast<double>(bus.published_bytes()));
+}
+
 MetricSampler::MetricSampler(sim::Engine& engine, LdmsDaemon& daemon,
                              std::unique_ptr<SamplerPlugin> plugin,
                              SimDuration interval, std::string tag)

@@ -43,6 +43,27 @@ class SamplerPlugin {
   virtual void sample(SimTime now, std::vector<double>& out) = 0;
 };
 
+/// Sampler plugin exposing a daemon's stream-transport byte counters as a
+/// metric set: per-payload-format published bytes and message counts (the
+/// "darshan_stream_bytes" set).  This is how deployments watch the wire
+/// saving of the binary/batched formats live — the JSON vs binary byte
+/// split is a channel on the normal metrics path, not a log line.
+class BusBytesSampler final : public SamplerPlugin {
+ public:
+  explicit BusBytesSampler(const LdmsDaemon& daemon);
+
+  const std::string& set_name() const override { return name_; }
+  const std::vector<std::string>& metric_names() const override {
+    return names_;
+  }
+  void sample(SimTime now, std::vector<double>& out) override;
+
+ private:
+  const LdmsDaemon& daemon_;
+  std::string name_ = "darshan_stream_bytes";
+  std::vector<std::string> names_;
+};
+
 /// Periodic sampler runner: samples every `interval` on the virtual
 /// timeline and publishes each sample as a JSON stream message on
 /// `tag` (so the existing transport/storage path carries metric sets

@@ -23,6 +23,11 @@ std::size_t StreamBus::publish(const StreamMessage& msg) {
   {
     const std::scoped_lock lock(mutex_);
     ++published_;
+    const auto fmt = static_cast<std::size_t>(msg.format);
+    if (fmt < kPayloadFormatCount) {
+      format_bytes_[fmt] += msg.payload.size();
+      ++format_counts_[fmt];
+    }
     for (const Subscription& s : subs_) {
       if (s.tag == msg.tag) targets.push_back(s.fn);
     }
@@ -54,6 +59,23 @@ std::uint64_t StreamBus::missed() const {
 std::size_t StreamBus::subscriber_count() const {
   const std::scoped_lock lock(mutex_);
   return subs_.size();
+}
+
+std::uint64_t StreamBus::published_bytes(PayloadFormat format) const {
+  const std::scoped_lock lock(mutex_);
+  return format_bytes_[static_cast<std::size_t>(format)];
+}
+
+std::uint64_t StreamBus::published_bytes() const {
+  const std::scoped_lock lock(mutex_);
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : format_bytes_) total += b;
+  return total;
+}
+
+std::uint64_t StreamBus::published_count(PayloadFormat format) const {
+  const std::scoped_lock lock(mutex_);
+  return format_counts_[static_cast<std::size_t>(format)];
 }
 
 }  // namespace dlc::ldms

@@ -11,6 +11,7 @@
 // invoked *outside* the lock.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <mutex>
@@ -43,6 +44,13 @@ class StreamBus {
   /// Messages that found no subscriber.
   std::uint64_t missed() const;
   std::size_t subscriber_count() const;
+  /// On-wire payload bytes published in `format` messages (per-format
+  /// accounting: string vs JSON vs binary traffic through this bus).
+  std::uint64_t published_bytes(PayloadFormat format) const;
+  /// Payload bytes across all formats.
+  std::uint64_t published_bytes() const;
+  /// Message count published in `format` messages.
+  std::uint64_t published_count(PayloadFormat format) const;
 
  private:
   struct Subscription {
@@ -57,6 +65,8 @@ class StreamBus {
   std::uint64_t published_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t missed_ = 0;
+  std::array<std::uint64_t, kPayloadFormatCount> format_bytes_{};
+  std::array<std::uint64_t, kPayloadFormatCount> format_counts_{};
 };
 
 }  // namespace dlc::ldms

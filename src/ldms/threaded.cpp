@@ -4,10 +4,11 @@ namespace dlc::ldms {
 
 ThreadedForwarder::ThreadedForwarder(StreamBus& from, StreamBus& to,
                                      const std::string& tag,
-                                     std::size_t queue_capacity)
-    : to_(to), queue_(queue_capacity), from_(from) {
+                                     std::size_t queue_capacity,
+                                     std::size_t queue_capacity_bytes)
+    : to_(to), queue_(queue_capacity, queue_capacity_bytes), from_(from) {
   sub_id_ = from.subscribe(tag, [this](const StreamMessage& msg) {
-    if (!queue_.try_push(msg)) {
+    if (!queue_.try_push(msg, msg.payload.size())) {
       dropped_.fetch_add(1, std::memory_order_relaxed);
     }
   });
@@ -27,8 +28,10 @@ void ThreadedForwarder::stop() {
 void ThreadedForwarder::run() {
   while (auto msg = queue_.pop()) {
     ++msg->hops;
+    const std::size_t bytes = msg->payload.size();
     to_.publish(*msg);
     forwarded_.fetch_add(1, std::memory_order_relaxed);
+    forwarded_bytes_.fetch_add(bytes, std::memory_order_relaxed);
   }
 }
 

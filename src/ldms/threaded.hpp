@@ -19,9 +19,12 @@ namespace dlc::ldms {
 class ThreadedForwarder {
  public:
   /// Subscribes to `tag` on `from` and pushes matching messages to `to`
-  /// from a dedicated worker thread.
+  /// from a dedicated worker thread.  `queue_capacity_bytes` additionally
+  /// caps the queued payload bytes (0 => unlimited) so batched frames and
+  /// tiny per-event messages compete for the same buffer budget.
   ThreadedForwarder(StreamBus& from, StreamBus& to, const std::string& tag,
-                    std::size_t queue_capacity = 65536);
+                    std::size_t queue_capacity = 65536,
+                    std::size_t queue_capacity_bytes = 0);
   ~ThreadedForwarder();
 
   ThreadedForwarder(const ThreadedForwarder&) = delete;
@@ -36,6 +39,10 @@ class ThreadedForwarder {
   std::uint64_t forwarded() const {
     return forwarded_.load(std::memory_order_relaxed);
   }
+  /// Payload bytes successfully published to the downstream bus.
+  std::uint64_t forwarded_bytes() const {
+    return forwarded_bytes_.load(std::memory_order_relaxed);
+  }
 
  private:
   void run();
@@ -44,6 +51,7 @@ class ThreadedForwarder {
   BoundedQueue<StreamMessage> queue_;
   std::atomic<std::uint64_t> dropped_{0};
   std::atomic<std::uint64_t> forwarded_{0};
+  std::atomic<std::uint64_t> forwarded_bytes_{0};
   SubscriptionId sub_id_;
   StreamBus& from_;
   std::thread worker_;

@@ -3,49 +3,70 @@
 // LDMS Streams is explicitly best-effort: "without a reconnect or resend for
 // delivery and does not cache its data".  The transport therefore uses
 // try_push (drop on overflow, counted) rather than blocking back-pressure.
+//
+// Capacity is two-dimensional: a count cap (always on) and an optional
+// byte cap for payload-weighted accounting — with batched wire frames a
+// message can be 16 KiB or 40 B, so item counts alone no longer describe
+// buffer pressure.  Each item carries a caller-supplied byte cost
+// (default 0, which only the count cap sees).
+//
+// Semantics of close(): pushes fail immediately, but items already queued
+// REMAIN POPPABLE — pop() drains the backlog before signalling
+// end-of-stream, and try_pop() keeps returning items.  Consumers rely on
+// this to flush in-flight messages during shutdown.
 #pragma once
 
+#include <cassert>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <utility>
 
 namespace dlc {
 
 template <typename T>
 class BoundedQueue {
  public:
-  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+  /// `capacity` caps the item count; `capacity_bytes` (0 = unlimited)
+  /// caps the summed per-item byte costs.  A capacity of 0 items means
+  /// every push fails — a valid "drop everything" configuration.
+  explicit BoundedQueue(std::size_t capacity, std::size_t capacity_bytes = 0)
+      : capacity_(capacity), capacity_bytes_(capacity_bytes) {}
 
-  /// Non-blocking push; returns false (and drops the item) when full.
-  bool try_push(T item) {
+  /// Non-blocking push; returns false (and drops the item) when full,
+  /// closed, or when `bytes` would exceed the byte cap.
+  bool try_push(T item, std::size_t bytes = 0) {
     {
       const std::scoped_lock lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;
-      items_.push_back(std::move(item));
+      if (capacity_bytes_ > 0 && bytes_ + bytes > capacity_bytes_) {
+        return false;
+      }
+      bytes_ += bytes;
+      items_.emplace_back(std::move(item), bytes);
     }
     cv_.notify_one();
     return true;
   }
 
-  /// Blocking pop; returns nullopt once the queue is closed and drained.
+  /// Blocking pop; returns nullopt once the queue is closed AND drained.
   std::optional<T> pop() {
     std::unique_lock lock(mutex_);
     cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
-    return item;
+    if (items_.empty()) {
+      assert(closed_);  // woken with nothing to pop => shutdown signal
+      return std::nullopt;
+    }
+    return take_front();
   }
 
-  /// Non-blocking pop.
+  /// Non-blocking pop; keeps draining after close().
   std::optional<T> try_pop() {
     const std::scoped_lock lock(mutex_);
     if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
-    return item;
+    return take_front();
   }
 
   /// Closes the queue; pending items remain poppable, pushes fail.
@@ -62,13 +83,30 @@ class BoundedQueue {
     return items_.size();
   }
 
+  /// Summed byte costs of the queued items.
+  std::size_t size_bytes() const {
+    const std::scoped_lock lock(mutex_);
+    return bytes_;
+  }
+
   std::size_t capacity() const { return capacity_; }
+  std::size_t capacity_bytes() const { return capacity_bytes_; }
 
  private:
+  // Callers hold mutex_.
+  T take_front() {
+    auto [item, bytes] = std::move(items_.front());
+    items_.pop_front();
+    bytes_ -= bytes;
+    return std::move(item);
+  }
+
   const std::size_t capacity_;
+  const std::size_t capacity_bytes_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<T> items_;
+  std::deque<std::pair<T, std::size_t>> items_;
+  std::size_t bytes_ = 0;
   bool closed_ = false;
 };
 

@@ -1,0 +1,62 @@
+#include "wire/batcher.hpp"
+
+#include <utility>
+
+namespace dlc::wire {
+
+StreamBatcher::StreamBatcher(EncodeContext ctx, BatchConfig config,
+                             FrameSink sink)
+    : encoder_(std::move(ctx)), config_(config), sink_(std::move(sink)) {}
+
+StreamBatcher::AddOutcome StreamBatcher::add(const darshan::IoEvent& e,
+                                             std::string_view producer,
+                                             SimTime now) {
+  AddOutcome outcome;
+  if (!encoder_.empty() && config_.max_delay > 0 &&
+      now - oldest_pending_ >= config_.max_delay) {
+    emit(FlushReason::kStale);
+    ++outcome.frames_emitted;
+  }
+  if (encoder_.empty()) oldest_pending_ = now;
+  const std::size_t before = encoder_.size_bytes();
+  encoder_.add(e, producer);
+  outcome.bytes_added = encoder_.size_bytes() - before;
+  ++stats_.events_added;
+  if (encoder_.event_count() >= config_.max_events) {
+    emit(FlushReason::kCountFull);
+    ++outcome.frames_emitted;
+  } else if (encoder_.size_bytes() >= config_.max_bytes) {
+    emit(FlushReason::kBytesFull);
+    ++outcome.frames_emitted;
+  }
+  return outcome;
+}
+
+void StreamBatcher::flush() {
+  if (encoder_.empty()) return;
+  emit(FlushReason::kExplicit);
+}
+
+void StreamBatcher::emit(FlushReason reason) {
+  const std::size_t events = encoder_.event_count();
+  std::string frame = encoder_.take_frame();
+  ++stats_.frames_flushed;
+  stats_.bytes_flushed += frame.size();
+  switch (reason) {
+    case FlushReason::kCountFull:
+      ++stats_.flush_count_full;
+      break;
+    case FlushReason::kBytesFull:
+      ++stats_.flush_bytes_full;
+      break;
+    case FlushReason::kStale:
+      ++stats_.flush_stale;
+      break;
+    case FlushReason::kExplicit:
+      ++stats_.flush_explicit;
+      break;
+  }
+  sink_(std::move(frame), events);
+}
+
+}  // namespace dlc::wire

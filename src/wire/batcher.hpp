@@ -1,0 +1,87 @@
+// StreamBatcher: coalesces per-event records into per-route frames.
+//
+// LASSi-style aggregation before transport: instead of one stream message
+// per I/O event, the publisher accumulates events into a FrameEncoder and
+// emits whole frames, so every downstream daemon forwards O(batches)
+// messages instead of O(events).  Three flush triggers:
+//
+//   * count  — the frame holds max_events events,
+//   * bytes  — the encoded frame reached max_bytes,
+//   * delay  — the oldest pending event is older than max_delay (checked
+//              lazily at the next add(); the virtual-time pipeline has no
+//              wall-clock timers, so callers that need a hard latency
+//              bound spawn a periodic engine task calling flush()),
+//
+// plus an explicit flush() for job end — darshan's shutdown hook — so the
+// tail of a run is never stranded in a half-full frame.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "wire/codec.hpp"
+
+namespace dlc::wire {
+
+struct BatchConfig {
+  /// Events per frame before a count flush.
+  std::size_t max_events = 64;
+  /// Encoded frame bytes before a size flush.
+  std::size_t max_bytes = 16 * 1024;
+  /// Max age of the oldest pending event before a staleness flush
+  /// (0 disables the check).
+  SimDuration max_delay = 100 * kMillisecond;
+};
+
+struct BatcherStats {
+  std::uint64_t events_added = 0;
+  std::uint64_t frames_flushed = 0;
+  std::uint64_t bytes_flushed = 0;
+  std::uint64_t flush_count_full = 0;
+  std::uint64_t flush_bytes_full = 0;
+  std::uint64_t flush_stale = 0;
+  std::uint64_t flush_explicit = 0;
+};
+
+/// Receives each finished frame and its event count (for accounting).
+using FrameSink = std::function<void(std::string frame, std::size_t events)>;
+
+class StreamBatcher {
+ public:
+  StreamBatcher(EncodeContext ctx, BatchConfig config, FrameSink sink);
+
+  /// What one add() did — lets callers charge per-event encode cost and
+  /// per-flush publish cost without peeking inside the encoder.
+  struct AddOutcome {
+    /// Encoded bytes this event appended to the pending frame.
+    std::size_t bytes_added = 0;
+    /// Frames handed to the sink during this call (0, 1 or 2: a stale
+    /// flush of the previous frame, then a count/size flush).
+    std::size_t frames_emitted = 0;
+  };
+
+  /// Adds one event; `now` is the publisher's current virtual time (used
+  /// for the staleness check).
+  AddOutcome add(const darshan::IoEvent& e, std::string_view producer,
+                 SimTime now);
+
+  /// Emits the pending frame, if any (job end / shutdown).
+  void flush();
+
+  std::size_t pending_events() const { return encoder_.event_count(); }
+  const BatcherStats& stats() const { return stats_; }
+  const BatchConfig& config() const { return config_; }
+
+ private:
+  enum class FlushReason { kCountFull, kBytesFull, kStale, kExplicit };
+  void emit(FlushReason reason);
+
+  FrameEncoder encoder_;
+  BatchConfig config_;
+  FrameSink sink_;
+  BatcherStats stats_;
+  SimTime oldest_pending_ = 0;
+};
+
+}  // namespace dlc::wire

@@ -1,0 +1,208 @@
+#include "wire/codec.hpp"
+
+#include "wire/varint.hpp"
+
+namespace dlc::wire {
+
+namespace {
+
+// Per-event flag bits.  `type` (MET/MOD) and the off/len validity are
+// derived from the op byte exactly like the JSON path derives them, so
+// they need no bits here.
+constexpr std::uint8_t kHasFile = 1u << 0;
+constexpr std::uint8_t kHasH5 = 1u << 1;
+constexpr std::uint8_t kHasDataSet = 1u << 2;
+
+bool h5_traced(const darshan::Hdf5Info& h5) {
+  return h5.pt_sel != -1 || h5.irreg_hslab != -1 || h5.reg_hslab != -1 ||
+         h5.ndims != -1 || h5.npoints != -1;
+}
+
+/// Reads one interning-table reference: an id equal to the table size
+/// introduces a new string (definition follows inline); a smaller id
+/// references an earlier one; anything else is malformed.
+bool read_interned(Reader& r, std::vector<std::string>& table,
+                   std::string& out) {
+  const std::uint64_t id = r.varint();
+  if (!r.ok()) return false;
+  if (id == table.size()) {
+    const std::string_view s = r.string();
+    if (!r.ok()) return false;
+    table.emplace_back(s);
+    out = table.back();
+    return true;
+  }
+  if (id < table.size()) {
+    out = table[static_cast<std::size_t>(id)];
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+FrameEncoder::FrameEncoder(EncodeContext ctx) : ctx_(std::move(ctx)) {
+  begin_frame();
+}
+
+void FrameEncoder::begin_frame() {
+  buf_.clear();
+  intern_ids_.clear();
+  event_count_ = 0;
+  prev_end_ = 0;
+  buf_.push_back(kFrameMagic);
+  buf_.push_back(static_cast<char>(kFrameVersion));
+  put_varint(buf_, ctx_.uid);
+  put_varint(buf_, ctx_.job_id);
+  put_double(buf_, ctx_.epoch_seconds);
+  put_string(buf_, ctx_.exe);
+}
+
+void FrameEncoder::put_interned(std::string_view s) {
+  const auto [it, inserted] =
+      intern_ids_.try_emplace(std::string(s), intern_ids_.size());
+  put_varint(buf_, it->second);
+  if (inserted) put_string(buf_, s);
+}
+
+void FrameEncoder::add(const darshan::IoEvent& e, std::string_view producer) {
+  const bool is_meta = e.op == darshan::Op::kOpen;
+  const bool data_op =
+      e.op == darshan::Op::kRead || e.op == darshan::Op::kWrite;
+  std::uint8_t flags = 0;
+  if (is_meta && e.file_path) flags |= kHasFile;
+  if (h5_traced(e.h5)) flags |= kHasH5;
+  if (!e.h5.data_set.empty()) flags |= kHasDataSet;
+
+  buf_.push_back(static_cast<char>(flags));
+  buf_.push_back(static_cast<char>(e.module));
+  buf_.push_back(static_cast<char>(e.op));
+  put_zigzag(buf_, e.rank);
+  put_varint(buf_, e.record_id);
+  put_interned(producer);
+  if (flags & kHasFile) put_interned(*e.file_path);
+  put_zigzag(buf_, e.max_byte);
+  put_zigzag(buf_, e.switches);
+  put_zigzag(buf_, e.flushes);
+  put_zigzag(buf_, e.cnt);
+  if (data_op) {
+    put_varint(buf_, e.offset);
+    put_varint(buf_, e.length);
+  }
+  put_zigzag(buf_, e.end - e.start);
+  put_zigzag(buf_, e.end - prev_end_);
+  prev_end_ = e.end;
+  if (flags & kHasH5) {
+    put_zigzag(buf_, e.h5.pt_sel);
+    put_zigzag(buf_, e.h5.irreg_hslab);
+    put_zigzag(buf_, e.h5.reg_hslab);
+    put_zigzag(buf_, e.h5.ndims);
+    put_zigzag(buf_, e.h5.npoints);
+  }
+  if (flags & kHasDataSet) put_interned(e.h5.data_set);
+  ++event_count_;
+}
+
+std::string FrameEncoder::take_frame() {
+  std::string frame = std::move(buf_);
+  begin_frame();
+  return frame;
+}
+
+bool looks_like_frame(std::string_view payload) {
+  return payload.size() >= 2 && payload[0] == kFrameMagic &&
+         static_cast<std::uint8_t>(payload[1]) == kFrameVersion;
+}
+
+std::vector<dsos::Object> decode_frame(const dsos::SchemaPtr& schema,
+                                       std::string_view payload) {
+  std::vector<dsos::Object> out;
+  if (!looks_like_frame(payload)) return out;
+  Reader r(payload);
+  r.byte();  // magic
+  r.byte();  // version
+  const std::uint64_t uid = r.varint();
+  const std::uint64_t job_id = r.varint();
+  const double epoch_seconds = r.raw_double();
+  const std::string exe{r.string()};
+  if (!r.ok()) return out;
+
+  std::vector<std::string> table;
+  SimTime prev_end = 0;
+  while (r.ok() && !r.done()) {
+    const std::uint8_t flags = r.byte();
+    const std::uint8_t module_byte = r.byte();
+    const std::uint8_t op_byte = r.byte();
+    if (!r.ok() || module_byte >= darshan::kModuleCount ||
+        op_byte >= darshan::kOpCount) {
+      return {};
+    }
+    const auto op = static_cast<darshan::Op>(op_byte);
+    const bool is_meta = op == darshan::Op::kOpen;
+    const bool data_op =
+        op == darshan::Op::kRead || op == darshan::Op::kWrite;
+
+    const std::int64_t rank = r.zigzag();
+    const std::uint64_t record_id = r.varint();
+    std::string producer, file = "N/A", data_set = "N/A";
+    if (!read_interned(r, table, producer)) return {};
+    if ((flags & kHasFile) && !read_interned(r, table, file)) return {};
+    const std::int64_t max_byte = r.zigzag();
+    const std::int64_t switches = r.zigzag();
+    const std::int64_t flushes = r.zigzag();
+    const std::int64_t cnt = r.zigzag();
+    std::int64_t off = -1, len = -1;
+    if (data_op) {
+      off = static_cast<std::int64_t>(r.varint());
+      len = static_cast<std::int64_t>(r.varint());
+    }
+    const SimDuration dur = r.zigzag();
+    const SimTime end = prev_end + r.zigzag();
+    prev_end = end;
+    std::int64_t pt_sel = -1, irreg = -1, reg = -1, ndims = -1, npoints = -1;
+    if (flags & kHasH5) {
+      pt_sel = r.zigzag();
+      irreg = r.zigzag();
+      reg = r.zigzag();
+      ndims = r.zigzag();
+      npoints = r.zigzag();
+    }
+    if ((flags & kHasDataSet) && !read_interned(r, table, data_set)) return {};
+    if (!r.ok()) return {};
+
+    // Fig. 3 column order, matching core::decode_message exactly.
+    std::vector<dsos::Value> values;
+    values.reserve(schema->attrs().size());
+    values.emplace_back(
+        std::string(darshan::module_name(static_cast<darshan::Module>(
+            module_byte))));
+    values.emplace_back(uid);
+    values.emplace_back(producer);
+    values.emplace_back(switches);
+    values.emplace_back(file);
+    values.emplace_back(rank);
+    values.emplace_back(flushes);
+    values.emplace_back(record_id);
+    values.emplace_back(is_meta ? exe : std::string("N/A"));
+    values.emplace_back(max_byte);
+    values.emplace_back(std::string(is_meta ? "MET" : "MOD"));
+    values.emplace_back(job_id);
+    values.emplace_back(std::string(darshan::op_name(op)));
+    values.emplace_back(cnt);
+    values.emplace_back(off);
+    values.emplace_back(pt_sel);
+    values.emplace_back(to_seconds(dur));
+    values.emplace_back(len);
+    values.emplace_back(ndims);
+    values.emplace_back(reg);
+    values.emplace_back(irreg);
+    values.emplace_back(data_set);
+    values.emplace_back(npoints);
+    values.emplace_back(epoch_seconds + to_seconds(end));
+    out.push_back(dsos::make_object(schema, std::move(values)));
+  }
+  if (!r.ok()) return {};
+  return out;
+}
+
+}  // namespace dlc::wire

@@ -1,0 +1,100 @@
+// Compact binary event codec for connector messages.
+//
+// The paper's connector formats one JSON message per I/O event; Table II
+// attributes its runtime overhead largely to that formatting, and the
+// paper lists reducing message size as future work.  This codec is that
+// future work: a binary *frame* carrying one or more events with
+//
+//   * varint/zigzag integers (the -1 sentinels cost one byte, not "-1"
+//     plus a JSON key),
+//   * delta-encoded timestamps (events in a frame are near each other on
+//     the virtual timeline, so deltas are small),
+//   * a per-frame string-interning table (module/op/producer/file/exe
+//     strings are sent once per frame and referenced by id thereafter),
+//   * MET→MOD metadata elision mirroring the JSON path: only `open`
+//     events carry exe/file; every other event decodes to the same "N/A"
+//     placeholders the JSON decoder produces.
+//
+// Frames are fully self-contained: the interning table never spans
+// frames.  LDMS Streams is best-effort — a frame can be dropped in
+// transit — so any cross-frame decoder state would corrupt every frame
+// after the first loss.  Batching (see batcher.hpp) is what amortises the
+// table across many events.
+//
+// The decoder reconstructs exactly the `dsos::Object` rows (Fig. 3 column
+// order) that the JSON path produces, except that `seg_dur` and
+// `seg_timestamp` are *more* precise: the JSON writer prints doubles with
+// six fractional digits while the frame carries exact nanosecond integers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "darshan/events.hpp"
+#include "dsos/schema.hpp"
+#include "util/time.hpp"
+
+namespace dlc::wire {
+
+/// Frame header constants.
+inline constexpr char kFrameMagic = 'W';
+inline constexpr std::uint8_t kFrameVersion = 1;
+
+/// Static per-job metadata shared by every event in a frame; written once
+/// in the frame header (the binary analogue of the JSON "MET" fields that
+/// never change over a job).
+struct EncodeContext {
+  std::uint64_t uid = 0;
+  std::uint64_t job_id = 0;
+  std::string exe;
+  /// SimEpoch anchor used to turn virtual end times into epoch seconds.
+  double epoch_seconds = 0.0;
+};
+
+/// Builds one frame of encoded events.  Reusable: take_frame() returns the
+/// finished frame and resets the encoder (header, interning table, delta
+/// base) for the next one.
+class FrameEncoder {
+ public:
+  explicit FrameEncoder(EncodeContext ctx);
+
+  /// Appends one event.  `producer` is the publishing daemon's name
+  /// (Fig. 3 "ProducerName").
+  void add(const darshan::IoEvent& e, std::string_view producer);
+
+  std::size_t event_count() const { return event_count_; }
+  /// Size of the frame as encoded so far (header included).
+  std::size_t size_bytes() const { return buf_.size(); }
+  bool empty() const { return event_count_ == 0; }
+
+  /// Returns the finished frame and resets for the next one.
+  std::string take_frame();
+
+  const EncodeContext& context() const { return ctx_; }
+
+ private:
+  void begin_frame();
+  void put_interned(std::string_view s);
+
+  EncodeContext ctx_;
+  std::string buf_;
+  std::unordered_map<std::string, std::uint64_t> intern_ids_;
+  std::size_t event_count_ = 0;
+  SimTime prev_end_ = 0;
+};
+
+/// Decodes a frame into darshan_data objects, one per event, with the
+/// same attribute order and sentinel conventions as the JSON decode path.
+/// Returns empty on malformed or truncated input (best-effort transport:
+/// a bad frame is dropped whole, like a bad JSON message).
+std::vector<dsos::Object> decode_frame(const dsos::SchemaPtr& schema,
+                                       std::string_view payload);
+
+/// True when `payload` starts with a plausible frame header (cheap
+/// dispatch check for stores that see mixed traffic).
+bool looks_like_frame(std::string_view payload);
+
+}  // namespace dlc::wire

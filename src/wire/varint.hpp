@@ -1,0 +1,119 @@
+// Variable-length integer primitives for the binary wire format.
+//
+// LEB128-style base-128 varints for unsigned values; zigzag mapping for
+// signed values so the -1 sentinels that pepper connector messages cost a
+// single byte instead of ten.  The Reader tracks a sticky `ok` flag rather
+// than throwing: decode code reads a whole record unconditionally and
+// checks validity once at the end (the transport is best-effort, so a
+// truncated frame is an expected input, not an exception).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace dlc::wire {
+
+/// Appends `v` to `out` as a base-128 varint (1..10 bytes).
+inline void put_varint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+/// Zigzag-maps a signed value onto the unsigned varint space: 0, -1, 1,
+/// -2, ... encode as 0, 1, 2, 3, ...
+constexpr std::uint64_t zigzag_encode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+constexpr std::int64_t zigzag_decode(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+inline void put_zigzag(std::string& out, std::int64_t v) {
+  put_varint(out, zigzag_encode(v));
+}
+
+/// Appends a raw little-endian double (used only for the frame-header
+/// epoch anchor, where exactness beats compactness).
+inline void put_double(std::string& out, double v) {
+  char buf[sizeof(double)];
+  std::memcpy(buf, &v, sizeof(double));
+  out.append(buf, sizeof(double));
+}
+
+/// Appends a length-prefixed byte string.
+inline void put_string(std::string& out, std::string_view s) {
+  put_varint(out, s.size());
+  out.append(s.data(), s.size());
+}
+
+/// Bounds-checked cursor over an encoded buffer.  All getters return a
+/// neutral value once `ok()` is false; callers check `ok()` (and usually
+/// `done()`) after reading a full record.
+class Reader {
+ public:
+  explicit Reader(std::string_view buf)
+      : p_(buf.data()), end_(buf.data() + buf.size()) {}
+
+  bool ok() const { return ok_; }
+  bool done() const { return p_ == end_; }
+  std::size_t remaining() const { return static_cast<std::size_t>(end_ - p_); }
+
+  std::uint8_t byte() {
+    if (!ok_ || p_ == end_) return fail();
+    return static_cast<std::uint8_t>(*p_++);
+  }
+
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (ok_) {
+      if (p_ == end_ || shift > 63) return fail();
+      const auto b = static_cast<std::uint8_t>(*p_++);
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if (!(b & 0x80)) return v;
+      shift += 7;
+    }
+    return 0;
+  }
+
+  std::int64_t zigzag() { return zigzag_decode(varint()); }
+
+  double raw_double() {
+    if (!ok_ || remaining() < sizeof(double)) return fail();
+    double v;
+    std::memcpy(&v, p_, sizeof(double));
+    p_ += sizeof(double);
+    return v;
+  }
+
+  std::string_view string() {
+    const std::uint64_t n = varint();
+    if (!ok_ || n > remaining()) {
+      fail();
+      return {};
+    }
+    const std::string_view s(p_, static_cast<std::size_t>(n));
+    p_ += n;
+    return s;
+  }
+
+ private:
+  std::uint8_t fail() {
+    ok_ = false;
+    return 0;
+  }
+
+  const char* p_;
+  const char* end_;
+  bool ok_ = true;
+};
+
+}  // namespace dlc::wire

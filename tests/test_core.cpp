@@ -556,5 +556,38 @@ TEST(EnvConfig, ReportsUnparsableValues) {
   EXPECT_EQ(cfg.connector.sample_every_n, 1u);  // default kept
 }
 
+TEST(EnvConfig, ParsesWireFormatKnobs) {
+  EXPECT_EQ(connector_config_from_env(fake_env({})).connector.wire_format,
+            WireFormat::kJson);
+  const EnvConfig cfg = connector_config_from_env(fake_env({
+      {"DARSHAN_LDMS_WIRE_FORMAT", "binary_batched"},
+      {"DARSHAN_LDMS_BATCH_EVENTS", "128"},
+      {"DARSHAN_LDMS_BATCH_BYTES", "32768"},
+      {"DARSHAN_LDMS_BATCH_DELAY_US", "250"},
+  }));
+  EXPECT_TRUE(cfg.errors.empty());
+  EXPECT_EQ(cfg.connector.wire_format, WireFormat::kBinaryBatched);
+  EXPECT_EQ(cfg.connector.batch.max_events, 128u);
+  EXPECT_EQ(cfg.connector.batch.max_bytes, 32768u);
+  EXPECT_EQ(cfg.connector.batch.max_delay, 250 * kMicrosecond);
+
+  const EnvConfig plain = connector_config_from_env(
+      fake_env({{"DARSHAN_LDMS_WIRE_FORMAT", "binary"}}));
+  EXPECT_EQ(plain.connector.wire_format, WireFormat::kBinary);
+  EXPECT_EQ(wire_format_name(plain.connector.wire_format), "binary");
+}
+
+TEST(EnvConfig, ReportsBadWireFormatValues) {
+  const EnvConfig cfg = connector_config_from_env(fake_env({
+      {"DARSHAN_LDMS_WIRE_FORMAT", "protobuf"},
+      {"DARSHAN_LDMS_BATCH_EVENTS", "0"},
+      {"DARSHAN_LDMS_BATCH_BYTES", "-5"},
+      {"DARSHAN_LDMS_BATCH_DELAY_US", "soon"},
+  }));
+  EXPECT_EQ(cfg.errors.size(), 4u);
+  EXPECT_EQ(cfg.connector.wire_format, WireFormat::kJson);  // default kept
+  EXPECT_EQ(cfg.connector.batch.max_events, wire::BatchConfig{}.max_events);
+}
+
 }  // namespace
 }  // namespace dlc::core

@@ -235,6 +235,77 @@ TEST(Threaded, ForwardsAcrossRealThreads) {
   }
 }
 
+TEST(Threaded, SaturationConservesMessagesAcrossProducers) {
+  // Many producers hammer a deliberately tiny queue while the worker
+  // drains concurrently.  Whatever the interleaving: every published
+  // message is either forwarded exactly once or counted dropped — no
+  // loss without accounting, no duplication.
+  StreamBus from, to;
+  std::atomic<std::uint64_t> received{0};
+  to.subscribe("t", [&](const StreamMessage&) {
+    received.fetch_add(1, std::memory_order_relaxed);
+  });
+  constexpr std::size_t kProducers = 4;
+  constexpr std::uint64_t kPerProducer = 5'000;
+  {
+    ThreadedForwarder fwd(from, to, "t", /*queue_capacity=*/8);
+    std::vector<std::thread> producers;
+    for (std::size_t p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&from] {
+        for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+          from.publish(make_msg("t", "payload"));
+        }
+      });
+    }
+    for (auto& t : producers) t.join();
+    fwd.stop();
+    EXPECT_EQ(fwd.forwarded() + fwd.dropped(), kProducers * kPerProducer);
+    EXPECT_EQ(received.load(), fwd.forwarded());
+    EXPECT_GT(fwd.forwarded(), 0u);
+  }
+}
+
+TEST(Threaded, ByteCapacityBoundsQueuedPayload) {
+  StreamBus from, to;
+  std::atomic<std::uint64_t> received_bytes{0};
+  to.subscribe("t", [&](const StreamMessage& m) {
+    received_bytes.fetch_add(m.payload.size(), std::memory_order_relaxed);
+  });
+  constexpr std::size_t kPayload = 1024;
+  {
+    // Count cap is huge; only the 4 KiB byte cap can cause drops.
+    ThreadedForwarder fwd(from, to, "t", 1 << 20, 4 * kPayload);
+    for (int i = 0; i < 1000; ++i) {
+      from.publish(make_msg("t", std::string(kPayload, 'x')));
+    }
+    fwd.stop();
+    EXPECT_EQ(fwd.forwarded() + fwd.dropped(), 1000u);
+    EXPECT_EQ(fwd.forwarded_bytes(), received_bytes.load());
+    EXPECT_EQ(fwd.forwarded_bytes(), fwd.forwarded() * kPayload);
+  }
+}
+
+TEST(StreamBus, TracksPerFormatByteCounters) {
+  StreamBus bus;
+  StreamMessage m = make_msg("t", "12345678");  // 8 bytes
+  m.format = PayloadFormat::kJson;
+  bus.publish(m);
+  bus.publish(m);
+  m.format = PayloadFormat::kBinary;
+  m.payload = "123";  // 3 bytes
+  bus.publish(m);
+  m.format = PayloadFormat::kString;
+  m.payload = "1";
+  bus.publish(m);
+  EXPECT_EQ(bus.published_bytes(PayloadFormat::kJson), 16u);
+  EXPECT_EQ(bus.published_bytes(PayloadFormat::kBinary), 3u);
+  EXPECT_EQ(bus.published_bytes(PayloadFormat::kString), 1u);
+  EXPECT_EQ(bus.published_bytes(), 20u);
+  EXPECT_EQ(bus.published_count(PayloadFormat::kJson), 2u);
+  EXPECT_EQ(bus.published_count(PayloadFormat::kBinary), 1u);
+  EXPECT_EQ(bus.published_count(PayloadFormat::kString), 1u);
+}
+
 TEST(Threaded, ChainedHopsDeliverInOrder) {
   StreamBus a, b, c;
   std::vector<int> order;
@@ -321,6 +392,32 @@ TEST(Metrics, StopPredicateEndsSampling) {
   engine.run();
   EXPECT_EQ(sampler.samples_taken(), 5u);
   EXPECT_EQ(engine.unfinished_tasks(), 0u);
+}
+
+TEST(Metrics, BusBytesSamplerReportsWireSplit) {
+  dlc::sim::Engine engine;
+  LdmsDaemon daemon(&engine, "nid00001");
+  daemon.publish("t", PayloadFormat::kJson, "{\"k\":1}");   // 7 bytes
+  daemon.publish("t", PayloadFormat::kBinary, "Wxyz");      // 4 bytes
+  daemon.publish("t", PayloadFormat::kBinary, "Wab");       // 3 bytes
+  BusBytesSampler sampler(daemon);
+  EXPECT_EQ(sampler.set_name(), "darshan_stream_bytes");
+  ASSERT_EQ(sampler.metric_names().size(), 7u);
+  std::vector<double> out;
+  sampler.sample(0, out);
+  ASSERT_EQ(out.size(), sampler.metric_names().size());
+  const auto value_of = [&](const std::string& name) {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      if (sampler.metric_names()[i] == name) return out[i];
+    }
+    ADD_FAILURE() << "missing metric " << name;
+    return -1.0;
+  };
+  EXPECT_EQ(value_of("msgs_json"), 1.0);
+  EXPECT_EQ(value_of("msgs_binary"), 2.0);
+  EXPECT_EQ(value_of("bytes_json"), 7.0);
+  EXPECT_EQ(value_of("bytes_binary"), 7.0);
+  EXPECT_EQ(value_of("bytes_total"), 14.0);
 }
 
 TEST(Metrics, FromJsonRejectsGarbage) {

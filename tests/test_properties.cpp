@@ -7,8 +7,12 @@
 #include <memory>
 #include <tuple>
 
+#include <limits>
+#include <random>
+
 #include "core/connector.hpp"
 #include "core/decoder.hpp"
+#include "core/schema_darshan.hpp"
 #include "json/parser.hpp"
 #include "ldms/store.hpp"
 #include "sim/engine.hpp"
@@ -16,6 +20,7 @@
 #include "simfs/nfs.hpp"
 #include "simhpc/cluster.hpp"
 #include "simhpc/job.hpp"
+#include "wire/codec.hpp"
 
 namespace dlc {
 namespace {
@@ -263,6 +268,99 @@ TEST_P(QueueCapacityProperty, LossesShrinkWithCapacity) {
 INSTANTIATE_TEST_SUITE_P(Capacities, QueueCapacityProperty,
                          ::testing::Values(1, 4, 16, 63, 64, 128));
 
+// --------------------------------------- wire format round-trip fidelity ----
+
+// The JSON path (format_message -> decode_message) and the binary path
+// (FrameEncoder -> decode_frame) must produce identical darshan_data rows
+// for arbitrary event streams.  The only licensed difference: the JSON
+// writer prints seg_dur / seg_timestamp with six fractional digits while
+// the frame carries exact nanoseconds, so those two compare with a 1e-6
+// tolerance and everything else compares exactly.
+class WireRoundTripProperty : public ::testing::TestWithParam<std::uint32_t> {
+};
+
+TEST_P(WireRoundTripProperty, BinaryDecodesIdenticallyToJson) {
+  MessagePipeline p;
+  const SimEpoch epoch;
+  const auto schema = core::darshan_data_schema();
+  std::mt19937 rng(GetParam());
+
+  const std::vector<std::string> paths = {
+      "/fscratch/testFile", "/projects/run/output.h5",
+      "/fscratch/deep/nested/dir/checkpoint.0001.dat"};
+  std::uniform_int_distribution<int> coin(0, 1);
+  std::uniform_int_distribution<int> module_dist(0,
+                                                 darshan::kModuleCount - 1);
+  std::uniform_int_distribution<int> op_dist(0, darshan::kOpCount - 1);
+  std::uniform_int_distribution<std::int64_t> small(0, 1 << 20);
+  std::uniform_int_distribution<std::uint64_t> wide(
+      0, std::numeric_limits<std::uint64_t>::max() / 2);
+
+  wire::FrameEncoder encoder(
+      core::DarshanLdmsConnector::encode_context(*p.runtime, epoch));
+  json::Writer writer;
+  const std::size_t ranks = p.runtime->job().rank_count();
+
+  std::vector<dsos::Object> json_rows;
+  constexpr int kEvents = 200;
+  SimTime clock = 0;
+  for (int i = 0; i < kEvents; ++i) {
+    darshan::IoEvent e;
+    e.module = static_cast<darshan::Module>(module_dist(rng));
+    e.op = static_cast<darshan::Op>(op_dist(rng));
+    e.rank = static_cast<int>(wide(rng) % ranks);
+    e.record_id = wide(rng);
+    // Opens sometimes lack a resolvable path; both paths must then fall
+    // back to the "N/A" placeholder.
+    e.file_path = coin(rng) ? &paths[wide(rng) % paths.size()] : nullptr;
+    e.max_byte = coin(rng) ? -1 : small(rng);
+    e.switches = coin(rng) ? -1 : small(rng);
+    e.flushes = coin(rng) ? -1 : small(rng);
+    e.cnt = small(rng);
+    e.offset = wide(rng);
+    e.length = static_cast<std::uint64_t>(small(rng));
+    // Ranks interleave, so the per-frame timestamp deltas go both ways.
+    clock += small(rng) - (1 << 19);
+    e.end = clock;
+    e.start = e.end - small(rng);
+    if (coin(rng)) {
+      e.h5.pt_sel = small(rng);
+      e.h5.irreg_hslab = coin(rng) ? -1 : small(rng);
+      e.h5.reg_hslab = small(rng);
+      e.h5.ndims = small(rng) % 4;
+      e.h5.npoints = small(rng);
+    }
+    if (coin(rng)) e.h5.data_set = "/group/dset" + std::to_string(i % 3);
+
+    core::DarshanLdmsConnector::format_message(writer, e, *p.runtime, epoch);
+    auto decoded = core::decode_message(schema, writer.str());
+    ASSERT_EQ(decoded.size(), 1u) << writer.str();
+    json_rows.push_back(std::move(decoded[0]));
+
+    encoder.add(e, p.runtime->job().producer_name(
+                       static_cast<std::size_t>(e.rank)));
+  }
+
+  const auto binary_rows = wire::decode_frame(schema, encoder.take_frame());
+  ASSERT_EQ(binary_rows.size(), json_rows.size());
+  for (std::size_t i = 0; i < json_rows.size(); ++i) {
+    for (std::size_t a = 0; a < schema->attrs().size(); ++a) {
+      const auto& name = schema->attrs()[a].name;
+      const dsos::Value& jv = json_rows[i].at(a);
+      const dsos::Value& bv = binary_rows[i].at(a);
+      if (name == "seg_dur" || name == "seg_timestamp") {
+        EXPECT_NEAR(std::get<double>(jv), std::get<double>(bv), 1e-6)
+            << "event " << i << " attr " << name;
+      } else {
+        EXPECT_EQ(jv, bv) << "event " << i << " attr " << name;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireRoundTripProperty,
+                         ::testing::Values(1u, 42u, 2026u, 0xdecafu));
+
 }  // namespace
 }  // namespace dlc
 
@@ -372,6 +470,50 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<AppFsParam>& info) {
       return std::string(app_name(std::get<0>(info.param))) + "_" +
              std::string(simfs::fs_kind_name(std::get<1>(info.param)));
+    });
+
+// ----------------------------------------- wire format pipeline parity ----
+
+class WireFormatPipelineProperty
+    : public ::testing::TestWithParam<core::WireFormat> {};
+
+// The same workload must land the same rows in DSOS whichever wire format
+// carries them; only the message count and byte volume may differ.
+TEST_P(WireFormatPipelineProperty, SameRowsFewerBytesThroughFullPipeline) {
+  const auto run_with = [](core::WireFormat wf) {
+    exp::ExperimentSpec spec = exp::base_spec(simfs::FsKind::kNfs);
+    spec.node_count = 2;
+    spec.ranks_per_node = 2;
+    spec.decode_to_dsos = true;
+    spec.connector.wire_format = wf;
+    workloads::MpiIoTestConfig cfg;
+    cfg.iterations = 2;
+    cfg.block_size = 1 << 20;
+    spec.workload = workloads::mpi_io_test(cfg);
+    return exp::run_experiment(spec);
+  };
+
+  const exp::RunResult json = run_with(core::WireFormat::kJson);
+  const exp::RunResult r = run_with(GetParam());
+  EXPECT_EQ(r.events, json.events);
+  EXPECT_EQ(r.dropped, 0u);
+  ASSERT_TRUE(r.dsos != nullptr);
+  // Every event reaches storage as exactly one row in every mode.
+  EXPECT_EQ(r.dsos->total_objects(), r.events);
+  EXPECT_EQ(r.dsos->total_objects(), json.dsos->total_objects());
+  if (GetParam() == core::WireFormat::kBinaryBatched) {
+    EXPECT_LT(r.messages, r.events);  // frames coalesce events
+  } else {
+    EXPECT_EQ(r.messages, r.events);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Formats, WireFormatPipelineProperty,
+    ::testing::Values(core::WireFormat::kJson, core::WireFormat::kBinary,
+                      core::WireFormat::kBinaryBatched),
+    [](const ::testing::TestParamInfo<core::WireFormat>& info) {
+      return std::string(core::wire_format_name(info.param));
     });
 
 }  // namespace

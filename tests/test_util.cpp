@@ -338,6 +338,52 @@ TEST(Queue, CloseDrainsThenSignalsEnd) {
   EXPECT_FALSE(q.pop().has_value());
 }
 
+TEST(Queue, TryPopKeepsDrainingAfterClose) {
+  // Documented contract: close() fails new pushes immediately but leaves
+  // everything already queued poppable — shutdown must not lose messages.
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.try_push(i));
+  q.close();
+  EXPECT_FALSE(q.try_push(99));
+  for (int i = 0; i < 5; ++i) {
+    const auto v = q.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(q.try_pop().has_value());
+  EXPECT_FALSE(q.pop().has_value());  // closed and drained => end-of-stream
+}
+
+TEST(Queue, ZeroCapacityRejectsEverything) {
+  // capacity 0 is a valid "drop everything" configuration, not UB.
+  BoundedQueue<int> q(0);
+  EXPECT_FALSE(q.try_push(1));
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_FALSE(q.try_pop().has_value());
+  q.close();
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(Queue, ByteCapacityBindsIndependently) {
+  BoundedQueue<std::string> q(100, 10);
+  EXPECT_TRUE(q.try_push("aaaa", 4));
+  EXPECT_TRUE(q.try_push("bbbb", 4));
+  EXPECT_EQ(q.size_bytes(), 8u);
+  EXPECT_FALSE(q.try_push("cccc", 4));  // 12 > 10: byte cap binds
+  EXPECT_TRUE(q.try_push("cc", 2));     // exactly at the cap is fine
+  EXPECT_EQ(q.size_bytes(), 10u);
+  EXPECT_EQ(q.try_pop().value(), "aaaa");
+  EXPECT_EQ(q.size_bytes(), 6u);  // pops release their byte cost
+  EXPECT_TRUE(q.try_push("dddd", 4));
+}
+
+TEST(Queue, ZeroByteCapacityMeansUnlimited) {
+  BoundedQueue<std::string> q(4);
+  EXPECT_TRUE(q.try_push("x", 1 << 30));
+  EXPECT_TRUE(q.try_push("y", 1 << 30));
+  EXPECT_EQ(q.size(), 2u);
+}
+
 TEST(Queue, CrossThreadDelivery) {
   BoundedQueue<int> q(1024);
   std::thread producer([&] {

@@ -1,0 +1,555 @@
+// Tests for the binary wire codec and stream batcher (src/wire).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/decoder.hpp"
+#include "core/schema_darshan.hpp"
+#include "dsos/cluster.hpp"
+#include "ldms/daemon.hpp"
+#include "sim/engine.hpp"
+#include "wire/batcher.hpp"
+#include "wire/codec.hpp"
+#include "wire/varint.hpp"
+
+namespace dlc {
+namespace {
+
+// ------------------------------------------------------------- varints ----
+
+TEST(Varint, RoundTripEdgeValues) {
+  const std::uint64_t cases[] = {0,
+                                 1,
+                                 127,
+                                 128,
+                                 16383,
+                                 16384,
+                                 (1ull << 32) - 1,
+                                 1ull << 32,
+                                 std::numeric_limits<std::uint64_t>::max()};
+  for (const std::uint64_t v : cases) {
+    std::string buf;
+    wire::put_varint(buf, v);
+    wire::Reader r(buf);
+    EXPECT_EQ(r.varint(), v);
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(r.done());
+  }
+}
+
+TEST(Varint, SmallValuesAreOneByte) {
+  for (std::uint64_t v = 0; v < 128; ++v) {
+    std::string buf;
+    wire::put_varint(buf, v);
+    EXPECT_EQ(buf.size(), 1u);
+  }
+}
+
+TEST(Varint, ZigzagMapsSentinelsToOneByte) {
+  // The -1 sentinels that pepper connector messages must stay tiny.
+  for (const std::int64_t v : {0ll, -1ll, 1ll, -64ll, 63ll}) {
+    std::string buf;
+    wire::put_zigzag(buf, v);
+    EXPECT_EQ(buf.size(), 1u) << v;
+    wire::Reader r(buf);
+    EXPECT_EQ(r.zigzag(), v);
+  }
+}
+
+TEST(Varint, ZigzagRoundTripExtremes) {
+  const std::int64_t cases[] = {std::numeric_limits<std::int64_t>::min(),
+                                std::numeric_limits<std::int64_t>::max(),
+                                -1234567890123ll, 987654321ll};
+  for (const std::int64_t v : cases) {
+    EXPECT_EQ(wire::zigzag_decode(wire::zigzag_encode(v)), v);
+    std::string buf;
+    wire::put_zigzag(buf, v);
+    wire::Reader r(buf);
+    EXPECT_EQ(r.zigzag(), v);
+    EXPECT_TRUE(r.ok());
+  }
+}
+
+TEST(Varint, ReaderFailsOnTruncation) {
+  std::string buf;
+  wire::put_varint(buf, 300);  // two bytes
+  const std::string truncated = buf.substr(0, 1);
+  wire::Reader r(truncated);
+  r.varint();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Varint, ReaderFailsOnOverlongEncoding) {
+  // Eleven continuation bytes cannot be a valid 64-bit varint.
+  std::string buf(11, static_cast<char>(0x80));
+  wire::Reader r(buf);
+  r.varint();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Varint, ReaderStringAndDouble) {
+  std::string buf;
+  wire::put_string(buf, "hello");
+  wire::put_double(buf, 1656633600.25);
+  wire::Reader r(buf);
+  EXPECT_EQ(r.string(), "hello");
+  EXPECT_EQ(r.raw_double(), 1656633600.25);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Varint, ReaderFailureIsSticky) {
+  wire::Reader r(std::string_view{});
+  r.byte();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.varint(), 0u);
+  EXPECT_EQ(r.string(), "");
+  EXPECT_FALSE(r.ok());
+}
+
+// --------------------------------------------------------------- codec ----
+
+wire::EncodeContext test_context() {
+  wire::EncodeContext ctx;
+  ctx.uid = 99066;
+  ctx.job_id = 77;
+  ctx.exe = "/projects/ldms_darshan/mpi-io-test";
+  ctx.epoch_seconds = 1'656'633'600.0;
+  return ctx;
+}
+
+darshan::IoEvent make_event(darshan::Op op, SimTime end) {
+  darshan::IoEvent e;
+  e.module = darshan::Module::kPosix;
+  e.op = op;
+  e.rank = 3;
+  e.record_id = 9'184'815'607'937'547'264ull;
+  e.max_byte = -1;
+  e.switches = 0;
+  e.flushes = -1;
+  e.cnt = 1;
+  e.start = end - 5 * kMicrosecond;
+  e.end = end;
+  return e;
+}
+
+TEST(Codec, OpenEventCarriesMetadata) {
+  const std::string path = "/fscratch/testFile";
+  wire::FrameEncoder enc(test_context());
+  darshan::IoEvent e = make_event(darshan::Op::kOpen, kSecond);
+  e.file_path = &path;
+  enc.add(e, "nid00052");
+  const auto schema = core::darshan_data_schema();
+  const auto objs = wire::decode_frame(schema, enc.take_frame());
+  ASSERT_EQ(objs.size(), 1u);
+  const dsos::Object& o = objs[0];
+  EXPECT_EQ(o.as_string("module"), "POSIX");
+  EXPECT_EQ(o.as_uint("uid"), 99066u);
+  EXPECT_EQ(o.as_string("ProducerName"), "nid00052");
+  EXPECT_EQ(o.as_string("file"), path);
+  EXPECT_EQ(o.as_string("exe"), "/projects/ldms_darshan/mpi-io-test");
+  EXPECT_EQ(o.as_string("type"), "MET");
+  EXPECT_EQ(o.as_string("op"), "open");
+  EXPECT_EQ(o.as_uint("job_id"), 77u);
+  EXPECT_EQ(o.as_int("rank"), 3);
+  EXPECT_EQ(o.as_uint("record_id"), 9'184'815'607'937'547'264ull);
+  EXPECT_EQ(o.as_int("max_byte"), -1);
+  EXPECT_EQ(o.as_int("switches"), 0);
+  EXPECT_EQ(o.as_int("flushes"), -1);
+  EXPECT_EQ(o.as_int("cnt"), 1);
+  // Opens use the -1 off/len sentinels and the N/A HDF5 placeholders.
+  EXPECT_EQ(o.as_int("seg_off"), -1);
+  EXPECT_EQ(o.as_int("seg_len"), -1);
+  EXPECT_EQ(o.as_int("seg_ndims"), -1);
+  EXPECT_EQ(o.as_string("seg_data_set"), "N/A");
+  EXPECT_DOUBLE_EQ(o.as_double("seg_dur"), 5e-6);
+  EXPECT_DOUBLE_EQ(o.as_double("seg_timestamp"), 1'656'633'601.0);
+}
+
+TEST(Codec, ModEventsElideMetadata) {
+  const std::string path = "/fscratch/testFile";
+  wire::FrameEncoder enc(test_context());
+  darshan::IoEvent e = make_event(darshan::Op::kWrite, kSecond);
+  e.file_path = &path;  // present on the event, but only opens publish it
+  e.offset = 16'777'216;
+  e.length = 16'777'216;
+  enc.add(e, "nid00052");
+  const auto objs =
+      wire::decode_frame(core::darshan_data_schema(), enc.take_frame());
+  ASSERT_EQ(objs.size(), 1u);
+  EXPECT_EQ(objs[0].as_string("type"), "MOD");
+  EXPECT_EQ(objs[0].as_string("file"), "N/A");
+  EXPECT_EQ(objs[0].as_string("exe"), "N/A");
+  EXPECT_EQ(objs[0].as_int("seg_off"), 16'777'216);
+  EXPECT_EQ(objs[0].as_int("seg_len"), 16'777'216);
+}
+
+TEST(Codec, Hdf5FieldsSurviveRoundTrip) {
+  wire::FrameEncoder enc(test_context());
+  darshan::IoEvent e = make_event(darshan::Op::kRead, kSecond);
+  e.module = darshan::Module::kH5D;
+  e.offset = 0;
+  e.length = 4096;
+  e.h5.pt_sel = 2;
+  e.h5.irreg_hslab = 0;
+  e.h5.reg_hslab = 4;
+  e.h5.ndims = 3;
+  e.h5.npoints = 1'000'000;
+  e.h5.data_set = "/group/dataset0";
+  enc.add(e, "nid00001");
+  const auto objs =
+      wire::decode_frame(core::darshan_data_schema(), enc.take_frame());
+  ASSERT_EQ(objs.size(), 1u);
+  EXPECT_EQ(objs[0].as_string("module"), "H5D");
+  EXPECT_EQ(objs[0].as_int("seg_pt_sel"), 2);
+  EXPECT_EQ(objs[0].as_int("seg_irreg_hslab"), 0);
+  EXPECT_EQ(objs[0].as_int("seg_reg_hslab"), 4);
+  EXPECT_EQ(objs[0].as_int("seg_ndims"), 3);
+  EXPECT_EQ(objs[0].as_int("seg_npoints"), 1'000'000);
+  EXPECT_EQ(objs[0].as_string("seg_data_set"), "/group/dataset0");
+}
+
+TEST(Codec, MultiEventFramePreservesOrderAndTimestamps) {
+  wire::FrameEncoder enc(test_context());
+  const SimTime ends[] = {kSecond, kSecond + 250 * kMicrosecond,
+                          2 * kSecond, 2 * kSecond + 1};
+  for (const SimTime end : ends) {
+    darshan::IoEvent e = make_event(darshan::Op::kWrite, end);
+    e.offset = static_cast<std::uint64_t>(end);
+    e.length = 64;
+    enc.add(e, "nid00052");
+  }
+  EXPECT_EQ(enc.event_count(), 4u);
+  const auto objs =
+      wire::decode_frame(core::darshan_data_schema(), enc.take_frame());
+  ASSERT_EQ(objs.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(objs[i].as_double("seg_timestamp"),
+                     1'656'633'600.0 + to_seconds(ends[i]))
+        << i;
+    EXPECT_EQ(objs[i].as_int("seg_off"), static_cast<std::int64_t>(ends[i]));
+  }
+}
+
+TEST(Codec, InterningMakesRepeatedStringsCheap) {
+  const std::string path = "/fscratch/some/deeply/nested/path/testFile.dat";
+  wire::FrameEncoder enc(test_context());
+  darshan::IoEvent e = make_event(darshan::Op::kOpen, kSecond);
+  e.file_path = &path;
+  enc.add(e, "nid00052");
+  const std::size_t first = enc.size_bytes();
+  e.end += kMicrosecond;
+  e.start = e.end - kMicrosecond;
+  enc.add(e, "nid00052");
+  const std::size_t second = enc.size_bytes() - first;
+  // The second event back-references producer and file by id instead of
+  // re-sending the bytes.
+  EXPECT_LT(second + path.size(), first);
+  const auto objs =
+      wire::decode_frame(core::darshan_data_schema(), enc.take_frame());
+  ASSERT_EQ(objs.size(), 2u);
+  EXPECT_EQ(objs[1].as_string("file"), path);
+  EXPECT_EQ(objs[1].as_string("ProducerName"), "nid00052");
+}
+
+TEST(Codec, TakeFrameResetsEncoderState) {
+  wire::FrameEncoder enc(test_context());
+  enc.add(make_event(darshan::Op::kClose, 5 * kSecond), "nid00001");
+  const std::string f1 = enc.take_frame();
+  EXPECT_TRUE(enc.empty());
+  // The next frame must decode independently: fresh intern table, fresh
+  // timestamp delta base.
+  enc.add(make_event(darshan::Op::kClose, 7 * kSecond), "nid00001");
+  const std::string f2 = enc.take_frame();
+  const auto schema = core::darshan_data_schema();
+  const auto o1 = wire::decode_frame(schema, f1);
+  const auto o2 = wire::decode_frame(schema, f2);
+  ASSERT_EQ(o1.size(), 1u);
+  ASSERT_EQ(o2.size(), 1u);
+  EXPECT_DOUBLE_EQ(o1[0].as_double("seg_timestamp"), 1'656'633'605.0);
+  EXPECT_DOUBLE_EQ(o2[0].as_double("seg_timestamp"), 1'656'633'607.0);
+  EXPECT_EQ(o2[0].as_string("ProducerName"), "nid00001");
+}
+
+TEST(Codec, NegativeTimestampDeltasDecode) {
+  // Events from different ranks are not globally time-ordered; the delta
+  // base must handle end times that go backwards.
+  wire::FrameEncoder enc(test_context());
+  enc.add(make_event(darshan::Op::kClose, 5 * kSecond), "nid00001");
+  enc.add(make_event(darshan::Op::kClose, 2 * kSecond), "nid00002");
+  const auto objs =
+      wire::decode_frame(core::darshan_data_schema(), enc.take_frame());
+  ASSERT_EQ(objs.size(), 2u);
+  EXPECT_DOUBLE_EQ(objs[0].as_double("seg_timestamp"), 1'656'633'605.0);
+  EXPECT_DOUBLE_EQ(objs[1].as_double("seg_timestamp"), 1'656'633'602.0);
+}
+
+TEST(Codec, RejectsForeignAndCorruptPayloads) {
+  const auto schema = core::darshan_data_schema();
+  EXPECT_TRUE(wire::decode_frame(schema, "").empty());
+  EXPECT_TRUE(wire::decode_frame(schema, "{\"uid\": 99066}").empty());
+  EXPECT_FALSE(wire::looks_like_frame("{\"uid\": 99066}"));
+
+  wire::FrameEncoder enc(test_context());
+  enc.add(make_event(darshan::Op::kWrite, kSecond), "nid00001");
+  std::string frame = enc.take_frame();
+  EXPECT_TRUE(wire::looks_like_frame(frame));
+
+  std::string bad_magic = frame;
+  bad_magic[0] = 'X';
+  EXPECT_TRUE(wire::decode_frame(schema, bad_magic).empty());
+
+  std::string bad_version = frame;
+  bad_version[1] = 9;
+  EXPECT_TRUE(wire::decode_frame(schema, bad_version).empty());
+}
+
+TEST(Codec, RejectsOutOfRangeEnumBytes) {
+  // Hand-build a frame whose single event has an invalid module byte.
+  const auto ctx = test_context();
+  std::string buf;
+  buf.push_back(wire::kFrameMagic);
+  buf.push_back(static_cast<char>(wire::kFrameVersion));
+  wire::put_varint(buf, ctx.uid);
+  wire::put_varint(buf, ctx.job_id);
+  wire::put_double(buf, ctx.epoch_seconds);
+  wire::put_string(buf, ctx.exe);
+  const std::size_t header = buf.size();
+  buf.push_back(0);   // flags
+  buf.push_back(99);  // module: out of range
+  buf.push_back(3);   // op: close
+  EXPECT_TRUE(
+      wire::decode_frame(core::darshan_data_schema(), buf).empty());
+
+  // Same header, but the event references intern id 5 with an empty table.
+  buf.resize(header);
+  buf.push_back(0);  // flags
+  buf.push_back(0);  // module: POSIX
+  buf.push_back(3);  // op: close
+  wire::put_zigzag(buf, 0);  // rank
+  wire::put_varint(buf, 1);  // record_id
+  wire::put_varint(buf, 5);  // producer intern id: dangling
+  EXPECT_TRUE(
+      wire::decode_frame(core::darshan_data_schema(), buf).empty());
+}
+
+TEST(Codec, TruncatedFramesNeverYieldExtraRows) {
+  wire::FrameEncoder enc(test_context());
+  const std::string path = "/fscratch/testFile";
+  darshan::IoEvent open = make_event(darshan::Op::kOpen, kSecond);
+  open.file_path = &path;
+  enc.add(open, "nid00052");
+  darshan::IoEvent write = make_event(darshan::Op::kWrite, 2 * kSecond);
+  write.offset = 4096;
+  write.length = 4096;
+  enc.add(write, "nid00052");
+  const std::string frame = enc.take_frame();
+  const auto schema = core::darshan_data_schema();
+  ASSERT_EQ(wire::decode_frame(schema, frame).size(), 2u);
+  // Every strict prefix decodes to fewer rows (frames carry no event
+  // count, so a prefix ending exactly on an event boundary is simply a
+  // shorter valid frame) and must never crash or fabricate rows.
+  for (std::size_t n = 0; n < frame.size(); ++n) {
+    const auto objs = wire::decode_frame(schema, frame.substr(0, n));
+    EXPECT_LT(objs.size(), 2u) << "prefix length " << n;
+  }
+}
+
+// ------------------------------------------------------------- batcher ----
+
+struct SinkCapture {
+  std::vector<std::string> frames;
+  std::vector<std::size_t> counts;
+  wire::FrameSink sink() {
+    return [this](std::string frame, std::size_t events) {
+      frames.push_back(std::move(frame));
+      counts.push_back(events);
+    };
+  }
+  std::size_t total_events() const {
+    std::size_t n = 0;
+    for (const std::size_t c : counts) n += c;
+    return n;
+  }
+};
+
+TEST(Batcher, CountTriggeredFlush) {
+  SinkCapture cap;
+  wire::BatchConfig cfg;
+  cfg.max_events = 4;
+  cfg.max_delay = 0;
+  wire::StreamBatcher b(test_context(), cfg, cap.sink());
+  for (int i = 0; i < 10; ++i) {
+    const auto out =
+        b.add(make_event(darshan::Op::kWrite, (i + 1) * kMillisecond),
+              "nid00001", (i + 1) * kMillisecond);
+    EXPECT_GT(out.bytes_added, 0u);
+  }
+  EXPECT_EQ(cap.frames.size(), 2u);  // two full frames of four
+  EXPECT_EQ(cap.counts, (std::vector<std::size_t>{4, 4}));
+  EXPECT_EQ(b.pending_events(), 2u);
+  b.flush();
+  EXPECT_EQ(cap.frames.size(), 3u);
+  EXPECT_EQ(cap.counts.back(), 2u);
+  EXPECT_EQ(b.pending_events(), 0u);
+  b.flush();  // idempotent when empty
+  EXPECT_EQ(cap.frames.size(), 3u);
+  const auto& st = b.stats();
+  EXPECT_EQ(st.events_added, 10u);
+  EXPECT_EQ(st.flush_count_full, 2u);
+  EXPECT_EQ(st.flush_explicit, 1u);
+  EXPECT_EQ(cap.total_events(), st.events_added);
+}
+
+TEST(Batcher, ByteTriggeredFlush) {
+  SinkCapture cap;
+  wire::BatchConfig cfg;
+  cfg.max_events = 1 << 20;  // never the trigger
+  cfg.max_bytes = 128;
+  cfg.max_delay = 0;
+  wire::StreamBatcher b(test_context(), cfg, cap.sink());
+  for (int i = 0; i < 50; ++i) {
+    b.add(make_event(darshan::Op::kWrite, (i + 1) * kMillisecond), "nid00001",
+          (i + 1) * kMillisecond);
+  }
+  b.flush();
+  EXPECT_GT(b.stats().flush_bytes_full, 0u);
+  for (const std::string& f : cap.frames) {
+    EXPECT_LE(f.size(), 128u + 64u);  // one event past the limit at most
+  }
+  EXPECT_EQ(cap.total_events(), 50u);
+}
+
+TEST(Batcher, StaleFlushOnNextAdd) {
+  SinkCapture cap;
+  wire::BatchConfig cfg;
+  cfg.max_events = 1 << 20;
+  cfg.max_bytes = 1 << 20;
+  cfg.max_delay = 100 * kMillisecond;
+  wire::StreamBatcher b(test_context(), cfg, cap.sink());
+  b.add(make_event(darshan::Op::kWrite, 0), "nid00001", 0);
+  // Within the window: still pending.
+  b.add(make_event(darshan::Op::kWrite, 50 * kMillisecond), "nid00001",
+        50 * kMillisecond);
+  EXPECT_TRUE(cap.frames.empty());
+  // Past the window: the pending frame flushes before the new event opens
+  // a fresh one.
+  const auto out = b.add(make_event(darshan::Op::kWrite, kSecond), "nid00001",
+                         kSecond);
+  EXPECT_EQ(out.frames_emitted, 1u);
+  ASSERT_EQ(cap.counts.size(), 1u);
+  EXPECT_EQ(cap.counts[0], 2u);
+  EXPECT_EQ(b.pending_events(), 1u);
+  EXPECT_EQ(b.stats().flush_stale, 1u);
+}
+
+TEST(Batcher, EveryFlushedFrameDecodes) {
+  SinkCapture cap;
+  wire::BatchConfig cfg;
+  cfg.max_events = 7;
+  wire::StreamBatcher b(test_context(), cfg, cap.sink());
+  const std::string path = "/fscratch/batched";
+  for (int i = 0; i < 40; ++i) {
+    darshan::IoEvent e = make_event(
+        i % 10 == 0 ? darshan::Op::kOpen : darshan::Op::kWrite,
+        (i + 1) * kMillisecond);
+    if (e.op == darshan::Op::kOpen) e.file_path = &path;
+    b.add(e, "nid00001", e.end);
+  }
+  b.flush();
+  const auto schema = core::darshan_data_schema();
+  std::size_t decoded = 0;
+  for (std::size_t i = 0; i < cap.frames.size(); ++i) {
+    const auto objs = wire::decode_frame(schema, cap.frames[i]);
+    EXPECT_EQ(objs.size(), cap.counts[i]);
+    decoded += objs.size();
+  }
+  EXPECT_EQ(decoded, 40u);
+  EXPECT_EQ(b.stats().bytes_flushed, [&] {
+    std::size_t n = 0;
+    for (const auto& f : cap.frames) n += f.size();
+    return n;
+  }());
+}
+
+// ---------------------------------------------- decoder + daemon paths ----
+
+TEST(WireDecoder, BinaryFramesReachDsos) {
+  ldms::LdmsDaemon daemon(nullptr, "shirley");
+  dsos::ClusterConfig ccfg;
+  ccfg.shard_count = 2;
+  ccfg.parallel_query = false;
+  dsos::DsosCluster cluster(ccfg);
+  core::DarshanDecoder decoder(daemon, "darshanConnector", cluster);
+
+  wire::FrameEncoder enc(test_context());
+  for (int i = 0; i < 5; ++i) {
+    enc.add(make_event(darshan::Op::kWrite, (i + 1) * kSecond), "nid00001");
+  }
+  daemon.publish("darshanConnector", ldms::PayloadFormat::kBinary,
+                 enc.take_frame());
+  EXPECT_EQ(decoder.decoded(), 5u);
+  EXPECT_EQ(decoder.frames_decoded(), 1u);
+  EXPECT_EQ(decoder.malformed(), 0u);
+  EXPECT_EQ(cluster.total_objects(), 5u);
+
+  // A corrupt binary payload counts as malformed, like bad JSON.
+  daemon.publish("darshanConnector", ldms::PayloadFormat::kBinary, "Wgarbage");
+  EXPECT_EQ(decoder.malformed(), 1u);
+  EXPECT_EQ(cluster.total_objects(), 5u);
+}
+
+TEST(WireDecoder, MixedJsonAndBinaryTraffic) {
+  ldms::LdmsDaemon daemon(nullptr, "shirley");
+  dsos::ClusterConfig ccfg;
+  ccfg.shard_count = 1;
+  ccfg.parallel_query = false;
+  dsos::DsosCluster cluster(ccfg);
+  core::DarshanDecoder decoder(daemon, "t", cluster);
+
+  wire::FrameEncoder enc(test_context());
+  enc.add(make_event(darshan::Op::kClose, kSecond), "nid00001");
+  daemon.publish("t", ldms::PayloadFormat::kBinary, enc.take_frame());
+  daemon.publish(
+      "t", ldms::PayloadFormat::kJson,
+      R"({"uid":1,"exe":"N/A","job_id":2,"rank":0,"ProducerName":"n1",)"
+      R"("file":"N/A","record_id":3,"module":"POSIX","type":"MOD",)"
+      R"("max_byte":-1,"switches":-1,"flushes":-1,"cnt":1,"op":"close",)"
+      R"("seg":[{"data_set":"N/A","pt_sel":-1,"irreg_hslab":-1,)"
+      R"("reg_hslab":-1,"ndims":-1,"npoints":-1,"off":-1,"len":-1,)"
+      R"("dur":0.5,"timestamp":1656633601.0}]})");
+  EXPECT_EQ(decoder.decoded(), 2u);
+  EXPECT_EQ(decoder.frames_decoded(), 1u);
+  EXPECT_EQ(cluster.total_objects(), 2u);
+}
+
+TEST(WireTransport, ByteCapacityDropsLargeBacklog) {
+  sim::Engine engine;
+  ldms::LdmsDaemon src(&engine, "src");
+  ldms::LdmsDaemon dst(&engine, "dst");
+  ldms::ForwardConfig cfg;
+  cfg.queue_capacity = 1 << 20;  // count cap never binds
+  cfg.queue_capacity_bytes = 20;
+  cfg.hop_latency = kSecond;  // slow drain => backlog
+  cfg.bandwidth_bytes_per_sec = 0;
+  src.add_forward("t", dst, cfg);
+  auto proc = [](ldms::LdmsDaemon& d) -> sim::Task<void> {
+    for (int i = 0; i < 6; ++i) {
+      d.publish("t", ldms::PayloadFormat::kString, std::string(8, 'x'));
+    }
+    co_return;
+  };
+  engine.spawn(proc(src));
+  engine.run();
+  // 8-byte payloads against a 20-byte cap: two fit, the rest drop.
+  EXPECT_EQ(src.forwarded(), 2u);
+  EXPECT_EQ(src.dropped(), 4u);
+  EXPECT_EQ(src.forwarded_bytes(), 16u);
+  EXPECT_LE(src.max_queue_bytes(), 20u);
+}
+
+}  // namespace
+}  // namespace dlc
