@@ -18,6 +18,7 @@ int main() {
   exp::ExperimentSpec spec = exp::sw4_spec(simfs::FsKind::kLustre);
   spec.job_id = 31337;
   spec.decode_to_dsos = true;
+  spec.sample_transport_health = true;  // drop/spool counters per daemon
   const exp::RunResult result = exp::run_experiment(spec);
   std::printf("sw4 job %llu: %.1fs, %llu events (%llu HDF5 dataset ops)\n",
               static_cast<unsigned long long>(spec.job_id), result.runtime_s,
@@ -63,7 +64,42 @@ int main() {
                 (out_dir / "sw4_throughput.gnuplot").c_str());
   }
 
-  // 4. A terminal preview of what the dashboard shows.
+  // 4. Transport-health panel: the per-daemon drop/spool counters sampled
+  // on the metrics path (series named "<channel>@<daemon>").
+  {
+    analysis::DataFrame health;
+    analysis::DataFrame::DoubleCol t_col, v_col;
+    analysis::DataFrame::StringCol series_col;
+    for (const analysis::TimeSeries& series : result.system_metrics) {
+      const auto at = series.name.find('@');
+      if (at == std::string::npos) continue;
+      const std::string channel = series.name.substr(0, at);
+      if (channel != "forwarded" && channel != "dropped" &&
+          channel != "outage_dropped" && channel != "spooled" &&
+          channel != "redelivered" && channel != "spool_depth") {
+        continue;
+      }
+      for (std::size_t i = 0; i < series.t.size(); ++i) {
+        t_col.push_back(series.t[i]);
+        v_col.push_back(series.v[i]);
+        series_col.push_back(series.name);
+      }
+    }
+    health.add_double_column("time_s", std::move(t_col));
+    health.add_double_column("value", std::move(v_col));
+    health.add_string_column("series", std::move(series_col));
+    std::ofstream out(out_dir / "sw4_transport_health.csv");
+    out << health.to_csv();
+    std::ofstream panel(out_dir / "sw4_transport_health_panel.json");
+    panel << analysis::grafana_panel_json(health, "time_s", "value", "series",
+                                          "sw4 transport health");
+    std::printf("wrote %s and %s (%zu health points)\n",
+                (out_dir / "sw4_transport_health.csv").c_str(),
+                (out_dir / "sw4_transport_health_panel.json").c_str(),
+                health.rows());
+  }
+
+  // 5. A terminal preview of what the dashboard shows.
   analysis::ScatterSeries w{'w', {}, {}}, r{'r', {}, {}};
   for (std::size_t i = 0; i < buckets.rows(); ++i) {
     auto& s = buckets.get_string(i, "op") == "write" ? w : r;

@@ -8,6 +8,8 @@
 
 #include "darshan/module.hpp"
 #include "json/writer.hpp"
+#include "relia/delivery.hpp"
+#include "relia/spool.hpp"
 #include "util/time.hpp"
 #include "wire/batcher.hpp"
 
@@ -77,6 +79,14 @@ struct ConnectorConfig {
   /// per-daemon StreamBatchers configured by `batch`).
   WireFormat wire_format = WireFormat::kJson;
   wire::BatchConfig batch;
+  /// Transport delivery guarantee for connector traffic.  kBestEffort is
+  /// the paper's LDMS Streams (losses counted, never recovered);
+  /// kAtLeastOnce turns on per-route spooling + redelivery and seq-based
+  /// dedup at the decoder (env DARSHAN_LDMS_DELIVERY).
+  relia::DeliveryMode delivery = relia::DeliveryMode::kBestEffort;
+  /// Spool sizing for kAtLeastOnce routes
+  /// (env DARSHAN_LDMS_SPOOL_{MSGS,BYTES}).
+  relia::SpoolConfig spool;
   /// Publish every n-th event per rank (1 = every event).  This is the
   /// paper's proposed future-work mitigation, implemented here.
   /// `open` and `close` events are always published: they carry the MET

@@ -86,8 +86,11 @@ std::string to_csv_row(const dsos::Object& obj) {
 }
 
 DarshanDecoder::DarshanDecoder(ldms::LdmsDaemon& daemon, const std::string& tag,
-                               dsos::DsosCluster& cluster)
-    : schema_(darshan_data_schema()), cluster_(cluster) {
+                               dsos::DsosCluster& cluster,
+                               bool dedup_redelivered)
+    : schema_(darshan_data_schema()),
+      cluster_(cluster),
+      dedup_redelivered_(dedup_redelivered) {
   cluster_.register_schema(schema_);
   daemon.bus().subscribe(tag, [this](const ldms::StreamMessage& msg) {
     on_message(msg);
@@ -95,6 +98,12 @@ DarshanDecoder::DarshanDecoder(ldms::LdmsDaemon& daemon, const std::string& tag,
 }
 
 void DarshanDecoder::on_message(const ldms::StreamMessage& msg) {
+  const auto observed = tracker_.observe(msg.producer, msg.seq);
+  if (observed == relia::SequenceTracker::Observe::kDuplicate &&
+      dedup_redelivered_) {
+    ++duplicates_dropped_;  // at-least-once redelivery; already ingested
+    return;
+  }
   std::vector<dsos::Object> objects;
   if (msg.format == ldms::PayloadFormat::kJson) {
     objects = decode_message(schema_, msg.payload);

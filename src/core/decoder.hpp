@@ -3,6 +3,14 @@
 // Fig. 3) or binary wire frames (one row per encoded event) — and ingests
 // the rows into a DSOS cluster.  Both paths produce identical rows; see
 // wire/codec.hpp and the round-trip property test.
+//
+// Delivery accounting: every arrival runs through a relia::SequenceTracker
+// keyed on (producer, publish seq), making the historical in-order,
+// exactly-once assumption explicit.  Out-of-order arrivals decode fine
+// (rows are self-contained; frames never share decoder state), duplicates
+// are counted always and *dropped before ingest* only when dedup is
+// enabled — which the pipeline does whenever the transport runs
+// at-least-once, since redelivery is exactly what creates duplicates.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +21,7 @@
 #include "dsos/cluster.hpp"
 #include "ldms/daemon.hpp"
 #include "ldms/message.hpp"
+#include "relia/seq.hpp"
 
 namespace dlc::core {
 
@@ -28,8 +37,11 @@ std::string to_csv_row(const dsos::Object& obj);
 /// `cluster`.  Owns nothing; keep alive while messages flow.
 class DarshanDecoder {
  public:
+  /// `dedup_redelivered` drops messages whose (producer, seq) was already
+  /// ingested — required under at-least-once transport, harmless (but
+  /// wrong for unsequenced traffic, hence opt-in) under best-effort.
   DarshanDecoder(ldms::LdmsDaemon& daemon, const std::string& tag,
-                 dsos::DsosCluster& cluster);
+                 dsos::DsosCluster& cluster, bool dedup_redelivered = false);
 
   /// Rows ingested (one per JSON seg entry / binary frame event).
   std::uint64_t decoded() const { return decoded_; }
@@ -37,14 +49,23 @@ class DarshanDecoder {
   /// Binary frames among the decoded messages.
   std::uint64_t frames_decoded() const { return frames_decoded_; }
 
+  /// Messages dropped as redelivered duplicates (0 unless dedup is on).
+  std::uint64_t duplicates_dropped() const { return duplicates_dropped_; }
+  /// Per-producer loss/reorder/duplicate accounting over every sequenced
+  /// arrival (tracked in both modes).
+  const relia::SequenceTracker& tracker() const { return tracker_; }
+
  private:
   void on_message(const ldms::StreamMessage& msg);
 
   dsos::SchemaPtr schema_;
   dsos::DsosCluster& cluster_;
+  bool dedup_redelivered_;
+  relia::SequenceTracker tracker_;
   std::uint64_t decoded_ = 0;
   std::uint64_t malformed_ = 0;
   std::uint64_t frames_decoded_ = 0;
+  std::uint64_t duplicates_dropped_ = 0;
 };
 
 }  // namespace dlc::core

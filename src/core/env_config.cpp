@@ -116,6 +116,27 @@ EnvConfig connector_config_from_env(const EnvGetter& getenv_fn) {
       cfg.errors.push_back(std::string("DARSHAN_LDMS_MIN_INTERVAL_US=") + v);
     }
   }
+  if (const char* v = get("DARSHAN_LDMS_DELIVERY")) {
+    if (!relia::delivery_mode_from_name(v, cfg.connector.delivery)) {
+      cfg.errors.push_back(std::string("DARSHAN_LDMS_DELIVERY=") + v);
+    }
+  }
+  if (const char* v = get("DARSHAN_LDMS_SPOOL_MSGS")) {
+    std::uint64_t n;
+    if (parse_u64(v, n) && n >= 1) {
+      cfg.connector.spool.max_msgs = static_cast<std::size_t>(n);
+    } else {
+      cfg.errors.push_back(std::string("DARSHAN_LDMS_SPOOL_MSGS=") + v);
+    }
+  }
+  if (const char* v = get("DARSHAN_LDMS_SPOOL_BYTES")) {
+    std::uint64_t n;
+    if (parse_u64(v, n)) {
+      cfg.connector.spool.max_bytes = static_cast<std::size_t>(n);
+    } else {
+      cfg.errors.push_back(std::string("DARSHAN_LDMS_SPOOL_BYTES=") + v);
+    }
+  }
   if (const char* v = get("DARSHAN_LDMS_MODULES")) {
     for (const std::string& part : split(v, ',')) {
       const std::string name(trim(part));

@@ -14,6 +14,10 @@
 //   DARSHAN_LDMS_SAMPLE_N    publish every n-th event (>= 1)
 //   DARSHAN_LDMS_MIN_INTERVAL_US  per-rank publish rate limit
 //   DARSHAN_LDMS_MODULES     comma list, e.g. "POSIX,MPIIO" (empty = all)
+//   DARSHAN_LDMS_DELIVERY    best_effort | at_least_once
+//   DARSHAN_LDMS_SPOOL_MSGS  at-least-once spool bound, messages (>= 1)
+//   DARSHAN_LDMS_SPOOL_BYTES at-least-once spool bound, payload bytes
+//                            (0 = unlimited)
 #pragma once
 
 #include <functional>

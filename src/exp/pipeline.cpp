@@ -4,7 +4,9 @@
 #include <stdexcept>
 
 #include "exp/system_sampler.hpp"
+#include "ldms/fault_inject.hpp"
 #include "ldms/metrics.hpp"
+#include "relia/seq.hpp"
 #include "sim/engine.hpp"
 
 namespace dlc::exp {
@@ -47,7 +49,14 @@ RunResult run_experiment(const ExperimentSpec& spec) {
   darshan::Runtime runtime(engine, *fs, job, dcfg);
 
   // LDMS topology: one sampler daemon per allocated node, L1 aggregator on
-  // the head node, L2 aggregator on the analysis cluster.
+  // the head node, L2 aggregator on the analysis cluster.  The connector's
+  // delivery mode is carried onto every hop: at-least-once arms each
+  // forward route with a redelivery spool.
+  const bool at_least_once =
+      spec.connector.delivery == relia::DeliveryMode::kAtLeastOnce;
+  ldms::ForwardConfig transport = spec.transport;
+  transport.delivery = spec.connector.delivery;
+  if (at_least_once) transport.spool = spec.connector.spool;
   std::vector<std::unique_ptr<ldms::LdmsDaemon>> node_daemons;
   auto l1 = std::make_unique<ldms::LdmsDaemon>(&engine, "voltrino-head");
   auto l2 = std::make_unique<ldms::LdmsDaemon>(&engine, "shirley");
@@ -55,13 +64,41 @@ RunResult run_experiment(const ExperimentSpec& spec) {
   for (std::size_t n = 0; n < spec.node_count; ++n) {
     node_daemons.push_back(std::make_unique<ldms::LdmsDaemon>(
         &engine, cluster.node_name(n)));
-    node_daemons.back()->add_forward(tag, *l1, spec.transport);
+    node_daemons.back()->add_forward(tag, *l1, transport);
   }
-  l1->add_forward(tag, *l2, spec.transport);
+  l1->add_forward(tag, *l2, transport);
+
+  // Scripted transport faults, matched onto the topology by daemon name.
+  if (!spec.fault_plan.empty()) {
+    if (!spec.fault_plan.ok()) {
+      throw std::invalid_argument("experiment fault plan has parse errors: " +
+                                  spec.fault_plan.errors.front());
+    }
+    const auto unresolved = ldms::apply_fault_plan(
+        spec.fault_plan, [&](const std::string& name) -> ldms::LdmsDaemon* {
+          if (name == l1->name()) return l1.get();
+          if (name == l2->name()) return l2.get();
+          for (const auto& d : node_daemons) {
+            if (d->name() == name) return d.get();
+          }
+          return nullptr;
+        });
+    if (!unresolved.empty()) {
+      throw std::invalid_argument("fault plan names unknown daemon: " +
+                                  relia::to_string(unresolved.front()));
+    }
+  }
 
   // Terminal consumers on the analysis cluster.
   ldms::CountingStore counting;
   counting.attach(*l2, tag);
+  // Delivery accounting at the terminal aggregator: classify every
+  // arrival's (producer, seq) so loss and redelivery duplicates are
+  // measurable in both modes, decoder attached or not.
+  relia::SequenceTracker l2_tracker;
+  l2->bus().subscribe(tag, [&l2_tracker](const ldms::StreamMessage& msg) {
+    l2_tracker.observe(msg.producer, msg.seq);
+  });
   if (spec.live_subscriber) {
     l2->bus().subscribe(tag, spec.live_subscriber);
   }
@@ -77,7 +114,8 @@ RunResult run_experiment(const ExperimentSpec& spec) {
       ccfg.parallel_query = true;
       dsos_cluster = std::make_shared<dsos::DsosCluster>(ccfg);
     }
-    decoder = std::make_unique<core::DarshanDecoder>(*l2, tag, *dsos_cluster);
+    decoder = std::make_unique<core::DarshanDecoder>(*l2, tag, *dsos_cluster,
+                                                     at_least_once);
   }
 
   // System metric samplers: one per allocated node, publishing on the
@@ -85,13 +123,13 @@ RunResult run_experiment(const ExperimentSpec& spec) {
   // aggregator reassembles per-channel time series.
   std::vector<std::unique_ptr<ldms::MetricSampler>> samplers;
   std::map<std::string, analysis::TimeSeries> metric_series;
-  if (spec.sample_system_metrics) {
+  if (spec.sample_system_metrics || spec.sample_transport_health) {
     const std::string metrics_tag = "ldms-metrics";
     for (std::size_t n = 0; n < spec.node_count; ++n) {
-      node_daemons[n]->add_forward(metrics_tag, *l1, spec.transport);
+      node_daemons[n]->add_forward(metrics_tag, *l1, transport);
     }
     // (l1 -> l2 forward already covers the connector tag; add metrics.)
-    l1->add_forward(metrics_tag, *l2, spec.transport);
+    l1->add_forward(metrics_tag, *l2, transport);
     l2->bus().subscribe(metrics_tag, [&metric_series](
                                          const ldms::StreamMessage& msg) {
       ldms::MetricSample sample;
@@ -104,15 +142,30 @@ RunResult run_experiment(const ExperimentSpec& spec) {
         series.v.push_back(sample.values[i]);
       }
     });
-    for (std::size_t n = 0; n < spec.node_count; ++n) {
+    auto start_sampler = [&](ldms::LdmsDaemon& daemon,
+                             std::unique_ptr<ldms::SamplerPlugin> plugin) {
       auto sampler = std::make_unique<ldms::MetricSampler>(
-          engine, *node_daemons[n],
-          std::make_unique<SystemStateSampler>(variability,
-                                               spec.seed + 1000 + n),
-          spec.metric_interval, metrics_tag);
+          engine, daemon, std::move(plugin), spec.metric_interval,
+          metrics_tag);
       sampler->set_stop_predicate([&job] { return job.end_time() > 0; });
       sampler->start();
       samplers.push_back(std::move(sampler));
+    };
+    for (std::size_t n = 0; n < spec.node_count; ++n) {
+      if (spec.sample_system_metrics) {
+        start_sampler(*node_daemons[n],
+                      std::make_unique<SystemStateSampler>(
+                          variability, spec.seed + 1000 + n));
+      }
+      if (spec.sample_transport_health) {
+        start_sampler(*node_daemons[n], std::make_unique<
+                          ldms::TransportHealthSampler>(*node_daemons[n]));
+      }
+    }
+    if (spec.sample_transport_health) {
+      // The L1 aggregator's own health (its route to Shirley) rides the
+      // same metrics tag through its existing forward.
+      start_sampler(*l1, std::make_unique<ldms::TransportHealthSampler>(*l1));
     }
   }
 
@@ -155,10 +208,25 @@ RunResult run_experiment(const ExperimentSpec& spec) {
       result.runtime_s > 0
           ? static_cast<double>(result.messages) / result.runtime_s
           : 0.0;
-  for (const auto& d : node_daemons) result.dropped += d->dropped();
+  for (const auto& d : node_daemons) {
+    result.dropped += d->dropped();
+    result.transport_bytes += d->forwarded_bytes();
+    result.spooled += d->spooled();
+    result.redelivered += d->redelivered();
+    result.spool_evicted += d->spool_evicted();
+  }
   result.dropped += l1->dropped();
+  result.transport_bytes += l1->forwarded_bytes();
+  result.spooled += l1->spooled();
+  result.redelivered += l1->redelivered();
+  result.spool_evicted += l1->spool_evicted();
   result.stored = counting.stored();
   result.mean_latency_s = counting.mean_latency_seconds();
+  const relia::SequenceTracker::ProducerStats seq_totals = l2_tracker.total();
+  result.seq_lost = seq_totals.lost();
+  result.duplicates_dropped =
+      decoder ? decoder->duplicates_dropped() : seq_totals.duplicates;
+  if (decoder) result.decoded_rows = decoder->decoded();
   result.dsos = dsos_cluster;
   result.darshan_log = runtime.finalize();
   for (auto& [key, series] : metric_series) {

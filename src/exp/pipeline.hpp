@@ -16,6 +16,7 @@
 #include "darshan/runtime.hpp"
 #include "dsos/cluster.hpp"
 #include "ldms/store.hpp"
+#include "relia/fault.hpp"
 #include "simfs/lustre.hpp"
 #include "simfs/nfs.hpp"
 #include "simhpc/cluster.hpp"
@@ -62,8 +63,17 @@ struct ExperimentSpec {
   /// Run the system-state metric sampler on every allocated node and
   /// collect the series (for I/O-vs-system correlation analyses).
   bool sample_system_metrics = false;
+  /// Run the transport-health sampler (drop/spool/redelivery counters) on
+  /// every node daemon and the L1 aggregator, collected like the system
+  /// metrics — the dashboard-visible loss accounting.
+  bool sample_transport_health = false;
   SimDuration metric_interval = 10 * kSecond;
   ldms::ForwardConfig transport;
+  /// Scripted transport faults (crash/partition/overflow/restart) applied
+  /// to the daemons by name; see relia/fault.hpp for the DSL.  Connector
+  /// delivery mode (spec.connector.delivery) decides whether the faults
+  /// lose events (best_effort) or only delay them (at_least_once).
+  relia::FaultPlan fault_plan;
 
   // --- cluster ----------------------------------------------------------
   simhpc::ClusterConfig cluster{.node_count = 24, .first_node_id = 40,
@@ -83,6 +93,20 @@ struct RunResult {
   std::uint64_t dropped = 0;   // transport drops (best-effort losses)
   std::uint64_t stored = 0;    // messages reaching the final store
   double mean_latency_s = 0.0; // publish -> store latency
+  /// Payload bytes handed to upstream buses across all hops (redelivery
+  /// overhead shows up here).
+  std::uint64_t transport_bytes = 0;
+  // --- delivery-guarantee accounting (at-least-once) --------------------
+  std::uint64_t spooled = 0;       // messages retained for redelivery
+  std::uint64_t redelivered = 0;   // spool entries re-enqueued
+  std::uint64_t spool_evicted = 0; // spool overflow/abandonment losses
+  /// Rows ingested into DSOS (only when decode_to_dsos).
+  std::uint64_t decoded_rows = 0;
+  /// Messages the decoder dropped as redelivered duplicates.
+  std::uint64_t duplicates_dropped = 0;
+  /// Decoder-side estimate of messages published but never seen
+  /// (sequence gaps still open at job end).
+  std::uint64_t seq_lost = 0;
   double charged_s = 0.0;      // virtual time charged by the connector
   /// Populated when decode_to_dsos: the queryable event database.
   std::shared_ptr<dsos::DsosCluster> dsos;

@@ -3,22 +3,41 @@
 // Mirrors the paper's deployment: sampler daemons on compute nodes push
 // Darshan stream data one hop to the head-node aggregator, which pushes to
 // a second-level aggregator on the analysis cluster (Shirley) where the
-// storage plugin subscribes.  Forwarding is best-effort: each route has a
-// bounded in-flight queue; overflow drops the message and bumps a counter
-// (LDMS Streams has no resend).  Hop latency and per-byte transport cost
-// advance virtual time.
+// storage plugin subscribes.  Forwarding is best-effort by default: each
+// route has a bounded in-flight queue; overflow drops the message and
+// bumps a counter (LDMS Streams has no resend).  Hop latency and per-byte
+// transport cost advance virtual time.
+//
+// src/relia layers an optional at-least-once mode per route
+// (ForwardConfig::delivery): messages a down or full route cannot take
+// are retained in a bounded spool and redelivered by a reconnect prober
+// (exponential backoff + circuit breaker) once the route heals.
+// Deliveries made into an outage window are treated as
+// delivered-without-ack — the publisher cannot see across a partition —
+// so they are redelivered too and deduped downstream by sequence number
+// (every publish stamps a per-(producer, tag) seq; see relia/seq.hpp).
+//
+// Fault injection: daemon-wide outage windows (crash), per-route windows
+// (partition), forced enqueue rejections (queue overflow bursts) and
+// restarts that truncate a window in progress; fault_inject.hpp drives
+// these from a relia::FaultPlan.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "ldms/message.hpp"
 #include "ldms/stream_bus.hpp"
+#include "relia/delivery.hpp"
+#include "relia/reconnect.hpp"
+#include "relia/spool.hpp"
 #include "sim/engine.hpp"
 #include "sim/sync.hpp"
+#include "util/rng.hpp"
 
 namespace dlc::ldms {
 
@@ -34,6 +53,15 @@ struct ForwardConfig {
   SimDuration hop_latency = 50 * kMicrosecond;
   /// Transport bandwidth for the payload (bytes/sec); 0 => unmetered.
   double bandwidth_bytes_per_sec = 1.0 * 1024 * 1024 * 1024;
+  /// Delivery guarantee.  kBestEffort reproduces the paper's LDMS
+  /// Streams; kAtLeastOnce spools what the route cannot take and
+  /// redelivers after reconnect (requires an engine; inert without one).
+  relia::DeliveryMode delivery = relia::DeliveryMode::kBestEffort;
+  /// Spool bound for kAtLeastOnce (DARSHAN_LDMS_SPOOL_{MSGS,BYTES}).
+  relia::SpoolConfig spool;
+  /// Reconnect probing schedule for kAtLeastOnce.
+  relia::BackoffConfig backoff;
+  relia::BreakerConfig breaker;
 };
 
 class LdmsDaemon {
@@ -45,8 +73,9 @@ class LdmsDaemon {
   StreamBus& bus() { return bus_; }
   const StreamBus& bus() const { return bus_; }
 
-  /// ldms_stream_publish: stamps times/producer and delivers to the local
-  /// bus (whence forward routes pick it up).  Returns subscribers reached.
+  /// ldms_stream_publish: stamps times/producer/sequence and delivers to
+  /// the local bus (whence forward routes pick it up).  Returns
+  /// subscribers reached.
   std::size_t publish(std::string_view tag, PayloadFormat format,
                       std::string payload);
 
@@ -57,17 +86,35 @@ class LdmsDaemon {
   void add_forward(const std::string& tag, LdmsDaemon& upstream,
                    ForwardConfig config = {});
 
-  /// Failure injection: during [start, end) the daemon's forward routes
-  /// drop everything (aggregator crash / network partition).  Messages
-  /// already queued keep draining once the daemon recovers — queue
-  /// contents survive a transport outage, new arrivals do not (LDMS has
-  /// no reconnect/resend).
+  // --- fault injection --------------------------------------------------
+  /// Daemon crash: during [start, end) every forward route of this daemon
+  /// refuses new arrivals.  Best-effort drops them (LDMS has no
+  /// reconnect/resend); at-least-once spools them for redelivery.
+  /// Messages already queued keep draining — queue contents survive a
+  /// transport outage.  Windows accumulate; a FaultPlan may crash the
+  /// same daemon repeatedly.
+  void add_outage(SimTime start, SimTime end);
+  /// Replaces all outage windows with one (legacy single-window API).
   void set_outage(SimTime start, SimTime end);
-  bool in_outage() const;
-  std::uint64_t outage_dropped() const { return outage_dropped_; }
+  /// Operator restart at `t`: truncates any daemon-wide or route window
+  /// covering `t` (later scheduled windows are untouched).
+  void restart_at(SimTime t);
+  /// Network partition: only the route(s) toward `upstream` refuse new
+  /// arrivals during [start, end).
+  void add_route_outage(const std::string& upstream, SimTime start,
+                        SimTime end);
+  /// Forces the next `count` enqueues on this daemon's routes from
+  /// `at` onward to be rejected as if the queue were full.
+  void inject_overflow(SimTime at, std::uint64_t count);
 
+  bool in_outage() const;
+  /// Messages lost to outage/partition windows (best-effort only; the
+  /// at-least-once path spools instead).
+  std::uint64_t outage_dropped() const;
+
+  // --- transport statistics ---------------------------------------------
   /// Messages dropped across all routes of this daemon (queue overflow +
-  /// outage losses).
+  /// outage losses + abandoned/evicted spool contents).
   std::uint64_t dropped() const;
   /// Messages successfully handed to upstream buses.
   std::uint64_t forwarded() const;
@@ -78,7 +125,26 @@ class LdmsDaemon {
   /// Largest queued payload byte total observed on any route.
   std::size_t max_queue_bytes() const;
 
+  // --- at-least-once statistics -----------------------------------------
+  /// Messages retained in route spools (outage, breaker, overflow or
+  /// lost-ack retention).
+  std::uint64_t spooled() const;
+  /// Spooled messages re-enqueued after reconnect.
+  std::uint64_t redelivered() const;
+  /// Spooled messages lost anyway: ring/file overflow eviction plus
+  /// abandonment after BackoffConfig::max_attempts.
+  std::uint64_t spool_evicted() const;
+  /// Messages currently retained across route spools.
+  std::size_t spool_depth() const;
+  /// Reconnect probes that found the route still down.
+  std::uint64_t failed_probes() const;
+
  private:
+  struct Window {
+    SimTime start = 0;
+    SimTime end = 0;
+  };
+
   struct Route {
     LdmsDaemon* upstream = nullptr;
     ForwardConfig config;
@@ -86,21 +152,51 @@ class LdmsDaemon {
     std::size_t queued_bytes = 0;
     bool pump_active = false;
     std::uint64_t dropped = 0;
+    std::uint64_t outage_dropped = 0;
     std::uint64_t forwarded = 0;
     std::uint64_t forwarded_bytes = 0;
     std::size_t max_depth = 0;
     std::size_t max_depth_bytes = 0;
+    // Fault-injection state.
+    std::vector<Window> outages;
+    std::uint64_t forced_rejects = 0;
+    // At-least-once state (constructed only when configured).
+    std::unique_ptr<relia::MessageSpool> spool;
+    relia::CircuitBreaker breaker;
+    bool prober_active = false;
+    std::uint64_t spooled = 0;
+    std::uint64_t redelivered = 0;
+    std::uint64_t failed_probes = 0;
   };
 
+  struct OverflowInjection {
+    SimTime at = 0;
+    std::uint64_t remaining = 0;
+  };
+
+  bool at_least_once(const Route& route) const;
+  bool route_down(const Route& route) const;
+  bool queue_has_room(const Route& route, std::size_t bytes) const;
+  void push_to_queue(Route& route, StreamMessage msg);
+  void spool_message(Route& route, const StreamMessage& msg);
   void enqueue(Route& route, const StreamMessage& msg);
   sim::Task<void> pump(Route& route);
+  sim::Task<void> reconnect_prober(Route& route);
+
+  static bool in_windows(const std::vector<Window>& windows, SimTime now);
+  static void truncate_windows(std::vector<Window>& windows, SimTime t);
 
   sim::Engine* engine_;
   std::string name_;
   StreamBus bus_;
-  SimTime outage_start_ = 0;
-  SimTime outage_end_ = 0;
+  std::vector<Window> outages_;
   std::uint64_t outage_dropped_ = 0;
+  std::vector<OverflowInjection> overflow_injections_;
+  /// Per-tag publish sequence counters (seq starts at 1).
+  std::map<std::string, std::uint64_t, std::less<>> next_seq_;
+  /// Jitter source for reconnect backoff; seeded from the daemon name so
+  /// a fleet recovering together still fans out deterministically.
+  Rng rng_;
   // Stable addresses: routes are captured by reference in pump coroutines.
   std::vector<std::unique_ptr<Route>> routes_;
 };

@@ -1,0 +1,32 @@
+#include "ldms/fault_inject.hpp"
+
+namespace dlc::ldms {
+
+std::vector<relia::FaultEvent> apply_fault_plan(const relia::FaultPlan& plan,
+                                                const DaemonResolver& resolve) {
+  std::vector<relia::FaultEvent> unresolved;
+  for (const relia::FaultEvent& e : plan.events) {
+    LdmsDaemon* daemon = resolve(e.daemon);
+    if (!daemon) {
+      unresolved.push_back(e);
+      continue;
+    }
+    switch (e.kind) {
+      case relia::FaultKind::kCrash:
+        daemon->add_outage(e.at, e.at + e.duration);
+        break;
+      case relia::FaultKind::kPartition:
+        daemon->add_route_outage(e.upstream, e.at, e.at + e.duration);
+        break;
+      case relia::FaultKind::kOverflow:
+        daemon->inject_overflow(e.at, e.count);
+        break;
+      case relia::FaultKind::kRestart:
+        daemon->restart_at(e.at);
+        break;
+    }
+  }
+  return unresolved;
+}
+
+}  // namespace dlc::ldms

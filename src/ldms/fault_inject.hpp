@@ -1,0 +1,31 @@
+// Applies a relia::FaultPlan to live LDMS daemons.
+//
+// The plan is pure data (relia/fault.hpp); this is the binding to the
+// transport: crash => daemon-wide outage window, partition => route
+// window toward the named upstream, overflow => forced enqueue
+// rejections, restart => truncation of whatever window is open at that
+// time.  Names resolve through a caller-supplied lookup so any topology
+// (pipeline, tests, benches) can inject the same schedule.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ldms/daemon.hpp"
+#include "relia/fault.hpp"
+
+namespace dlc::ldms {
+
+/// Maps a daemon name from the plan to the live instance (nullptr =
+/// unknown).
+using DaemonResolver = std::function<LdmsDaemon*(const std::string&)>;
+
+/// Applies every event of `plan`; returns the events that referenced
+/// unknown daemons (empty = fully applied).  Unknown names are skipped,
+/// not fatal: a shared fault schedule may name daemons a smaller
+/// topology does not instantiate.
+std::vector<relia::FaultEvent> apply_fault_plan(const relia::FaultPlan& plan,
+                                                const DaemonResolver& resolve);
+
+}  // namespace dlc::ldms

@@ -22,6 +22,12 @@ struct StreamMessage {
   std::string payload;
   /// Name of the daemon that first published the message.
   std::string producer;
+  /// Per-(producer, tag) monotonic sequence number stamped by
+  /// LdmsDaemon::publish, starting at 1 (0 = unsequenced raw bus
+  /// traffic).  Redelivered copies keep the original seq, which is what
+  /// lets relia::SequenceTracker dedup at-least-once redeliveries and
+  /// account loss/reorder per producer.
+  std::uint64_t seq = 0;
   /// Virtual time of the original publish call.
   SimTime publish_time = 0;
   /// Virtual time of delivery at the current hop (updated in transit).

@@ -23,6 +23,26 @@ void BusBytesSampler::sample(SimTime /*now*/, std::vector<double>& out) {
   out.push_back(static_cast<double>(bus.published_bytes()));
 }
 
+TransportHealthSampler::TransportHealthSampler(const LdmsDaemon& daemon)
+    : daemon_(daemon),
+      names_({"forwarded", "forwarded_bytes", "dropped", "outage_dropped",
+              "max_queue_depth", "max_queue_bytes", "spooled", "redelivered",
+              "spool_evicted", "spool_depth"}) {}
+
+void TransportHealthSampler::sample(SimTime /*now*/,
+                                    std::vector<double>& out) {
+  out.push_back(static_cast<double>(daemon_.forwarded()));
+  out.push_back(static_cast<double>(daemon_.forwarded_bytes()));
+  out.push_back(static_cast<double>(daemon_.dropped()));
+  out.push_back(static_cast<double>(daemon_.outage_dropped()));
+  out.push_back(static_cast<double>(daemon_.max_queue_depth()));
+  out.push_back(static_cast<double>(daemon_.max_queue_bytes()));
+  out.push_back(static_cast<double>(daemon_.spooled()));
+  out.push_back(static_cast<double>(daemon_.redelivered()));
+  out.push_back(static_cast<double>(daemon_.spool_evicted()));
+  out.push_back(static_cast<double>(daemon_.spool_depth()));
+}
+
 MetricSampler::MetricSampler(sim::Engine& engine, LdmsDaemon& daemon,
                              std::unique_ptr<SamplerPlugin> plugin,
                              SimDuration interval, std::string tag)

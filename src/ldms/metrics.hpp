@@ -64,6 +64,29 @@ class BusBytesSampler final : public SamplerPlugin {
   std::vector<std::string> names_;
 };
 
+/// Sampler plugin exposing a daemon's transport-health counters as a
+/// metric set ("darshan_transport_health"): forwarded/dropped message
+/// counts, outage losses, queue high-water marks and the at-least-once
+/// spool/redelivery counters.  This is how best-effort loss — previously
+/// visible only to unit tests via Daemon::outage_dropped() — reaches
+/// dashboards: the channels ride the normal metrics path into Grafana
+/// JSON exports (see examples/grafana_export).
+class TransportHealthSampler final : public SamplerPlugin {
+ public:
+  explicit TransportHealthSampler(const LdmsDaemon& daemon);
+
+  const std::string& set_name() const override { return name_; }
+  const std::vector<std::string>& metric_names() const override {
+    return names_;
+  }
+  void sample(SimTime now, std::vector<double>& out) override;
+
+ private:
+  const LdmsDaemon& daemon_;
+  std::string name_ = "darshan_transport_health";
+  std::vector<std::string> names_;
+};
+
 /// Periodic sampler runner: samples every `interval` on the virtual
 /// timeline and publishes each sample as a JSON stream message on
 /// `tag` (so the existing transport/storage path carries metric sets

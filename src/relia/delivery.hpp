@@ -1,0 +1,47 @@
+// Delivery-guarantee selection for the stream transport.
+//
+// LDMS Streams as shipped is best-effort — "without a reconnect or resend
+// for the data ... no caching" — so every queue overflow or daemon outage
+// silently loses connector events.  src/relia layers a selectable
+// at-least-once mode on top: publishes are sequenced, unacked messages are
+// retained in a bounded spool, and a reconnect prober redelivers them once
+// the route heals.  Redelivery can duplicate (acks lost crossing a
+// partition), so the decode side dedups by (producer, seq); see seq.hpp.
+#pragma once
+
+#include <string_view>
+
+namespace dlc::relia {
+
+enum class DeliveryMode : std::uint8_t {
+  /// The paper's LDMS Streams semantics: drop on overflow/outage, never
+  /// resend.  Loss is counted but unrecoverable.
+  kBestEffort = 0,
+  /// Spool unacked messages per route and redeliver after reconnect.
+  /// Guarantees delivery while the spool bound holds; duplicates are
+  /// possible and deduped downstream by sequence number.
+  kAtLeastOnce = 1,
+};
+
+inline std::string_view delivery_mode_name(DeliveryMode m) {
+  switch (m) {
+    case DeliveryMode::kBestEffort:
+      return "best_effort";
+    case DeliveryMode::kAtLeastOnce:
+      return "at_least_once";
+  }
+  return "?";
+}
+
+inline bool delivery_mode_from_name(std::string_view name, DeliveryMode& out) {
+  if (name == "best_effort") {
+    out = DeliveryMode::kBestEffort;
+  } else if (name == "at_least_once") {
+    out = DeliveryMode::kAtLeastOnce;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace dlc::relia

@@ -1,0 +1,156 @@
+#include "relia/fault.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace dlc::relia {
+
+namespace {
+
+bool parse_u64(std::string_view s, std::uint64_t& out) {
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc() && p == s.data() + s.size();
+}
+
+/// Splits a line on whitespace.
+std::vector<std::string_view> tokens(std::string_view line) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    std::size_t j = i;
+    while (j < line.size() && line[j] != ' ' && line[j] != '\t') ++j;
+    if (j > i) out.push_back(line.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+std::string format_duration(SimDuration d) {
+  if (d % kSecond == 0) return std::to_string(d / kSecond) + "s";
+  if (d % kMillisecond == 0) return std::to_string(d / kMillisecond) + "ms";
+  if (d % kMicrosecond == 0) return std::to_string(d / kMicrosecond) + "us";
+  return std::to_string(d) + "ns";
+}
+
+}  // namespace
+
+bool parse_sim_duration(std::string_view text, SimDuration& out) {
+  std::size_t unit_at = 0;
+  while (unit_at < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[unit_at])) ||
+          text[unit_at] == '.')) {
+    ++unit_at;
+  }
+  if (unit_at == 0) return false;
+  const std::string_view number = text.substr(0, unit_at);
+  const std::string_view unit = text.substr(unit_at);
+  double value = 0.0;
+  const auto [p, ec] =
+      std::from_chars(number.data(), number.data() + number.size(), value);
+  if (ec != std::errc() || p != number.data() + number.size()) return false;
+
+  double scale = 0.0;
+  if (unit == "ns") {
+    scale = 1.0;
+  } else if (unit == "us") {
+    scale = static_cast<double>(kMicrosecond);
+  } else if (unit == "ms") {
+    scale = static_cast<double>(kMillisecond);
+  } else if (unit == "s") {
+    scale = static_cast<double>(kSecond);
+  } else if (unit == "m") {
+    scale = 60.0 * static_cast<double>(kSecond);
+  } else {
+    return false;
+  }
+  const double ns = value * scale;
+  if (ns < 0 || ns > 9.2e18) return false;
+  out = static_cast<SimDuration>(std::llround(ns));
+  return true;
+}
+
+FaultPlan parse_fault_plan(std::string_view text) {
+  FaultPlan plan;
+  std::size_t line_no = 0;
+  for (const std::string& raw : split(text, '\n')) {
+    ++line_no;
+    std::string_view line = trim(raw);
+    if (const auto hash = line.find('#'); hash != std::string_view::npos) {
+      line = trim(line.substr(0, hash));
+    }
+    if (line.empty()) continue;
+
+    const auto bad = [&] {
+      plan.errors.push_back(std::to_string(line_no) + ": " +
+                            std::string(line));
+    };
+    const std::vector<std::string_view> t = tokens(line);
+    FaultEvent e;
+    SimDuration at = 0;
+    if (t[0] == "crash" && t.size() == 6 && t[2] == "at" && t[4] == "for" &&
+        parse_sim_duration(t[3], at) && parse_sim_duration(t[5], e.duration)) {
+      e.kind = FaultKind::kCrash;
+      e.daemon = std::string(t[1]);
+    } else if (t[0] == "partition" && t.size() == 8 && t[2] == "->" &&
+               t[4] == "at" && t[6] == "for" && parse_sim_duration(t[5], at) &&
+               parse_sim_duration(t[7], e.duration)) {
+      e.kind = FaultKind::kPartition;
+      e.daemon = std::string(t[1]);
+      e.upstream = std::string(t[3]);
+    } else if (t[0] == "overflow" && t.size() == 6 && t[2] == "at" &&
+               t[4] == "count" && parse_sim_duration(t[3], at) &&
+               parse_u64(t[5], e.count) && e.count > 0) {
+      e.kind = FaultKind::kOverflow;
+      e.daemon = std::string(t[1]);
+    } else if (t[0] == "restart" && t.size() == 4 && t[2] == "at" &&
+               parse_sim_duration(t[3], at)) {
+      e.kind = FaultKind::kRestart;
+      e.daemon = std::string(t[1]);
+    } else {
+      bad();
+      continue;
+    }
+    e.at = at;
+    plan.events.push_back(std::move(e));
+  }
+  return plan;
+}
+
+std::string_view fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kPartition:
+      return "partition";
+    case FaultKind::kOverflow:
+      return "overflow";
+    case FaultKind::kRestart:
+      return "restart";
+  }
+  return "?";
+}
+
+std::string to_string(const FaultEvent& e) {
+  std::string out(fault_kind_name(e.kind));
+  out += " " + e.daemon;
+  if (e.kind == FaultKind::kPartition) out += " -> " + e.upstream;
+  out += " at " + format_duration(e.at);
+  switch (e.kind) {
+    case FaultKind::kCrash:
+    case FaultKind::kPartition:
+      out += " for " + format_duration(e.duration);
+      break;
+    case FaultKind::kOverflow:
+      out += " count " + std::to_string(e.count);
+      break;
+    case FaultKind::kRestart:
+      break;
+  }
+  return out;
+}
+
+}  // namespace dlc::relia

@@ -1,0 +1,74 @@
+// FaultPlan: a tiny text DSL for scripted transport faults.
+//
+// Soak tests and bench_relia drive identical fault schedules against
+// best-effort and at-least-once runs, so the schedule itself is data —
+// one directive per line, '#' comments, times with unit suffixes
+// (ns/us/ms/s/m):
+//
+//   crash <daemon> at <time> for <duration>
+//   partition <from> -> <to> at <time> for <duration>
+//   overflow <daemon> at <time> count <n>
+//   restart <daemon> at <time>
+//
+// `crash` opens a daemon-wide outage window (every route of <daemon>
+// refuses new arrivals); `partition` scopes the window to the one route
+// toward <to>; `overflow` forces the next <n> enqueues on each route to
+// be rejected as if the queue were full (burst-loss injection without
+// reconfiguring capacities); `restart` truncates any outage window in
+// progress at <time> (an operator bouncing the daemon early).
+//
+// Parsing is pure data — applying a plan to live daemons lives in
+// ldms/fault_inject.hpp so this header stays free of transport types.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace dlc::relia {
+
+enum class FaultKind : std::uint8_t {
+  kCrash = 0,
+  kPartition = 1,
+  kOverflow = 2,
+  kRestart = 3,
+};
+
+std::string_view fault_kind_name(FaultKind k);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kCrash;
+  /// The daemon the fault applies to (the *from* side for partitions).
+  std::string daemon;
+  /// Partition target (empty otherwise).
+  std::string upstream;
+  SimTime at = 0;
+  SimDuration duration = 0;
+  /// Forced enqueue rejections (overflow only).
+  std::uint64_t count = 0;
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+  /// Unparsable lines ("<line-no>: <text>"), reported so a typo'd plan
+  /// fails loudly instead of silently injecting nothing.
+  std::vector<std::string> errors;
+
+  bool ok() const { return errors.empty(); }
+  bool empty() const { return events.empty(); }
+};
+
+/// Parses a plan; never throws.  Events keep source order.
+FaultPlan parse_fault_plan(std::string_view text);
+
+/// Renders an event back to its DSL line (round-trips through parse).
+std::string to_string(const FaultEvent& event);
+
+/// Parses "250ms" / "3s" / "1.5s" / "2m" into virtual nanoseconds;
+/// returns false on malformed input.  Exposed for tests.
+bool parse_sim_duration(std::string_view text, SimDuration& out);
+
+}  // namespace dlc::relia

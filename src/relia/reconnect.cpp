@@ -1,0 +1,51 @@
+#include "relia/reconnect.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dlc::relia {
+
+SimDuration backoff_delay(const BackoffConfig& config, int attempt, Rng& rng) {
+  double delay = static_cast<double>(std::max<SimDuration>(config.initial, 1));
+  // pow, not a loop: attempt counts can reach max_attempts and the cap
+  // clamps anyway.
+  delay *= std::pow(std::max(config.multiplier, 1.0),
+                    static_cast<double>(std::max(attempt, 0)));
+  delay = std::min(delay, static_cast<double>(
+                              std::max<SimDuration>(config.max, 1)));
+  if (config.jitter > 0) {
+    delay *= rng.uniform(1.0 - config.jitter, 1.0 + config.jitter);
+  }
+  return std::max<SimDuration>(static_cast<SimDuration>(delay), 1);
+}
+
+bool CircuitBreaker::allow(SimTime now) {
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now < open_until_) return false;
+      state_ = State::kHalfOpen;
+      return true;
+    case State::kHalfOpen:
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::record_failure(SimTime now) {
+  ++consecutive_failures_;
+  if (state_ == State::kHalfOpen ||
+      consecutive_failures_ >= config_.failure_threshold) {
+    if (state_ != State::kOpen) ++opens_;
+    state_ = State::kOpen;
+    open_until_ = now + config_.open_for;
+  }
+}
+
+void CircuitBreaker::record_success() {
+  state_ = State::kClosed;
+  consecutive_failures_ = 0;
+}
+
+}  // namespace dlc::relia

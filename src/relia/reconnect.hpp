@@ -1,0 +1,72 @@
+// Reconnect policy for downed routes: exponential backoff with jitter
+// plus a circuit breaker.
+//
+// Best-effort LDMS has no reconnect at all — an outage just eats traffic.
+// When a route runs at-least-once, a prober retries on this schedule
+// instead: delays grow geometrically to a cap, each drawn with
+// multiplicative jitter (a fleet of nodes recovering from the same
+// aggregator crash must not probe in lockstep), and a circuit breaker
+// holds the route open after repeated failures so arrivals go straight to
+// the spool instead of hammering a dead peer.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace dlc::relia {
+
+struct BackoffConfig {
+  SimDuration initial = 50 * kMillisecond;
+  SimDuration max = 5 * kSecond;
+  double multiplier = 2.0;
+  /// Uniform multiplicative jitter: delay *= 1 + U(-jitter, +jitter).
+  double jitter = 0.2;
+  /// Consecutive no-progress attempts before the prober gives up and
+  /// abandons the spool (0 => never).  The default bounds virtual-time
+  /// probing at roughly max_attempts * max — far past any realistic
+  /// outage, but finite so a permanently dead route cannot wedge the
+  /// simulation.
+  int max_attempts = 64;
+};
+
+/// Computes the delay for the n-th consecutive failed attempt (0-based).
+/// Pure function of (config, attempt, rng draw); deterministic under a
+/// seeded Rng.
+SimDuration backoff_delay(const BackoffConfig& config, int attempt, Rng& rng);
+
+struct BreakerConfig {
+  /// Consecutive failures before the breaker opens.
+  int failure_threshold = 3;
+  /// How long an open breaker rejects before allowing a half-open probe.
+  SimDuration open_for = 1 * kSecond;
+};
+
+/// Classic three-state circuit breaker on the virtual clock.
+class CircuitBreaker {
+ public:
+  enum class State : std::uint8_t { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+  explicit CircuitBreaker(BreakerConfig config = {}) : config_(config) {}
+
+  /// True when a delivery attempt may proceed.  Closed: always.  Open:
+  /// only once open_for has elapsed (transitioning to half-open, which
+  /// admits the single probe).
+  bool allow(SimTime now);
+
+  void record_failure(SimTime now);
+  void record_success();
+
+  State state() const { return state_; }
+  std::uint64_t opens() const { return opens_; }
+
+ private:
+  BreakerConfig config_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  SimTime open_until_ = 0;
+  std::uint64_t opens_ = 0;
+};
+
+}  // namespace dlc::relia

@@ -1,0 +1,64 @@
+#include "relia/seq.hpp"
+
+namespace dlc::relia {
+
+SequenceTracker::Observe SequenceTracker::observe(std::string_view producer,
+                                                  std::uint64_t seq) {
+  if (seq == 0) {
+    ++unsequenced_;
+    return Observe::kAccept;
+  }
+  auto it = states_.find(producer);
+  if (it == states_.end()) {
+    it = states_.emplace(std::string(producer), State{}).first;
+  }
+  State& st = it->second;
+  ++st.stats.received;
+
+  const bool seen =
+      seq < st.next_contig || st.pending.count(seq) != 0;
+  if (seen) {
+    ++st.stats.duplicates;
+    return Observe::kDuplicate;
+  }
+
+  ++st.stats.unique;
+  if (seq < st.stats.max_seq) ++st.stats.reordered;
+  if (seq > st.stats.max_seq) st.stats.max_seq = seq;
+  st.pending.insert(seq);
+  // Advance the contiguous frontier over any now-filled gap.
+  while (!st.pending.empty() && *st.pending.begin() == st.next_contig) {
+    st.pending.erase(st.pending.begin());
+    ++st.next_contig;
+  }
+  return Observe::kAccept;
+}
+
+const SequenceTracker::ProducerStats* SequenceTracker::stats(
+    std::string_view producer) const {
+  const auto it = states_.find(producer);
+  return it == states_.end() ? nullptr : &it->second.stats;
+}
+
+SequenceTracker::ProducerStats SequenceTracker::total() const {
+  ProducerStats total;
+  for (const auto& [name, st] : states_) {
+    total.received += st.stats.received;
+    total.unique += st.stats.unique;
+    total.duplicates += st.stats.duplicates;
+    total.reordered += st.stats.reordered;
+    // max_seq is per-producer; the aggregate sums them so total.lost()
+    // remains "messages published but never seen" across the fleet.
+    total.max_seq += st.stats.max_seq;
+  }
+  return total;
+}
+
+std::vector<std::string> SequenceTracker::producers() const {
+  std::vector<std::string> names;
+  names.reserve(states_.size());
+  for (const auto& [name, st] : states_) names.push_back(name);
+  return names;
+}
+
+}  // namespace dlc::relia

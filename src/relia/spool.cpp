@@ -1,0 +1,166 @@
+#include "relia/spool.hpp"
+
+#include <cstring>
+
+#include "wire/varint.hpp"
+
+namespace dlc::relia {
+
+namespace {
+
+/// Serializes one message as a length-prefixed record (fixed 8-byte LE
+/// length so the reader never has to parse a varint across a stream
+/// boundary, then varint/zigzag fields via the wire primitives).
+std::string encode_record(const ldms::StreamMessage& msg) {
+  std::string body;
+  wire::put_string(body, msg.tag);
+  body.push_back(static_cast<char>(msg.format));
+  wire::put_string(body, msg.payload);
+  wire::put_string(body, msg.producer);
+  wire::put_varint(body, msg.seq);
+  wire::put_zigzag(body, msg.publish_time);
+  wire::put_zigzag(body, msg.deliver_time);
+  wire::put_varint(body, static_cast<std::uint64_t>(msg.hops));
+
+  std::string record;
+  const std::uint64_t n = body.size();
+  char len[8];
+  std::memcpy(len, &n, sizeof(len));
+  record.append(len, sizeof(len));
+  record += body;
+  return record;
+}
+
+bool decode_record(std::string_view body, ldms::StreamMessage& out) {
+  wire::Reader r(body);
+  out.tag = std::string(r.string());
+  const std::uint8_t format = r.byte();
+  if (format >= ldms::kPayloadFormatCount) return false;
+  out.format = static_cast<ldms::PayloadFormat>(format);
+  out.payload = std::string(r.string());
+  out.producer = std::string(r.string());
+  out.seq = r.varint();
+  out.publish_time = r.zigzag();
+  out.deliver_time = r.zigzag();
+  out.hops = static_cast<int>(r.varint());
+  return r.ok() && r.done();
+}
+
+}  // namespace
+
+MessageSpool::MessageSpool(SpoolConfig config) : config_(std::move(config)) {}
+
+void MessageSpool::append(ldms::StreamMessage msg) {
+  ++appended_;
+  const std::size_t bytes = msg.payload.size();
+  // A message alone larger than the byte bound can never be retained.
+  if (config_.max_msgs == 0 ||
+      (config_.max_bytes > 0 && bytes > config_.max_bytes)) {
+    ++evicted_;
+    return;
+  }
+  while (ring_.size() >= config_.max_msgs ||
+         (config_.max_bytes > 0 && ring_bytes_ + bytes > config_.max_bytes)) {
+    evict_oldest();
+  }
+  ring_bytes_ += bytes;
+  ring_.push_back(std::move(msg));
+}
+
+void MessageSpool::evict_oldest() {
+  ldms::StreamMessage oldest = std::move(ring_.front());
+  ring_.pop_front();
+  ring_bytes_ -= oldest.payload.size();
+  if (!config_.file_path.empty() && spill_to_file(oldest)) {
+    ++spilled_;
+  } else {
+    ++evicted_;
+  }
+}
+
+bool MessageSpool::spill_to_file(const ldms::StreamMessage& msg) {
+  if (!file_open_) {
+    // Create-or-truncate, then reopen read/write: the segment belongs to
+    // this spool instance alone.
+    std::ofstream(config_.file_path, std::ios::binary | std::ios::trunc);
+    file_.open(config_.file_path,
+               std::ios::binary | std::ios::in | std::ios::out);
+    if (!file_.is_open()) return false;
+    file_open_ = true;
+    file_msgs_ = 0;
+    file_bytes_ = 0;
+    read_pos_ = 0;
+  }
+  const std::string record = encode_record(msg);
+  if (config_.file_max_bytes > 0 &&
+      record.size() > config_.file_max_bytes - file_bytes_) {
+    return false;
+  }
+  file_.clear();
+  file_.seekp(0, std::ios::end);
+  file_.write(record.data(), static_cast<std::streamsize>(record.size()));
+  if (!file_.good()) return false;
+  file_bytes_ += record.size();
+  ++file_msgs_;
+  return true;
+}
+
+std::optional<ldms::StreamMessage> MessageSpool::read_from_file() {
+  file_.clear();
+  file_.seekg(read_pos_);
+  char len[8];
+  if (!file_.read(len, sizeof(len))) return std::nullopt;
+  std::uint64_t n = 0;
+  std::memcpy(&n, len, sizeof(len));
+  std::string body(static_cast<std::size_t>(n), '\0');
+  if (!file_.read(body.data(), static_cast<std::streamsize>(n))) {
+    return std::nullopt;
+  }
+  ldms::StreamMessage msg;
+  if (!decode_record(body, msg)) return std::nullopt;
+  read_pos_ = file_.tellg();
+  --file_msgs_;
+  if (file_msgs_ == 0) {
+    // Fully drained: recycle the segment so it never grows unbounded.
+    file_.close();
+    std::ofstream(config_.file_path, std::ios::binary | std::ios::trunc);
+    file_.open(config_.file_path,
+               std::ios::binary | std::ios::in | std::ios::out);
+    file_bytes_ = 0;
+    read_pos_ = 0;
+  }
+  return msg;
+}
+
+std::optional<ldms::StreamMessage> MessageSpool::pop_front() {
+  if (file_msgs_ > 0) {
+    auto msg = read_from_file();
+    if (msg) return msg;
+    // Unreadable segment (truncated write, deleted file): count the
+    // stranded messages as evicted and fall through to the ring.
+    evicted_ += file_msgs_;
+    file_msgs_ = 0;
+  }
+  if (ring_.empty()) return std::nullopt;
+  ldms::StreamMessage msg = std::move(ring_.front());
+  ring_.pop_front();
+  ring_bytes_ -= msg.payload.size();
+  return msg;
+}
+
+void MessageSpool::clear() {
+  evicted_ += size();
+  ring_.clear();
+  ring_bytes_ = 0;
+  file_msgs_ = 0;
+  if (file_open_) {
+    file_.close();
+    std::ofstream(config_.file_path, std::ios::binary | std::ios::trunc);
+    file_.open(config_.file_path,
+               std::ios::binary | std::ios::in | std::ios::out);
+    file_bytes_ = 0;
+    read_pos_ = 0;
+  }
+}
+
+}  // namespace dlc::relia

@@ -36,12 +36,17 @@ class BoundedQueue {
       : capacity_(capacity), capacity_bytes_(capacity_bytes) {}
 
   /// Non-blocking push; returns false (and drops the item) when full,
-  /// closed, or when `bytes` would exceed the byte cap.
+  /// closed, or when `bytes` would exceed the byte cap.  An item whose
+  /// cost lands exactly on the cap is accepted (the cap is inclusive).
   bool try_push(T item, std::size_t bytes = 0) {
     {
       const std::scoped_lock lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;
-      if (capacity_bytes_ > 0 && bytes_ + bytes > capacity_bytes_) {
+      // Compare against the remaining headroom rather than `bytes_ +
+      // bytes`, whose sum can wrap around std::size_t for a huge cost and
+      // sneak past the cap.  bytes_ <= capacity_bytes_ is an invariant, so
+      // the subtraction cannot underflow.
+      if (capacity_bytes_ > 0 && bytes > capacity_bytes_ - bytes_) {
         return false;
       }
       bytes_ += bytes;

@@ -50,8 +50,10 @@ void FrameEncoder::begin_frame() {
   intern_ids_.clear();
   event_count_ = 0;
   prev_end_ = 0;
+  ++frame_seq_;
   buf_.push_back(kFrameMagic);
   buf_.push_back(static_cast<char>(kFrameVersion));
+  put_varint(buf_, frame_seq_);
   put_varint(buf_, ctx_.uid);
   put_varint(buf_, ctx_.job_id);
   put_double(buf_, ctx_.epoch_seconds);
@@ -114,6 +116,15 @@ bool looks_like_frame(std::string_view payload) {
          static_cast<std::uint8_t>(payload[1]) == kFrameVersion;
 }
 
+std::uint64_t decode_frame_seq(std::string_view payload) {
+  if (!looks_like_frame(payload)) return 0;
+  Reader r(payload);
+  r.byte();  // magic
+  r.byte();  // version
+  const std::uint64_t seq = r.varint();
+  return r.ok() ? seq : 0;
+}
+
 std::vector<dsos::Object> decode_frame(const dsos::SchemaPtr& schema,
                                        std::string_view payload) {
   std::vector<dsos::Object> out;
@@ -121,6 +132,7 @@ std::vector<dsos::Object> decode_frame(const dsos::SchemaPtr& schema,
   Reader r(payload);
   r.byte();  // magic
   r.byte();  // version
+  r.varint();  // frame seq (transport accounting; not part of the rows)
   const std::uint64_t uid = r.varint();
   const std::uint64_t job_id = r.varint();
   const double epoch_seconds = r.raw_double();

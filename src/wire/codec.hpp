@@ -39,9 +39,11 @@
 
 namespace dlc::wire {
 
-/// Frame header constants.
+/// Frame header constants.  Version 2 added the per-encoder frame
+/// sequence number to the header (relia at-least-once support: a decoder
+/// can spot frame loss/redelivery without the transport envelope).
 inline constexpr char kFrameMagic = 'W';
-inline constexpr std::uint8_t kFrameVersion = 1;
+inline constexpr std::uint8_t kFrameVersion = 2;
 
 /// Static per-job metadata shared by every event in a frame; written once
 /// in the frame header (the binary analogue of the JSON "MET" fields that
@@ -75,6 +77,10 @@ class FrameEncoder {
 
   const EncodeContext& context() const { return ctx_; }
 
+  /// Sequence number stamped in the *current* (pending) frame's header;
+  /// frames from one encoder are numbered 1, 2, 3, ...
+  std::uint64_t frame_seq() const { return frame_seq_; }
+
  private:
   void begin_frame();
   void put_interned(std::string_view s);
@@ -84,7 +90,12 @@ class FrameEncoder {
   std::unordered_map<std::string, std::uint64_t> intern_ids_;
   std::size_t event_count_ = 0;
   SimTime prev_end_ = 0;
+  std::uint64_t frame_seq_ = 0;
 };
+
+/// Reads the header sequence number of an encoded frame without decoding
+/// the events; 0 on malformed input (valid seqs start at 1).
+std::uint64_t decode_frame_seq(std::string_view payload);
 
 /// Decodes a frame into darshan_data objects, one per event, with the
 /// same attribute order and sentinel conventions as the JSON decode path.

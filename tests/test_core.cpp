@@ -18,6 +18,7 @@
 #include "simhpc/job.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
+#include "wire/codec.hpp"
 
 namespace dlc::core {
 namespace {
@@ -354,6 +355,92 @@ TEST(Decoder, MultiSegmentMessagesFlatten) {
   EXPECT_EQ(msgs[0].as_string("seg_data_set"), "N/A");
 }
 
+// One single-event binary frame; `end` varies the payload slightly.
+std::string one_event_frame(SimTime end) {
+  wire::EncodeContext ctx;
+  ctx.uid = 1;
+  ctx.job_id = 2;
+  ctx.exe = "/e";
+  ctx.epoch_seconds = 0.0;
+  wire::FrameEncoder enc(ctx);
+  darshan::IoEvent e;
+  e.module = Module::kPosix;
+  e.op = darshan::Op::kWrite;
+  e.rank = 0;
+  e.record_id = 7;
+  e.cnt = 1;
+  e.start = end - kMicrosecond;
+  e.end = end;
+  enc.add(e, "nid1");
+  return enc.take_frame();
+}
+
+ldms::StreamMessage sequenced_frame(std::uint64_t seq) {
+  ldms::StreamMessage msg;
+  msg.tag = "t";
+  msg.format = ldms::PayloadFormat::kBinary;
+  msg.payload = one_event_frame(static_cast<SimTime>(seq) * kMillisecond);
+  msg.producer = "nid1";
+  msg.seq = seq;
+  return msg;
+}
+
+TEST(Decoder, OutOfOrderBinaryFramesDecodeIndependently) {
+  dsos::DsosCluster cluster(dsos::ClusterConfig{.shard_count = 1,
+                                                .shard_attr = "rank",
+                                                .parallel_query = false});
+  sim::Engine engine;
+  ldms::LdmsDaemon daemon(&engine, "d");
+  DarshanDecoder decoder(daemon, "t", cluster, /*dedup_redelivered=*/true);
+  // Arrival order 2, 1, 3: frames are self-contained, so reordering can
+  // never corrupt decode — every row lands, and the tracker records the
+  // straggler.
+  daemon.bus().publish(sequenced_frame(2));
+  daemon.bus().publish(sequenced_frame(1));
+  daemon.bus().publish(sequenced_frame(3));
+  EXPECT_EQ(decoder.decoded(), 3u);
+  EXPECT_EQ(decoder.malformed(), 0u);
+  EXPECT_EQ(decoder.duplicates_dropped(), 0u);
+  const auto* st = decoder.tracker().stats("nid1");
+  ASSERT_NE(st, nullptr);
+  EXPECT_EQ(st->unique, 3u);
+  EXPECT_EQ(st->reordered, 1u);
+  EXPECT_EQ(st->lost(), 0u);
+}
+
+TEST(Decoder, DuplicatedBinaryFramesAreDroppedWhenDedupEnabled) {
+  dsos::DsosCluster cluster(dsos::ClusterConfig{.shard_count = 1,
+                                                .shard_attr = "rank",
+                                                .parallel_query = false});
+  sim::Engine engine;
+  ldms::LdmsDaemon daemon(&engine, "d");
+  DarshanDecoder decoder(daemon, "t", cluster, /*dedup_redelivered=*/true);
+  daemon.bus().publish(sequenced_frame(1));
+  daemon.bus().publish(sequenced_frame(2));
+  daemon.bus().publish(sequenced_frame(1));  // at-least-once redelivery
+  daemon.bus().publish(sequenced_frame(2));
+  EXPECT_EQ(decoder.decoded(), 2u);  // each unique frame ingested once
+  EXPECT_EQ(decoder.duplicates_dropped(), 2u);
+  EXPECT_EQ(cluster.total_objects(), 2u);
+  EXPECT_EQ(decoder.tracker().stats("nid1")->duplicates, 2u);
+}
+
+TEST(Decoder, DuplicatesIngestButAreCountedWhenDedupDisabled) {
+  dsos::DsosCluster cluster(dsos::ClusterConfig{.shard_count = 1,
+                                                .shard_attr = "rank",
+                                                .parallel_query = false});
+  sim::Engine engine;
+  ldms::LdmsDaemon daemon(&engine, "d");
+  DarshanDecoder decoder(daemon, "t", cluster);  // best-effort default
+  daemon.bus().publish(sequenced_frame(1));
+  daemon.bus().publish(sequenced_frame(1));
+  // Historical behaviour preserved: both copies land in DSOS...
+  EXPECT_EQ(decoder.decoded(), 2u);
+  EXPECT_EQ(decoder.duplicates_dropped(), 0u);
+  // ...but the tracker still makes the duplication visible.
+  EXPECT_EQ(decoder.tracker().stats("nid1")->duplicates, 1u);
+}
+
 TEST(Schema, JointIndicesExist) {
   const auto schema = darshan_data_schema();
   EXPECT_TRUE(schema->find_index("job_rank_time").has_value());
@@ -587,6 +674,31 @@ TEST(EnvConfig, ReportsBadWireFormatValues) {
   EXPECT_EQ(cfg.errors.size(), 4u);
   EXPECT_EQ(cfg.connector.wire_format, WireFormat::kJson);  // default kept
   EXPECT_EQ(cfg.connector.batch.max_events, wire::BatchConfig{}.max_events);
+}
+
+TEST(EnvConfig, ParsesDeliveryKnobs) {
+  EXPECT_EQ(connector_config_from_env(fake_env({})).connector.delivery,
+            relia::DeliveryMode::kBestEffort);
+  const EnvConfig cfg = connector_config_from_env(fake_env({
+      {"DARSHAN_LDMS_DELIVERY", "at_least_once"},
+      {"DARSHAN_LDMS_SPOOL_MSGS", "1234"},
+      {"DARSHAN_LDMS_SPOOL_BYTES", "65536"},
+  }));
+  EXPECT_TRUE(cfg.errors.empty());
+  EXPECT_EQ(cfg.connector.delivery, relia::DeliveryMode::kAtLeastOnce);
+  EXPECT_EQ(cfg.connector.spool.max_msgs, 1234u);
+  EXPECT_EQ(cfg.connector.spool.max_bytes, 65536u);
+}
+
+TEST(EnvConfig, ReportsBadDeliveryValues) {
+  const EnvConfig cfg = connector_config_from_env(fake_env({
+      {"DARSHAN_LDMS_DELIVERY", "exactly_once"},  // nobody has this
+      {"DARSHAN_LDMS_SPOOL_MSGS", "0"},
+      {"DARSHAN_LDMS_SPOOL_BYTES", "many"},
+  }));
+  EXPECT_EQ(cfg.errors.size(), 3u);
+  EXPECT_EQ(cfg.connector.delivery, relia::DeliveryMode::kBestEffort);
+  EXPECT_EQ(cfg.connector.spool.max_msgs, relia::SpoolConfig{}.max_msgs);
 }
 
 }  // namespace

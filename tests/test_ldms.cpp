@@ -420,6 +420,79 @@ TEST(Metrics, BusBytesSamplerReportsWireSplit) {
   EXPECT_EQ(value_of("bytes_total"), 14.0);
 }
 
+TEST(Metrics, TransportHealthSamplerExposesDropAndSpoolCounters) {
+  dlc::sim::Engine engine;
+  LdmsDaemon src(&engine, "nid00001");
+  LdmsDaemon agg(&engine, "agg");
+  ForwardConfig cfg;
+  cfg.hop_latency = dlc::kMillisecond;
+  cfg.bandwidth_bytes_per_sec = 0;
+  cfg.delivery = relia::DeliveryMode::kAtLeastOnce;
+  src.add_forward("t", agg, cfg);
+  src.add_outage(0, 10 * dlc::kMillisecond);
+  auto proc = [](dlc::sim::Engine& eng, LdmsDaemon& d) -> dlc::sim::Task<void> {
+    d.publish("t", PayloadFormat::kString, "during");  // t=0: spooled
+    co_await eng.delay(100 * dlc::kMillisecond);
+    d.publish("t", PayloadFormat::kString, "after");
+  };
+  engine.spawn(proc(engine, src));
+  engine.run();
+
+  TransportHealthSampler sampler(src);
+  EXPECT_EQ(sampler.set_name(), "darshan_transport_health");
+  std::vector<double> out;
+  sampler.sample(engine.now(), out);
+  ASSERT_EQ(out.size(), sampler.metric_names().size());
+  const auto value_of = [&](const std::string& name) {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      if (sampler.metric_names()[i] == name) return out[i];
+    }
+    ADD_FAILURE() << "missing metric " << name;
+    return -1.0;
+  };
+  EXPECT_EQ(value_of("forwarded"), 2.0);  // spooled redelivery + "after"
+  EXPECT_EQ(value_of("dropped"), 0.0);
+  EXPECT_EQ(value_of("outage_dropped"), 0.0);
+  EXPECT_GE(value_of("spooled"), 1.0);
+  EXPECT_GE(value_of("redelivered"), 1.0);
+  EXPECT_EQ(value_of("spool_depth"), 0.0);
+  EXPECT_GT(value_of("forwarded_bytes"), 0.0);
+}
+
+TEST(Metrics, TransportHealthRidesTheMetricsPathAsJson) {
+  // The health channels must survive the publish -> from_json trip the
+  // collector uses (this is the path into the Grafana export).
+  dlc::sim::Engine engine;
+  LdmsDaemon src(&engine, "nid00001");
+  LdmsDaemon agg(&engine, "agg");
+  src.add_forward("t", agg, ForwardConfig{.hop_latency = dlc::kMillisecond,
+                                          .bandwidth_bytes_per_sec = 0});
+  std::vector<MetricSample> samples;
+  src.bus().subscribe("health", [&](const StreamMessage& msg) {
+    MetricSample s;
+    if (MetricSampler::from_json(msg.payload, s)) samples.push_back(s);
+  });
+  MetricSampler sampler(engine, src,
+                        std::make_unique<TransportHealthSampler>(src),
+                        10 * dlc::kMillisecond, "health");
+  sampler.start(35 * dlc::kMillisecond);
+  auto proc = [](LdmsDaemon& d) -> dlc::sim::Task<void> {
+    d.publish("t", PayloadFormat::kString, "x");
+    co_return;
+  };
+  engine.spawn(proc(src));
+  engine.run();
+  ASSERT_GE(samples.size(), 2u);
+  EXPECT_EQ(samples[0].set_name, "darshan_transport_health");
+  EXPECT_EQ(samples[0].producer, "nid00001");
+  ASSERT_EQ(samples[0].names.size(), samples[0].values.size());
+  // forwarded == 1 once the hop completes.
+  const auto& last = samples.back();
+  for (std::size_t i = 0; i < last.names.size(); ++i) {
+    if (last.names[i] == "forwarded") EXPECT_EQ(last.values[i], 1.0);
+  }
+}
+
 TEST(Metrics, FromJsonRejectsGarbage) {
   MetricSample s;
   EXPECT_FALSE(MetricSampler::from_json("not json", s));

@@ -4,6 +4,7 @@
 // rates.
 #include <gtest/gtest.h>
 
+#include <deque>
 #include <memory>
 #include <tuple>
 
@@ -20,6 +21,7 @@
 #include "simfs/nfs.hpp"
 #include "simhpc/cluster.hpp"
 #include "simhpc/job.hpp"
+#include "util/queue.hpp"
 #include "wire/codec.hpp"
 
 namespace dlc {
@@ -267,6 +269,79 @@ TEST_P(QueueCapacityProperty, LossesShrinkWithCapacity) {
 
 INSTANTIATE_TEST_SUITE_P(Capacities, QueueCapacityProperty,
                          ::testing::Values(1, 4, 16, 63, 64, 128));
+
+// ---------------------------------------- bounded queue edge cases --------
+
+TEST(BoundedQueueProperty, ZeroCapacityRejectsEveryPush) {
+  BoundedQueue<int> q(0);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_FALSE(q.try_push(i));
+    EXPECT_FALSE(q.try_push(i, 1));
+  }
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.size_bytes(), 0u);
+  EXPECT_FALSE(q.try_pop().has_value());
+  q.close();
+  EXPECT_FALSE(q.pop().has_value());  // closed + empty => end-of-stream
+}
+
+TEST(BoundedQueueProperty, ByteCapIsInclusiveAtTheBoundary) {
+  BoundedQueue<int> q(16, 100);
+  EXPECT_TRUE(q.try_push(1, 60));
+  EXPECT_TRUE(q.try_push(2, 40));  // lands exactly on the cap
+  EXPECT_EQ(q.size_bytes(), 100u);
+  EXPECT_FALSE(q.try_push(3, 1));  // anything past it is refused
+  EXPECT_EQ(q.size_bytes(), 100u);
+  ASSERT_TRUE(q.try_pop().has_value());  // frees 60
+  EXPECT_TRUE(q.try_push(4, 60));        // exactly full again
+  EXPECT_EQ(q.size_bytes(), 100u);
+}
+
+TEST(BoundedQueueProperty, HugeItemCostCannotWrapPastTheCap) {
+  BoundedQueue<int> q(16, 100);
+  ASSERT_TRUE(q.try_push(1, 30));
+  // bytes_ + cost overflows std::size_t; naive `bytes_ + bytes > cap`
+  // arithmetic would wrap around and admit the item.
+  EXPECT_FALSE(q.try_push(2, std::numeric_limits<std::size_t>::max() - 10));
+  EXPECT_FALSE(q.try_push(3, std::numeric_limits<std::size_t>::max()));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.size_bytes(), 30u);
+}
+
+class QueueByteCapProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(QueueByteCapProperty, AccountingStaysExactUnderRandomChurn) {
+  const std::size_t cap_bytes = GetParam();
+  BoundedQueue<std::size_t> q(64, cap_bytes);
+  std::mt19937 rng(static_cast<unsigned>(cap_bytes) * 7919u + 1u);
+  std::uniform_int_distribution<std::size_t> cost(0, cap_bytes / 2 + 3);
+  std::deque<std::size_t> model;  // byte costs the queue must be holding
+  std::size_t model_bytes = 0;
+  for (int step = 0; step < 2000; ++step) {
+    if (rng() % 3 != 0) {
+      const std::size_t c = cost(rng);
+      const bool fits =
+          model.size() < 64 && c <= cap_bytes - model_bytes;
+      EXPECT_EQ(q.try_push(c, c), fits);
+      if (fits) {
+        model.push_back(c);
+        model_bytes += c;
+      }
+    } else if (!model.empty()) {
+      const auto popped = q.try_pop();
+      ASSERT_TRUE(popped.has_value());
+      EXPECT_EQ(*popped, model.front());  // FIFO order preserved
+      model_bytes -= model.front();
+      model.pop_front();
+    }
+    EXPECT_EQ(q.size(), model.size());
+    EXPECT_EQ(q.size_bytes(), model_bytes);
+    EXPECT_LE(q.size_bytes(), cap_bytes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ByteCaps, QueueByteCapProperty,
+                         ::testing::Values(1, 7, 64, 1024));
 
 // --------------------------------------- wire format round-trip fidelity ----
 

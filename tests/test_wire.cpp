@@ -274,6 +274,32 @@ TEST(Codec, TakeFrameResetsEncoderState) {
   EXPECT_EQ(o2[0].as_string("ProducerName"), "nid00001");
 }
 
+TEST(Codec, FrameSeqIncrementsPerFrameAndRoundTrips) {
+  wire::FrameEncoder enc(test_context());
+  enc.add(make_event(darshan::Op::kWrite, kSecond), "nid1");
+  const std::string f1 = enc.take_frame();
+  enc.add(make_event(darshan::Op::kWrite, 2 * kSecond), "nid1");
+  const std::string f2 = enc.take_frame();
+  // frame_seq() reports the *pending* frame's number: two frames taken,
+  // so the encoder is already stamping #3.
+  EXPECT_EQ(enc.frame_seq(), 3u);
+  // The header seq survives the trip and orders the frames...
+  EXPECT_EQ(wire::decode_frame_seq(f1), 1u);
+  EXPECT_EQ(wire::decode_frame_seq(f2), 2u);
+  // ...without disturbing the row payload.
+  EXPECT_EQ(wire::decode_frame(core::darshan_data_schema(), f2).size(), 1u);
+}
+
+TEST(Codec, DecodeFrameSeqRejectsForeignPayloads) {
+  EXPECT_EQ(wire::decode_frame_seq(""), 0u);
+  EXPECT_EQ(wire::decode_frame_seq("{\"json\":true}"), 0u);
+  wire::FrameEncoder enc(test_context());
+  enc.add(make_event(darshan::Op::kOpen, kSecond), "nid1");
+  std::string frame = enc.take_frame();
+  frame[1] = 99;  // unknown version
+  EXPECT_EQ(wire::decode_frame_seq(frame), 0u);
+}
+
 TEST(Codec, NegativeTimestampDeltasDecode) {
   // Events from different ranks are not globally time-ordered; the delta
   // base must handle end times that go backwards.
