@@ -1,0 +1,405 @@
+// Storage-side ingest/query benchmark: serial vs parallel sharded ingest,
+// and zone-map-pruned vs unpruned partitioned queries.
+//
+// The DSOS tier exists so decoded Darshan events can be stored and
+// range-queried in parallel across dsosd shards; this benchmark measures
+// whether the reproduction's sink actually scales.  For each shard count
+// it decodes the SAME pre-rendered connector JSON payloads (zero-copy
+// scanner with DOM fallback — the decoder's real path) and ingests them
+//   serial:    decode + Container::insert inline on one thread,
+//   parallel:  decode on the caller, insert via dsos::IngestExecutor with
+//              one worker per shard,
+// then verifies the two clusters are BYTE-IDENTICAL under a full
+// job_rank_time query (fatal on mismatch, --check or not: determinism is
+// correctness, not performance).  A second phase measures zone-map
+// pruning on a time-rotated PartitionedStore and limit pushdown on the
+// cluster k-way merge.
+//
+// Writes BENCH_ingest.json (override path: DLC_BENCH_OUT) with events/sec,
+// bytes/event and speedup per shard count.  --check adds the fatal perf
+// gates: parallel >= 1.5x serial events/sec at >= 4 shards (enforced only
+// when the host reports >= 4 hardware threads — on fewer cores a parallel
+// speedup is physically impossible and the gate is reported as SKIP, the
+// same reasoning that keeps timing gates out of sanitizer builds), and
+// pruned queries no slower than unpruned.  Scale knob: DLC_INGEST_EVENTS.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/decoder.hpp"
+#include "core/schema_darshan.hpp"
+#include "dsos/cluster.hpp"
+#include "dsos/ingest.hpp"
+#include "dsos/partition.hpp"
+#include "exp/table.hpp"
+#include "json/writer.hpp"
+#include "util/rng.hpp"
+
+using namespace dlc;
+
+namespace {
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  if (const char* v = std::getenv(name)) {
+    const long parsed = std::atol(v);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return fallback;
+}
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One connector-format JSON message (same member order as
+/// core::DarshanLdmsConnector::format_message, one seg per message).
+std::string make_payload(Rng& rng, std::uint64_t job, std::int64_t ranks,
+                         double ts) {
+  const std::int64_t rank = rng.uniform_int(0, ranks - 1);
+  const bool write = rng.uniform() < 0.5;
+  json::Writer w;
+  w.begin_object();
+  w.member("uid", std::uint64_t{99066});
+  w.member("exe", "/projects/ovis/bench/mpi-io-test");
+  w.member("job_id", job);
+  w.member("rank", rank);
+  w.member("ProducerName", "nid" + std::to_string(41 + rank % 4));
+  w.member("file", "darshan-output/mpi-io-test.tmp.dat");
+  w.member("record_id", rng.next_u64());
+  w.member("module", "POSIX");
+  w.member("type", "MOD");
+  w.member("max_byte", static_cast<std::int64_t>(rng.next_u64() % (1 << 22)));
+  w.member("switches", std::int64_t{0});
+  w.member("flushes", std::int64_t{-1});
+  w.member("cnt", static_cast<std::int64_t>(rng.next_u64() % 64));
+  w.member("op", write ? "write" : "read");
+  w.key("seg");
+  w.begin_array();
+  w.begin_object();
+  w.member("data_set", "N/A");
+  w.member("pt_sel", std::int64_t{-1});
+  w.member("irreg_hslab", std::int64_t{-1});
+  w.member("reg_hslab", std::int64_t{-1});
+  w.member("ndims", std::int64_t{-1});
+  w.member("npoints", std::int64_t{-1});
+  w.member("off", static_cast<std::int64_t>(rng.next_u64() % (1 << 22)));
+  w.member("len", static_cast<std::int64_t>(rng.next_u64() % (1 << 20)));
+  w.member("dur", rng.uniform(0.0001, 0.05));
+  w.member("timestamp", ts);
+  w.end_object();
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+std::vector<std::string> make_payloads(std::size_t count) {
+  Rng rng(17);
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t job = 1 + i % 4;
+    const double ts = 1.6e9 + 0.001 * static_cast<double>(i);
+    out.push_back(make_payload(rng, job, /*ranks=*/64, ts));
+  }
+  return out;
+}
+
+/// The decoder's real JSON path: zero-copy scan, DOM on fallback.
+void decode_payload(const dsos::SchemaPtr& schema, const std::string& payload,
+                    std::vector<dsos::Object>& rows) {
+  if (!core::decode_message_fast(schema, payload, rows)) {
+    rows = core::decode_message(schema, payload);
+  }
+}
+
+std::unique_ptr<dsos::DsosCluster> make_cluster(const dsos::SchemaPtr& schema,
+                                                std::size_t shards) {
+  dsos::ClusterConfig cfg;
+  cfg.shard_count = shards;
+  cfg.shard_attr = "rank";
+  auto cluster = std::make_unique<dsos::DsosCluster>(cfg);
+  cluster->register_schema(schema);
+  return cluster;
+}
+
+struct IngestRun {
+  std::unique_ptr<dsos::DsosCluster> cluster;
+  double seconds = 0.0;
+  std::uint64_t backpressure_waits = 0;
+};
+
+IngestRun run_serial(const dsos::SchemaPtr& schema, std::size_t shards,
+                     const std::vector<std::string>& payloads) {
+  IngestRun run;
+  run.cluster = make_cluster(schema, shards);
+  std::vector<dsos::Object> rows;
+  const double t0 = now_seconds();
+  for (const std::string& p : payloads) {
+    decode_payload(schema, p, rows);
+    for (auto& obj : rows) run.cluster->insert(std::move(obj));
+  }
+  run.seconds = now_seconds() - t0;
+  return run;
+}
+
+IngestRun run_parallel(const dsos::SchemaPtr& schema, std::size_t shards,
+                       std::size_t workers,
+                       const std::vector<std::string>& payloads) {
+  IngestRun run;
+  run.cluster = make_cluster(schema, shards);
+  std::vector<dsos::Object> rows;
+  dsos::IngestConfig icfg;
+  icfg.workers = workers;
+  const double t0 = now_seconds();
+  {
+    dsos::IngestExecutor ingest(*run.cluster, icfg);
+    for (const std::string& p : payloads) {
+      decode_payload(schema, p, rows);
+      for (auto& obj : rows) ingest.submit(std::move(obj));
+    }
+    ingest.drain();  // inside the timed region: cost of determinism
+    run.backpressure_waits = ingest.stats().backpressure_waits;
+  }
+  run.seconds = now_seconds() - t0;
+  return run;
+}
+
+/// Canonical byte rendering of the full job_rank_time ordering.
+std::string fingerprint(const dsos::DsosCluster& cluster) {
+  std::string out;
+  for (const dsos::Object* obj :
+       cluster.query("darshan_data", "job_rank_time")) {
+    out += core::to_csv_row(*obj);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool check = argc > 1 && std::string(argv[1]) == "--check";
+  const std::size_t events = env_size("DLC_INGEST_EVENTS", 60000);
+  const std::size_t query_iters = env_size("DLC_INGEST_QUERY_ITERS", 200);
+  const auto schema = core::darshan_data_schema();
+
+  std::printf("== DSOS ingest: serial vs parallel sharded executor ==\n\n");
+  const std::vector<std::string> payloads = make_payloads(events);
+  std::size_t payload_bytes = 0;
+  for (const auto& p : payloads) payload_bytes += p.size();
+  const double bytes_per_event =
+      static_cast<double>(payload_bytes) / static_cast<double>(events);
+  std::printf("%zu events, %.1f payload bytes/event, shard attr \"rank\"\n\n",
+              events, bytes_per_event);
+
+  bool ok = true;
+  const auto gate = [&](bool cond, const std::string& what) {
+    std::printf("  [%s] %s\n", cond ? "PASS" : "FAIL", what.c_str());
+    ok = ok && cond;
+  };
+
+  struct ShardResult {
+    std::size_t shards;
+    double serial_eps;
+    double parallel_eps;
+    double speedup;
+    std::uint64_t backpressure_waits;
+  };
+  std::vector<ShardResult> shard_results;
+  bool identical = true;
+
+  exp::TextTable table({"Shards", "Serial ev/s", "Parallel ev/s", "Speedup",
+                        "Backpressure", "Identical"});
+  for (const std::size_t shards : {1, 2, 4, 8}) {
+    const IngestRun serial = run_serial(schema, shards, payloads);
+    const IngestRun parallel = run_parallel(schema, shards, shards, payloads);
+    const std::string fp_serial = fingerprint(*serial.cluster);
+    const std::string fp_parallel = fingerprint(*parallel.cluster);
+    const bool same = fp_serial == fp_parallel && !fp_serial.empty();
+    identical = identical && same;
+    ShardResult r;
+    r.shards = shards;
+    r.serial_eps = static_cast<double>(events) / serial.seconds;
+    r.parallel_eps = static_cast<double>(events) / parallel.seconds;
+    r.speedup = r.parallel_eps / r.serial_eps;
+    r.backpressure_waits = parallel.backpressure_waits;
+    shard_results.push_back(r);
+    table.add_row({std::to_string(shards), exp::cell_f(r.serial_eps, 0),
+                   exp::cell_f(r.parallel_eps, 0), exp::cell_f(r.speedup, 2),
+                   exp::cell_u(r.backpressure_waits), same ? "yes" : "NO"});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // Phase 2: zone-map pruning on a time-rotated partitioned store.  Each
+  // partition holds one timestamp window, and the filter targets the last
+  // window — with zone maps every older partition is skipped.
+  constexpr std::size_t kPartitions = 8;
+  dsos::PartitionedStore store("w0");
+  store.register_schema(schema);
+  {
+    std::vector<dsos::Object> rows;
+    const std::size_t per_part = (events + kPartitions - 1) / kPartitions;
+    std::size_t in_part = 0, part = 0;
+    for (const std::string& p : payloads) {
+      if (in_part == per_part && part + 1 < kPartitions) {
+        store.rotate("w" + std::to_string(++part));
+        in_part = 0;
+      }
+      decode_payload(schema, p, rows);
+      for (auto& obj : rows) store.insert(std::move(obj));
+      ++in_part;
+    }
+  }
+  // Timestamps advance 1 ms per event: the filter selects the final 5% of
+  // the time range, entirely inside the last partition.
+  const double t_hi = 1.6e9 + 0.001 * static_cast<double>(events);
+  const double t_lo = t_hi - 0.05 * 0.001 * static_cast<double>(events);
+  const dsos::Filter time_filter{
+      {"seg_timestamp", dsos::Cmp::kGe, t_lo},
+      {"seg_timestamp", dsos::Cmp::kLt, t_hi},
+  };
+  const auto time_queries = [&](bool zone_maps) {
+    store.set_zone_maps(zone_maps);
+    std::size_t hits = 0;
+    const double t0 = now_seconds();
+    for (std::size_t i = 0; i < query_iters; ++i) {
+      hits = store.query("darshan_data", "time", time_filter).size();
+    }
+    const double dt = now_seconds() - t0;
+    return std::pair<double, std::size_t>(dt, hits);
+  };
+  const auto [unpruned_s, unpruned_hits] = time_queries(false);
+  const std::uint64_t pruned_before = store.zone_pruned();
+  const auto [pruned_s, pruned_hits] = time_queries(true);
+  const std::uint64_t pruned_parts =
+      (store.zone_pruned() - pruned_before) / query_iters;
+  store.set_zone_maps(true);
+
+  std::printf("Partitioned time-range query (%zu partitions, last-window "
+              "filter, %zu iterations):\n",
+              kPartitions, query_iters);
+  std::printf("  zone maps off: %8.2f ms  (%zu hits)\n", unpruned_s * 1e3,
+              unpruned_hits);
+  std::printf("  zone maps on:  %8.2f ms  (%zu hits, %llu/%zu partitions "
+              "pruned per query)\n",
+              pruned_s * 1e3, pruned_hits,
+              static_cast<unsigned long long>(pruned_parts), kPartitions);
+  const double pruned_speedup = pruned_s > 0 ? unpruned_s / pruned_s : 0.0;
+  std::printf("  pruning speedup: %.2fx\n\n", pruned_speedup);
+
+  // Phase 3: limit pushdown through the cluster k-way merge.
+  const auto limit_cluster = run_serial(schema, 4, payloads).cluster;
+  constexpr std::size_t kLimit = 100;
+  double full_s, limited_s;
+  {
+    const double t0 = now_seconds();
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < query_iters; ++i) {
+      n = limit_cluster->query("darshan_data", "job_rank_time").size();
+    }
+    full_s = now_seconds() - t0;
+    const double t1 = now_seconds();
+    std::size_t m = 0;
+    for (std::size_t i = 0; i < query_iters; ++i) {
+      m = limit_cluster->query("darshan_data", "job_rank_time", {}, kLimit)
+              .size();
+    }
+    limited_s = now_seconds() - t1;
+    std::printf("Cluster query limit pushdown (%zu iterations): full %zu "
+                "hits in %.2f ms, limit %zu -> %zu hits in %.2f ms\n\n",
+                query_iters, n, full_s * 1e3, kLimit, m, limited_s * 1e3);
+  }
+
+  // BENCH_ingest.json — the repo's benchmark trajectory artifact.
+  {
+    const char* out_path = std::getenv("DLC_BENCH_OUT");
+    const std::string path = out_path ? out_path : "BENCH_ingest.json";
+    json::Writer w;
+    w.begin_object();
+    w.member("bench", "ingest");
+    w.member("events", static_cast<std::uint64_t>(events));
+    w.member("payload_bytes_per_event", bytes_per_event);
+    w.member("hardware_threads",
+             static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+    w.key("shard_counts");
+    w.begin_array();
+    for (const ShardResult& r : shard_results) {
+      w.begin_object();
+      w.member("shards", static_cast<std::uint64_t>(r.shards));
+      w.member("serial_events_per_sec", r.serial_eps);
+      w.member("parallel_events_per_sec", r.parallel_eps);
+      w.member("speedup", r.speedup);
+      w.member("backpressure_waits", r.backpressure_waits);
+      w.end_object();
+    }
+    w.end_array();
+    w.member("results_byte_identical", identical);
+    w.key("zone_map_query");
+    w.begin_object();
+    w.member("partitions", static_cast<std::uint64_t>(kPartitions));
+    w.member("query_iters", static_cast<std::uint64_t>(query_iters));
+    w.member("unpruned_ms", unpruned_s * 1e3);
+    w.member("pruned_ms", pruned_s * 1e3);
+    w.member("partitions_pruned_per_query",
+             static_cast<std::uint64_t>(pruned_parts));
+    w.member("pruning_speedup", pruned_speedup);
+    w.end_object();
+    w.key("limit_query");
+    w.begin_object();
+    w.member("limit", static_cast<std::uint64_t>(kLimit));
+    w.member("full_ms", full_s * 1e3);
+    w.member("limited_ms", limited_s * 1e3);
+    w.end_object();
+    w.end_object();
+    std::ofstream out(path);
+    out << w.str() << "\n";
+    std::printf("wrote %s\n\n", path.c_str());
+  }
+
+  // Correctness gate: ALWAYS fatal.  Parallel ingest that changes query
+  // results is a bug regardless of benchmarking mode.
+  gate(identical,
+       "parallel and serial ingest produce byte-identical query results");
+  gate(pruned_hits == unpruned_hits,
+       "zone-map pruning returns identical hits");
+  if (check) {
+    // The speedup gate needs real parallelism to be meaningful: the caller
+    // thread decodes while >= 4 workers insert, so on hosts with fewer
+    // than 4 hardware threads the workers time-slice one core and the
+    // gate would fail on physics, not on a regression.
+    const unsigned hw = std::thread::hardware_concurrency();
+    for (const ShardResult& r : shard_results) {
+      if (r.shards < 4) continue;
+      char buf[160];
+      if (hw < 4) {
+        std::snprintf(buf, sizeof(buf),
+                      "  [SKIP] parallel >= 1.5x serial events/sec at %zu "
+                      "shards (host has %u hardware threads; got %.2fx)\n",
+                      r.shards, hw, r.speedup);
+        std::printf("%s", buf);
+        continue;
+      }
+      std::snprintf(buf, sizeof(buf),
+                    "parallel >= 1.5x serial events/sec at %zu shards "
+                    "(got %.2fx)",
+                    r.shards, r.speedup);
+      gate(r.speedup >= 1.5, buf);
+    }
+    gate(pruned_parts > 0, "zone maps prune at least one partition");
+    gate(pruned_s <= unpruned_s, "pruned queries are no slower");
+  }
+
+  if (!ok) {
+    std::printf("\ningest gate FAILED\n");
+    return 1;
+  }
+  std::printf("\ningest gate passed\n");
+  return 0;
+}

@@ -101,6 +101,12 @@ struct ConnectorConfig {
   /// per-module enable/disable ("which can be enabled or disabled as
   /// desired").
   std::vector<darshan::Module> module_filter;
+  /// Worker threads for the storage-side ingest executor (decoder ->
+  /// DsosCluster).  0 = serial insertion on the decode thread (the
+  /// pre-executor behaviour); > 0 enables dsos::IngestExecutor with that
+  /// many workers, clamped to the shard count
+  /// (env DARSHAN_LDMS_INGEST_THREADS).
+  std::size_t ingest_threads = 0;
   /// When false the connector observes events but never publishes
   /// (darshan-only baseline shares the same code path shape).
   bool publish = true;

@@ -1,6 +1,9 @@
 #include "core/decoder.hpp"
 
+#include <array>
+
 #include "json/parser.hpp"
+#include "json/scan.hpp"
 #include "util/strings.hpp"
 #include "wire/codec.hpp"
 
@@ -17,7 +20,123 @@ std::string gets(const json::Value& v, std::string_view k) {
   return v.get_string(k, "N/A");
 }
 
+// Fast-path field tables: top-level connector message fields and per-seg
+// fields, in stable slot order (NOT schema order; rows are assembled from
+// slots below).  Duplicate keys overwrite their slot — the same last-wins
+// rule json::parse applies via insert_or_assign.
+constexpr std::array<std::string_view, 14> kTopFields = {
+    "module", "uid",      "ProducerName", "switches", "file",
+    "rank",   "flushes",  "record_id",    "exe",      "max_byte",
+    "type",   "job_id",   "op",           "cnt"};
+constexpr std::array<std::string_view, 10> kSegFields = {
+    "off",       "pt_sel",      "dur",      "len",     "ndims",
+    "reg_hslab", "irreg_hslab", "data_set", "npoints", "timestamp"};
+
+template <std::size_t N>
+int field_slot(const std::array<std::string_view, N>& table,
+               std::string_view key) {
+  for (std::size_t i = 0; i < N; ++i) {
+    if (table[i] == key) return static_cast<int>(i);
+  }
+  return -1;
+}
+
 }  // namespace
+
+bool decode_message_fast(const dsos::SchemaPtr& schema,
+                         std::string_view payload,
+                         std::vector<dsos::Object>& out) {
+  out.clear();
+  json::Scanner sc(payload);
+  if (!sc.enter_object()) return false;
+
+  std::array<json::Token, kTopFields.size()> top;
+  std::array<std::string, kTopFields.size()> top_scratch;
+  std::string key_scratch;
+  std::string_view seg_span;
+  bool have_seg = false;
+  bool seg_is_array = false;
+
+  for (;;) {
+    std::string_view key;
+    const int r = sc.next_member(key, key_scratch);
+    if (r < 0) return false;
+    if (r == 0) break;
+    if (key == "seg") {
+      seg_is_array = sc.peek_array();
+      if (!sc.value_span(seg_span)) return false;
+      have_seg = true;
+    } else if (const int slot = field_slot(kTopFields, key); slot >= 0) {
+      if (!sc.scan_token(top[slot], top_scratch[slot])) return false;
+    } else {
+      if (!sc.skip_value()) return false;
+    }
+  }
+  // json::parse rejects trailing characters; diverging here would make
+  // the fast path accept payloads the DOM path calls malformed.
+  if (!sc.at_end()) return false;
+  if (!have_seg || !seg_is_array) return true;  // valid doc, zero rows
+
+  json::Scanner segs(seg_span);
+  if (!segs.enter_array()) return false;
+  std::array<json::Token, kSegFields.size()> seg;
+  std::array<std::string, kSegFields.size()> seg_scratch;
+  for (;;) {
+    const int e = segs.next_element();
+    if (e < 0) return false;
+    if (e == 0) break;
+    if (!segs.peek_object()) {  // DOM path: `if (!s.is_object()) continue;`
+      if (!segs.skip_value()) return false;
+      continue;
+    }
+    seg.fill(json::Token{});
+    if (!segs.enter_object()) return false;
+    for (;;) {
+      std::string_view key;
+      const int r = segs.next_member(key, key_scratch);
+      if (r < 0) return false;
+      if (r == 0) break;
+      if (const int slot = field_slot(kSegFields, key); slot >= 0) {
+        if (!segs.scan_token(seg[slot], seg_scratch[slot])) return false;
+      } else {
+        if (!segs.skip_value()) return false;
+      }
+    }
+
+    // Same value/fallback ladder as decode_message, in schema order.
+    std::vector<dsos::Value> values;
+    values.reserve(schema->attrs().size());
+    const auto str = [](const json::Token& t) {
+      return std::string(t.as_string("N/A"));
+    };
+    values.emplace_back(str(top[0]));                 // module
+    values.emplace_back(top[1].as_uint(0));           // uid
+    values.emplace_back(str(top[2]));                 // ProducerName
+    values.emplace_back(top[3].as_int(-1));           // switches
+    values.emplace_back(str(top[4]));                 // file
+    values.emplace_back(top[5].as_int(0));            // rank
+    values.emplace_back(top[6].as_int(-1));           // flushes
+    values.emplace_back(top[7].as_uint(0));           // record_id
+    values.emplace_back(str(top[8]));                 // exe
+    values.emplace_back(top[9].as_int(-1));           // max_byte
+    values.emplace_back(str(top[10]));                // type
+    values.emplace_back(top[11].as_uint(0));          // job_id
+    values.emplace_back(str(top[12]));                // op
+    values.emplace_back(top[13].as_int(0));           // cnt
+    values.emplace_back(seg[0].as_int(-1));           // seg_off
+    values.emplace_back(seg[1].as_int(-1));           // seg_pt_sel
+    values.emplace_back(seg[2].as_double(0.0));       // seg_dur
+    values.emplace_back(seg[3].as_int(-1));           // seg_len
+    values.emplace_back(seg[4].as_int(-1));           // seg_ndims
+    values.emplace_back(seg[5].as_int(-1));           // seg_reg_hslab
+    values.emplace_back(seg[6].as_int(-1));           // seg_irreg_hslab
+    values.emplace_back(str(seg[7]));                 // seg_data_set
+    values.emplace_back(seg[8].as_int(-1));           // seg_npoints
+    values.emplace_back(seg[9].as_double(0.0));       // seg_timestamp
+    out.push_back(dsos::make_object(schema, std::move(values)));
+  }
+  return true;
+}
 
 std::vector<dsos::Object> decode_message(const dsos::SchemaPtr& schema,
                                          const std::string& payload) {
@@ -87,10 +206,12 @@ std::string to_csv_row(const dsos::Object& obj) {
 
 DarshanDecoder::DarshanDecoder(ldms::LdmsDaemon& daemon, const std::string& tag,
                                dsos::DsosCluster& cluster,
-                               bool dedup_redelivered)
+                               bool dedup_redelivered,
+                               dsos::IngestExecutor* ingest)
     : schema_(darshan_data_schema()),
       cluster_(cluster),
-      dedup_redelivered_(dedup_redelivered) {
+      dedup_redelivered_(dedup_redelivered),
+      ingest_(ingest) {
   cluster_.register_schema(schema_);
   daemon.bus().subscribe(tag, [this](const ldms::StreamMessage& msg) {
     on_message(msg);
@@ -104,9 +225,14 @@ void DarshanDecoder::on_message(const ldms::StreamMessage& msg) {
     ++duplicates_dropped_;  // at-least-once redelivery; already ingested
     return;
   }
-  std::vector<dsos::Object> objects;
+  std::vector<dsos::Object>& objects = scratch_rows_;
+  objects.clear();
   if (msg.format == ldms::PayloadFormat::kJson) {
-    objects = decode_message(schema_, msg.payload);
+    // Zero-copy scan first; the scanner rejects anything it cannot decode
+    // byte-identically, so the DOM fallback keeps results exact.
+    if (!decode_message_fast(schema_, msg.payload, objects)) {
+      objects = decode_message(schema_, msg.payload);
+    }
   } else if (msg.format == ldms::PayloadFormat::kBinary) {
     objects = wire::decode_frame(schema_, msg.payload);
     if (!objects.empty()) ++frames_decoded_;
@@ -119,7 +245,11 @@ void DarshanDecoder::on_message(const ldms::StreamMessage& msg) {
     return;
   }
   for (auto& obj : objects) {
-    cluster_.insert(std::move(obj));
+    if (ingest_ != nullptr) {
+      ingest_->submit(std::move(obj));
+    } else {
+      cluster_.insert(std::move(obj));
+    }
     ++decoded_;
   }
 }

@@ -19,6 +19,7 @@
 
 #include "core/schema_darshan.hpp"
 #include "dsos/cluster.hpp"
+#include "dsos/ingest.hpp"
 #include "ldms/daemon.hpp"
 #include "ldms/message.hpp"
 #include "relia/seq.hpp"
@@ -30,6 +31,17 @@ namespace dlc::core {
 std::vector<dsos::Object> decode_message(const dsos::SchemaPtr& schema,
                                          const std::string& payload);
 
+/// Zero-copy variant: scans the payload with json::Scanner instead of
+/// building a DOM — field values are string_view slices of the payload
+/// until the rows are materialised, so `payload` must outlive the call
+/// (it does: rows copy what they keep).  Returns false when the payload
+/// needs the DOM path (\u escapes, deep nesting, malformed input); the
+/// caller MUST then fall back to decode_message so results stay
+/// byte-identical either way.
+bool decode_message_fast(const dsos::SchemaPtr& schema,
+                         std::string_view payload,
+                         std::vector<dsos::Object>& out);
+
 /// Renders a decoded object as a Fig. 3 CSV row (no header).
 std::string to_csv_row(const dsos::Object& obj);
 
@@ -40,8 +52,12 @@ class DarshanDecoder {
   /// `dedup_redelivered` drops messages whose (producer, seq) was already
   /// ingested — required under at-least-once transport, harmless (but
   /// wrong for unsequenced traffic, hence opt-in) under best-effort.
+  /// `ingest`, when given, receives decoded rows instead of the cluster
+  /// directly (parallel sharded insertion); it must target `cluster` and
+  /// outlive the decoder.  Callers own the drain() point.
   DarshanDecoder(ldms::LdmsDaemon& daemon, const std::string& tag,
-                 dsos::DsosCluster& cluster, bool dedup_redelivered = false);
+                 dsos::DsosCluster& cluster, bool dedup_redelivered = false,
+                 dsos::IngestExecutor* ingest = nullptr);
 
   /// Rows ingested (one per JSON seg entry / binary frame event).
   std::uint64_t decoded() const { return decoded_; }
@@ -61,7 +77,9 @@ class DarshanDecoder {
   dsos::SchemaPtr schema_;
   dsos::DsosCluster& cluster_;
   bool dedup_redelivered_;
+  dsos::IngestExecutor* ingest_;
   relia::SequenceTracker tracker_;
+  std::vector<dsos::Object> scratch_rows_;  // reused fast-path buffer
   std::uint64_t decoded_ = 0;
   std::uint64_t malformed_ = 0;
   std::uint64_t frames_decoded_ = 0;

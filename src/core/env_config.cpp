@@ -137,6 +137,14 @@ EnvConfig connector_config_from_env(const EnvGetter& getenv_fn) {
       cfg.errors.push_back(std::string("DARSHAN_LDMS_SPOOL_BYTES=") + v);
     }
   }
+  if (const char* v = get("DARSHAN_LDMS_INGEST_THREADS")) {
+    std::uint64_t n;
+    if (parse_u64(v, n)) {
+      cfg.connector.ingest_threads = static_cast<std::size_t>(n);
+    } else {
+      cfg.errors.push_back(std::string("DARSHAN_LDMS_INGEST_THREADS=") + v);
+    }
+  }
   if (const char* v = get("DARSHAN_LDMS_MODULES")) {
     for (const std::string& part : split(v, ',')) {
       const std::string name(trim(part));

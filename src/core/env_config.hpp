@@ -18,6 +18,8 @@
 //   DARSHAN_LDMS_SPOOL_MSGS  at-least-once spool bound, messages (>= 1)
 //   DARSHAN_LDMS_SPOOL_BYTES at-least-once spool bound, payload bytes
 //                            (0 = unlimited)
+//   DARSHAN_LDMS_INGEST_THREADS  storage-side ingest worker threads
+//                            (0 = serial insertion, the default)
 #pragma once
 
 #include <functional>

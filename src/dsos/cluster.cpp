@@ -52,6 +52,12 @@ void DsosCluster::insert(Object obj) {
   shards_[target]->container().insert(std::move(obj));
 }
 
+std::size_t DsosCluster::route(const Object& obj) { return shard_of(obj); }
+
+void DsosCluster::insert_at(std::size_t shard, Object obj) {
+  shards_[shard]->container().insert(std::move(obj));
+}
+
 std::size_t DsosCluster::total_objects() const {
   std::size_t total = 0;
   for (const auto& shard : shards_) total += shard->container().size();
@@ -59,24 +65,34 @@ std::size_t DsosCluster::total_objects() const {
 }
 
 std::vector<const Object*> DsosCluster::query_auto(
-    std::string_view schema_name, const Filter& filter) const {
+    std::string_view schema_name, const Filter& filter,
+    std::size_t limit) const {
   const IndexDef& index =
       shards_.front()->container().best_index(schema_name, filter);
-  return query(schema_name, index.name, filter);
+  return query(schema_name, index.name, filter, limit);
 }
 
 std::vector<const Object*> DsosCluster::query(std::string_view schema_name,
                                               std::string_view index_name,
-                                              const Filter& filter) const {
-  // Fan out.
+                                              const Filter& filter,
+                                              std::size_t limit) const {
+  // Fan out.  Each shard applies zone-map pruning and the limit itself
+  // (any shard might contribute up to `limit` of the merged result).
   std::vector<std::vector<QueryHit>> per_shard(shards_.size());
   if (config_.parallel_query && shards_.size() > 1) {
     std::vector<std::future<std::vector<QueryHit>>> futures;
     futures.reserve(shards_.size());
     for (const auto& shard : shards_) {
-      futures.push_back(std::async(std::launch::async, [&]() {
-        return shard->container().query(schema_name, index_name, filter);
-      }));
+      // Capture the shard pointer BY VALUE: a [&] capture would bind the
+      // loop variable by reference, and every async task would race on
+      // (and likely read past) the mutating iteration state.
+      Dsosd* s = shard.get();
+      futures.push_back(
+          std::async(std::launch::async, [s, schema_name, index_name, &filter,
+                                          limit]() {
+            return s->container().query(schema_name, index_name, filter,
+                                        limit);
+          }));
     }
     for (std::size_t i = 0; i < futures.size(); ++i) {
       per_shard[i] = futures[i].get();
@@ -84,7 +100,7 @@ std::vector<const Object*> DsosCluster::query(std::string_view schema_name,
   } else {
     for (std::size_t i = 0; i < shards_.size(); ++i) {
       per_shard[i] = shards_[i]->container().query(schema_name, index_name,
-                                                   filter);
+                                                   filter, limit);
     }
   }
 
@@ -106,11 +122,12 @@ std::vector<const Object*> DsosCluster::query(std::string_view schema_name,
     if (!per_shard[s].empty()) heap.push(Cursor{s, 0});
   }
   std::vector<const Object*> merged;
-  merged.reserve(total);
+  merged.reserve(limit != 0 ? std::min(limit, total) : total);
   while (!heap.empty()) {
     Cursor cur = heap.top();
     heap.pop();
     merged.push_back(per_shard[cur.shard][cur.pos].object);
+    if (limit != 0 && merged.size() >= limit) break;  // early merge stop
     if (++cur.pos < per_shard[cur.shard].size()) heap.push(cur);
   }
   return merged;

@@ -54,17 +54,30 @@ class DsosCluster {
   /// robin when the schema lacks it) and inserts.
   void insert(Object obj);
 
+  /// Routing only: the shard `obj` belongs to.  Exposed so the ingest
+  /// executor can route on the caller thread (keeping the round-robin
+  /// fallback deterministic in submission order) and insert on a worker.
+  std::size_t route(const Object& obj);
+
+  /// Inserts into a known shard — paired with route().  The ingest
+  /// executor guarantees one writer per shard, so no locking here.
+  void insert_at(std::size_t shard, Object obj);
+
   std::size_t total_objects() const;
 
   /// Parallel query across shards, k-way merged into global index order.
+  /// `limit` (0 = unlimited) is pushed down to every shard and stops the
+  /// merge early — the first `limit` hits in global key order.
   std::vector<const Object*> query(std::string_view schema_name,
                                    std::string_view index_name,
-                                   const Filter& filter = {}) const;
+                                   const Filter& filter = {},
+                                   std::size_t limit = 0) const;
 
   /// Like query() but lets the planner pick the index from the filter's
   /// equality conditions (Container::best_index on shard 0).
   std::vector<const Object*> query_auto(std::string_view schema_name,
-                                        const Filter& filter = {}) const;
+                                        const Filter& filter = {},
+                                        std::size_t limit = 0) const;
 
  private:
   std::size_t shard_of(const Object& obj);

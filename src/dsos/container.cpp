@@ -40,8 +40,11 @@ void Container::register_schema(SchemaPtr schema) {
   if (schemas_.contains(schema->name())) return;
   SchemaState state;
   state.schema = schema;
+  state.zones.resize(schema->attrs().size());
+  state.indexed.assign(schema->attrs().size(), 0);
   for (const IndexDef& def : schema->indices()) {
     state.indices.emplace_back(def);
+    for (std::size_t attr_id : def.attr_ids) state.indexed[attr_id] = 1;
   }
   schemas_.emplace(schema->name(), std::move(state));
 }
@@ -66,23 +69,94 @@ std::size_t Container::insert(Object obj) {
     throw std::out_of_range("dsos: insert into unregistered schema " +
                             obj.schema->name());
   }
+  SchemaState& state = it->second;
   const std::size_t slot = objects_.size();
   objects_.push_back(std::move(obj));
-  for (Index& index : it->second.indices) {
-    index.insert(objects_.back(), slot);
+  const Object& stored = objects_.back();
+  for (Index& index : state.indices) {
+    index.insert(stored, slot, key_arena_);
+  }
+  for (std::size_t a = 0; a < state.zones.size(); ++a) {
+    if (!state.indexed[a]) continue;
+    Zone& z = state.zones[a];
+    const Value& v = stored.values[a];
+    if (!z.init) {
+      z.init = true;
+      z.min = v;
+      z.max = v;
+    } else {
+      if (compare_values(v, z.min) < 0) z.min = v;
+      if (compare_values(v, z.max) > 0) z.max = v;
+    }
   }
   return slot;
 }
 
+bool Container::can_match(const SchemaState& state,
+                          const Filter& filter) const {
+  const Schema& schema = *state.schema;
+  for (const Condition& cond : filter) {
+    const auto attr_id = schema.find_attr(cond.attr);
+    // matches() rejects every object on an unknown attribute, so the
+    // filter provably selects nothing.
+    if (!attr_id) return false;
+    if (!state.indexed[*attr_id]) continue;  // no zone for this attr
+    const Zone& z = state.zones[*attr_id];
+    if (!z.init) return false;  // no objects of this schema at all
+    // Mixed-type comparisons order by variant index, not value; stay
+    // conservative and only prune when the types line up.
+    if (!value_matches_type(cond.value, schema.attrs()[*attr_id].type)) {
+      continue;
+    }
+    const int vs_min = compare_values(cond.value, z.min);
+    const int vs_max = compare_values(cond.value, z.max);
+    switch (cond.cmp) {
+      case Cmp::kEq:
+        if (vs_min < 0 || vs_max > 0) return false;
+        break;
+      case Cmp::kNe:
+        // Disjoint only when every value equals cond.value.
+        if (vs_min == 0 && vs_max == 0) return false;
+        break;
+      case Cmp::kLt:  // need some obj < value  =>  min < value
+        if (vs_min <= 0) return false;
+        break;
+      case Cmp::kLe:  // need min <= value
+        if (vs_min < 0) return false;
+        break;
+      case Cmp::kGt:  // need max > value
+        if (vs_max >= 0) return false;
+        break;
+      case Cmp::kGe:  // need max >= value
+        if (vs_max > 0) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+bool Container::can_match(std::string_view schema_name,
+                          const Filter& filter) const {
+  return can_match(schema_state(schema_name), filter);
+}
+
 std::vector<QueryHit> Container::query(std::string_view schema_name,
                                        std::string_view index_name,
-                                       const Filter& filter) const {
+                                       const Filter& filter,
+                                       std::size_t limit) const {
   const SchemaState& state = schema_state(schema_name);
   const Schema& schema = *state.schema;
   const auto index_pos = schema.find_index(index_name);
   if (!index_pos) {
     throw std::out_of_range("dsos: unknown index " + std::string(index_name));
   }
+
+  if (zone_maps_ && !filter.empty() && !can_match(state, filter)) {
+    ++zone_pruned_;
+    last_scanned_ = 0;
+    return {};
+  }
+
   const Index& index = state.indices[*index_pos];
   const IndexDef& def = index.def();
 
@@ -104,24 +178,28 @@ std::vector<QueryHit> Container::query(std::string_view schema_name,
     if (!found) break;
   }
 
-  const std::vector<std::size_t> slots =
-      leading.empty()
-          ? index.full_scan()
-          : index.prefix_scan(encode_prefix(schema, def, leading));
-  last_scanned_ = slots.size();
-
   // Residual conditions (those not folded into the prefix).
   Filter residual;
   for (std::size_t f = 0; f < filter.size(); ++f) {
     if (!consumed[f]) residual.push_back(filter[f]);
   }
 
+  // The limit can only bound the scan itself when every scanned entry is a
+  // hit (no residual filter to drop entries afterwards).
+  const std::size_t scan_cap = residual.empty() ? limit : 0;
+  const std::vector<Index::Entry> entries =
+      leading.empty()
+          ? index.full_scan(scan_cap)
+          : index.prefix_scan(encode_prefix(schema, def, leading), scan_cap);
+  last_scanned_ = entries.size();
+
   std::vector<QueryHit> hits;
-  hits.reserve(slots.size());
-  for (std::size_t slot : slots) {
+  hits.reserve(limit != 0 ? std::min(limit, entries.size()) : entries.size());
+  for (const auto& [key, slot] : entries) {
     const Object& obj = objects_[slot];
     if (residual.empty() || matches(obj, residual)) {
-      hits.push_back(QueryHit{encode_key(obj, def), &obj});
+      hits.push_back(QueryHit{key, &obj});
+      if (limit != 0 && hits.size() >= limit) break;
     }
   }
   return hits;
@@ -157,15 +235,18 @@ const IndexDef& Container::best_index(std::string_view schema_name,
 }
 
 std::vector<QueryHit> Container::query_auto(std::string_view schema_name,
-                                            const Filter& filter) const {
-  return query(schema_name, best_index(schema_name, filter).name, filter);
+                                            const Filter& filter,
+                                            std::size_t limit) const {
+  return query(schema_name, best_index(schema_name, filter).name, filter,
+               limit);
 }
 
 std::vector<const Object*> Container::select(std::string_view schema_name,
                                              std::string_view index_name,
-                                             const Filter& filter) const {
+                                             const Filter& filter,
+                                             std::size_t limit) const {
   std::vector<const Object*> out;
-  for (const QueryHit& hit : query(schema_name, index_name, filter)) {
+  for (const QueryHit& hit : query(schema_name, index_name, filter, limit)) {
     out.push_back(hit.object);
   }
   return out;

@@ -1,5 +1,16 @@
 // DSOS container: object storage for one or more schemas with their
 // ordered indices, plus the filtered query machinery.
+//
+// Perf layer (see DESIGN.md "Storage-side performance"):
+//   * index keys are interned into a per-container Arena (one container ==
+//     one dsosd shard, so this is the per-shard arena);
+//   * per-schema zone maps track min/max of every indexed attribute so a
+//     query whose filter cannot intersect the container's value range is
+//     answered without touching an index — this is what makes partition
+//     pruning work in PartitionedStore, where each partition is its own
+//     Container;
+//   * queries accept an optional `limit` that is pushed down into the
+//     index scan when no residual filter remains.
 #pragma once
 
 #include <cstdint>
@@ -7,8 +18,10 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "dsos/arena.hpp"
 #include "dsos/index.hpp"
 #include "dsos/schema.hpp"
 
@@ -29,7 +42,8 @@ using Filter = std::vector<Condition>;
 bool matches(const Object& obj, const Filter& filter);
 
 struct QueryHit {
-  KeyBytes key;          // encoded index key (for cross-shard merging)
+  std::string_view key;  // encoded index key (arena-owned; valid while the
+                         // container lives — used for cross-shard merging)
   const Object* object;  // borrowed from the container
 };
 
@@ -39,8 +53,9 @@ class Container {
   void register_schema(SchemaPtr schema);
   SchemaPtr schema(std::string_view name) const;
 
-  /// Inserts an object (copies into the container arena) and updates all
-  /// of its schema's indices.  Returns the object slot.
+  /// Inserts an object and updates all of its schema's indices and zone
+  /// maps.  Returns the object slot.  Single-writer (the ingest executor
+  /// guarantees one writer per shard/container).
   std::size_t insert(Object obj);
 
   std::size_t size() const { return objects_.size(); }
@@ -48,15 +63,18 @@ class Container {
 
   /// Index-ordered query: uses the longest equality prefix of `filter`
   /// matching the index's leading attributes as a byte-range scan, then
-  /// applies the remaining conditions.
+  /// applies the remaining conditions.  `limit` (0 = unlimited) caps the
+  /// number of hits, in key order.
   std::vector<QueryHit> query(std::string_view schema_name,
                               std::string_view index_name,
-                              const Filter& filter = {}) const;
+                              const Filter& filter = {},
+                              std::size_t limit = 0) const;
 
   /// Convenience: query returning objects only.
   std::vector<const Object*> select(std::string_view schema_name,
                                     std::string_view index_name,
-                                    const Filter& filter = {}) const;
+                                    const Filter& filter = {},
+                                    std::size_t limit = 0) const;
 
   /// Query planning: the index whose leading attributes match the longest
   /// run of equality conditions in `filter` (ties broken by declaration
@@ -67,23 +85,51 @@ class Container {
 
   /// query() against the planner-chosen index.
   std::vector<QueryHit> query_auto(std::string_view schema_name,
-                                   const Filter& filter = {}) const;
+                                   const Filter& filter = {},
+                                   std::size_t limit = 0) const;
 
   /// Diagnostic: how many index entries were scanned by the last query on
   /// this container (measures joint-index selectivity; bench_dsos).
   std::uint64_t last_scanned() const { return last_scanned_; }
 
+  /// Zone-map pruning toggle (on by default; bench_ingest compares).
+  void set_zone_maps(bool enabled) { zone_maps_ = enabled; }
+  bool zone_maps() const { return zone_maps_; }
+  /// Queries answered empty straight from the zone maps.
+  std::uint64_t zone_pruned() const { return zone_pruned_; }
+
+  /// True when some object in this container could satisfy `filter`
+  /// according to the per-attribute min/max zones.  False is definitive
+  /// ("no object matches"); true only means "cannot rule it out".
+  bool can_match(std::string_view schema_name, const Filter& filter) const;
+
+  /// Arena backing the encoded index keys (diagnostics).
+  const Arena& key_arena() const { return key_arena_; }
+
  private:
+  /// Min/max of one indexed attribute over all inserted objects.
+  struct Zone {
+    bool init = false;
+    Value min;
+    Value max;
+  };
+
   struct SchemaState {
     SchemaPtr schema;
     std::vector<Index> indices;
+    std::vector<Zone> zones;     // per attr id; maintained iff indexed[i]
+    std::vector<char> indexed;   // attr id appears in some index
   };
 
   const SchemaState& schema_state(std::string_view name) const;
+  bool can_match(const SchemaState& state, const Filter& filter) const;
 
   std::deque<Object> objects_;
   std::map<std::string, SchemaState, std::less<>> schemas_;
+  Arena key_arena_;
+  bool zone_maps_ = true;
   mutable std::uint64_t last_scanned_ = 0;
+  mutable std::uint64_t zone_pruned_ = 0;
 };
 
 }  // namespace dlc::dsos

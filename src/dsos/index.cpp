@@ -1,6 +1,8 @@
 #include "dsos/index.hpp"
 
+#include <algorithm>
 #include <cstring>
+#include <stdexcept>
 
 namespace dlc::dsos {
 
@@ -30,6 +32,7 @@ void encode_double(KeyBytes& out, double v) {
 }
 
 void encode_string(KeyBytes& out, std::string_view v) {
+  out.reserve(out.size() + v.size() + 2);
   for (char c : v) {
     out.push_back(c);
     if (c == '\0') out.push_back('\x01');
@@ -58,11 +61,15 @@ void encode_value(KeyBytes& out, const Value& v, AttrType type) {
 
 KeyBytes encode_key(const Object& obj, const IndexDef& def) {
   KeyBytes key;
-  key.reserve(def.attr_ids.size() * 9);
-  for (std::size_t attr_id : def.attr_ids) {
-    encode_value(key, obj.values[attr_id], obj.schema->attrs()[attr_id].type);
-  }
+  encode_key_into(key, obj, def);
   return key;
+}
+
+void encode_key_into(KeyBytes& out, const Object& obj, const IndexDef& def) {
+  out.reserve(out.size() + def.attr_ids.size() * 9);
+  for (std::size_t attr_id : def.attr_ids) {
+    encode_value(out, obj.values[attr_id], obj.schema->attrs()[attr_id].type);
+  }
 }
 
 KeyBytes encode_prefix(const Schema& schema, const IndexDef& def,
@@ -71,6 +78,7 @@ KeyBytes encode_prefix(const Schema& schema, const IndexDef& def,
     throw std::invalid_argument("prefix longer than index key");
   }
   KeyBytes key;
+  key.reserve(leading_values.size() * 9);
   for (std::size_t i = 0; i < leading_values.size(); ++i) {
     const std::size_t attr_id = def.attr_ids[i];
     const AttrType type = schema.attrs()[attr_id].type;
@@ -92,29 +100,40 @@ KeyBytes prefix_upper_bound(KeyBytes p) {
   return p;  // empty => unbounded above
 }
 
-void Index::insert(const Object& obj, std::size_t slot) {
-  map_.emplace(encode_key(obj, def_), slot);
+void Index::insert(const Object& obj, std::size_t slot, Arena& arena) {
+  scratch_.clear();
+  encode_key_into(scratch_, obj, def_);
+  map_.emplace(arena.intern(scratch_), slot);
 }
 
-std::vector<std::size_t> Index::prefix_scan(const KeyBytes& prefix) const {
+std::vector<Index::Entry> Index::prefix_scan(const KeyBytes& prefix,
+                                             std::size_t max_entries) const {
   const KeyBytes hi = prefix_upper_bound(prefix);
-  return range_scan(prefix, hi);
+  return range_scan(prefix, hi, max_entries);
 }
 
-std::vector<std::size_t> Index::range_scan(const KeyBytes& lo,
-                                           const KeyBytes& hi) const {
+std::vector<Index::Entry> Index::range_scan(const KeyBytes& lo,
+                                            const KeyBytes& hi,
+                                            std::size_t max_entries) const {
   auto it = lo.empty() ? map_.begin() : map_.lower_bound(lo);
   const auto end = hi.empty() ? map_.end() : map_.lower_bound(hi);
-  std::vector<std::size_t> slots;
-  for (; it != end; ++it) slots.push_back(it->second);
-  return slots;
+  std::vector<Entry> entries;
+  for (; it != end; ++it) {
+    entries.emplace_back(it->first, it->second);
+    if (max_entries != 0 && entries.size() >= max_entries) break;
+  }
+  return entries;
 }
 
-std::vector<std::size_t> Index::full_scan() const {
-  std::vector<std::size_t> slots;
-  slots.reserve(map_.size());
-  for (const auto& [key, slot] : map_) slots.push_back(slot);
-  return slots;
+std::vector<Index::Entry> Index::full_scan(std::size_t max_entries) const {
+  std::vector<Entry> entries;
+  entries.reserve(max_entries != 0 ? std::min(max_entries, map_.size())
+                                   : map_.size());
+  for (const auto& [key, slot] : map_) {
+    entries.emplace_back(key, slot);
+    if (max_entries != 0 && entries.size() >= max_entries) break;
+  }
+  return entries;
 }
 
 }  // namespace dlc::dsos

@@ -12,13 +12,22 @@
 // Because the encoding is prefix-composable, an equality constraint on the
 // leading attributes of a joint index becomes a byte-prefix range scan —
 // exactly the DSOS query pattern the paper describes for job_rank_time.
+//
+// Storage: key bytes are interned into the owning container's per-shard
+// Arena and the ordered map holds `string_view` keys, so an insert costs a
+// bump allocation instead of one heap string per key per index.  The
+// insert path additionally reuses a scratch KeyBytes buffer, and scans
+// return the stored key views so queries never re-encode keys.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
+#include "dsos/arena.hpp"
 #include "dsos/schema.hpp"
 
 namespace dlc::dsos {
@@ -36,6 +45,8 @@ void encode_value(KeyBytes& out, const Value& v, AttrType type);
 
 /// Builds the composite key of `obj` under index `def`.
 KeyBytes encode_key(const Object& obj, const IndexDef& def);
+/// Same, appending into a caller-owned (reusable) buffer.
+void encode_key_into(KeyBytes& out, const Object& obj, const IndexDef& def);
 
 /// Given values for the first k attrs of `def`, builds the byte prefix
 /// shared by all keys with those leading values.
@@ -47,34 +58,45 @@ KeyBytes encode_prefix(const Schema& schema, const IndexDef& def,
 KeyBytes prefix_upper_bound(KeyBytes p);
 
 /// Ordered multimap from encoded key to object slot (insertion-stable for
-/// duplicate keys).
+/// duplicate keys).  Key bytes live in the container's Arena.
 class Index {
  public:
   explicit Index(IndexDef def) : def_(std::move(def)) {}
 
   const IndexDef& def() const { return def_; }
 
-  void insert(const Object& obj, std::size_t slot);
+  /// (key view, object slot) — the view aliases arena-owned bytes valid
+  /// for the container's lifetime.
+  using Entry = std::pair<std::string_view, std::size_t>;
 
-  /// Object slots whose key has prefix `prefix`, in key order.
-  std::vector<std::size_t> prefix_scan(const KeyBytes& prefix) const;
+  /// Encodes the object's key into `arena` and inserts.  Single writer
+  /// per index (the per-shard ingest invariant).
+  void insert(const Object& obj, std::size_t slot, Arena& arena);
 
-  /// Object slots with lo <= key < hi (byte order); empty strings mean
+  /// Entries whose key has prefix `prefix`, in key order.  `max_entries`
+  /// (0 = unlimited) stops the scan early — query limit pushdown.
+  std::vector<Entry> prefix_scan(const KeyBytes& prefix,
+                                 std::size_t max_entries = 0) const;
+
+  /// Entries with lo <= key < hi (byte order); empty strings mean
   /// unbounded.
-  std::vector<std::size_t> range_scan(const KeyBytes& lo,
-                                      const KeyBytes& hi) const;
+  std::vector<Entry> range_scan(const KeyBytes& lo, const KeyBytes& hi,
+                                std::size_t max_entries = 0) const;
 
-  /// All slots in key order.
-  std::vector<std::size_t> full_scan() const;
+  /// All entries in key order.
+  std::vector<Entry> full_scan(std::size_t max_entries = 0) const;
 
   std::size_t size() const { return map_.size(); }
 
   /// Exposes entries for merge iteration: (key, slot) pairs in order.
-  const std::multimap<KeyBytes, std::size_t>& entries() const { return map_; }
+  const std::multimap<std::string_view, std::size_t>& entries() const {
+    return map_;
+  }
 
  private:
   IndexDef def_;
-  std::multimap<KeyBytes, std::size_t> map_;
+  KeyBytes scratch_;  // reused encode buffer (no per-event heap churn)
+  std::multimap<std::string_view, std::size_t> map_;
 };
 
 }  // namespace dlc::dsos

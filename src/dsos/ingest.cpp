@@ -1,0 +1,129 @@
+#include "dsos/ingest.hpp"
+
+#include <algorithm>
+
+namespace dlc::dsos {
+
+IngestExecutor::IngestExecutor(DsosCluster& cluster, IngestConfig config)
+    : cluster_(cluster), config_(config) {
+  const std::size_t shards = cluster_.shard_count();
+  config_.batch = std::max<std::size_t>(1, config_.batch);
+  config_.queue_capacity = std::max<std::size_t>(1, config_.queue_capacity);
+  const std::size_t n = std::min(config_.workers, shards);
+  if (n == 0) return;  // serial mode: no queues, no threads
+
+  queues_.reserve(shards);
+  pending_.resize(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    queues_.push_back(std::make_unique<BoundedQueue<std::vector<Object>>>(
+        config_.queue_capacity));
+    pending_[s].reserve(config_.batch);
+  }
+  workers_.reserve(n);
+  threads_.reserve(n);
+  for (std::size_t w = 0; w < n; ++w) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  for (std::size_t w = 0; w < n; ++w) {
+    threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+IngestExecutor::~IngestExecutor() {
+  if (!threads_.empty()) {
+    drain();
+    stop_.store(true, std::memory_order_release);
+    for (auto& worker : workers_) {
+      const std::lock_guard lock(worker->m);
+    }
+    for (auto& worker : workers_) worker->cv.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+  for (auto& q : queues_) q->close();
+}
+
+void IngestExecutor::submit(Object obj) {
+  const std::size_t shard = cluster_.route(obj);  // caller-thread routing
+  ++submitted_;
+  if (threads_.empty()) {
+    cluster_.insert_at(shard, std::move(obj));
+    const std::lock_guard lock(done_m_);
+    ++inserted_;
+    return;
+  }
+  pending_[shard].push_back(std::move(obj));
+  if (pending_[shard].size() >= config_.batch) flush_shard(shard);
+}
+
+void IngestExecutor::flush_shard(std::size_t shard) {
+  if (pending_[shard].empty()) return;
+  std::vector<Object> batch;
+  batch.reserve(config_.batch);
+  batch.swap(pending_[shard]);
+  bool waited = false;
+  queues_[shard]->push_wait(std::move(batch), 0, &waited);
+  if (waited) ++backpressure_waits_;
+  ++batches_;
+  Worker& worker = *workers_[shard % workers_.size()];
+  {
+    // Empty critical section: pairs with the predicate check the worker
+    // performs under this mutex, so a push between "predicate false" and
+    // "wait" cannot lose its notification.
+    const std::lock_guard lock(worker.m);
+  }
+  worker.cv.notify_one();
+}
+
+void IngestExecutor::drain() {
+  for (std::size_t s = 0; s < pending_.size(); ++s) flush_shard(s);
+  std::unique_lock lock(done_m_);
+  done_cv_.wait(lock, [&] { return inserted_ == submitted_; });
+}
+
+void IngestExecutor::worker_loop(std::size_t w) {
+  Worker& self = *workers_[w];
+  const std::size_t stride = workers_.size();
+  auto has_work = [&] {
+    for (std::size_t s = w; s < queues_.size(); s += stride) {
+      if (queues_[s]->size() != 0) return true;
+    }
+    return false;
+  };
+  for (;;) {
+    {
+      std::unique_lock lock(self.m);
+      self.cv.wait(lock, [&] {
+        return stop_.load(std::memory_order_acquire) || has_work();
+      });
+    }
+    std::uint64_t done = 0;
+    for (std::size_t s = w; s < queues_.size(); s += stride) {
+      while (auto batch = queues_[s]->try_pop()) {
+        for (Object& obj : *batch) {
+          cluster_.insert_at(s, std::move(obj));
+          ++done;
+        }
+      }
+    }
+    if (done != 0) {
+      {
+        const std::lock_guard lock(done_m_);
+        inserted_ += done;
+      }
+      done_cv_.notify_all();
+    }
+    if (stop_.load(std::memory_order_acquire) && !has_work()) return;
+  }
+}
+
+IngestStats IngestExecutor::stats() const {
+  IngestStats out;
+  out.submitted = submitted_;
+  out.batches = batches_;
+  out.backpressure_waits = backpressure_waits_;
+  const std::lock_guard lock(done_m_);
+  out.inserted = inserted_;
+  return out;
+}
+
+}  // namespace dlc::dsos

@@ -1,0 +1,116 @@
+// Sharded ingest executor: parallel insertion into a DsosCluster with one
+// writer per shard and deterministic results.
+//
+// The paper's DSOS tier shards storage across dsosd daemons precisely so
+// ingest and query scale with servers; this executor is the client-side
+// half of that bargain.  Decoded events are ROUTED ON THE CALLER THREAD
+// (so the cluster's round-robin fallback and hash routing see events in
+// submission order — identical to serial ingest), buffered into small
+// per-shard batches, and handed to a worker pool through per-shard bounded
+// queues.  Each worker exclusively owns a fixed subset of shards
+// (shard % workers == worker), so every Container has exactly one writer
+// and needs no locking.
+//
+// Determinism: per-shard queues are FIFO and each shard has a single
+// inserting worker, so the per-shard insertion order equals the caller's
+// submission order — byte-identical query results to serial ingest, which
+// bench_ingest --check and the ingest property tests verify.
+//
+// Back-pressure, not loss: submit() blocks (BoundedQueue::push_wait) when
+// a shard's queue is full.  The transport tier drops on overflow because
+// LDMS Streams is best-effort, but events that survived decode must reach
+// the store exactly once.
+//
+// drain() flushes caller-side buffers and blocks until every submitted
+// event is inserted — the deterministic flush point virtual-time tests
+// and the pipeline's end-of-run accounting rely on.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "dsos/cluster.hpp"
+#include "util/queue.hpp"
+
+namespace dlc::dsos {
+
+struct IngestConfig {
+  /// Worker threads; 0 = serial (insert inline on the caller thread,
+  /// preserving pre-executor behaviour).  Clamped to the shard count —
+  /// extra workers would own no shards.
+  std::size_t workers = 0;
+  /// Per-shard queue capacity, in batches.  Small values exercise
+  /// back-pressure (the property tests run with capacity 1).
+  std::size_t queue_capacity = 64;
+  /// Events buffered per shard on the caller side before a batch is
+  /// enqueued (amortises queue locking).  drain() flushes partial batches.
+  std::size_t batch = 64;
+};
+
+struct IngestStats {
+  std::uint64_t submitted = 0;  // events accepted by submit()
+  std::uint64_t inserted = 0;   // events inserted into containers
+  std::uint64_t batches = 0;    // batches enqueued
+  std::uint64_t backpressure_waits = 0;  // pushes that had to block
+};
+
+class IngestExecutor {
+ public:
+  /// The cluster must outlive the executor.  Workers start immediately.
+  IngestExecutor(DsosCluster& cluster, IngestConfig config);
+
+  /// Drains and joins the workers.
+  ~IngestExecutor();
+
+  IngestExecutor(const IngestExecutor&) = delete;
+  IngestExecutor& operator=(const IngestExecutor&) = delete;
+
+  /// Routes the event and either inserts inline (serial mode) or buffers
+  /// it toward its shard's queue.  Call from ONE thread (the decoder);
+  /// routing order is what makes parallel ingest deterministic.
+  void submit(Object obj);
+
+  /// Flushes partial batches and blocks until everything submitted so far
+  /// has been inserted.  The executor remains usable afterwards.
+  void drain();
+
+  std::size_t workers() const { return threads_.size(); }
+  IngestStats stats() const;
+
+ private:
+  struct Worker {
+    std::mutex m;
+    std::condition_variable cv;
+  };
+
+  void flush_shard(std::size_t shard);
+  void worker_loop(std::size_t w);
+
+  DsosCluster& cluster_;
+  IngestConfig config_;
+
+  // One queue of event batches per shard; worker (shard % workers) is the
+  // only consumer, so each Container keeps its single-writer invariant.
+  std::vector<std::unique_ptr<BoundedQueue<std::vector<Object>>>> queues_;
+  std::vector<std::vector<Object>> pending_;  // caller-side batch buffers
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  std::atomic<bool> stop_{false};
+
+  // submitted_ is touched only by the submitting thread (which is also
+  // the drain() caller); inserted_ is shared and guarded by done_m_.
+  std::uint64_t submitted_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t backpressure_waits_ = 0;
+  mutable std::mutex done_m_;
+  std::condition_variable done_cv_;
+  std::uint64_t inserted_ = 0;
+};
+
+}  // namespace dlc::dsos

@@ -97,6 +97,16 @@ std::size_t PartitionedStore::queryable_objects() const {
   return total;
 }
 
+void PartitionedStore::set_zone_maps(bool enabled) {
+  for (auto& p : partitions_) p->container.set_zone_maps(enabled);
+}
+
+std::uint64_t PartitionedStore::zone_pruned() const {
+  std::uint64_t total = 0;
+  for (const auto& p : partitions_) total += p->container.zone_pruned();
+  return total;
+}
+
 std::vector<const Object*> PartitionedStore::query(
     std::string_view schema_name, std::string_view index_name,
     const Filter& filter) const {

@@ -60,6 +60,14 @@ class PartitionedStore {
   /// Objects in queryable (PRIMARY + ACTIVE) partitions.
   std::size_t queryable_objects() const;
 
+  /// Toggles zone-map pruning on all current partitions (rotate() creates
+  /// new partitions with pruning on — the default).
+  void set_zone_maps(bool enabled);
+
+  /// Total queries answered straight from zone maps, summed over
+  /// partitions — the "partitions pruned" count for a partitioned query.
+  std::uint64_t zone_pruned() const;
+
   /// Index-ordered query across all queryable partitions (k-way merged).
   std::vector<const Object*> query(std::string_view schema_name,
                                    std::string_view index_name,

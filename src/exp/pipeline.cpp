@@ -103,6 +103,7 @@ RunResult run_experiment(const ExperimentSpec& spec) {
     l2->bus().subscribe(tag, spec.live_subscriber);
   }
   std::shared_ptr<dsos::DsosCluster> dsos_cluster;
+  std::unique_ptr<dsos::IngestExecutor> ingest;
   std::unique_ptr<core::DarshanDecoder> decoder;
   if (spec.decode_to_dsos) {
     if (spec.shared_dsos) {
@@ -114,8 +115,17 @@ RunResult run_experiment(const ExperimentSpec& spec) {
       ccfg.parallel_query = true;
       dsos_cluster = std::make_shared<dsos::DsosCluster>(ccfg);
     }
+    if (spec.connector.ingest_threads > 0) {
+      // Parallel sharded insertion (DARSHAN_LDMS_INGEST_THREADS).  The
+      // workers are real threads like ThreadedForwarder's; virtual time
+      // stays deterministic because results are drained before any query.
+      dsos::IngestConfig icfg;
+      icfg.workers = spec.connector.ingest_threads;
+      ingest = std::make_unique<dsos::IngestExecutor>(*dsos_cluster, icfg);
+    }
     decoder = std::make_unique<core::DarshanDecoder>(*l2, tag, *dsos_cluster,
-                                                     at_least_once);
+                                                     at_least_once,
+                                                     ingest.get());
   }
 
   // System metric samplers: one per allocated node, publishing on the
@@ -194,6 +204,9 @@ RunResult run_experiment(const ExperimentSpec& spec) {
   if (engine.unfinished_tasks() != 0) {
     throw std::logic_error("experiment deadlocked: unfinished rank tasks");
   }
+  // Deterministic flush point: every decoded row is inserted before the
+  // results (and any query against result.dsos) are built.
+  if (ingest) ingest->drain();
 
   RunResult result;
   result.runtime_s = to_seconds(job.runtime());

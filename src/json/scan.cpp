@@ -1,0 +1,350 @@
+#include "json/scan.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+namespace dlc::json {
+
+std::int64_t Token::as_int(std::int64_t fallback) const {
+  switch (kind) {
+    case Kind::kInt:
+      return i;
+    case Kind::kUint:
+      return static_cast<std::int64_t>(u);
+    case Kind::kDouble:
+      return static_cast<std::int64_t>(d);
+    default:
+      return fallback;
+  }
+}
+
+std::uint64_t Token::as_uint(std::uint64_t fallback) const {
+  switch (kind) {
+    case Kind::kInt:
+      return static_cast<std::uint64_t>(i);
+    case Kind::kUint:
+      return u;
+    case Kind::kDouble:
+      return static_cast<std::uint64_t>(d);
+    default:
+      return fallback;
+  }
+}
+
+double Token::as_double(double fallback) const {
+  switch (kind) {
+    case Kind::kInt:
+      return static_cast<double>(i);
+    case Kind::kUint:
+      return static_cast<double>(u);
+    case Kind::kDouble:
+      return d;
+    default:
+      return fallback;
+  }
+}
+
+std::string_view Token::as_string(std::string_view fallback) const {
+  return kind == Kind::kString ? sv : fallback;
+}
+
+void Scanner::skip_ws() {
+  while (pos_ < text_.size()) {
+    const char c = text_[pos_];
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      ++pos_;
+    } else {
+      break;
+    }
+  }
+}
+
+bool Scanner::consume(char c) {
+  if (pos_ < text_.size() && text_[pos_] == c) {
+    ++pos_;
+    return true;
+  }
+  return false;
+}
+
+bool Scanner::enter_object() {
+  skip_ws();
+  first_member_ = true;
+  return consume('{');
+}
+
+bool Scanner::enter_array() {
+  skip_ws();
+  first_element_ = true;
+  return consume('[');
+}
+
+int Scanner::next_member(std::string_view& key, std::string& key_scratch) {
+  skip_ws();
+  if (first_member_) {
+    first_member_ = false;
+    if (consume('}')) return 0;
+  } else {
+    if (consume('}')) return 0;
+    if (!consume(',')) return -1;
+    skip_ws();
+  }
+  if (!scan_string(key, key_scratch)) return -1;
+  skip_ws();
+  if (!consume(':')) return -1;
+  skip_ws();
+  return 1;
+}
+
+int Scanner::next_element() {
+  skip_ws();
+  if (first_element_) {
+    first_element_ = false;
+    if (consume(']')) return 0;
+  } else {
+    if (consume(']')) return 0;
+    if (!consume(',')) return -1;
+    skip_ws();
+  }
+  return 1;
+}
+
+bool Scanner::peek_array() {
+  skip_ws();
+  return pos_ < text_.size() && text_[pos_] == '[';
+}
+
+bool Scanner::peek_object() {
+  skip_ws();
+  return pos_ < text_.size() && text_[pos_] == '{';
+}
+
+bool Scanner::at_end() {
+  skip_ws();
+  return pos_ == text_.size();
+}
+
+bool Scanner::scan_string(std::string_view& out, std::string& scratch) {
+  if (!consume('"')) return false;
+  const std::size_t start = pos_;
+  // Fast path: no escapes => return a slice of the payload.
+  while (pos_ < text_.size()) {
+    const char c = text_[pos_];
+    if (c == '"') {
+      out = text_.substr(start, pos_ - start);
+      ++pos_;
+      return true;
+    }
+    if (c == '\\') break;
+    ++pos_;
+  }
+  if (pos_ >= text_.size()) return false;  // unterminated
+  // Escape found: decode into scratch (same escapes parser.cpp accepts,
+  // except \u which fails the scan — DOM fallback handles it).
+  scratch.assign(text_.substr(start, pos_ - start));
+  while (pos_ < text_.size()) {
+    const char c = text_[pos_++];
+    if (c == '"') {
+      out = scratch;
+      return true;
+    }
+    if (c != '\\') {
+      scratch.push_back(c);
+      continue;
+    }
+    if (pos_ >= text_.size()) return false;
+    const char esc = text_[pos_++];
+    switch (esc) {
+      case '"':
+        scratch.push_back('"');
+        break;
+      case '\\':
+        scratch.push_back('\\');
+        break;
+      case '/':
+        scratch.push_back('/');
+        break;
+      case 'n':
+        scratch.push_back('\n');
+        break;
+      case 't':
+        scratch.push_back('\t');
+        break;
+      case 'r':
+        scratch.push_back('\r');
+        break;
+      case 'b':
+        scratch.push_back('\b');
+        break;
+      case 'f':
+        scratch.push_back('\f');
+        break;
+      default:
+        return false;  // includes \u: rare, punt to the DOM path
+    }
+  }
+  return false;  // unterminated
+}
+
+bool Scanner::scan_number(Token& tok, std::string& scratch) {
+  // Token grammar and conversion ladder copied from json/parser.cpp
+  // parse_number so accepted numbers convert identically.
+  const std::size_t start = pos_;
+  consume('-');
+  while (pos_ < text_.size() &&
+         std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+    ++pos_;
+  }
+  bool is_double = false;
+  if (consume('.')) {
+    is_double = true;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+    is_double = true;
+    ++pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  const std::string_view token = text_.substr(start, pos_ - start);
+  if (token.empty() || token == "-") return false;
+  if (!is_double) {
+    std::int64_t iv = 0;
+    const auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), iv);
+    if (ec == std::errc() && ptr == token.data() + token.size()) {
+      tok.kind = Token::Kind::kInt;
+      tok.i = iv;
+      return true;
+    }
+    if (token[0] != '-') {
+      std::uint64_t uv = 0;
+      const auto [uptr, uec] =
+          std::from_chars(token.data(), token.data() + token.size(), uv);
+      if (uec == std::errc() && uptr == token.data() + token.size()) {
+        tok.kind = Token::Kind::kUint;
+        tok.u = uv;
+        return true;
+      }
+    }
+    // Fall through to double on overflow (parser.cpp does the same).
+  }
+  scratch.assign(token);  // strtod needs NUL termination
+  char* end = nullptr;
+  const double dv = std::strtod(scratch.c_str(), &end);
+  if (end != scratch.c_str() + scratch.size()) return false;
+  tok.kind = Token::Kind::kDouble;
+  tok.d = dv;
+  return true;
+}
+
+bool Scanner::scan_token(Token& tok, std::string& scratch) {
+  tok = Token{};
+  skip_ws();
+  if (pos_ >= text_.size()) return false;
+  switch (text_[pos_]) {
+    case '"': {
+      std::string_view sv;
+      if (!scan_string(sv, scratch)) return false;
+      tok.kind = Token::Kind::kString;
+      tok.sv = sv;
+      return true;
+    }
+    case '{':
+    case '[':
+      tok.kind = Token::Kind::kOther;
+      return skip_value();
+    case 't':
+    case 'f':
+    case 'n':
+      tok.kind = Token::Kind::kOther;
+      return skip_value();
+    default:
+      return scan_number(tok, scratch);
+  }
+}
+
+bool Scanner::skip_value() { return skip_value_depth(0); }
+
+bool Scanner::skip_value_depth(int depth) {
+  if (depth > kMaxDepth) return false;
+  skip_ws();
+  if (pos_ >= text_.size()) return false;
+  std::string scratch;
+  switch (text_[pos_]) {
+    case '{': {
+      ++pos_;
+      skip_ws();
+      if (consume('}')) return true;
+      for (;;) {
+        skip_ws();
+        std::string_view key;
+        if (!scan_string(key, scratch)) return false;
+        skip_ws();
+        if (!consume(':')) return false;
+        if (!skip_value_depth(depth + 1)) return false;
+        skip_ws();
+        if (consume(',')) continue;
+        if (consume('}')) return true;
+        return false;
+      }
+    }
+    case '[': {
+      ++pos_;
+      skip_ws();
+      if (consume(']')) return true;
+      for (;;) {
+        if (!skip_value_depth(depth + 1)) return false;
+        skip_ws();
+        if (consume(',')) continue;
+        if (consume(']')) return true;
+        return false;
+      }
+    }
+    case '"': {
+      std::string_view sv;
+      return scan_string(sv, scratch);
+    }
+    case 't':
+      if (text_.substr(pos_, 4) == "true") {
+        pos_ += 4;
+        return true;
+      }
+      return false;
+    case 'f':
+      if (text_.substr(pos_, 5) == "false") {
+        pos_ += 5;
+        return true;
+      }
+      return false;
+    case 'n':
+      if (text_.substr(pos_, 4) == "null") {
+        pos_ += 4;
+        return true;
+      }
+      return false;
+    default: {
+      Token tok;
+      return scan_number(tok, scratch);
+    }
+  }
+}
+
+bool Scanner::value_span(std::string_view& span) {
+  skip_ws();
+  const std::size_t start = pos_;
+  if (!skip_value()) return false;
+  span = text_.substr(start, pos_ - start);
+  return true;
+}
+
+}  // namespace dlc::json

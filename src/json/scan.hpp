@@ -1,0 +1,109 @@
+// Zero-copy JSON scanning for the decode hot path.
+//
+// json::parse builds a DOM: one std::map node per object member, one
+// std::string per key and string value.  The decoder reads a fixed set of
+// fields out of that DOM and throws it away — per-message allocation that
+// dominates ingest cost once the transport is batched binary.  Scanner is
+// the allocation-free alternative: a strict pull cursor over the payload
+// that yields scalar Tokens whose string values are `string_view` slices
+// OF THE PAYLOAD BUFFER (scratch-backed only when the string contains
+// escapes).  Lifetime rule: tokens borrow from the payload and from the
+// caller's scratch string — both must outlive every use of the token.
+//
+// Equivalence contract: Scanner accepts a strict SUBSET of what
+// json::parse accepts, and on the subset produces byte-identical values
+// (the number grammar and escape decoding replicate parser.cpp exactly —
+// same from_chars/strtod calls on the same token).  Anything unusual —
+// \u escapes, nesting deeper than kMaxDepth — makes the scan FAIL, and
+// the caller falls back to the DOM path, so fast-path users are always
+// byte-identical to DOM users.  See core::decode_message_fast.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dlc::json {
+
+/// One scanned scalar.  Numbers mirror the DOM's int64/uint64/double
+/// alternatives (same widening rules apply on read).
+struct Token {
+  enum class Kind : std::uint8_t {
+    kAbsent,  // field never seen
+    kInt,
+    kUint,
+    kDouble,
+    kString,
+    kOther,  // null / bool / nested value — typed getters fall back
+  };
+  Kind kind = Kind::kAbsent;
+  std::int64_t i = 0;
+  std::uint64_t u = 0;
+  double d = 0.0;
+  std::string_view sv{};  // kString: payload slice or caller scratch
+
+  /// Getter coercions matching json::Value::get_int/get_uint/get_double/
+  /// get_string (fallback unless the token is a number / string).
+  std::int64_t as_int(std::int64_t fallback) const;
+  std::uint64_t as_uint(std::uint64_t fallback) const;
+  double as_double(double fallback) const;
+  std::string_view as_string(std::string_view fallback) const;
+};
+
+class Scanner {
+ public:
+  /// Nested containers beyond this depth fail the scan (DOM fallback);
+  /// connector payloads are depth 3.
+  static constexpr int kMaxDepth = 64;
+
+  explicit Scanner(std::string_view text) : text_(text) {}
+
+  /// Consumes leading whitespace and '{'.  False if the document does not
+  /// start with an object.
+  bool enter_object();
+  /// Consumes leading whitespace and '['.
+  bool enter_array();
+
+  /// Iterates object members: 1 = key read (cursor at the value),
+  /// 0 = object closed, -1 = malformed.  The key view may borrow from
+  /// `key_scratch` when the key contains escapes.
+  int next_member(std::string_view& key, std::string& key_scratch);
+
+  /// Iterates array elements: 1 = cursor at the next value, 0 = array
+  /// closed, -1 = malformed.
+  int next_element();
+
+  /// True when the next value (after whitespace) starts an array/object.
+  bool peek_array();
+  bool peek_object();
+
+  /// Scans one scalar value into `tok` (nested values and literals become
+  /// kOther and are skipped).  String content may borrow from `scratch`.
+  bool scan_token(Token& tok, std::string& scratch);
+
+  /// Skips any one value, validating its syntax.
+  bool skip_value();
+
+  /// Skips one value and returns its raw byte range (for re-scanning an
+  /// embedded array without re-locating it).
+  bool value_span(std::string_view& span);
+
+  /// True when only trailing whitespace remains — json::parse fails on
+  /// trailing characters, so fast paths must check this before trusting
+  /// the scan.
+  bool at_end();
+
+ private:
+  void skip_ws();
+  bool consume(char c);
+  bool scan_string(std::string_view& out, std::string& scratch);
+  bool scan_number(Token& tok, std::string& scratch);
+  bool skip_value_depth(int depth);
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  bool first_member_ = true;   // inside the CURRENT flat iteration only
+  bool first_element_ = true;
+};
+
+}  // namespace dlc::json

@@ -3,6 +3,8 @@
 // LDMS Streams is explicitly best-effort: "without a reconnect or resend for
 // delivery and does not cache its data".  The transport therefore uses
 // try_push (drop on overflow, counted) rather than blocking back-pressure.
+// The storage-side ingest executor, by contrast, must not lose decoded
+// events, so push_wait offers blocking back-pressure for that one consumer.
 //
 // Capacity is two-dimensional: a count cap (always on) and an optional
 // byte cap for payload-weighted accounting — with batched wire frames a
@@ -41,14 +43,31 @@ class BoundedQueue {
   bool try_push(T item, std::size_t bytes = 0) {
     {
       const std::scoped_lock lock(mutex_);
-      if (closed_ || items_.size() >= capacity_) return false;
-      // Compare against the remaining headroom rather than `bytes_ +
-      // bytes`, whose sum can wrap around std::size_t for a huge cost and
-      // sneak past the cap.  bytes_ <= capacity_bytes_ is an invariant, so
-      // the subtraction cannot underflow.
-      if (capacity_bytes_ > 0 && bytes > capacity_bytes_ - bytes_) {
+      if (closed_ || !has_room(bytes)) return false;
+      bytes_ += bytes;
+      items_.emplace_back(std::move(item), bytes);
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocking push (back-pressure, not drop): waits until the item fits,
+  /// then enqueues it.  Returns false only when the queue is closed or the
+  /// item can never fit (zero item capacity, or `bytes` above the byte
+  /// cap).  `waited`, when given, is set to whether the call had to block
+  /// — ingest executors count those as back-pressure events.
+  bool push_wait(T item, std::size_t bytes = 0, bool* waited = nullptr) {
+    if (waited) *waited = false;
+    {
+      std::unique_lock lock(mutex_);
+      if (capacity_ == 0 || (capacity_bytes_ > 0 && bytes > capacity_bytes_)) {
         return false;
       }
+      if (!closed_ && !has_room(bytes)) {
+        if (waited) *waited = true;
+        cv_space_.wait(lock, [&] { return closed_ || has_room(bytes); });
+      }
+      if (closed_) return false;
       bytes_ += bytes;
       items_.emplace_back(std::move(item), bytes);
     }
@@ -58,20 +77,30 @@ class BoundedQueue {
 
   /// Blocking pop; returns nullopt once the queue is closed AND drained.
   std::optional<T> pop() {
-    std::unique_lock lock(mutex_);
-    cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
-    if (items_.empty()) {
-      assert(closed_);  // woken with nothing to pop => shutdown signal
-      return std::nullopt;
+    std::optional<T> out;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+      if (items_.empty()) {
+        assert(closed_);  // woken with nothing to pop => shutdown signal
+        return std::nullopt;
+      }
+      out = take_front();
     }
-    return take_front();
+    cv_space_.notify_one();
+    return out;
   }
 
   /// Non-blocking pop; keeps draining after close().
   std::optional<T> try_pop() {
-    const std::scoped_lock lock(mutex_);
-    if (items_.empty()) return std::nullopt;
-    return take_front();
+    std::optional<T> out;
+    {
+      const std::scoped_lock lock(mutex_);
+      if (items_.empty()) return std::nullopt;
+      out = take_front();
+    }
+    cv_space_.notify_one();
+    return out;
   }
 
   /// Closes the queue; pending items remain poppable, pushes fail.
@@ -81,6 +110,7 @@ class BoundedQueue {
       closed_ = true;
     }
     cv_.notify_all();
+    cv_space_.notify_all();
   }
 
   std::size_t size() const {
@@ -106,10 +136,19 @@ class BoundedQueue {
     return std::move(item);
   }
 
+  // Callers hold mutex_.  See try_push for the wrap-safe byte headroom
+  // comparison: bytes_ <= capacity_bytes_ is an invariant, so the
+  // subtraction cannot underflow.
+  bool has_room(std::size_t bytes) const {
+    if (items_.size() >= capacity_) return false;
+    return capacity_bytes_ == 0 || bytes <= capacity_bytes_ - bytes_;
+  }
+
   const std::size_t capacity_;
   const std::size_t capacity_bytes_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
+  std::condition_variable cv_space_;
   std::deque<std::pair<T, std::size_t>> items_;
   std::size_t bytes_ = 0;
   bool closed_ = false;

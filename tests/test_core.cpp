@@ -587,6 +587,113 @@ TEST(Decoder, FuzzedPayloadsNeverCrash) {
   EXPECT_EQ(decoded + rejected, 2000);
 }
 
+// Renders decoded rows so equivalence checks compare bytes, not spot
+// fields.
+std::string rows_csv(const std::vector<dsos::Object>& rows) {
+  std::string out;
+  for (const auto& row : rows) {
+    out += to_csv_row(row);
+    out += '\n';
+  }
+  return out;
+}
+
+TEST(Decoder, FastPathMatchesDomOnConnectorPayloads) {
+  const auto schema = darshan_data_schema();
+  const std::vector<std::string> payloads{
+      // Canonical single-segment message.
+      R"({"uid":1,"exe":"/e","job_id":2,"rank":0,"ProducerName":"n","file":"/f",)"
+      R"("record_id":3,"module":"POSIX","type":"MET","max_byte":-1,)"
+      R"("switches":-1,"flushes":-1,"cnt":1,"op":"open",)"
+      R"("seg":[{"data_set":"N/A","pt_sel":-1,"irreg_hslab":-1,"reg_hslab":-1,)"
+      R"("ndims":-1,"npoints":-1,"off":-1,"len":-1,"dur":0.1,"timestamp":1.5}]})",
+      // Multi-segment with missing fields (sentinel fallbacks).
+      R"({"uid":1,"job_id":2,"rank":3,"module":"MPIIO","type":"MOD","cnt":2,)"
+      R"("op":"write","seg":[{"off":0,"len":50,"dur":0.1,"timestamp":1.0},)"
+      R"({"off":50,"len":50,"dur":0.2,"timestamp":2.0}]})",
+      // Escapes in strings and wrong-typed numeric fields.
+      R"({"uid":"not-a-number","exe":"/bin\t\"x\"","job_id":2.75,"rank":-4,)"
+      R"("module":"POSIX","type":"MET","op":"open\\close",)"
+      R"("seg":[{"dur":"bad","timestamp":3}]})",
+      // Duplicate keys: last one wins in both paths.
+      R"({"rank":1,"rank":7,"module":"POSIX","op":"open",)"
+      R"("seg":[{"timestamp":1.0,"timestamp":2.0}]})",
+      // Unknown extra members are skipped (objects, arrays, literals).
+      R"({"rank":1,"module":"POSIX","extra":{"a":[1,2,{"b":null}]},)"
+      R"("more":true,"seg":[{"timestamp":1.0}]})",
+      // Empty segment list decodes to zero rows.
+      R"({"rank":1,"module":"POSIX","seg":[]})",
+      // Non-object segment entries are skipped, like the DOM loop.
+      R"({"rank":1,"module":"POSIX","seg":[1,{"timestamp":2.0},"x"]})",
+  };
+  for (const std::string& payload : payloads) {
+    std::vector<dsos::Object> fast;
+    ASSERT_TRUE(decode_message_fast(schema, payload, fast)) << payload;
+    EXPECT_EQ(rows_csv(fast), rows_csv(decode_message(schema, payload)))
+        << payload;
+  }
+}
+
+TEST(Decoder, FastPathFallsBackOnUnsupportedInput) {
+  const auto schema = darshan_data_schema();
+  // \u escapes, malformed JSON, trailing garbage, wrong top-level type:
+  // the scanner refuses (caller then uses the DOM), never mis-decodes.
+  const std::vector<std::string> rejected{
+      R"({"op":"\u0041","seg":[{"timestamp":1.0}]})",
+      R"({"rank":1,"seg":[{"timestamp":1.0}]} trailing)",
+      R"({"rank":1,"seg":[{"timestamp":1.0})",
+      R"([{"rank":1}])",
+      R"({"rank":1 "seg":[]})",
+  };
+  for (const std::string& payload : rejected) {
+    std::vector<dsos::Object> fast;
+    EXPECT_FALSE(decode_message_fast(schema, payload, fast)) << payload;
+  }
+}
+
+TEST(Decoder, FastPathEquivalentUnderFuzzedMutation) {
+  // Property: whenever the zero-copy scanner accepts a payload, its rows
+  // are byte-identical to the DOM decoder's.  Mutations exercise partial
+  // JSON, shuffled types, and broken numbers.
+  Pipeline p;
+  ldms::CsvStore store;
+  store.attach(*p.aggregator, "darshanConnector");
+  p.engine.spawn(session(*p.runtime, 0));
+  p.engine.run();
+  const std::string valid = store.rows()[1];
+
+  const auto schema = darshan_data_schema();
+  Rng rng(20260807);
+  int fast_ok = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string mutated = valid;
+    const int edits = static_cast<int>(rng.uniform_int(1, 6));
+    for (int e = 0; e < edits; ++e) {
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(mutated.size()) - 1));
+      switch (rng.uniform_int(0, 2)) {
+        case 0:
+          mutated[pos] = static_cast<char>(rng.uniform_int(32, 126));
+          break;
+        case 1:
+          mutated.erase(pos, 1);
+          break;
+        default:
+          mutated.insert(pos, 1, static_cast<char>(rng.uniform_int(32, 126)));
+          break;
+      }
+      if (mutated.empty()) mutated = "x";
+    }
+    std::vector<dsos::Object> fast;
+    if (decode_message_fast(schema, mutated, fast)) {
+      ++fast_ok;
+      ASSERT_EQ(rows_csv(fast), rows_csv(decode_message(schema, mutated)))
+          << mutated;
+    }
+  }
+  EXPECT_GT(fast_ok, 0);  // the equivalence branch actually executed
+}
+
 // ---------------------------------------------------------- env config ----
 
 core::EnvGetter fake_env(std::map<std::string, std::string> vars) {
@@ -613,6 +720,7 @@ TEST(EnvConfig, ParsesAllKnobs) {
       {"DARSHAN_LDMS_SAMPLE_N", "10"},
       {"DARSHAN_LDMS_MIN_INTERVAL_US", "2500"},
       {"DARSHAN_LDMS_MODULES", "POSIX, MPIIO"},
+      {"DARSHAN_LDMS_INGEST_THREADS", "4"},
   }));
   EXPECT_TRUE(cfg.enabled);
   EXPECT_TRUE(cfg.errors.empty());
@@ -620,6 +728,7 @@ TEST(EnvConfig, ParsesAllKnobs) {
   EXPECT_EQ(cfg.connector.format, FormatMode::kFastJson);
   EXPECT_EQ(cfg.connector.sample_every_n, 10u);
   EXPECT_EQ(cfg.connector.min_publish_interval, 2500 * kMicrosecond);
+  EXPECT_EQ(cfg.connector.ingest_threads, 4u);
   ASSERT_EQ(cfg.connector.module_filter.size(), 2u);
   EXPECT_EQ(cfg.connector.module_filter[0], darshan::Module::kPosix);
   EXPECT_EQ(cfg.connector.module_filter[1], darshan::Module::kMpiio);
@@ -636,11 +745,13 @@ TEST(EnvConfig, ReportsUnparsableValues) {
       {"DARSHAN_LDMS_FORMAT", "yaml"},
       {"DARSHAN_LDMS_SAMPLE_N", "zero"},
       {"DARSHAN_LDMS_MODULES", "POSIX,NVME"},
+      {"DARSHAN_LDMS_INGEST_THREADS", "many"},
   }));
-  ASSERT_EQ(cfg.errors.size(), 3u);
+  ASSERT_EQ(cfg.errors.size(), 4u);
   // The valid parts still apply.
   ASSERT_EQ(cfg.connector.module_filter.size(), 1u);
-  EXPECT_EQ(cfg.connector.sample_every_n, 1u);  // default kept
+  EXPECT_EQ(cfg.connector.sample_every_n, 1u);    // default kept
+  EXPECT_EQ(cfg.connector.ingest_threads, 0u);    // default kept
 }
 
 TEST(EnvConfig, ParsesWireFormatKnobs) {

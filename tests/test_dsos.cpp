@@ -583,5 +583,168 @@ TEST(Cluster, QueryAutoMatchesExplicitIndex) {
   }
 }
 
+// Low bytes collide with the escape alphabet ({0x00,0x01} escapes, 0x00
+// terminator), so ordering around '\0' and '\x01' is the hard case for
+// the string encoding.
+TEST(Encoding, StringOrderPreservedWithLowBytes) {
+  expect_order_preserved<std::string>(
+      {std::string(""), std::string("\0", 1), std::string("\0\x01", 2),
+       std::string("\x01", 1), std::string("a")},
+      [](KeyBytes& out, const std::string& v) { encode_string(out, v); });
+}
+
+// ----------------------------------------------------------- zone maps ----
+
+TEST(Container, ZoneMapsPruneDisjointTimeFilter) {
+  Container c;
+  const auto schema = test_schema();
+  c.register_schema(schema);
+  for (int t = 0; t < 10; ++t) {
+    c.insert(make_event(schema, 1, t % 4, t * 1.0, "w", 0.1));
+  }
+  // Timestamps span [0, 9]: a filter for >= 100 is provably empty.
+  const Filter disjoint{{"timestamp", Cmp::kGe, 100.0}};
+  EXPECT_FALSE(c.can_match("events", disjoint));
+  const std::uint64_t pruned_before = c.zone_pruned();
+  EXPECT_TRUE(c.query("events", "time", disjoint).empty());
+  EXPECT_EQ(c.zone_pruned(), pruned_before + 1);
+  EXPECT_EQ(c.last_scanned(), 0u);  // skipped without touching the index
+
+  // With zone maps off the same query scans and still returns nothing.
+  c.set_zone_maps(false);
+  EXPECT_TRUE(c.query("events", "time", disjoint).empty());
+  EXPECT_GT(c.last_scanned(), 0u);
+  c.set_zone_maps(true);
+
+  // A filter overlapping the zone must not be pruned.
+  const Filter overlapping{{"timestamp", Cmp::kGe, 5.0}};
+  EXPECT_TRUE(c.can_match("events", overlapping));
+  EXPECT_EQ(c.query("events", "time", overlapping).size(), 5u);
+}
+
+TEST(Container, ZoneMapsMatchUnprunedResults) {
+  Container c;
+  const auto schema = test_schema();
+  c.register_schema(schema);
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    c.insert(make_event(schema, 1 + static_cast<std::uint64_t>(i % 3),
+                        rng.uniform_int(0, 7), rng.uniform(0, 50), "w",
+                        rng.uniform()));
+  }
+  const std::vector<Filter> filters{
+      {{"timestamp", Cmp::kLt, 10.0}},
+      {{"job_id", Cmp::kEq, std::uint64_t{2}}},
+      {{"job_id", Cmp::kEq, std::uint64_t{9}}},  // disjoint: prunable
+      {{"rank", Cmp::kGe, std::int64_t{6}}},
+      {{"op", Cmp::kEq, std::string("w")}},  // unindexed attr: no zone
+  };
+  for (const Filter& f : filters) {
+    c.set_zone_maps(true);
+    const auto pruned = c.query("events", "time", f);
+    c.set_zone_maps(false);
+    const auto unpruned = c.query("events", "time", f);
+    ASSERT_EQ(pruned.size(), unpruned.size());
+    for (std::size_t i = 0; i < pruned.size(); ++i) {
+      EXPECT_EQ(pruned[i].object, unpruned[i].object);
+    }
+  }
+  c.set_zone_maps(true);
+}
+
+TEST(Container, ZoneMapsUnknownAttrIsProvablyEmpty) {
+  Container c;
+  const auto schema = test_schema();
+  c.register_schema(schema);
+  c.insert(make_event(schema, 1, 0, 1.0, "w", 0.1));
+  // matches() rejects every object on an unknown attribute, so pruning
+  // the whole scan is exact, not approximate.
+  const Filter f{{"no_such_attr", Cmp::kEq, std::int64_t{1}}};
+  EXPECT_FALSE(c.can_match("events", f));
+  EXPECT_TRUE(c.query("events", "time", f).empty());
+}
+
+// ---------------------------------------------------------------- limit ----
+
+TEST(Container, QueryLimitCapsResultsInOrder) {
+  Container c;
+  const auto schema = test_schema();
+  c.register_schema(schema);
+  for (int t = 9; t >= 0; --t) {
+    c.insert(make_event(schema, 1, 0, t * 1.0, "w", 0.1));
+  }
+  const auto full = c.query("events", "time");
+  ASSERT_EQ(full.size(), 10u);
+  const auto limited = c.query("events", "time", {}, 3);
+  ASSERT_EQ(limited.size(), 3u);
+  for (std::size_t i = 0; i < limited.size(); ++i) {
+    EXPECT_EQ(limited[i].object, full[i].object);
+  }
+  // Residual filtering happens before the cap: the limit counts matching
+  // rows, not scanned rows.
+  const Filter odd_dur{{"op", Cmp::kEq, std::string("w")},
+                       {"timestamp", Cmp::kGe, 4.0}};
+  const auto filtered = c.query("events", "time", odd_dur, 2);
+  ASSERT_EQ(filtered.size(), 2u);
+  EXPECT_EQ(filtered[0].object->as_double("timestamp"), 4.0);
+  EXPECT_EQ(filtered[1].object->as_double("timestamp"), 5.0);
+}
+
+TEST(Cluster, QueryLimitReturnsGlobalPrefix) {
+  ClusterConfig cfg;
+  cfg.shard_count = 4;
+  cfg.shard_attr = "rank";
+  DsosCluster cluster(cfg);
+  const auto schema = test_schema();
+  cluster.register_schema(schema);
+  Rng rng(13);
+  for (int i = 0; i < 200; ++i) {
+    cluster.insert(make_event(schema, 1, rng.uniform_int(0, 15),
+                              rng.uniform(0, 100), "w", 0.1));
+  }
+  const auto full = cluster.query("events", "job_rank_time");
+  ASSERT_EQ(full.size(), 200u);
+  const auto limited = cluster.query("events", "job_rank_time", {}, 25);
+  ASSERT_EQ(limited.size(), 25u);
+  // The limited result is exactly the first 25 of the global merge order.
+  for (std::size_t i = 0; i < limited.size(); ++i) {
+    EXPECT_EQ(limited[i], full[i]);
+  }
+}
+
+// Regression: the parallel query path used to capture the shard loop
+// variable by reference ([&]), so every async task raced on the mutating
+// iteration state and could query the wrong (or a dead) shard.  With the
+// by-value capture, repeated parallel queries match a serial cluster.
+TEST(Cluster, ParallelQueryCapturesShardByValue) {
+  const auto schema = test_schema();
+  ClusterConfig par;
+  par.shard_count = 16;
+  par.shard_attr = "rank";
+  par.parallel_query = true;
+  ClusterConfig ser = par;
+  ser.parallel_query = false;
+  DsosCluster a(par), b(ser);
+  a.register_schema(schema);
+  b.register_schema(schema);
+  Rng rng(29);
+  for (int i = 0; i < 320; ++i) {
+    auto obj = make_event(schema, 1 + static_cast<std::uint64_t>(i % 2),
+                          rng.uniform_int(0, 15), rng.uniform(0, 100), "w",
+                          0.1);
+    b.insert(obj);
+    a.insert(std::move(obj));
+  }
+  for (int iter = 0; iter < 20; ++iter) {
+    const auto ra = a.query("events", "job_rank_time");
+    const auto rb = b.query("events", "job_rank_time");
+    ASSERT_EQ(ra.size(), rb.size());
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+      ASSERT_EQ(ra[i]->as_int("rank"), rb[i]->as_int("rank"));
+      ASSERT_EQ(ra[i]->as_double("timestamp"), rb[i]->as_double("timestamp"));
+    }
+  }
+}
+
 }  // namespace
 }  // namespace dlc::dsos

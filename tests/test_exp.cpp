@@ -59,6 +59,29 @@ TEST(Pipeline, DecodeToDsosStoresEveryEvent) {
   EXPECT_EQ(r.dsos->total_objects(), r.messages);
 }
 
+TEST(Pipeline, ParallelIngestMatchesSerial) {
+  // DARSHAN_LDMS_INGEST_THREADS end to end: the executor path must store
+  // the same rows in the same global query order as inline insertion.
+  ExperimentSpec serial = tiny_mpiio(simfs::FsKind::kNfs);
+  serial.decode_to_dsos = true;
+  ExperimentSpec parallel = serial;
+  parallel.connector.ingest_threads = 4;
+  const RunResult a = run_experiment(serial);
+  const RunResult b = run_experiment(parallel);
+  ASSERT_TRUE(a.dsos != nullptr);
+  ASSERT_TRUE(b.dsos != nullptr);
+  EXPECT_EQ(a.dsos->total_objects(), b.dsos->total_objects());
+  const auto ra = a.dsos->query("darshan_data", "job_rank_time");
+  const auto rb = b.dsos->query("darshan_data", "job_rank_time");
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i]->as_int("rank"), rb[i]->as_int("rank"));
+    EXPECT_EQ(ra[i]->as_string("op"), rb[i]->as_string("op"));
+    EXPECT_EQ(ra[i]->as_double("seg_timestamp"),
+              rb[i]->as_double("seg_timestamp"));
+  }
+}
+
 TEST(Pipeline, SameSeedSameResult) {
   ExperimentSpec spec = tiny_mpiio(simfs::FsKind::kNfs);
   spec.seed = 123;

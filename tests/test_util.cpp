@@ -2,6 +2,7 @@
 // strings, bounded queue, virtual time.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <set>
@@ -362,6 +363,51 @@ TEST(Queue, ZeroCapacityRejectsEverything) {
   EXPECT_FALSE(q.try_pop().has_value());
   q.close();
   EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(Queue, PushWaitSucceedsWithoutBlockingWhenRoomy) {
+  BoundedQueue<int> q(2);
+  bool waited = true;
+  EXPECT_TRUE(q.push_wait(1, 0, &waited));
+  EXPECT_FALSE(waited);  // room available: no back-pressure recorded
+  EXPECT_EQ(q.try_pop().value(), 1);
+}
+
+TEST(Queue, PushWaitBlocksUntilPopMakesRoom) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.try_push(1));
+  std::thread popper([&q] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_EQ(q.try_pop().value(), 1);
+  });
+  bool waited = false;
+  EXPECT_TRUE(q.push_wait(2, 0, &waited));  // full until the popper runs
+  popper.join();
+  EXPECT_TRUE(waited);
+  EXPECT_EQ(q.try_pop().value(), 2);
+}
+
+TEST(Queue, PushWaitReturnsFalseWhenItemCanNeverFit) {
+  // Impossible items fail immediately instead of blocking forever.
+  BoundedQueue<int> zero(0);
+  bool waited = true;
+  EXPECT_FALSE(zero.push_wait(1, 0, &waited));
+  EXPECT_FALSE(waited);
+  BoundedQueue<int> bytes(4, 10);
+  EXPECT_FALSE(bytes.push_wait(1, 11, &waited));  // above the byte cap
+  EXPECT_TRUE(bytes.push_wait(2, 10, &waited));   // exactly at it: fits
+}
+
+TEST(Queue, CloseUnblocksPushWait) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.try_push(1));
+  std::thread closer([&q] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    q.close();
+  });
+  EXPECT_FALSE(q.push_wait(2));  // woken by close => push fails, no hang
+  closer.join();
+  EXPECT_EQ(q.try_pop().value(), 1);  // queued item still drains
 }
 
 TEST(Queue, ByteCapacityBindsIndependently) {
