@@ -3,15 +3,35 @@
 #include <charconv>
 #include <cstdlib>
 
+#include "util/log.hpp"
 #include "util/strings.hpp"
 
 namespace dlc::core {
 
 namespace {
 
+// from_chars on uint64_t rejects exactly what the hardening contract
+// wants rejected: a leading '-' (invalid_argument — negatives never
+// silently wrap), values past 2^64-1 (result_out_of_range), and any
+// trailing garbage ("12x") via the end-pointer check.
 bool parse_u64(const std::string& s, std::uint64_t& out) {
   const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
   return ec == std::errc() && p == s.data() + s.size();
+}
+
+/// Upper bound on DARSHAN_LDMS_INGEST_THREADS.  A typo'd but lexically
+/// valid value ("10000000") would otherwise make IngestExecutor try to
+/// spawn that many OS threads; anything past this is treated like
+/// garbage — error recorded, default kept.
+constexpr std::uint64_t kMaxIngestThreads = 1024;
+
+/// Records a rejected variable: kept in EnvConfig::errors for callers
+/// that surface them programmatically, and logged immediately so a
+/// deployment running with defaults can see why ("logged fallback").
+void reject(EnvConfig& cfg, const char* name, const std::string& value) {
+  cfg.errors.push_back(std::string(name) + "=" + value);
+  DLC_LOG_WARN << "env_config: ignoring " << name << "=\"" << value
+               << "\" (unparsable or out of range); keeping default";
 }
 
 }  // namespace
@@ -54,7 +74,7 @@ EnvConfig connector_config_from_env(const EnvGetter& getenv_fn) {
     if (*v != '\0') {
       cfg.connector.stream_tag = v;
     } else {
-      cfg.errors.push_back("DARSHAN_LDMS_STREAM=");
+      reject(cfg, "DARSHAN_LDMS_STREAM", "");
     }
   }
   if (const char* v = get("DARSHAN_LDMS_FORMAT")) {
@@ -66,12 +86,12 @@ EnvConfig connector_config_from_env(const EnvGetter& getenv_fn) {
     } else if (mode == "none") {
       cfg.connector.format = FormatMode::kNone;
     } else {
-      cfg.errors.push_back("DARSHAN_LDMS_FORMAT=" + mode);
+      reject(cfg, "DARSHAN_LDMS_FORMAT", mode);
     }
   }
   if (const char* v = get("DARSHAN_LDMS_WIRE_FORMAT")) {
     if (!wire_format_from_name(v, cfg.connector.wire_format)) {
-      cfg.errors.push_back(std::string("DARSHAN_LDMS_WIRE_FORMAT=") + v);
+      reject(cfg, "DARSHAN_LDMS_WIRE_FORMAT", v);
     }
   }
   if (const char* v = get("DARSHAN_LDMS_BATCH_EVENTS")) {
@@ -79,7 +99,7 @@ EnvConfig connector_config_from_env(const EnvGetter& getenv_fn) {
     if (parse_u64(v, n) && n >= 1) {
       cfg.connector.batch.max_events = static_cast<std::size_t>(n);
     } else {
-      cfg.errors.push_back(std::string("DARSHAN_LDMS_BATCH_EVENTS=") + v);
+      reject(cfg, "DARSHAN_LDMS_BATCH_EVENTS", v);
     }
   }
   if (const char* v = get("DARSHAN_LDMS_BATCH_BYTES")) {
@@ -87,7 +107,7 @@ EnvConfig connector_config_from_env(const EnvGetter& getenv_fn) {
     if (parse_u64(v, n) && n >= 1) {
       cfg.connector.batch.max_bytes = static_cast<std::size_t>(n);
     } else {
-      cfg.errors.push_back(std::string("DARSHAN_LDMS_BATCH_BYTES=") + v);
+      reject(cfg, "DARSHAN_LDMS_BATCH_BYTES", v);
     }
   }
   if (const char* v = get("DARSHAN_LDMS_BATCH_DELAY_US")) {
@@ -96,7 +116,7 @@ EnvConfig connector_config_from_env(const EnvGetter& getenv_fn) {
       cfg.connector.batch.max_delay =
           static_cast<SimDuration>(us) * kMicrosecond;
     } else {
-      cfg.errors.push_back(std::string("DARSHAN_LDMS_BATCH_DELAY_US=") + v);
+      reject(cfg, "DARSHAN_LDMS_BATCH_DELAY_US", v);
     }
   }
   if (const char* v = get("DARSHAN_LDMS_SAMPLE_N")) {
@@ -104,7 +124,7 @@ EnvConfig connector_config_from_env(const EnvGetter& getenv_fn) {
     if (parse_u64(v, n) && n >= 1) {
       cfg.connector.sample_every_n = n;
     } else {
-      cfg.errors.push_back(std::string("DARSHAN_LDMS_SAMPLE_N=") + v);
+      reject(cfg, "DARSHAN_LDMS_SAMPLE_N", v);
     }
   }
   if (const char* v = get("DARSHAN_LDMS_MIN_INTERVAL_US")) {
@@ -113,12 +133,12 @@ EnvConfig connector_config_from_env(const EnvGetter& getenv_fn) {
       cfg.connector.min_publish_interval =
           static_cast<SimDuration>(us) * kMicrosecond;
     } else {
-      cfg.errors.push_back(std::string("DARSHAN_LDMS_MIN_INTERVAL_US=") + v);
+      reject(cfg, "DARSHAN_LDMS_MIN_INTERVAL_US", v);
     }
   }
   if (const char* v = get("DARSHAN_LDMS_DELIVERY")) {
     if (!relia::delivery_mode_from_name(v, cfg.connector.delivery)) {
-      cfg.errors.push_back(std::string("DARSHAN_LDMS_DELIVERY=") + v);
+      reject(cfg, "DARSHAN_LDMS_DELIVERY", v);
     }
   }
   if (const char* v = get("DARSHAN_LDMS_SPOOL_MSGS")) {
@@ -126,7 +146,7 @@ EnvConfig connector_config_from_env(const EnvGetter& getenv_fn) {
     if (parse_u64(v, n) && n >= 1) {
       cfg.connector.spool.max_msgs = static_cast<std::size_t>(n);
     } else {
-      cfg.errors.push_back(std::string("DARSHAN_LDMS_SPOOL_MSGS=") + v);
+      reject(cfg, "DARSHAN_LDMS_SPOOL_MSGS", v);
     }
   }
   if (const char* v = get("DARSHAN_LDMS_SPOOL_BYTES")) {
@@ -134,15 +154,15 @@ EnvConfig connector_config_from_env(const EnvGetter& getenv_fn) {
     if (parse_u64(v, n)) {
       cfg.connector.spool.max_bytes = static_cast<std::size_t>(n);
     } else {
-      cfg.errors.push_back(std::string("DARSHAN_LDMS_SPOOL_BYTES=") + v);
+      reject(cfg, "DARSHAN_LDMS_SPOOL_BYTES", v);
     }
   }
   if (const char* v = get("DARSHAN_LDMS_INGEST_THREADS")) {
     std::uint64_t n;
-    if (parse_u64(v, n)) {
+    if (parse_u64(v, n) && n <= kMaxIngestThreads) {
       cfg.connector.ingest_threads = static_cast<std::size_t>(n);
     } else {
-      cfg.errors.push_back(std::string("DARSHAN_LDMS_INGEST_THREADS=") + v);
+      reject(cfg, "DARSHAN_LDMS_INGEST_THREADS", v);
     }
   }
   if (const char* v = get("DARSHAN_LDMS_MODULES")) {
@@ -153,7 +173,7 @@ EnvConfig connector_config_from_env(const EnvGetter& getenv_fn) {
       if (darshan::module_from_name(name, module)) {
         cfg.connector.module_filter.push_back(module);
       } else {
-        cfg.errors.push_back("DARSHAN_LDMS_MODULES=" + name);
+        reject(cfg, "DARSHAN_LDMS_MODULES", name);
       }
     }
   }

@@ -19,7 +19,12 @@
 //   DARSHAN_LDMS_SPOOL_BYTES at-least-once spool bound, payload bytes
 //                            (0 = unlimited)
 //   DARSHAN_LDMS_INGEST_THREADS  storage-side ingest worker threads
-//                            (0 = serial insertion, the default)
+//                            (0 = serial insertion, the default; capped
+//                            at 1024 — larger values are rejected)
+//
+// Unparsable values (negative, overflowing, trailing garbage, out of
+// range) never take effect: the default is kept, the rejection is
+// recorded in EnvConfig::errors, and a warning is logged.
 #pragma once
 
 #include <functional>

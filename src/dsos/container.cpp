@@ -34,6 +34,27 @@ bool matches(const Object& obj, const Filter& filter) {
   return true;
 }
 
+// Moves are exempt from the lock discipline by contract: they only run
+// while the container is not yet (or no longer) shared.
+Container::Container(Container&& other) noexcept
+    : objects_(std::move(other.objects_)),
+      schemas_(std::move(other.schemas_)),
+      key_arena_(std::move(other.key_arena_)),
+      zone_maps_(other.zone_maps_),
+      last_scanned_(other.last_scanned_),
+      zone_pruned_(other.zone_pruned_) {}
+
+Container& Container::operator=(Container&& other) noexcept {
+  if (this == &other) return *this;
+  objects_ = std::move(other.objects_);
+  schemas_ = std::move(other.schemas_);
+  key_arena_ = std::move(other.key_arena_);
+  zone_maps_ = other.zone_maps_;
+  last_scanned_ = other.last_scanned_;
+  zone_pruned_ = other.zone_pruned_;
+  return *this;
+}
+
 void Container::register_schema(SchemaPtr schema) {
   // Idempotent: re-registering (e.g. a second decoder joining a shared
   // cluster) must not discard existing indices.
@@ -152,6 +173,7 @@ std::vector<QueryHit> Container::query(std::string_view schema_name,
   }
 
   if (zone_maps_ && !filter.empty() && !can_match(state, filter)) {
+    const util::LockGuard lock(stats_m_);
     ++zone_pruned_;
     last_scanned_ = 0;
     return {};
@@ -191,7 +213,10 @@ std::vector<QueryHit> Container::query(std::string_view schema_name,
       leading.empty()
           ? index.full_scan(scan_cap)
           : index.prefix_scan(encode_prefix(schema, def, leading), scan_cap);
-  last_scanned_ = entries.size();
+  {
+    const util::LockGuard lock(stats_m_);
+    last_scanned_ = entries.size();
+  }
 
   std::vector<QueryHit> hits;
   hits.reserve(limit != 0 ? std::min(limit, entries.size()) : entries.size());

@@ -24,6 +24,7 @@
 #include "dsos/arena.hpp"
 #include "dsos/index.hpp"
 #include "dsos/schema.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace dlc::dsos {
 
@@ -49,6 +50,15 @@ struct QueryHit {
 
 class Container {
  public:
+  Container() = default;
+
+  /// Containers move only during single-threaded phases (partition load,
+  /// compaction) — the stats mutex is not movable, so the destination
+  /// starts with a fresh one and the counters are carried over.
+  Container(Container&& other) noexcept DLC_NO_THREAD_SAFETY_ANALYSIS;
+  Container& operator=(Container&& other) noexcept
+      DLC_NO_THREAD_SAFETY_ANALYSIS;
+
   /// Registers a schema; objects of unregistered schemas are rejected.
   void register_schema(SchemaPtr schema);
   SchemaPtr schema(std::string_view name) const;
@@ -90,13 +100,19 @@ class Container {
 
   /// Diagnostic: how many index entries were scanned by the last query on
   /// this container (measures joint-index selectivity; bench_dsos).
-  std::uint64_t last_scanned() const { return last_scanned_; }
+  std::uint64_t last_scanned() const {
+    const util::LockGuard lock(stats_m_);
+    return last_scanned_;
+  }
 
   /// Zone-map pruning toggle (on by default; bench_ingest compares).
   void set_zone_maps(bool enabled) { zone_maps_ = enabled; }
   bool zone_maps() const { return zone_maps_; }
   /// Queries answered empty straight from the zone maps.
-  std::uint64_t zone_pruned() const { return zone_pruned_; }
+  std::uint64_t zone_pruned() const {
+    const util::LockGuard lock(stats_m_);
+    return zone_pruned_;
+  }
 
   /// True when some object in this container could satisfy `filter`
   /// according to the per-attribute min/max zones.  False is definitive
@@ -124,12 +140,20 @@ class Container {
   const SchemaState& schema_state(std::string_view name) const;
   bool can_match(const SchemaState& state, const Filter& filter) const;
 
+  // Object/index/zone state is single-writer by contract (the ingest
+  // executor gives each Container exactly one inserting worker) and
+  // read-stable during queries, so it carries no lock.  The mutable QUERY
+  // DIAGNOSTICS below are different: const query() mutates them, and the
+  // cluster runs per-shard queries on real threads — two concurrent
+  // queries against the same container raced on these counters until the
+  // annotation migration surfaced it.  They get their own leaf mutex.
   std::deque<Object> objects_;
   std::map<std::string, SchemaState, std::less<>> schemas_;
   Arena key_arena_;
   bool zone_maps_ = true;
-  mutable std::uint64_t last_scanned_ = 0;
-  mutable std::uint64_t zone_pruned_ = 0;
+  mutable util::Mutex stats_m_{"ContainerStats"};
+  mutable std::uint64_t last_scanned_ DLC_GUARDED_BY(stats_m_) = 0;
+  mutable std::uint64_t zone_pruned_ DLC_GUARDED_BY(stats_m_) = 0;
 };
 
 }  // namespace dlc::dsos

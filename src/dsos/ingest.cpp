@@ -34,7 +34,7 @@ IngestExecutor::~IngestExecutor() {
     drain();
     stop_.store(true, std::memory_order_release);
     for (auto& worker : workers_) {
-      const std::lock_guard lock(worker->m);
+      const util::LockGuard lock(worker->m);
     }
     for (auto& worker : workers_) worker->cv.notify_all();
     for (std::thread& t : threads_) t.join();
@@ -44,10 +44,10 @@ IngestExecutor::~IngestExecutor() {
 
 void IngestExecutor::submit(Object obj) {
   const std::size_t shard = cluster_.route(obj);  // caller-thread routing
-  ++submitted_;
+  submitted_.fetch_add(1, std::memory_order_relaxed);
   if (threads_.empty()) {
     cluster_.insert_at(shard, std::move(obj));
-    const std::lock_guard lock(done_m_);
+    const util::LockGuard lock(done_m_);
     ++inserted_;
     return;
   }
@@ -62,22 +62,24 @@ void IngestExecutor::flush_shard(std::size_t shard) {
   batch.swap(pending_[shard]);
   bool waited = false;
   queues_[shard]->push_wait(std::move(batch), 0, &waited);
-  if (waited) ++backpressure_waits_;
-  ++batches_;
+  if (waited) backpressure_waits_.fetch_add(1, std::memory_order_relaxed);
+  batches_.fetch_add(1, std::memory_order_relaxed);
   Worker& worker = *workers_[shard % workers_.size()];
   {
     // Empty critical section: pairs with the predicate check the worker
     // performs under this mutex, so a push between "predicate false" and
     // "wait" cannot lose its notification.
-    const std::lock_guard lock(worker.m);
+    const util::LockGuard lock(worker.m);
   }
   worker.cv.notify_one();
 }
 
 void IngestExecutor::drain() {
   for (std::size_t s = 0; s < pending_.size(); ++s) flush_shard(s);
-  std::unique_lock lock(done_m_);
-  done_cv_.wait(lock, [&] { return inserted_ == submitted_; });
+  util::UniqueLock lock(done_m_);
+  done_cv_.wait(lock, [&]() DLC_REQUIRES(done_m_) {
+    return inserted_ == submitted_.load(std::memory_order_relaxed);
+  });
 }
 
 void IngestExecutor::worker_loop(std::size_t w) {
@@ -91,7 +93,7 @@ void IngestExecutor::worker_loop(std::size_t w) {
   };
   for (;;) {
     {
-      std::unique_lock lock(self.m);
+      util::UniqueLock lock(self.m);
       self.cv.wait(lock, [&] {
         return stop_.load(std::memory_order_acquire) || has_work();
       });
@@ -107,7 +109,7 @@ void IngestExecutor::worker_loop(std::size_t w) {
     }
     if (done != 0) {
       {
-        const std::lock_guard lock(done_m_);
+        const util::LockGuard lock(done_m_);
         inserted_ += done;
       }
       done_cv_.notify_all();
@@ -118,10 +120,10 @@ void IngestExecutor::worker_loop(std::size_t w) {
 
 IngestStats IngestExecutor::stats() const {
   IngestStats out;
-  out.submitted = submitted_;
-  out.batches = batches_;
-  out.backpressure_waits = backpressure_waits_;
-  const std::lock_guard lock(done_m_);
+  out.submitted = submitted_.load(std::memory_order_relaxed);
+  out.batches = batches_.load(std::memory_order_relaxed);
+  out.backpressure_waits = backpressure_waits_.load(std::memory_order_relaxed);
+  const util::LockGuard lock(done_m_);
   out.inserted = inserted_;
   return out;
 }

@@ -27,15 +27,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "dsos/cluster.hpp"
 #include "util/queue.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace dlc::dsos {
 
@@ -84,8 +83,11 @@ class IngestExecutor {
 
  private:
   struct Worker {
-    std::mutex m;
-    std::condition_variable cv;
+    // Lock hierarchy: IngestWorker is acquired BEFORE BoundedQueue (the
+    // wakeup predicate polls queue sizes under m); see DESIGN.md
+    // "Concurrency invariants & lock hierarchy".
+    util::Mutex m{"IngestWorker"};
+    util::CondVar cv;
   };
 
   void flush_shard(std::size_t shard);
@@ -103,14 +105,18 @@ class IngestExecutor {
 
   std::atomic<bool> stop_{false};
 
-  // submitted_ is touched only by the submitting thread (which is also
-  // the drain() caller); inserted_ is shared and guarded by done_m_.
-  std::uint64_t submitted_ = 0;
-  std::uint64_t batches_ = 0;
-  std::uint64_t backpressure_waits_ = 0;
-  mutable std::mutex done_m_;
-  std::condition_variable done_cv_;
-  std::uint64_t inserted_ = 0;
+  // Written only by the submitting thread (which is also the drain()
+  // caller) but read by stats() from ANY thread — the annotation pass
+  // flagged the previous plain-uint64 fields as unguarded cross-thread
+  // reads, so they are relaxed atomics now (single writer, monotonic;
+  // no ordering required).  inserted_ is multi-writer and stays guarded
+  // by done_m_, which also serves the drain() wakeup.
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> backpressure_waits_{0};
+  mutable util::Mutex done_m_{"IngestDone"};
+  util::CondVar done_cv_;
+  std::uint64_t inserted_ DLC_GUARDED_BY(done_m_) = 0;
 };
 
 }  // namespace dlc::dsos

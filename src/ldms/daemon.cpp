@@ -32,7 +32,7 @@ void LdmsDaemon::add_forward(const std::string& tag, LdmsDaemon& upstream,
   route->config = config;
   if (config.delivery == relia::DeliveryMode::kAtLeastOnce) {
     route->spool = std::make_unique<relia::MessageSpool>(config.spool);
-    route->breaker = relia::CircuitBreaker(config.breaker);
+    route->breaker.configure(config.breaker);
   }
   bus_.subscribe(tag,
                  [this, route](const StreamMessage& msg) { enqueue(*route, msg); });

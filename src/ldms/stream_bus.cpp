@@ -5,14 +5,14 @@
 namespace dlc::ldms {
 
 SubscriptionId StreamBus::subscribe(std::string tag, SubscriberFn fn) {
-  const std::scoped_lock lock(mutex_);
+  const util::LockGuard lock(mutex_);
   const SubscriptionId id = next_id_++;
   subs_.push_back(Subscription{id, std::move(tag), std::move(fn)});
   return id;
 }
 
 void StreamBus::unsubscribe(SubscriptionId id) {
-  const std::scoped_lock lock(mutex_);
+  const util::LockGuard lock(mutex_);
   std::erase_if(subs_, [id](const Subscription& s) { return s.id == id; });
 }
 
@@ -21,7 +21,7 @@ std::size_t StreamBus::publish(const StreamMessage& msg) {
   // never call unknown code while holding a lock).
   std::vector<SubscriberFn> targets;
   {
-    const std::scoped_lock lock(mutex_);
+    const util::LockGuard lock(mutex_);
     ++published_;
     const auto fmt = static_cast<std::size_t>(msg.format);
     if (fmt < kPayloadFormatCount) {
@@ -42,39 +42,39 @@ std::size_t StreamBus::publish(const StreamMessage& msg) {
 }
 
 std::uint64_t StreamBus::published() const {
-  const std::scoped_lock lock(mutex_);
+  const util::LockGuard lock(mutex_);
   return published_;
 }
 
 std::uint64_t StreamBus::delivered() const {
-  const std::scoped_lock lock(mutex_);
+  const util::LockGuard lock(mutex_);
   return delivered_;
 }
 
 std::uint64_t StreamBus::missed() const {
-  const std::scoped_lock lock(mutex_);
+  const util::LockGuard lock(mutex_);
   return missed_;
 }
 
 std::size_t StreamBus::subscriber_count() const {
-  const std::scoped_lock lock(mutex_);
+  const util::LockGuard lock(mutex_);
   return subs_.size();
 }
 
 std::uint64_t StreamBus::published_bytes(PayloadFormat format) const {
-  const std::scoped_lock lock(mutex_);
+  const util::LockGuard lock(mutex_);
   return format_bytes_[static_cast<std::size_t>(format)];
 }
 
 std::uint64_t StreamBus::published_bytes() const {
-  const std::scoped_lock lock(mutex_);
+  const util::LockGuard lock(mutex_);
   std::uint64_t total = 0;
   for (const std::uint64_t b : format_bytes_) total += b;
   return total;
 }
 
 std::uint64_t StreamBus::published_count(PayloadFormat format) const {
-  const std::scoped_lock lock(mutex_);
+  const util::LockGuard lock(mutex_);
   return format_counts_[static_cast<std::size_t>(format)];
 }
 

@@ -14,12 +14,12 @@
 #include <array>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "ldms/message.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace dlc::ldms {
 
@@ -59,14 +59,20 @@ class StreamBus {
     SubscriberFn fn;
   };
 
-  mutable std::mutex mutex_;
-  std::vector<Subscription> subs_;
-  SubscriptionId next_id_ = 1;
-  std::uint64_t published_ = 0;
-  std::uint64_t delivered_ = 0;
-  std::uint64_t missed_ = 0;
-  std::array<std::uint64_t, kPayloadFormatCount> format_bytes_{};
-  std::array<std::uint64_t, kPayloadFormatCount> format_counts_{};
+  // StreamBus is a lock-hierarchy leaf BY CONSTRUCTION: publish()
+  // snapshots the matching callbacks under mutex_ and invokes them
+  // outside it (CP.22), so no subscriber code — decoder, forwarder,
+  // ingest — ever runs while the bus lock is held.
+  mutable util::Mutex mutex_{"StreamBus"};
+  std::vector<Subscription> subs_ DLC_GUARDED_BY(mutex_);
+  SubscriptionId next_id_ DLC_GUARDED_BY(mutex_) = 1;
+  std::uint64_t published_ DLC_GUARDED_BY(mutex_) = 0;
+  std::uint64_t delivered_ DLC_GUARDED_BY(mutex_) = 0;
+  std::uint64_t missed_ DLC_GUARDED_BY(mutex_) = 0;
+  std::array<std::uint64_t, kPayloadFormatCount> format_bytes_
+      DLC_GUARDED_BY(mutex_){};
+  std::array<std::uint64_t, kPayloadFormatCount> format_counts_
+      DLC_GUARDED_BY(mutex_){};
 };
 
 }  // namespace dlc::ldms

@@ -19,7 +19,17 @@ SimDuration backoff_delay(const BackoffConfig& config, int attempt, Rng& rng) {
   return std::max<SimDuration>(static_cast<SimDuration>(delay), 1);
 }
 
+void CircuitBreaker::configure(BreakerConfig config) {
+  const util::LockGuard lock(m_);
+  config_ = config;
+  state_ = State::kClosed;
+  consecutive_failures_ = 0;
+  open_until_ = 0;
+  opens_ = 0;
+}
+
 bool CircuitBreaker::allow(SimTime now) {
+  const util::LockGuard lock(m_);
   switch (state_) {
     case State::kClosed:
       return true;
@@ -34,6 +44,7 @@ bool CircuitBreaker::allow(SimTime now) {
 }
 
 void CircuitBreaker::record_failure(SimTime now) {
+  const util::LockGuard lock(m_);
   ++consecutive_failures_;
   if (state_ == State::kHalfOpen ||
       consecutive_failures_ >= config_.failure_threshold) {
@@ -44,6 +55,7 @@ void CircuitBreaker::record_failure(SimTime now) {
 }
 
 void CircuitBreaker::record_success() {
+  const util::LockGuard lock(m_);
   state_ = State::kClosed;
   consecutive_failures_ = 0;
 }

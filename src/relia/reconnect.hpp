@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "util/rng.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/time.hpp"
 
 namespace dlc::relia {
@@ -50,6 +51,11 @@ class CircuitBreaker {
 
   explicit CircuitBreaker(BreakerConfig config = {}) : config_(config) {}
 
+  /// Re-arms the breaker with a new config and resets its state (the
+  /// breaker owns a mutex, so routes configure in place rather than
+  /// copy-assigning a fresh instance).
+  void configure(BreakerConfig config);
+
   /// True when a delivery attempt may proceed.  Closed: always.  Open:
   /// only once open_for has elapsed (transitioning to half-open, which
   /// admits the single probe).
@@ -58,15 +64,24 @@ class CircuitBreaker {
   void record_failure(SimTime now);
   void record_success();
 
-  State state() const { return state_; }
-  std::uint64_t opens() const { return opens_; }
+  State state() const {
+    const util::LockGuard lock(m_);
+    return state_;
+  }
+  std::uint64_t opens() const {
+    const util::LockGuard lock(m_);
+    return opens_;
+  }
 
  private:
-  BreakerConfig config_;
-  State state_ = State::kClosed;
-  int consecutive_failures_ = 0;
-  SimTime open_until_ = 0;
-  std::uint64_t opens_ = 0;
+  // Leaf mutex: publish and probe paths consult the breaker from
+  // different call sites; no calls leave the class while it is held.
+  mutable util::Mutex m_{"CircuitBreaker"};
+  BreakerConfig config_ DLC_GUARDED_BY(m_);
+  State state_ DLC_GUARDED_BY(m_) = State::kClosed;
+  int consecutive_failures_ DLC_GUARDED_BY(m_) = 0;
+  SimTime open_until_ DLC_GUARDED_BY(m_) = 0;
+  std::uint64_t opens_ DLC_GUARDED_BY(m_) = 0;
 };
 
 }  // namespace dlc::relia

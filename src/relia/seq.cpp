@@ -4,6 +4,7 @@ namespace dlc::relia {
 
 SequenceTracker::Observe SequenceTracker::observe(std::string_view producer,
                                                   std::uint64_t seq) {
+  const util::LockGuard lock(m_);
   if (seq == 0) {
     ++unsequenced_;
     return Observe::kAccept;
@@ -36,11 +37,13 @@ SequenceTracker::Observe SequenceTracker::observe(std::string_view producer,
 
 const SequenceTracker::ProducerStats* SequenceTracker::stats(
     std::string_view producer) const {
+  const util::LockGuard lock(m_);
   const auto it = states_.find(producer);
   return it == states_.end() ? nullptr : &it->second.stats;
 }
 
 SequenceTracker::ProducerStats SequenceTracker::total() const {
+  const util::LockGuard lock(m_);
   ProducerStats total;
   for (const auto& [name, st] : states_) {
     total.received += st.stats.received;
@@ -55,6 +58,7 @@ SequenceTracker::ProducerStats SequenceTracker::total() const {
 }
 
 std::vector<std::string> SequenceTracker::producers() const {
+  const util::LockGuard lock(m_);
   std::vector<std::string> names;
   names.reserve(states_.size());
   for (const auto& [name, st] : states_) names.push_back(name);

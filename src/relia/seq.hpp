@@ -23,6 +23,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/thread_annotations.hpp"
+
 namespace dlc::relia {
 
 class SequenceTracker {
@@ -49,7 +51,11 @@ class SequenceTracker {
   /// accepted and excluded from the per-producer accounting.
   Observe observe(std::string_view producer, std::uint64_t seq);
 
-  /// Per-producer accounting; nullptr for unknown producers.
+  /// Per-producer accounting; nullptr for unknown producers.  The pointer
+  /// stays valid for the tracker's lifetime (std::map nodes are stable),
+  /// but reading it concurrently with observe() can tear — snapshot-read
+  /// only from a quiesced stream (end-of-run accounting), as the pipeline
+  /// and tests do.
   const ProducerStats* stats(std::string_view producer) const;
 
   /// Aggregate over all producers.
@@ -58,7 +64,10 @@ class SequenceTracker {
   /// Producer names seen, sorted (stable iteration for reports).
   std::vector<std::string> producers() const;
 
-  std::uint64_t unsequenced() const { return unsequenced_; }
+  std::uint64_t unsequenced() const {
+    const util::LockGuard lock(m_);
+    return unsequenced_;
+  }
 
  private:
   struct State {
@@ -69,10 +78,14 @@ class SequenceTracker {
     ProducerStats stats;
   };
 
+  // Leaf mutex: observe() runs on the decode thread while reporters poll
+  // totals; nothing is called out to while it is held.
+  mutable util::Mutex m_{"SequenceTracker"};
+
   // std::map (not unordered) so producers() is sorted for free and
   // find() works with string_view keys via transparent comparison.
-  std::map<std::string, State, std::less<>> states_;
-  std::uint64_t unsequenced_ = 0;
+  std::map<std::string, State, std::less<>> states_ DLC_GUARDED_BY(m_);
+  std::uint64_t unsequenced_ DLC_GUARDED_BY(m_) = 0;
 };
 
 }  // namespace dlc::relia

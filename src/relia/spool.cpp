@@ -51,6 +51,7 @@ bool decode_record(std::string_view body, ldms::StreamMessage& out) {
 MessageSpool::MessageSpool(SpoolConfig config) : config_(std::move(config)) {}
 
 void MessageSpool::append(ldms::StreamMessage msg) {
+  const util::LockGuard lock(m_);
   ++appended_;
   const std::size_t bytes = msg.payload.size();
   // A message alone larger than the byte bound can never be retained.
@@ -133,6 +134,7 @@ std::optional<ldms::StreamMessage> MessageSpool::read_from_file() {
 }
 
 std::optional<ldms::StreamMessage> MessageSpool::pop_front() {
+  const util::LockGuard lock(m_);
   if (file_msgs_ > 0) {
     auto msg = read_from_file();
     if (msg) return msg;
@@ -149,7 +151,8 @@ std::optional<ldms::StreamMessage> MessageSpool::pop_front() {
 }
 
 void MessageSpool::clear() {
-  evicted_ += size();
+  const util::LockGuard lock(m_);
+  evicted_ += size_locked();
   ring_.clear();
   ring_bytes_ = 0;
   file_msgs_ = 0;

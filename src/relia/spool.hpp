@@ -20,6 +20,7 @@
 #include <string>
 
 #include "ldms/message.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace dlc::relia {
 
@@ -53,39 +54,65 @@ class MessageSpool {
   /// Drops everything retained (give-up path; adds to evicted()).
   void clear();
 
-  bool empty() const { return size() == 0; }
-  std::size_t size() const { return ring_.size() + file_msgs_; }
-  std::size_t ring_bytes() const { return ring_bytes_; }
+  bool empty() const {
+    const util::LockGuard lock(m_);
+    return size_locked() == 0;
+  }
+  std::size_t size() const {
+    const util::LockGuard lock(m_);
+    return size_locked();
+  }
+  std::size_t ring_bytes() const {
+    const util::LockGuard lock(m_);
+    return ring_bytes_;
+  }
 
   // --- accounting -------------------------------------------------------
-  std::uint64_t appended() const { return appended_; }
+  std::uint64_t appended() const {
+    const util::LockGuard lock(m_);
+    return appended_;
+  }
   /// Messages evicted with nowhere to go — at-least-once's honest loss.
-  std::uint64_t evicted() const { return evicted_; }
+  std::uint64_t evicted() const {
+    const util::LockGuard lock(m_);
+    return evicted_;
+  }
   /// Messages that overflowed the ring into the file segment.
-  std::uint64_t spilled() const { return spilled_; }
+  std::uint64_t spilled() const {
+    const util::LockGuard lock(m_);
+    return spilled_;
+  }
 
   const SpoolConfig& config() const { return config_; }
 
  private:
-  void evict_oldest();
-  bool spill_to_file(const ldms::StreamMessage& msg);
-  std::optional<ldms::StreamMessage> read_from_file();
+  std::size_t size_locked() const DLC_REQUIRES(m_) {
+    return ring_.size() + file_msgs_;
+  }
+  void evict_oldest() DLC_REQUIRES(m_);
+  bool spill_to_file(const ldms::StreamMessage& msg) DLC_REQUIRES(m_);
+  std::optional<ldms::StreamMessage> read_from_file() DLC_REQUIRES(m_);
 
-  SpoolConfig config_;
-  std::deque<ldms::StreamMessage> ring_;
-  std::size_t ring_bytes_ = 0;
+  // The spool is shared between the publish path (append on overflow) and
+  // the reconnect prober's redelivery drain; one leaf mutex serializes
+  // both (including the fstream, which is itself stateful).
+  mutable util::Mutex m_{"MessageSpool"};
+
+  SpoolConfig config_;  // immutable after construction
+  std::deque<ldms::StreamMessage> ring_ DLC_GUARDED_BY(m_);
+  std::size_t ring_bytes_ DLC_GUARDED_BY(m_) = 0;
 
   /// Lazily-opened spill segment: appended at end, read from read_pos_,
   /// truncated once fully drained.
-  std::fstream file_;
-  bool file_open_ = false;
-  std::size_t file_msgs_ = 0;
-  std::size_t file_bytes_ = 0;
-  std::streamoff read_pos_ = 0;
+  std::fstream file_ DLC_GUARDED_BY(m_);
+  bool file_open_ DLC_GUARDED_BY(m_) = false;
+  std::size_t file_msgs_ DLC_GUARDED_BY(m_) = 0;
+  std::size_t file_bytes_ DLC_GUARDED_BY(m_) = 0;
+  std::streamoff read_pos_ DLC_GUARDED_BY(m_) = 0;
 
-  std::uint64_t appended_ = 0;
-  std::uint64_t evicted_ = 0;
-  std::uint64_t spilled_ = 0;
+  std::uint64_t appended_ DLC_GUARDED_BY(m_) = 0;
+  std::uint64_t evicted_ DLC_GUARDED_BY(m_) = 0;
+  std::uint64_t spilled_ DLC_GUARDED_BY(m_) = 0;
 };
 
 }  // namespace dlc::relia

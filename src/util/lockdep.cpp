@@ -1,0 +1,195 @@
+#include "util/lockdep.hpp"
+
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <set>
+#include <vector>
+
+namespace dlc::lockdep {
+
+namespace {
+
+// One node per lock class.  Anonymous mutexes get a per-instance class so
+// unrelated locals can never produce false cycles with each other.
+struct ClassKey {
+  const char* name;      // nullptr for anonymous
+  const void* instance;  // identity for anonymous classes only
+
+  bool operator<(const ClassKey& o) const {
+    if (name && o.name) {
+      // Compare by content: the same class name from different
+      // translation units must be one node.
+      const int c = __builtin_strcmp(name, o.name);
+      return c < 0;
+    }
+    if (static_cast<bool>(name) != static_cast<bool>(o.name)) {
+      return name == nullptr;
+    }
+    return instance < o.instance;
+  }
+  bool operator==(const ClassKey& o) const {
+    return !(*this < o) && !(o < *this);
+  }
+};
+
+std::string class_label(const ClassKey& k) {
+  if (k.name) return k.name;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "anon@%p", k.instance);
+  return buf;
+}
+
+struct Edge {
+  ClassKey to;
+  std::string first_seen_chain;  // held-lock chain when first recorded
+};
+
+struct Held {
+  const void* lock;
+  ClassKey cls;
+};
+
+// All graph state lives behind one RAW std::mutex: lockdep must never
+// route through util::Mutex or it would instrument itself into
+// recursion.
+std::mutex g_mutex;
+std::map<ClassKey, std::vector<Edge>>* g_edges = nullptr;
+std::set<std::pair<ClassKey, ClassKey>>* g_reported = nullptr;
+std::string* g_report = nullptr;
+std::uint64_t g_violations = 0;
+
+// Per-thread stack of currently held instrumented locks.
+thread_local std::vector<Held> t_held;
+
+std::map<ClassKey, std::vector<Edge>>& edges() {
+  if (!g_edges) g_edges = new std::map<ClassKey, std::vector<Edge>>();
+  return *g_edges;
+}
+
+std::set<std::pair<ClassKey, ClassKey>>& reported() {
+  if (!g_reported) g_reported = new std::set<std::pair<ClassKey, ClassKey>>();
+  return *g_reported;
+}
+
+std::string& report_buf() {
+  if (!g_report) g_report = new std::string();
+  return *g_report;
+}
+
+std::string chain_label(const std::vector<Held>& held, const ClassKey& next) {
+  std::string out;
+  for (const Held& h : held) {
+    out += class_label(h.cls);
+    out += " -> ";
+  }
+  out += class_label(next);
+  return out;
+}
+
+/// Depth-first search: is `to` reachable from `from` in the edge graph?
+/// Fills `path` with the class chain when it is.  Callers hold g_mutex.
+bool reachable(const ClassKey& from, const ClassKey& to,
+               std::set<ClassKey>& visited, std::vector<ClassKey>& path) {
+  if (from == to) {
+    path.push_back(from);
+    return true;
+  }
+  if (!visited.insert(from).second) return false;
+  const auto it = edges().find(from);
+  if (it == edges().end()) return false;
+  for (const Edge& e : it->second) {
+    if (reachable(e.to, to, visited, path)) {
+      path.insert(path.begin(), from);
+      return true;
+    }
+  }
+  return false;
+}
+
+const Edge* find_edge(const ClassKey& from, const ClassKey& to) {
+  const auto it = edges().find(from);
+  if (it == edges().end()) return nullptr;
+  for (const Edge& e : it->second) {
+    if (e.to == to) return &e;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+void on_acquire(const void* lock, const char* name) noexcept {
+  const ClassKey cls{name, name ? nullptr : lock};
+  if (t_held.empty()) {
+    t_held.push_back(Held{lock, cls});
+    return;
+  }
+  const ClassKey prev = t_held.back().cls;
+  t_held.push_back(Held{lock, cls});
+  // Note same-class nesting (prev == cls) is reported by the cycle check
+  // below (reachable() finds the trivial path), matching Linux lockdep:
+  // nesting two instances of one class risks AB/BA between two threads.
+
+  const std::scoped_lock g(g_mutex);
+  if (find_edge(prev, cls)) return;  // known-good order, fast path out
+
+  // Would prev -> cls close a cycle?  (cls already reaches prev.)
+  std::set<ClassKey> visited;
+  std::vector<ClassKey> path;
+  if (reachable(cls, prev, visited, path)) {
+    if (reported().insert({prev, cls}).second) {
+      ++g_violations;
+      std::string msg = "lockdep: potential deadlock: acquiring \"";
+      msg += class_label(cls);
+      msg += "\" while holding \"";
+      msg += class_label(prev);
+      msg += "\"\n  this acquisition: ";
+      // Chain excludes the just-pushed entry.
+      std::vector<Held> held_before(t_held.begin(), t_held.end() - 1);
+      msg += chain_label(held_before, cls);
+      msg += "\n  conflicting order first seen as:";
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        if (const Edge* e = find_edge(path[i], path[i + 1])) {
+          msg += "\n    ";
+          msg += e->first_seen_chain;
+        }
+      }
+      msg += "\n";
+      report_buf() += msg;
+      std::fprintf(stderr, "%s", msg.c_str());
+    }
+    return;  // do not insert the cycle-closing edge
+  }
+
+  std::vector<Held> held_before(t_held.begin(), t_held.end() - 1);
+  edges()[prev].push_back(Edge{cls, chain_label(held_before, cls)});
+}
+
+void on_release(const void* lock) noexcept {
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (it->lock == lock) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+std::uint64_t violations() noexcept {
+  const std::scoped_lock g(g_mutex);
+  return g_violations;
+}
+
+std::string report() {
+  const std::scoped_lock g(g_mutex);
+  return report_buf();
+}
+
+void reset() noexcept {
+  const std::scoped_lock g(g_mutex);
+  edges().clear();
+  reported().clear();
+  report_buf().clear();
+  g_violations = 0;
+}
+
+}  // namespace dlc::lockdep

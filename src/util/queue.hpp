@@ -16,15 +16,20 @@
 // REMAIN POPPABLE — pop() drains the backlog before signalling
 // end-of-stream, and try_pop() keeps returning items.  Consumers rely on
 // this to flush in-flight messages during shutdown.
+//
+// Thread safety: every mutable field is DLC_GUARDED_BY(mutex_); clang
+// builds enforce the discipline at compile time and lockdep builds check
+// the queue's place in the lock hierarchy (it is a leaf — the queue never
+// calls out while holding mutex_).
 #pragma once
 
 #include <cassert>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "util/thread_annotations.hpp"
 
 namespace dlc {
 
@@ -42,7 +47,7 @@ class BoundedQueue {
   /// cost lands exactly on the cap is accepted (the cap is inclusive).
   bool try_push(T item, std::size_t bytes = 0) {
     {
-      const std::scoped_lock lock(mutex_);
+      const util::LockGuard lock(mutex_);
       if (closed_ || !has_room(bytes)) return false;
       bytes_ += bytes;
       items_.emplace_back(std::move(item), bytes);
@@ -59,13 +64,15 @@ class BoundedQueue {
   bool push_wait(T item, std::size_t bytes = 0, bool* waited = nullptr) {
     if (waited) *waited = false;
     {
-      std::unique_lock lock(mutex_);
+      util::UniqueLock lock(mutex_);
       if (capacity_ == 0 || (capacity_bytes_ > 0 && bytes > capacity_bytes_)) {
         return false;
       }
       if (!closed_ && !has_room(bytes)) {
         if (waited) *waited = true;
-        cv_space_.wait(lock, [&] { return closed_ || has_room(bytes); });
+        cv_space_.wait(lock, [&]() DLC_REQUIRES(mutex_) {
+          return closed_ || has_room(bytes);
+        });
       }
       if (closed_) return false;
       bytes_ += bytes;
@@ -79,8 +86,10 @@ class BoundedQueue {
   std::optional<T> pop() {
     std::optional<T> out;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+      util::UniqueLock lock(mutex_);
+      cv_.wait(lock, [&]() DLC_REQUIRES(mutex_) {
+        return closed_ || !items_.empty();
+      });
       if (items_.empty()) {
         assert(closed_);  // woken with nothing to pop => shutdown signal
         return std::nullopt;
@@ -95,7 +104,7 @@ class BoundedQueue {
   std::optional<T> try_pop() {
     std::optional<T> out;
     {
-      const std::scoped_lock lock(mutex_);
+      const util::LockGuard lock(mutex_);
       if (items_.empty()) return std::nullopt;
       out = take_front();
     }
@@ -106,7 +115,7 @@ class BoundedQueue {
   /// Closes the queue; pending items remain poppable, pushes fail.
   void close() {
     {
-      const std::scoped_lock lock(mutex_);
+      const util::LockGuard lock(mutex_);
       closed_ = true;
     }
     cv_.notify_all();
@@ -114,13 +123,13 @@ class BoundedQueue {
   }
 
   std::size_t size() const {
-    const std::scoped_lock lock(mutex_);
+    const util::LockGuard lock(mutex_);
     return items_.size();
   }
 
   /// Summed byte costs of the queued items.
   std::size_t size_bytes() const {
-    const std::scoped_lock lock(mutex_);
+    const util::LockGuard lock(mutex_);
     return bytes_;
   }
 
@@ -128,30 +137,29 @@ class BoundedQueue {
   std::size_t capacity_bytes() const { return capacity_bytes_; }
 
  private:
-  // Callers hold mutex_.
-  T take_front() {
+  T take_front() DLC_REQUIRES(mutex_) {
     auto [item, bytes] = std::move(items_.front());
     items_.pop_front();
     bytes_ -= bytes;
     return std::move(item);
   }
 
-  // Callers hold mutex_.  See try_push for the wrap-safe byte headroom
-  // comparison: bytes_ <= capacity_bytes_ is an invariant, so the
-  // subtraction cannot underflow.
-  bool has_room(std::size_t bytes) const {
+  // See try_push for the wrap-safe byte headroom comparison:
+  // bytes_ <= capacity_bytes_ is an invariant, so the subtraction cannot
+  // underflow.
+  bool has_room(std::size_t bytes) const DLC_REQUIRES(mutex_) {
     if (items_.size() >= capacity_) return false;
     return capacity_bytes_ == 0 || bytes <= capacity_bytes_ - bytes_;
   }
 
   const std::size_t capacity_;
   const std::size_t capacity_bytes_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::condition_variable cv_space_;
-  std::deque<std::pair<T, std::size_t>> items_;
-  std::size_t bytes_ = 0;
-  bool closed_ = false;
+  mutable util::Mutex mutex_{"BoundedQueue"};
+  util::CondVar cv_;
+  util::CondVar cv_space_;
+  std::deque<std::pair<T, std::size_t>> items_ DLC_GUARDED_BY(mutex_);
+  std::size_t bytes_ DLC_GUARDED_BY(mutex_) = 0;
+  bool closed_ DLC_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace dlc

@@ -182,35 +182,41 @@ std::vector<dsos::Object> decode_frame(const dsos::SchemaPtr& schema,
     if ((flags & kHasDataSet) && !read_interned(r, table, data_set)) return {};
     if (!r.ok()) return {};
 
-    // Fig. 3 column order, matching core::decode_message exactly.
+    // Schema (Table I) attribute order, matching core::decode_message
+    // exactly.  The trailing field comments are load-bearing:
+    // tools/lint_schema_parity.py checks this sequence against the
+    // canonical schema in src/core/schema_darshan.cpp and cross-checks
+    // each line's expression tokens against the named field.
     std::vector<dsos::Value> values;
     values.reserve(schema->attrs().size());
-    values.emplace_back(
-        std::string(darshan::module_name(static_cast<darshan::Module>(
-            module_byte))));
-    values.emplace_back(uid);
-    values.emplace_back(producer);
-    values.emplace_back(switches);
-    values.emplace_back(file);
-    values.emplace_back(rank);
-    values.emplace_back(flushes);
-    values.emplace_back(record_id);
-    values.emplace_back(is_meta ? exe : std::string("N/A"));
-    values.emplace_back(max_byte);
-    values.emplace_back(std::string(is_meta ? "MET" : "MOD"));
-    values.emplace_back(job_id);
-    values.emplace_back(std::string(darshan::op_name(op)));
-    values.emplace_back(cnt);
-    values.emplace_back(off);
-    values.emplace_back(pt_sel);
-    values.emplace_back(to_seconds(dur));
-    values.emplace_back(len);
-    values.emplace_back(ndims);
-    values.emplace_back(reg);
-    values.emplace_back(irreg);
-    values.emplace_back(data_set);
-    values.emplace_back(npoints);
-    values.emplace_back(epoch_seconds + to_seconds(end));
+    values.emplace_back(std::string(darshan::module_name(
+        static_cast<darshan::Module>(module_byte))));   // module
+    values.emplace_back(uid);                           // uid
+    values.emplace_back(producer);                      // ProducerName
+    values.emplace_back(switches);                      // switches
+    values.emplace_back(file);                          // file
+    values.emplace_back(rank);                          // rank
+    values.emplace_back(flushes);                       // flushes
+    values.emplace_back(record_id);                     // record_id
+    values.emplace_back(is_meta ? exe
+                                : std::string("N/A"));  // exe
+    values.emplace_back(max_byte);                      // max_byte
+    values.emplace_back(std::string(is_meta ? "MET"
+                                            : "MOD"));  // type
+    values.emplace_back(job_id);                        // job_id
+    values.emplace_back(std::string(darshan::op_name(op)));  // op
+    values.emplace_back(cnt);                           // cnt
+    values.emplace_back(off);                           // seg_off
+    values.emplace_back(pt_sel);                        // seg_pt_sel
+    values.emplace_back(to_seconds(dur));               // seg_dur
+    values.emplace_back(len);                           // seg_len
+    values.emplace_back(ndims);                         // seg_ndims
+    values.emplace_back(reg);                           // seg_reg_hslab
+    values.emplace_back(irreg);                         // seg_irreg_hslab
+    values.emplace_back(data_set);                      // seg_data_set
+    values.emplace_back(npoints);                       // seg_npoints
+    values.emplace_back(epoch_seconds +
+                        to_seconds(end));               // seg_timestamp
     out.push_back(dsos::make_object(schema, std::move(values)));
   }
   if (!r.ok()) return {};

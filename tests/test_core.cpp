@@ -16,6 +16,7 @@
 #include "simfs/nfs.hpp"
 #include "simhpc/cluster.hpp"
 #include "simhpc/job.hpp"
+#include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 #include "wire/codec.hpp"
@@ -810,6 +811,74 @@ TEST(EnvConfig, ReportsBadDeliveryValues) {
   EXPECT_EQ(cfg.errors.size(), 3u);
   EXPECT_EQ(cfg.connector.delivery, relia::DeliveryMode::kBestEffort);
   EXPECT_EQ(cfg.connector.spool.max_msgs, relia::SpoolConfig{}.max_msgs);
+}
+
+// Integer-parsing hardening: negative, overflowing, and trailing-garbage
+// values must never take effect — the default stays and the rejection is
+// recorded (and logged; see LogsRejectedValues).
+
+TEST(EnvConfig, RejectsNegativeIntegers) {
+  const EnvConfig cfg = connector_config_from_env(fake_env({
+      {"DARSHAN_LDMS_INGEST_THREADS", "-1"},
+      {"DARSHAN_LDMS_SPOOL_MSGS", "-4"},
+      {"DARSHAN_LDMS_SPOOL_BYTES", "-65536"},
+  }));
+  EXPECT_EQ(cfg.errors.size(), 3u);
+  EXPECT_EQ(cfg.connector.ingest_threads, 0u);
+  EXPECT_EQ(cfg.connector.spool.max_msgs, relia::SpoolConfig{}.max_msgs);
+  EXPECT_EQ(cfg.connector.spool.max_bytes, relia::SpoolConfig{}.max_bytes);
+}
+
+TEST(EnvConfig, RejectsOverflowingIntegers) {
+  // Twenty digits: past 2^64-1, so from_chars reports out-of-range rather
+  // than silently wrapping to some small number of threads.
+  const EnvConfig cfg = connector_config_from_env(fake_env({
+      {"DARSHAN_LDMS_INGEST_THREADS", "99999999999999999999"},
+      {"DARSHAN_LDMS_SPOOL_MSGS", "18446744073709551616"},  // 2^64
+  }));
+  EXPECT_EQ(cfg.errors.size(), 2u);
+  EXPECT_EQ(cfg.connector.ingest_threads, 0u);
+  EXPECT_EQ(cfg.connector.spool.max_msgs, relia::SpoolConfig{}.max_msgs);
+}
+
+TEST(EnvConfig, RejectsTrailingGarbage) {
+  const EnvConfig cfg = connector_config_from_env(fake_env({
+      {"DARSHAN_LDMS_INGEST_THREADS", "12x"},
+      {"DARSHAN_LDMS_SPOOL_MSGS", "4 "},
+      {"DARSHAN_LDMS_SPOOL_BYTES", "0x100"},
+  }));
+  EXPECT_EQ(cfg.errors.size(), 3u);
+  EXPECT_EQ(cfg.connector.ingest_threads, 0u);
+  EXPECT_EQ(cfg.connector.spool.max_msgs, relia::SpoolConfig{}.max_msgs);
+  EXPECT_EQ(cfg.connector.spool.max_bytes, relia::SpoolConfig{}.max_bytes);
+}
+
+TEST(EnvConfig, CapsIngestThreadCount) {
+  const EnvConfig at_cap = connector_config_from_env(
+      fake_env({{"DARSHAN_LDMS_INGEST_THREADS", "1024"}}));
+  EXPECT_TRUE(at_cap.errors.empty());
+  EXPECT_EQ(at_cap.connector.ingest_threads, 1024u);
+
+  // Lexically valid but absurd: would try to spawn 10M OS threads.
+  const EnvConfig over = connector_config_from_env(
+      fake_env({{"DARSHAN_LDMS_INGEST_THREADS", "10000000"}}));
+  ASSERT_EQ(over.errors.size(), 1u);
+  EXPECT_EQ(over.errors[0], "DARSHAN_LDMS_INGEST_THREADS=10000000");
+  EXPECT_EQ(over.connector.ingest_threads, 0u);  // default kept
+}
+
+TEST(EnvConfig, LogsRejectedValues) {
+  std::vector<std::string> warnings;
+  set_log_sink([&](LogLevel level, const std::string& msg) {
+    if (level >= LogLevel::kWarn) warnings.push_back(msg);
+  });
+  connector_config_from_env(
+      fake_env({{"DARSHAN_LDMS_INGEST_THREADS", "banana"}}));
+  set_log_sink(nullptr);
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings[0].find("DARSHAN_LDMS_INGEST_THREADS"),
+            std::string::npos);
+  EXPECT_NE(warnings[0].find("banana"), std::string::npos);
 }
 
 }  // namespace

@@ -5,6 +5,8 @@
 
 #include <limits>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "dsos/cluster.hpp"
 #include "dsos/container.hpp"
@@ -744,6 +746,39 @@ TEST(Cluster, ParallelQueryCapturesShardByValue) {
       ASSERT_EQ(ra[i]->as_double("timestamp"), rb[i]->as_double("timestamp"));
     }
   }
+}
+
+// Regression for a race the annotation pass surfaced: query() is const
+// but mutates the last_scanned_/zone_pruned_ diagnostics, and the cluster
+// runs per-shard queries on real threads — two concurrent queries against
+// one container raced on the counters (now behind the stats mutex).
+TEST(Container, ConcurrentQueriesKeepStatsCoherent) {
+  Container c;
+  const auto schema = test_schema();
+  c.register_schema(schema);
+  for (int t = 0; t < 64; ++t) {
+    c.insert(make_event(schema, 1, t % 4, t * 1.0, "w", 0.1));
+  }
+  constexpr int kThreads = 4;
+  constexpr int kIters = 200;
+  const Filter disjoint{{"timestamp", Cmp::kGe, 1e6}};  // always pruned
+  const std::uint64_t pruned_before = c.zone_pruned();
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c, &disjoint] {
+      for (int i = 0; i < kIters; ++i) {
+        EXPECT_TRUE(c.query("events", "time", disjoint).empty());
+        // Identical queries => every thread should observe a coherent
+        // value written by SOME pruned query, never a torn/stale mix.
+        EXPECT_EQ(c.last_scanned(), 0u);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // No lost increments: each of the kThreads * kIters pruned queries
+  // bumped the counter exactly once.
+  EXPECT_EQ(c.zone_pruned(), pruned_before + kThreads * kIters);
 }
 
 }  // namespace

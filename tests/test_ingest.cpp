@@ -4,7 +4,9 @@
 // under queue-full back-pressure.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "dsos/cluster.hpp"
@@ -200,6 +202,43 @@ TEST(Ingest, DrainThenReuse) {
   EXPECT_EQ(cluster.query_auto("events", {}).size(), 96u);
   EXPECT_EQ(ex.stats().submitted, 96u);
   EXPECT_EQ(ex.stats().inserted, 96u);
+}
+
+// Regression for a race the thread-safety annotation pass surfaced: the
+// submitted/batches/backpressure counters were plain fields written by
+// submit() and read by stats() with no synchronisation.  A monitoring
+// thread polling stats() during ingest was a data race (now atomics).
+// Run under TSan this test fails on the old code.
+TEST(Ingest, StatsReadableWhileIngesting) {
+  const auto schema = test_schema();
+  DsosCluster cluster = make_cluster(4, schema);
+  IngestConfig icfg;
+  icfg.workers = 4;
+  icfg.batch = 4;
+  IngestExecutor ex(cluster, icfg);
+
+  std::atomic<bool> done{false};
+  std::uint64_t last_submitted = 0;
+  std::thread monitor([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const IngestStats s = ex.stats();
+      // Monotone non-decreasing and never past what drain() will settle
+      // on; inserted can trail submitted but never exceed it.
+      EXPECT_GE(s.submitted, last_submitted);
+      EXPECT_LE(s.inserted, s.submitted);
+      last_submitted = s.submitted;
+      std::this_thread::yield();
+    }
+  });
+  for (Object& obj : random_events(schema, 2000, 41)) {
+    ex.submit(std::move(obj));
+  }
+  ex.drain();
+  done.store(true, std::memory_order_release);
+  monitor.join();
+  const IngestStats s = ex.stats();
+  EXPECT_EQ(s.submitted, 2000u);
+  EXPECT_EQ(s.inserted, 2000u);
 }
 
 }  // namespace

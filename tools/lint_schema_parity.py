@@ -1,0 +1,437 @@
+#!/usr/bin/env python3
+"""Schema-parity lint: prove the Table I field list stays consistent
+across every encoding surface, statically.
+
+The canonical field list lives in src/core/schema_darshan.cpp (the DSOS
+schema, which is also the Fig. 3 column order).  Four other surfaces
+re-state it and can silently drift:
+
+  1. the CSV header literal (schema_darshan.cpp),
+  2. the JSON encoder's member keys (core/connector.cpp format_message),
+  3. the fast-scanner slot tables + row assembly (core/decoder.cpp:
+     kTopFields / kSegFields, decode_message_fast, decode_message), and
+  4. the wire codec (wire/codec.cpp: FrameEncoder::add put_* sequence,
+     decode_frame read sequence, and its row assembly).
+
+This lint extracts each surface with small, surface-specific grammars and
+diffs them against the canonical list: names, order (where the surface is
+order-bearing), and the N/A / -1 / 0 defaults that the DOM and fast JSON
+decoders must agree on.  Any drift fails with a unified diff.  Extraction
+that comes up empty is itself a failure — a refactor that breaks the
+grammar must be loud, never vacuously green.
+
+Run from anywhere:  python3 tools/lint_schema_parity.py  [--repo DIR]
+Exit code 0 = parity holds, 1 = drift (diff printed), 2 = extraction
+broke (the lint needs updating alongside the refactor).
+"""
+
+import argparse
+import difflib
+import os
+import re
+import sys
+
+FAIL_DRIFT = 1
+FAIL_EXTRACT = 2
+
+
+def read(repo, rel):
+    path = os.path.join(repo, rel)
+    with open(path, "r", encoding="utf-8") as f:
+        return f.read()
+
+
+def die_extract(msg):
+    print(f"lint_schema_parity: EXTRACTION FAILURE: {msg}", file=sys.stderr)
+    sys.exit(FAIL_EXTRACT)
+
+
+def strip_block(text, start_pat, end_pat, what):
+    """Returns text between the first match of start_pat and the next
+    match of end_pat."""
+    m = re.search(start_pat, text)
+    if not m:
+        die_extract(f"cannot find start of {what} ({start_pat!r})")
+    rest = text[m.end():]
+    e = re.search(end_pat, rest)
+    if not e:
+        die_extract(f"cannot find end of {what} ({end_pat!r})")
+    return rest[: e.start()]
+
+
+def diff_fail(what, expected, actual):
+    print(f"lint_schema_parity: PARITY DRIFT in {what}:", file=sys.stderr)
+    diff = difflib.unified_diff(
+        [str(x) for x in expected],
+        [str(x) for x in actual],
+        fromfile="canonical (schema_darshan.cpp)",
+        tofile=what,
+        lineterm="",
+    )
+    for line in diff:
+        print("  " + line, file=sys.stderr)
+    sys.exit(FAIL_DRIFT)
+
+
+def check_eq(what, expected, actual):
+    if list(expected) != list(actual):
+        diff_fail(what, expected, actual)
+
+
+# --------------------------------------------------------------------------
+# Canonical surface: the SchemaBuilder chain.
+
+def canonical_schema(repo):
+    src = read(repo, "src/core/schema_darshan.cpp")
+    block = strip_block(
+        src, r'SchemaBuilder\("darshan_data"\)', r"\.index\(",
+        "SchemaBuilder attr chain")
+    attrs = re.findall(r'\.attr\("([^"]+)",\s*AttrType::k(\w+)\)', block)
+    if len(attrs) < 10:
+        die_extract(f"only {len(attrs)} .attr() entries found")
+    return attrs  # ordered [(name, type)]
+
+
+def seg_base(name):
+    return name[len("seg_"):] if name.startswith("seg_") else None
+
+
+# --------------------------------------------------------------------------
+# Surface 1: CSV header literal.
+
+def check_csv_header(repo, fields):
+    src = read(repo, "src/core/schema_darshan.cpp")
+    block = strip_block(src, r"darshan_csv_header\(\)\s*\{", r"\n\}",
+                        "darshan_csv_header")
+    literals = re.findall(r'"([^"]*)"', block)
+    if not literals:
+        die_extract("no string literals in darshan_csv_header")
+    header = "".join(literals)
+    expected = []
+    for i, (name, _) in enumerate(fields):
+        base = seg_base(name)
+        col = f"seg:{base}" if base else name
+        expected.append(("#" + col) if i == 0 else col)
+    check_eq("CSV header (schema_darshan.cpp)", expected, header.split(","))
+
+
+# --------------------------------------------------------------------------
+# Surface 2: JSON encoder member keys (order-free set parity; the wire
+# order is Fig. 3's, not the schema's).
+
+def check_connector(repo, fields):
+    src = read(repo, "src/core/connector.cpp")
+    body = strip_block(src, r"void DarshanLdmsConnector::format_message",
+                       r"\n\}", "format_message")
+    seg_split = body.find('w.key("seg")')
+    if seg_split < 0:
+        die_extract('format_message has no w.key("seg")')
+    top_keys = re.findall(r'w\.member\("([^"]+)"', body[:seg_split])
+    seg_keys = re.findall(r'w\.member\("([^"]+)"', body[seg_split:])
+    want_top = sorted(n for n, _ in fields if not seg_base(n))
+    want_seg = sorted(seg_base(n) for n, _ in fields if seg_base(n))
+    check_eq("JSON encoder top-level keys (connector.cpp)",
+             want_top, sorted(top_keys))
+    check_eq("JSON encoder seg keys (connector.cpp)",
+             want_seg, sorted(seg_keys))
+    # The paper's sample message renders absent strings as "N/A"; the
+    # encoder must keep emitting that marker for exe / file / data_set.
+    if body.count('"N/A"') < 3:
+        diff_fail("JSON encoder N/A fallbacks (connector.cpp)",
+                  ['>=3 "N/A" string fallbacks (exe, file, data_set)'],
+                  [f'{body.count(chr(34) + "N/A" + chr(34))} found'])
+
+
+# --------------------------------------------------------------------------
+# Surface 3: fast scanner + DOM decoder (core/decoder.cpp).
+
+def array_literal(src, name, what):
+    m = re.search(name + r"\s*=\s*\{(.*?)\};", src, re.S)
+    if not m:
+        die_extract(f"cannot find {what}")
+    return re.findall(r'"([^"]+)"', m.group(1))
+
+
+# Statement-level extraction of `values.emplace_back(...); // field`
+# sequences (multi-line statements carry the comment on their last line).
+EMPLACE_RE = re.compile(
+    r"values\.emplace_back\((?P<expr>.*?)\);\s*(?://\s*(?P<field>\S+))?",
+    re.S)
+
+
+def emplaces(body):
+    out = []
+    for m in EMPLACE_RE.finditer(body):
+        expr = " ".join(m.group("expr").split())
+        out.append((expr, m.group("field")))
+    return out
+
+
+def fast_default(expr):
+    """Default value a fast-path slot falls back to, from its accessor."""
+    m = re.search(r"as_int\((-?\d+)\)", expr)
+    if m:
+        return int(m.group(1))
+    m = re.search(r"as_uint\((\d+)\)", expr)
+    if m:
+        return int(m.group(1))
+    m = re.search(r"as_double\(([-0-9.]+)\)", expr)
+    if m:
+        return float(m.group(1))
+    if expr.startswith("str("):
+        return "N/A"  # str() wraps as_string("N/A"); checked below
+    return None
+
+
+def dom_default(expr):
+    """Default value the DOM path falls back to for one emplace expr."""
+    if re.search(r"\bgets\(", expr):
+        return "N/A"  # gets() hardcodes "N/A"; checked below
+    m = re.search(r"\bgeti\([^,]+,\s*\"[^\"]+\"\s*,\s*(-?\d+)\)", expr)
+    if m:
+        return int(m.group(1))
+    if re.search(r"\bgeti\(", expr):
+        return -1  # geti's declared fallback; checked below
+    m = re.search(r"get_uint\([^,]+,\s*(\d+)\)", expr)
+    if m:
+        return int(m.group(1))
+    m = re.search(r"get_double\([^,]+,\s*([-0-9.]+)\)", expr)
+    if m:
+        return float(m.group(1))
+    return None
+
+
+def check_decoder(repo, fields):
+    src = read(repo, "src/core/decoder.cpp")
+    names = [n for n, _ in fields]
+    top_names = [n for n in names if not seg_base(n)]
+    seg_names = [seg_base(n) for n in names if seg_base(n)]
+
+    # Slot tables: set parity with the schema (slot order is local to the
+    # scanner), sizes exact.
+    ktop = array_literal(src, r"kTopFields", "kTopFields")
+    kseg = array_literal(src, r"kSegFields", "kSegFields")
+    check_eq("kTopFields (decoder.cpp)", sorted(top_names), sorted(ktop))
+    check_eq("kSegFields (decoder.cpp)", sorted(seg_names), sorted(kseg))
+
+    # The helpers whose defaults the extraction below relies on.
+    if not re.search(r'fallback\s*=\s*-1', src):
+        die_extract("geti fallback default changed; update the lint")
+    if not re.search(r'get_string\(k,\s*"N/A"\)', src):
+        die_extract('gets no longer defaults to "N/A"; update the lint')
+
+    # Fast path: ordered (slot table, index, field comment) triples.
+    fast = strip_block(src, r"bool decode_message_fast", r"\n\}",
+                       "decode_message_fast")
+    if 'as_string("N/A")' not in fast:
+        die_extract('fast-path str() helper no longer defaults to "N/A"')
+    fast_rows = emplaces(fast)
+    if len(fast_rows) != len(names):
+        diff_fail("fast-path row assembly size (decoder.cpp)",
+                  names, [f for _, f in fast_rows])
+    fast_defaults = {}
+    for i, (expr, field) in enumerate(fast_rows):
+        if field != names[i]:
+            diff_fail("fast-path row assembly order (decoder.cpp)",
+                      names, [f for _, f in fast_rows])
+        m = re.search(r"\b(top|seg)\[(\d+)\]", expr)
+        if not m:
+            die_extract(f"fast-path row {i} has no top[]/seg[] slot: {expr}")
+        table, slot = m.group(1), int(m.group(2))
+        slot_name = (ktop[slot] if table == "top" else "seg_" + kseg[slot])
+        if slot_name != names[i]:
+            diff_fail(
+                "fast-path slot/field binding (decoder.cpp)",
+                [f"{names[i]} <- {table}[{slot}]"],
+                [f"{table}[{slot}] is {slot_name}"])
+        fast_defaults[names[i]] = fast_default(expr)
+
+    # DOM path: ordered keys must BE the schema order, and defaults must
+    # match the fast path field-for-field.
+    dom = strip_block(src, r"std::vector<dsos::Object> decode_message\(",
+                      r"\n\}", "decode_message")
+    dom_rows = emplaces(dom)
+    dom_seq = []
+    dom_defaults = {}
+    for expr, _ in dom_rows:
+        key = re.search(r'"([^"]+)"', expr)
+        if not key:
+            die_extract(f"DOM row has no key literal: {expr}")
+        if re.search(r"\bdoc\b", expr):
+            name = key.group(1)
+        elif re.search(r"\bs\b", expr):
+            name = "seg_" + key.group(1)
+        else:
+            die_extract(f"DOM row has no doc/s scope: {expr}")
+        dom_seq.append(name)
+        dom_defaults[name] = dom_default(expr)
+    check_eq("DOM row assembly order (decoder.cpp)", names, dom_seq)
+    for name in names:
+        if fast_defaults[name] != dom_defaults[name]:
+            diff_fail(
+                "fast vs DOM decoder defaults (decoder.cpp)",
+                [f"{name}: {dom_defaults[name]} (DOM)"],
+                [f"{name}: {fast_defaults[name]} (fast)"])
+
+
+# --------------------------------------------------------------------------
+# Surface 4: wire codec (wire/codec.cpp).
+
+# Expression tokens that satisfy each schema field in codec row assembly.
+FIELD_TOKEN = {
+    "module": r"module",
+    "uid": r"\buid\b",
+    "ProducerName": r"\bproducer\b",
+    "switches": r"\bswitches\b",
+    "file": r"\bfile\b",
+    "rank": r"\brank\b",
+    "flushes": r"\bflushes\b",
+    "record_id": r"\brecord_id\b",
+    "exe": r"\bexe\b",
+    "max_byte": r"\bmax_byte\b",
+    "type": r"MET|MOD",
+    "job_id": r"\bjob_id\b",
+    "op": r"\bop\b",
+    "cnt": r"\bcnt\b",
+    "seg_off": r"\boff\b",
+    "seg_pt_sel": r"\bpt_sel\b",
+    "seg_dur": r"\bdur\b",
+    "seg_len": r"\blen\b",
+    "seg_ndims": r"\bndims\b",
+    "seg_reg_hslab": r"\breg\b|\breg_hslab\b",
+    "seg_irreg_hslab": r"\birreg\b|\birreg_hslab\b",
+    "seg_data_set": r"\bdata_set\b",
+    "seg_npoints": r"\bnpoints\b",
+    "seg_timestamp": r"\bend\b|\btimestamp\b",
+}
+
+# On-wire event field order (after the fixed flags/module/op preamble),
+# as (canonical token, wire primitive).  Both FrameEncoder::add and
+# decode_frame must realize exactly this sequence.
+WIRE_SEQUENCE = [
+    ("rank", "zigzag"),
+    ("record_id", "varint"),
+    ("producer", "interned"),
+    ("file", "interned"),
+    ("max_byte", "zigzag"),
+    ("switches", "zigzag"),
+    ("flushes", "zigzag"),
+    ("cnt", "zigzag"),
+    ("off", "varint"),
+    ("len", "varint"),
+    ("dur", "zigzag"),
+    ("end_delta", "zigzag"),
+    ("pt_sel", "zigzag"),
+    ("irreg_hslab", "zigzag"),
+    ("reg_hslab", "zigzag"),
+    ("ndims", "zigzag"),
+    ("npoints", "zigzag"),
+    ("data_set", "interned"),
+]
+
+ENCODER_ARG = {
+    "e.rank": "rank",
+    "e.record_id": "record_id",
+    "producer": "producer",
+    "*e.file_path": "file",
+    "e.max_byte": "max_byte",
+    "e.switches": "switches",
+    "e.flushes": "flushes",
+    "e.cnt": "cnt",
+    "e.offset": "off",
+    "e.length": "len",
+    "e.end - e.start": "dur",
+    "e.end - prev_end_": "end_delta",
+    "e.h5.pt_sel": "pt_sel",
+    "e.h5.irreg_hslab": "irreg_hslab",
+    "e.h5.reg_hslab": "reg_hslab",
+    "e.h5.ndims": "ndims",
+    "e.h5.npoints": "npoints",
+    "e.h5.data_set": "data_set",
+}
+
+
+def check_codec(repo, fields):
+    src = read(repo, "src/wire/codec.cpp")
+    names = [n for n, _ in fields]
+
+    # --- encoder: ordered put_* calls in FrameEncoder::add ---------------
+    add = strip_block(src, r"void FrameEncoder::add\(", r"\n\}",
+                      "FrameEncoder::add")
+    enc_seq = []
+    for m in re.finditer(
+            r"put_(zigzag|varint)\(buf_,\s*([^;]+?)\);|put_interned\(([^;]+?)\);",
+            add):
+        if m.group(3) is not None:
+            arg, prim = " ".join(m.group(3).split()), "interned"
+        else:
+            arg, prim = " ".join(m.group(2).split()), m.group(1)
+        if arg not in ENCODER_ARG:
+            die_extract(f"FrameEncoder::add writes unknown field {arg!r}")
+        enc_seq.append((ENCODER_ARG[arg], prim))
+    check_eq("wire encoder field sequence (codec.cpp FrameEncoder::add)",
+             WIRE_SEQUENCE, enc_seq)
+
+    # --- decoder: ordered reads in decode_frame --------------------------
+    dec = strip_block(src, r"std::vector<dsos::Object> decode_frame\(",
+                      r"\n  if \(!r\.ok\(\)\) return \{\};\n  return out;",
+                      "decode_frame")
+    # Skip the frame header (everything before the per-event loop).
+    loop = dec[dec.index("while (r.ok()"):]
+    dec_seq = []
+    for m in re.finditer(
+            r"(\w+)\s*=[^=;]*r\.(zigzag|varint)\(\)|"
+            r"read_interned\(r,\s*table,\s*(\w+)\)", loop):
+        if m.group(3) is not None:
+            var, prim = m.group(3), "interned"
+        else:
+            var, prim = m.group(1), m.group(2)
+        alias = {"producer": "producer", "file": "file",
+                 "data_set": "data_set", "off": "off", "len": "len",
+                 "irreg": "irreg_hslab", "reg": "reg_hslab",
+                 "end": "end_delta"}.get(var, var)
+        dec_seq.append((alias, prim))
+    check_eq("wire decoder read sequence (codec.cpp decode_frame)",
+             WIRE_SEQUENCE, dec_seq)
+
+    # --- row assembly: comment sequence == schema order, tokens match ----
+    rows = emplaces(loop)
+    if len(rows) != len(names):
+        diff_fail("wire row assembly size (codec.cpp)", names,
+                  [f for _, f in rows])
+    for i, (expr, field) in enumerate(rows):
+        if field != names[i]:
+            diff_fail("wire row assembly order (codec.cpp)", names,
+                      [f for _, f in rows])
+        if not re.search(FIELD_TOKEN[names[i]], expr):
+            diff_fail(
+                "wire row assembly expression (codec.cpp)",
+                [f"{names[i]}: expression matching /{FIELD_TOKEN[names[i]]}/"],
+                [f"{names[i]}: {expr}"])
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--repo", default=None,
+                    help="repository root (default: parent of this script)")
+    args = ap.parse_args()
+    repo = args.repo or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+
+    fields = canonical_schema(repo)
+    names = [n for n, _ in fields]
+    if len(names) != len(set(names)):
+        die_extract("duplicate field names in canonical schema")
+
+    check_csv_header(repo, fields)
+    check_connector(repo, fields)
+    check_decoder(repo, fields)
+    check_codec(repo, fields)
+
+    print(f"lint_schema_parity: OK — {len(fields)} fields consistent "
+          "across schema, CSV header, JSON encoder, fast+DOM decoders, "
+          "and wire codec")
+
+
+if __name__ == "__main__":
+    main()
