@@ -1,0 +1,280 @@
+// Self-telemetry overhead benchmark: what does the obs subsystem cost
+// when you are NOT looking?
+//
+// Phase 1 A/Bs the storage-side hot path (bench_ingest's decode + parallel
+// sharded ingest workload, the loop that gained the dlc.ingest.* mirror
+// updates) in one process: obs::set_enabled(false) vs enabled with tracing
+// off, interleaved repetitions, best-of-N events/sec per arm.  --check adds
+// the fatal gate: the enabled arm must keep >= 99% of the disabled arm's
+// throughput (<1% instrumentation overhead) — enforced only in Release-style
+// runs with >= 4 hardware threads, mirroring bench_ingest's reasoning that
+// timing gates are meaningless under sanitizers or on starved hosts.
+//
+// Phase 2 runs the full pipeline (MPI-IO-TEST, at-least-once, the
+// bench_relia reference fault schedule) with DARSHAN_LDMS_TRACE_SAMPLE=1
+// and reports end-to-end trace latency quantiles (p50/p99/max of
+// dlc.trace.e2e_ns).  Its gates are correctness, fatal with or without
+// --check: every sampled event must finish a complete 8-hop span, none
+// incomplete, and the fault schedule must really have exercised redelivery.
+//
+// Writes BENCH_obs.json (override path: DLC_BENCH_OUT).  Scale knobs:
+// DLC_OBS_EVENTS, DLC_OBS_REPS.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/decoder.hpp"
+#include "core/schema_darshan.hpp"
+#include "dsos/cluster.hpp"
+#include "dsos/ingest.hpp"
+#include "exp/specs.hpp"
+#include "exp/table.hpp"
+#include "json/writer.hpp"
+#include "obs/registry.hpp"
+#include "obs/spans.hpp"
+#include "relia/fault.hpp"
+#include "util/rng.hpp"
+#include "workloads/mpi_io_test.hpp"
+
+using namespace dlc;
+
+namespace {
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  if (const char* v = std::getenv(name)) {
+    const long parsed = std::atol(v);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return fallback;
+}
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One connector-format JSON message (same shape bench_ingest feeds the
+/// decoder: one seg per message, shard attr "rank").
+std::string make_payload(Rng& rng, std::uint64_t job, std::int64_t ranks,
+                         double ts) {
+  const std::int64_t rank = rng.uniform_int(0, ranks - 1);
+  json::Writer w;
+  w.begin_object();
+  w.member("uid", std::uint64_t{99066});
+  w.member("exe", "/projects/ovis/bench/mpi-io-test");
+  w.member("job_id", job);
+  w.member("rank", rank);
+  w.member("ProducerName", "nid" + std::to_string(41 + rank % 4));
+  w.member("file", "darshan-output/mpi-io-test.tmp.dat");
+  w.member("record_id", rng.next_u64());
+  w.member("module", "POSIX");
+  w.member("type", "MOD");
+  w.member("max_byte", static_cast<std::int64_t>(rng.next_u64() % (1 << 22)));
+  w.member("switches", std::int64_t{0});
+  w.member("flushes", std::int64_t{-1});
+  w.member("cnt", std::int64_t{1});
+  w.member("op", rng.uniform() < 0.5 ? "write" : "read");
+  w.key("seg");
+  w.begin_array();
+  w.begin_object();
+  w.member("data_set", "N/A");
+  w.member("pt_sel", std::int64_t{-1});
+  w.member("irreg_hslab", std::int64_t{-1});
+  w.member("reg_hslab", std::int64_t{-1});
+  w.member("ndims", std::int64_t{-1});
+  w.member("npoints", std::int64_t{-1});
+  w.member("off", static_cast<std::int64_t>(rng.next_u64() % (1 << 22)));
+  w.member("len", static_cast<std::int64_t>(rng.next_u64() % (1 << 20)));
+  w.member("dur", rng.uniform(0.0001, 0.05));
+  w.member("timestamp", ts);
+  w.end_object();
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+std::vector<std::string> make_payloads(std::size_t count) {
+  Rng rng(17);
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(make_payload(rng, 1 + i % 4, /*ranks=*/64,
+                               1.6e9 + 0.001 * static_cast<double>(i)));
+  }
+  return out;
+}
+
+/// One decode + parallel-ingest pass; returns events/sec.
+double ingest_pass(const dsos::SchemaPtr& schema,
+                   const std::vector<std::string>& payloads) {
+  dsos::ClusterConfig cfg;
+  cfg.shard_count = 4;
+  cfg.shard_attr = "rank";
+  dsos::DsosCluster cluster(cfg);
+  cluster.register_schema(schema);
+  std::vector<dsos::Object> rows;
+  dsos::IngestConfig icfg;
+  icfg.workers = 4;
+  const double t0 = now_seconds();
+  {
+    dsos::IngestExecutor ingest(cluster, icfg);
+    for (const std::string& p : payloads) {
+      if (!core::decode_message_fast(schema, p, rows)) {
+        rows = core::decode_message(schema, p);
+      }
+      for (auto& obj : rows) ingest.submit(std::move(obj));
+    }
+    ingest.drain();
+  }
+  return static_cast<double>(payloads.size()) / (now_seconds() - t0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool check = argc > 1 && std::string(argv[1]) == "--check";
+  const std::size_t events = env_size("DLC_OBS_EVENTS", 40000);
+  const std::size_t reps = env_size("DLC_OBS_REPS", 5);
+  const auto schema = core::darshan_data_schema();
+
+  bool ok = true;
+  const auto gate = [&](bool cond, const std::string& what) {
+    std::printf("  [%s] %s\n", cond ? "PASS" : "FAIL", what.c_str());
+    ok = ok && cond;
+  };
+
+  // --- Phase 1: instrumentation overhead with tracing off ---------------
+  std::printf("== Self-telemetry overhead: obs off vs on (tracing off) ==\n\n");
+  const std::vector<std::string> payloads = make_payloads(events);
+  std::printf("%zu events, decode + 4-shard parallel ingest, best of %zu "
+              "interleaved reps per arm\n\n",
+              events, reps);
+
+  ingest_pass(schema, payloads);  // warm-up (page cache, allocator)
+  double off_eps = 0.0;
+  double on_eps = 0.0;
+  for (std::size_t r = 0; r < reps; ++r) {
+    obs::set_enabled(false);
+    off_eps = std::max(off_eps, ingest_pass(schema, payloads));
+    obs::set_enabled(true);
+    on_eps = std::max(on_eps, ingest_pass(schema, payloads));
+  }
+  obs::set_enabled(true);
+  const double overhead_pct = off_eps > 0 ? (1.0 - on_eps / off_eps) * 100.0
+                                          : 0.0;
+
+  exp::TextTable table({"Arm", "Events/s"});
+  table.add_row({"obs disabled", exp::cell_f(off_eps, 0)});
+  table.add_row({"obs enabled, tracing off", exp::cell_f(on_eps, 0)});
+  std::printf("%s\ninstrumentation overhead: %+.2f%%\n\n",
+              table.render().c_str(), overhead_pct);
+
+  if (check) {
+    if (std::thread::hardware_concurrency() >= 4) {
+      gate(on_eps >= 0.99 * off_eps,
+           "tracing-off instrumentation overhead stays under 1%");
+    } else {
+      std::printf("  [SKIP] overhead gate (fewer than 4 hardware threads)\n");
+    }
+  }
+
+  // --- Phase 2: end-to-end trace latency under the fault plan -----------
+  std::printf("== End-to-end trace latency (sample=1, at-least-once, "
+              "reference faults) ==\n\n");
+  obs::Registry::global().reset_values();
+  exp::ExperimentSpec spec = exp::base_spec(simfs::FsKind::kLustre);
+  workloads::MpiIoTestConfig cfg;
+  cfg.block_size = 4ull * 1024 * 1024;
+  cfg.iterations = 3;
+  cfg.collective = false;
+  cfg.compute_per_iteration = 2 * kSecond;
+  spec.workload = workloads::mpi_io_test(cfg);
+  spec.exe = workloads::kMpiIoTestExe;
+  spec.node_count = 3;
+  spec.ranks_per_node = 4;
+  spec.transport.hop_latency = 25 * kMillisecond;
+  spec.connector.delivery = relia::DeliveryMode::kAtLeastOnce;
+  spec.fault_plan = relia::parse_fault_plan(
+      "crash nid00041 at 2500ms for 5s\n"
+      "partition voltrino-head -> shirley at 9s for 4s\n");
+  spec.decode_to_dsos = true;
+  spec.connector.trace_sample_n = 1;
+  const exp::RunResult run = exp::run_experiment(spec);
+
+  const auto q = [](const char* name) {
+    return obs::Registry::global().value(name).value_or(0.0);
+  };
+  const double p50_ns = q("dlc.trace.e2e_ns.p50");
+  const double p99_ns = q("dlc.trace.e2e_ns.p99");
+  const double max_ns = q("dlc.trace.e2e_ns.max");
+  const std::uint64_t incomplete = run.traces ? run.traces->incomplete() : 0;
+  std::printf("published %llu, decoded %llu, spans completed %llu "
+              "(%llu incomplete), redelivered %llu\n",
+              static_cast<unsigned long long>(run.messages),
+              static_cast<unsigned long long>(run.decoded_rows),
+              static_cast<unsigned long long>(run.traces_completed),
+              static_cast<unsigned long long>(incomplete),
+              static_cast<unsigned long long>(run.redelivered));
+  std::printf("end-to-end span latency (virtual): p50 %.1f ms, p99 %.1f ms, "
+              "max %.1f ms\n\n",
+              p50_ns / 1e6, p99_ns / 1e6, max_ns / 1e6);
+
+  gate(run.traces_completed > 0 &&
+           run.traces_completed == run.decoded_rows,
+       "every sampled event finished an end-to-end span");
+  gate(incomplete == 0, "no span lost its payload trace block");
+  gate(run.redelivered > 0 && run.duplicates_dropped > 0,
+       "the fault schedule exercised at-least-once redelivery");
+  bool worst_ok = run.traces != nullptr;
+  if (run.traces) {
+    for (const obs::TraceContext& t : run.traces->worst()) {
+      worst_ok = worst_ok && t.complete() && t.monotonic();
+    }
+  }
+  gate(worst_ok, "exemplar-ring spans are complete and hop-monotonic");
+
+  // BENCH_obs.json — the repo's benchmark trajectory artifact.
+  {
+    const char* out_path = std::getenv("DLC_BENCH_OUT");
+    const std::string path = out_path ? out_path : "BENCH_obs.json";
+    json::Writer w;
+    w.begin_object();
+    w.member("bench", "obs");
+    w.member("events", static_cast<std::uint64_t>(events));
+    w.member("reps", static_cast<std::uint64_t>(reps));
+    w.member("hardware_threads",
+             static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+    w.key("overhead");
+    w.begin_object();
+    w.member("disabled_events_per_sec", off_eps);
+    w.member("enabled_events_per_sec", on_eps);
+    w.member("overhead_pct", overhead_pct);
+    w.end_object();
+    w.key("trace");
+    w.begin_object();
+    w.member("sampled_every", std::uint64_t{1});
+    w.member("completed", run.traces_completed);
+    w.member("incomplete", incomplete);
+    w.member("redelivered", run.redelivered);
+    w.member("p50_e2e_ns", p50_ns);
+    w.member("p99_e2e_ns", p99_ns);
+    w.member("max_e2e_ns", max_ns);
+    w.end_object();
+    w.end_object();
+    std::ofstream(path) << w.take() << "\n";
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+  if (!ok) {
+    std::printf("\nself-telemetry gate FAILED\n");
+    return 1;
+  }
+  std::printf("\nself-telemetry gate passed\n");
+  return 0;
+}

@@ -107,6 +107,12 @@ struct ConnectorConfig {
   /// many workers, clamped to the shard count
   /// (env DARSHAN_LDMS_INGEST_THREADS).
   std::size_t ingest_threads = 0;
+  /// Pipeline-trace sampling: every n-th published event carries an
+  /// obs::TraceContext through the whole pipeline (0 disables tracing,
+  /// 1 traces every event; env DARSHAN_LDMS_TRACE_SAMPLE, default 64).
+  /// Traces ride the existing messages — there is no extra traffic, and
+  /// with 0 the wire bytes are identical to a build without tracing.
+  std::uint64_t trace_sample_n = 64;
   /// When false the connector observes events but never publishes
   /// (darshan-only baseline shares the same code path shape).
   bool publish = true;

@@ -27,6 +27,7 @@
 #include "darshan/runtime.hpp"
 #include "json/writer.hpp"
 #include "ldms/daemon.hpp"
+#include "obs/trace.hpp"
 #include "util/time.hpp"
 #include "wire/batcher.hpp"
 #include "wire/codec.hpp"
@@ -83,7 +84,8 @@ class DarshanLdmsConnector {
  private:
   SimDuration on_event(const darshan::IoEvent& e);
   void publish_payload(ldms::LdmsDaemon& daemon, ldms::PayloadFormat format,
-                       std::string payload, std::size_t events);
+                       std::string payload, std::size_t events,
+                       const obs::TraceContext* trace = nullptr);
   wire::StreamBatcher& batcher_for(ldms::LdmsDaemon& daemon);
 
   darshan::Runtime& runtime_;
@@ -99,6 +101,9 @@ class DarshanLdmsConnector {
   std::map<ldms::LdmsDaemon*, std::unique_ptr<wire::StreamBatcher>> batchers_;
   /// Per-rank event counters for every-nth sampling.
   std::vector<std::uint64_t> rank_event_counts_;
+  /// Published-event counter driving 1-in-N pipeline-trace sampling
+  /// (config_.trace_sample_n); also the low half of each trace id.
+  std::uint64_t trace_counter_ = 0;
   /// Per-rank last published data-event time (rate limiting); sentinel
   /// means "never" (kept distinct so the first event always passes
   /// without risking signed-overflow arithmetic).

@@ -207,11 +207,13 @@ std::string to_csv_row(const dsos::Object& obj) {
 DarshanDecoder::DarshanDecoder(ldms::LdmsDaemon& daemon, const std::string& tag,
                                dsos::DsosCluster& cluster,
                                bool dedup_redelivered,
-                               dsos::IngestExecutor* ingest)
+                               dsos::IngestExecutor* ingest,
+                               obs::TraceCollector* traces)
     : schema_(darshan_data_schema()),
       cluster_(cluster),
       dedup_redelivered_(dedup_redelivered),
-      ingest_(ingest) {
+      ingest_(ingest),
+      collector_(traces) {
   cluster_.register_schema(schema_);
   daemon.bus().subscribe(tag, [this](const ldms::StreamMessage& msg) {
     on_message(msg);
@@ -234,7 +236,9 @@ void DarshanDecoder::on_message(const ldms::StreamMessage& msg) {
       objects = decode_message(schema_, msg.payload);
     }
   } else if (msg.format == ldms::PayloadFormat::kBinary) {
-    objects = wire::decode_frame(schema_, msg.payload);
+    objects = wire::decode_frame(
+        schema_, msg.payload,
+        collector_ != nullptr ? &scratch_traces_ : nullptr);
     if (!objects.empty()) ++frames_decoded_;
   } else {
     ++malformed_;  // placeholder payloads from the kNone ablation
@@ -244,11 +248,57 @@ void DarshanDecoder::on_message(const ldms::StreamMessage& msg) {
     ++malformed_;
     return;
   }
-  for (auto& obj : objects) {
+
+  // Merge the two trace halves for sampled messages: the payload block
+  // carries the source hops (proof the block survived encode/decode), the
+  // envelope carries the transport hops stamped by the daemons.
+  obs::TraceContext trace;
+  std::size_t traced_index = 0;
+  bool have_trace = false;
+  if (collector_ != nullptr && msg.trace.sampled()) {
+    if (msg.format == ldms::PayloadFormat::kJson) {
+      have_trace = obs::parse_trace_member(msg.payload, &trace);
+    } else {
+      for (std::size_t i = 0; i < scratch_traces_.size(); ++i) {
+        if (scratch_traces_[i].sampled()) {
+          trace = scratch_traces_[i];
+          traced_index = i;
+          have_trace = true;
+          break;
+        }
+      }
+    }
+    if (have_trace) {
+      for (const obs::Hop h : {obs::Hop::kBusEnqueued,
+                               obs::Hop::kDaemonForwarded,
+                               obs::Hop::kAggregated}) {
+        if (msg.trace.has(h)) trace.stamp(h, msg.trace.hop(h));
+      }
+      trace.stamp(obs::Hop::kDecoded, msg.deliver_time);
+      trace.stamp(obs::Hop::kIngestEnqueued, msg.deliver_time);
+    } else {
+      // Envelope says sampled but the payload block is gone — count the
+      // partial span as incomplete rather than losing it silently.
+      collector_->complete(msg.trace);
+    }
+  }
+
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    dsos::Object& obj = objects[i];
+    const bool traced = have_trace && i == traced_index;
     if (ingest_ != nullptr) {
-      ingest_->submit(std::move(obj));
+      if (traced) {
+        ingest_->submit_traced(std::move(obj), trace);
+      } else {
+        ingest_->submit(std::move(obj));
+      }
     } else {
       cluster_.insert(std::move(obj));
+      if (traced) {
+        // Serial ingest commits on this thread at the same virtual time.
+        trace.stamp(obs::Hop::kCommitted, msg.deliver_time);
+        collector_->complete(trace);
+      }
     }
     ++decoded_;
   }

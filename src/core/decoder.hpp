@@ -22,6 +22,7 @@
 #include "dsos/ingest.hpp"
 #include "ldms/daemon.hpp"
 #include "ldms/message.hpp"
+#include "obs/spans.hpp"
 #include "relia/seq.hpp"
 
 namespace dlc::core {
@@ -55,9 +56,15 @@ class DarshanDecoder {
   /// `ingest`, when given, receives decoded rows instead of the cluster
   /// directly (parallel sharded insertion); it must target `cluster` and
   /// outlive the decoder.  Callers own the drain() point.
+  /// `traces`, when given, finishes sampled pipeline traces: the decoder
+  /// merges the payload half (trace block) with the envelope half
+  /// (msg.trace), stamps the decode/ingest hops, and either completes the
+  /// span here (serial ingest) or hands it to the executor to finish at
+  /// commit time.
   DarshanDecoder(ldms::LdmsDaemon& daemon, const std::string& tag,
                  dsos::DsosCluster& cluster, bool dedup_redelivered = false,
-                 dsos::IngestExecutor* ingest = nullptr);
+                 dsos::IngestExecutor* ingest = nullptr,
+                 obs::TraceCollector* traces = nullptr);
 
   /// Rows ingested (one per JSON seg entry / binary frame event).
   std::uint64_t decoded() const { return decoded_; }
@@ -78,8 +85,10 @@ class DarshanDecoder {
   dsos::DsosCluster& cluster_;
   bool dedup_redelivered_;
   dsos::IngestExecutor* ingest_;
+  obs::TraceCollector* collector_;
   relia::SequenceTracker tracker_;
   std::vector<dsos::Object> scratch_rows_;  // reused fast-path buffer
+  std::vector<obs::TraceContext> scratch_traces_;  // parallel, wire frames
   std::uint64_t decoded_ = 0;
   std::uint64_t malformed_ = 0;
   std::uint64_t frames_decoded_ = 0;

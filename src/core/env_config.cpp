@@ -165,6 +165,14 @@ EnvConfig connector_config_from_env(const EnvGetter& getenv_fn) {
       reject(cfg, "DARSHAN_LDMS_INGEST_THREADS", v);
     }
   }
+  if (const char* v = get("DARSHAN_LDMS_TRACE_SAMPLE")) {
+    std::uint64_t n;
+    if (parse_u64(v, n)) {
+      cfg.connector.trace_sample_n = n;
+    } else {
+      reject(cfg, "DARSHAN_LDMS_TRACE_SAMPLE", v);
+    }
+  }
   if (const char* v = get("DARSHAN_LDMS_MODULES")) {
     for (const std::string& part : split(v, ',')) {
       const std::string name(trim(part));

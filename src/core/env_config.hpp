@@ -21,6 +21,10 @@
 //   DARSHAN_LDMS_INGEST_THREADS  storage-side ingest worker threads
 //                            (0 = serial insertion, the default; capped
 //                            at 1024 — larger values are rejected)
+//   DARSHAN_LDMS_TRACE_SAMPLE    pipeline-trace sampling: every n-th
+//                            published event carries an end-to-end trace
+//                            (0 = tracing off, 1 = every event;
+//                            default 64)
 //
 // Unparsable values (negative, overflowing, trailing garbage, out of
 // range) never take effect: the default is kept, the rejection is

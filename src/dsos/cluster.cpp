@@ -1,13 +1,33 @@
 #include "dsos/cluster.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <future>
 #include <queue>
 
+#include "obs/registry.hpp"
 #include "util/rng.hpp"
 
 namespace dlc::dsos {
+
+namespace {
+
+/// Registry mirrors for query fan-out timing (cached once).
+struct QueryObs {
+  obs::Counter& count;
+  obs::LogHistogram& fanout_ns;
+};
+
+QueryObs& query_obs() {
+  static QueryObs o{
+      obs::Registry::global().counter("dlc.query.count"),
+      obs::Registry::global().histogram("dlc.query.fanout_ns"),
+  };
+  return o;
+}
+
+}  // namespace
 
 DsosCluster::DsosCluster(ClusterConfig config) : config_(std::move(config)) {
   const std::size_t n = std::max<std::size_t>(1, config_.shard_count);
@@ -76,6 +96,7 @@ std::vector<const Object*> DsosCluster::query(std::string_view schema_name,
                                               std::string_view index_name,
                                               const Filter& filter,
                                               std::size_t limit) const {
+  const auto query_t0 = std::chrono::steady_clock::now();
   // Fan out.  Each shard applies zone-map pruning and the limit itself
   // (any shard might contribute up to `limit` of the merged result).
   std::vector<std::vector<QueryHit>> per_shard(shards_.size());
@@ -129,6 +150,13 @@ std::vector<const Object*> DsosCluster::query(std::string_view schema_name,
     merged.push_back(per_shard[cur.shard][cur.pos].object);
     if (limit != 0 && merged.size() >= limit) break;  // early merge stop
     if (++cur.pos < per_shard[cur.shard].size()) heap.push(cur);
+  }
+  if (obs::enabled()) {
+    query_obs().count.add();
+    query_obs().fanout_ns.record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - query_t0)
+            .count()));
   }
   return merged;
 }

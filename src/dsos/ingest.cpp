@@ -1,11 +1,43 @@
 #include "dsos/ingest.hpp"
 
 #include <algorithm>
+#include <chrono>
+
+#include "obs/registry.hpp"
 
 namespace dlc::dsos {
 
+namespace {
+
+std::uint64_t real_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Registry mirrors (cached once; see obs/registry.hpp).
+struct IngestObs {
+  obs::Counter& backpressure_waits;
+  obs::LogHistogram& backpressure_wait_ns;
+  obs::LogHistogram& commit_ns;
+  obs::Gauge& queue_depth;
+};
+
+IngestObs& ingest_obs() {
+  static IngestObs o{
+      obs::Registry::global().counter("dlc.ingest.backpressure_waits"),
+      obs::Registry::global().histogram("dlc.ingest.backpressure_wait_ns"),
+      obs::Registry::global().histogram("dlc.ingest.commit_ns"),
+      obs::Registry::global().gauge("dlc.ingest.queue_depth"),
+  };
+  return o;
+}
+
+}  // namespace
+
 IngestExecutor::IngestExecutor(DsosCluster& cluster, IngestConfig config)
-    : cluster_(cluster), config_(config) {
+    : cluster_(cluster), config_(std::move(config)) {
   const std::size_t shards = cluster_.shard_count();
   config_.batch = std::max<std::size_t>(1, config_.batch);
   config_.queue_capacity = std::max<std::size_t>(1, config_.queue_capacity);
@@ -15,9 +47,9 @@ IngestExecutor::IngestExecutor(DsosCluster& cluster, IngestConfig config)
   queues_.reserve(shards);
   pending_.resize(shards);
   for (std::size_t s = 0; s < shards; ++s) {
-    queues_.push_back(std::make_unique<BoundedQueue<std::vector<Object>>>(
-        config_.queue_capacity));
-    pending_[s].reserve(config_.batch);
+    queues_.push_back(
+        std::make_unique<BoundedQueue<Batch>>(config_.queue_capacity));
+    pending_[s].objects.reserve(config_.batch);
   }
   workers_.reserve(n);
   threads_.reserve(n);
@@ -51,19 +83,62 @@ void IngestExecutor::submit(Object obj) {
     ++inserted_;
     return;
   }
-  pending_[shard].push_back(std::move(obj));
-  if (pending_[shard].size() >= config_.batch) flush_shard(shard);
+  pending_[shard].objects.push_back(std::move(obj));
+  if (pending_[shard].objects.size() >= config_.batch) flush_shard(shard);
+}
+
+void IngestExecutor::submit_traced(Object obj, const obs::TraceContext& trace) {
+  const std::size_t shard = cluster_.route(obj);
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (threads_.empty()) {
+    cluster_.insert_at(shard, std::move(obj));
+    {
+      const util::LockGuard lock(done_m_);
+      ++inserted_;
+    }
+    if (collector_ != nullptr) {
+      // Serial mode commits inline: no real time passes on the virtual
+      // timeline, so the commit lands at the enqueue hop.
+      obs::TraceContext done = trace;
+      done.stamp(obs::Hop::kCommitted, done.hop(obs::Hop::kIngestEnqueued));
+      collector_->complete(done);
+    }
+    return;
+  }
+  obs::TraceContext anchored = trace;
+  anchored.real_anchor_ns = real_now_ns();
+  pending_[shard].traces.emplace_back(pending_[shard].objects.size(),
+                                      std::move(anchored));
+  pending_[shard].objects.push_back(std::move(obj));
+  if (pending_[shard].objects.size() >= config_.batch) flush_shard(shard);
 }
 
 void IngestExecutor::flush_shard(std::size_t shard) {
-  if (pending_[shard].empty()) return;
-  std::vector<Object> batch;
-  batch.reserve(config_.batch);
-  batch.swap(pending_[shard]);
+  if (pending_[shard].objects.empty()) return;
+  Batch batch;
+  batch.objects.reserve(config_.batch);
+  batch.objects.swap(pending_[shard].objects);
+  batch.traces.swap(pending_[shard].traces);
   bool waited = false;
+  const auto t0 = std::chrono::steady_clock::now();
   queues_[shard]->push_wait(std::move(batch), 0, &waited);
-  if (waited) backpressure_waits_.fetch_add(1, std::memory_order_relaxed);
+  if (waited) {
+    const auto wait_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    backpressure_waits_.fetch_add(1, std::memory_order_relaxed);
+    backpressure_wait_ns_.fetch_add(wait_ns, std::memory_order_relaxed);
+    if (obs::enabled()) {
+      ingest_obs().backpressure_waits.add();
+      ingest_obs().backpressure_wait_ns.record(wait_ns);
+    }
+  }
   batches_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::enabled()) {
+    ingest_obs().queue_depth.set_max(
+        static_cast<std::int64_t>(queues_[shard]->size()));
+  }
   Worker& worker = *workers_[shard % workers_.size()];
   {
     // Empty critical section: pairs with the predicate check the worker
@@ -101,9 +176,30 @@ void IngestExecutor::worker_loop(std::size_t w) {
     std::uint64_t done = 0;
     for (std::size_t s = w; s < queues_.size(); s += stride) {
       while (auto batch = queues_[s]->try_pop()) {
-        for (Object& obj : *batch) {
+        if (config_.commit_hook) config_.commit_hook();
+        const auto t0 = std::chrono::steady_clock::now();
+        for (Object& obj : batch->objects) {
           cluster_.insert_at(s, std::move(obj));
           ++done;
+        }
+        if (obs::enabled()) {
+          ingest_obs().commit_ns.record(static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count()));
+        }
+        if (collector_ != nullptr) {
+          for (auto& [index, trace] : batch->traces) {
+            // Workers run off the virtual timeline: the commit stamp is
+            // the enqueue hop plus real elapsed time since submission.
+            obs::TraceContext finished = trace;
+            const std::uint64_t elapsed =
+                real_now_ns() - finished.real_anchor_ns;
+            finished.stamp(obs::Hop::kCommitted,
+                           finished.hop(obs::Hop::kIngestEnqueued) +
+                               static_cast<std::int64_t>(elapsed));
+            collector_->complete(finished);
+          }
         }
       }
     }
@@ -123,6 +219,8 @@ IngestStats IngestExecutor::stats() const {
   out.submitted = submitted_.load(std::memory_order_relaxed);
   out.batches = batches_.load(std::memory_order_relaxed);
   out.backpressure_waits = backpressure_waits_.load(std::memory_order_relaxed);
+  out.backpressure_wait_ns =
+      backpressure_wait_ns_.load(std::memory_order_relaxed);
   const util::LockGuard lock(done_m_);
   out.inserted = inserted_;
   return out;

@@ -28,11 +28,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "dsos/cluster.hpp"
+#include "obs/spans.hpp"
 #include "util/queue.hpp"
 #include "util/thread_annotations.hpp"
 
@@ -49,6 +52,10 @@ struct IngestConfig {
   /// Events buffered per shard on the caller side before a batch is
   /// enqueued (amortises queue locking).  drain() flushes partial batches.
   std::size_t batch = 64;
+  /// Test seam: the inserting worker calls this once per dequeued batch
+  /// before inserting it.  Lets tests stall workers deterministically to
+  /// force back-pressure (see the ingest back-pressure test).
+  std::function<void()> commit_hook;
 };
 
 struct IngestStats {
@@ -56,6 +63,9 @@ struct IngestStats {
   std::uint64_t inserted = 0;   // events inserted into containers
   std::uint64_t batches = 0;    // batches enqueued
   std::uint64_t backpressure_waits = 0;  // pushes that had to block
+  /// Total real (wall-clock) ns submit() spent blocked on full shard
+  /// queues; also recorded per wait into dlc.ingest.backpressure_wait_ns.
+  std::uint64_t backpressure_wait_ns = 0;
 };
 
 class IngestExecutor {
@@ -74,6 +84,19 @@ class IngestExecutor {
   /// routing order is what makes parallel ingest deterministic.
   void submit(Object obj);
 
+  /// submit() for a row carrying a sampled pipeline trace.  Anchors the
+  /// context to the real clock here; the inserting worker stamps
+  /// kCommitted as the ingest-enqueue hop plus real elapsed time (worker
+  /// threads run off the virtual timeline) and completes the span on the
+  /// collector set via set_trace_collector().
+  void submit_traced(Object obj, const obs::TraceContext& trace);
+
+  /// Sink for finished traces.  Set before the first submit_traced();
+  /// nullptr (the default) makes submit_traced behave like submit.
+  void set_trace_collector(obs::TraceCollector* collector) {
+    collector_ = collector;
+  }
+
   /// Flushes partial batches and blocks until everything submitted so far
   /// has been inserted.  The executor remains usable afterwards.
   void drain();
@@ -90,16 +113,25 @@ class IngestExecutor {
     util::CondVar cv;
   };
 
+  /// One enqueued unit: a run of routed objects plus the sampled traces
+  /// riding on some of them (sparse — typically none; index into
+  /// `objects`).
+  struct Batch {
+    std::vector<Object> objects;
+    std::vector<std::pair<std::size_t, obs::TraceContext>> traces;
+  };
+
   void flush_shard(std::size_t shard);
   void worker_loop(std::size_t w);
 
   DsosCluster& cluster_;
   IngestConfig config_;
+  obs::TraceCollector* collector_ = nullptr;
 
   // One queue of event batches per shard; worker (shard % workers) is the
   // only consumer, so each Container keeps its single-writer invariant.
-  std::vector<std::unique_ptr<BoundedQueue<std::vector<Object>>>> queues_;
-  std::vector<std::vector<Object>> pending_;  // caller-side batch buffers
+  std::vector<std::unique_ptr<BoundedQueue<Batch>>> queues_;
+  std::vector<Batch> pending_;  // caller-side batch buffers
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
 
@@ -114,6 +146,7 @@ class IngestExecutor {
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> backpressure_waits_{0};
+  std::atomic<std::uint64_t> backpressure_wait_ns_{0};
   mutable util::Mutex done_m_{"IngestDone"};
   util::CondVar done_cv_;
   std::uint64_t inserted_ DLC_GUARDED_BY(done_m_) = 0;

@@ -105,6 +105,7 @@ RunResult run_experiment(const ExperimentSpec& spec) {
   std::shared_ptr<dsos::DsosCluster> dsos_cluster;
   std::unique_ptr<dsos::IngestExecutor> ingest;
   std::unique_ptr<core::DarshanDecoder> decoder;
+  std::shared_ptr<obs::TraceCollector> traces;
   if (spec.decode_to_dsos) {
     if (spec.shared_dsos) {
       dsos_cluster = spec.shared_dsos;
@@ -123,9 +124,16 @@ RunResult run_experiment(const ExperimentSpec& spec) {
       icfg.workers = spec.connector.ingest_threads;
       ingest = std::make_unique<dsos::IngestExecutor>(*dsos_cluster, icfg);
     }
+    if (spec.connector.trace_sample_n > 0) {
+      // Trace completion sink (DARSHAN_LDMS_TRACE_SAMPLE): the decoder
+      // (serial) or the ingest workers (parallel) finish sampled spans.
+      traces = std::make_shared<obs::TraceCollector>();
+      if (ingest) ingest->set_trace_collector(traces.get());
+    }
     decoder = std::make_unique<core::DarshanDecoder>(*l2, tag, *dsos_cluster,
                                                      at_least_once,
-                                                     ingest.get());
+                                                     ingest.get(),
+                                                     traces.get());
   }
 
   // System metric samplers: one per allocated node, publishing on the
@@ -241,6 +249,8 @@ RunResult run_experiment(const ExperimentSpec& spec) {
       decoder ? decoder->duplicates_dropped() : seq_totals.duplicates;
   if (decoder) result.decoded_rows = decoder->decoded();
   result.dsos = dsos_cluster;
+  result.traces = traces;
+  if (traces) result.traces_completed = traces->completed();
   result.darshan_log = runtime.finalize();
   for (auto& [key, series] : metric_series) {
     result.system_metrics.push_back(std::move(series));

@@ -16,6 +16,7 @@
 #include "darshan/runtime.hpp"
 #include "dsos/cluster.hpp"
 #include "ldms/store.hpp"
+#include "obs/spans.hpp"
 #include "relia/fault.hpp"
 #include "simfs/lustre.hpp"
 #include "simfs/nfs.hpp"
@@ -110,6 +111,11 @@ struct RunResult {
   double charged_s = 0.0;      // virtual time charged by the connector
   /// Populated when decode_to_dsos: the queryable event database.
   std::shared_ptr<dsos::DsosCluster> dsos;
+  /// Populated when decode_to_dsos and connector.trace_sample_n > 0: the
+  /// finished pipeline traces (metrics + slow-span exemplar ring).
+  std::shared_ptr<obs::TraceCollector> traces;
+  /// Complete 8-hop spans finished by the collector (== traces->completed()).
+  std::uint64_t traces_completed = 0;
   /// The post-run darshan summary log.
   darshan::Log darshan_log;
   /// Populated when sample_system_metrics: one series per metric channel,

@@ -2,15 +2,59 @@
 
 #include <algorithm>
 
+#include "ldms/metrics.hpp"
+#include "obs/registry.hpp"
 #include "util/log.hpp"
 
 namespace dlc::ldms {
+
+namespace {
+
+// Process-wide mirrors of the per-daemon transport counters, under the
+// canonical "dlc.transport.*" names shared with TransportHealthSampler
+// (see metrics.hpp).  Counters aggregate over every daemon in the
+// process; the depth channels are high-watermark gauges.  References are
+// resolved once — the hot path pays one enabled() branch plus a relaxed
+// atomic per bump.
+struct TransportObs {
+  obs::Counter& forwarded;
+  obs::Counter& forwarded_bytes;
+  obs::Counter& dropped;
+  obs::Counter& outage_dropped;
+  obs::Counter& spooled;
+  obs::Counter& redelivered;
+  obs::Counter& spool_evicted;
+  obs::Gauge& max_queue_depth;
+  obs::Gauge& max_queue_bytes;
+  obs::Gauge& spool_depth;
+};
+
+TransportObs& transport_obs() {
+  using C = TransportChannel;
+  obs::Registry& reg = obs::Registry::global();
+  static TransportObs t{
+      reg.counter(transport_metric_name(C::kForwarded)),
+      reg.counter(transport_metric_name(C::kForwardedBytes)),
+      reg.counter(transport_metric_name(C::kDropped)),
+      reg.counter(transport_metric_name(C::kOutageDropped)),
+      reg.counter(transport_metric_name(C::kSpooled)),
+      reg.counter(transport_metric_name(C::kRedelivered)),
+      reg.counter(transport_metric_name(C::kSpoolEvicted)),
+      reg.gauge(transport_metric_name(C::kMaxQueueDepth)),
+      reg.gauge(transport_metric_name(C::kMaxQueueBytes)),
+      reg.gauge(transport_metric_name(C::kSpoolDepth)),
+  };
+  return t;
+}
+
+}  // namespace
 
 LdmsDaemon::LdmsDaemon(sim::Engine* engine, std::string name)
     : engine_(engine), name_(std::move(name)), rng_(fnv1a64(name_)) {}
 
 std::size_t LdmsDaemon::publish(std::string_view tag, PayloadFormat format,
-                                std::string payload) {
+                                std::string payload,
+                                const obs::TraceContext* trace) {
   StreamMessage msg;
   msg.tag = std::string(tag);
   msg.format = format;
@@ -20,6 +64,12 @@ std::size_t LdmsDaemon::publish(std::string_view tag, PayloadFormat format,
   if (engine_) {
     msg.publish_time = engine_->now();
     msg.deliver_time = engine_->now();
+  }
+  if (trace != nullptr && trace->sampled()) {
+    msg.trace = *trace;
+    msg.trace.stamp(obs::Hop::kBusEnqueued,
+                    engine_ ? engine_->now()
+                            : msg.trace.hop(obs::Hop::kPublished));
   }
   return bus_.publish(msg);
 }
@@ -113,24 +163,54 @@ void LdmsDaemon::push_to_queue(Route& route, StreamMessage msg) {
   if (!engine_) {
     // No virtual transport: deliver inline (degenerate zero-latency hop).
     ++msg.hops;
+    if (msg.trace.sampled()) {
+      msg.trace.stamp(msg.hops == 1 ? obs::Hop::kDaemonForwarded
+                                    : obs::Hop::kAggregated,
+                      msg.deliver_time);
+    }
     route.forwarded_bytes += msg.payload.size();
     route.upstream->bus().publish(msg);
     ++route.forwarded;
+    if (obs::enabled()) {
+      transport_obs().forwarded.add();
+      transport_obs().forwarded_bytes.add(msg.payload.size());
+    }
     return;
   }
   route.queued_bytes += msg.payload.size();
   route.queue.push_back(std::move(msg));
   route.max_depth = std::max(route.max_depth, route.queue.size());
   route.max_depth_bytes = std::max(route.max_depth_bytes, route.queued_bytes);
+  if (obs::enabled()) {
+    transport_obs().max_queue_depth.set_max(
+        static_cast<std::int64_t>(route.max_depth));
+    transport_obs().max_queue_bytes.set_max(
+        static_cast<std::int64_t>(route.max_depth_bytes));
+  }
   if (!route.pump_active) {
     route.pump_active = true;
     engine_->spawn(pump(route));
   }
 }
 
+void LdmsDaemon::sync_spool_evicted(Route& route) {
+  if (!route.spool || !obs::enabled()) return;
+  const std::uint64_t evicted = route.spool->evicted();
+  if (evicted > route.mirrored_evicted) {
+    transport_obs().spool_evicted.add(evicted - route.mirrored_evicted);
+    route.mirrored_evicted = evicted;
+  }
+}
+
 void LdmsDaemon::spool_message(Route& route, const StreamMessage& msg) {
   ++route.spooled;
   route.spool->append(msg);
+  if (obs::enabled()) {
+    transport_obs().spooled.add();
+    transport_obs().spool_depth.set_max(
+        static_cast<std::int64_t>(route.spool->size()));
+  }
+  sync_spool_evicted(route);
   if (!route.prober_active) {
     route.prober_active = true;
     engine_->spawn(reconnect_prober(route));
@@ -159,8 +239,10 @@ void LdmsDaemon::enqueue(Route& route, const StreamMessage& msg) {
       spool_message(route, msg);  // retained: redelivered after reconnect
     } else if (in_outage()) {
       ++outage_dropped_;  // transport down: the message is simply gone
+      if (obs::enabled()) transport_obs().outage_dropped.add();
     } else {
       ++route.outage_dropped;  // partition on this route only
+      if (obs::enabled()) transport_obs().outage_dropped.add();
     }
     return;
   }
@@ -173,6 +255,7 @@ void LdmsDaemon::enqueue(Route& route, const StreamMessage& msg) {
       spool_message(route, msg);  // absorbed: retried once the queue drains
     } else {
       ++route.dropped;  // best effort: no resend, no back-pressure
+      if (obs::enabled()) transport_obs().dropped.add();
     }
     return;
   }
@@ -196,9 +279,21 @@ sim::Task<void> LdmsDaemon::pump(Route& route) {
     co_await engine_->delay(cost);
     msg.deliver_time = engine_->now();
     ++msg.hops;
+    if (msg.trace.sampled()) {
+      // First transport hop is node -> L1 (daemon_forwarded); the second
+      // is L1 -> L2 (aggregated).  A redelivered copy re-stamps with the
+      // later time, which is the arrival the decoder actually sees.
+      msg.trace.stamp(msg.hops == 1 ? obs::Hop::kDaemonForwarded
+                                    : obs::Hop::kAggregated,
+                      msg.deliver_time);
+    }
     route.forwarded_bytes += msg.payload.size();
     route.upstream->bus().publish(msg);
     ++route.forwarded;
+    if (obs::enabled()) {
+      transport_obs().forwarded.add();
+      transport_obs().forwarded_bytes.add(msg.payload.size());
+    }
     if (at_least_once(route) && route_down(route)) {
       // Delivered into an outage/partition window: the ack never makes it
       // back, so the message stays unacked and will be redelivered after
@@ -235,6 +330,7 @@ sim::Task<void> LdmsDaemon::reconnect_prober(Route& route) {
           break;
         }
         ++route.redelivered;
+        if (obs::enabled()) transport_obs().redelivered.add();
         push_to_queue(route, std::move(*msg));
         progressed = true;
       }
@@ -242,12 +338,14 @@ sim::Task<void> LdmsDaemon::reconnect_prober(Route& route) {
         route.breaker.record_success();
         attempt = 0;  // fresh backoff for the next stall
       }
+      sync_spool_evicted(route);
       if (route.spool->empty()) break;
     }
     if (backoff.max_attempts > 0 && attempt >= backoff.max_attempts) {
       // Permanently dead route: abandon the spool (counted as evicted)
       // rather than probing virtual time forever.
       route.spool->clear();
+      sync_spool_evicted(route);
       break;
     }
   }

@@ -75,9 +75,12 @@ class LdmsDaemon {
 
   /// ldms_stream_publish: stamps times/producer/sequence and delivers to
   /// the local bus (whence forward routes pick it up).  Returns
-  /// subscribers reached.
+  /// subscribers reached.  `trace` (optional) attaches the envelope half
+  /// of a sampled pipeline trace; the daemon stamps Hop::kBusEnqueued and
+  /// the forward pumps stamp the transport hops in transit.
   std::size_t publish(std::string_view tag, PayloadFormat format,
-                      std::string payload);
+                      std::string payload,
+                      const obs::TraceContext* trace = nullptr);
 
   /// Configures push-forwarding of `tag` to `upstream` (prdcr/updtr
   /// analogue).  Messages published to this daemon's bus with a matching
@@ -167,6 +170,9 @@ class LdmsDaemon {
     std::uint64_t spooled = 0;
     std::uint64_t redelivered = 0;
     std::uint64_t failed_probes = 0;
+    /// Spool evictions already mirrored into the obs registry (the spool
+    /// itself only keeps an aggregate counter).
+    std::uint64_t mirrored_evicted = 0;
   };
 
   struct OverflowInjection {
@@ -179,6 +185,9 @@ class LdmsDaemon {
   bool queue_has_room(const Route& route, std::size_t bytes) const;
   void push_to_queue(Route& route, StreamMessage msg);
   void spool_message(Route& route, const StreamMessage& msg);
+  /// Forwards new spool evictions to the dlc.transport.spool_evicted
+  /// mirror (delta against Route::mirrored_evicted).
+  void sync_spool_evicted(Route& route);
   void enqueue(Route& route, const StreamMessage& msg);
   sim::Task<void> pump(Route& route);
   sim::Task<void> reconnect_prober(Route& route);

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/trace.hpp"
 #include "util/time.hpp"
 
 namespace dlc::ldms {
@@ -34,6 +35,10 @@ struct StreamMessage {
   SimTime deliver_time = 0;
   /// Number of transport hops traversed so far.
   int hops = 0;
+  /// Envelope half of the pipeline trace for sampled events (id == 0 for
+  /// the unsampled 63/64).  Daemons stamp the transport hops here; the
+  /// payload carries the source-side hops (see obs/trace.hpp).
+  obs::TraceContext trace;
 };
 
 }  // namespace dlc::ldms

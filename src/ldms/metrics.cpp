@@ -5,10 +5,34 @@
 
 namespace dlc::ldms {
 
+const std::vector<std::string>& bus_bytes_channels() {
+  // Indexed by BusChannel.
+  static const std::vector<std::string> kChannels = {
+      "msgs_string", "msgs_json",    "msgs_binary", "bytes_string",
+      "bytes_json",  "bytes_binary", "bytes_total"};
+  return kChannels;
+}
+
+const std::vector<std::string>& transport_health_channels() {
+  // Indexed by TransportChannel.
+  static const std::vector<std::string> kChannels = {
+      "forwarded",       "forwarded_bytes", "dropped",     "outage_dropped",
+      "max_queue_depth", "max_queue_bytes", "spooled",     "redelivered",
+      "spool_evicted",   "spool_depth"};
+  return kChannels;
+}
+
+std::string bus_metric_name(BusChannel c) {
+  return "dlc.bus." + bus_bytes_channels()[static_cast<std::size_t>(c)];
+}
+
+std::string transport_metric_name(TransportChannel c) {
+  return "dlc.transport." +
+         transport_health_channels()[static_cast<std::size_t>(c)];
+}
+
 BusBytesSampler::BusBytesSampler(const LdmsDaemon& daemon)
-    : daemon_(daemon),
-      names_({"msgs_string", "msgs_json", "msgs_binary", "bytes_string",
-              "bytes_json", "bytes_binary", "bytes_total"}) {}
+    : daemon_(daemon), names_(bus_bytes_channels()) {}
 
 void BusBytesSampler::sample(SimTime /*now*/, std::vector<double>& out) {
   const StreamBus& bus = daemon_.bus();
@@ -24,10 +48,7 @@ void BusBytesSampler::sample(SimTime /*now*/, std::vector<double>& out) {
 }
 
 TransportHealthSampler::TransportHealthSampler(const LdmsDaemon& daemon)
-    : daemon_(daemon),
-      names_({"forwarded", "forwarded_bytes", "dropped", "outage_dropped",
-              "max_queue_depth", "max_queue_bytes", "spooled", "redelivered",
-              "spool_evicted", "spool_depth"}) {}
+    : daemon_(daemon), names_(transport_health_channels()) {}
 
 void TransportHealthSampler::sample(SimTime /*now*/,
                                     std::vector<double>& out) {
@@ -41,6 +62,24 @@ void TransportHealthSampler::sample(SimTime /*now*/,
   out.push_back(static_cast<double>(daemon_.redelivered()));
   out.push_back(static_cast<double>(daemon_.spool_evicted()));
   out.push_back(static_cast<double>(daemon_.spool_depth()));
+}
+
+ObsSelfSampler::ObsSelfSampler(const obs::Registry& registry)
+    : registry_(registry),
+      // Channel names are the registry names minus the "dlc." prefix;
+      // histogram statistics use the registry's ".p50"/".p99"/".max"
+      // suffix convention (see DESIGN.md "Self-telemetry").
+      names_({"bus.published", "bus.delivered", "transport.forwarded",
+              "transport.redelivered", "relia.duplicates", "relia.reordered",
+              "relia.seq_lost", "ingest.backpressure_waits",
+              "ingest.backpressure_wait_ns.p99", "ingest.commit_ns.p99",
+              "ingest.queue_depth", "query.fanout_ns.p99", "trace.completed",
+              "trace.e2e_ns.p50", "trace.e2e_ns.p99", "trace.e2e_ns.max"}) {}
+
+void ObsSelfSampler::sample(SimTime /*now*/, std::vector<double>& out) {
+  for (const std::string& channel : names_) {
+    out.push_back(registry_.value("dlc." + channel).value_or(0.0));
+  }
 }
 
 MetricSampler::MetricSampler(sim::Engine& engine, LdmsDaemon& daemon,

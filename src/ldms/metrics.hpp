@@ -17,10 +17,54 @@
 #include <vector>
 
 #include "ldms/daemon.hpp"
+#include "obs/registry.hpp"
 #include "sim/engine.hpp"
 #include "util/time.hpp"
 
 namespace dlc::ldms {
+
+// --- Canonical metric channels -------------------------------------------
+//
+// Single source of truth for the bus / transport channel names: the
+// sampler plugins build their metric_names() vectors from these lists
+// and the obs registry mirrors derive their dotted names
+// ("dlc.bus.<channel>" / "dlc.transport.<channel>") from the same
+// entries, so set/channel names cannot drift between a sampler restart,
+// the /metrics exposition and the Grafana exports (regression-tested in
+// tests/test_obs.cpp).
+
+enum class BusChannel : std::size_t {
+  kMsgsString = 0,
+  kMsgsJson,
+  kMsgsBinary,
+  kBytesString,
+  kBytesJson,
+  kBytesBinary,
+  kBytesTotal,
+  kCount,
+};
+
+enum class TransportChannel : std::size_t {
+  kForwarded = 0,
+  kForwardedBytes,
+  kDropped,
+  kOutageDropped,
+  kMaxQueueDepth,
+  kMaxQueueBytes,
+  kSpooled,
+  kRedelivered,
+  kSpoolEvicted,
+  kSpoolDepth,
+  kCount,
+};
+
+/// Channel names in enum order (the samplers' metric_names()).
+const std::vector<std::string>& bus_bytes_channels();
+const std::vector<std::string>& transport_health_channels();
+
+/// Registry names for the process-wide mirrors of the same channels.
+std::string bus_metric_name(BusChannel c);
+std::string transport_metric_name(TransportChannel c);
 
 /// One sampled metric set instance: schema name, producer, timestamp and
 /// the metric values (fixed order defined by the sampler).
@@ -84,6 +128,29 @@ class TransportHealthSampler final : public SamplerPlugin {
  private:
   const LdmsDaemon& daemon_;
   std::string name_ = "darshan_transport_health";
+  std::vector<std::string> names_;
+};
+
+/// Sampler plugin exposing the connector's *own* telemetry (the obs
+/// registry) as a metric set ("darshan_connector_obs"): pipeline trace
+/// latency quantiles, ingest back-pressure and queue depth, relia
+/// dedup/loss counters.  The connector monitors itself through the same
+/// LDMS metric-set path it provides to applications — channels ride the
+/// bus like any sampler, so the self-telemetry shows up in the stored
+/// metric series and Grafana exports with zero extra plumbing.
+class ObsSelfSampler final : public SamplerPlugin {
+ public:
+  explicit ObsSelfSampler(const obs::Registry& registry = obs::Registry::global());
+
+  const std::string& set_name() const override { return name_; }
+  const std::vector<std::string>& metric_names() const override {
+    return names_;
+  }
+  void sample(SimTime now, std::vector<double>& out) override;
+
+ private:
+  const obs::Registry& registry_;
+  std::string name_ = "darshan_connector_obs";
   std::vector<std::string> names_;
 };
 

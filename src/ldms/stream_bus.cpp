@@ -1,8 +1,48 @@
 #include "ldms/stream_bus.hpp"
 
 #include <algorithm>
+#include <array>
+
+#include "ldms/metrics.hpp"
+#include "obs/registry.hpp"
 
 namespace dlc::ldms {
+
+namespace {
+
+// Process-wide mirrors of the per-bus counters under "dlc.bus.*".  The
+// per-format channels share their names with BusBytesSampler via
+// bus_metric_name(); published/delivered/missed are registry-only.
+// Bumped outside the bus lock — counter init must not nest the registry
+// mutex under the StreamBus leaf mutex.
+struct BusObs {
+  obs::Counter& published;
+  obs::Counter& delivered;
+  obs::Counter& missed;
+  std::array<obs::Counter*, kPayloadFormatCount> msgs;
+  std::array<obs::Counter*, kPayloadFormatCount> bytes;
+  obs::Counter& bytes_total;
+};
+
+BusObs& bus_obs() {
+  using C = BusChannel;
+  obs::Registry& reg = obs::Registry::global();
+  static BusObs b{
+      reg.counter("dlc.bus.published"),
+      reg.counter("dlc.bus.delivered"),
+      reg.counter("dlc.bus.missed"),
+      {&reg.counter(bus_metric_name(C::kMsgsString)),
+       &reg.counter(bus_metric_name(C::kMsgsJson)),
+       &reg.counter(bus_metric_name(C::kMsgsBinary))},
+      {&reg.counter(bus_metric_name(C::kBytesString)),
+       &reg.counter(bus_metric_name(C::kBytesJson)),
+       &reg.counter(bus_metric_name(C::kBytesBinary))},
+      reg.counter(bus_metric_name(C::kBytesTotal)),
+  };
+  return b;
+}
+
+}  // namespace
 
 SubscriptionId StreamBus::subscribe(std::string tag, SubscriberFn fn) {
   const util::LockGuard lock(mutex_);
@@ -35,6 +75,21 @@ std::size_t StreamBus::publish(const StreamMessage& msg) {
       ++missed_;
     } else {
       delivered_ += targets.size();
+    }
+  }
+  if (obs::enabled()) {
+    BusObs& mirror = bus_obs();
+    mirror.published.add();
+    const auto fmt = static_cast<std::size_t>(msg.format);
+    if (fmt < kPayloadFormatCount) {
+      mirror.msgs[fmt]->add();
+      mirror.bytes[fmt]->add(msg.payload.size());
+      mirror.bytes_total.add(msg.payload.size());
+    }
+    if (targets.empty()) {
+      mirror.missed.add();
+    } else {
+      mirror.delivered.add(targets.size());
     }
   }
   for (const auto& fn : targets) fn(msg);

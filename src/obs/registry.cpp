@@ -1,0 +1,213 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+
+namespace dlc::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{true};
+
+/// Round-robin thread -> shard assignment; stable per thread so a worker
+/// keeps hitting the same cache lines.
+std::size_t thread_shard() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t mine =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return mine % LogHistogram::kShards;
+}
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+void LogHistogram::record(std::uint64_t v) {
+  Shard& s = shards_[thread_shard()];
+  s.buckets[log_bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(v, std::memory_order_relaxed);
+  std::uint64_t cur = s.max.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !s.max.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+LogHistogram::Snapshot LogHistogram::snapshot() const {
+  Snapshot out;
+  for (const Shard& s : shards_) {
+    for (std::size_t i = 0; i < kLogBucketCount; ++i) {
+      out.buckets[i] += s.buckets[i].load(std::memory_order_relaxed);
+    }
+    out.count += s.count.load(std::memory_order_relaxed);
+    out.sum += s.sum.load(std::memory_order_relaxed);
+    out.max = std::max(out.max, s.max.load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+void LogHistogram::reset() {
+  for (Shard& s : shards_) {
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0, std::memory_order_relaxed);
+    s.max.store(0, std::memory_order_relaxed);
+  }
+}
+
+Counter& Registry::counter(std::string_view name) {
+  util::LockGuard lock(m_);
+  return counters_.try_emplace(std::string(name)).first->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  util::LockGuard lock(m_);
+  return gauges_.try_emplace(std::string(name)).first->second;
+}
+
+LogHistogram& Registry::histogram(std::string_view name) {
+  util::LockGuard lock(m_);
+  return histograms_.try_emplace(std::string(name)).first->second;
+}
+
+const Counter* Registry::find_counter(std::string_view name) const {
+  util::LockGuard lock(m_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* Registry::find_gauge(std::string_view name) const {
+  util::LockGuard lock(m_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const LogHistogram* Registry::find_histogram(std::string_view name) const {
+  util::LockGuard lock(m_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+std::optional<double> Registry::value(std::string_view name) const {
+  if (const Counter* c = find_counter(name)) {
+    return static_cast<double>(c->value());
+  }
+  if (const Gauge* g = find_gauge(name)) {
+    return static_cast<double>(g->value());
+  }
+  static constexpr std::string_view kSuffixes[] = {".p50",  ".p95", ".p99",
+                                                   ".max",  ".count", ".mean"};
+  for (const std::string_view suffix : kSuffixes) {
+    if (name.size() <= suffix.size() || !name.ends_with(suffix)) continue;
+    const std::string_view base = name.substr(0, name.size() - suffix.size());
+    const LogHistogram* h = find_histogram(base);
+    if (h == nullptr) continue;
+    const LogHistogram::Snapshot snap = h->snapshot();
+    if (suffix == ".p50") return snap.percentile(50.0);
+    if (suffix == ".p95") return snap.percentile(95.0);
+    if (suffix == ".p99") return snap.percentile(99.0);
+    if (suffix == ".max") return static_cast<double>(snap.max);
+    if (suffix == ".count") return static_cast<double>(snap.count);
+    return snap.mean();
+  }
+  return std::nullopt;
+}
+
+std::vector<std::pair<std::string, double>> Registry::flatten() const {
+  std::vector<std::pair<std::string, double>> out;
+  {
+    util::LockGuard lock(m_);
+    out.reserve(counters_.size() + gauges_.size() + 6 * histograms_.size());
+    for (const auto& [name, c] : counters_) {
+      out.emplace_back(name, static_cast<double>(c.value()));
+    }
+    for (const auto& [name, g] : gauges_) {
+      out.emplace_back(name, static_cast<double>(g.value()));
+    }
+    for (const auto& [name, h] : histograms_) {
+      const LogHistogram::Snapshot snap = h.snapshot();
+      out.emplace_back(name + ".count", static_cast<double>(snap.count));
+      out.emplace_back(name + ".mean", snap.mean());
+      out.emplace_back(name + ".p50", snap.percentile(50.0));
+      out.emplace_back(name + ".p95", snap.percentile(95.0));
+      out.emplace_back(name + ".p99", snap.percentile(99.0));
+      out.emplace_back(name + ".max", static_cast<double>(snap.max));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+namespace {
+
+/// Prometheus metric names: dots become underscores; anything outside
+/// [a-zA-Z0-9_:] becomes '_'.
+std::string mangle(std::string_view dotted) {
+  std::string out;
+  out.reserve(dotted.size());
+  for (const char c : dotted) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void append_number(std::string* out, double v) {
+  // Integral values (the common case: counts, ns) print without a
+  // fractional part so the exposition stays compact and exact.
+  if (v == static_cast<double>(static_cast<std::int64_t>(v))) {
+    *out += std::to_string(static_cast<std::int64_t>(v));
+  } else {
+    *out += std::to_string(v);
+  }
+}
+
+}  // namespace
+
+std::string Registry::prometheus_text() const {
+  std::string out;
+  util::LockGuard lock(m_);
+  for (const auto& [name, c] : counters_) {
+    const std::string n = mangle(name);
+    out += "# TYPE " + n + " counter\n";
+    out += n + " " + std::to_string(c.value()) + "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string n = mangle(name);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + " " + std::to_string(g.value()) + "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const LogHistogram::Snapshot snap = h.snapshot();
+    const std::string n = mangle(name);
+    out += "# TYPE " + n + " summary\n";
+    for (const auto& [label, p] :
+         {std::pair<const char*, double>{"0.5", 50.0},
+          std::pair<const char*, double>{"0.95", 95.0},
+          std::pair<const char*, double>{"0.99", 99.0}}) {
+      out += n + "{quantile=\"" + label + "\"} ";
+      append_number(&out, snap.percentile(p));
+      out += "\n";
+    }
+    out += n + "_sum " + std::to_string(snap.sum) + "\n";
+    out += n + "_count " + std::to_string(snap.count) + "\n";
+    out += n + "_max " + std::to_string(snap.max) + "\n";
+  }
+  return out;
+}
+
+void Registry::reset_values() {
+  util::LockGuard lock(m_);
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, g] : gauges_) g.reset();
+  for (auto& [name, h] : histograms_) h.reset();
+}
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+}  // namespace dlc::obs

@@ -1,0 +1,158 @@
+// Process-wide metrics registry: counters, gauges and log-bucketed
+// histograms under stable dotted names (naming scheme in DESIGN.md
+// "Self-telemetry").
+//
+// Design goals, in order:
+//   * hot-path updates are lock-free — a Counter::add is one relaxed
+//     fetch_add, a LogHistogram::record is three relaxed RMWs on a
+//     thread-striped shard (no false sharing between worker threads);
+//   * instrument handles are stable for the life of the process — the
+//     registry hands out references into node-based maps and never
+//     erases, so call sites cache `static Counter& c = ...` once and pay
+//     zero lookups afterwards;
+//   * scrape is rare and pays all the cost — /metrics and the
+//     ObsSelfSampler merge histogram shards on read (merge-on-scrape).
+//
+// The whole subsystem is gated by the process-wide obs::enabled() flag
+// (default on).  Mirror sites check it so bench_obs can A/B the
+// instrumentation cost in one process.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/stats.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace dlc::obs {
+
+/// Process-wide instrumentation switch.  When off, mirror sites skip
+/// their registry updates; existing instruments keep their values.
+bool enabled();
+void set_enabled(bool on);
+
+/// Monotonic counter.  Relaxed atomics: per-metric totals need no
+/// ordering with respect to anything else.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-value / high-watermark gauge (integer-valued: depths, counts).
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  /// Raises the gauge to `v` if larger (high-watermark tracking).
+  void set_max(std::int64_t v) {
+    std::int64_t cur = v_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed-size log-bucketed histogram for non-negative integer samples
+/// (latencies in ns, sizes in bytes).  Geometry is util/stats.hpp's
+/// shared log-bucket layout: 4 sub-buckets per power-of-two octave, so
+/// quantile estimates are within 25% relative error (one bucket width).
+///
+/// Writers stripe across kShards cache-line-aligned shards by a
+/// thread-local index; readers merge all shards into a Snapshot.
+class LogHistogram {
+ public:
+  static constexpr std::size_t kShards = 8;
+
+  void record(std::uint64_t v);
+
+  /// Point-in-time merged view.  Quantiles are conservative (bucket
+  /// upper bound); max is exact.
+  struct Snapshot {
+    std::array<std::uint64_t, kLogBucketCount> buckets{};
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t max = 0;
+
+    double percentile(double p) const {
+      return log_bucket_percentile(buckets.data(), buckets.size(), p);
+    }
+    double mean() const {
+      return count ? static_cast<double>(sum) / static_cast<double>(count)
+                   : 0.0;
+    }
+  };
+
+  Snapshot snapshot() const;
+  void reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<std::uint64_t>, kLogBucketCount> buckets{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> max{0};
+  };
+  std::array<Shard, kShards> shards_;
+};
+
+/// Name -> instrument maps.  get-or-create takes the registry mutex (a
+/// leaf: nothing is locked under it); cached references make that a
+/// one-time cost per call site.  Entries are never erased — reset()
+/// zeroes values in place so cached references stay valid.
+class Registry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  LogHistogram& histogram(std::string_view name);
+
+  const Counter* find_counter(std::string_view name) const;
+  const Gauge* find_gauge(std::string_view name) const;
+  const LogHistogram* find_histogram(std::string_view name) const;
+
+  /// Scalar lookup for samplers: resolves a counter or gauge by exact
+  /// name, or a histogram statistic via a ".p50" / ".p95" / ".p99" /
+  /// ".max" / ".count" / ".mean" suffix on the histogram's name.
+  std::optional<double> value(std::string_view name) const;
+
+  /// Every instrument flattened to (name, value) rows, sorted by name;
+  /// histograms expand to .count/.mean/.p50/.p95/.p99/.max rows.
+  std::vector<std::pair<std::string, double>> flatten() const;
+
+  /// Prometheus text exposition format ('.' mangled to '_'; histograms
+  /// rendered as summaries with quantile labels plus _sum/_count/_max).
+  std::string prometheus_text() const;
+
+  /// Zeroes every instrument in place (bench/test isolation).  Never
+  /// removes entries: cached references remain valid.
+  void reset_values();
+
+  /// The process-wide registry all built-in mirrors write to.
+  static Registry& global();
+
+ private:
+  mutable util::Mutex m_{"ObsRegistry"};
+  // node-based maps: references returned by get-or-create stay valid
+  // across rehash-free inserts for the life of the registry.
+  std::map<std::string, Counter, std::less<>> counters_ DLC_GUARDED_BY(m_);
+  std::map<std::string, Gauge, std::less<>> gauges_ DLC_GUARDED_BY(m_);
+  std::map<std::string, LogHistogram, std::less<>> histograms_
+      DLC_GUARDED_BY(m_);
+};
+
+}  // namespace dlc::obs

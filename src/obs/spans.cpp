@@ -1,0 +1,78 @@
+#include "obs/spans.hpp"
+
+#include <algorithm>
+
+#include "json/writer.hpp"
+
+namespace dlc::obs {
+
+TraceCollector::TraceCollector(Registry& registry, std::size_t worst_n)
+    : completed_metric_(registry.counter("dlc.trace.completed")),
+      incomplete_metric_(registry.counter("dlc.trace.incomplete")),
+      e2e_(registry.histogram("dlc.trace.e2e_ns")),
+      worst_n_(worst_n == 0 ? 1 : worst_n) {
+  hop_ns_.reserve(kHopCount);
+  hop_ns_.push_back(nullptr);  // kIntercepted has no predecessor
+  for (std::size_t h = 1; h < kHopCount; ++h) {
+    hop_ns_.push_back(&registry.histogram(
+        "dlc.trace.hop." + std::string(kHopNames[h]) + "_ns"));
+  }
+}
+
+void TraceCollector::complete(const TraceContext& t) {
+  if (!t.complete() || !t.monotonic()) {
+    incomplete_metric_.add();
+    incomplete_count_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  completed_metric_.add();
+  completed_count_.fetch_add(1, std::memory_order_relaxed);
+  const std::int64_t e2e = t.e2e_ns();
+  e2e_.record(static_cast<std::uint64_t>(e2e));
+  for (std::size_t h = 1; h < kHopCount; ++h) {
+    const std::int64_t delta = t.hops[h] - t.hops[h - 1];
+    hop_ns_[h]->record(static_cast<std::uint64_t>(delta));
+  }
+
+  util::LockGuard lock(m_);
+  if (ring_.size() >= worst_n_ && e2e <= ring_.back().e2e_ns()) return;
+  const auto at = std::upper_bound(
+      ring_.begin(), ring_.end(), e2e,
+      [](std::int64_t v, const TraceContext& c) { return v > c.e2e_ns(); });
+  ring_.insert(at, t);
+  if (ring_.size() > worst_n_) ring_.pop_back();
+}
+
+std::vector<TraceContext> TraceCollector::worst() const {
+  util::LockGuard lock(m_);
+  return ring_;
+}
+
+std::string TraceCollector::spans_json() const {
+  const std::vector<TraceContext> spans = worst();
+  json::Writer w;
+  w.begin_object();
+  w.key("spans");
+  w.begin_array();
+  for (const TraceContext& t : spans) {
+    w.begin_object();
+    w.member("id", t.id);
+    w.member("e2e_ns", t.e2e_ns());
+    w.key("hops");
+    w.begin_array();
+    for (std::size_t h = 0; h < kHopCount; ++h) {
+      w.begin_object();
+      w.member("hop", kHopNames[h]);
+      w.member("t_ns", t.hops[h]);
+      w.member("delta_ns", h == 0 ? std::int64_t{0} : t.hops[h] - t.hops[h - 1]);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return std::string(w.str());
+}
+
+}  // namespace dlc::obs

@@ -1,0 +1,65 @@
+// Trace completion sink: turns finished TraceContexts into registry
+// metrics and keeps a worst-N exemplar ring.
+//
+// The decoder (serial ingest) or the ingest executor's workers
+// (parallel ingest) call complete() once per sampled row.  Every
+// completion feeds:
+//   * dlc.trace.completed / dlc.trace.incomplete counters,
+//   * the dlc.trace.e2e_ns histogram,
+//   * one dlc.trace.hop.<name>_ns histogram per hop transition
+//     (delta from the previous hop),
+//   * the slow-span exemplar ring — the worst-N traces by end-to-end
+//     latency, dumped on demand via spans_json() and rendered by the
+//     self-monitoring dashboard (websvc) and the obs_dump example.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace dlc::obs {
+
+class TraceCollector {
+ public:
+  explicit TraceCollector(Registry& registry = Registry::global(),
+                          std::size_t worst_n = 16);
+
+  /// Records a finished trace.  Thread-safe; callable from ingest
+  /// workers and the sim thread concurrently.
+  void complete(const TraceContext& t);
+
+  std::uint64_t completed() const {
+    return completed_count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t incomplete() const {
+    return incomplete_count_.load(std::memory_order_relaxed);
+  }
+
+  /// The exemplar ring, worst end-to-end latency first.
+  std::vector<TraceContext> worst() const;
+
+  /// JSON dump of the exemplar ring with per-hop breakdown:
+  /// {"spans":[{"id":..,"e2e_ns":..,"hops":[{"hop":..,"t_ns":..,
+  /// "delta_ns":..},..]},..]}.
+  std::string spans_json() const;
+
+ private:
+  Counter& completed_metric_;
+  Counter& incomplete_metric_;
+  LogHistogram& e2e_;
+  std::vector<LogHistogram*> hop_ns_;  // per transition, index = to-hop
+
+  std::atomic<std::uint64_t> completed_count_{0};
+  std::atomic<std::uint64_t> incomplete_count_{0};
+
+  mutable util::Mutex m_{"ObsSpanRing"};
+  std::size_t worst_n_;
+  /// Sorted descending by e2e_ns; at most worst_n_ entries.
+  std::vector<TraceContext> ring_ DLC_GUARDED_BY(m_);
+};
+
+}  // namespace dlc::obs

@@ -1,38 +1,98 @@
 #include "relia/seq.hpp"
 
+#include "obs/registry.hpp"
+
 namespace dlc::relia {
+
+namespace {
+
+// Process-wide mirrors under "dlc.relia.*" (naming scheme in DESIGN.md
+// "Self-telemetry").  seq_lost is a gauge — open gaps can close when a
+// reordered straggler arrives — set to the tracker-wide total after each
+// observation.  Bumped after the tracker's leaf mutex is released.
+struct ReliaObs {
+  obs::Counter& received;
+  obs::Counter& unique;
+  obs::Counter& duplicates;
+  obs::Counter& reordered;
+  obs::Counter& unsequenced;
+  obs::Gauge& seq_lost;
+};
+
+ReliaObs& relia_obs() {
+  obs::Registry& reg = obs::Registry::global();
+  static ReliaObs r{
+      reg.counter("dlc.relia.received"),
+      reg.counter("dlc.relia.unique"),
+      reg.counter("dlc.relia.duplicates"),
+      reg.counter("dlc.relia.reordered"),
+      reg.counter("dlc.relia.unsequenced"),
+      reg.gauge("dlc.relia.seq_lost"),
+  };
+  return r;
+}
+
+}  // namespace
 
 SequenceTracker::Observe SequenceTracker::observe(std::string_view producer,
                                                   std::uint64_t seq) {
-  const util::LockGuard lock(m_);
-  if (seq == 0) {
-    ++unsequenced_;
-    return Observe::kAccept;
-  }
-  auto it = states_.find(producer);
-  if (it == states_.end()) {
-    it = states_.emplace(std::string(producer), State{}).first;
-  }
-  State& st = it->second;
-  ++st.stats.received;
+  Observe result = Observe::kAccept;
+  bool counted_unsequenced = false;
+  bool counted_reorder = false;
+  std::int64_t lost_total = -1;  // < 0: unchanged, skip the gauge write
+  {
+    const util::LockGuard lock(m_);
+    if (seq == 0) {
+      ++unsequenced_;
+      counted_unsequenced = true;
+    } else {
+      auto it = states_.find(producer);
+      if (it == states_.end()) {
+        it = states_.emplace(std::string(producer), State{}).first;
+      }
+      State& st = it->second;
+      ++st.stats.received;
 
-  const bool seen =
-      seq < st.next_contig || st.pending.count(seq) != 0;
-  if (seen) {
-    ++st.stats.duplicates;
-    return Observe::kDuplicate;
+      const bool seen = seq < st.next_contig || st.pending.count(seq) != 0;
+      if (seen) {
+        ++st.stats.duplicates;
+        result = Observe::kDuplicate;
+      } else {
+        const auto lost_before = static_cast<std::int64_t>(st.stats.lost());
+        ++st.stats.unique;
+        if (seq < st.stats.max_seq) {
+          ++st.stats.reordered;
+          counted_reorder = true;
+        }
+        if (seq > st.stats.max_seq) st.stats.max_seq = seq;
+        st.pending.insert(seq);
+        // Advance the contiguous frontier over any now-filled gap.
+        while (!st.pending.empty() && *st.pending.begin() == st.next_contig) {
+          st.pending.erase(st.pending.begin());
+          ++st.next_contig;
+        }
+        lost_running_ +=
+            static_cast<std::int64_t>(st.stats.lost()) - lost_before;
+        lost_total = lost_running_;
+      }
+    }
   }
-
-  ++st.stats.unique;
-  if (seq < st.stats.max_seq) ++st.stats.reordered;
-  if (seq > st.stats.max_seq) st.stats.max_seq = seq;
-  st.pending.insert(seq);
-  // Advance the contiguous frontier over any now-filled gap.
-  while (!st.pending.empty() && *st.pending.begin() == st.next_contig) {
-    st.pending.erase(st.pending.begin());
-    ++st.next_contig;
+  if (obs::enabled()) {
+    ReliaObs& mirror = relia_obs();
+    if (counted_unsequenced) {
+      mirror.unsequenced.add();
+    } else {
+      mirror.received.add();
+      if (result == Observe::kDuplicate) {
+        mirror.duplicates.add();
+      } else {
+        mirror.unique.add();
+        if (counted_reorder) mirror.reordered.add();
+        if (lost_total >= 0) mirror.seq_lost.set(lost_total);
+      }
+    }
   }
-  return Observe::kAccept;
+  return result;
 }
 
 const SequenceTracker::ProducerStats* SequenceTracker::stats(

@@ -86,6 +86,10 @@ class SequenceTracker {
   // find() works with string_view keys via transparent comparison.
   std::map<std::string, State, std::less<>> states_ DLC_GUARDED_BY(m_);
   std::uint64_t unsequenced_ DLC_GUARDED_BY(m_) = 0;
+  /// Running sum of lost() over all producers, maintained incrementally
+  /// so each observe() can publish the dlc.relia.seq_lost gauge without
+  /// re-walking states_.
+  std::int64_t lost_running_ DLC_GUARDED_BY(m_) = 0;
 };
 
 }  // namespace dlc::relia

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <cmath>
 
 namespace dlc {
@@ -63,16 +64,71 @@ double t_quantile_975(std::size_t dof) {
   return 1.96;
 }
 
-double percentile(std::vector<double> values, double p) {
-  if (values.empty()) return 0.0;
-  std::sort(values.begin(), values.end());
+SortedQuantiles::SortedQuantiles(std::vector<double> values)
+    : sorted_(std::move(values)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double SortedQuantiles::percentile(double p) const {
+  if (sorted_.empty()) return 0.0;
   const double clamped = std::clamp(p, 0.0, 100.0);
   const double idx =
-      clamped / 100.0 * static_cast<double>(values.size() - 1);
+      clamped / 100.0 * static_cast<double>(sorted_.size() - 1);
   const auto lo = static_cast<std::size_t>(idx);
-  const auto hi = std::min(lo + 1, values.size() - 1);
+  const auto hi = std::min(lo + 1, sorted_.size() - 1);
   const double frac = idx - static_cast<double>(lo);
-  return values[lo] * (1.0 - frac) + values[hi] * frac;
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+double percentile(std::vector<double> values, double p) {
+  return SortedQuantiles(std::move(values)).percentile(p);
+}
+
+std::uint32_t log_bucket_index(std::uint64_t v) {
+  if (v == 0) return 0;
+  const auto octave = static_cast<std::uint32_t>(std::bit_width(v) - 1);
+  // Sub-bucket = the two bits below the leading one; octaves 0 and 1 have
+  // fewer than two such bits, so the value is shifted up instead (some
+  // sub-buckets in those octaves are then unreachable and stay empty).
+  const std::uint32_t sub =
+      octave >= 2 ? static_cast<std::uint32_t>((v >> (octave - 2)) & 3)
+                  : static_cast<std::uint32_t>((v << (2 - octave)) & 3);
+  return 1 + octave * kLogBucketsPerOctave + sub;
+}
+
+std::uint64_t log_bucket_lo(std::uint32_t idx) {
+  if (idx == 0) return 0;
+  const std::uint32_t octave = (idx - 1) / kLogBucketsPerOctave;
+  const std::uint64_t sub = (idx - 1) % kLogBucketsPerOctave;
+  if (octave >= 2) return (std::uint64_t{1} << octave) | (sub << (octave - 2));
+  return (std::uint64_t{1} << octave) | (sub >> (2 - octave));
+}
+
+std::uint64_t log_bucket_hi(std::uint32_t idx) {
+  if (idx == 0) return 0;
+  const std::uint32_t octave = (idx - 1) / kLogBucketsPerOctave;
+  if (octave < 2) return log_bucket_lo(idx);
+  return log_bucket_lo(idx) + ((std::uint64_t{1} << (octave - 2)) - 1);
+}
+
+double log_bucket_percentile(const std::uint64_t* counts, std::size_t n,
+                             double p) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) total += counts[i];
+  if (total == 0) return 0.0;
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  // Rank of the target order statistic, 1-based; ceil so p=0 lands on the
+  // first sample and p=100 on the last.
+  const auto rank = static_cast<std::uint64_t>(
+      std::max(1.0, std::ceil(clamped / 100.0 * static_cast<double>(total))));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cum += counts[i];
+    if (cum >= rank) {
+      return static_cast<double>(log_bucket_hi(static_cast<std::uint32_t>(i)));
+    }
+  }
+  return static_cast<double>(log_bucket_hi(static_cast<std::uint32_t>(n - 1)));
 }
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)

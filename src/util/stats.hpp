@@ -42,9 +42,62 @@ class RunningStats {
 /// Two-sided t-distribution 97.5% quantile for `dof` degrees of freedom.
 double t_quantile_975(std::size_t dof);
 
-/// Linear-interpolated percentile of an unsorted sample (copies + sorts).
-/// `p` is in [0, 100].  Returns 0 for an empty sample.
+/// Sort-once multi-quantile extractor.  The old free `percentile()`
+/// re-copied and re-sorted the sample on every call; batch callers that
+/// need several quantiles of the same sample (p50 + p95 in a group-by,
+/// p50/p99 in benches) construct this once and query it repeatedly.
+/// Quantiles are exact linear-interpolated order statistics — identical
+/// values to the historical `percentile()` implementation.
+class SortedQuantiles {
+ public:
+  explicit SortedQuantiles(std::vector<double> values);
+
+  /// Linear-interpolated percentile; `p` in [0, 100].  0 when empty.
+  double percentile(double p) const;
+
+  std::size_t count() const { return sorted_.size(); }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Linear-interpolated percentile of an unsorted sample.  Thin shim over
+/// SortedQuantiles kept for the existing one-shot call sites; multi-
+/// quantile callers should construct SortedQuantiles (exact) or an
+/// obs::LogHistogram (streaming, approximate) instead of calling this in
+/// a loop — each call still pays a full sort.
 double percentile(std::vector<double> values, double p);
+
+// --- Log-bucket geometry -------------------------------------------------
+//
+// Shared by obs::LogHistogram (latency histograms with thread-local
+// shards) and anything else that needs a fixed-size log-spaced layout for
+// non-negative integer samples (nanoseconds, bytes).  Buckets subdivide
+// each power-of-two octave into kLogBucketsPerOctave sub-buckets, so the
+// relative bucket width — and therefore the worst-case quantile error —
+// is bounded by 1/kLogBucketsPerOctave (25%) regardless of magnitude.
+//
+// Layout: bucket 0 holds exactly v == 0; bucket 1 + 4*octave + sub holds
+// v with bit_width(v) == octave + 1.  64 octaves cover all of uint64.
+
+inline constexpr std::uint32_t kLogBucketsPerOctave = 4;
+inline constexpr std::uint32_t kLogBucketCount = 1 + 64 * kLogBucketsPerOctave;
+
+/// Bucket index for a sample; always < kLogBucketCount.
+std::uint32_t log_bucket_index(std::uint64_t v);
+
+/// Smallest sample value mapping to bucket `idx`.
+std::uint64_t log_bucket_lo(std::uint32_t idx);
+
+/// Largest sample value mapping to bucket `idx` (inclusive).
+std::uint64_t log_bucket_hi(std::uint32_t idx);
+
+/// Percentile estimate from an array of kLogBucketCount bucket counts:
+/// the inclusive upper bound of the bucket containing the rank, so the
+/// estimate is conservative and within one bucket width of the exact
+/// order statistic.  `p` in [0, 100]; 0 when the histogram is empty.
+double log_bucket_percentile(const std::uint64_t* counts, std::size_t n,
+                             double p);
 
 /// Fixed-width histogram over [lo, hi); values outside are clamped into the
 /// first/last bin.  Used by the heatmap module and ASCII renderers.

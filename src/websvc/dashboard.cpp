@@ -22,6 +22,16 @@ Dashboard default_io_dashboard(std::uint64_t job_id) {
   return dash;
 }
 
+Dashboard obs_self_dashboard() {
+  Dashboard dash;
+  dash.title = "Connector pipeline self-telemetry";
+  dash.panels = {
+      PanelDef{"Pipeline metrics", "obs_summary", {}, "table"},
+      PanelDef{"Slowest end-to-end spans", "obs_spans", {}, "table"},
+  };
+  return dash;
+}
+
 std::string render_dashboard(const DashboardService& service,
                              const Dashboard& dashboard) {
   json::Writer w;

@@ -28,6 +28,12 @@ struct Dashboard {
 /// per-node requests, per-rank durations, throughput timeline.
 Dashboard default_io_dashboard(std::uint64_t job_id);
 
+/// Self-monitoring dashboard over the connector pipeline itself: the obs
+/// registry flattened to a metric table plus the slow-span exemplar ring
+/// (per-hop latency breakdown of the worst end-to-end traces).  Sits next
+/// to the health panel; see DESIGN.md "Self-telemetry".
+Dashboard obs_self_dashboard();
+
 /// Executes all panels and returns the dashboard with inlined data as
 /// JSON (panels that fail render an "error" field instead of data).
 std::string render_dashboard(const DashboardService& service,

@@ -1,6 +1,7 @@
 #include "websvc/service.hpp"
 
 #include <algorithm>
+#include <array>
 #include <set>
 #include <sstream>
 
@@ -188,6 +189,50 @@ DashboardService::DashboardService(std::shared_ptr<dsos::DsosCluster> db)
     return analysis::hot_files(db, job_list(db, params),
                                top_n > 0 ? top_n : 10);
   });
+  // Self-telemetry modules (the obs_self_dashboard panels): one flat
+  // (metric, value) table off the registry, one slow-span exemplar table
+  // off the trace collector.
+  register_module("obs_summary", [this](const dsos::DsosCluster&,
+                                        const Params&) {
+    analysis::DataFrame df;
+    analysis::DataFrame::StringCol names;
+    analysis::DataFrame::DoubleCol values;
+    for (auto& [name, value] : registry_->flatten()) {
+      names.push_back(name);
+      values.push_back(value);
+    }
+    df.add_string_column("metric", std::move(names));
+    df.add_double_column("value", std::move(values));
+    return df;
+  });
+  register_module("obs_spans", [this](const dsos::DsosCluster&,
+                                      const Params&) {
+    analysis::DataFrame df;
+    analysis::DataFrame::StringCol ids;
+    analysis::DataFrame::IntCol e2e;
+    std::array<analysis::DataFrame::IntCol, obs::kHopCount> deltas;
+    if (collector_ != nullptr) {
+      for (const obs::TraceContext& t : collector_->worst()) {
+        ids.push_back(std::to_string(t.id));
+        e2e.push_back(t.e2e_ns());
+        std::int64_t prev = t.hop(obs::Hop::kIntercepted);
+        for (std::size_t h = 1; h < obs::kHopCount; ++h) {
+          const std::int64_t cur = t.hops[h];
+          deltas[h].push_back(cur != obs::kHopUnset && prev != obs::kHopUnset
+                                  ? cur - prev
+                                  : -1);
+          if (cur != obs::kHopUnset) prev = cur;
+        }
+      }
+    }
+    df.add_string_column("id", std::move(ids));
+    df.add_int_column("e2e_ns", std::move(e2e));
+    for (std::size_t h = 1; h < obs::kHopCount; ++h) {
+      df.add_int_column(std::string(obs::kHopNames[h]) + "_ns",
+                        std::move(deltas[h]));
+    }
+    return df;
+  });
 }
 
 void DashboardService::register_module(const std::string& name,
@@ -224,10 +269,24 @@ Response DashboardService::handle(const std::string& path_and_query) const {
     if (path == "/api/query") return api_query(params);
     if (path == "/api/panel") return api_panel(params);
     if (path == "/api/csv") return api_csv(params);
+    if (path == "/metrics") return api_metrics();
+    if (path == "/api/obs/spans") return api_obs_spans();
   } catch (const std::exception& e) {
     return Response{500, "application/json", error_body(e.what())};
   }
   return not_found("no route for " + path);
+}
+
+Response DashboardService::api_metrics() const {
+  return Response{200, "text/plain; version=0.0.4",
+                  registry_->prometheus_text()};
+}
+
+Response DashboardService::api_obs_spans() const {
+  if (collector_ == nullptr) {
+    return Response{200, "application/json", "{\"spans\":[]}"};
+  }
+  return Response{200, "application/json", collector_->spans_json()};
 }
 
 Response DashboardService::api_health() const {

@@ -16,6 +16,9 @@
 //   /api/panel?module=fig9&job=2&bucket_s=10
 //                                       -> Grafana panel JSON
 //   /api/csv?index=time&job_id=2        -> text/csv export
+//   /metrics                            -> Prometheus text exposition of
+//                                          the obs registry (self-telemetry)
+//   /api/obs/spans                      -> slow-span exemplar ring (JSON)
 #pragma once
 
 #include <cstdint>
@@ -26,6 +29,8 @@
 
 #include "analysis/frame.hpp"
 #include "dsos/cluster.hpp"
+#include "obs/registry.hpp"
+#include "obs/spans.hpp"
 
 namespace dlc::websvc {
 
@@ -59,6 +64,16 @@ class DashboardService {
 
   std::uint64_t requests_served() const { return requests_; }
 
+  /// Registry scraped by /metrics and the obs_summary module; defaults to
+  /// the process-wide one (tests inject their own).
+  void set_registry(const obs::Registry* registry) { registry_ = registry; }
+
+  /// Trace collector behind /api/obs/spans and the obs_spans module;
+  /// nullptr (the default) renders empty spans.
+  void set_trace_collector(const obs::TraceCollector* collector) {
+    collector_ = collector;
+  }
+
  private:
   Response api_health() const;
   Response api_schemas() const;
@@ -66,9 +81,13 @@ class DashboardService {
   Response api_query(const Params& params) const;
   Response api_panel(const Params& params) const;
   Response api_csv(const Params& params) const;
+  Response api_metrics() const;
+  Response api_obs_spans() const;
 
   std::shared_ptr<dsos::DsosCluster> db_;
   std::map<std::string, AnalysisModule> modules_;
+  const obs::Registry* registry_ = &obs::Registry::global();
+  const obs::TraceCollector* collector_ = nullptr;
   mutable std::uint64_t requests_ = 0;
 };
 

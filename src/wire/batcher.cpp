@@ -6,11 +6,27 @@ namespace dlc::wire {
 
 StreamBatcher::StreamBatcher(EncodeContext ctx, BatchConfig config,
                              FrameSink sink)
+    : encoder_(std::move(ctx)),
+      config_(config),
+      sink_([inner = std::move(sink)](std::string frame, std::size_t events,
+                                      const obs::TraceContext* /*trace*/) {
+        inner(std::move(frame), events);
+      }) {}
+
+StreamBatcher::StreamBatcher(EncodeContext ctx, BatchConfig config,
+                             TracedFrameSink sink)
     : encoder_(std::move(ctx)), config_(config), sink_(std::move(sink)) {}
 
 StreamBatcher::AddOutcome StreamBatcher::add(const darshan::IoEvent& e,
                                              std::string_view producer,
                                              SimTime now) {
+  return add(e, producer, now, nullptr);
+}
+
+StreamBatcher::AddOutcome StreamBatcher::add(const darshan::IoEvent& e,
+                                             std::string_view producer,
+                                             SimTime now,
+                                             const obs::TraceContext* trace) {
   AddOutcome outcome;
   if (!encoder_.empty() && config_.max_delay > 0 &&
       now - oldest_pending_ >= config_.max_delay) {
@@ -19,7 +35,10 @@ StreamBatcher::AddOutcome StreamBatcher::add(const darshan::IoEvent& e,
   }
   if (encoder_.empty()) oldest_pending_ = now;
   const std::size_t before = encoder_.size_bytes();
-  encoder_.add(e, producer);
+  encoder_.add(e, producer, trace);
+  if (trace != nullptr && trace->sampled() && !pending_trace_.sampled()) {
+    pending_trace_ = *trace;
+  }
   outcome.bytes_added = encoder_.size_bytes() - before;
   ++stats_.events_added;
   if (encoder_.event_count() >= config_.max_events) {
@@ -56,7 +75,10 @@ void StreamBatcher::emit(FlushReason reason) {
       ++stats_.flush_explicit;
       break;
   }
-  sink_(std::move(frame), events);
+  const obs::TraceContext frame_trace = pending_trace_;
+  pending_trace_ = obs::TraceContext{};
+  sink_(std::move(frame), events,
+        frame_trace.sampled() ? &frame_trace : nullptr);
 }
 
 }  // namespace dlc::wire

@@ -47,9 +47,17 @@ struct BatcherStats {
 /// Receives each finished frame and its event count (for accounting).
 using FrameSink = std::function<void(std::string frame, std::size_t events)>;
 
+/// FrameSink variant that also receives the frame's pipeline trace — the
+/// first sampled event's context, or nullptr when the frame carries no
+/// sampled event.  The connector publishes with it so the envelope half
+/// of the trace follows the frame (obs/trace.hpp).
+using TracedFrameSink = std::function<void(
+    std::string frame, std::size_t events, const obs::TraceContext* trace)>;
+
 class StreamBatcher {
  public:
   StreamBatcher(EncodeContext ctx, BatchConfig config, FrameSink sink);
+  StreamBatcher(EncodeContext ctx, BatchConfig config, TracedFrameSink sink);
 
   /// What one add() did — lets callers charge per-event encode cost and
   /// per-flush publish cost without peeking inside the encoder.
@@ -66,6 +74,12 @@ class StreamBatcher {
   AddOutcome add(const darshan::IoEvent& e, std::string_view producer,
                  SimTime now);
 
+  /// Same, attaching a pipeline-trace block to the event (nullptr or
+  /// unsampled == the three-argument overload, byte for byte).  The first
+  /// sampled trace in a frame becomes the frame's envelope trace.
+  AddOutcome add(const darshan::IoEvent& e, std::string_view producer,
+                 SimTime now, const obs::TraceContext* trace);
+
   /// Emits the pending frame, if any (job end / shutdown).
   void flush();
 
@@ -79,9 +93,11 @@ class StreamBatcher {
 
   FrameEncoder encoder_;
   BatchConfig config_;
-  FrameSink sink_;
+  TracedFrameSink sink_;
   BatcherStats stats_;
   SimTime oldest_pending_ = 0;
+  /// First sampled trace added to the pending frame (id == 0: none).
+  obs::TraceContext pending_trace_;
 };
 
 }  // namespace dlc::wire

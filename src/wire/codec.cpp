@@ -12,6 +12,10 @@ namespace {
 constexpr std::uint8_t kHasFile = 1u << 0;
 constexpr std::uint8_t kHasH5 = 1u << 1;
 constexpr std::uint8_t kHasDataSet = 1u << 2;
+/// Event carries a pipeline-trace block (sampled events only; see
+/// obs/trace.hpp).  Field list mirrors obs::kTraceFields — the trailing
+/// `// trace:` comments are checked by tools/lint_schema_parity.py.
+constexpr std::uint8_t kHasTrace = 1u << 3;
 
 bool h5_traced(const darshan::Hdf5Info& h5) {
   return h5.pt_sel != -1 || h5.irreg_hslab != -1 || h5.reg_hslab != -1 ||
@@ -68,13 +72,20 @@ void FrameEncoder::put_interned(std::string_view s) {
 }
 
 void FrameEncoder::add(const darshan::IoEvent& e, std::string_view producer) {
+  add(e, producer, nullptr);
+}
+
+void FrameEncoder::add(const darshan::IoEvent& e, std::string_view producer,
+                       const obs::TraceContext* trace) {
   const bool is_meta = e.op == darshan::Op::kOpen;
   const bool data_op =
       e.op == darshan::Op::kRead || e.op == darshan::Op::kWrite;
+  const bool traced = trace != nullptr && trace->sampled();
   std::uint8_t flags = 0;
   if (is_meta && e.file_path) flags |= kHasFile;
   if (h5_traced(e.h5)) flags |= kHasH5;
   if (!e.h5.data_set.empty()) flags |= kHasDataSet;
+  if (traced) flags |= kHasTrace;
 
   buf_.push_back(static_cast<char>(flags));
   buf_.push_back(static_cast<char>(e.module));
@@ -102,6 +113,14 @@ void FrameEncoder::add(const darshan::IoEvent& e, std::string_view producer) {
     put_zigzag(buf_, e.h5.npoints);
   }
   if (flags & kHasDataSet) put_interned(e.h5.data_set);
+  if (traced) {
+    const std::int64_t intercepted = trace->hop(obs::Hop::kIntercepted);
+    put_varint(buf_, trace->id);  // trace:id
+    put_zigzag(buf_, intercepted);  // trace:intercepted
+    put_zigzag(buf_,
+               trace->hop(obs::Hop::kPublished) -
+                   intercepted);  // trace:published (delta from first hop)
+  }
   ++event_count_;
 }
 
@@ -126,8 +145,10 @@ std::uint64_t decode_frame_seq(std::string_view payload) {
 }
 
 std::vector<dsos::Object> decode_frame(const dsos::SchemaPtr& schema,
-                                       std::string_view payload) {
+                                       std::string_view payload,
+                                       std::vector<obs::TraceContext>* traces) {
   std::vector<dsos::Object> out;
+  if (traces != nullptr) traces->clear();
   if (!looks_like_frame(payload)) return out;
   Reader r(payload);
   r.byte();  // magic
@@ -180,6 +201,15 @@ std::vector<dsos::Object> decode_frame(const dsos::SchemaPtr& schema,
       npoints = r.zigzag();
     }
     if ((flags & kHasDataSet) && !read_interned(r, table, data_set)) return {};
+    obs::TraceContext trace;
+    if (flags & kHasTrace) {
+      trace.id = r.varint();  // trace:id
+      const std::int64_t intercepted = r.zigzag();  // trace:intercepted
+      const std::int64_t published =
+          intercepted + r.zigzag();  // trace:published (delta from first hop)
+      trace.stamp(obs::Hop::kIntercepted, intercepted);
+      trace.stamp(obs::Hop::kPublished, published);
+    }
     if (!r.ok()) return {};
 
     // Schema (Table I) attribute order, matching core::decode_message
@@ -218,8 +248,12 @@ std::vector<dsos::Object> decode_frame(const dsos::SchemaPtr& schema,
     values.emplace_back(epoch_seconds +
                         to_seconds(end));               // seg_timestamp
     out.push_back(dsos::make_object(schema, std::move(values)));
+    if (traces != nullptr) traces->push_back(trace);
   }
-  if (!r.ok()) return {};
+  if (!r.ok()) {
+    if (traces != nullptr) traces->clear();
+    return {};
+  }
   return out;
 }
 

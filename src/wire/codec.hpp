@@ -35,6 +35,7 @@
 
 #include "darshan/events.hpp"
 #include "dsos/schema.hpp"
+#include "obs/trace.hpp"
 #include "util/time.hpp"
 
 namespace dlc::wire {
@@ -66,6 +67,14 @@ class FrameEncoder {
   /// Appends one event.  `producer` is the publishing daemon's name
   /// (Fig. 3 "ProducerName").
   void add(const darshan::IoEvent& e, std::string_view producer);
+
+  /// Same, with an optional pipeline-trace block (flag bit kHasTrace):
+  /// trace id + source-side hop stamps, the first hop absolute and the
+  /// rest as deltas (the codec's usual elision style).  `trace` nullptr
+  /// or unsampled produces bytes identical to the two-argument overload —
+  /// tracing off costs nothing on the wire.
+  void add(const darshan::IoEvent& e, std::string_view producer,
+           const obs::TraceContext* trace);
 
   std::size_t event_count() const { return event_count_; }
   /// Size of the frame as encoded so far (header included).
@@ -101,8 +110,13 @@ std::uint64_t decode_frame_seq(std::string_view payload);
 /// same attribute order and sentinel conventions as the JSON decode path.
 /// Returns empty on malformed or truncated input (best-effort transport:
 /// a bad frame is dropped whole, like a bad JSON message).
-std::vector<dsos::Object> decode_frame(const dsos::SchemaPtr& schema,
-                                       std::string_view payload);
+///
+/// `traces`, when non-null, receives one obs::TraceContext per decoded
+/// object (parallel to the returned vector); events without a trace
+/// block yield an unsampled context (id == 0).
+std::vector<dsos::Object> decode_frame(
+    const dsos::SchemaPtr& schema, std::string_view payload,
+    std::vector<obs::TraceContext>* traces = nullptr);
 
 /// True when `payload` starts with a plausible frame header (cheap
 /// dispatch check for stores that see mixed traffic).

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
@@ -143,12 +144,29 @@ TEST(Ingest, BackpressureKeepsResultsIdentical) {
   icfg.workers = 2;
   icfg.queue_capacity = 1;
   icfg.batch = 1;
+  // Hold the workers at their first dequeued batch until the releaser
+  // fires: with capacity-1 queues the submitting thread is then
+  // guaranteed to block in push_wait, so the back-pressure duration
+  // counters must come back nonzero (not just "may, depending on
+  // scheduling").
+  std::atomic<bool> release{false};
+  icfg.commit_hook = [&release] {
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  };
+  std::thread releaser([&release] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    release.store(true, std::memory_order_release);
+  });
   IngestStats stats;
   EXPECT_EQ(ingest_fingerprint(2, icfg, schema, events, &stats), serial);
-  // batch=1 => one enqueued batch per event; waits depend on scheduling,
-  // so only the deterministic counters are asserted.
+  releaser.join();
+  // batch=1 => one enqueued batch per event.
   EXPECT_EQ(stats.batches, events.size());
   EXPECT_EQ(stats.inserted, events.size());
+  EXPECT_GT(stats.backpressure_waits, 0u);
+  EXPECT_GT(stats.backpressure_wait_ns, 0u);
 }
 
 // Events without the shard attribute fall back to round-robin routing,

@@ -13,6 +13,17 @@ re-state it and can silently drift:
   4. the wire codec (wire/codec.cpp: FrameEncoder::add put_* sequence,
      decode_frame read sequence, and its row assembly).
 
+A second canonical list — obs::kTraceFields in src/obs/trace.cpp, the
+payload half of the pipeline-trace context — is re-stated by three more
+surfaces and is checked the same way:
+
+  5. the JSON envelope writer/parser (obs/trace.cpp append_trace_member /
+     parse_trace_member key literals),
+  6. the wire codec's optional trace block (codec.cpp `// trace:<field>`
+     tags on the encoder puts and decoder reads), and
+  7. the Hop enum vs kHopNames (trace.hpp / trace.cpp): same count, same
+     order, enum entries snake_cased must BE the names.
+
 This lint extracts each surface with small, surface-specific grammars and
 diffs them against the canonical list: names, order (where the surface is
 order-bearing), and the N/A / -1 / 0 defaults that the DOM and fast JSON
@@ -352,20 +363,31 @@ ENCODER_ARG = {
 
 
 def check_codec(repo, fields):
+    """Checks the event field sequences; returns the encoder/decoder trace
+    block field lists (the statements tagged `// trace:<field>`) for
+    check_trace."""
     src = read(repo, "src/wire/codec.cpp")
     names = [n for n, _ in fields]
 
     # --- encoder: ordered put_* calls in FrameEncoder::add ---------------
-    add = strip_block(src, r"void FrameEncoder::add\(", r"\n\}",
-                      "FrameEncoder::add")
+    # Anchor on the trace-aware overload: the two-argument add is a pure
+    # forwarder with no put_* calls of its own.
+    add = strip_block(src, r"void FrameEncoder::add\([^)]*trace\)\s*\{",
+                      r"\n\}", "FrameEncoder::add (trace overload)")
     enc_seq = []
+    enc_trace = []
     for m in re.finditer(
-            r"put_(zigzag|varint)\(buf_,\s*([^;]+?)\);|put_interned\(([^;]+?)\);",
+            r"put_(zigzag|varint)\(buf_,\s*([^;]+?)\);"
+            r"(?:[ \t]*//[ \t]*(\S+))?|put_interned\(([^;]+?)\);",
             add):
-        if m.group(3) is not None:
-            arg, prim = " ".join(m.group(3).split()), "interned"
+        if m.group(4) is not None:
+            arg, prim, tag = " ".join(m.group(4).split()), "interned", None
         else:
             arg, prim = " ".join(m.group(2).split()), m.group(1)
+            tag = m.group(3)
+        if tag and tag.startswith("trace:"):
+            enc_trace.append(tag[len("trace:"):])
+            continue
         if arg not in ENCODER_ARG:
             die_extract(f"FrameEncoder::add writes unknown field {arg!r}")
         enc_seq.append((ENCODER_ARG[arg], prim))
@@ -374,18 +396,22 @@ def check_codec(repo, fields):
 
     # --- decoder: ordered reads in decode_frame --------------------------
     dec = strip_block(src, r"std::vector<dsos::Object> decode_frame\(",
-                      r"\n  if \(!r\.ok\(\)\) return \{\};\n  return out;",
-                      "decode_frame")
+                      r"\n  if \(!r\.ok\(\)\) \{", "decode_frame")
     # Skip the frame header (everything before the per-event loop).
     loop = dec[dec.index("while (r.ok()"):]
     dec_seq = []
+    dec_trace = []
     for m in re.finditer(
-            r"(\w+)\s*=[^=;]*r\.(zigzag|varint)\(\)|"
+            r"(\w+)\s*=[^=;]*r\.(zigzag|varint)\(\);?"
+            r"(?:[ \t]*//[ \t]*(\S+))?|"
             r"read_interned\(r,\s*table,\s*(\w+)\)", loop):
-        if m.group(3) is not None:
-            var, prim = m.group(3), "interned"
+        if m.group(4) is not None:
+            var, prim, tag = m.group(4), "interned", None
         else:
-            var, prim = m.group(1), m.group(2)
+            var, prim, tag = m.group(1), m.group(2), m.group(3)
+        if tag and tag.startswith("trace:"):
+            dec_trace.append(tag[len("trace:"):])
+            continue
         alias = {"producer": "producer", "file": "file",
                  "data_set": "data_set", "off": "off", "len": "len",
                  "irreg": "irreg_hslab", "reg": "reg_hslab",
@@ -408,6 +434,75 @@ def check_codec(repo, fields):
                 "wire row assembly expression (codec.cpp)",
                 [f"{names[i]}: expression matching /{FIELD_TOKEN[names[i]]}/"],
                 [f"{names[i]}: {expr}"])
+    return enc_trace, dec_trace
+
+
+# --------------------------------------------------------------------------
+# Surfaces 5-7: the pipeline-trace block (obs/trace.*, codec trace tags).
+
+def camel_to_snake(name):
+    return re.sub(r"(?<!^)(?=[A-Z])", "_", name).lower()
+
+
+def check_trace(repo, enc_trace, dec_trace):
+    src = read(repo, "src/obs/trace.cpp")
+    hdr = read(repo, "src/obs/trace.hpp")
+
+    # Canonical trace-block field list.
+    fields = array_literal(src, r"kTraceFields", "kTraceFields (trace.cpp)")
+    if not fields:
+        die_extract("kTraceFields is empty")
+
+    # JSON envelope writer: every \"<key>\": literal built by
+    # append_trace_member, minus the enclosing "trace" member itself.
+    writer = strip_block(src, r"void append_trace_member\(", r"\n\}",
+                         "append_trace_member")
+    wkeys = [k for k in re.findall(r'\\"(\w+)\\":', writer) if k != "trace"]
+    check_eq("JSON trace writer keys (trace.cpp append_trace_member)",
+             fields, wkeys)
+
+    # JSON envelope parser: the keys parse_trace_member searches for.
+    parser = strip_block(src, r"bool parse_trace_member\(", r"\n\}",
+                         "parse_trace_member")
+    pkeys = [k for k in re.findall(r'\\"(\w+)\\":', parser) if k != "trace"]
+    check_eq("JSON trace parser keys (trace.cpp parse_trace_member)",
+             fields, pkeys)
+
+    # Wire codec trace block: the `// trace:<field>` tags collected by
+    # check_codec from FrameEncoder::add and decode_frame.
+    if not enc_trace:
+        die_extract("no // trace: tags found in FrameEncoder::add")
+    if not dec_trace:
+        die_extract("no // trace: tags found in decode_frame")
+    check_eq("wire encoder trace block (codec.cpp FrameEncoder::add)",
+             fields, enc_trace)
+    check_eq("wire decoder trace block (codec.cpp decode_frame)",
+             fields, dec_trace)
+
+    # Hop enum (trace.hpp) vs kHopNames (trace.cpp) vs kHopCount.
+    hops = array_literal(src, r"kHopNames", "kHopNames (trace.cpp)")
+    enum_block = strip_block(hdr, r"enum class Hop\b", r"\};",
+                             "enum class Hop")
+    enum_hops = [camel_to_snake(n) for n in
+                 re.findall(r"\bk([A-Z]\w*)\b", enum_block)
+                 if n != "HopCount"]
+    check_eq("Hop enum vs kHopNames (trace.hpp / trace.cpp)",
+             enum_hops, hops)
+    m = re.search(r"kHopCount\s*=\s*(\d+)", hdr)
+    if not m:
+        die_extract("cannot find kHopCount in trace.hpp")
+    if int(m.group(1)) != len(hops):
+        diff_fail("kHopCount vs kHopNames size (trace.hpp / trace.cpp)",
+                  [f"kHopCount = {len(hops)}"],
+                  [f"kHopCount = {m.group(1)}"])
+    m = re.search(r"kTraceFieldCount\s*=\s*(\d+)", hdr)
+    if not m:
+        die_extract("cannot find kTraceFieldCount in trace.hpp")
+    if int(m.group(1)) != len(fields):
+        diff_fail("kTraceFieldCount vs kTraceFields size (trace.hpp/.cpp)",
+                  [f"kTraceFieldCount = {len(fields)}"],
+                  [f"kTraceFieldCount = {m.group(1)}"])
+    return fields, hops
 
 
 def main():
@@ -426,11 +521,14 @@ def main():
     check_csv_header(repo, fields)
     check_connector(repo, fields)
     check_decoder(repo, fields)
-    check_codec(repo, fields)
+    enc_trace, dec_trace = check_codec(repo, fields)
+    trace_fields, hops = check_trace(repo, enc_trace, dec_trace)
 
     print(f"lint_schema_parity: OK — {len(fields)} fields consistent "
           "across schema, CSV header, JSON encoder, fast+DOM decoders, "
-          "and wire codec")
+          "and wire codec; "
+          f"{len(trace_fields)}-field trace block and {len(hops)}-hop "
+          "span consistent across JSON envelope, wire codec, and Hop enum")
 
 
 if __name__ == "__main__":
