@@ -15,6 +15,12 @@
 // pruning on a time-rotated PartitionedStore and limit pushdown on the
 // cluster k-way merge.
 //
+// Each configuration is timed kReps (3) times and the row reports the
+// median run, so a single scheduler hiccup cannot flip a gate.  Every row
+// also records the hardware threads the parallel run actually used
+// (workers + decoding caller, capped by the host), making cross-machine
+// BENCH_ingest.json comparisons honest.
+//
 // Writes BENCH_ingest.json (override path: DLC_BENCH_OUT) with events/sec,
 // bytes/event and speedup per shard count.  --check adds the fatal perf
 // gates: parallel >= 1.5x serial events/sec at >= 4 shards (enforced only
@@ -22,6 +28,7 @@
 // speedup is physically impossible and the gate is reported as SKIP, the
 // same reasoning that keeps timing gates out of sanitizer builds), and
 // pruned queries no slower than unpruned.  Scale knob: DLC_INGEST_EVENTS.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -133,7 +140,27 @@ struct IngestRun {
   std::unique_ptr<dsos::DsosCluster> cluster;
   double seconds = 0.0;
   std::uint64_t backpressure_waits = 0;
+  /// OS threads that actually carried the run: 1 for serial, the worker
+  /// count plus the decoding caller for parallel, capped at what the
+  /// host can schedule concurrently.
+  std::size_t threads_used = 1;
 };
+
+/// Timing noise guard: each configuration runs kReps times and the row
+/// reports the median run (clusters in the discarded runs are dropped).
+constexpr std::size_t kReps = 3;
+
+template <typename RunOnce>
+IngestRun median_run(RunOnce&& run_once) {
+  std::vector<IngestRun> runs;
+  runs.reserve(kReps);
+  for (std::size_t i = 0; i < kReps; ++i) runs.push_back(run_once());
+  std::sort(runs.begin(), runs.end(),
+            [](const IngestRun& a, const IngestRun& b) {
+              return a.seconds < b.seconds;
+            });
+  return std::move(runs[kReps / 2]);
+}
 
 IngestRun run_serial(const dsos::SchemaPtr& schema, std::size_t shards,
                      const std::vector<std::string>& payloads) {
@@ -166,6 +193,9 @@ IngestRun run_parallel(const dsos::SchemaPtr& schema, std::size_t shards,
     }
     ingest.drain();  // inside the timed region: cost of determinism
     run.backpressure_waits = ingest.stats().backpressure_waits;
+    const std::size_t hw = std::thread::hardware_concurrency();
+    run.threads_used = ingest.workers() + 1;  // workers + decoding caller
+    if (hw > 0) run.threads_used = std::min(run.threads_used, hw);
   }
   run.seconds = now_seconds() - t0;
   return run;
@@ -211,15 +241,20 @@ int main(int argc, char** argv) {
     double parallel_eps;
     double speedup;
     std::uint64_t backpressure_waits;
+    std::size_t threads_used;
   };
   std::vector<ShardResult> shard_results;
   bool identical = true;
 
-  exp::TextTable table({"Shards", "Serial ev/s", "Parallel ev/s", "Speedup",
-                        "Backpressure", "Identical"});
+  std::printf("timings are the median of %zu runs per configuration\n\n",
+              kReps);
+  exp::TextTable table({"Shards", "Threads", "Serial ev/s", "Parallel ev/s",
+                        "Speedup", "Backpressure", "Identical"});
   for (const std::size_t shards : {1, 2, 4, 8}) {
-    const IngestRun serial = run_serial(schema, shards, payloads);
-    const IngestRun parallel = run_parallel(schema, shards, shards, payloads);
+    const IngestRun serial = median_run(
+        [&] { return run_serial(schema, shards, payloads); });
+    const IngestRun parallel = median_run(
+        [&] { return run_parallel(schema, shards, shards, payloads); });
     const std::string fp_serial = fingerprint(*serial.cluster);
     const std::string fp_parallel = fingerprint(*parallel.cluster);
     const bool same = fp_serial == fp_parallel && !fp_serial.empty();
@@ -230,8 +265,10 @@ int main(int argc, char** argv) {
     r.parallel_eps = static_cast<double>(events) / parallel.seconds;
     r.speedup = r.parallel_eps / r.serial_eps;
     r.backpressure_waits = parallel.backpressure_waits;
+    r.threads_used = parallel.threads_used;
     shard_results.push_back(r);
-    table.add_row({std::to_string(shards), exp::cell_f(r.serial_eps, 0),
+    table.add_row({std::to_string(shards), std::to_string(r.threads_used),
+                   exp::cell_f(r.serial_eps, 0),
                    exp::cell_f(r.parallel_eps, 0), exp::cell_f(r.speedup, 2),
                    exp::cell_u(r.backpressure_waits), same ? "yes" : "NO"});
   }
@@ -328,11 +365,14 @@ int main(int argc, char** argv) {
     w.member("payload_bytes_per_event", bytes_per_event);
     w.member("hardware_threads",
              static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+    w.member("runs_per_config", static_cast<std::uint64_t>(kReps));
+    w.member("timing", "median");
     w.key("shard_counts");
     w.begin_array();
     for (const ShardResult& r : shard_results) {
       w.begin_object();
       w.member("shards", static_cast<std::uint64_t>(r.shards));
+      w.member("threads_used", static_cast<std::uint64_t>(r.threads_used));
       w.member("serial_events_per_sec", r.serial_eps);
       w.member("parallel_events_per_sec", r.parallel_eps);
       w.member("speedup", r.speedup);

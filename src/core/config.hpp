@@ -113,6 +113,18 @@ struct ConnectorConfig {
   /// Traces ride the existing messages — there is no extra traffic, and
   /// with 0 the wire bytes are identical to a build without tracing.
   std::uint64_t trace_sample_n = 64;
+  /// Storage-side durability tier (env DARSHAN_LDMS_STORE_MODE):
+  /// "memory" (paper behaviour, nothing survives the process), "wal"
+  /// (every group commit durable), or "tiered" (WAL + sealed segments +
+  /// compaction + retention).  Plain strings here — core does not link
+  /// the store; whoever mounts a store::Store translates them.
+  std::string store_mode = "memory";
+  /// Directory for WAL and segment files (env DARSHAN_LDMS_STORE_DIR;
+  /// required when store_mode != "memory").
+  std::string store_dir;
+  /// Segment retention in seconds, 0 = keep forever
+  /// (env DARSHAN_LDMS_RETENTION).
+  std::uint64_t store_retention_s = 0;
   /// When false the connector observes events but never publishes
   /// (darshan-only baseline shares the same code path shape).
   bool publish = true;

@@ -25,6 +25,12 @@
 //                            published event carries an end-to-end trace
 //                            (0 = tracing off, 1 = every event;
 //                            default 64)
+//   DARSHAN_LDMS_STORE_MODE  memory | wal | tiered (storage-side
+//                            durability; default memory)
+//   DARSHAN_LDMS_STORE_DIR   WAL/segment directory (non-empty; required
+//                            by the store when mode != memory)
+//   DARSHAN_LDMS_RETENTION   segment retention, seconds (0 = keep
+//                            forever; tiered mode only)
 //
 // Unparsable values (negative, overflowing, trailing garbage, out of
 // range) never take effect: the default is kept, the rejection is

@@ -63,6 +63,13 @@ class DsosCluster {
   /// executor guarantees one writer per shard, so no locking here.
   void insert_at(std::size_t shard, Object obj);
 
+  /// Durability barrier on one shard's container (Container::commit):
+  /// true when everything inserted there is durable.  False with no
+  /// persistence sink attached.
+  bool commit_shard(std::size_t shard) {
+    return shards_[shard]->container().commit();
+  }
+
   std::size_t total_objects() const;
 
   /// Parallel query across shards, k-way merged into global index order.

@@ -41,8 +41,11 @@ Container::Container(Container&& other) noexcept
       schemas_(std::move(other.schemas_)),
       key_arena_(std::move(other.key_arena_)),
       zone_maps_(other.zone_maps_),
+      sink_(other.sink_),
       last_scanned_(other.last_scanned_),
-      zone_pruned_(other.zone_pruned_) {}
+      zone_pruned_(other.zone_pruned_) {
+  other.sink_ = nullptr;
+}
 
 Container& Container::operator=(Container&& other) noexcept {
   if (this == &other) return *this;
@@ -50,9 +53,20 @@ Container& Container::operator=(Container&& other) noexcept {
   schemas_ = std::move(other.schemas_);
   key_arena_ = std::move(other.key_arena_);
   zone_maps_ = other.zone_maps_;
+  sink_ = other.sink_;
+  other.sink_ = nullptr;
   last_scanned_ = other.last_scanned_;
   zone_pruned_ = other.zone_pruned_;
   return *this;
+}
+
+void Container::set_commit_sink(CommitSink* sink) {
+  if (sink != nullptr && sink_ != nullptr && sink_ != sink) {
+    throw std::logic_error(
+        "dsos: container already has a commit sink attached "
+        "(double store open? close the first store before opening another)");
+  }
+  sink_ = sink;
 }
 
 void Container::register_schema(SchemaPtr schema) {
@@ -110,6 +124,7 @@ std::size_t Container::insert(Object obj) {
       if (compare_values(v, z.max) > 0) z.max = v;
     }
   }
+  if (sink_ != nullptr) sink_->on_insert(stored);
   return slot;
 }
 

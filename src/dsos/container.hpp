@@ -48,6 +48,21 @@ struct QueryHit {
   const Object* object;  // borrowed from the container
 };
 
+/// Persistence hook mounted *under* the container API: a sink observes
+/// every insert and owns the durability of commit().  dsos knows only
+/// this interface — the store subsystem implements it, so ingest and
+/// query call sites never change when durability is switched on.
+class CommitSink {
+ public:
+  virtual ~CommitSink() = default;
+  /// Called after `obj` is stored and indexed (same thread as insert();
+  /// the single-writer-per-shard contract extends to the sink).
+  virtual void on_insert(const Object& obj) = 0;
+  /// Flushes buffered rows; true when everything inserted so far is
+  /// durable on return.
+  virtual bool on_commit() = 0;
+};
+
 class Container {
  public:
   Container() = default;
@@ -122,6 +137,18 @@ class Container {
   /// Arena backing the encoded index keys (diagnostics).
   const Arena& key_arena() const { return key_arena_; }
 
+  /// Attaches (or, with nullptr, detaches) the persistence sink.
+  /// Replacing a live sink with a different one throws — two stores
+  /// attached to one container would each claim the same rows, so the
+  /// first must be close()d before the second opens.
+  void set_commit_sink(CommitSink* sink);
+  CommitSink* commit_sink() const { return sink_; }
+
+  /// Durability barrier, forwarded to the sink.  True when the sink
+  /// reports all rows durable; false when no sink is attached (memory
+  /// mode: nothing is ever durable) or the flush failed.
+  bool commit() { return sink_ != nullptr && sink_->on_commit(); }
+
  private:
   /// Min/max of one indexed attribute over all inserted objects.
   struct Zone {
@@ -151,6 +178,7 @@ class Container {
   std::map<std::string, SchemaState, std::less<>> schemas_;
   Arena key_arena_;
   bool zone_maps_ = true;
+  CommitSink* sink_ = nullptr;  // borrowed; single-writer, like objects_
   mutable util::Mutex stats_m_{"ContainerStats"};
   mutable std::uint64_t last_scanned_ DLC_GUARDED_BY(stats_m_) = 0;
   mutable std::uint64_t zone_pruned_ DLC_GUARDED_BY(stats_m_) = 0;

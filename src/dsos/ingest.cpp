@@ -151,10 +151,18 @@ void IngestExecutor::flush_shard(std::size_t shard) {
 
 void IngestExecutor::drain() {
   for (std::size_t s = 0; s < pending_.size(); ++s) flush_shard(s);
-  util::UniqueLock lock(done_m_);
-  done_cv_.wait(lock, [&]() DLC_REQUIRES(done_m_) {
-    return inserted_ == submitted_.load(std::memory_order_relaxed);
-  });
+  {
+    util::UniqueLock lock(done_m_);
+    done_cv_.wait(lock, [&]() DLC_REQUIRES(done_m_) {
+      return inserted_ == submitted_.load(std::memory_order_relaxed);
+    });
+  }
+  // Durability barrier: group-commit every shard so a drained executor
+  // means "acknowledged durable", not just "indexed".  A no-op (false)
+  // when no persistence sink is attached — memory mode stays free.
+  for (std::size_t s = 0; s < cluster_.shard_count(); ++s) {
+    cluster_.commit_shard(s);
+  }
 }
 
 void IngestExecutor::worker_loop(std::size_t w) {
@@ -182,6 +190,12 @@ void IngestExecutor::worker_loop(std::size_t w) {
           cluster_.insert_at(s, std::move(obj));
           ++done;
         }
+        const std::uint64_t t_inserted = real_now_ns();
+        // Per-batch durability barrier: with a store attached this is
+        // the WAL group commit for everything inserted above; without
+        // one it is a no-op returning false.
+        const bool durable = cluster_.commit_shard(s);
+        const std::uint64_t t_durable = durable ? real_now_ns() : 0;
         if (obs::enabled()) {
           ingest_obs().commit_ns.record(static_cast<std::uint64_t>(
               std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -193,11 +207,15 @@ void IngestExecutor::worker_loop(std::size_t w) {
             // Workers run off the virtual timeline: the commit stamp is
             // the enqueue hop plus real elapsed time since submission.
             obs::TraceContext finished = trace;
-            const std::uint64_t elapsed =
-                real_now_ns() - finished.real_anchor_ns;
+            const std::int64_t enq = finished.hop(obs::Hop::kIngestEnqueued);
             finished.stamp(obs::Hop::kCommitted,
-                           finished.hop(obs::Hop::kIngestEnqueued) +
-                               static_cast<std::int64_t>(elapsed));
+                           enq + static_cast<std::int64_t>(
+                                     t_inserted - finished.real_anchor_ns));
+            if (durable) {
+              finished.committed_durable =
+                  enq + static_cast<std::int64_t>(t_durable -
+                                                  finished.real_anchor_ns);
+            }
             collector_->complete(finished);
           }
         }

@@ -6,6 +6,9 @@ std::vector<relia::FaultEvent> apply_fault_plan(const relia::FaultPlan& plan,
                                                 const DaemonResolver& resolve) {
   std::vector<relia::FaultEvent> unresolved;
   for (const relia::FaultEvent& e : plan.events) {
+    // Storage-layer faults name crash points, not daemons; they are
+    // consumed by store::FaultInjector::arm_from_plan, not here.
+    if (e.kind == relia::FaultKind::kStoreCrash) continue;
     LdmsDaemon* daemon = resolve(e.daemon);
     if (!daemon) {
       unresolved.push_back(e);
@@ -24,6 +27,8 @@ std::vector<relia::FaultEvent> apply_fault_plan(const relia::FaultPlan& plan,
       case relia::FaultKind::kRestart:
         daemon->restart_at(e.at);
         break;
+      case relia::FaultKind::kStoreCrash:
+        break;  // unreachable: filtered above
     }
   }
   return unresolved;

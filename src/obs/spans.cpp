@@ -10,6 +10,7 @@ TraceCollector::TraceCollector(Registry& registry, std::size_t worst_n)
     : completed_metric_(registry.counter("dlc.trace.completed")),
       incomplete_metric_(registry.counter("dlc.trace.incomplete")),
       e2e_(registry.histogram("dlc.trace.e2e_ns")),
+      durable_ns_(registry.histogram("dlc.trace.committed_durable_ns")),
       worst_n_(worst_n == 0 ? 1 : worst_n) {
   hop_ns_.reserve(kHopCount);
   hop_ns_.push_back(nullptr);  // kIntercepted has no predecessor
@@ -32,6 +33,10 @@ void TraceCollector::complete(const TraceContext& t) {
   for (std::size_t h = 1; h < kHopCount; ++h) {
     const std::int64_t delta = t.hops[h] - t.hops[h - 1];
     hop_ns_[h]->record(static_cast<std::uint64_t>(delta));
+  }
+  if (t.committed_durable != kHopUnset) {
+    const std::int64_t d = t.committed_durable - t.hop(Hop::kCommitted);
+    if (d >= 0) durable_ns_.record(static_cast<std::uint64_t>(d));
   }
 
   util::LockGuard lock(m_);
@@ -58,6 +63,11 @@ std::string TraceCollector::spans_json() const {
     w.begin_object();
     w.member("id", t.id);
     w.member("e2e_ns", t.e2e_ns());
+    // -1 = no durable store attached when this trace completed.
+    w.member("committed_durable_ns",
+             t.committed_durable == kHopUnset
+                 ? std::int64_t{-1}
+                 : t.committed_durable - t.hop(Hop::kCommitted));
     w.key("hops");
     w.begin_array();
     for (std::size_t h = 0; h < kHopCount; ++h) {

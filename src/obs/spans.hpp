@@ -51,6 +51,9 @@ class TraceCollector {
   Counter& completed_metric_;
   Counter& incomplete_metric_;
   LogHistogram& e2e_;
+  /// commit -> durable-ack latency; only fed when a store stamped
+  /// committed_durable (memory mode records nothing).
+  LogHistogram& durable_ns_;
   std::vector<LogHistogram*> hop_ns_;  // per transition, index = to-hop
 
   std::atomic<std::uint64_t> completed_count_{0};

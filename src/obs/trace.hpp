@@ -66,6 +66,11 @@ struct TraceContext {
   /// kIngestEnqueued + real elapsed, because worker threads run off the
   /// virtual timeline.  Not serialized.
   std::uint64_t real_anchor_ns = 0;
+  /// When the durable store acknowledged the group commit covering this
+  /// row (same clock construction as kCommitted).  Deliberately NOT a
+  /// ninth hop: kHopCount is wire format and durability is optional —
+  /// kHopUnset means "memory mode / store off".  Not serialized.
+  std::int64_t committed_durable = kHopUnset;
 
   bool sampled() const { return id != 0; }
 

@@ -110,6 +110,10 @@ FaultPlan parse_fault_plan(std::string_view text) {
                parse_sim_duration(t[3], at)) {
       e.kind = FaultKind::kRestart;
       e.daemon = std::string(t[1]);
+    } else if (t[0] == "storecrash" && t.size() == 4 && t[2] == "after" &&
+               parse_u64(t[3], e.count) && e.count > 0) {
+      e.kind = FaultKind::kStoreCrash;
+      e.daemon = std::string(t[1]);
     } else {
       bad();
       continue;
@@ -130,6 +134,8 @@ std::string_view fault_kind_name(FaultKind k) {
       return "overflow";
     case FaultKind::kRestart:
       return "restart";
+    case FaultKind::kStoreCrash:
+      return "storecrash";
   }
   return "?";
 }
@@ -137,6 +143,10 @@ std::string_view fault_kind_name(FaultKind k) {
 std::string to_string(const FaultEvent& e) {
   std::string out(fault_kind_name(e.kind));
   out += " " + e.daemon;
+  if (e.kind == FaultKind::kStoreCrash) {
+    // Occurrence-counted, not timed: no `at` clause.
+    return out + " after " + std::to_string(e.count);
+  }
   if (e.kind == FaultKind::kPartition) out += " -> " + e.upstream;
   out += " at " + format_duration(e.at);
   switch (e.kind) {
@@ -148,6 +158,7 @@ std::string to_string(const FaultEvent& e) {
       out += " count " + std::to_string(e.count);
       break;
     case FaultKind::kRestart:
+    case FaultKind::kStoreCrash:
       break;
   }
   return out;

@@ -9,6 +9,7 @@
 //   partition <from> -> <to> at <time> for <duration>
 //   overflow <daemon> at <time> count <n>
 //   restart <daemon> at <time>
+//   storecrash <point> after <n>
 //
 // `crash` opens a daemon-wide outage window (every route of <daemon>
 // refuses new arrivals); `partition` scopes the window to the one route
@@ -16,6 +17,12 @@
 // be rejected as if the queue were full (burst-loss injection without
 // reconfiguring capacities); `restart` truncates any outage window in
 // progress at <time> (an operator bouncing the daemon early).
+// `storecrash` targets the durable store instead of a daemon: it kills
+// the "process" at the <n>-th occurrence of the named store operation
+// (commit | seal | compact | compact_swap), leaving a torn write behind
+// — consumed by store::FaultInjector, not by the transport.  It is
+// occurrence-counted, not timed: the store runs on real threads off the
+// virtual timeline.
 //
 // Parsing is pure data — applying a plan to live daemons lives in
 // ldms/fault_inject.hpp so this header stays free of transport types.
@@ -35,19 +42,23 @@ enum class FaultKind : std::uint8_t {
   kPartition = 1,
   kOverflow = 2,
   kRestart = 3,
+  kStoreCrash = 4,
 };
 
 std::string_view fault_kind_name(FaultKind k);
 
 struct FaultEvent {
   FaultKind kind = FaultKind::kCrash;
-  /// The daemon the fault applies to (the *from* side for partitions).
+  /// The daemon the fault applies to (the *from* side for partitions;
+  /// the crash-point name — commit/seal/compact/compact_swap — for
+  /// storecrash).
   std::string daemon;
   /// Partition target (empty otherwise).
   std::string upstream;
   SimTime at = 0;
   SimDuration duration = 0;
-  /// Forced enqueue rejections (overflow only).
+  /// Forced enqueue rejections (overflow) or the 1-based occurrence the
+  /// store crash fires at (storecrash).
   std::uint64_t count = 0;
 };
 

@@ -1,16 +1,14 @@
 #include "relia/spool.hpp"
 
-#include <cstring>
-
 #include "wire/varint.hpp"
 
 namespace dlc::relia {
 
 namespace {
 
-/// Serializes one message as a length-prefixed record (fixed 8-byte LE
-/// length so the reader never has to parse a varint across a stream
-/// boundary, then varint/zigzag fields via the wire primitives).
+/// Serializes one message body (varint/zigzag fields via the wire
+/// primitives); FileSegment adds the fixed 8-byte LE length prefix, so
+/// the on-disk record format is unchanged from the pre-fileseg spool.
 std::string encode_record(const ldms::StreamMessage& msg) {
   std::string body;
   wire::put_string(body, msg.tag);
@@ -21,14 +19,7 @@ std::string encode_record(const ldms::StreamMessage& msg) {
   wire::put_zigzag(body, msg.publish_time);
   wire::put_zigzag(body, msg.deliver_time);
   wire::put_varint(body, static_cast<std::uint64_t>(msg.hops));
-
-  std::string record;
-  const std::uint64_t n = body.size();
-  char len[8];
-  std::memcpy(len, &n, sizeof(len));
-  record.append(len, sizeof(len));
-  record += body;
-  return record;
+  return body;
 }
 
 bool decode_record(std::string_view body, ldms::StreamMessage& out) {
@@ -80,55 +71,36 @@ void MessageSpool::evict_oldest() {
 }
 
 bool MessageSpool::spill_to_file(const ldms::StreamMessage& msg) {
-  if (!file_open_) {
-    // Create-or-truncate, then reopen read/write: the segment belongs to
-    // this spool instance alone.
-    std::ofstream(config_.file_path, std::ios::binary | std::ios::trunc);
-    file_.open(config_.file_path,
-               std::ios::binary | std::ios::in | std::ios::out);
-    if (!file_.is_open()) return false;
-    file_open_ = true;
+  if (!file_.is_open()) {
+    // Truncate on first open: the segment belongs to this spool instance
+    // alone (the durable store's WAL is the recover-on-open user).
+    if (!file_.open(config_.file_path, FileSegment::OpenMode::kTruncate)) {
+      return false;
+    }
     file_msgs_ = 0;
-    file_bytes_ = 0;
-    read_pos_ = 0;
   }
   const std::string record = encode_record(msg);
+  const std::size_t framed = record.size() + 8;  // LE length prefix
   if (config_.file_max_bytes > 0 &&
-      record.size() > config_.file_max_bytes - file_bytes_) {
+      framed > config_.file_max_bytes - file_.bytes()) {
     return false;
   }
-  file_.clear();
-  file_.seekp(0, std::ios::end);
-  file_.write(record.data(), static_cast<std::streamsize>(record.size()));
-  if (!file_.good()) return false;
-  file_bytes_ += record.size();
+  if (!file_.append(record)) return false;
   ++file_msgs_;
   return true;
 }
 
 std::optional<ldms::StreamMessage> MessageSpool::read_from_file() {
-  file_.clear();
-  file_.seekg(read_pos_);
-  char len[8];
-  if (!file_.read(len, sizeof(len))) return std::nullopt;
-  std::uint64_t n = 0;
-  std::memcpy(&n, len, sizeof(len));
-  std::string body(static_cast<std::size_t>(n), '\0');
-  if (!file_.read(body.data(), static_cast<std::streamsize>(n))) {
+  std::string body;
+  if (file_.read_next(body) != FileSegment::ReadStatus::kOk) {
     return std::nullopt;
   }
   ldms::StreamMessage msg;
   if (!decode_record(body, msg)) return std::nullopt;
-  read_pos_ = file_.tellg();
   --file_msgs_;
   if (file_msgs_ == 0) {
     // Fully drained: recycle the segment so it never grows unbounded.
-    file_.close();
-    std::ofstream(config_.file_path, std::ios::binary | std::ios::trunc);
-    file_.open(config_.file_path,
-               std::ios::binary | std::ios::in | std::ios::out);
-    file_bytes_ = 0;
-    read_pos_ = 0;
+    file_.recycle();
   }
   return msg;
 }
@@ -156,14 +128,7 @@ void MessageSpool::clear() {
   ring_.clear();
   ring_bytes_ = 0;
   file_msgs_ = 0;
-  if (file_open_) {
-    file_.close();
-    std::ofstream(config_.file_path, std::ios::binary | std::ios::trunc);
-    file_.open(config_.file_path,
-               std::ios::binary | std::ios::in | std::ios::out);
-    file_bytes_ = 0;
-    read_pos_ = 0;
-  }
+  if (file_.is_open()) file_.recycle();
 }
 
 }  // namespace dlc::relia

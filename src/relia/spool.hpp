@@ -15,11 +15,11 @@
 
 #include <cstdint>
 #include <deque>
-#include <fstream>
 #include <optional>
 #include <string>
 
 #include "ldms/message.hpp"
+#include "relia/fileseg.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace dlc::relia {
@@ -102,13 +102,10 @@ class MessageSpool {
   std::deque<ldms::StreamMessage> ring_ DLC_GUARDED_BY(m_);
   std::size_t ring_bytes_ DLC_GUARDED_BY(m_) = 0;
 
-  /// Lazily-opened spill segment: appended at end, read from read_pos_,
-  /// truncated once fully drained.
-  std::fstream file_ DLC_GUARDED_BY(m_);
-  bool file_open_ DLC_GUARDED_BY(m_) = false;
+  /// Lazily-opened spill segment (relia/fileseg.hpp): appended at the
+  /// end, read sequentially, recycled once fully drained.
+  FileSegment file_ DLC_GUARDED_BY(m_);
   std::size_t file_msgs_ DLC_GUARDED_BY(m_) = 0;
-  std::size_t file_bytes_ DLC_GUARDED_BY(m_) = 0;
-  std::streamoff read_pos_ DLC_GUARDED_BY(m_) = 0;
 
   std::uint64_t appended_ DLC_GUARDED_BY(m_) = 0;
   std::uint64_t evicted_ DLC_GUARDED_BY(m_) = 0;

@@ -1,0 +1,56 @@
+#include "store/format.hpp"
+
+#include <cstdio>
+#include <string>
+
+namespace dlc::store {
+
+std::string wal_file_name(std::size_t shard) {
+  return "wal-" + std::to_string(shard) + ".log";
+}
+
+std::string segment_file_name(std::size_t shard, std::uint64_t id) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "seg-%zu-%08llu.seg", shard,
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+std::string_view store_mode_name(StoreMode m) {
+  switch (m) {
+    case StoreMode::kMemory:
+      return "memory";
+    case StoreMode::kWal:
+      return "wal";
+    case StoreMode::kTiered:
+      return "tiered";
+  }
+  return "?";
+}
+
+bool store_mode_from_name(std::string_view name, StoreMode& out) {
+  if (name == "memory") {
+    out = StoreMode::kMemory;
+  } else if (name == "wal") {
+    out = StoreMode::kWal;
+  } else if (name == "tiered") {
+    out = StoreMode::kTiered;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const std::array<std::string_view, kWalDataFrameFieldCount>
+    kWalDataFrameFields = {
+        "type", "crc", "first_seq", "count", "block",
+};
+
+const std::array<std::string_view, kSegmentHeaderFieldCount>
+    kSegmentHeaderFields = {
+        "version",  "segment_id", "shard",          "first_seq",
+        "last_seq", "row_count",  "min_time",       "max_time",
+        "created_unix_s", "replaces", "schemas", "zones",
+};
+
+}  // namespace dlc::store

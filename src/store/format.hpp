@@ -1,0 +1,62 @@
+// On-disk format constants and canonical field lists for the durable
+// store.
+//
+// Two file kinds live in the store directory (DARSHAN_LDMS_STORE_DIR):
+//
+//   wal-<shard>.log   append-only write-ahead log, FileSegment-framed
+//                     records (8-byte LE length + body); each body is a
+//                     WAL frame: type byte, CRC-32, payload.  Data
+//                     frames carry one group commit; schema frames carry
+//                     a schema dictionary entry.
+//   seg-<shard>-<id>.seg
+//                     immutable sealed segment: magic, CRC'd header
+//                     (metadata + schema defs + zone maps), CRC'd data
+//                     block (wire/objblock encoding).
+//
+// The canonical field lists here are the single source of truth for the
+// frame/header shape; tools/lint_schema_parity.py diffs them against the
+// `walframe:` / `seghdr:` tags on the writer and reader in wal.cpp /
+// segment.cpp, so the durable format cannot drift from its
+// encode/decode sites silently.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace dlc::store {
+
+/// Sealed-segment file magic + version (bumped on layout change; readers
+/// quarantine unknown versions instead of guessing).
+inline constexpr std::string_view kSegmentMagic = "DSG1";
+inline constexpr std::uint8_t kSegmentVersion = 1;
+
+/// WAL frame types.
+inline constexpr std::uint8_t kWalFrameData = 0;
+inline constexpr std::uint8_t kWalFrameSchema = 1;
+
+/// Store directory entries.
+std::string wal_file_name(std::size_t shard);
+std::string segment_file_name(std::size_t shard, std::uint64_t id);
+
+/// Durability tier selected by DARSHAN_LDMS_STORE_MODE.
+enum class StoreMode : std::uint8_t {
+  kMemory = 0,  // paper behaviour: nothing survives the process
+  kWal = 1,     // WAL only: every commit durable, no sealing
+  kTiered = 2,  // WAL + sealed segments + compaction + retention
+};
+
+std::string_view store_mode_name(StoreMode m);
+bool store_mode_from_name(std::string_view name, StoreMode& out);
+
+/// Canonical WAL data-frame field order (see wal.cpp `walframe:` tags).
+inline constexpr std::size_t kWalDataFrameFieldCount = 5;
+extern const std::array<std::string_view, kWalDataFrameFieldCount>
+    kWalDataFrameFields;
+
+/// Canonical segment header field order (see segment.cpp `seghdr:` tags).
+inline constexpr std::size_t kSegmentHeaderFieldCount = 12;
+extern const std::array<std::string_view, kSegmentHeaderFieldCount>
+    kSegmentHeaderFields;
+
+}  // namespace dlc::store

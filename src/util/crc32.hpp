@@ -1,0 +1,47 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over byte ranges.
+//
+// The durable store frames every WAL group and segment block with a
+// CRC-32 so recovery can tell a torn tail or a bit-flipped block from
+// valid data.  Table-driven, byte-at-a-time: the store writes are
+// file-bound, not CPU-bound, so the simple form wins on clarity.  The
+// table is built at compile time — no init-order dependencies for code
+// that runs during static construction.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace dlc::util {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
+    make_crc32_table();
+
+}  // namespace detail
+
+/// CRC of `data`, continuing from `seed` (pass a previous result to
+/// checksum discontiguous ranges as one stream; 0 starts fresh).
+inline std::uint32_t crc32(std::string_view data, std::uint32_t seed = 0) {
+  std::uint32_t c = seed ^ 0xffffffffu;
+  for (const char ch : data) {
+    c = detail::kCrc32Table[(c ^ static_cast<std::uint8_t>(ch)) & 0xffu] ^
+        (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace dlc::util

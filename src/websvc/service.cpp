@@ -271,6 +271,7 @@ Response DashboardService::handle(const std::string& path_and_query) const {
     if (path == "/api/csv") return api_csv(params);
     if (path == "/metrics") return api_metrics();
     if (path == "/api/obs/spans") return api_obs_spans();
+    if (path == "/api/store") return api_store();
   } catch (const std::exception& e) {
     return Response{500, "application/json", error_body(e.what())};
   }
@@ -287,6 +288,13 @@ Response DashboardService::api_obs_spans() const {
     return Response{200, "application/json", "{\"spans\":[]}"};
   }
   return Response{200, "application/json", collector_->spans_json()};
+}
+
+Response DashboardService::api_store() const {
+  if (store_ == nullptr) {
+    return not_found("no durable store attached (memory mode)");
+  }
+  return Response{200, "application/json", store_->status_json()};
 }
 
 Response DashboardService::api_health() const {

@@ -19,6 +19,9 @@
 //   /metrics                            -> Prometheus text exposition of
 //                                          the obs registry (self-telemetry)
 //   /api/obs/spans                      -> slow-span exemplar ring (JSON)
+//   /api/store                          -> durable-store status (WAL and
+//                                          segment state per shard; 404
+//                                          when no store is attached)
 #pragma once
 
 #include <cstdint>
@@ -31,6 +34,7 @@
 #include "dsos/cluster.hpp"
 #include "obs/registry.hpp"
 #include "obs/spans.hpp"
+#include "store/store.hpp"
 
 namespace dlc::websvc {
 
@@ -74,6 +78,10 @@ class DashboardService {
     collector_ = collector;
   }
 
+  /// Durable store behind /api/store; nullptr (the default) makes the
+  /// route answer 404 (memory-mode deployment).
+  void set_store(const store::Store* store) { store_ = store; }
+
  private:
   Response api_health() const;
   Response api_schemas() const;
@@ -83,11 +91,13 @@ class DashboardService {
   Response api_csv(const Params& params) const;
   Response api_metrics() const;
   Response api_obs_spans() const;
+  Response api_store() const;
 
   std::shared_ptr<dsos::DsosCluster> db_;
   std::map<std::string, AnalysisModule> modules_;
   const obs::Registry* registry_ = &obs::Registry::global();
   const obs::TraceCollector* collector_ = nullptr;
+  const store::Store* store_ = nullptr;
   mutable std::uint64_t requests_ = 0;
 };
 

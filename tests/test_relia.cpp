@@ -12,6 +12,7 @@
 #include "ldms/fault_inject.hpp"
 #include "relia/delivery.hpp"
 #include "relia/fault.hpp"
+#include "relia/fileseg.hpp"
 #include "relia/reconnect.hpp"
 #include "relia/seq.hpp"
 #include "relia/spool.hpp"
@@ -187,6 +188,110 @@ TEST(MessageSpool, ClearCountsRetainedAsEvicted) {
   EXPECT_EQ(spool.evicted(), 2u);
 }
 
+// ------------------------------------------------------ file segment ----
+
+TEST(FileSegment, AppendReadRoundTripAndCleanEof) {
+  const std::string path = ::testing::TempDir() + "relia_fileseg_rt.bin";
+  std::remove(path.c_str());
+  relia::FileSegment seg;
+  ASSERT_TRUE(seg.open(path, relia::FileSegment::OpenMode::kTruncate));
+  ASSERT_TRUE(seg.append("alpha"));
+  ASSERT_TRUE(seg.append(""));  // zero-length bodies are legal frames
+  ASSERT_TRUE(seg.append("gamma"));
+  ASSERT_TRUE(seg.flush());
+
+  std::string body;
+  EXPECT_EQ(seg.read_next(body), relia::FileSegment::ReadStatus::kOk);
+  EXPECT_EQ(body, "alpha");
+  EXPECT_EQ(seg.read_next(body), relia::FileSegment::ReadStatus::kOk);
+  EXPECT_EQ(body, "");
+  EXPECT_EQ(seg.read_next(body), relia::FileSegment::ReadStatus::kOk);
+  EXPECT_EQ(body, "gamma");
+  EXPECT_EQ(seg.read_next(body), relia::FileSegment::ReadStatus::kEof);
+  // rewind replays from the start.
+  seg.rewind();
+  EXPECT_EQ(seg.read_next(body), relia::FileSegment::ReadStatus::kOk);
+  EXPECT_EQ(body, "alpha");
+  seg.close();
+  std::remove(path.c_str());
+}
+
+TEST(FileSegment, PartialAppendLeavesDetectableTornTail) {
+  const std::string path = ::testing::TempDir() + "relia_fileseg_torn.bin";
+  std::remove(path.c_str());
+  relia::FileSegment seg;
+  ASSERT_TRUE(seg.open(path, relia::FileSegment::OpenMode::kTruncate));
+  ASSERT_TRUE(seg.append("good-record"));
+  // Process dies 12 bytes into the next frame (8-byte prefix + 4 bytes
+  // of body).  True = the partial write itself hit the disk.
+  EXPECT_TRUE(seg.append_partial("torn-record", 12));
+  seg.flush();
+
+  std::string body;
+  seg.rewind();
+  EXPECT_EQ(seg.read_next(body), relia::FileSegment::ReadStatus::kOk);
+  EXPECT_EQ(body, "good-record");
+  const std::streamoff good_end = seg.read_pos();
+  EXPECT_EQ(seg.read_next(body), relia::FileSegment::ReadStatus::kTorn);
+
+  // Quarantine: truncate at the end of the last good record; the
+  // segment then reads clean and accepts appends again.
+  ASSERT_TRUE(seg.truncate_to(good_end));
+  EXPECT_EQ(seg.bytes(), static_cast<std::size_t>(good_end));
+  ASSERT_TRUE(seg.append("after-recovery"));
+  ASSERT_TRUE(seg.flush());
+  seg.rewind();
+  EXPECT_EQ(seg.read_next(body), relia::FileSegment::ReadStatus::kOk);
+  EXPECT_EQ(seg.read_next(body), relia::FileSegment::ReadStatus::kOk);
+  EXPECT_EQ(body, "after-recovery");
+  EXPECT_EQ(seg.read_next(body), relia::FileSegment::ReadStatus::kEof);
+  seg.close();
+  std::remove(path.c_str());
+}
+
+TEST(FileSegment, KeepModePreservesBytesAcrossReopen) {
+  const std::string path = ::testing::TempDir() + "relia_fileseg_keep.bin";
+  std::remove(path.c_str());
+  {
+    relia::FileSegment seg;
+    ASSERT_TRUE(seg.open(path, relia::FileSegment::OpenMode::kTruncate));
+    ASSERT_TRUE(seg.append("persisted"));
+    ASSERT_TRUE(seg.flush());
+  }
+  relia::FileSegment seg;
+  ASSERT_TRUE(seg.open(path, relia::FileSegment::OpenMode::kKeep));
+  std::string body;
+  EXPECT_EQ(seg.read_next(body), relia::FileSegment::ReadStatus::kOk);
+  EXPECT_EQ(body, "persisted");
+  // Appends land after the preserved bytes, not over them.
+  ASSERT_TRUE(seg.append("appended"));
+  ASSERT_TRUE(seg.flush());
+  EXPECT_EQ(seg.read_next(body), relia::FileSegment::ReadStatus::kOk);
+  EXPECT_EQ(body, "appended");
+  seg.close();
+  std::remove(path.c_str());
+}
+
+TEST(FileSegment, RecycleEmptiesAndResetsCursors) {
+  const std::string path = ::testing::TempDir() + "relia_fileseg_rec.bin";
+  std::remove(path.c_str());
+  relia::FileSegment seg;
+  ASSERT_TRUE(seg.open(path, relia::FileSegment::OpenMode::kTruncate));
+  ASSERT_TRUE(seg.append("sealed-away"));
+  ASSERT_TRUE(seg.flush());
+  ASSERT_TRUE(seg.recycle());
+  EXPECT_EQ(seg.bytes(), 0u);
+  std::string body;
+  EXPECT_EQ(seg.read_next(body), relia::FileSegment::ReadStatus::kEof);
+  // A recycled segment starts a fresh run.
+  ASSERT_TRUE(seg.append("next-run"));
+  ASSERT_TRUE(seg.flush());
+  EXPECT_EQ(seg.read_next(body), relia::FileSegment::ReadStatus::kOk);
+  EXPECT_EQ(body, "next-run");
+  seg.close();
+  std::remove(path.c_str());
+}
+
 // -------------------------------------------------- reconnect policy ----
 
 TEST(Backoff, GrowsGeometricallyAndCaps) {
@@ -312,6 +417,26 @@ TEST(FaultPlan, EventsRoundTripThroughToString) {
     EXPECT_EQ(replay.events[i].duration, plan.events[i].duration);
     EXPECT_EQ(replay.events[i].count, plan.events[i].count);
   }
+}
+
+TEST(FaultPlan, StorecrashDirectiveIsOccurrenceCounted) {
+  const auto plan = relia::parse_fault_plan(
+      "storecrash commit after 3\n"
+      "storecrash compact_swap after 1\n");
+  ASSERT_TRUE(plan.ok()) << plan.errors.front();
+  ASSERT_EQ(plan.events.size(), 2u);
+  EXPECT_EQ(plan.events[0].kind, relia::FaultKind::kStoreCrash);
+  EXPECT_EQ(plan.events[0].daemon, "commit");  // crash-point name
+  EXPECT_EQ(plan.events[0].count, 3u);
+  EXPECT_EQ(plan.events[1].daemon, "compact_swap");
+  // Renders without an `at` clause and round-trips through the parser.
+  EXPECT_EQ(relia::to_string(plan.events[0]), "storecrash commit after 3");
+  const auto replay = relia::parse_fault_plan(relia::to_string(plan.events[1]));
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay.events[0].count, 1u);
+
+  // Occurrence 0 never fires: rejected at parse time, not silently armed.
+  EXPECT_FALSE(relia::parse_fault_plan("storecrash seal after 0\n").ok());
 }
 
 TEST(FaultPlan, MalformedLinesAreReportedWithLineNumbers) {

@@ -24,6 +24,14 @@ surfaces and is checked the same way:
   7. the Hop enum vs kHopNames (trace.hpp / trace.cpp): same count, same
      order, enum entries snake_cased must BE the names.
 
+A third canonical group — the durable store's on-disk formats — is
+checked the same way:
+
+  8. kWalDataFrameFields / kSegmentHeaderFields (store/format.cpp) vs the
+     `// walframe:` / `// seghdr:` tags on writer AND reader (store/wal.cpp,
+     store/segment.cpp), and the dsos::AttrType enum vs the `// objval:`
+     case tags on put_value AND get_value (wire/objblock.cpp).
+
 This lint extracts each surface with small, surface-specific grammars and
 diffs them against the canonical list: names, order (where the surface is
 order-bearing), and the N/A / -1 / 0 defaults that the DOM and fast JSON
@@ -438,6 +446,91 @@ def check_codec(repo, fields):
 
 
 # --------------------------------------------------------------------------
+# Surface 8: the durable store's on-disk formats (src/store, wire/objblock).
+#
+# Three canonical lists, three pairs of encode/decode sites:
+#   - kWalDataFrameFields (store/format.cpp) vs the `// walframe:<field>`
+#     tags on the WAL writer AND replayer (store/wal.cpp),
+#   - kSegmentHeaderFields (store/format.cpp) vs the `// seghdr:<field>`
+#     tags on the segment header encoder AND decoder (store/segment.cpp),
+#   - the dsos::AttrType enum (dsos/schema.hpp) vs the `// objval:<type>`
+#     case tags on put_value AND get_value (wire/objblock.cpp) — a type
+#     added to the schema layer cannot silently miss the at-rest codec.
+
+def tag_sequence(body, prefix, what):
+    tags = re.findall(r"//\s*" + prefix + r":(\S+)", body)
+    if not tags:
+        die_extract(f"no // {prefix}: tags found in {what}")
+    return tags
+
+
+def split_once(src, pat, what):
+    """Splits src at the first match of pat: (before, after)."""
+    m = re.search(pat, src)
+    if not m:
+        die_extract(f"cannot find {what} ({pat!r})")
+    return src[: m.start()], src[m.start():]
+
+
+def check_store(repo):
+    fmt = read(repo, "src/store/format.cpp")
+    hdr = read(repo, "src/store/format.hpp")
+
+    wal_fields = array_literal(fmt, r"kWalDataFrameFields", "kWalDataFrameFields")
+    seg_fields = array_literal(fmt, r"kSegmentHeaderFields", "kSegmentHeaderFields")
+    for name, fields in (("kWalDataFrameFieldCount", wal_fields),
+                         ("kSegmentHeaderFieldCount", seg_fields)):
+        m = re.search(name + r"\s*=\s*(\d+)", hdr)
+        if not m:
+            die_extract(f"cannot find {name} in format.hpp")
+        if int(m.group(1)) != len(fields):
+            diff_fail(f"{name} vs array size (format.hpp/.cpp)",
+                      [f"{name} = {len(fields)}"],
+                      [f"{name} = {m.group(1)}"])
+
+    # WAL: writer tags (everything before replay_wal) and replayer tags
+    # must each realize the canonical frame order.  The writer splits the
+    # frame across frame_body (type, crc) and append_group (payload), so
+    # tags are collected across the whole writer half.
+    wal_src = read(repo, "src/store/wal.cpp")
+    writer_half, replay_half = split_once(wal_src, r"bool replay_wal\(",
+                                          "replay_wal in wal.cpp")
+    check_eq("WAL writer frame fields (wal.cpp vs format.cpp)",
+             wal_fields, tag_sequence(writer_half, "walframe", "WAL writer"))
+    check_eq("WAL replay frame fields (wal.cpp vs format.cpp)",
+             wal_fields, tag_sequence(replay_half, "walframe", "replay_wal"))
+
+    # Segment header: the encode helper (feeding write_segment) and
+    # decode_header (feeding read_segment_meta) both carry ordered seghdr
+    # tags; decode_header's definition is the boundary between them.
+    seg_src = read(repo, "src/store/segment.cpp")
+    enc_half, dec_half = split_once(seg_src, r"bool decode_header\(",
+                                    "decode_header in segment.cpp")
+    check_eq("segment header encode fields (segment.cpp vs format.cpp)",
+             seg_fields, tag_sequence(enc_half, "seghdr", "header encoder"))
+    check_eq("segment header decode fields (segment.cpp vs format.cpp)",
+             seg_fields, tag_sequence(dec_half, "seghdr", "decode_header"))
+
+    # Object values: every AttrType enum entry must have a tagged case in
+    # BOTH put_value and get_value, in enum order.
+    schema_hdr = read(repo, "src/dsos/schema.hpp")
+    enum_block = strip_block(schema_hdr, r"enum class AttrType\b", r"\};",
+                             "enum class AttrType")
+    attr_types = [camel_to_snake(n) for n in
+                  re.findall(r"\bk([A-Z]\w*)\b", enum_block)]
+    if not attr_types:
+        die_extract("no AttrType enum entries found")
+    obj_src = read(repo, "src/wire/objblock.cpp")
+    put_half, get_half = split_once(obj_src, r"bool get_value\(",
+                                    "get_value in objblock.cpp")
+    check_eq("put_value AttrType cases (objblock.cpp vs schema.hpp)",
+             attr_types, tag_sequence(put_half, "objval", "put_value"))
+    check_eq("get_value AttrType cases (objblock.cpp vs schema.hpp)",
+             attr_types, tag_sequence(get_half, "objval", "get_value"))
+    return wal_fields, seg_fields, attr_types
+
+
+# --------------------------------------------------------------------------
 # Surfaces 5-7: the pipeline-trace block (obs/trace.*, codec trace tags).
 
 def camel_to_snake(name):
@@ -523,12 +616,16 @@ def main():
     check_decoder(repo, fields)
     enc_trace, dec_trace = check_codec(repo, fields)
     trace_fields, hops = check_trace(repo, enc_trace, dec_trace)
+    wal_fields, seg_fields, attr_types = check_store(repo)
 
     print(f"lint_schema_parity: OK — {len(fields)} fields consistent "
           "across schema, CSV header, JSON encoder, fast+DOM decoders, "
           "and wire codec; "
           f"{len(trace_fields)}-field trace block and {len(hops)}-hop "
-          "span consistent across JSON envelope, wire codec, and Hop enum")
+          "span consistent across JSON envelope, wire codec, and Hop enum; "
+          f"{len(wal_fields)}-field WAL frame, {len(seg_fields)}-field "
+          f"segment header and {len(attr_types)}-type object-value codec "
+          "consistent across their encode/decode sites")
 
 
 if __name__ == "__main__":
