@@ -1,12 +1,15 @@
 // Reproduces Fig. 5: mean occurrences of each I/O operation type per
 // HACC-IO configuration over five jobs, with 95% confidence intervals —
 // the same configuration performs a different amount of I/O across runs.
+// The panel is served from the campaign's rollup cells (op_counts
+// policy) — the raw event store is never scanned.
 #include <cstdio>
 
 #include "analysis/figures.hpp"
 #include "analysis/render.hpp"
 #include "exp/figdata.hpp"
 #include "exp/table.hpp"
+#include "rollup/serve.hpp"
 
 using namespace dlc;
 
@@ -29,12 +32,15 @@ int main() {
   for (const Config& cfg : configs) {
     const exp::FigDataset data =
         exp::hacc_campaign(cfg.fs, cfg.particles, 5, cfg.seed);
-    const analysis::DataFrame counts =
-        analysis::fig5_op_counts(*data.db, data.job_ids);
+    const rollup::PanelResult panel =
+        rollup::panel_fig5(data.rollups.get(), *data.db, data.job_ids);
+    const analysis::DataFrame& counts = panel.frame;
 
-    std::printf("--- HACC-IO %s / %lluM particles ---\n",
+    std::printf("--- HACC-IO %s / %lluM particles (served from %s) ---\n",
                 simfs::fs_kind_name(cfg.fs).data(),
-                static_cast<unsigned long long>(cfg.particles / 1'000'000));
+                static_cast<unsigned long long>(cfg.particles / 1'000'000),
+                panel.from_rollup ? ("rollup:" + panel.policy).c_str()
+                                  : "raw scan");
     std::vector<std::string> labels;
     std::vector<double> means, cis;
     for (std::size_t r = 0; r < counts.rows(); ++r) {

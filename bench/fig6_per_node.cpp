@@ -6,6 +6,7 @@
 #include "analysis/figures.hpp"
 #include "exp/figdata.hpp"
 #include "exp/table.hpp"
+#include "rollup/serve.hpp"
 
 using namespace dlc;
 
@@ -15,8 +16,12 @@ int main() {
 
   const exp::FigDataset data =
       exp::hacc_campaign(simfs::FsKind::kLustre, 10'000'000, 2, 21);
-  const analysis::DataFrame per_node =
-      analysis::fig6_requests_per_node(*data.db, data.job_ids);
+  const rollup::PanelResult panel =
+      rollup::panel_fig6(data.rollups.get(), *data.db, data.job_ids);
+  const analysis::DataFrame& per_node = panel.frame;
+  std::printf("(served from %s)\n\n",
+              panel.from_rollup ? ("rollup:" + panel.policy).c_str()
+                                : "raw scan");
 
   exp::TextTable table({"Job", "Node", "op", "Requests"});
   for (std::size_t r = 0; r < per_node.rows(); ++r) {

@@ -6,6 +6,7 @@
 #include "analysis/figures.hpp"
 #include "exp/figdata.hpp"
 #include "exp/table.hpp"
+#include "rollup/serve.hpp"
 
 using namespace dlc;
 
@@ -17,8 +18,13 @@ int main() {
 
   const exp::FigDataset data = exp::mpiio_independent_campaign(5, 42);
 
-  const analysis::DataFrame summary =
-      analysis::fig7_job_summary(*data.db, data.job_ids);
+  const rollup::PanelResult summary_panel =
+      rollup::panel_fig7_summary(data.rollups.get(), *data.db, data.job_ids);
+  const analysis::DataFrame& summary = summary_panel.frame;
+  std::printf("(served from %s)\n\n",
+              summary_panel.from_rollup
+                  ? ("rollup:" + summary_panel.policy).c_str()
+                  : "raw scan");
   exp::TextTable table({"Job", "op", "Mean dur (s)"});
   for (std::size_t r = 0; r < summary.rows(); ++r) {
     table.add_row({std::to_string(summary.get_int(r, "job_id")),
@@ -34,7 +40,7 @@ int main() {
 
   // Per-rank drill-down for the anomalous job (the figure's x-axis).
   const analysis::DataFrame by_rank =
-      analysis::fig7_rank_durations(*data.db, {anomalous});
+      rollup::panel_fig7(data.rollups.get(), *data.db, {anomalous}).frame;
   std::printf("Per-rank durations for job %llu (first 10 ranks):\n",
               static_cast<unsigned long long>(anomalous));
   exp::TextTable ranks({"Rank", "op", "Mean (s)", "Total (s)", "Count"});

@@ -7,6 +7,7 @@
 #include "analysis/render.hpp"
 #include "exp/figdata.hpp"
 #include "exp/table.hpp"
+#include "rollup/serve.hpp"
 #include "util/time.hpp"
 
 using namespace dlc;
@@ -18,8 +19,13 @@ int main() {
               "end\n\n");
 
   const exp::FigDataset data = exp::mpiio_independent_campaign(5, 42);
-  const analysis::DataFrame buckets =
-      analysis::fig9_throughput_buckets(*data.db, data.anomalous_job, 10.0);
+  const rollup::PanelResult panel =
+      rollup::panel_fig9(data.rollups.get(), *data.db, data.anomalous_job,
+                         10.0);
+  const analysis::DataFrame& buckets = panel.frame;
+  std::printf("(served from %s)\n\n",
+              panel.from_rollup ? ("rollup:" + panel.policy).c_str()
+                                : "raw scan");
 
   exp::TextTable table({"Bucket (s)", "op", "Ops", "Bytes"});
   double write_total = 0, read_total = 0, write_peak = 0;
@@ -40,10 +46,10 @@ int main() {
               format_bytes(static_cast<std::uint64_t>(write_peak)).c_str());
 
   // The Grafana panel JSON a dashboard would fetch from the DSOS plugin.
-  const std::string panel = analysis::grafana_panel_json(
+  const std::string panel_json = analysis::grafana_panel_json(
       buckets, "bucket_s", "bytes", "op",
       "MPI-IO-TEST job bytes per op (Darshan-LDMS Connector)");
-  std::printf("grafana panel JSON (%zu bytes): %.120s...\n", panel.size(),
-              panel.c_str());
+  std::printf("grafana panel JSON (%zu bytes): %.120s...\n", panel_json.size(),
+              panel_json.c_str());
   return 0;
 }

@@ -150,13 +150,17 @@ DataFrame fig9_throughput_buckets(const dsos::DsosCluster& db,
   for (std::size_t r = 1; r < events.rows(); ++r) {
     t0 = std::min(t0, events.get_double(r, "seg_timestamp"));
   }
+  // Buckets are absolute-phase (floor(ts / w) * w) re-based on the
+  // job's first bucket, so a streaming rollup bucketing events by
+  // absolute time (src/rollup/) lands on identical boundaries.
+  const double base = std::floor(t0 / bucket_seconds) * bucket_seconds;
   DataFrame bucketed;
   DataFrame::DoubleCol bucket;
   DataFrame::StringCol op;
   DataFrame::IntCol len;
   for (std::size_t r = 0; r < events.rows(); ++r) {
-    const double rel = events.get_double(r, "seg_timestamp") - t0;
-    bucket.push_back(std::floor(rel / bucket_seconds) * bucket_seconds);
+    const double ts = events.get_double(r, "seg_timestamp");
+    bucket.push_back(std::floor(ts / bucket_seconds) * bucket_seconds - base);
     op.push_back(events.get_string(r, "op"));
     len.push_back(std::max<std::int64_t>(0, events.get_int(r, "seg_len")));
   }

@@ -125,6 +125,20 @@ struct ConnectorConfig {
   /// Segment retention in seconds, 0 = keep forever
   /// (env DARSHAN_LDMS_RETENTION).
   std::uint64_t store_retention_s = 0;
+  /// Storage-policy / rollup configuration
+  /// (env DARSHAN_LDMS_ROLLUP_POLICIES).  Empty = rollups disabled;
+  /// "default" = the built-in Fig. 5-9 policy set; otherwise a policy
+  /// DSL string (see src/rollup/policy.hpp).  Plain string here — core
+  /// does not link the rollup engine; whoever mounts a
+  /// rollup::RollupEngine parses it.
+  std::string rollup_policies;
+  /// Directory for spilled rollup cells (env DARSHAN_LDMS_ROLLUP_DIR).
+  /// Empty = rollups stay in memory; non-empty runs the rollup spill
+  /// store in tiered mode under this directory.
+  std::string rollup_dir;
+  /// Rollup spill retention in seconds, 0 = keep forever
+  /// (env DARSHAN_LDMS_ROLLUP_RETENTION).
+  std::uint64_t rollup_retention_s = 0;
   /// When false the connector observes events but never publishes
   /// (darshan-only baseline shares the same code path shape).
   bool publish = true;

@@ -196,6 +196,28 @@ EnvConfig connector_config_from_env(const EnvGetter& getenv_fn) {
       reject(cfg, "DARSHAN_LDMS_RETENTION", v);
     }
   }
+  if (const char* v = get("DARSHAN_LDMS_ROLLUP_POLICIES")) {
+    if (*v != '\0') {
+      cfg.connector.rollup_policies = v;
+    } else {
+      reject(cfg, "DARSHAN_LDMS_ROLLUP_POLICIES", "");
+    }
+  }
+  if (const char* v = get("DARSHAN_LDMS_ROLLUP_DIR")) {
+    if (*v != '\0') {
+      cfg.connector.rollup_dir = v;
+    } else {
+      reject(cfg, "DARSHAN_LDMS_ROLLUP_DIR", "");
+    }
+  }
+  if (const char* v = get("DARSHAN_LDMS_ROLLUP_RETENTION")) {
+    std::uint64_t n;
+    if (parse_u64(v, n)) {
+      cfg.connector.rollup_retention_s = n;
+    } else {
+      reject(cfg, "DARSHAN_LDMS_ROLLUP_RETENTION", v);
+    }
+  }
   if (const char* v = get("DARSHAN_LDMS_MODULES")) {
     for (const std::string& part : split(v, ',')) {
       const std::string name(trim(part));

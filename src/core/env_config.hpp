@@ -31,6 +31,13 @@
 //                            by the store when mode != memory)
 //   DARSHAN_LDMS_RETENTION   segment retention, seconds (0 = keep
 //                            forever; tiered mode only)
+//   DARSHAN_LDMS_ROLLUP_POLICIES  storage-policy DSL (see
+//                            src/rollup/policy.hpp); "default" = the
+//                            built-in Fig. 5-9 set; unset = rollups off
+//   DARSHAN_LDMS_ROLLUP_DIR  directory for spilled rollup cells
+//                            (unset = rollups stay in memory)
+//   DARSHAN_LDMS_ROLLUP_RETENTION  rollup spill retention, seconds
+//                            (0 = keep forever)
 //
 // Unparsable values (negative, overflowing, trailing garbage, out of
 // range) never take effect: the default is kept, the rejection is

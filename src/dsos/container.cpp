@@ -42,9 +42,11 @@ Container::Container(Container&& other) noexcept
       key_arena_(std::move(other.key_arena_)),
       zone_maps_(other.zone_maps_),
       sink_(other.sink_),
+      observers_(std::move(other.observers_)),
       last_scanned_(other.last_scanned_),
       zone_pruned_(other.zone_pruned_) {
   other.sink_ = nullptr;
+  other.observers_.clear();
 }
 
 Container& Container::operator=(Container&& other) noexcept {
@@ -55,6 +57,8 @@ Container& Container::operator=(Container&& other) noexcept {
   zone_maps_ = other.zone_maps_;
   sink_ = other.sink_;
   other.sink_ = nullptr;
+  observers_ = std::move(other.observers_);
+  other.observers_.clear();
   last_scanned_ = other.last_scanned_;
   zone_pruned_ = other.zone_pruned_;
   return *this;
@@ -67,6 +71,21 @@ void Container::set_commit_sink(CommitSink* sink) {
         "(double store open? close the first store before opening another)");
   }
   sink_ = sink;
+}
+
+void Container::add_observer(CommitSink* observer) {
+  if (observer == nullptr) return;
+  if (std::find(observers_.begin(), observers_.end(), observer) !=
+      observers_.end()) {
+    return;  // idempotent re-attach
+  }
+  observers_.push_back(observer);
+}
+
+void Container::remove_observer(CommitSink* observer) {
+  observers_.erase(
+      std::remove(observers_.begin(), observers_.end(), observer),
+      observers_.end());
 }
 
 void Container::register_schema(SchemaPtr schema) {
@@ -125,6 +144,7 @@ std::size_t Container::insert(Object obj) {
     }
   }
   if (sink_ != nullptr) sink_->on_insert(stored);
+  for (CommitSink* obs : observers_) obs->on_insert(stored);
   return slot;
 }
 

@@ -144,10 +144,22 @@ class Container {
   void set_commit_sink(CommitSink* sink);
   CommitSink* commit_sink() const { return sink_; }
 
-  /// Durability barrier, forwarded to the sink.  True when the sink
-  /// reports all rows durable; false when no sink is attached (memory
-  /// mode: nothing is ever durable) or the flush failed.
-  bool commit() { return sink_ != nullptr && sink_->on_commit(); }
+  /// Non-owning commit observers, notified after the durability sink on
+  /// every insert and on every commit().  Unlike the sink slot (exclusive:
+  /// the store claims the rows), any number of observers may coexist —
+  /// the rollup engine mounts its per-shard decomposition sinks here.
+  /// Same threading contract as the sink: callbacks run on the shard's
+  /// single writer thread.
+  void add_observer(CommitSink* observer);
+  void remove_observer(CommitSink* observer);
+
+  /// Durability barrier: notifies observers, then forwards to the sink.
+  /// True when the sink reports all rows durable; false when no sink is
+  /// attached (memory mode: nothing is ever durable) or the flush failed.
+  bool commit() {
+    for (CommitSink* obs : observers_) obs->on_commit();
+    return sink_ != nullptr && sink_->on_commit();
+  }
 
  private:
   /// Min/max of one indexed attribute over all inserted objects.
@@ -179,6 +191,7 @@ class Container {
   Arena key_arena_;
   bool zone_maps_ = true;
   CommitSink* sink_ = nullptr;  // borrowed; single-writer, like objects_
+  std::vector<CommitSink*> observers_;  // borrowed; single-writer
   mutable util::Mutex stats_m_{"ContainerStats"};
   mutable std::uint64_t last_scanned_ DLC_GUARDED_BY(stats_m_) = 0;
   mutable std::uint64_t zone_pruned_ DLC_GUARDED_BY(stats_m_) = 0;

@@ -15,11 +15,21 @@ std::shared_ptr<dsos::DsosCluster> make_db() {
   return std::make_shared<dsos::DsosCluster>(cfg);
 }
 
+std::shared_ptr<rollup::RollupEngine> make_rollups(
+    const std::shared_ptr<dsos::DsosCluster>& db) {
+  rollup::RollupEngineConfig cfg;
+  cfg.policies = rollup::default_rollup_policies();
+  auto engine = std::make_shared<rollup::RollupEngine>(cfg);
+  engine->attach(*db);
+  return engine;
+}
+
 }  // namespace
 
 FigDataset mpiio_independent_campaign(std::size_t jobs, std::uint64_t seed) {
   FigDataset dataset;
   dataset.db = make_db();
+  dataset.rollups = make_rollups(dataset.db);
   dataset.anomalous_job = jobs >= 2 ? 2 : 0;
 
   for (std::size_t j = 1; j <= jobs; ++j) {
@@ -31,6 +41,7 @@ FigDataset mpiio_independent_campaign(std::size_t jobs, std::uint64_t seed) {
     spec.epoch_seed = splitmix64(emix);
     spec.decode_to_dsos = true;
     spec.shared_dsos = dataset.db;
+    spec.shared_rollup = dataset.rollups;
     if (j == dataset.anomalous_job) {
       // Memory pressure defeats part of the read-back cache...
       spec.nfs.read_cache_hit_rate = 0.88;
@@ -53,6 +64,7 @@ FigDataset hacc_campaign(simfs::FsKind fs, std::uint64_t particles_per_rank,
                          std::size_t jobs, std::uint64_t seed) {
   FigDataset dataset;
   dataset.db = make_db();
+  dataset.rollups = make_rollups(dataset.db);
   for (std::size_t j = 1; j <= jobs; ++j) {
     ExperimentSpec spec = hacc_io_spec(fs, particles_per_rank);
     spec.job_id = j;
@@ -61,6 +73,7 @@ FigDataset hacc_campaign(simfs::FsKind fs, std::uint64_t particles_per_rank,
     spec.epoch_seed = splitmix64(emix);
     spec.decode_to_dsos = true;
     spec.shared_dsos = dataset.db;
+    spec.shared_rollup = dataset.rollups;
     run_experiment(spec);
     dataset.job_ids.push_back(j);
   }

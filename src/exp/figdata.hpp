@@ -8,11 +8,16 @@
 
 #include "dsos/cluster.hpp"
 #include "exp/pipeline.hpp"
+#include "rollup/engine.hpp"
 
 namespace dlc::exp {
 
 struct FigDataset {
   std::shared_ptr<dsos::DsosCluster> db;
+  /// Rollup engine attached to `db` before any job ran (the default
+  /// Fig. 5-9 policy set), flushed after each run — panels can be served
+  /// from cells via rollup::panel_fig*.
+  std::shared_ptr<rollup::RollupEngine> rollups;
   std::vector<std::uint64_t> job_ids;
   /// Job scripted to misbehave (the paper's job_id 2); 0 when none.
   std::uint64_t anomalous_job = 0;

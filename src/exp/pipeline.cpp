@@ -135,6 +135,32 @@ RunResult run_experiment(const ExperimentSpec& spec) {
                                                      ingest.get(),
                                                      traces.get());
   }
+  // Rollup engine: observes the event database so commit-time aggregation
+  // runs on the ingest writers (never a separate decode).  Attached before
+  // any ingest starts; a shared engine re-attaching to the same shared
+  // cluster is a no-op.
+  std::shared_ptr<rollup::RollupEngine> rollup_engine;
+  if (dsos_cluster) {
+    if (spec.shared_rollup) {
+      rollup_engine = spec.shared_rollup;
+    } else if (!spec.connector.rollup_policies.empty()) {
+      const rollup::PolicySet pset =
+          rollup::parse_rollup_policies(spec.connector.rollup_policies);
+      if (!pset.ok()) {
+        throw std::invalid_argument("bad rollup policy: " +
+                                    pset.errors.front());
+      }
+      rollup::RollupEngineConfig rcfg;
+      rcfg.policies = pset.policies;
+      if (!spec.connector.rollup_dir.empty()) {
+        rcfg.store_mode = store::StoreMode::kTiered;
+        rcfg.dir = spec.connector.rollup_dir;
+        rcfg.retention_s = spec.connector.rollup_retention_s;
+      }
+      rollup_engine = std::make_shared<rollup::RollupEngine>(rcfg);
+    }
+    if (rollup_engine) rollup_engine->attach(*dsos_cluster);
+  }
 
   // System metric samplers: one per allocated node, publishing on the
   // metrics tag through the same transport; a collector on the analysis
@@ -215,6 +241,9 @@ RunResult run_experiment(const ExperimentSpec& spec) {
   // Deterministic flush point: every decoded row is inserted before the
   // results (and any query against result.dsos) are built.
   if (ingest) ingest->drain();
+  // Rollup quiescent flush: seal everything ripe so panel queries see the
+  // whole run without waiting for grace windows to expire.
+  if (rollup_engine && !rollup_engine->crashed()) rollup_engine->flush();
 
   RunResult result;
   result.runtime_s = to_seconds(job.runtime());
@@ -249,6 +278,7 @@ RunResult run_experiment(const ExperimentSpec& spec) {
       decoder ? decoder->duplicates_dropped() : seq_totals.duplicates;
   if (decoder) result.decoded_rows = decoder->decoded();
   result.dsos = dsos_cluster;
+  result.rollups = rollup_engine;
   result.traces = traces;
   if (traces) result.traces_completed = traces->completed();
   result.darshan_log = runtime.finalize();

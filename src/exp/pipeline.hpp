@@ -18,6 +18,7 @@
 #include "ldms/store.hpp"
 #include "obs/spans.hpp"
 #include "relia/fault.hpp"
+#include "rollup/engine.hpp"
 #include "simfs/lustre.hpp"
 #include "simfs/nfs.hpp"
 #include "simhpc/cluster.hpp"
@@ -57,6 +58,13 @@ struct ExperimentSpec {
   /// database instead of a per-run one — the multi-job view the paper's
   /// figures query.
   std::shared_ptr<dsos::DsosCluster> shared_dsos;
+  /// When set (and decode_to_dsos), this rollup engine observes the event
+  /// database — attached before ingest starts, flushed after the drain —
+  /// so dashboard panels can be served from rollup cells instead of raw
+  /// scans.  Shared across runs alongside shared_dsos for multi-job
+  /// campaigns.  When unset, connector.rollup_policies (if non-empty)
+  /// creates a per-run engine; see DESIGN.md §8.
+  std::shared_ptr<rollup::RollupEngine> shared_rollup;
   /// Optional live tap: subscribed on the final aggregator alongside the
   /// stores, invoked at each message's virtual arrival time (monitoring
   /// dashboards, alerting examples).
@@ -111,6 +119,9 @@ struct RunResult {
   double charged_s = 0.0;      // virtual time charged by the connector
   /// Populated when decode_to_dsos: the queryable event database.
   std::shared_ptr<dsos::DsosCluster> dsos;
+  /// Populated when a rollup engine observed this run (shared_rollup or
+  /// connector.rollup_policies): the flushed, queryable rollup engine.
+  std::shared_ptr<rollup::RollupEngine> rollups;
   /// Populated when decode_to_dsos and connector.trace_sample_n > 0: the
   /// finished pipeline traces (metrics + slow-span exemplar ring).
   std::shared_ptr<obs::TraceCollector> traces;

@@ -1,0 +1,207 @@
+#include "rollup/cell.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <functional>
+
+#include "util/stats.hpp"
+
+namespace dlc::rollup {
+
+void SparseLogHist::record(std::uint64_t sample) {
+  const std::uint32_t idx = log_bucket_index(sample);
+  const auto it = std::lower_bound(
+      buckets_.begin(), buckets_.end(), idx,
+      [](const auto& entry, std::uint32_t i) { return entry.first < i; });
+  if (it != buckets_.end() && it->first == idx) {
+    ++it->second;
+  } else {
+    buckets_.insert(it, {idx, 1});
+  }
+}
+
+void SparseLogHist::merge(const SparseLogHist& other) {
+  for (const auto& [idx, count] : other.buckets_) {
+    const auto it = std::lower_bound(
+        buckets_.begin(), buckets_.end(), idx,
+        [](const auto& entry, std::uint32_t i) { return entry.first < i; });
+    if (it != buckets_.end() && it->first == idx) {
+      it->second += count;
+    } else {
+      buckets_.insert(it, {idx, count});
+    }
+  }
+}
+
+std::uint64_t SparseLogHist::total() const {
+  std::uint64_t total = 0;
+  for (const auto& [idx, count] : buckets_) total += count;
+  return total;
+}
+
+double SparseLogHist::percentile(double p) const {
+  const std::uint64_t n = total();
+  if (n == 0) return 0.0;
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  // Same rank convention as util::log_bucket_percentile: 1-based, ceil.
+  const auto rank = static_cast<std::uint64_t>(
+      std::max(1.0, std::ceil(clamped / 100.0 * static_cast<double>(n))));
+  std::uint64_t cum = 0;
+  for (const auto& [idx, count] : buckets_) {
+    cum += count;
+    if (cum >= rank) return static_cast<double>(log_bucket_hi(idx));
+  }
+  return static_cast<double>(log_bucket_hi(buckets_.back().first));
+}
+
+std::string SparseLogHist::encode() const {
+  std::string out;
+  for (const auto& [idx, count] : buckets_) {
+    if (!out.empty()) out.push_back(' ');
+    out += std::to_string(idx) + ":" + std::to_string(count);
+  }
+  return out;
+}
+
+bool SparseLogHist::decode(std::string_view text, SparseLogHist& out) {
+  out.buckets_.clear();
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t end = std::min(text.find(' ', pos), text.size());
+    const std::string_view pair_text = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (pair_text.empty()) continue;
+    const std::size_t colon = pair_text.find(':');
+    if (colon == std::string_view::npos) return false;
+    std::uint32_t idx = 0;
+    std::uint64_t count = 0;
+    const auto* const base = pair_text.data();
+    auto r1 = std::from_chars(base, base + colon, idx);
+    auto r2 = std::from_chars(base + colon + 1, base + pair_text.size(), count);
+    if (r1.ec != std::errc() || r1.ptr != base + colon ||
+        r2.ec != std::errc() || r2.ptr != base + pair_text.size() ||
+        idx >= kLogBucketCount || count == 0) {
+      return false;
+    }
+    if (!out.buckets_.empty() && out.buckets_.back().first >= idx) {
+      return false;  // must be strictly ascending
+    }
+    out.buckets_.push_back({idx, count});
+  }
+  return true;
+}
+
+void CellAgg::add(std::int64_t seg_len, double seg_dur) {
+  ++count;
+  bytes += static_cast<std::uint64_t>(std::max<std::int64_t>(0, seg_len));
+  dur_sum += seg_dur;
+  dur_min = std::min(dur_min, seg_dur);
+  dur_max = std::max(dur_max, seg_dur);
+  const double ns = std::max(0.0, seg_dur) * 1e9;
+  dur_hist.record(static_cast<std::uint64_t>(std::llround(ns)));
+}
+
+void CellAgg::merge(const CellAgg& other) {
+  count += other.count;
+  bytes += other.bytes;
+  dur_sum += other.dur_sum;
+  dur_min = std::min(dur_min, other.dur_min);
+  dur_max = std::max(dur_max, other.dur_max);
+  dur_hist.merge(other.dur_hist);
+}
+
+std::size_t CellKeyHash::operator()(const CellKey& k) const {
+  std::size_t h = std::hash<std::uint64_t>{}(k.job);
+  const auto mix = [&h](std::size_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  mix(std::hash<std::string>{}(k.producer));
+  mix(std::hash<std::int64_t>{}(k.rank));
+  mix(std::hash<std::string>{}(k.op));
+  mix(std::hash<std::string>{}(k.module));
+  mix(std::hash<std::int64_t>{}(k.bucket));
+  return h;
+}
+
+dsos::SchemaPtr rollup_cell_schema() {
+  using dsos::AttrType;
+  static const dsos::SchemaPtr schema =
+      dsos::SchemaBuilder("rollup_cell")
+          .attr("policy", AttrType::kString)          // rollupcell:policy
+          .attr("job_id", AttrType::kUint64)          // rollupcell:job_id
+          .attr("ProducerName", AttrType::kString)    // rollupcell:ProducerName
+          .attr("rank", AttrType::kInt64)             // rollupcell:rank
+          .attr("op", AttrType::kString)              // rollupcell:op
+          .attr("module", AttrType::kString)          // rollupcell:module
+          .attr("bucket", AttrType::kTimestamp)       // rollupcell:bucket
+          .attr("bucket_w", AttrType::kDouble)        // rollupcell:bucket_w
+          .attr("count", AttrType::kUint64)           // rollupcell:count
+          .attr("bytes", AttrType::kUint64)           // rollupcell:bytes
+          .attr("dur_sum", AttrType::kDouble)         // rollupcell:dur_sum
+          .attr("dur_min", AttrType::kDouble)         // rollupcell:dur_min
+          .attr("dur_max", AttrType::kDouble)         // rollupcell:dur_max
+          .attr("dur_hist", AttrType::kString)        // rollupcell:dur_hist
+          .attr("shard", AttrType::kUint64)           // rollupcell-extra:shard
+          .attr("watermark", AttrType::kTimestamp)  // rollupcell-extra:watermark
+          .index("policy_bucket", {"policy", "bucket"})
+          .index("policy_job_bucket", {"policy", "job_id", "bucket"})
+          .build();
+  return schema;
+}
+
+dsos::Object cell_to_row(const dsos::SchemaPtr& schema,
+                         std::string_view policy, const CellKey& key,
+                         double bucket_w, const CellAgg& agg,
+                         std::uint64_t shard, double watermark) {
+  std::vector<dsos::Value> values;
+  values.reserve(kRollupCellFieldCount + kRollupRowExtraFieldCount);
+  values.emplace_back(std::string(policy));                  // rollupcell:policy
+  values.emplace_back(key.job);                              // rollupcell:job_id
+  values.emplace_back(key.producer);              // rollupcell:ProducerName
+  values.emplace_back(key.rank);                             // rollupcell:rank
+  values.emplace_back(key.op);                               // rollupcell:op
+  values.emplace_back(key.module);                           // rollupcell:module
+  values.emplace_back(static_cast<double>(key.bucket) * bucket_w);
+  // ^ rollupcell:bucket
+  values.emplace_back(bucket_w);                           // rollupcell:bucket_w
+  values.emplace_back(agg.count);                            // rollupcell:count
+  values.emplace_back(agg.bytes);                            // rollupcell:bytes
+  values.emplace_back(agg.dur_sum);                         // rollupcell:dur_sum
+  values.emplace_back(agg.dur_min);                         // rollupcell:dur_min
+  values.emplace_back(agg.dur_max);                         // rollupcell:dur_max
+  values.emplace_back(agg.dur_hist.encode());              // rollupcell:dur_hist
+  values.emplace_back(shard);                          // rollupcell-extra:shard
+  values.emplace_back(watermark);                  // rollupcell-extra:watermark
+  return dsos::make_object(schema, std::move(values));
+}
+
+bool row_to_cell(const dsos::Object& row, RollupCell& cell,
+                 std::uint64_t& shard, double& watermark) {
+  cell.policy = row.as_string("policy");                     // rollupcell:policy
+  cell.key.job = row.as_uint("job_id");                      // rollupcell:job_id
+  cell.key.producer = row.as_string("ProducerName");
+  // ^ rollupcell:ProducerName
+  cell.key.rank = row.as_int("rank");                        // rollupcell:rank
+  cell.key.op = row.as_string("op");                         // rollupcell:op
+  cell.key.module = row.as_string("module");                 // rollupcell:module
+  cell.bucket_start = row.as_double("bucket");               // rollupcell:bucket
+  cell.bucket_w = row.as_double("bucket_w");               // rollupcell:bucket_w
+  if (!(cell.bucket_w > 0)) return false;
+  cell.key.bucket =
+      static_cast<std::int64_t>(std::llround(cell.bucket_start / cell.bucket_w));
+  cell.agg = CellAgg{};
+  cell.agg.count = row.as_uint("count");                     // rollupcell:count
+  cell.agg.bytes = row.as_uint("bytes");                     // rollupcell:bytes
+  cell.agg.dur_sum = row.as_double("dur_sum");              // rollupcell:dur_sum
+  cell.agg.dur_min = row.as_double("dur_min");              // rollupcell:dur_min
+  cell.agg.dur_max = row.as_double("dur_max");              // rollupcell:dur_max
+  if (!SparseLogHist::decode(row.as_string("dur_hist"), cell.agg.dur_hist)) {
+    return false;                                          // rollupcell:dur_hist
+  }
+  shard = row.as_uint("shard");                        // rollupcell-extra:shard
+  watermark = row.as_double("watermark");          // rollupcell-extra:watermark
+  return true;
+}
+
+}  // namespace dlc::rollup

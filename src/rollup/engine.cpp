@@ -1,0 +1,606 @@
+#include "rollup/engine.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "json/writer.hpp"
+
+namespace dlc::rollup {
+
+namespace {
+
+std::size_t dim_index(std::string_view name) {
+  for (std::size_t i = 0; i < kRollupDimCount; ++i) {
+    if (name == kRollupDims[i]) return i;
+  }
+  throw std::logic_error("rollup: unknown dimension " + std::string(name));
+}
+
+std::int64_t floor_div(std::int64_t a, std::int64_t b) {
+  std::int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+std::string_view rollup_crash_point_name(RollupCrashPoint p) {
+  switch (p) {
+    case RollupCrashPoint::kSeal:
+      return "rollup_seal";
+    case RollupCrashPoint::kSpill:
+      return "rollup_spill";
+  }
+  return "?";
+}
+
+bool rollup_crash_point_from_name(std::string_view name,
+                                  RollupCrashPoint& out) {
+  if (name == "rollup_seal") {
+    out = RollupCrashPoint::kSeal;
+    return true;
+  }
+  if (name == "rollup_spill") {
+    out = RollupCrashPoint::kSpill;
+    return true;
+  }
+  return false;
+}
+
+struct RollupEngine::ShardSink final : dsos::CommitSink {
+  ShardSink(RollupEngine* e, std::size_t s) : engine(e), shard(s) {}
+  void on_insert(const dsos::Object& obj) override {
+    engine->on_insert(shard, obj);
+  }
+  bool on_commit() override {
+    engine->on_commit(shard);
+    return true;
+  }
+  RollupEngine* engine;
+  std::size_t shard;
+};
+
+RollupEngine::RollupEngine(RollupEngineConfig config)
+    : policies_(config.policies), config_(std::move(config)) {
+  if (policies_.empty()) {
+    throw std::invalid_argument("rollup: engine needs at least one policy");
+  }
+  if (config_.store_mode != store::StoreMode::kMemory && config_.dir.empty()) {
+    throw std::invalid_argument(
+        "rollup: durable spill store needs a directory");
+  }
+  cell_schema_ = rollup_cell_schema();
+  compiled_.reserve(policies_.size());
+  for (const PolicyConfig& p : policies_) {
+    CompiledPolicy c;
+    c.key_job = p.has_key("job_id");
+    c.key_producer = p.has_key("ProducerName");
+    c.key_rank = p.has_key("rank");
+    c.key_op = p.has_key("op");
+    c.key_module = p.has_key("module");
+    for (const MatchClause& clause : p.match) {
+      CompiledPolicy::Clause cc;
+      cc.dim = static_cast<std::uint8_t>(dim_index(clause.attr));
+      for (const std::string& v : clause.values) {
+        if (clause.attr == "job_id") {
+          std::uint64_t n = 0;
+          std::from_chars(v.data(), v.data() + v.size(), n);
+          cc.u64s.push_back(n);
+        } else if (clause.attr == "rank") {
+          std::int64_t n = 0;
+          std::from_chars(v.data(), v.data() + v.size(), n);
+          cc.i64s.push_back(n);
+        } else {
+          cc.strs.push_back(v);
+        }
+      }
+      c.clauses.push_back(std::move(cc));
+    }
+    compiled_.push_back(std::move(c));
+  }
+  obs::Registry& reg =
+      config_.registry != nullptr ? *config_.registry : obs::Registry::global();
+  m_events_ = &reg.counter("dlc.rollup.events");
+  m_late_ = &reg.counter("dlc.rollup.late_dropped");
+  m_sealed_rows_ = &reg.counter("dlc.rollup.sealed_rows");
+  m_spills_ = &reg.counter("dlc.rollup.spills");
+  m_cells_open_ = &reg.gauge("dlc.rollup.cells_open");
+  m_query_ns_ = &reg.histogram("dlc.rollup.query_ns");
+}
+
+RollupEngine::~RollupEngine() { detach(); }
+
+const PolicyConfig* RollupEngine::find_policy(std::string_view name) const {
+  for (const PolicyConfig& p : policies_) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+RollupRecovery RollupEngine::attach(dsos::DsosCluster& raw) {
+  if (raw_ == &raw) return recovery_;
+  if (raw_ != nullptr) {
+    throw std::logic_error(
+        "rollup: engine already attached to a different cluster");
+  }
+  recovery_ = RollupRecovery{};
+  {
+    const util::LockGuard lock(sealed_m_);
+    dsos::ClusterConfig cc;
+    cc.shard_count = 1;
+    cc.shard_attr = "shard";
+    cc.parallel_query = false;
+    sealed_db_ = std::make_unique<dsos::DsosCluster>(cc);
+    sealed_db_->register_schema(cell_schema_);
+  }
+  if (config_.store_mode != store::StoreMode::kMemory) {
+    store::StoreConfig sc;
+    sc.mode = config_.store_mode;
+    sc.dir = config_.dir;
+    sc.retention_s = config_.retention_s;
+    // One spill batch == one explicit commit == one atomic WAL group;
+    // disable the row-count auto-commit so a batch can never tear.
+    sc.wal_group_records = std::numeric_limits<std::size_t>::max();
+    spill_store_ = std::make_unique<store::Store>(std::move(sc));
+    const util::LockGuard lock(sealed_m_);
+    recovery_.store = spill_store_->open(*sealed_db_);
+  }
+
+  // Per-(policy, shard) sealed frontier from the recovered rows.
+  std::vector<std::unordered_map<std::uint64_t, double>> frontier(
+      policies_.size());
+  {
+    const util::LockGuard lock(sealed_m_);
+    const dsos::Container& c = sealed_db_->shard(0).container();
+    for (std::size_t slot = 0; slot < c.size(); ++slot) {
+      const dsos::Object& row = c.object(slot);
+      if (row.schema->name() != "rollup_cell") continue;
+      RollupCell cell;
+      std::uint64_t shard = 0;
+      double watermark = 0;
+      if (!row_to_cell(row, cell, shard, watermark)) continue;
+      ++recovery_.sealed_rows;
+      for (std::size_t p = 0; p < policies_.size(); ++p) {
+        if (policies_[p].name != cell.policy) continue;
+        auto [it, fresh] = frontier[p].try_emplace(shard, watermark);
+        if (!fresh) it->second = std::max(it->second, watermark);
+        break;
+      }
+    }
+  }
+
+  shards_.clear();
+  for (std::size_t s = 0; s < raw.shard_count(); ++s) {
+    auto sh = std::make_unique<ShardState>();
+    sh->sink = std::make_unique<ShardSink>(this, s);
+    sh->writer.resize(policies_.size());
+    {
+      const util::LockGuard lock(sh->m);
+      sh->pol.resize(policies_.size());
+      for (std::size_t p = 0; p < policies_.size(); ++p) {
+        const auto it = frontier[p].find(s);
+        if (it == frontier[p].end()) continue;
+        sh->pol[p].watermark = it->second;
+        sh->writer[p].frontier = it->second;
+      }
+    }
+    shards_.push_back(std::move(sh));
+  }
+  raw_ = &raw;
+
+  // Rebuild the unsealed tail: replay the recovered raw cluster in
+  // original per-shard insertion (slot) order — the same accumulation
+  // order an uninterrupted run used — letting the frontier check skip
+  // every event already represented by a sealed row.
+  replaying_ = true;
+  for (std::size_t s = 0; s < raw.shard_count(); ++s) {
+    const dsos::Container& c = raw.shard(s).container();
+    for (std::size_t slot = 0; slot < c.size(); ++slot) {
+      on_insert(s, c.object(slot));
+      ++recovery_.replayed_events;
+    }
+    on_commit(s);
+  }
+  replaying_ = false;
+
+  for (std::size_t s = 0; s < raw.shard_count(); ++s) {
+    raw.shard(s).container().add_observer(shards_[s]->sink.get());
+  }
+  return recovery_;
+}
+
+void RollupEngine::detach() {
+  if (raw_ != nullptr) {
+    for (std::size_t s = 0; s < raw_->shard_count(); ++s) {
+      raw_->shard(s).container().remove_observer(shards_[s]->sink.get());
+    }
+    raw_ = nullptr;
+  }
+  if (spill_store_) spill_store_->close();
+}
+
+std::size_t RollupEngine::arm_from_plan(const relia::FaultPlan& plan) {
+  std::size_t armed = 0;
+  for (const relia::FaultEvent& ev : plan.events) {
+    if (ev.kind != relia::FaultKind::kStoreCrash) continue;
+    RollupCrashPoint p{};
+    if (rollup_crash_point_from_name(ev.daemon, p)) {
+      crash_after_[static_cast<std::size_t>(p)].store(
+          ev.count, std::memory_order_release);
+      ++armed;
+    }
+  }
+  if (spill_store_) armed += spill_store_->faults().arm_from_plan(plan);
+  return armed;
+}
+
+bool RollupEngine::should_crash(RollupCrashPoint p) {
+  auto& remaining = crash_after_[static_cast<std::size_t>(p)];
+  if (remaining.load(std::memory_order_acquire) == 0) return false;
+  return remaining.fetch_sub(1, std::memory_order_acq_rel) == 1;
+}
+
+const RollupEngine::AttrIds& RollupEngine::resolve_ids(
+    ShardState& sh, const dsos::Object& obj) {
+  const dsos::Schema* schema = obj.schema.get();
+  if (schema == sh.cached_schema) return sh.ids;
+  AttrIds ids;
+  const auto find = [&](const char* name, dsos::AttrType type,
+                        std::size_t& slot) {
+    const auto id = schema->find_attr(name);
+    if (!id || schema->attrs()[*id].type != type) return false;
+    slot = *id;
+    return true;
+  };
+  using dsos::AttrType;
+  ids.valid = find("job_id", AttrType::kUint64, ids.job) &&
+              find("ProducerName", AttrType::kString, ids.producer) &&
+              find("rank", AttrType::kInt64, ids.rank) &&
+              find("op", AttrType::kString, ids.op) &&
+              find("module", AttrType::kString, ids.module) &&
+              find("seg_len", AttrType::kInt64, ids.seg_len) &&
+              find("seg_dur", AttrType::kDouble, ids.seg_dur) &&
+              find("seg_timestamp", AttrType::kTimestamp, ids.seg_ts);
+  sh.ids = ids;
+  sh.cached_schema = schema;
+  return sh.ids;
+}
+
+bool RollupEngine::matches_policy(std::size_t policy, const dsos::Object& obj,
+                                  const AttrIds& ids) const {
+  for (const CompiledPolicy::Clause& clause : compiled_[policy].clauses) {
+    bool hit = false;
+    switch (clause.dim) {
+      case 0: {  // job_id
+        const auto v = std::get<std::uint64_t>(obj.values[ids.job]);
+        hit = std::find(clause.u64s.begin(), clause.u64s.end(), v) !=
+              clause.u64s.end();
+        break;
+      }
+      case 1: {  // ProducerName
+        const auto& v = std::get<std::string>(obj.values[ids.producer]);
+        hit = std::find(clause.strs.begin(), clause.strs.end(), v) !=
+              clause.strs.end();
+        break;
+      }
+      case 2: {  // rank
+        const auto v = std::get<std::int64_t>(obj.values[ids.rank]);
+        hit = std::find(clause.i64s.begin(), clause.i64s.end(), v) !=
+              clause.i64s.end();
+        break;
+      }
+      case 3: {  // op
+        const auto& v = std::get<std::string>(obj.values[ids.op]);
+        hit = std::find(clause.strs.begin(), clause.strs.end(), v) !=
+              clause.strs.end();
+        break;
+      }
+      default: {  // module
+        const auto& v = std::get<std::string>(obj.values[ids.module]);
+        hit = std::find(clause.strs.begin(), clause.strs.end(), v) !=
+              clause.strs.end();
+        break;
+      }
+    }
+    if (!hit) return false;
+  }
+  return true;
+}
+
+void RollupEngine::on_insert(std::size_t shard, const dsos::Object& obj) {
+  if (crashed()) return;
+  ShardState& sh = *shards_[shard];
+  const AttrIds& ids = resolve_ids(sh, obj);
+  if (!ids.valid) return;
+  const double ts = std::get<double>(obj.values[ids.seg_ts]);
+  bool folded = false;
+  for (std::size_t p = 0; p < policies_.size(); ++p) {
+    if (!matches_policy(p, obj, ids)) continue;
+    PolicyWriter& w = sh.writer[p];
+    const double width = policies_[p].bucket_s;
+    const auto bucket = static_cast<std::int64_t>(std::floor(ts / width));
+    if (static_cast<double>(bucket + 1) * width <= w.frontier) {
+      // Behind the sealed frontier: the bucket's row is immutable.
+      // During the attach() replay this is the expected skip of events
+      // a sealed row already covers, not a loss.
+      if (!replaying_) {
+        late_dropped_.fetch_add(1, std::memory_order_relaxed);
+        if (obs::enabled()) m_late_->add(1);
+      }
+      continue;
+    }
+    CellKey key;
+    key.bucket = bucket;
+    const CompiledPolicy& cp = compiled_[p];
+    if (cp.key_job) key.job = std::get<std::uint64_t>(obj.values[ids.job]);
+    if (cp.key_producer) {
+      key.producer = std::get<std::string>(obj.values[ids.producer]);
+    }
+    if (cp.key_rank) key.rank = std::get<std::int64_t>(obj.values[ids.rank]);
+    if (cp.key_op) key.op = std::get<std::string>(obj.values[ids.op]);
+    if (cp.key_module) {
+      key.module = std::get<std::string>(obj.values[ids.module]);
+    }
+    w.cells[key].add(std::get<std::int64_t>(obj.values[ids.seg_len]),
+                     std::get<double>(obj.values[ids.seg_dur]));
+    w.max_ts = std::max(w.max_ts, ts);
+    folded = true;
+  }
+  if (folded && !replaying_) {
+    events_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::enabled()) m_events_->add(1);
+  }
+}
+
+void RollupEngine::on_commit(std::size_t shard, bool seal_everything) {
+  if (crashed()) return;
+  ShardState& sh = *shards_[shard];
+  std::vector<SealBatch> batches;
+  std::size_t open_cells = 0;
+  {
+    const util::LockGuard lock(sh.m);
+    for (std::size_t p = 0; p < policies_.size(); ++p) {
+      PolicyWriter& w = sh.writer[p];
+      PolicyOpen& o = sh.pol[p];
+      SealBatch batch;
+      batch.policy = p;
+      double new_watermark = o.watermark;
+      if (seal_everything) {
+        for (auto& [key, agg] : w.cells) {
+          const double end =
+              static_cast<double>(key.bucket + 1) * policies_[p].bucket_s;
+          new_watermark = std::max(new_watermark, end);
+          batch.cells.emplace_back(key, std::move(agg));
+        }
+        w.cells.clear();
+      } else {
+        const double frontier = w.max_ts - policies_[p].grace();
+        if (frontier > o.watermark) {
+          for (auto it = w.cells.begin(); it != w.cells.end();) {
+            const double end =
+                static_cast<double>(it->first.bucket + 1) *
+                policies_[p].bucket_s;
+            if (end <= frontier) {
+              batch.cells.emplace_back(it->first, std::move(it->second));
+              it = w.cells.erase(it);
+            } else {
+              ++it;
+            }
+          }
+          if (!batch.cells.empty()) new_watermark = frontier;
+        }
+      }
+      if (!batch.cells.empty()) {
+        // The watermark only advances when a spill records it durably,
+        // so recovery's frontier always matches the rows on disk.
+        o.watermark = new_watermark;
+        w.frontier = new_watermark;
+        batch.watermark = new_watermark;
+        batches.push_back(std::move(batch));
+      }
+      o.open = w.cells;  // commit-consistent snapshot, post-extraction
+      open_cells += o.open.size();
+    }
+  }
+  if (obs::enabled()) m_cells_open_->set_max(static_cast<std::int64_t>(open_cells));
+  for (SealBatch& batch : batches) spill(shard, std::move(batch));
+}
+
+void RollupEngine::spill(std::size_t shard, SealBatch batch) {
+  if (should_crash(RollupCrashPoint::kSeal)) {
+    mark_crashed();
+    throw store::StoreCrash("rollup: crashed at rollup_seal");
+  }
+  std::sort(batch.cells.begin(), batch.cells.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  const PolicyConfig& policy = policies_[batch.policy];
+  const util::LockGuard lock(sealed_m_);
+  if (!sealed_db_) return;
+  for (const auto& [key, agg] : batch.cells) {
+    sealed_db_->shard(0).container().insert(
+        cell_to_row(cell_schema_, policy.name, key, policy.bucket_s, agg,
+                    shard, batch.watermark));
+  }
+  if (should_crash(RollupCrashPoint::kSpill)) {
+    mark_crashed();
+    throw store::StoreCrash("rollup: crashed at rollup_spill");
+  }
+  try {
+    sealed_db_->commit_shard(0);
+  } catch (const store::StoreCrash&) {
+    mark_crashed();
+    throw;
+  }
+  sealed_rows_ += batch.cells.size();
+  ++spills_;
+  if (obs::enabled()) {
+    m_sealed_rows_->add(batch.cells.size());
+    m_spills_->add(1);
+  }
+}
+
+void RollupEngine::flush() {
+  for (std::size_t s = 0; s < shards_.size(); ++s) on_commit(s);
+}
+
+void RollupEngine::seal_all() {
+  for (std::size_t s = 0; s < shards_.size(); ++s) on_commit(s, true);
+  if (spill_store_ && config_.store_mode == store::StoreMode::kTiered &&
+      !crashed()) {
+    spill_store_->seal_all();
+  }
+}
+
+std::vector<RollupCell> RollupEngine::query(std::string_view policy,
+                                            const RollupQuery& q) const {
+  const std::uint64_t t0 = now_ns();
+  const PolicyConfig* p = find_policy(policy);
+  if (p == nullptr) {
+    throw std::invalid_argument("rollup: unknown policy " +
+                                std::string(policy));
+  }
+  const auto pidx = static_cast<std::size_t>(p - policies_.data());
+  const double width = p->bucket_s;
+  double out_w = width;
+  std::int64_t factor = 1;
+  if (q.bucket_s > 0) {
+    const double f = q.bucket_s / width;
+    factor = std::llround(f);
+    if (factor < 1 || std::abs(f - static_cast<double>(factor)) > 1e-9) {
+      throw std::invalid_argument(
+          "rollup: query bucket_s must be an integer multiple of the "
+          "policy bucket");
+    }
+    out_w = q.bucket_s;
+  }
+  const auto pass = [&](const CellKey& key) {
+    if (!q.jobs.empty() && std::find(q.jobs.begin(), q.jobs.end(), key.job) ==
+                               q.jobs.end()) {
+      return false;
+    }
+    if (!q.ops.empty() &&
+        std::find(q.ops.begin(), q.ops.end(), key.op) == q.ops.end()) {
+      return false;
+    }
+    if (!q.producer.empty() && key.producer != q.producer) return false;
+    if (q.rank && *q.rank != key.rank) return false;
+    const double start = static_cast<double>(key.bucket) * width;
+    return start >= q.from_s && start < q.to_s;
+  };
+
+  // (fine key, shard) -> contribution.  The map's order — key fields,
+  // then fine bucket, then shard — is the canonical fold order, so the
+  // floating-point sums are independent of how much has sealed.
+  std::map<std::pair<CellKey, std::uint64_t>, CellAgg> contrib;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const ShardState& sh = *shards_[s];
+    const util::LockGuard lock(sh.m);
+    if (pidx >= sh.pol.size()) continue;
+    for (const auto& [key, agg] : sh.pol[pidx].open) {
+      if (pass(key)) contrib[{key, s}].merge(agg);
+    }
+  }
+  {
+    const util::LockGuard lock(sealed_m_);
+    if (sealed_db_) {
+      const dsos::Filter filter{
+          {"policy", dsos::Cmp::kEq, std::string(policy)}};
+      for (const dsos::Object* row :
+           sealed_db_->query("rollup_cell", "policy_bucket", filter)) {
+        RollupCell cell;
+        std::uint64_t shard = 0;
+        double watermark = 0;
+        if (!row_to_cell(*row, cell, shard, watermark)) continue;
+        if (pass(cell.key)) contrib[{cell.key, shard}].merge(cell.agg);
+      }
+    }
+  }
+
+  std::map<CellKey, CellAgg> folded;
+  for (auto& [key_shard, agg] : contrib) {
+    CellKey key = key_shard.first;
+    if (factor > 1) key.bucket = floor_div(key.bucket, factor);
+    folded[key].merge(agg);
+  }
+  std::vector<RollupCell> out;
+  out.reserve(folded.size());
+  for (auto& [key, agg] : folded) {
+    RollupCell cell;
+    cell.policy = std::string(policy);
+    cell.key = key;
+    cell.bucket_start = static_cast<double>(key.bucket) * out_w;
+    cell.bucket_w = out_w;
+    cell.agg = std::move(agg);
+    out.push_back(std::move(cell));
+  }
+  if (obs::enabled()) m_query_ns_->record(now_ns() - t0);
+  return out;
+}
+
+RollupStats RollupEngine::stats() const {
+  RollupStats st;
+  st.events = events_.load(std::memory_order_relaxed);
+  st.late_dropped = late_dropped_.load(std::memory_order_relaxed);
+  for (const auto& sh : shards_) {
+    const util::LockGuard lock(sh->m);
+    for (const PolicyOpen& o : sh->pol) st.cells_open += o.open.size();
+  }
+  {
+    const util::LockGuard lock(sealed_m_);
+    st.sealed_rows = sealed_rows_;
+    st.spills = spills_;
+  }
+  return st;
+}
+
+std::string RollupEngine::status_json() const {
+  const RollupStats st = stats();
+  json::Writer w;
+  w.begin_object();
+  w.member("events", st.events);
+  w.member("late_dropped", st.late_dropped);
+  w.member("cells_open", st.cells_open);
+  w.member("sealed_rows", st.sealed_rows);
+  w.member("spills", st.spills);
+  w.member("crashed", crashed());
+  w.member("store_mode",
+           store_mode_name(config_.store_mode));
+  w.key("policies");
+  w.begin_array();
+  for (std::size_t p = 0; p < policies_.size(); ++p) {
+    const PolicyConfig& policy = policies_[p];
+    std::size_t cells = 0;
+    for (const auto& sh : shards_) {
+      const util::LockGuard lock(sh->m);
+      if (p < sh->pol.size()) cells += sh->pol[p].open.size();
+    }
+    w.begin_object();
+    w.member("name", policy.name);
+    w.member("spec", to_string(policy));
+    w.member("bucket_s", policy.bucket_s);
+    w.member("grace_s", policy.grace());
+    w.key("keys");
+    w.begin_array();
+    for (const std::string& k : policy.keys) w.value_string(k);
+    w.end_array();
+    w.member("cells_open", static_cast<std::uint64_t>(cells));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace dlc::rollup

@@ -1,0 +1,269 @@
+// Rollup engine: the storage-policy decomposition stage of the
+// ingest -> store -> serve spine (DESIGN.md §8).
+//
+// attach() mounts one commit observer (dsos::CommitSink) on every shard
+// of the raw cluster.  From then on each decoded event is matched
+// against every policy on its shard's single writer thread and folded
+// into a *pending* cell map lock-free; Container::commit() — the same
+// barrier the durable store group-commits on — merges pending cells
+// into the shard's *open* (query-visible) cells under the RollupShard
+// lock, so ingest stays parallel and readers only ever see
+// commit-consistent aggregates.
+//
+// Bucket lifecycle: a cell's bucket seals once the shard's max event
+// timestamp passes bucket end + grace.  Sealed cells are materialised
+// as `rollup_cell` rows into an engine-owned single-shard cluster
+// backed by its own PR 6 tiered store (one spill batch == one atomic
+// WAL group commit), so rollups survive restart and obey retention.
+// Each spilled row records the seal watermark; recovery restores the
+// sealed rows, then rebuilds the unsealed tail by replaying the
+// recovered raw cluster in original per-shard insertion order —
+// making post-crash rollups byte-identical to an uninterrupted run.
+// Events older than the sealed frontier are dropped and counted
+// (dlc.rollup.late_dropped); with the default grace of 2 bucket widths
+// this never fires on in-order-ish streams.
+//
+// Crash injection mirrors the store: relia::FaultPlan `storecrash`
+// directives with points `rollup_seal` (before the spill writes
+// anything) and `rollup_spill` (after the rows are buffered, before
+// the WAL commit) throw store::StoreCrash and deaden the engine; the
+// spill store's own `commit` point tears the WAL frame itself.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "dsos/cluster.hpp"
+#include "obs/registry.hpp"
+#include "relia/fault.hpp"
+#include "rollup/cell.hpp"
+#include "rollup/policy.hpp"
+#include "store/store.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace dlc::rollup {
+
+struct RollupEngineConfig {
+  std::vector<PolicyConfig> policies;
+  /// Durability of sealed cells (memory keeps them queryable only).
+  store::StoreMode store_mode = store::StoreMode::kMemory;
+  /// Spill-store directory (DARSHAN_LDMS_ROLLUP_DIR); required unless
+  /// kMemory.
+  std::string dir;
+  /// Retention over sealed rollup segments, seconds (0 = keep forever).
+  std::uint64_t retention_s = 0;
+  /// Metrics registry (nullptr = obs::Registry::global()).
+  obs::Registry* registry = nullptr;
+};
+
+/// Engine-level crash points (beyond the spill store's own).
+enum class RollupCrashPoint : std::uint8_t {
+  kSeal = 0,   // cells extracted, nothing written yet
+  kSpill = 1,  // rows buffered into the spill sink, WAL commit pending
+};
+inline constexpr std::size_t kRollupCrashPointCount = 2;
+
+std::string_view rollup_crash_point_name(RollupCrashPoint p);
+bool rollup_crash_point_from_name(std::string_view name,
+                                  RollupCrashPoint& out);
+
+/// What attach() reconstructed.
+struct RollupRecovery {
+  std::uint64_t sealed_rows = 0;      // rows restored from the spill store
+  std::uint64_t replayed_events = 0;  // raw events rebuilt into open cells
+  store::RecoveryReport store;        // spill store's own report
+};
+
+struct RollupStats {
+  std::uint64_t events = 0;        // raw events folded (sum over policies)
+  std::uint64_t late_dropped = 0;  // events behind a sealed frontier
+  std::uint64_t cells_open = 0;
+  std::uint64_t sealed_rows = 0;  // rows spilled by this instance
+  std::uint64_t spills = 0;       // spill batches (= atomic commits)
+};
+
+/// Query over one policy's cells.  Sealed and open contributions for
+/// the same (key, shard) merge in canonical shard order, so results do
+/// not depend on how much has sealed — the crash-campaign invariant.
+struct RollupQuery {
+  std::vector<std::uint64_t> jobs;  // empty = all
+  std::vector<std::string> ops;     // empty = all
+  std::string producer;             // empty = all
+  std::optional<std::int64_t> rank;
+  double from_s = -std::numeric_limits<double>::infinity();  // bucket >=
+  double to_s = std::numeric_limits<double>::infinity();     // bucket <
+  /// 0 = the policy's own width; otherwise an integer multiple of it,
+  /// and cells are re-aggregated into the coarser buckets.
+  double bucket_s = 0.0;
+};
+
+class RollupEngine {
+ public:
+  explicit RollupEngine(RollupEngineConfig config);
+  ~RollupEngine();
+
+  RollupEngine(const RollupEngine&) = delete;
+  RollupEngine& operator=(const RollupEngine&) = delete;
+
+  /// Opens the spill store (recovering sealed cells), registers a
+  /// commit observer on every shard of `raw` and rebuilds the unsealed
+  /// tail from the cluster's current contents.  Call before ingest
+  /// starts; idempotent for the same cluster, throws std::logic_error
+  /// for a second one.  The cluster must outlive the engine or be
+  /// released via detach().
+  RollupRecovery attach(dsos::DsosCluster& raw);
+
+  /// Removes the observers and closes the spill store.  Idempotent.
+  void detach();
+  bool attached() const { return raw_ != nullptr; }
+
+  /// Merges pending cells into the query-visible state and seals what
+  /// the watermarks allow.  Runs the commit path on every shard — call
+  /// only at quiescent points (after IngestExecutor::drain(), or under
+  /// serial ingest where no commits happen otherwise).
+  void flush();
+
+  /// flush() + seal every open cell regardless of watermark (end of
+  /// campaign / orderly shutdown: push everything to the spill store).
+  void seal_all();
+
+  const std::vector<PolicyConfig>& policies() const { return policies_; }
+  const PolicyConfig* find_policy(std::string_view name) const;
+
+  /// Arms engine-level crash points from `storecrash rollup_seal|
+  /// rollup_spill after <n>` directives and forwards the rest to the
+  /// spill store's injector.  Returns how many were armed.  Only under
+  /// serial ingest — a StoreCrash unwinding a worker thread would
+  /// terminate the process for real.
+  std::size_t arm_from_plan(const relia::FaultPlan& plan);
+  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
+
+  /// The spill store (nullptr in memory mode) — its FaultInjector,
+  /// retention and status are the caller's to drive.
+  store::Store* spill_store() { return spill_store_.get(); }
+  const RollupRecovery& recovery() const { return recovery_; }
+
+  std::vector<RollupCell> query(std::string_view policy,
+                                const RollupQuery& q) const;
+
+  RollupStats stats() const;
+  /// /api/rollup payload: policies with per-policy cell counts, totals,
+  /// spill-store state.
+  std::string status_json() const;
+
+ private:
+  struct ShardSink;
+
+  /// Resolved Table I attribute ids for one raw schema (cached per
+  /// shard; events of schemas missing any of these are ignored).
+  struct AttrIds {
+    std::size_t job = 0, producer = 0, rank = 0, op = 0, module = 0;
+    std::size_t seg_len = 0, seg_dur = 0, seg_ts = 0;
+    bool valid = false;
+  };
+
+  /// Writer side of one (policy, shard): the *running* unsealed cells,
+  /// owned by the shard's single writer thread (lock-free insert path,
+  /// like Container::objects_).  Cells accumulate continuously in
+  /// insert order — never as merged partial sums — so the double
+  /// `dur_sum` is bit-identical to a raw scan of the shard in slot
+  /// order regardless of commit batching.  `frontier` mirrors the
+  /// sealed watermark for the late-drop check; it is only written by
+  /// the commit path, which runs on the writer thread itself (or the
+  /// drain thread at quiescence), so the unguarded read cannot race.
+  struct PolicyWriter {
+    std::unordered_map<CellKey, CellAgg, CellKeyHash> cells;
+    double max_ts = -std::numeric_limits<double>::infinity();
+    double frontier = -std::numeric_limits<double>::infinity();
+  };
+
+  /// Reader side: the commit-consistent snapshot queries see, refreshed
+  /// from PolicyWriter at every Container::commit under the shard lock.
+  struct PolicyOpen {
+    std::unordered_map<CellKey, CellAgg, CellKeyHash> open;
+    double watermark = -std::numeric_limits<double>::infinity();
+  };
+
+  /// Policy pre-compiled against Table I types (match values parsed,
+  /// key dimensions as flags) so the per-event path does no parsing.
+  struct CompiledPolicy {
+    bool key_job = false, key_producer = false, key_rank = false;
+    bool key_op = false, key_module = false;
+    struct Clause {
+      std::uint8_t dim = 0;  // index into kRollupDims
+      std::vector<std::string> strs;
+      std::vector<std::uint64_t> u64s;
+      std::vector<std::int64_t> i64s;
+    };
+    std::vector<Clause> clauses;
+  };
+
+  struct ShardState {
+    mutable util::Mutex m{"RollupShard"};
+    std::vector<PolicyWriter> writer;  // writer-thread-owned, unguarded
+    std::vector<PolicyOpen> pol DLC_GUARDED_BY(m);
+    // Writer-thread schema cache (unguarded by the single-writer
+    // contract, like Container::objects_).
+    const dsos::Schema* cached_schema = nullptr;
+    AttrIds ids;
+    std::unique_ptr<ShardSink> sink;
+  };
+
+  /// One policy's extracted seal batch, spilled outside the shard lock.
+  struct SealBatch {
+    std::size_t policy = 0;
+    double watermark = 0.0;
+    std::vector<std::pair<CellKey, CellAgg>> cells;
+  };
+
+  void on_insert(std::size_t shard, const dsos::Object& obj);
+  void on_commit(std::size_t shard, bool seal_everything = false);
+  void spill(std::size_t shard, SealBatch batch);
+  const AttrIds& resolve_ids(ShardState& sh, const dsos::Object& obj);
+  bool matches_policy(std::size_t policy, const dsos::Object& obj,
+                      const AttrIds& ids) const;
+  bool should_crash(RollupCrashPoint p);
+  void mark_crashed() const { crashed_.store(true, std::memory_order_release); }
+
+  std::vector<PolicyConfig> policies_;
+  std::vector<CompiledPolicy> compiled_;
+  RollupEngineConfig config_;
+  dsos::DsosCluster* raw_ = nullptr;
+  std::vector<std::unique_ptr<ShardState>> shards_;
+  RollupRecovery recovery_;
+  bool replaying_ = false;  // attach()-time rebuild: skip metrics/drops
+
+  /// Sealed side: a single-shard cluster of `rollup_cell` rows plus its
+  /// optional durable store.  RollupSealed is taken *after* RollupShard
+  /// is released (spill batches are extracted first), never nested.
+  dsos::SchemaPtr cell_schema_;
+  mutable util::Mutex sealed_m_{"RollupSealed"};
+  std::unique_ptr<dsos::DsosCluster> sealed_db_ DLC_GUARDED_BY(sealed_m_);
+  std::unique_ptr<store::Store> spill_store_;
+  std::uint64_t sealed_rows_ DLC_GUARDED_BY(sealed_m_) = 0;
+  std::uint64_t spills_ DLC_GUARDED_BY(sealed_m_) = 0;
+
+  mutable std::atomic<bool> crashed_{false};
+  std::array<std::atomic<std::uint64_t>, kRollupCrashPointCount>
+      crash_after_{};
+  std::atomic<std::uint64_t> events_{0};
+  std::atomic<std::uint64_t> late_dropped_{0};
+
+  // Pre-resolved dlc.rollup.* instruments (nullptr when obs is off).
+  obs::Counter* m_events_ = nullptr;
+  obs::Counter* m_late_ = nullptr;
+  obs::Counter* m_sealed_rows_ = nullptr;
+  obs::Counter* m_spills_ = nullptr;
+  obs::Gauge* m_cells_open_ = nullptr;
+  obs::LogHistogram* m_query_ns_ = nullptr;
+};
+
+}  // namespace dlc::rollup

@@ -1,0 +1,283 @@
+#include "rollup/policy.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstddef>
+
+namespace dlc::rollup {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' ||
+                        s.front() == '\n' || s.front() == '\r')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\n' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  while (true) {
+    const std::size_t pos = s.find(sep);
+    if (pos == std::string_view::npos) {
+      out.push_back(s);
+      return out;
+    }
+    out.push_back(s.substr(0, pos));
+    s.remove_prefix(pos + 1);
+  }
+}
+
+std::size_t dim_rank(std::string_view name) {
+  for (std::size_t i = 0; i < kRollupDimCount; ++i) {
+    if (name == kRollupDims[i]) return i;
+  }
+  return kRollupDimCount;
+}
+
+bool valid_name(std::string_view name) {
+  if (name.empty()) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool is_rollup_dim(std::string_view name) {
+  return dim_rank(name) < kRollupDimCount;
+}
+
+bool PolicyConfig::has_key(std::string_view dim) const {
+  return std::find(keys.begin(), keys.end(), dim) != keys.end();
+}
+
+bool parse_seconds(std::string_view text, double& out) {
+  text = trim(text);
+  double scale = 1.0;
+  if (text.ends_with("ns")) {
+    scale = 1e-9;
+    text.remove_suffix(2);
+  } else if (text.ends_with("us")) {
+    scale = 1e-6;
+    text.remove_suffix(2);
+  } else if (text.ends_with("ms")) {
+    scale = 1e-3;
+    text.remove_suffix(2);
+  } else if (text.ends_with("s")) {
+    text.remove_suffix(1);
+  } else if (text.ends_with("m")) {
+    scale = 60.0;
+    text.remove_suffix(1);
+  }
+  if (text.empty()) return false;
+  double value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) return false;
+  out = value * scale;
+  return true;
+}
+
+PolicySet parse_rollup_policies(std::string_view text) {
+  PolicySet set;
+  if (trim(text) == "default") {
+    set.policies = default_rollup_policies();
+    return set;
+  }
+  for (const std::string_view raw_spec : split(text, ';')) {
+    const std::string_view spec = trim(raw_spec);
+    if (spec.empty()) continue;
+    const auto fail = [&](std::string_view what) {
+      set.errors.push_back(std::string(spec) + ": " + std::string(what));
+    };
+
+    PolicyConfig policy;
+    bool bad = false;
+    bool saw_key = false;
+    bool saw_bucket = false;
+    for (const std::string_view raw_tok : split(spec, ' ')) {
+      const std::string_view tok = trim(raw_tok);
+      if (tok.empty()) continue;
+      const std::size_t eq = tok.find('=');
+      if (eq == std::string_view::npos) {
+        if (!policy.name.empty()) {
+          fail("more than one policy name");
+          bad = true;
+          break;
+        }
+        if (!valid_name(tok)) {
+          fail("invalid policy name");
+          bad = true;
+          break;
+        }
+        policy.name = std::string(tok);
+        continue;
+      }
+      const std::string_view field = tok.substr(0, eq);
+      const std::string_view value = tok.substr(eq + 1);
+      if (field == "key") {
+        saw_key = true;
+        for (const std::string_view dim : split(value, ',')) {
+          if (!is_rollup_dim(dim)) {
+            fail("unknown key dimension '" + std::string(dim) + "'");
+            bad = true;
+            break;
+          }
+          policy.keys.emplace_back(dim);
+        }
+        if (bad) break;
+      } else if (field == "bucket") {
+        saw_bucket = true;
+        if (!parse_seconds(value, policy.bucket_s) || policy.bucket_s <= 0) {
+          fail("bad bucket width '" + std::string(value) + "'");
+          bad = true;
+          break;
+        }
+      } else if (field == "grace") {
+        if (!parse_seconds(value, policy.grace_s) || policy.grace_s < 0) {
+          fail("bad grace '" + std::string(value) + "'");
+          bad = true;
+          break;
+        }
+      } else if (field == "match") {
+        for (const std::string_view clause_text : split(value, ',')) {
+          const std::size_t colon = clause_text.find(':');
+          if (colon == std::string_view::npos) {
+            fail("match clause needs <dim>:<v>[|<v>...]");
+            bad = true;
+            break;
+          }
+          MatchClause clause;
+          clause.attr = std::string(clause_text.substr(0, colon));
+          if (!is_rollup_dim(clause.attr)) {
+            fail("unknown match dimension '" + clause.attr + "'");
+            bad = true;
+            break;
+          }
+          for (const std::string_view v :
+               split(clause_text.substr(colon + 1), '|')) {
+            if (v.empty()) continue;
+            // Numeric dimensions must carry numeric values, or the
+            // clause can never match — reject at parse time.
+            if (clause.attr == "job_id" || clause.attr == "rank") {
+              std::int64_t n = 0;
+              const auto [ptr, ec] =
+                  std::from_chars(v.data(), v.data() + v.size(), n);
+              if (ec != std::errc() || ptr != v.data() + v.size()) {
+                fail("non-numeric " + clause.attr + " match value '" +
+                     std::string(v) + "'");
+                bad = true;
+                break;
+              }
+            }
+            clause.values.emplace_back(v);
+          }
+          if (bad) break;
+          if (clause.values.empty()) {
+            fail("match clause '" + clause.attr + "' has no values");
+            bad = true;
+            break;
+          }
+          policy.match.push_back(std::move(clause));
+        }
+        if (bad) break;
+      } else {
+        fail("unknown field '" + std::string(field) + "'");
+        bad = true;
+        break;
+      }
+    }
+    if (bad) continue;
+    if (policy.name.empty()) {
+      fail("missing policy name");
+      continue;
+    }
+    if (!saw_key || policy.keys.empty()) {
+      fail("missing key=");
+      continue;
+    }
+    if (!saw_bucket) {
+      fail("missing bucket=");
+      continue;
+    }
+    // Canonical key order + dedupe so equivalent specs compare equal.
+    std::sort(policy.keys.begin(), policy.keys.end(),
+              [](const std::string& a, const std::string& b) {
+                return dim_rank(a) < dim_rank(b);
+              });
+    policy.keys.erase(std::unique(policy.keys.begin(), policy.keys.end()),
+                      policy.keys.end());
+    const bool dup = std::any_of(
+        set.policies.begin(), set.policies.end(),
+        [&](const PolicyConfig& p) { return p.name == policy.name; });
+    if (dup) {
+      fail("duplicate policy name '" + policy.name + "'");
+      continue;
+    }
+    set.policies.push_back(std::move(policy));
+  }
+  if (set.policies.empty() && set.errors.empty()) {
+    set.errors.push_back("rollup policy list is empty");
+  }
+  return set;
+}
+
+std::vector<PolicyConfig> default_rollup_policies() {
+  const PolicySet set = parse_rollup_policies(
+      "op_counts key=job_id,op bucket=60s;"
+      "node_requests key=job_id,ProducerName,op bucket=60s "
+      "match=op:open|close;"
+      "rank_durations key=job_id,rank,op bucket=3600s match=op:read|write;"
+      "throughput key=job_id,op bucket=10s match=op:read|write");
+  return set.policies;
+}
+
+namespace {
+
+std::string format_seconds(double s) {
+  std::string out = std::to_string(s);
+  // Trim trailing zeros ("60.000000" -> "60").
+  const std::size_t dot = out.find('.');
+  if (dot != std::string::npos) {
+    std::size_t last = out.find_last_not_of('0');
+    if (last == dot) last = dot - 1;
+    out.resize(last + 1);
+  }
+  out.push_back('s');
+  return out;
+}
+
+}  // namespace
+
+std::string to_string(const PolicyConfig& policy) {
+  std::string out = policy.name + " key=";
+  for (std::size_t i = 0; i < policy.keys.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += policy.keys[i];
+  }
+  out += " bucket=" + format_seconds(policy.bucket_s);
+  if (!policy.match.empty()) {
+    out += " match=";
+    for (std::size_t c = 0; c < policy.match.size(); ++c) {
+      if (c > 0) out.push_back(',');
+      out += policy.match[c].attr + ":";
+      for (std::size_t v = 0; v < policy.match[c].values.size(); ++v) {
+        if (v > 0) out.push_back('|');
+        out += policy.match[c].values[v];
+      }
+    }
+  }
+  if (policy.grace_s >= 0) out += " grace=" + format_seconds(policy.grace_s);
+  return out;
+}
+
+}  // namespace dlc::rollup

@@ -1,0 +1,318 @@
+#include "rollup/serve.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "analysis/figures.hpp"
+#include "obs/registry.hpp"
+
+namespace dlc::rollup {
+
+namespace {
+
+const std::vector<std::string>& data_ops() {
+  static const std::vector<std::string> ops{"read", "write"};
+  return ops;
+}
+
+void count_panel(bool from_rollup) {
+  if (!obs::enabled()) return;
+  obs::Registry& reg = obs::Registry::global();
+  if (from_rollup) {
+    reg.counter("dlc.rollup.panels_rollup").add(1);
+  } else {
+    reg.counter("dlc.rollup.panels_raw").add(1);
+  }
+}
+
+PanelResult served(analysis::DataFrame frame, std::string policy) {
+  count_panel(true);
+  return {std::move(frame), true, std::move(policy)};
+}
+
+PanelResult fallback(analysis::DataFrame frame) {
+  count_panel(false);
+  return {std::move(frame), false, {}};
+}
+
+/// Cells usable at all?  A crashed engine's in-memory state is torn.
+bool usable(const RollupEngine* engine) {
+  return engine != nullptr && !engine->crashed();
+}
+
+}  // namespace
+
+const PolicyConfig* covering_policy(const RollupEngine& engine,
+                                    const std::vector<std::string>& keys,
+                                    const std::vector<std::string>& ops,
+                                    double bucket_s) {
+  const PolicyConfig* best = nullptr;
+  std::size_t best_extra = std::numeric_limits<std::size_t>::max();
+  for (const PolicyConfig& p : engine.policies()) {
+    const bool keys_ok =
+        std::all_of(keys.begin(), keys.end(),
+                    [&](const std::string& k) { return p.has_key(k); });
+    if (!keys_ok) continue;
+    if (!p.match.empty()) {
+      // A filtered policy only has the events its match kept: usable
+      // only when it is a pure op filter covering the panel's ops.
+      if (ops.empty() || p.match.size() != 1 || p.match[0].attr != "op") {
+        continue;
+      }
+      const std::vector<std::string>& kept = p.match[0].values;
+      const bool covers = std::all_of(
+          ops.begin(), ops.end(), [&](const std::string& op) {
+            return std::find(kept.begin(), kept.end(), op) != kept.end();
+          });
+      if (!covers) continue;
+    }
+    if (bucket_s > 0) {
+      const double f = bucket_s / p.bucket_s;
+      const auto factor = std::llround(f);
+      if (factor < 1 ||
+          std::abs(f - static_cast<double>(factor)) > 1e-9) {
+        continue;
+      }
+    }
+    const std::size_t extra = p.keys.size() - keys.size();
+    if (extra < best_extra) {
+      best = &p;
+      best_extra = extra;
+    }
+  }
+  return best;
+}
+
+PanelResult panel_fig5(const RollupEngine* engine,
+                       const dsos::DsosCluster& db,
+                       const std::vector<std::uint64_t>& jobs) {
+  if (usable(engine) && !jobs.empty()) {
+    if (const PolicyConfig* p =
+            covering_policy(*engine, {"job_id", "op"}, {})) {
+      RollupQuery q;
+      q.jobs = jobs;
+      const std::vector<RollupCell> cells = engine->query(p->name, q);
+      if (!cells.empty()) {
+        analysis::DataFrame cf;
+        analysis::DataFrame::StringCol op;
+        analysis::DataFrame::IntCol job, cnt;
+        for (const RollupCell& c : cells) {
+          op.push_back(c.key.op);
+          job.push_back(static_cast<std::int64_t>(c.key.job));
+          cnt.push_back(static_cast<std::int64_t>(c.agg.count));
+        }
+        cf.add_string_column("op", std::move(op));
+        cf.add_int_column("job_id", std::move(job));
+        cf.add_int_column("count_partial", std::move(cnt));
+        // Same shape as the raw path: per-(op, job) counts, then
+        // mean/CI across jobs — identical group order, so the Welford
+        // accumulation matches bit for bit.
+        const analysis::DataFrame per_job = cf.group_by(
+            {"op", "job_id"}, {{.column = "count_partial",
+                                .op = analysis::Agg::kSum,
+                                .out_name = "count"}});
+        analysis::DataFrame out = per_job.group_by(
+            {"op"}, {{.column = "count", .op = analysis::Agg::kMean,
+                      .out_name = "mean_count"},
+                     {.column = "count", .op = analysis::Agg::kCi95,
+                      .out_name = "ci95"}});
+        return served(std::move(out), p->name);
+      }
+    }
+  }
+  return fallback(analysis::fig5_op_counts(db, jobs));
+}
+
+PanelResult panel_fig6(const RollupEngine* engine,
+                       const dsos::DsosCluster& db,
+                       const std::vector<std::uint64_t>& jobs) {
+  if (usable(engine) && !jobs.empty()) {
+    if (const PolicyConfig* p = covering_policy(
+            *engine, {"job_id", "ProducerName", "op"}, {"open", "close"})) {
+      RollupQuery q;
+      q.jobs = jobs;
+      q.ops = {"open", "close"};
+      const std::vector<RollupCell> cells = engine->query(p->name, q);
+      if (!cells.empty()) {
+        analysis::DataFrame cf;
+        analysis::DataFrame::IntCol job, cnt;
+        analysis::DataFrame::StringCol producer, op;
+        for (const RollupCell& c : cells) {
+          job.push_back(static_cast<std::int64_t>(c.key.job));
+          producer.push_back(c.key.producer);
+          op.push_back(c.key.op);
+          cnt.push_back(static_cast<std::int64_t>(c.agg.count));
+        }
+        cf.add_int_column("job_id", std::move(job));
+        cf.add_string_column("ProducerName", std::move(producer));
+        cf.add_string_column("op", std::move(op));
+        cf.add_int_column("count_partial", std::move(cnt));
+        analysis::DataFrame out = cf.group_by(
+            {"job_id", "ProducerName", "op"},
+            {{.column = "count_partial", .op = analysis::Agg::kSum,
+              .out_name = "count"}});
+        return served(std::move(out), p->name);
+      }
+    }
+  }
+  return fallback(analysis::fig6_requests_per_node(db, jobs));
+}
+
+namespace {
+
+/// Shared shape of fig7 / fig7_summary: per-group duration sums and
+/// counts from cells, with mean_dur derived as dur_sum / count.
+analysis::DataFrame duration_frame(const std::vector<RollupCell>& cells,
+                                   bool per_rank) {
+  analysis::DataFrame cf;
+  analysis::DataFrame::IntCol job, rank, cnt;
+  analysis::DataFrame::DoubleCol dur;
+  analysis::DataFrame::StringCol op;
+  for (const RollupCell& c : cells) {
+    job.push_back(static_cast<std::int64_t>(c.key.job));
+    if (per_rank) rank.push_back(c.key.rank);
+    op.push_back(c.key.op);
+    dur.push_back(c.agg.dur_sum);
+    cnt.push_back(static_cast<std::int64_t>(c.agg.count));
+  }
+  cf.add_int_column("job_id", std::move(job));
+  if (per_rank) cf.add_int_column("rank", std::move(rank));
+  cf.add_string_column("op", std::move(op));
+  cf.add_double_column("dur_partial", std::move(dur));
+  cf.add_int_column("count_partial", std::move(cnt));
+  std::vector<std::string> keys{"job_id"};
+  if (per_rank) keys.emplace_back("rank");
+  keys.emplace_back("op");
+  return cf.group_by(
+      keys, {{.column = "dur_partial", .op = analysis::Agg::kSum,
+              .out_name = "total_dur"},
+             {.column = "count_partial", .op = analysis::Agg::kSum,
+              .out_name = "count"}});
+}
+
+}  // namespace
+
+PanelResult panel_fig7(const RollupEngine* engine,
+                       const dsos::DsosCluster& db,
+                       const std::vector<std::uint64_t>& jobs) {
+  if (usable(engine) && !jobs.empty()) {
+    if (const PolicyConfig* p = covering_policy(
+            *engine, {"job_id", "rank", "op"}, data_ops())) {
+      RollupQuery q;
+      q.jobs = jobs;
+      q.ops = data_ops();
+      const std::vector<RollupCell> cells = engine->query(p->name, q);
+      if (!cells.empty()) {
+        const analysis::DataFrame g = duration_frame(cells, /*per_rank=*/true);
+        analysis::DataFrame out;
+        analysis::DataFrame::IntCol job, rank;
+        analysis::DataFrame::StringCol op;
+        analysis::DataFrame::DoubleCol mean_dur, total_dur, cnt;
+        for (std::size_t r = 0; r < g.rows(); ++r) {
+          job.push_back(g.get_int(r, "job_id"));
+          rank.push_back(g.get_int(r, "rank"));
+          op.push_back(g.get_string(r, "op"));
+          const double total = g.get_double(r, "total_dur");
+          const double count = g.get_double(r, "count");
+          mean_dur.push_back(count > 0 ? total / count : 0.0);
+          total_dur.push_back(total);
+          cnt.push_back(count);
+        }
+        out.add_int_column("job_id", std::move(job));
+        out.add_int_column("rank", std::move(rank));
+        out.add_string_column("op", std::move(op));
+        out.add_double_column("mean_dur", std::move(mean_dur));
+        out.add_double_column("total_dur", std::move(total_dur));
+        out.add_double_column("count", std::move(cnt));
+        return served(std::move(out), p->name);
+      }
+    }
+  }
+  return fallback(analysis::fig7_rank_durations(db, jobs));
+}
+
+PanelResult panel_fig7_summary(const RollupEngine* engine,
+                               const dsos::DsosCluster& db,
+                               const std::vector<std::uint64_t>& jobs) {
+  if (usable(engine) && !jobs.empty()) {
+    if (const PolicyConfig* p =
+            covering_policy(*engine, {"job_id", "op"}, data_ops())) {
+      RollupQuery q;
+      q.jobs = jobs;
+      q.ops = data_ops();
+      const std::vector<RollupCell> cells = engine->query(p->name, q);
+      if (!cells.empty()) {
+        const analysis::DataFrame g =
+            duration_frame(cells, /*per_rank=*/false);
+        analysis::DataFrame out;
+        analysis::DataFrame::IntCol job;
+        analysis::DataFrame::StringCol op;
+        analysis::DataFrame::DoubleCol mean_dur;
+        for (std::size_t r = 0; r < g.rows(); ++r) {
+          job.push_back(g.get_int(r, "job_id"));
+          op.push_back(g.get_string(r, "op"));
+          const double total = g.get_double(r, "total_dur");
+          const double count = g.get_double(r, "count");
+          mean_dur.push_back(count > 0 ? total / count : 0.0);
+        }
+        out.add_int_column("job_id", std::move(job));
+        out.add_string_column("op", std::move(op));
+        out.add_double_column("mean_dur", std::move(mean_dur));
+        return served(std::move(out), p->name);
+      }
+    }
+  }
+  return fallback(analysis::fig7_job_summary(db, jobs));
+}
+
+PanelResult panel_fig9(const RollupEngine* engine,
+                       const dsos::DsosCluster& db, std::uint64_t job,
+                       double bucket_seconds) {
+  if (usable(engine) && bucket_seconds > 0) {
+    if (const PolicyConfig* p = covering_policy(
+            *engine, {"job_id", "op"}, data_ops(), bucket_seconds)) {
+      RollupQuery q;
+      q.jobs = {job};
+      q.ops = data_ops();
+      q.bucket_s = bucket_seconds;
+      const std::vector<RollupCell> cells = engine->query(p->name, q);
+      if (!cells.empty()) {
+        // Same phase convention as the raw scan: buckets are absolute
+        // (floor(ts / w) * w), re-based on the job's first bucket.
+        double base = std::numeric_limits<double>::infinity();
+        for (const RollupCell& c : cells) {
+          base = std::min(base, c.bucket_start);
+        }
+        analysis::DataFrame cf;
+        analysis::DataFrame::DoubleCol bucket;
+        analysis::DataFrame::StringCol op;
+        analysis::DataFrame::IntCol cnt, bytes;
+        for (const RollupCell& c : cells) {
+          bucket.push_back(c.bucket_start - base);
+          op.push_back(c.key.op);
+          cnt.push_back(static_cast<std::int64_t>(c.agg.count));
+          bytes.push_back(static_cast<std::int64_t>(c.agg.bytes));
+        }
+        cf.add_double_column("bucket_s", std::move(bucket));
+        cf.add_string_column("op", std::move(op));
+        cf.add_int_column("count_partial", std::move(cnt));
+        cf.add_int_column("bytes_partial", std::move(bytes));
+        analysis::DataFrame out =
+            cf.group_by({"bucket_s", "op"},
+                        {{.column = "count_partial",
+                          .op = analysis::Agg::kSum,
+                          .out_name = "count"},
+                         {.column = "bytes_partial",
+                          .op = analysis::Agg::kSum,
+                          .out_name = "bytes"}})
+                .sort_by("bucket_s");
+        return served(std::move(out), p->name);
+      }
+    }
+  }
+  return fallback(analysis::fig9_throughput_buckets(db, job, bucket_seconds));
+}
+
+}  // namespace dlc::rollup

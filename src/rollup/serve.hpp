@@ -1,0 +1,69 @@
+// Rollup-backed panel serving: answers the Fig. 5–9 dashboard queries
+// from rollup cells when a policy covers them, falling back to the raw
+// analysis/figures.hpp scans otherwise (DESIGN.md §8f).
+//
+// Coverage: a policy covers a panel when the panel's group-by keys are
+// a subset of the policy's projection and the policy's filter keeps
+// every event the panel needs (no match clauses, or a single op clause
+// whose values are a superset of the panel's ops — the panel then
+// restricts its cell query to exactly its own ops).  Time-bucketed
+// panels additionally need the requested width to be an integer
+// multiple of the policy's.
+//
+// Served frames reproduce the raw frames' column layout and row order
+// (the cell-level intermediates run through the same DataFrame::group_by
+// chains), so counts and integer byte sums are bit-identical to the raw
+// scan; duration means/sums agree to float accumulation order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/frame.hpp"
+#include "dsos/cluster.hpp"
+#include "rollup/engine.hpp"
+
+namespace dlc::rollup {
+
+struct PanelResult {
+  analysis::DataFrame frame;
+  bool from_rollup = false;
+  std::string policy;  // the covering policy (empty on fallback)
+};
+
+/// The best covering policy for (required keys, required ops, optional
+/// bucket width): fewest extra key dimensions wins, ties by declaration
+/// order.  nullptr when nothing covers — callers fall back to raw.
+const PolicyConfig* covering_policy(const RollupEngine& engine,
+                                    const std::vector<std::string>& keys,
+                                    const std::vector<std::string>& ops,
+                                    double bucket_s = 0.0);
+
+/// Fig. 5: op, mean_count, ci95 (analysis::fig5_op_counts).
+PanelResult panel_fig5(const RollupEngine* engine,
+                       const dsos::DsosCluster& db,
+                       const std::vector<std::uint64_t>& jobs);
+
+/// Fig. 6: job_id, ProducerName, op, count (fig6_requests_per_node).
+PanelResult panel_fig6(const RollupEngine* engine,
+                       const dsos::DsosCluster& db,
+                       const std::vector<std::uint64_t>& jobs);
+
+/// Fig. 7: job_id, rank, op, mean_dur, total_dur, count
+/// (fig7_rank_durations).
+PanelResult panel_fig7(const RollupEngine* engine,
+                       const dsos::DsosCluster& db,
+                       const std::vector<std::uint64_t>& jobs);
+
+/// Fig. 7 companion: job_id, op, mean_dur (fig7_job_summary).
+PanelResult panel_fig7_summary(const RollupEngine* engine,
+                               const dsos::DsosCluster& db,
+                               const std::vector<std::uint64_t>& jobs);
+
+/// Fig. 9: bucket_s, op, count, bytes (fig9_throughput_buckets).
+PanelResult panel_fig9(const RollupEngine* engine,
+                       const dsos::DsosCluster& db, std::uint64_t job,
+                       double bucket_seconds = 10.0);
+
+}  // namespace dlc::rollup

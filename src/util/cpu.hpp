@@ -1,0 +1,47 @@
+// Effective CPU budget detection for benchmark gates.
+//
+// std::thread::hardware_concurrency() reports what the kernel *has*, not
+// what this process may *use*: CI containers routinely pin the process to
+// a subset of cores (sched_setaffinity) or cap it with a cgroup CPU quota
+// while hardware_concurrency still says 64 — or, under some runtimes,
+// says 1 on a 4-core allocation.  Perf gates conditioned on the raw value
+// therefore either fail on physics or silently run degraded.
+//
+// cpu_budget() combines the three signals available on Linux —
+// hardware_concurrency, the sched_getaffinity CPU mask, and the cgroup
+// (v2 `cpu.max`, v1 `cpu.cfs_quota_us`/`cpu.cfs_period_us`) quota — and
+// reports the tightest one as `effective`, with `source` naming which
+// signal bound it so benchmark JSON artifacts are comparable across
+// machines.  On non-Linux hosts only hardware_concurrency contributes.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace dlc::util {
+
+struct CpuBudget {
+  /// std::thread::hardware_concurrency() (0 when the host won't say).
+  std::size_t hardware_threads = 0;
+  /// CPUs in this process's scheduling affinity mask (0 = unknown).
+  std::size_t affinity = 0;
+  /// cgroup CPU quota in whole CPUs, rounded down (0 = none/unlimited).
+  /// A fractional quota (e.g. 0.5 CPU) rounds to 0 and clamps
+  /// `effective` to 1.
+  std::size_t quota_cpus = 0;
+  /// min over the known signals, at least 1.
+  std::size_t effective = 1;
+  /// Which signal bound `effective`: "hardware", "affinity", "quota",
+  /// or "unknown" when no signal reported anything.
+  std::string source = "unknown";
+};
+
+/// Probes the signals above.  Never throws; missing/unreadable sources
+/// simply do not contribute.
+CpuBudget cpu_budget();
+
+/// cpu_budget().effective — CPUs a multi-threaded benchmark can really
+/// run on concurrently.
+std::size_t effective_cpus();
+
+}  // namespace dlc::util

@@ -10,6 +10,7 @@
 #include "core/schema_darshan.hpp"
 #include "dsos/csv.hpp"
 #include "json/writer.hpp"
+#include "rollup/serve.hpp"
 #include "util/strings.hpp"
 
 namespace dlc::websvc {
@@ -272,6 +273,11 @@ Response DashboardService::handle(const std::string& path_and_query) const {
     if (path == "/metrics") return api_metrics();
     if (path == "/api/obs/spans") return api_obs_spans();
     if (path == "/api/store") return api_store();
+    if (path == "/api/rollup") return api_rollup_status();
+    if (path.starts_with("/api/rollup/")) {
+      return api_rollup_cells(path.substr(sizeof("/api/rollup/") - 1),
+                              params);
+    }
   } catch (const std::exception& e) {
     return Response{500, "application/json", error_body(e.what())};
   }
@@ -385,14 +391,55 @@ Response DashboardService::api_query(const Params& params) const {
 Response DashboardService::api_panel(const Params& params) const {
   const auto it = params.find("module");
   if (it == params.end()) return bad_request("panel needs module=");
-  const auto module_it = modules_.find(it->second);
-  if (module_it == modules_.end()) {
-    return not_found("unknown module " + it->second);
+  const std::string& module = it->second;
+  // Rollup-first serving: the figure panels a policy covers come from
+  // rollup cells (no raw-event scan); everything else — and every panel
+  // when no engine is attached — runs its registered raw module.
+  analysis::DataFrame df;
+  std::string source = "raw";
+  rollup::PanelResult served;
+  bool handled = false;
+  if (rollup_ != nullptr) {
+    if (module == "fig5") {
+      served = rollup::panel_fig5(rollup_, *db_, job_list(*db_, params));
+      handled = true;
+    } else if (module == "fig6") {
+      served = rollup::panel_fig6(rollup_, *db_, job_list(*db_, params));
+      handled = true;
+    } else if (module == "fig7") {
+      served = rollup::panel_fig7(rollup_, *db_, job_list(*db_, params));
+      handled = true;
+    } else if (module == "fig7_summary") {
+      served =
+          rollup::panel_fig7_summary(rollup_, *db_, job_list(*db_, params));
+      handled = true;
+    } else if (module == "fig9") {
+      const auto jobs = job_list(*db_, params);
+      const auto bit = params.find("bucket_s");
+      const double bucket =
+          bit != params.end() ? std::strtod(bit->second.c_str(), nullptr)
+                              : 10.0;
+      if (!jobs.empty()) {
+        served = rollup::panel_fig9(rollup_, *db_, jobs.front(),
+                                    bucket > 0 ? bucket : 10.0);
+      }
+      handled = true;
+    }
   }
-  const analysis::DataFrame df = module_it->second(*db_, params);
+  if (handled) {
+    df = std::move(served.frame);
+    if (served.from_rollup) source = "rollup:" + served.policy;
+  } else {
+    const auto module_it = modules_.find(module);
+    if (module_it == modules_.end()) {
+      return not_found("unknown module " + module);
+    }
+    df = module_it->second(*db_, params);
+  }
   json::Writer w;
   w.begin_object();
-  w.member("module", it->second);
+  w.member("module", module);
+  w.member("source", source);
   w.key("data");
   frame_to_json(w, df);
   w.end_object();
@@ -411,6 +458,98 @@ Response DashboardService::api_csv(const Params& params) const {
   std::ostringstream out;
   dsos::export_csv(out, *schema, rows);
   return Response{200, "text/csv", out.str()};
+}
+
+Response DashboardService::api_rollup_status() const {
+  if (rollup_ == nullptr) {
+    return not_found("no rollup engine attached");
+  }
+  return Response{200, "application/json", rollup_->status_json()};
+}
+
+Response DashboardService::api_rollup_cells(const std::string& policy,
+                                            const Params& params) const {
+  if (rollup_ == nullptr) {
+    return not_found("no rollup engine attached");
+  }
+  if (rollup_->find_policy(policy) == nullptr) {
+    return not_found("unknown rollup policy " + policy);
+  }
+  rollup::RollupQuery q;
+  if (const auto it = params.find("job"); it != params.end()) {
+    for (const std::string& part : split(it->second, ',')) {
+      q.jobs.push_back(std::strtoull(part.c_str(), nullptr, 10));
+    }
+  }
+  if (const auto it = params.find("op"); it != params.end()) {
+    for (const std::string& part : split(it->second, ',')) {
+      if (!part.empty()) q.ops.push_back(part);
+    }
+  }
+  if (const auto it = params.find("producer"); it != params.end()) {
+    q.producer = it->second;
+  }
+  if (const auto it = params.find("rank"); it != params.end()) {
+    q.rank = std::strtoll(it->second.c_str(), nullptr, 10);
+  }
+  if (const auto it = params.find("from_s"); it != params.end()) {
+    q.from_s = std::strtod(it->second.c_str(), nullptr);
+  }
+  if (const auto it = params.find("to_s"); it != params.end()) {
+    q.to_s = std::strtod(it->second.c_str(), nullptr);
+  }
+  if (const auto it = params.find("bucket_s"); it != params.end()) {
+    q.bucket_s = std::strtod(it->second.c_str(), nullptr);
+  }
+  std::vector<rollup::RollupCell> cells;
+  try {
+    cells = rollup_->query(policy, q);
+  } catch (const std::invalid_argument& e) {
+    return bad_request(e.what());
+  }
+  json::Writer w(json::NumberFormat::kFastItoa);
+  w.begin_object();
+  w.member("policy", policy);
+  w.member("count", static_cast<std::uint64_t>(cells.size()));
+  w.key("cells");
+  w.begin_array();
+  for (const rollup::RollupCell& cell : cells) {
+    const bool has_dur = cell.agg.count > 0 &&
+                         cell.agg.dur_min <= cell.agg.dur_max;
+    w.begin_object();
+    w.member("policy", cell.policy);               // rollupcell:policy
+    w.member("job_id", cell.key.job);              // rollupcell:job_id
+    w.member("ProducerName",                       // rollupcell:ProducerName
+             cell.key.producer);
+    w.member("rank", cell.key.rank);               // rollupcell:rank
+    w.member("op", cell.key.op);                   // rollupcell:op
+    w.member("module", cell.key.module);           // rollupcell:module
+    w.key("bucket");                               // rollupcell:bucket
+    w.value_double(cell.bucket_start, 9);
+    w.key("bucket_w");                             // rollupcell:bucket_w
+    w.value_double(cell.bucket_w, 9);
+    w.member("count", cell.agg.count);             // rollupcell:count
+    w.member("bytes", cell.agg.bytes);             // rollupcell:bytes
+    w.key("dur_sum");                              // rollupcell:dur_sum
+    w.value_double(cell.agg.dur_sum, 9);
+    w.key("dur_min");                              // rollupcell:dur_min
+    w.value_double(has_dur ? cell.agg.dur_min : 0.0, 9);
+    w.key("dur_max");                              // rollupcell:dur_max
+    w.value_double(has_dur ? cell.agg.dur_max : 0.0, 9);
+    w.member("dur_hist",                           // rollupcell:dur_hist
+             cell.agg.dur_hist.encode());
+    // Convenience quantiles off the histogram (nanoseconds).
+    w.key("dur_p50_ns");
+    w.value_double(cell.agg.dur_hist.percentile(50.0), 3);
+    w.key("dur_p95_ns");
+    w.value_double(cell.agg.dur_hist.percentile(95.0), 3);
+    w.key("dur_p99_ns");
+    w.value_double(cell.agg.dur_hist.percentile(99.0), 3);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return Response{200, "application/json", w.take()};
 }
 
 }  // namespace dlc::websvc

@@ -22,6 +22,17 @@
 //   /api/store                          -> durable-store status (WAL and
 //                                          segment state per shard; 404
 //                                          when no store is attached)
+//   /api/rollup                         -> rollup-engine status (policies,
+//                                          cell counts, spill state; 404
+//                                          when no engine is attached)
+//   /api/rollup/<policy>?job=1,2&op=read,write&producer=nid40&rank=3
+//              &from_s=0&to_s=600&bucket_s=60
+//                                       -> rollup cells (JSON)
+//
+// When a rollup engine is attached (set_rollup), the fig5/6/7/7_summary/9
+// panel modules answer from rollup cells whenever a policy covers the
+// panel (raw-scan fallback otherwise); the /api/panel response carries a
+// "source" member ("rollup:<policy>" or "raw") so dashboards can tell.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +45,7 @@
 #include "dsos/cluster.hpp"
 #include "obs/registry.hpp"
 #include "obs/spans.hpp"
+#include "rollup/engine.hpp"
 #include "store/store.hpp"
 
 namespace dlc::websvc {
@@ -82,6 +94,11 @@ class DashboardService {
   /// route answer 404 (memory-mode deployment).
   void set_store(const store::Store* store) { store_ = store; }
 
+  /// Rollup engine behind /api/rollup and the rollup-served figure
+  /// panels; nullptr (the default) makes /api/rollup answer 404 and all
+  /// panels run raw scans.
+  void set_rollup(const rollup::RollupEngine* engine) { rollup_ = engine; }
+
  private:
   Response api_health() const;
   Response api_schemas() const;
@@ -92,12 +109,16 @@ class DashboardService {
   Response api_metrics() const;
   Response api_obs_spans() const;
   Response api_store() const;
+  Response api_rollup_status() const;
+  Response api_rollup_cells(const std::string& policy,
+                            const Params& params) const;
 
   std::shared_ptr<dsos::DsosCluster> db_;
   std::map<std::string, AnalysisModule> modules_;
   const obs::Registry* registry_ = &obs::Registry::global();
   const obs::TraceCollector* collector_ = nullptr;
   const store::Store* store_ = nullptr;
+  const rollup::RollupEngine* rollup_ = nullptr;
   mutable std::uint64_t requests_ = 0;
 };
 

@@ -6,6 +6,8 @@
 
 #include "core/schema_darshan.hpp"
 #include "json/parser.hpp"
+#include "rollup/engine.hpp"
+#include "rollup/policy.hpp"
 #include "websvc/dashboard.hpp"
 #include "websvc/http.hpp"
 #include "websvc/service.hpp"
@@ -191,6 +193,58 @@ TEST(Http, ServesManySequentialClients) {
     EXPECT_EQ(status, 200);
   }
   server.stop();
+}
+
+TEST(Service, RollupEndpointsNeedAnAttachedEngine) {
+  DashboardService service(demo_db());
+  EXPECT_EQ(service.handle("/api/rollup").status, 404);
+  EXPECT_EQ(service.handle("/api/rollup/op_counts").status, 404);
+}
+
+TEST(Service, RollupStatusCellsAndPanelSource) {
+  auto db = demo_db();
+  rollup::RollupEngineConfig cfg;
+  cfg.policies = rollup::default_rollup_policies();
+  rollup::RollupEngine engine(cfg);
+  engine.attach(*db);  // replays the pre-inserted demo rows
+  engine.flush();
+  DashboardService service(db);
+
+  // Without the engine wired up, panels report the raw path.
+  {
+    const auto doc =
+        json::parse(service.handle("/api/panel?module=fig5&job=1,2").body);
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->get_string("source"), "raw");
+  }
+
+  service.set_rollup(&engine);
+
+  const auto status = json::parse(service.handle("/api/rollup").body);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->find("policies")->as_array().size(), 4u);
+  EXPECT_EQ(status->get_uint("late_dropped"), 0u);
+
+  // Cells for one policy, filtered to one job/op.
+  const Response cells =
+      service.handle("/api/rollup/op_counts?job=1&op=read");
+  ASSERT_EQ(cells.status, 200);
+  const auto doc = json::parse(cells.body);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->get_string("policy"), "op_counts");
+  const auto& rows = doc->find("cells")->as_array();
+  ASSERT_EQ(rows.size(), 1u);  // demo db: 2 ranks x 1 read each for job 1
+  EXPECT_EQ(rows[0].get_uint("count"), 2u);
+  EXPECT_EQ(rows[0].get_string("op"), "read");
+
+  EXPECT_EQ(service.handle("/api/rollup/nope").status, 404);
+  EXPECT_EQ(service.handle("/api/rollup/op_counts?bucket_s=45").status, 400);
+
+  // The same panel now serves from rollup cells and says so.
+  const auto served =
+      json::parse(service.handle("/api/panel?module=fig5&job=1,2").body);
+  ASSERT_TRUE(served.has_value());
+  EXPECT_EQ(served->get_string("source"), "rollup:op_counts");
 }
 
 TEST(Dashboard, DefaultDashboardRendersAllPanels) {

@@ -32,6 +32,16 @@ checked the same way:
      store/segment.cpp), and the dsos::AttrType enum vs the `// objval:`
      case tags on put_value AND get_value (wire/objblock.cpp).
 
+A fourth canonical list — rollup::kRollupCellFields in src/rollup/cell.hpp
+(plus kRollupRowExtraFields, the row-only bookkeeping attrs) — is the
+aggregate surface the storage-policy engine persists and serves:
+
+  9. the rollup_cell schema builder and the `// rollupcell:` tags on
+     cell_to_row AND row_to_cell (rollup/cell.cpp), the tagged JSON
+     members of /api/rollup/<policy> (websvc/service.cpp), and
+     kRollupDims (rollup/policy.hpp) — every policy-keyable dimension
+     must be a cell key field, in canonical order.
+
 This lint extracts each surface with small, surface-specific grammars and
 diffs them against the canonical list: names, order (where the surface is
 order-bearing), and the N/A / -1 / 0 defaults that the DOM and fast JSON
@@ -598,6 +608,128 @@ def check_trace(repo, enc_trace, dec_trace):
     return fields, hops
 
 
+# --------------------------------------------------------------------------
+# Surface 9: the rollup cell (src/rollup, websvc/service.cpp).
+#
+# Canonical: kRollupCellFields + kRollupRowExtraFields (rollup/cell.hpp).
+# Re-stated by four surfaces:
+#   - the rollup_cell SchemaBuilder chain (cell.cpp): attr names must BE
+#     cell fields + extras in order, each carrying a matching tag,
+#   - cell_to_row / row_to_cell (cell.cpp): ordered `// rollupcell:` (and
+#     `// rollupcell-extra:`) tags on encoder AND decoder,
+#   - the /api/rollup/<policy> JSON members (websvc/service.cpp): each
+#     tagged line's key literal must BE its tag, sequence in cell order
+#     (extras are bookkeeping and must NOT leak into the response),
+#   - kRollupDims (rollup/policy.hpp): the policy-keyable dimensions,
+#     which must appear in kRollupCellFields in the same relative order.
+
+def count_constant(src, name, where):
+    m = re.search(name + r"\s*=\s*(\d+)", src)
+    if not m:
+        die_extract(f"cannot find {name} in {where}")
+    return int(m.group(1))
+
+
+def check_rollup(repo):
+    hdr = read(repo, "src/rollup/cell.hpp")
+    cell_fields = array_literal(hdr, r"kRollupCellFields\[\]",
+                                "kRollupCellFields (cell.hpp)")
+    extra_fields = array_literal(hdr, r"kRollupRowExtraFields\[\]",
+                                 "kRollupRowExtraFields (cell.hpp)")
+    if not cell_fields or not extra_fields:
+        die_extract("empty rollup field list in cell.hpp")
+    for name, fields in (("kRollupCellFieldCount", cell_fields),
+                         ("kRollupRowExtraFieldCount", extra_fields)):
+        n = count_constant(hdr, name, "cell.hpp")
+        if n != len(fields):
+            diff_fail(f"{name} vs array size (cell.hpp)",
+                      [f"{name} = {len(fields)}"], [f"{name} = {n}"])
+    row_fields = cell_fields + extra_fields
+
+    src = read(repo, "src/rollup/cell.cpp")
+    schema_part, rest = split_once(src, r"dsos::Object cell_to_row\(",
+                                   "cell_to_row in cell.cpp")
+    enc_part, dec_part = split_once(rest, r"bool row_to_cell\(",
+                                    "row_to_cell in cell.cpp")
+
+    def tags(body, what):
+        """Ordered rollupcell/rollupcell-extra tags; extras must trail."""
+        found = re.findall(r"rollupcell(-extra)?:(\S+)", body)
+        if not found:
+            die_extract(f"no rollupcell: tags found in {what}")
+        seq = [f for _, f in found]
+        first_extra = next(
+            (i for i, (x, _) in enumerate(found) if x), len(found))
+        if any(not x for x, _ in found[first_extra:]):
+            diff_fail(f"rollupcell tag grouping ({what})",
+                      ["all rollupcell-extra tags after cell-field tags"],
+                      [f"{'extra:' if x else ''}{f}" for x, f in found])
+        return seq
+
+    # Schema builder: attr names == row fields, each tagged consistently.
+    attrs = re.findall(r'\.attr\("([^"]+)",\s*AttrType::k\w+\)\s*'
+                       r'//\s*rollupcell(?:-extra)?:(\S+)', schema_part)
+    check_eq("rollup_cell schema attrs (cell.cpp vs cell.hpp)",
+             row_fields, [a for a, _ in attrs])
+    for attr, tag in attrs:
+        if attr != tag:
+            diff_fail("rollup_cell schema attr/tag binding (cell.cpp)",
+                      [f'.attr("{attr}") tagged rollupcell:{attr}'],
+                      [f'.attr("{attr}") tagged rollupcell:{tag}'])
+
+    check_eq("cell_to_row field tags (cell.cpp vs cell.hpp)",
+             row_fields, tags(enc_part, "cell_to_row"))
+    check_eq("row_to_cell field tags (cell.cpp vs cell.hpp)",
+             row_fields, tags(dec_part, "row_to_cell"))
+
+    # Websvc JSON: the tagged member/key literals of the cell object, in
+    # cell order; every tag line must name the literal it annotates, and
+    # the row-only extras must not be served.
+    svc = read(repo, "src/websvc/service.cpp")
+    body = strip_block(svc, r"Response DashboardService::api_rollup_cells\(",
+                       r"\n\}", "api_rollup_cells")
+    svc_seq = []
+    for line in body.splitlines():
+        m = re.search(r"rollupcell(-extra)?:(\S+)", line)
+        if not m:
+            continue
+        if m.group(1):
+            diff_fail("JSON rollup cell members (service.cpp)",
+                      ["no rollupcell-extra fields in the response"],
+                      [f"rollupcell-extra:{m.group(2)} served"])
+        key = re.search(r'w\.(?:member|key)\("(\w+)"', line)
+        if not key:
+            die_extract(f"rollupcell tag on a non-member line: {line.strip()}")
+        if key.group(1) != m.group(2):
+            diff_fail("JSON rollup cell member/tag binding (service.cpp)",
+                      [f'"{key.group(1)}" tagged rollupcell:{key.group(1)}'],
+                      [f'"{key.group(1)}" tagged rollupcell:{m.group(2)}'])
+        svc_seq.append(key.group(1))
+    if not svc_seq:
+        die_extract("no rollupcell: tags found in api_rollup_cells")
+    check_eq("JSON rollup cell members (service.cpp vs cell.hpp)",
+             cell_fields, svc_seq)
+
+    # Policy dimensions: keyable dims are exactly the cell key fields
+    # (everything between the policy name and the time bucket), in the
+    # same order — a dimension added to one side must reach the other.
+    pol = read(repo, "src/rollup/policy.hpp")
+    dims = array_literal(pol, r"kRollupDims\[\]", "kRollupDims (policy.hpp)")
+    n = count_constant(pol, "kRollupDimCount", "policy.hpp")
+    if n != len(dims):
+        diff_fail("kRollupDimCount vs array size (policy.hpp)",
+                  [f"kRollupDimCount = {len(dims)}"],
+                  [f"kRollupDimCount = {n}"])
+    try:
+        key_fields = cell_fields[cell_fields.index("policy") + 1:
+                                 cell_fields.index("bucket")]
+    except ValueError:
+        die_extract("kRollupCellFields lost its policy/bucket delimiters")
+    check_eq("policy dims vs cell key fields (policy.hpp vs cell.hpp)",
+             key_fields, dims)
+    return cell_fields, extra_fields, dims
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--repo", default=None,
@@ -617,6 +749,7 @@ def main():
     enc_trace, dec_trace = check_codec(repo, fields)
     trace_fields, hops = check_trace(repo, enc_trace, dec_trace)
     wal_fields, seg_fields, attr_types = check_store(repo)
+    cell_fields, extra_fields, dims = check_rollup(repo)
 
     print(f"lint_schema_parity: OK — {len(fields)} fields consistent "
           "across schema, CSV header, JSON encoder, fast+DOM decoders, "
@@ -625,7 +758,10 @@ def main():
           "span consistent across JSON envelope, wire codec, and Hop enum; "
           f"{len(wal_fields)}-field WAL frame, {len(seg_fields)}-field "
           f"segment header and {len(attr_types)}-type object-value codec "
-          "consistent across their encode/decode sites")
+          "consistent across their encode/decode sites; "
+          f"{len(cell_fields)}+{len(extra_fields)}-field rollup cell and "
+          f"{len(dims)}-dim policy key consistent across schema, row "
+          "codec, and websvc JSON")
 
 
 if __name__ == "__main__":
