@@ -50,6 +50,7 @@
 #include "rollup/engine.hpp"
 #include "rollup/policy.hpp"
 #include "rollup/serve.hpp"
+#include "util/cpu.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
@@ -493,6 +494,13 @@ int main(int argc, char** argv) {
     w.member("baseline_events_per_sec", baseline_eps);
     w.member("rollup_events_per_sec", rollup_eps);
     w.member("ingest_overhead_pct", overhead_pct);
+    {
+      const util::CpuBudget cpus = util::cpu_budget();
+      w.member("hardware_threads",
+               static_cast<std::uint64_t>(cpus.hardware_threads));
+      w.member("effective_cpus", static_cast<std::uint64_t>(cpus.effective));
+      w.member("effective_cpus_source", cpus.source);
+    }
     w.key("engine");
     w.begin_object();
     w.member("events_folded", stats.events);
@@ -552,11 +560,28 @@ int main(int argc, char** argv) {
                     t.panel.c_str(), t.speedup);
       gate(t.speedup >= 100.0, buf);
     }
-    std::snprintf(buf, sizeof(buf),
-                  "rollup ingest >= 0.9x baseline events/sec (got %.3fx, "
-                  "overhead %.1f%%)",
-                  rollup_eps / baseline_eps, overhead_pct);
-    gate(rollup_eps >= 0.9 * baseline_eps, buf);
+    // The overhead gate is a timing A/B, and like bench_ingest's and
+    // bench_obs's perf gates it needs CPUs to itself: on a 1-CPU
+    // affinity/quota box the fold competes with the OS and harness for
+    // one core and the gate fails on scheduling physics, not on a
+    // regression.  Waive it loudly below 4 effective CPUs — the panel
+    // speedup and equivalence gates above are ratios of the same
+    // serving path and stay unconditional.
+    const util::CpuBudget cpus = util::cpu_budget();
+    if (cpus.effective >= 4) {
+      std::snprintf(buf, sizeof(buf),
+                    "rollup ingest >= 0.9x baseline events/sec (got %.3fx, "
+                    "overhead %.1f%%)",
+                    rollup_eps / baseline_eps, overhead_pct);
+      gate(rollup_eps >= 0.9 * baseline_eps, buf);
+    } else {
+      std::printf("  [SKIPPED] perf gate WAIVED: rollup ingest >= 0.9x "
+                  "baseline events/sec (effective CPUs %zu via %s: hw=%zu "
+                  "affinity=%zu quota=%zu; got %.3fx)\n",
+                  cpus.effective, cpus.source.c_str(),
+                  cpus.hardware_threads, cpus.affinity, cpus.quota_cpus,
+                  rollup_eps / baseline_eps);
+    }
   }
 
   if (!ok) {

@@ -145,7 +145,8 @@ class Container {
   CommitSink* commit_sink() const { return sink_; }
 
   /// Non-owning commit observers, notified after the durability sink on
-  /// every insert and on every commit().  Unlike the sink slot (exclusive:
+  /// every insert and — only when the sink's flush succeeded — on every
+  /// commit().  Unlike the sink slot (exclusive:
   /// the store claims the rows), any number of observers may coexist —
   /// the rollup engine mounts its per-shard decomposition sinks here.
   /// Same threading contract as the sink: callbacks run on the shard's
@@ -153,12 +154,25 @@ class Container {
   void add_observer(CommitSink* observer);
   void remove_observer(CommitSink* observer);
 
-  /// Durability barrier: notifies observers, then forwards to the sink.
-  /// True when the sink reports all rows durable; false when no sink is
-  /// attached (memory mode: nothing is ever durable) or the flush failed.
+  /// Durability barrier: forwards to the sink FIRST and notifies
+  /// observers only after the flush succeeds (same order as insert()).
+  /// Anything an observer durably derives from this batch — rollup
+  /// spills of sealed cells — therefore never covers raw rows the
+  /// store lost to a torn WAL frame; a crash inside the sink leaves
+  /// observers un-notified and their state strictly behind the raw
+  /// store, which recovery rebuilds forward.  True when the sink
+  /// reports all rows durable; false when no sink is attached (memory
+  /// mode: nothing is ever durable, observers still run — there is no
+  /// durability to order against) or the flush failed (observers are
+  /// skipped; the batch stays pending and re-commits later).
   bool commit() {
+    if (sink_ != nullptr) {
+      if (!sink_->on_commit()) return false;
+      for (CommitSink* obs : observers_) obs->on_commit();
+      return true;
+    }
     for (CommitSink* obs : observers_) obs->on_commit();
-    return sink_ != nullptr && sink_->on_commit();
+    return false;
   }
 
  private:

@@ -94,13 +94,28 @@ RollupEngine::RollupEngine(RollupEngineConfig config)
       CompiledPolicy::Clause cc;
       cc.dim = static_cast<std::uint8_t>(dim_index(clause.attr));
       for (const std::string& v : clause.values) {
+        // parse_rollup_policies already type-checks these, but configs
+        // can also be built programmatically — reject rather than
+        // compile a garbage value into a clause that matches job/rank 0.
         if (clause.attr == "job_id") {
           std::uint64_t n = 0;
-          std::from_chars(v.data(), v.data() + v.size(), n);
+          const auto [ptr, ec] =
+              std::from_chars(v.data(), v.data() + v.size(), n);
+          if (ec != std::errc() || ptr != v.data() + v.size()) {
+            throw std::invalid_argument("rollup: policy '" + p.name +
+                                        "' has non-uint64 job_id match '" +
+                                        v + "'");
+          }
           cc.u64s.push_back(n);
         } else if (clause.attr == "rank") {
           std::int64_t n = 0;
-          std::from_chars(v.data(), v.data() + v.size(), n);
+          const auto [ptr, ec] =
+              std::from_chars(v.data(), v.data() + v.size(), n);
+          if (ec != std::errc() || ptr != v.data() + v.size()) {
+            throw std::invalid_argument("rollup: policy '" + p.name +
+                                        "' has non-int64 rank match '" + v +
+                                        "'");
+          }
           cc.i64s.push_back(n);
         } else {
           cc.strs.push_back(v);
@@ -414,7 +429,17 @@ void RollupEngine::on_commit(std::size_t shard, bool seal_everything) {
       open_cells += o.open.size();
     }
   }
-  if (obs::enabled()) m_cells_open_->set_max(static_cast<std::int64_t>(open_cells));
+  sh.open_count.store(open_cells, std::memory_order_relaxed);
+  if (obs::enabled()) {
+    // Publish the engine-wide total (what stats()/status_json() report),
+    // summed from the per-shard commit-time counts — a true gauge that
+    // falls as buckets seal, not a per-shard high watermark.
+    std::uint64_t total = 0;
+    for (const auto& other : shards_) {
+      total += other->open_count.load(std::memory_order_relaxed);
+    }
+    m_cells_open_->set(static_cast<std::int64_t>(total));
+  }
   for (SealBatch& batch : batches) spill(shard, std::move(batch));
 }
 

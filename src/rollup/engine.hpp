@@ -210,6 +210,10 @@ class RollupEngine {
     mutable util::Mutex m{"RollupShard"};
     std::vector<PolicyWriter> writer;  // writer-thread-owned, unguarded
     std::vector<PolicyOpen> pol DLC_GUARDED_BY(m);
+    /// This shard's open-cell count as of its last commit — lets the
+    /// dlc.rollup.cells_open gauge publish the engine-wide total
+    /// without taking the other shards' locks on the commit path.
+    std::atomic<std::uint64_t> open_count{0};
     // Writer-thread schema cache (unguarded by the single-writer
     // contract, like Container::objects_).
     const dsos::Schema* cached_schema = nullptr;

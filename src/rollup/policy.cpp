@@ -166,18 +166,28 @@ PolicySet parse_rollup_policies(std::string_view text) {
           for (const std::string_view v :
                split(clause_text.substr(colon + 1), '|')) {
             if (v.empty()) continue;
-            // Numeric dimensions must carry numeric values, or the
-            // clause can never match — reject at parse time.
-            if (clause.attr == "job_id" || clause.attr == "rank") {
+            // Numeric dimensions must carry values of the attribute's
+            // actual Table I type, or the clause can never match —
+            // reject at parse time.  job_id is uint64 on the wire, so
+            // "-1" is invalid here (an int64 parse would accept it and
+            // the compiled clause would silently match job 0).
+            bool numeric_ok = true;
+            if (clause.attr == "job_id") {
+              std::uint64_t n = 0;
+              const auto [ptr, ec] =
+                  std::from_chars(v.data(), v.data() + v.size(), n);
+              numeric_ok = ec == std::errc() && ptr == v.data() + v.size();
+            } else if (clause.attr == "rank") {
               std::int64_t n = 0;
               const auto [ptr, ec] =
                   std::from_chars(v.data(), v.data() + v.size(), n);
-              if (ec != std::errc() || ptr != v.data() + v.size()) {
-                fail("non-numeric " + clause.attr + " match value '" +
-                     std::string(v) + "'");
-                bad = true;
-                break;
-              }
+              numeric_ok = ec == std::errc() && ptr == v.data() + v.size();
+            }
+            if (!numeric_ok) {
+              fail("non-numeric " + clause.attr + " match value '" +
+                   std::string(v) + "'");
+              bad = true;
+              break;
             }
             clause.values.emplace_back(v);
           }

@@ -419,11 +419,14 @@ Response DashboardService::api_panel(const Params& params) const {
       const double bucket =
           bit != params.end() ? std::strtod(bit->second.c_str(), nullptr)
                               : 10.0;
+      // No jobs to serve from rollups: leave handled false so the
+      // registered raw fig9 module answers, as it does engine-less —
+      // not a fabricated empty frame labeled "raw".
       if (!jobs.empty()) {
         served = rollup::panel_fig9(rollup_, *db_, jobs.front(),
                                     bucket > 0 ? bucket : 10.0);
+        handled = true;
       }
-      handled = true;
     }
   }
   if (handled) {

@@ -247,6 +247,38 @@ TEST(Service, RollupStatusCellsAndPanelSource) {
   EXPECT_EQ(served->get_string("source"), "rollup:op_counts");
 }
 
+TEST(Service, PanelFig9WithNoJobsRunsTheRegisteredRawModule) {
+  // Empty database: job_list() finds no jobs, so the rollup path cannot
+  // serve fig9 and must fall through to the registered raw module — not
+  // return a fabricated empty frame labeled "raw" without invoking it.
+  dsos::ClusterConfig cfg;
+  cfg.shard_count = 1;
+  cfg.shard_attr = "rank";
+  cfg.parallel_query = false;
+  auto db = std::make_shared<dsos::DsosCluster>(cfg);
+  db->register_schema(core::darshan_data_schema());
+
+  rollup::RollupEngineConfig rcfg;
+  rcfg.policies = rollup::default_rollup_policies();
+  rollup::RollupEngine engine(rcfg);
+  engine.attach(*db);
+  DashboardService service(db);
+  service.set_rollup(&engine);
+  service.register_module("fig9",
+                          [](const dsos::DsosCluster&, const Params&) {
+                            analysis::DataFrame df;
+                            df.add_int_column("sentinel", {42});
+                            return df;
+                          });
+
+  const Response r = service.handle("/api/panel?module=fig9");
+  ASSERT_EQ(r.status, 200);
+  const auto doc = json::parse(r.body);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->get_string("source"), "raw");
+  EXPECT_NE(r.body.find("sentinel"), std::string::npos);
+}
+
 TEST(Dashboard, DefaultDashboardRendersAllPanels) {
   DashboardService service(demo_db());
   const Dashboard dash = default_io_dashboard(2);
