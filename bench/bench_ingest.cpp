@@ -15,6 +15,19 @@
 // pruning on a time-rotated PartitionedStore and limit pushdown on the
 // cluster k-way merge.
 //
+// Two further phases measure the multi-million-events/sec hot path:
+//
+//   stages:    a serial diagnostic split of the JSON path's per-event cost
+//              into decode / route / enqueue / commit ns, so a regression
+//              in any one stage is visible without bisecting the pipeline,
+//   hot path:  pre-encoded binary_batched wire frames walked by
+//              wire::FrameCursor straight into dsos::make_object_unchecked
+//              and a pinned (DARSHAN_LDMS_PIN=auto equivalent) SpscRing
+//              IngestExecutor — no JSON text, no DOM, no per-event
+//              validation — gated against the COMMITTED JSON-path baseline
+//              (kCommittedParallelEps below), not a same-run rerun, so
+//              faster hardware cannot inflate the bar.
+//
 // Each configuration is timed kReps (3) times and the row reports the
 // median run, so a single scheduler hiccup cannot flip a gate.  Every row
 // also records the hardware threads the parallel run actually used
@@ -22,12 +35,15 @@
 // BENCH_ingest.json comparisons honest.
 //
 // Writes BENCH_ingest.json (override path: DLC_BENCH_OUT) with events/sec,
-// bytes/event and speedup per shard count.  --check adds the fatal perf
-// gates: parallel >= 1.5x serial events/sec at >= 4 shards (enforced only
-// when util::effective_cpus() — hardware threads bounded by the CPU
-// affinity mask and any cgroup quota, so a 64-core host confined to one
-// core does not enforce an impossible gate — reports >= 4; otherwise the
-// gate prints a loud SKIPPED marker, the same reasoning that keeps timing
+// bytes/event and speedup per shard count, the per-stage ns/event split,
+// and the hot-path block (format, frames, threads, pin/simd provenance,
+// speedup vs the committed baseline).  --check adds the fatal perf
+// gates: parallel >= 1.5x serial events/sec at >= 4 shards and the binary
+// hot path >= 5x the committed baseline (both enforced only when
+// util::effective_cpus() — hardware threads bounded by the CPU affinity
+// mask and any cgroup quota, so a 64-core host confined to one core does
+// not enforce an impossible gate — reports >= 4; otherwise the gate
+// prints a loud SKIPPED marker, the same reasoning that keeps timing
 // gates out of sanitizer builds), and pruned queries no slower than
 // unpruned.  Scale knob: DLC_INGEST_EVENTS.
 #include <algorithm>
@@ -42,6 +58,7 @@
 
 #include "core/decoder.hpp"
 #include "core/schema_darshan.hpp"
+#include "darshan/events.hpp"
 #include "dsos/cluster.hpp"
 #include "dsos/ingest.hpp"
 #include "dsos/partition.hpp"
@@ -49,6 +66,8 @@
 #include "json/writer.hpp"
 #include "util/cpu.hpp"
 #include "util/rng.hpp"
+#include "util/spsc_ring.hpp"
+#include "wire/codec.hpp"
 
 using namespace dlc;
 
@@ -214,6 +233,183 @@ std::string fingerprint(const dsos::DsosCluster& cluster) {
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Binary hot path: wire frames -> FrameCursor -> pinned SpscRing executor.
+
+/// The committed baseline the binary hot path is gated against: the best
+/// parallel ingest rate in the repo's committed BENCH_ingest.json at the
+/// time the hot path landed (commit 81e8833: 2 shards, JSON decode on the
+/// caller thread).  A frozen constant rather than a same-run rerun of the
+/// JSON phase, so running on faster hardware raises BOTH paths and the
+/// >= 5x ratio stays a statement about the hot path, not the host.  That
+/// committed artifact recorded "hardware_threads":1 with no affinity /
+/// quota provenance — the run was confined to one CPU — which is exactly
+/// the trap the effective-CPU waiver below exists for; this binary now
+/// records the full util::cpu_budget() breakdown alongside every gate.
+constexpr double kCommittedParallelEps = 253257.755817;
+
+/// Events per binary_batched frame — the connector batcher's amortisation
+/// unit (interning table, header, per-frame obs/trace stamping).
+constexpr std::size_t kEventsPerFrame = 512;
+
+/// Shards/workers for the hot-path run: the smallest count the >= 5x gate
+/// is specified at (4 effective hardware threads).
+constexpr std::size_t kHotShards = 4;
+
+/// Pre-encoded binary_batched frames mirroring make_payload's field mix
+/// (POSIX read/write, 64 ranks, same producer rotation).  End times step
+/// on a whole-microsecond grid so the seg_dur / seg_timestamp doubles are
+/// exactly representable on every surface the identity gate compares.
+std::vector<std::string> make_frames(std::size_t count) {
+  Rng rng(23);
+  wire::EncodeContext ctx;
+  ctx.uid = 99066;
+  ctx.job_id = 1;
+  ctx.exe = "/projects/ovis/bench/mpi-io-test";
+  ctx.epoch_seconds = 1.6e9;
+  wire::FrameEncoder enc(ctx);
+  std::vector<std::string> frames;
+  SimTime end = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    darshan::IoEvent e;
+    e.module = darshan::Module::kPosix;
+    e.op = rng.uniform() < 0.5 ? darshan::Op::kWrite : darshan::Op::kRead;
+    e.rank = static_cast<int>(rng.uniform_int(0, 63));
+    e.record_id = rng.next_u64();
+    e.max_byte = static_cast<std::int64_t>(rng.next_u64() % (1 << 22));
+    e.switches = 0;
+    e.flushes = -1;
+    e.cnt = static_cast<std::int64_t>(rng.next_u64() % 64);
+    e.offset = rng.next_u64() % (1 << 22);
+    e.length = rng.next_u64() % (1 << 20);
+    end += static_cast<SimDuration>(1 + rng.next_u64() % 1000) * kMicrosecond;
+    e.start = end - kMicrosecond;
+    e.end = end;
+    enc.add(e, "nid" + std::to_string(41 + e.rank % 4));
+    if (enc.event_count() == kEventsPerFrame) {
+      frames.push_back(enc.take_frame());
+    }
+  }
+  if (!enc.empty()) frames.push_back(enc.take_frame());
+  return frames;
+}
+
+/// Serial hot-path reference: cursor-walk every frame, insert inline.
+/// Also the identity reference the parallel run must reproduce.
+IngestRun run_hot_serial(const dsos::SchemaPtr& schema,
+                         const std::vector<std::string>& frames) {
+  IngestRun run;
+  run.cluster = make_cluster(schema, kHotShards);
+  std::vector<dsos::Value> values;
+  const double t0 = now_seconds();
+  for (const std::string& f : frames) {
+    wire::FrameCursor cursor(f);
+    for (;;) {
+      const int step = cursor.next(values, nullptr);
+      if (step <= 0) break;  // bench frames are well-formed by construction
+      run.cluster->insert(dsos::make_object_unchecked(schema,
+                                                      std::move(values)));
+      values = {};
+    }
+  }
+  run.seconds = now_seconds() - t0;
+  return run;
+}
+
+/// The hot path proper: FrameCursor -> make_object_unchecked -> pinned
+/// SpscRing executor (one writer per shard, DARSHAN_LDMS_PIN=auto
+/// placement resolved the same way exp::run_pipeline resolves it).
+IngestRun run_hot_parallel(const dsos::SchemaPtr& schema,
+                           const std::vector<int>& pin_cpus,
+                           const std::vector<std::string>& frames) {
+  IngestRun run;
+  run.cluster = make_cluster(schema, kHotShards);
+  dsos::IngestConfig icfg;
+  icfg.workers = kHotShards;
+  icfg.pin_cpus = pin_cpus;
+  const double t0 = now_seconds();
+  {
+    dsos::IngestExecutor ingest(*run.cluster, icfg);
+    std::vector<dsos::Value> values;
+    for (const std::string& f : frames) {
+      wire::FrameCursor cursor(f);
+      for (;;) {
+        const int step = cursor.next(values, nullptr);
+        if (step <= 0) break;
+        ingest.submit(dsos::make_object_unchecked(schema, std::move(values)));
+        values = {};
+      }
+    }
+    ingest.drain();
+    run.backpressure_waits = ingest.stats().backpressure_waits;
+    run.threads_used = ingest.workers() + 1;
+    run.threads_used = std::min(run.threads_used, util::effective_cpus());
+  }
+  run.seconds = now_seconds() - t0;
+  return run;
+}
+
+// ---------------------------------------------------------------------------
+// Per-stage serial breakdown of the JSON path's per-event cost.
+
+struct StageNs {
+  double decode = 0.0;   // JSON text -> dsos::Object rows
+  double route = 0.0;    // shard selection (hash of the shard attr)
+  double enqueue = 0.0;  // SpscRing push + pop round trip (the hand-off)
+  double commit = 0.0;   // single-writer insert + durability barrier
+};
+
+/// Serial diagnostic split: each pipeline stage timed in isolation over
+/// the same decoded rows, so a regression shows WHERE the time went
+/// without bisecting.  The stages are measured back-to-back, not nested,
+/// so they do not sum exactly to the serial ingest rate above — they are
+/// a ratio diagnostic, not an accounting identity.
+StageNs measure_stage_ns(const dsos::SchemaPtr& schema,
+                         const std::vector<std::string>& payloads) {
+  StageNs out;
+  const double n = static_cast<double>(payloads.size());
+  std::vector<dsos::Object> all;
+  all.reserve(payloads.size());
+  {
+    std::vector<dsos::Object> rows;
+    const double t0 = now_seconds();
+    for (const std::string& p : payloads) {
+      decode_payload(schema, p, rows);
+      for (auto& obj : rows) all.push_back(std::move(obj));
+    }
+    out.decode = (now_seconds() - t0) * 1e9 / n;
+  }
+  auto cluster = make_cluster(schema, kHotShards);
+  std::vector<std::size_t> shard_of(all.size());
+  {
+    const double t0 = now_seconds();
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      shard_of[i] = cluster->route(all[i]);
+    }
+    out.route = (now_seconds() - t0) * 1e9 / n;
+  }
+  {
+    SpscRing<dsos::Object> ring(1024);
+    const double t0 = now_seconds();
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      ring.try_push(std::move(all[i]));
+      all[i] = std::move(*ring.try_pop());
+    }
+    out.enqueue = (now_seconds() - t0) * 1e9 / n;
+  }
+  {
+    const double t0 = now_seconds();
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      cluster->insert_at(shard_of[i], std::move(all[i]));
+    }
+    for (std::size_t s = 0; s < cluster->shard_count(); ++s) {
+      cluster->commit_shard(s);
+    }
+    out.commit = (now_seconds() - t0) * 1e9 / n;
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -275,6 +471,44 @@ int main(int argc, char** argv) {
                    exp::cell_u(r.backpressure_waits), same ? "yes" : "NO"});
   }
   std::printf("%s\n", table.render().c_str());
+
+  // Per-stage serial breakdown: where a JSON-path event's time goes.
+  const StageNs stages = measure_stage_ns(schema, payloads);
+  std::printf("Per-stage serial cost (ns/event, measured in isolation):\n");
+  std::printf("  decode %8.1f   route %6.1f   enqueue %6.1f   commit %6.1f\n\n",
+              stages.decode, stages.route, stages.enqueue, stages.commit);
+
+  // Binary hot path: wire frames through the pinned lock-free executor.
+  const std::vector<std::string> frames = make_frames(events);
+  std::size_t frame_bytes = 0;
+  for (const auto& f : frames) frame_bytes += f.size();
+  util::PinPolicy pin_policy;
+  util::parse_pin_policy("auto", pin_policy);
+  const std::vector<int> pin_cpus = util::resolve_pin_cpus(pin_policy);
+  const std::string simd_name(util::simd_level_name(util::active_simd()));
+  const IngestRun hot_serial =
+      median_run([&] { return run_hot_serial(schema, frames); });
+  const IngestRun hot =
+      median_run([&] { return run_hot_parallel(schema, pin_cpus, frames); });
+  const bool hot_identical =
+      fingerprint(*hot_serial.cluster) == fingerprint(*hot.cluster) &&
+      !frames.empty();
+  const double hot_serial_eps =
+      static_cast<double>(events) / hot_serial.seconds;
+  const double hot_eps = static_cast<double>(events) / hot.seconds;
+  const double hot_speedup = hot_eps / kCommittedParallelEps;
+  std::printf("Binary hot path (wire frames -> FrameCursor -> pinned "
+              "executor, %zu shards):\n",
+              kHotShards);
+  std::printf("  %zu frames, %zu events/frame, %.1f frame bytes/event, "
+              "simd=%s, pinned cpus=%zu\n",
+              frames.size(), kEventsPerFrame,
+              static_cast<double>(frame_bytes) / static_cast<double>(events),
+              simd_name.c_str(), pin_cpus.size());
+  std::printf("  serial %10.0f ev/s   parallel %10.0f ev/s (%zu threads)\n",
+              hot_serial_eps, hot_eps, hot.threads_used);
+  std::printf("  vs committed JSON baseline %.0f ev/s: %.2fx\n\n",
+              kCommittedParallelEps, hot_speedup);
 
   // Phase 2: zone-map pruning on a time-rotated partitioned store.  Each
   // partition holds one timestamp window, and the filter targets the last
@@ -389,6 +623,38 @@ int main(int argc, char** argv) {
     }
     w.end_array();
     w.member("results_byte_identical", identical);
+    w.key("baseline");
+    w.begin_object();
+    w.member("source",
+             "committed BENCH_ingest.json at 81e8833 (best parallel row, "
+             "2 shards, JSON path)");
+    w.member("parallel_events_per_sec", kCommittedParallelEps);
+    w.end_object();
+    w.key("stage_ns_per_event");
+    w.begin_object();
+    w.member("decode_ns", stages.decode);
+    w.member("route_ns", stages.route);
+    w.member("enqueue_ns", stages.enqueue);
+    w.member("commit_ns", stages.commit);
+    w.end_object();
+    w.key("hot_path");
+    w.begin_object();
+    w.member("format", "binary_batched");
+    w.member("frames", static_cast<std::uint64_t>(frames.size()));
+    w.member("events_per_frame", static_cast<std::uint64_t>(kEventsPerFrame));
+    w.member("frame_bytes_per_event",
+             static_cast<double>(frame_bytes) / static_cast<double>(events));
+    w.member("shards", static_cast<std::uint64_t>(kHotShards));
+    w.member("threads_used", static_cast<std::uint64_t>(hot.threads_used));
+    w.member("pin", pin_cpus.empty() ? "none" : "auto");
+    w.member("pinned_cpus", static_cast<std::uint64_t>(pin_cpus.size()));
+    w.member("simd", simd_name);
+    w.member("serial_events_per_sec", hot_serial_eps);
+    w.member("events_per_sec", hot_eps);
+    w.member("speedup_vs_committed_baseline", hot_speedup);
+    w.member("backpressure_waits", hot.backpressure_waits);
+    w.member("byte_identical", hot_identical);
+    w.end_object();
     w.key("zone_map_query");
     w.begin_object();
     w.member("partitions", static_cast<std::uint64_t>(kPartitions));
@@ -415,6 +681,9 @@ int main(int argc, char** argv) {
   // results is a bug regardless of benchmarking mode.
   gate(identical,
        "parallel and serial ingest produce byte-identical query results");
+  gate(hot_identical,
+       "binary hot path: pinned-parallel and serial cursor ingest are "
+       "byte-identical");
   gate(pruned_hits == unpruned_hits,
        "zone-map pruning returns identical hits");
   if (check) {
@@ -443,6 +712,31 @@ int main(int argc, char** argv) {
                     "(got %.2fx)",
                     r.shards, r.speedup);
       gate(r.speedup >= 1.5, buf);
+    }
+    // The tentpole gate: the binary hot path must beat the COMMITTED
+    // JSON-path baseline by >= 5x.  Same effective-CPU waiver as above —
+    // the hot path is 4 pinned writers plus the cursor-walking caller, so
+    // below 4 effective CPUs the ratio measures time-slicing, not the
+    // hot path.
+    {
+      char buf[320];
+      if (cpus.effective < 4) {
+        std::snprintf(buf, sizeof(buf),
+                      "  [SKIPPED] perf gate WAIVED: binary hot path >= 5x "
+                      "committed baseline %.0f ev/s (effective CPUs %zu via "
+                      "%s: hw=%zu affinity=%zu quota=%zu; got %.2fx at "
+                      "%.0f ev/s)\n",
+                      kCommittedParallelEps, cpus.effective,
+                      cpus.source.c_str(), cpus.hardware_threads,
+                      cpus.affinity, cpus.quota_cpus, hot_speedup, hot_eps);
+        std::printf("%s", buf);
+      } else {
+        std::snprintf(buf, sizeof(buf),
+                      "binary hot path >= 5x committed baseline %.0f ev/s "
+                      "(got %.2fx at %.0f ev/s)",
+                      kCommittedParallelEps, hot_speedup, hot_eps);
+        gate(hot_speedup >= 5.0, buf);
+      }
     }
     gate(pruned_parts > 0, "zone maps prune at least one partition");
     gate(pruned_s <= unpruned_s, "pruned queries are no slower");

@@ -113,6 +113,23 @@ struct ConnectorConfig {
   /// Traces ride the existing messages — there is no extra traffic, and
   /// with 0 the wire bytes are identical to a build without tracing.
   std::uint64_t trace_sample_n = 64;
+  /// Hot-path tuning knobs (DESIGN.md section 9).  Plain strings here —
+  /// core does not apply them; whoever builds the pipeline translates
+  /// them via util/cpu.hpp.
+  /// Shard-writer placement (env DARSHAN_LDMS_PIN): "none" (default),
+  /// "auto" (spread writers across the affinity mask), or an explicit
+  /// CPU list "0,2,4" (writer w pins to list[w % size]).
+  std::string pin = "none";
+  /// SIMD level cap for the JSON scanner (env DARSHAN_LDMS_SIMD):
+  /// "auto" (default: strongest the host supports), "avx2", "sse2", or
+  /// "scalar".  All levels are bit-identical; the knob is for A/B
+  /// measurement and for ruling out a kernel on suspect hardware.
+  std::string simd = "auto";
+  /// Binary decode fast path (env DARSHAN_LDMS_FASTPATH): "auto"/"on"
+  /// (default) stream wire frames straight into ingest via
+  /// wire::FrameCursor; "off" keeps the validated decode_frame path.
+  /// Rows are byte-identical either way.
+  std::string fastpath = "auto";
   /// Storage-side durability tier (env DARSHAN_LDMS_STORE_MODE):
   /// "memory" (paper behaviour, nothing survives the process), "wal"
   /// (every group commit durable), or "tiered" (WAL + sealed segments +

@@ -66,6 +66,16 @@ class DarshanDecoder {
                  dsos::IngestExecutor* ingest = nullptr,
                  obs::TraceCollector* traces = nullptr);
 
+  /// Toggles the binary fast path (DARSHAN_LDMS_FASTPATH; default on).
+  /// On: wire frames decode through wire::FrameCursor straight into the
+  /// submit loop — trusted row construction, per-frame (not per-event)
+  /// obs stamping.  Off: the wire::decode_frame wrapper with full
+  /// make_object validation.  Rows are byte-identical either way (both
+  /// run the same cursor); the toggle exists for A/B measurement and as
+  /// an escape hatch.
+  void set_binary_fastpath(bool on) { binary_fastpath_ = on; }
+  bool binary_fastpath() const { return binary_fastpath_; }
+
   /// Rows ingested (one per JSON seg entry / binary frame event).
   std::uint64_t decoded() const { return decoded_; }
   std::uint64_t malformed() const { return malformed_; }
@@ -80,10 +90,14 @@ class DarshanDecoder {
 
  private:
   void on_message(const ldms::StreamMessage& msg);
+  /// Fast path: fills scratch_rows_/scratch_traces_ from a wire frame.
+  /// False on malformed input (scratch left empty).
+  bool decode_frame_fast(std::string_view payload);
 
   dsos::SchemaPtr schema_;
   dsos::DsosCluster& cluster_;
   bool dedup_redelivered_;
+  bool binary_fastpath_ = true;
   dsos::IngestExecutor* ingest_;
   obs::TraceCollector* collector_;
   relia::SequenceTracker tracker_;

@@ -3,6 +3,7 @@
 #include <charconv>
 #include <cstdlib>
 
+#include "util/cpu.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
 
@@ -171,6 +172,30 @@ EnvConfig connector_config_from_env(const EnvGetter& getenv_fn) {
       cfg.connector.trace_sample_n = n;
     } else {
       reject(cfg, "DARSHAN_LDMS_TRACE_SAMPLE", v);
+    }
+  }
+  if (const char* v = get("DARSHAN_LDMS_PIN")) {
+    util::PinPolicy policy;
+    if (util::parse_pin_policy(v, policy)) {
+      cfg.connector.pin = v;
+    } else {
+      reject(cfg, "DARSHAN_LDMS_PIN", v);
+    }
+  }
+  if (const char* v = get("DARSHAN_LDMS_SIMD")) {
+    util::SimdLevel level;
+    if (util::simd_level_from_name(v, level)) {
+      cfg.connector.simd = v;
+    } else {
+      reject(cfg, "DARSHAN_LDMS_SIMD", v);
+    }
+  }
+  if (const char* v = get("DARSHAN_LDMS_FASTPATH")) {
+    const std::string mode(v);
+    if (mode == "auto" || mode == "on" || mode == "off") {
+      cfg.connector.fastpath = mode;
+    } else {
+      reject(cfg, "DARSHAN_LDMS_FASTPATH", mode);
     }
   }
   if (const char* v = get("DARSHAN_LDMS_STORE_MODE")) {

@@ -38,6 +38,13 @@
 //                            (unset = rollups stay in memory)
 //   DARSHAN_LDMS_ROLLUP_RETENTION  rollup spill retention, seconds
 //                            (0 = keep forever)
+//   DARSHAN_LDMS_PIN         shard-writer placement: none | auto |
+//                            comma CPU list "0,2,4" (default none)
+//   DARSHAN_LDMS_SIMD        JSON-scanner SIMD cap: auto | avx2 | sse2
+//                            | scalar (default auto; all levels are
+//                            bit-identical)
+//   DARSHAN_LDMS_FASTPATH    binary decode fast path: auto | on | off
+//                            (default auto = on)
 //
 // Unparsable values (negative, overflowing, trailing garbage, out of
 // range) never take effect: the default is kept, the rejection is

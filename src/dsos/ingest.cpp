@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string>
 
 #include "obs/registry.hpp"
+#include "util/cpu.hpp"
 
 namespace dlc::dsos {
 
@@ -48,7 +50,7 @@ IngestExecutor::IngestExecutor(DsosCluster& cluster, IngestConfig config)
   pending_.resize(shards);
   for (std::size_t s = 0; s < shards; ++s) {
     queues_.push_back(
-        std::make_unique<BoundedQueue<Batch>>(config_.queue_capacity));
+        std::make_unique<SpscRing<Batch>>(config_.queue_capacity));
     pending_[s].objects.reserve(config_.batch);
   }
   workers_.reserve(n);
@@ -168,6 +170,26 @@ void IngestExecutor::drain() {
 void IngestExecutor::worker_loop(std::size_t w) {
   Worker& self = *workers_[w];
   const std::size_t stride = workers_.size();
+  // Writer placement (DARSHAN_LDMS_PIN): pin this writer so it stays on
+  // one core/socket with its rings; record what actually happened —
+  // tests and operators read it back via writer_placements() and the
+  // dlc.ingest.writer.<w>.cpu gauges on /api/obs.  Cold path: gauges are
+  // looked up once per worker lifetime, set per wakeup round.
+  if (!config_.pin_cpus.empty()) {
+    const int target =
+        config_.pin_cpus[w % config_.pin_cpus.size()];
+    if (util::pin_current_thread(target)) {
+      self.pinned_cpu.store(target, std::memory_order_relaxed);
+    }
+  }
+  const std::string prefix = "dlc.ingest.writer." + std::to_string(w);
+  obs::Gauge& cpu_gauge = obs::Registry::global().gauge(prefix + ".cpu");
+  obs::Registry::global()
+      .gauge(prefix + ".pinned_cpu")
+      .set(self.pinned_cpu.load(std::memory_order_relaxed));
+  const int startup_cpu = util::current_cpu();
+  self.last_cpu.store(startup_cpu, std::memory_order_relaxed);
+  cpu_gauge.set(startup_cpu);
   auto has_work = [&] {
     for (std::size_t s = w; s < queues_.size(); s += stride) {
       if (queues_[s]->size() != 0) return true;
@@ -227,9 +249,25 @@ void IngestExecutor::worker_loop(std::size_t w) {
         inserted_ += done;
       }
       done_cv_.notify_all();
+      const int cpu = util::current_cpu();
+      self.last_cpu.store(cpu, std::memory_order_relaxed);
+      cpu_gauge.set(cpu);
     }
     if (stop_.load(std::memory_order_acquire) && !has_work()) return;
   }
+}
+
+std::vector<IngestExecutor::WriterPlacement>
+IngestExecutor::writer_placements() const {
+  std::vector<WriterPlacement> out;
+  out.reserve(workers_.size());
+  for (const auto& worker : workers_) {
+    WriterPlacement p;
+    p.pinned_cpu = worker->pinned_cpu.load(std::memory_order_relaxed);
+    p.last_cpu = worker->last_cpu.load(std::memory_order_relaxed);
+    out.push_back(p);
+  }
+  return out;
 }
 
 IngestStats IngestExecutor::stats() const {

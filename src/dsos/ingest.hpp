@@ -16,8 +16,8 @@
 // submission order — byte-identical query results to serial ingest, which
 // bench_ingest --check and the ingest property tests verify.
 //
-// Back-pressure, not loss: submit() blocks (BoundedQueue::push_wait) when
-// a shard's queue is full.  The transport tier drops on overflow because
+// Back-pressure, not loss: submit() blocks (SpscRing::push_wait) when a
+// shard's queue is full.  The transport tier drops on overflow because
 // LDMS Streams is best-effort, but events that survived decode must reach
 // the store exactly once.
 //
@@ -36,7 +36,7 @@
 
 #include "dsos/cluster.hpp"
 #include "obs/spans.hpp"
-#include "util/queue.hpp"
+#include "util/spsc_ring.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace dlc::dsos {
@@ -56,6 +56,12 @@ struct IngestConfig {
   /// before inserting it.  Lets tests stall workers deterministically to
   /// force back-pressure (see the ingest back-pressure test).
   std::function<void()> commit_hook;
+  /// Writer placement: worker w pins itself to pin_cpus[w % size()] at
+  /// startup; empty (the default) = no pinning.  Resolve the
+  /// DARSHAN_LDMS_PIN policy with util::resolve_pin_cpus — the executor
+  /// takes concrete CPU numbers only.  A failed pin degrades to unpinned
+  /// and is visible in writer_placements() / the obs gauges.
+  std::vector<int> pin_cpus;
 };
 
 struct IngestStats {
@@ -104,13 +110,24 @@ class IngestExecutor {
   std::size_t workers() const { return threads_.size(); }
   IngestStats stats() const;
 
+  /// Actual placement of one writer thread, recorded by the worker at
+  /// startup and refreshed as it runs; also published as the
+  /// dlc.ingest.writer.<w>.cpu / .pinned_cpu gauges (see /api/obs).
+  struct WriterPlacement {
+    int pinned_cpu = -1;  // requested+applied pin; -1 = unpinned
+    int last_cpu = -1;    // CPU the worker last observed itself on
+  };
+  std::vector<WriterPlacement> writer_placements() const;
+
  private:
   struct Worker {
-    // Lock hierarchy: IngestWorker is acquired BEFORE BoundedQueue (the
+    // Lock hierarchy: IngestWorker is acquired BEFORE SpscRing (the
     // wakeup predicate polls queue sizes under m); see DESIGN.md
     // "Concurrency invariants & lock hierarchy".
     util::Mutex m{"IngestWorker"};
     util::CondVar cv;
+    std::atomic<int> pinned_cpu{-1};
+    std::atomic<int> last_cpu{-1};
   };
 
   /// One enqueued unit: a run of routed objects plus the sampled traces
@@ -128,9 +145,14 @@ class IngestExecutor {
   IngestConfig config_;
   obs::TraceCollector* collector_ = nullptr;
 
-  // One queue of event batches per shard; worker (shard % workers) is the
-  // only consumer, so each Container keeps its single-writer invariant.
-  std::vector<std::unique_ptr<BoundedQueue<Batch>>> queues_;
+  // One queue of event batches per shard.  Every queue is a strict
+  // 1-producer/1-consumer edge — submit() is single-threaded by contract
+  // (the decoder thread, which is also the drain() caller) and worker
+  // (shard % workers) is the only consumer — so the lock-free SpscRing
+  // replaces the old BoundedQueue: steady-state enqueue/dequeue never
+  // touches a mutex, and each Container keeps its single-writer
+  // invariant.
+  std::vector<std::unique_ptr<SpscRing<Batch>>> queues_;
   std::vector<Batch> pending_;  // caller-side batch buffers
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;

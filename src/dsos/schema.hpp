@@ -110,4 +110,13 @@ struct Object {
 /// Convenience object factory that validates types against the schema.
 Object make_object(SchemaPtr schema, std::vector<Value> values);
 
+/// Trusted-builder variant that skips the per-value type validation.
+/// Only for hot paths whose value order/types are pinned by the schema-
+/// parity lint (the wire FrameCursor rows); everything else should pay
+/// for make_object.
+inline Object make_object_unchecked(SchemaPtr schema,
+                                    std::vector<Value> values) {
+  return Object{std::move(schema), std::move(values)};
+}
+
 }  // namespace dlc::dsos

@@ -8,6 +8,7 @@
 #include "ldms/metrics.hpp"
 #include "relia/seq.hpp"
 #include "sim/engine.hpp"
+#include "util/cpu.hpp"
 
 namespace dlc::exp {
 
@@ -122,6 +123,12 @@ RunResult run_experiment(const ExperimentSpec& spec) {
       // stays deterministic because results are drained before any query.
       dsos::IngestConfig icfg;
       icfg.workers = spec.connector.ingest_threads;
+      // Writer placement (DARSHAN_LDMS_PIN): resolve the policy string
+      // to concrete CPUs here; the executor only takes numbers.
+      util::PinPolicy pin_policy;
+      if (util::parse_pin_policy(spec.connector.pin, pin_policy)) {
+        icfg.pin_cpus = util::resolve_pin_cpus(pin_policy);
+      }
       ingest = std::make_unique<dsos::IngestExecutor>(*dsos_cluster, icfg);
     }
     if (spec.connector.trace_sample_n > 0) {
@@ -134,6 +141,17 @@ RunResult run_experiment(const ExperimentSpec& spec) {
                                                      at_least_once,
                                                      ingest.get(),
                                                      traces.get());
+    // DARSHAN_LDMS_FASTPATH: "off" keeps the validated decode_frame
+    // path for binary frames; default streams the frame cursor.
+    decoder->set_binary_fastpath(spec.connector.fastpath != "off");
+  }
+  // DARSHAN_LDMS_SIMD: cap the scanner's SIMD level process-wide before
+  // any decoding starts ("auto" = detected level).
+  {
+    util::SimdLevel simd_level;
+    if (util::simd_level_from_name(spec.connector.simd, simd_level)) {
+      util::set_simd_level(simd_level);
+    }
   }
   // Rollup engine: observes the event database so commit-time aggregation
   // runs on the ingest writers (never a separate decode).  Attached before

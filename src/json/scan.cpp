@@ -4,7 +4,168 @@
 #include <charconv>
 #include <cstdlib>
 
+#include "util/cpu.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define DLC_JSON_SIMD_X86 1
+#endif
+
 namespace dlc::json {
+
+namespace {
+
+// SIMD structural kernels.  Each kernel answers one question — "where is
+// the first byte that is NOT run-of-the-mill?" — and returns a position;
+// the scalar scanner code above/below makes every actual decision at
+// that position.  That is what keeps all levels bit-identical: a kernel
+// cannot accept or reject anything, it can only skip what the scalar
+// loop would have skipped one byte at a time.
+//
+// Dispatch is per call through util::active_simd() (a relaxed atomic):
+// cheap against the 16/32-byte strides, and it lets the equivalence
+// tests flip levels between iterations of one process.
+
+inline bool is_json_ws(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+std::size_t scalar_skip_ws(std::string_view text, std::size_t pos) {
+  while (pos < text.size() && is_json_ws(text[pos])) ++pos;
+  return pos;
+}
+
+/// First '"' or '\\' at or after pos (or text.size()): the two bytes the
+/// string-body loops branch on.
+std::size_t scalar_find_string_special(std::string_view text,
+                                       std::size_t pos) {
+  while (pos < text.size() && text[pos] != '"' && text[pos] != '\\') ++pos;
+  return pos;
+}
+
+#if defined(DLC_JSON_SIMD_X86)
+
+std::size_t sse2_skip_ws(std::string_view text, std::size_t pos) {
+  const char* data = text.data();
+  const __m128i sp = _mm_set1_epi8(' ');
+  const __m128i tab = _mm_set1_epi8('\t');
+  const __m128i nl = _mm_set1_epi8('\n');
+  const __m128i cr = _mm_set1_epi8('\r');
+  while (pos + 16 <= text.size()) {
+    const __m128i chunk =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + pos));
+    const __m128i ws = _mm_or_si128(
+        _mm_or_si128(_mm_cmpeq_epi8(chunk, sp), _mm_cmpeq_epi8(chunk, tab)),
+        _mm_or_si128(_mm_cmpeq_epi8(chunk, nl), _mm_cmpeq_epi8(chunk, cr)));
+    const unsigned mask =
+        static_cast<unsigned>(_mm_movemask_epi8(ws)) & 0xFFFFu;
+    if (mask != 0xFFFFu) {
+      return pos + static_cast<std::size_t>(__builtin_ctz(~mask & 0xFFFFu));
+    }
+    pos += 16;
+  }
+  return scalar_skip_ws(text, pos);
+}
+
+std::size_t sse2_find_string_special(std::string_view text,
+                                     std::size_t pos) {
+  const char* data = text.data();
+  const __m128i quote = _mm_set1_epi8('"');
+  const __m128i backslash = _mm_set1_epi8('\\');
+  while (pos + 16 <= text.size()) {
+    const __m128i chunk =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + pos));
+    const __m128i special = _mm_or_si128(_mm_cmpeq_epi8(chunk, quote),
+                                         _mm_cmpeq_epi8(chunk, backslash));
+    const unsigned mask = static_cast<unsigned>(_mm_movemask_epi8(special));
+    if (mask != 0) {
+      return pos + static_cast<std::size_t>(__builtin_ctz(mask));
+    }
+    pos += 16;
+  }
+  return scalar_find_string_special(text, pos);
+}
+
+// AVX2 kernels carry a target attribute instead of a global -mavx2 so
+// the binary still runs on SSE2-only hosts; they are only reachable when
+// runtime detection proved AVX2 (util::detected_simd caps the level).
+
+__attribute__((target("avx2"))) std::size_t avx2_skip_ws(
+    std::string_view text, std::size_t pos) {
+  const char* data = text.data();
+  const __m256i sp = _mm256_set1_epi8(' ');
+  const __m256i tab = _mm256_set1_epi8('\t');
+  const __m256i nl = _mm256_set1_epi8('\n');
+  const __m256i cr = _mm256_set1_epi8('\r');
+  while (pos + 32 <= text.size()) {
+    const __m256i chunk =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + pos));
+    const __m256i ws = _mm256_or_si256(
+        _mm256_or_si256(_mm256_cmpeq_epi8(chunk, sp),
+                        _mm256_cmpeq_epi8(chunk, tab)),
+        _mm256_or_si256(_mm256_cmpeq_epi8(chunk, nl),
+                        _mm256_cmpeq_epi8(chunk, cr)));
+    const unsigned mask = static_cast<unsigned>(_mm256_movemask_epi8(ws));
+    if (mask != 0xFFFFFFFFu) {
+      return pos + static_cast<std::size_t>(__builtin_ctz(~mask));
+    }
+    pos += 32;
+  }
+  return sse2_skip_ws(text, pos);
+}
+
+__attribute__((target("avx2"))) std::size_t avx2_find_string_special(
+    std::string_view text, std::size_t pos) {
+  const char* data = text.data();
+  const __m256i quote = _mm256_set1_epi8('"');
+  const __m256i backslash = _mm256_set1_epi8('\\');
+  while (pos + 32 <= text.size()) {
+    const __m256i chunk =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + pos));
+    const __m256i special =
+        _mm256_or_si256(_mm256_cmpeq_epi8(chunk, quote),
+                        _mm256_cmpeq_epi8(chunk, backslash));
+    const unsigned mask =
+        static_cast<unsigned>(_mm256_movemask_epi8(special));
+    if (mask != 0) {
+      return pos + static_cast<std::size_t>(__builtin_ctz(mask));
+    }
+    pos += 32;
+  }
+  return sse2_find_string_special(text, pos);
+}
+
+#endif  // DLC_JSON_SIMD_X86
+
+std::size_t skip_ws_from(std::string_view text, std::size_t pos) {
+#if defined(DLC_JSON_SIMD_X86)
+  switch (util::active_simd()) {
+    case util::SimdLevel::kAvx2:
+      return avx2_skip_ws(text, pos);
+    case util::SimdLevel::kSse2:
+      return sse2_skip_ws(text, pos);
+    case util::SimdLevel::kScalar:
+      break;
+  }
+#endif
+  return scalar_skip_ws(text, pos);
+}
+
+std::size_t find_string_special(std::string_view text, std::size_t pos) {
+#if defined(DLC_JSON_SIMD_X86)
+  switch (util::active_simd()) {
+    case util::SimdLevel::kAvx2:
+      return avx2_find_string_special(text, pos);
+    case util::SimdLevel::kSse2:
+      return sse2_find_string_special(text, pos);
+    case util::SimdLevel::kScalar:
+      break;
+  }
+#endif
+  return scalar_find_string_special(text, pos);
+}
+
+}  // namespace
 
 std::int64_t Token::as_int(std::int64_t fallback) const {
   switch (kind) {
@@ -49,16 +210,7 @@ std::string_view Token::as_string(std::string_view fallback) const {
   return kind == Kind::kString ? sv : fallback;
 }
 
-void Scanner::skip_ws() {
-  while (pos_ < text_.size()) {
-    const char c = text_[pos_];
-    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
-      ++pos_;
-    } else {
-      break;
-    }
-  }
-}
+void Scanner::skip_ws() { pos_ = skip_ws_from(text_, pos_); }
 
 bool Scanner::consume(char c) {
   if (pos_ < text_.size() && text_[pos_] == c) {
@@ -128,31 +280,33 @@ bool Scanner::at_end() {
 bool Scanner::scan_string(std::string_view& out, std::string& scratch) {
   if (!consume('"')) return false;
   const std::size_t start = pos_;
-  // Fast path: no escapes => return a slice of the payload.
-  while (pos_ < text_.size()) {
-    const char c = text_[pos_];
-    if (c == '"') {
-      out = text_.substr(start, pos_ - start);
-      ++pos_;
-      return true;
-    }
-    if (c == '\\') break;
+  // Fast path: no escapes => return a slice of the payload.  The string
+  // body is skipped in SIMD strides to the first '"' or '\\'.
+  pos_ = find_string_special(text_, pos_);
+  if (pos_ < text_.size() && text_[pos_] == '"') {
+    out = text_.substr(start, pos_ - start);
     ++pos_;
+    return true;
   }
   if (pos_ >= text_.size()) return false;  // unterminated
   // Escape found: decode into scratch (same escapes parser.cpp accepts,
-  // except \u which fails the scan — DOM fallback handles it).
+  // except \u which fails the scan — DOM fallback handles it).  Literal
+  // runs between escapes are appended in bulk off the same kernel.
   scratch.assign(text_.substr(start, pos_ - start));
   while (pos_ < text_.size()) {
-    const char c = text_[pos_++];
+    const char c = text_[pos_];
     if (c == '"') {
+      ++pos_;
       out = scratch;
       return true;
     }
     if (c != '\\') {
-      scratch.push_back(c);
+      const std::size_t run = find_string_special(text_, pos_);
+      scratch.append(text_.substr(pos_, run - pos_));
+      pos_ = run;
       continue;
     }
+    ++pos_;
     if (pos_ >= text_.size()) return false;
     const char esc = text_[pos_++];
     switch (esc) {

@@ -17,6 +17,14 @@
 // \u escapes, nesting deeper than kMaxDepth — makes the scan FAIL, and
 // the caller falls back to the DOM path, so fast-path users are always
 // byte-identical to DOM users.  See core::decode_message_fast.
+//
+// The structural loops (whitespace runs, string-body runs) are SIMD
+// classify-and-skip kernels on x86 — SSE2/AVX2 selected at runtime via
+// util::active_simd() (DARSHAN_LDMS_SIMD caps the level).  The kernels
+// only locate the first structural byte; every decision is still taken
+// by the same scalar code, so all levels are bit-identical by
+// construction — and the fuzzed equivalence suite in test_json/
+// test_core re-proves it against the scalar scanner and the DOM parser.
 #pragma once
 
 #include <cstdint>

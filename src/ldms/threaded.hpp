@@ -12,7 +12,7 @@
 
 #include "ldms/message.hpp"
 #include "ldms/stream_bus.hpp"
-#include "util/queue.hpp"
+#include "util/spsc_ring.hpp"
 
 namespace dlc::ldms {
 
@@ -22,6 +22,14 @@ class ThreadedForwarder {
   /// from a dedicated worker thread.  `queue_capacity_bytes` additionally
   /// caps the queued payload bytes (0 => unlimited) so batched frames and
   /// tiny per-event messages compete for the same buffer budget.
+  ///
+  /// SINGLE-PUBLISHER REQUIREMENT: the hand-off queue is a lock-free
+  /// SpscRing, so all publishes to `tag` on `from` must come from one
+  /// thread at a time (the forwarder worker is the one consumer).  That
+  /// is every existing deployment — a connector/daemon publish thread or
+  /// the upstream forwarder's single worker feeding each hop — and what
+  /// makes this edge part of the lock-free hot path (relia redelivery
+  /// rides the same bus edges on reconnect).
   ThreadedForwarder(StreamBus& from, StreamBus& to, const std::string& tag,
                     std::size_t queue_capacity = 65536,
                     std::size_t queue_capacity_bytes = 0);
@@ -48,7 +56,7 @@ class ThreadedForwarder {
   void run();
 
   StreamBus& to_;
-  BoundedQueue<StreamMessage> queue_;
+  SpscRing<StreamMessage> queue_;
   std::atomic<std::uint64_t> dropped_{0};
   std::atomic<std::uint64_t> forwarded_{0};
   std::atomic<std::uint64_t> forwarded_bytes_{0};

@@ -1,11 +1,14 @@
 #include "util/cpu.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <charconv>
 #include <fstream>
 #include <sstream>
 #include <thread>
 
 #if defined(__linux__)
+#include <pthread.h>
 #include <sched.h>
 #endif
 
@@ -80,5 +83,149 @@ CpuBudget cpu_budget() {
 }
 
 std::size_t effective_cpus() { return cpu_budget().effective; }
+
+// ------------------------------------------------------------ SIMD ----
+
+namespace {
+
+/// 255 = "auto": no cap installed, active == detected.
+std::atomic<std::uint8_t> g_simd_cap{255};
+
+}  // namespace
+
+SimdLevel detected_simd() {
+#if defined(__x86_64__) || defined(__i386__)
+  static const SimdLevel detected = [] {
+    __builtin_cpu_init();
+    if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+    if (__builtin_cpu_supports("sse2")) return SimdLevel::kSse2;
+    return SimdLevel::kScalar;
+  }();
+  return detected;
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+SimdLevel active_simd() {
+  const std::uint8_t cap = g_simd_cap.load(std::memory_order_relaxed);
+  if (cap == 255) return detected_simd();
+  return static_cast<SimdLevel>(cap);
+}
+
+SimdLevel set_simd_level(SimdLevel level) {
+  const SimdLevel applied = std::min(level, detected_simd());
+  g_simd_cap.store(static_cast<std::uint8_t>(applied),
+                   std::memory_order_relaxed);
+  return applied;
+}
+
+void reset_simd_level() {
+  g_simd_cap.store(255, std::memory_order_relaxed);
+}
+
+std::string_view simd_level_name(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kSse2:
+      return "sse2";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kScalar:
+      break;
+  }
+  return "scalar";
+}
+
+bool simd_level_from_name(std::string_view name, SimdLevel& out) {
+  if (name == "auto") {
+    out = detected_simd();
+    return true;
+  }
+  for (const SimdLevel level :
+       {SimdLevel::kScalar, SimdLevel::kSse2, SimdLevel::kAvx2}) {
+    if (name == simd_level_name(level)) {
+      out = level;
+      return true;
+    }
+  }
+  return false;
+}
+
+// --------------------------------------------------------- pinning ----
+
+std::vector<int> allowed_cpus() {
+  std::vector<int> cpus;
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof(set), &set) != 0) return cpus;
+  for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+    if (CPU_ISSET(cpu, &set)) cpus.push_back(cpu);
+  }
+#endif
+  return cpus;
+}
+
+bool pin_current_thread(int cpu) {
+#if defined(__linux__)
+  if (cpu < 0 || cpu >= CPU_SETSIZE) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+int current_cpu() {
+#if defined(__linux__)
+  return sched_getcpu();
+#else
+  return -1;
+#endif
+}
+
+bool parse_pin_policy(std::string_view spec, PinPolicy& out) {
+  if (spec == "none") {
+    out = PinPolicy{};
+    return true;
+  }
+  if (spec == "auto") {
+    out = PinPolicy{PinPolicy::Mode::kAuto, {}};
+    return true;
+  }
+  if (spec.empty()) return false;
+  PinPolicy parsed{PinPolicy::Mode::kList, {}};
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = std::min(spec.find(',', pos), spec.size());
+    const std::string_view item = spec.substr(pos, comma - pos);
+    int cpu = -1;
+    const auto [ptr, ec] =
+        std::from_chars(item.data(), item.data() + item.size(), cpu);
+    if (ec != std::errc() || ptr != item.data() + item.size() || cpu < 0 ||
+        cpu >= 4096) {
+      return false;
+    }
+    parsed.cpus.push_back(cpu);
+    pos = comma + 1;
+  }
+  out = std::move(parsed);
+  return true;
+}
+
+std::vector<int> resolve_pin_cpus(const PinPolicy& policy) {
+  switch (policy.mode) {
+    case PinPolicy::Mode::kNone:
+      return {};
+    case PinPolicy::Mode::kAuto:
+      return allowed_cpus();
+    case PinPolicy::Mode::kList:
+      return policy.cpus;
+  }
+  return {};
+}
 
 }  // namespace dlc::util

@@ -271,6 +271,7 @@ Response DashboardService::handle(const std::string& path_and_query) const {
     if (path == "/api/panel") return api_panel(params);
     if (path == "/api/csv") return api_csv(params);
     if (path == "/metrics") return api_metrics();
+    if (path == "/api/obs") return api_obs();
     if (path == "/api/obs/spans") return api_obs_spans();
     if (path == "/api/store") return api_store();
     if (path == "/api/rollup") return api_rollup_status();
@@ -287,6 +288,23 @@ Response DashboardService::handle(const std::string& path_and_query) const {
 Response DashboardService::api_metrics() const {
   return Response{200, "text/plain; version=0.0.4",
                   registry_->prometheus_text()};
+}
+
+Response DashboardService::api_obs() const {
+  // Every registry instrument flattened to {"name": value} — the JSON
+  // twin of /metrics.  Includes the dlc.ingest.writer.<w>.cpu placement
+  // gauges, which is how operators (and the pinning regression test)
+  // confirm where shard writers actually landed.
+  json::Writer w;
+  w.begin_object();
+  w.key("metrics");
+  w.begin_object();
+  for (const auto& [name, value] : registry_->flatten()) {
+    w.member(name, value);
+  }
+  w.end_object();
+  w.end_object();
+  return Response{200, "application/json", w.take()};
 }
 
 Response DashboardService::api_obs_spans() const {

@@ -18,6 +18,9 @@
 //   /api/csv?index=time&job_id=2        -> text/csv export
 //   /metrics                            -> Prometheus text exposition of
 //                                          the obs registry (self-telemetry)
+//   /api/obs                            -> all registry instruments as
+//                                          JSON (incl. writer-placement
+//                                          gauges); /metrics' JSON twin
 //   /api/obs/spans                      -> slow-span exemplar ring (JSON)
 //   /api/store                          -> durable-store status (WAL and
 //                                          segment state per shard; 404
@@ -107,6 +110,7 @@ class DashboardService {
   Response api_panel(const Params& params) const;
   Response api_csv(const Params& params) const;
   Response api_metrics() const;
+  Response api_obs() const;
   Response api_obs_spans() const;
   Response api_store() const;
   Response api_rollup_status() const;

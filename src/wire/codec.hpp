@@ -37,6 +37,7 @@
 #include "dsos/schema.hpp"
 #include "obs/trace.hpp"
 #include "util/time.hpp"
+#include "wire/varint.hpp"
 
 namespace dlc::wire {
 
@@ -105,6 +106,49 @@ class FrameEncoder {
 /// Reads the header sequence number of an encoded frame without decoding
 /// the events; 0 on malformed input (valid seqs start at 1).
 std::uint64_t decode_frame_seq(std::string_view payload);
+
+/// Streaming frame decoder: validates the header on construction, then
+/// yields one event per next() call — the row's values in schema order,
+/// ready for dsos::make_object, without materialising the whole frame.
+///
+/// This cursor is the single source of truth for binary decode:
+/// decode_frame below is a thin wrapper over it, and the core decoder's
+/// binary FAST PATH walks it directly, feeding rows straight into the
+/// ingest executor with per-frame (not per-event) trace/metric stamping.
+/// tools/lint_schema_parity.py anchors its wire-decoder surface on
+/// FrameCursor::next, so both consumers stay schema-true by
+/// construction.
+///
+/// Lifetime: the cursor borrows `payload`; it must outlive the cursor.
+class FrameCursor {
+ public:
+  explicit FrameCursor(std::string_view payload);
+
+  /// Header parsed and sane (magic, version, job context).
+  bool ok() const { return ok_; }
+  /// Header sequence number (0 when !ok()).
+  std::uint64_t frame_seq() const { return frame_seq_; }
+
+  /// Decodes the next event: clears and refills `values` in schema
+  /// (Table I) order; `trace`, when non-null, receives the event's
+  /// pipeline-trace block (an unsampled context, id 0, when the event
+  /// carries none).  Returns 1 on an event, 0 at a clean end of frame,
+  /// -1 on malformed bytes — the caller must then discard every row
+  /// already produced from this frame (bad frames drop whole, exactly
+  /// like the JSON path drops a bad message).
+  int next(std::vector<dsos::Value>& values, obs::TraceContext* trace);
+
+ private:
+  Reader r_;
+  std::vector<std::string> table_;
+  std::uint64_t frame_seq_ = 0;
+  std::uint64_t uid_ = 0;
+  std::uint64_t job_id_ = 0;
+  double epoch_seconds_ = 0.0;
+  std::string exe_;
+  SimTime prev_end_ = 0;
+  bool ok_ = false;
+};
 
 /// Decodes a frame into darshan_data objects, one per event, with the
 /// same attribute order and sentinel conventions as the JSON decode path.

@@ -16,6 +16,7 @@
 #include "simfs/nfs.hpp"
 #include "simhpc/cluster.hpp"
 #include "simhpc/job.hpp"
+#include "util/cpu.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
@@ -655,7 +656,10 @@ TEST(Decoder, FastPathFallsBackOnUnsupportedInput) {
 TEST(Decoder, FastPathEquivalentUnderFuzzedMutation) {
   // Property: whenever the zero-copy scanner accepts a payload, its rows
   // are byte-identical to the DOM decoder's.  Mutations exercise partial
-  // JSON, shuffled types, and broken numbers.
+  // JSON, shuffled types, and broken numbers.  Since the scanner's
+  // structural loops dispatch to SIMD kernels (scan.hpp), every trial
+  // also re-runs the fast path at each SIMD tier the host supports:
+  // acceptance AND bytes must match the scalar reference exactly.
   Pipeline p;
   ldms::CsvStore store;
   store.attach(*p.aggregator, "darshanConnector");
@@ -685,14 +689,179 @@ TEST(Decoder, FastPathEquivalentUnderFuzzedMutation) {
       }
       if (mutated.empty()) mutated = "x";
     }
+    util::set_simd_level(util::SimdLevel::kScalar);
     std::vector<dsos::Object> fast;
-    if (decode_message_fast(schema, mutated, fast)) {
+    const bool accepted = decode_message_fast(schema, mutated, fast);
+    const std::string reference = accepted ? rows_csv(fast) : std::string();
+    for (const auto level :
+         {util::SimdLevel::kSse2, util::SimdLevel::kAvx2}) {
+      if (util::detected_simd() < level) continue;
+      util::set_simd_level(level);
+      std::vector<dsos::Object> rows;
+      ASSERT_EQ(decode_message_fast(schema, mutated, rows), accepted)
+          << mutated;
+      if (accepted) ASSERT_EQ(rows_csv(rows), reference) << mutated;
+    }
+    util::reset_simd_level();
+    if (accepted) {
       ++fast_ok;
-      ASSERT_EQ(rows_csv(fast), rows_csv(decode_message(schema, mutated)))
+      ASSERT_EQ(reference, rows_csv(decode_message(schema, mutated)))
           << mutated;
     }
   }
   EXPECT_GT(fast_ok, 0);  // the equivalence branch actually executed
+}
+
+// ----------------------------------------------------- binary fast path ----
+//
+// The decoder's kBinary branch defaults to the FrameCursor fast path
+// (make_object_unchecked, per-frame obs stamping).  decode_frame wraps
+// the same cursor, so the two A/B arms must be byte-identical on good
+// frames AND agree on malformed counting — set_binary_fastpath(false) is
+// only trustworthy as a diagnostic if flipping it changes nothing.
+
+std::string cluster_csv(const dsos::DsosCluster& cluster) {
+  std::string out;
+  for (const dsos::Object* obj :
+       cluster.query("darshan_data", "job_rank_time")) {
+    out += to_csv_row(*obj);
+    out += '\n';
+  }
+  return out;
+}
+
+TEST(Decoder, BinaryFastPathByteIdenticalToWrappedDecode) {
+  // Frames exercising every optional block, plus one corrupt payload.
+  std::vector<std::string> frames;
+  {
+    wire::EncodeContext ctx;
+    ctx.uid = 99066;
+    ctx.job_id = 7;
+    ctx.exe = "/projects/ldms_darshan/mpi-io-test";
+    ctx.epoch_seconds = 1.6e9;
+    wire::FrameEncoder enc(ctx);
+    const std::string path = "/fscratch/testFile";
+    darshan::IoEvent open;
+    open.op = darshan::Op::kOpen;
+    open.rank = 1;
+    open.file_path = &path;
+    open.end = kSecond;
+    enc.add(open, "nid1");
+    darshan::IoEvent write;
+    write.op = darshan::Op::kWrite;
+    write.rank = 2;
+    write.offset = 4096;
+    write.length = 65536;
+    write.end = 2 * kSecond;
+    enc.add(write, "nid1");
+    frames.push_back(enc.take_frame());
+    darshan::IoEvent h5;
+    h5.module = darshan::Module::kH5D;
+    h5.op = darshan::Op::kRead;
+    h5.rank = 3;
+    h5.h5.ndims = 2;
+    h5.h5.npoints = 1024;
+    h5.h5.data_set = "/dset/a";
+    h5.end = 3 * kSecond;
+    enc.add(h5, "nid2");
+    frames.push_back(enc.take_frame());
+  }
+  frames.push_back("Wgarbage-not-a-frame");
+
+  struct Arm {
+    std::string csv;
+    std::uint64_t decoded = 0;
+    std::uint64_t frames_decoded = 0;
+    std::uint64_t malformed = 0;
+  };
+  const auto run = [&](bool fastpath) {
+    dsos::DsosCluster cluster(dsos::ClusterConfig{.shard_count = 2,
+                                                  .shard_attr = "rank",
+                                                  .parallel_query = false});
+    sim::Engine engine;
+    ldms::LdmsDaemon daemon(&engine, "d");
+    DarshanDecoder decoder(daemon, "t", cluster);
+    decoder.set_binary_fastpath(fastpath);
+    EXPECT_EQ(decoder.binary_fastpath(), fastpath);
+    for (const std::string& f : frames) {
+      daemon.publish("t", ldms::PayloadFormat::kBinary, f);
+    }
+    return Arm{cluster_csv(cluster), decoder.decoded(),
+               decoder.frames_decoded(), decoder.malformed()};
+  };
+  const Arm fast = run(true);
+  const Arm slow = run(false);
+  EXPECT_FALSE(fast.csv.empty());
+  EXPECT_EQ(fast.csv, slow.csv);  // byte-identical rows, same order
+  EXPECT_EQ(fast.decoded, slow.decoded);
+  EXPECT_EQ(fast.frames_decoded, slow.frames_decoded);
+  EXPECT_EQ(fast.malformed, slow.malformed);
+  EXPECT_EQ(fast.decoded, 3u);
+  EXPECT_EQ(fast.malformed, 1u);
+}
+
+TEST(Decoder, BinaryRowsMatchJsonRowsOnMicrosecondGrid) {
+  // The codec doc promises the binary path differs from JSON only in
+  // precision (codec.hpp): the JSON writer prints six fractional digits
+  // while frames carry exact nanoseconds.  On a whole-microsecond time
+  // grid both renderings denote the same doubles, so the decoded rows
+  // must be byte-identical — the honest cross-format identity check.
+  const auto schema = darshan_data_schema();
+  wire::EncodeContext ctx;
+  ctx.uid = 7;
+  ctx.job_id = 9;
+  ctx.exe = "/bin/app";
+  ctx.epoch_seconds = 1.6e9;
+  wire::FrameEncoder enc(ctx);
+  const std::string path = "/fscratch/f";
+  darshan::IoEvent open;
+  open.op = darshan::Op::kOpen;
+  open.rank = 3;
+  open.record_id = 11;
+  open.switches = 0;
+  open.cnt = 1;
+  open.file_path = &path;
+  open.start = 3 * kSecond;
+  open.end = 3 * kSecond + 1 * kMillisecond;
+  enc.add(open, "nid9");
+  darshan::IoEvent write;
+  write.op = darshan::Op::kWrite;
+  write.rank = 3;
+  write.record_id = 11;
+  write.max_byte = 4095;
+  write.switches = 0;
+  write.cnt = 5;
+  write.offset = 0;
+  write.length = 4096;
+  write.start = 3 * kSecond + 1 * kMillisecond;
+  write.end = 3 * kSecond + 1250 * kMicrosecond;
+  enc.add(write, "nid9");
+  const auto binary_rows = wire::decode_frame(schema, enc.take_frame());
+  ASSERT_EQ(binary_rows.size(), 2u);
+
+  // The same two events as the connector's JSON mode renders them
+  // (Fig. 3 member order, %.6f doubles, MET/MOD metadata elision).
+  const std::string open_json =
+      R"({"uid":7,"exe":"/bin/app","job_id":9,"rank":3,"ProducerName":"nid9",)"
+      R"("file":"/fscratch/f","record_id":11,"module":"POSIX","type":"MET",)"
+      R"("max_byte":-1,"switches":0,"flushes":-1,"cnt":1,"op":"open",)"
+      R"("seg":[{"data_set":"N/A","pt_sel":-1,"irreg_hslab":-1,)"
+      R"("reg_hslab":-1,"ndims":-1,"npoints":-1,"off":-1,"len":-1,)"
+      R"("dur":0.001000,"timestamp":1600000003.001000}]})";
+  const std::string write_json =
+      R"({"uid":7,"exe":"N/A","job_id":9,"rank":3,"ProducerName":"nid9",)"
+      R"("file":"N/A","record_id":11,"module":"POSIX","type":"MOD",)"
+      R"("max_byte":4095,"switches":0,"flushes":-1,"cnt":5,"op":"write",)"
+      R"("seg":[{"data_set":"N/A","pt_sel":-1,"irreg_hslab":-1,)"
+      R"("reg_hslab":-1,"ndims":-1,"npoints":-1,"off":0,"len":4096,)"
+      R"("dur":0.000250,"timestamp":1600000003.001250}]})";
+  std::string json_csv;
+  for (const std::string& payload : {open_json, write_json}) {
+    const auto rows = decode_message(schema, payload);
+    ASSERT_EQ(rows.size(), 1u) << payload;
+    json_csv += rows_csv(rows);
+  }
+  EXPECT_EQ(rows_csv(binary_rows), json_csv);
 }
 
 // ---------------------------------------------------------- env config ----
@@ -786,6 +955,46 @@ TEST(EnvConfig, ReportsBadWireFormatValues) {
   EXPECT_EQ(cfg.errors.size(), 4u);
   EXPECT_EQ(cfg.connector.wire_format, WireFormat::kJson);  // default kept
   EXPECT_EQ(cfg.connector.batch.max_events, wire::BatchConfig{}.max_events);
+}
+
+TEST(EnvConfig, ParsesHotPathKnobs) {
+  // Defaults: no pinning, auto SIMD, auto (on) binary fast path.
+  const EnvConfig defaults = connector_config_from_env(fake_env({}));
+  EXPECT_EQ(defaults.connector.pin, "none");
+  EXPECT_EQ(defaults.connector.simd, "auto");
+  EXPECT_EQ(defaults.connector.fastpath, "auto");
+  const EnvConfig cfg = connector_config_from_env(fake_env({
+      {"DARSHAN_LDMS_PIN", "0,2"},
+      {"DARSHAN_LDMS_SIMD", "sse2"},
+      {"DARSHAN_LDMS_FASTPATH", "off"},
+  }));
+  EXPECT_TRUE(cfg.errors.empty());
+  EXPECT_EQ(cfg.connector.pin, "0,2");
+  EXPECT_EQ(cfg.connector.simd, "sse2");
+  EXPECT_EQ(cfg.connector.fastpath, "off");
+  const EnvConfig autos = connector_config_from_env(fake_env({
+      {"DARSHAN_LDMS_PIN", "auto"},
+      {"DARSHAN_LDMS_SIMD", "scalar"},
+      {"DARSHAN_LDMS_FASTPATH", "on"},
+  }));
+  EXPECT_TRUE(autos.errors.empty());
+  EXPECT_EQ(autos.connector.pin, "auto");
+}
+
+TEST(EnvConfig, ReportsBadHotPathValues) {
+  const EnvConfig cfg = connector_config_from_env(fake_env({
+      {"DARSHAN_LDMS_PIN", "0,,2"},      // empty list item
+      {"DARSHAN_LDMS_SIMD", "avx512"},   // not a supported tier name
+      {"DARSHAN_LDMS_FASTPATH", "fast"}, // not auto/on/off
+  }));
+  EXPECT_EQ(cfg.errors.size(), 3u);
+  EXPECT_EQ(cfg.connector.pin, "none");       // defaults kept
+  EXPECT_EQ(cfg.connector.simd, "auto");
+  EXPECT_EQ(cfg.connector.fastpath, "auto");
+  const EnvConfig bad_cpu = connector_config_from_env(
+      fake_env({{"DARSHAN_LDMS_PIN", "-3"}}));
+  EXPECT_EQ(bad_cpu.errors.size(), 1u);
+  EXPECT_EQ(bad_cpu.connector.pin, "none");
 }
 
 TEST(EnvConfig, ParsesDeliveryKnobs) {

@@ -14,6 +14,7 @@
 #include "dsos/csv.hpp"
 #include "dsos/ingest.hpp"
 #include "dsos/schema.hpp"
+#include "util/cpu.hpp"
 #include "util/rng.hpp"
 
 namespace dlc::dsos {
@@ -257,6 +258,75 @@ TEST(Ingest, StatsReadableWhileIngesting) {
   const IngestStats s = ex.stats();
   EXPECT_EQ(s.submitted, 2000u);
   EXPECT_EQ(s.inserted, 2000u);
+}
+
+// -------------------------------------------------------- writer pinning ----
+
+TEST(Ingest, UnpinnedWorkersReportNoPlacement) {
+  const auto schema = test_schema();
+  DsosCluster cluster = make_cluster(2, schema);
+  IngestConfig icfg;
+  icfg.workers = 2;  // pin_cpus empty: DARSHAN_LDMS_PIN=none
+  IngestExecutor ex(cluster, icfg);
+  for (Object& obj : random_events(schema, 100, 5)) ex.submit(std::move(obj));
+  ex.drain();
+  const auto placements = ex.writer_placements();
+  ASSERT_EQ(placements.size(), 2u);
+  for (const auto& p : placements) {
+    EXPECT_EQ(p.pinned_cpu, -1);  // never asked to pin
+    EXPECT_GE(p.last_cpu, 0);     // but the OS placement is still visible
+  }
+}
+
+TEST(Ingest, PinnedWorkersReportPlacementAndStayIdentical) {
+  // DARSHAN_LDMS_PIN=auto resolution: workers pin round-robin over the
+  // allowed-CPU list (util::resolve_pin_cpus), report the pin back via
+  // writer_placements(), and — pinning being pure placement — produce
+  // byte-identical results to the unpinned serial ingest.
+  const auto schema = test_schema();
+  const auto events = random_events(schema, 500, 7);
+  util::PinPolicy policy;
+  ASSERT_TRUE(util::parse_pin_policy("auto", policy));
+  const std::vector<int> cpus = util::resolve_pin_cpus(policy);
+  ASSERT_FALSE(cpus.empty());  // sched_getaffinity always reports >= 1
+
+  DsosCluster cluster = make_cluster(2, schema);
+  IngestConfig icfg;
+  icfg.workers = 2;
+  icfg.pin_cpus = cpus;
+  {
+    IngestExecutor ex(cluster, icfg);
+    for (const Object& obj : events) ex.submit(obj);
+    ex.drain();
+    const auto placements = ex.writer_placements();
+    ASSERT_EQ(placements.size(), 2u);
+    for (std::size_t w = 0; w < placements.size(); ++w) {
+      // Pinning to a CPU in the affinity mask must succeed on Linux; the
+      // worker then really runs there.
+      EXPECT_EQ(placements[w].pinned_cpu, cpus[w % cpus.size()]);
+      EXPECT_EQ(placements[w].last_cpu, cpus[w % cpus.size()]);
+    }
+  }
+  EXPECT_EQ(fingerprint(cluster),
+            ingest_fingerprint(2, IngestConfig{}, schema, events));
+}
+
+TEST(Ingest, ExplicitPinListRoundRobinsAcrossWorkers) {
+  // DARSHAN_LDMS_PIN=<list>: more workers than listed CPUs wraps.
+  const auto schema = test_schema();
+  const int cpu0 = util::resolve_pin_cpus(util::PinPolicy{
+      util::PinPolicy::Mode::kAuto, {}})[0];
+  DsosCluster cluster = make_cluster(4, schema);
+  IngestConfig icfg;
+  icfg.workers = 4;
+  icfg.pin_cpus = {cpu0};  // single-entry list: all workers share it
+  IngestExecutor ex(cluster, icfg);
+  for (Object& obj : random_events(schema, 200, 9)) ex.submit(std::move(obj));
+  ex.drain();
+  for (const auto& p : ex.writer_placements()) {
+    EXPECT_EQ(p.pinned_cpu, cpu0);
+    EXPECT_EQ(p.last_cpu, cpu0);
+  }
 }
 
 }  // namespace

@@ -2,9 +2,15 @@
 // including writer->parser round-trip properties.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
+#include <vector>
+
 #include "json/parser.hpp"
+#include "json/scan.hpp"
 #include "json/value.hpp"
 #include "json/writer.hpp"
+#include "util/cpu.hpp"
 #include "util/rng.hpp"
 
 namespace dlc::json {
@@ -298,6 +304,177 @@ TEST(Property, WriterOutputAlwaysParses) {
     }
     w.end_object();
     EXPECT_TRUE(parse(w.str()).has_value()) << w.str();
+  }
+}
+
+// ------------------------------------------------------ SIMD scanning ----
+//
+// The Scanner's whitespace and string-body loops dispatch to SSE2/AVX2
+// kernels via util::active_simd() (scan.hpp).  The kernels only LOCATE
+// structural bytes, so every level must produce bit-identical scans —
+// including identical failures.  These tests pin the active level to
+// each tier the host supports (set_simd_level clamps to detected) and
+// compare full scan transcripts; ScopedSimd restores auto-detection so
+// test order can't leak a capped level.
+
+struct ScopedSimd {
+  explicit ScopedSimd(util::SimdLevel level) { util::set_simd_level(level); }
+  ~ScopedSimd() { util::reset_simd_level(); }
+};
+
+/// Recursive scan transcript: every key, every typed scalar, every
+/// container edge, in order — two scans are equivalent iff their
+/// transcripts match byte-for-byte.  Scan failure yields a transcript
+/// too ("FAIL@<prefix>"), so malformed inputs must fail identically.
+bool walk_value(Scanner& s, std::string& out) {
+  std::string scratch;
+  if (s.peek_object()) {
+    if (!s.enter_object()) return false;
+    std::string_view key;
+    std::string key_scratch;
+    int st;
+    while ((st = s.next_member(key, key_scratch)) == 1) {
+      out += '<';
+      out += key;
+      out += '=';
+      if (!walk_value(s, out)) return false;
+      out += '>';
+    }
+    return st == 0;
+  }
+  if (s.peek_array()) {
+    if (!s.enter_array()) return false;
+    out += '[';
+    int st;
+    while ((st = s.next_element()) == 1) {
+      if (!walk_value(s, out)) return false;
+      out += ';';
+    }
+    out += ']';
+    return st == 0;
+  }
+  Token tok;
+  if (!s.scan_token(tok, scratch)) return false;
+  char buf[64];
+  switch (tok.kind) {
+    case Token::Kind::kInt:
+      std::snprintf(buf, sizeof(buf), "i%lld", static_cast<long long>(tok.i));
+      break;
+    case Token::Kind::kUint:
+      std::snprintf(buf, sizeof(buf), "u%llu",
+                    static_cast<unsigned long long>(tok.u));
+      break;
+    case Token::Kind::kDouble:
+      std::snprintf(buf, sizeof(buf), "d%.17g", tok.d);
+      break;
+    case Token::Kind::kString:
+      out += 's';
+      out += tok.sv;
+      return true;
+    default:
+      buf[0] = 'o';
+      buf[1] = '\0';
+      break;
+  }
+  out += buf;
+  return true;
+}
+
+std::string scan_transcript(std::string_view text) {
+  Scanner s(text);
+  std::string out;
+  if (!walk_value(s, out)) return "FAIL@" + out;
+  if (!s.at_end()) return "TRAILING@" + out;
+  return out;
+}
+
+/// Every level the host supports, weakest first.
+std::vector<util::SimdLevel> supported_levels() {
+  std::vector<util::SimdLevel> levels{util::SimdLevel::kScalar};
+  if (util::detected_simd() >= util::SimdLevel::kSse2) {
+    levels.push_back(util::SimdLevel::kSse2);
+  }
+  if (util::detected_simd() >= util::SimdLevel::kAvx2) {
+    levels.push_back(util::SimdLevel::kAvx2);
+  }
+  return levels;
+}
+
+void expect_levels_agree(const std::string& doc) {
+  ScopedSimd scalar(util::SimdLevel::kScalar);
+  const std::string reference = scan_transcript(doc);
+  for (const util::SimdLevel level : supported_levels()) {
+    util::set_simd_level(level);
+    EXPECT_EQ(scan_transcript(doc), reference)
+        << "level=" << util::simd_level_name(level) << " doc=" << doc;
+  }
+}
+
+TEST(Simd, LevelControlClampsAndRestores) {
+  const util::SimdLevel detected = util::detected_simd();
+  EXPECT_EQ(util::active_simd(), detected);  // auto by default
+  EXPECT_EQ(util::set_simd_level(util::SimdLevel::kScalar),
+            util::SimdLevel::kScalar);
+  EXPECT_EQ(util::active_simd(), util::SimdLevel::kScalar);
+  // Asking for more than the host has clamps instead of faulting.
+  EXPECT_LE(util::set_simd_level(util::SimdLevel::kAvx2), detected);
+  util::reset_simd_level();
+  EXPECT_EQ(util::active_simd(), detected);
+}
+
+TEST(Simd, LevelsAgreeOnConnectorShapedPayload) {
+  Writer w;
+  w.begin_object();
+  w.member("uid", std::uint64_t{99066});
+  w.member("exe", "/projects/ovis/bench/mpi-io-test");
+  w.member("rank", std::int64_t{3});
+  w.member("op", "write");
+  w.key("seg");
+  w.begin_array();
+  w.begin_object();
+  w.member("off", std::int64_t{4096});
+  w.member("dur", 0.000125);
+  w.member("data_set", "N/A");
+  w.end_object();
+  w.end_array();
+  w.end_object();
+  expect_levels_agree(w.str());
+}
+
+TEST(Simd, LevelsAgreeAcrossVectorWidthBoundaries) {
+  // Whitespace runs and string bodies of every length 0..96 — each one
+  // lands the structural byte at a different lane of the 16/32-byte
+  // kernels, covering head, full-stride, and tail handling.
+  for (int n = 0; n <= 96; ++n) {
+    const std::string ws(static_cast<std::size_t>(n), ' ');
+    expect_levels_agree("{" + ws + "\"k\"" + ws + ":" + ws + "1" + ws + "}");
+    const std::string body(static_cast<std::size_t>(n), 'x');
+    expect_levels_agree("{\"k\":\"" + body + "\"}");
+    // Escape exactly at the boundary position, forcing the scratch path.
+    expect_levels_agree("{\"k\":\"" + body + "\\n tail\"}");
+    expect_levels_agree("{\"k\":\"" + body + "\\\" tail\"}");
+  }
+  // Mixed whitespace classes (the kernels match all four JSON ws bytes).
+  expect_levels_agree("{ \t\n\r \"k\" \t : \n [1, \t2,\r3] }");
+}
+
+TEST(Simd, LevelsAgreeOnFuzzedAndMutatedDocuments) {
+  Rng rng(9091);
+  for (int i = 0; i < 200; ++i) {
+    const std::string doc = random_value(rng, 0).dump();
+    expect_levels_agree(doc);
+    // Mutations: truncations and byte flips must FAIL identically too.
+    std::string cut = doc;
+    cut.resize(static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(doc.size()))));
+    expect_levels_agree(cut);
+    std::string flipped = doc;
+    if (!flipped.empty()) {
+      const auto at = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(flipped.size()) - 1));
+      flipped[at] = static_cast<char>(rng.uniform_int(1, 127));
+      expect_levels_agree(flipped);
+    }
   }
 }
 

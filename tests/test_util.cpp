@@ -6,7 +6,9 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <deque>
 #include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -14,6 +16,7 @@
 #include "util/lockdep.hpp"
 #include "util/queue.hpp"
 #include "util/rng.hpp"
+#include "util/spsc_ring.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
 #include "util/time.hpp"
@@ -499,6 +502,235 @@ TEST(Queue, CloseWakesAllBlockedPoppers) {
   q.close();  // one close must release all four (notify_all, not _one)
   for (auto& t : poppers) t.join();
   EXPECT_EQ(woke.load(), kPoppers);
+}
+
+// ----------------------------------------------------------- spsc ring ----
+//
+// SpscRing replaced BoundedQueue on the 1-producer/1-consumer ingest
+// edges (DESIGN.md section 9), advertising contract parity with the
+// queue's push/pop/close semantics.  These tests mirror the Queue suite
+// above within the SPSC thread contract (at most one thread per side;
+// close() from anywhere), plus ring-specific boundaries: index
+// wraparound, the non-power-of-two capacity bind, and a randomized
+// model-check of the full/empty transitions.  The whole suite runs under
+// TSan in CI alongside the Queue suite.
+
+TEST(SpscRing, FifoOrderAndOverflow) {
+  SpscRing<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));  // full: item cap binds
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.try_pop().value(), 1);
+  EXPECT_TRUE(q.try_push(3));
+  EXPECT_EQ(q.try_pop().value(), 2);
+  EXPECT_EQ(q.try_pop().value(), 3);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(SpscRing, NonPowerOfTwoCapacityBinds) {
+  // The slot array rounds up to a power of two; the advertised capacity
+  // must still be what binds.
+  SpscRing<int> q(3);
+  EXPECT_EQ(q.capacity(), 3u);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_TRUE(q.try_push(3));
+  EXPECT_FALSE(q.try_push(4));  // not 4, despite the 4-slot array
+  EXPECT_EQ(q.try_pop().value(), 1);
+  EXPECT_TRUE(q.try_push(4));
+}
+
+TEST(SpscRing, IndexWraparoundPreservesFifo) {
+  // Monotonic 64-bit indices masked into a tiny ring: drive many times
+  // the slot count through it so every slot is reused repeatedly.
+  SpscRing<int> q(2);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(q.try_push(2 * i));
+    ASSERT_TRUE(q.try_push(2 * i + 1));
+    ASSERT_EQ(q.try_pop().value(), 2 * i);
+    ASSERT_EQ(q.try_pop().value(), 2 * i + 1);
+  }
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(SpscRing, CloseDrainsThenSignalsEnd) {
+  SpscRing<int> q(8);
+  q.try_push(1);
+  q.close();
+  EXPECT_FALSE(q.try_push(2));
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(SpscRing, TryPopKeepsDrainingAfterClose) {
+  SpscRing<int> q(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.try_push(i));
+  q.close();
+  EXPECT_FALSE(q.try_push(99));
+  for (int i = 0; i < 5; ++i) {
+    const auto v = q.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(q.try_pop().has_value());
+  EXPECT_FALSE(q.pop().has_value());  // closed and drained => end-of-stream
+}
+
+TEST(SpscRing, ZeroCapacityRejectsEverything) {
+  SpscRing<int> q(0);
+  EXPECT_FALSE(q.try_push(1));
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_FALSE(q.try_pop().has_value());
+  q.close();
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(SpscRing, PushWaitSucceedsWithoutBlockingWhenRoomy) {
+  SpscRing<int> q(2);
+  bool waited = true;
+  EXPECT_TRUE(q.push_wait(1, 0, &waited));
+  EXPECT_FALSE(waited);  // room available: no back-pressure recorded
+  EXPECT_EQ(q.try_pop().value(), 1);
+}
+
+TEST(SpscRing, PushWaitBlocksUntilPopMakesRoom) {
+  SpscRing<int> q(1);
+  ASSERT_TRUE(q.try_push(1));
+  std::thread popper([&q] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_EQ(q.try_pop().value(), 1);
+  });
+  bool waited = false;
+  EXPECT_TRUE(q.push_wait(2, 0, &waited));  // full until the popper runs
+  popper.join();
+  EXPECT_TRUE(waited);
+  EXPECT_EQ(q.try_pop().value(), 2);
+}
+
+TEST(SpscRing, PushWaitReturnsFalseWhenItemCanNeverFit) {
+  SpscRing<int> zero(0);
+  bool waited = true;
+  EXPECT_FALSE(zero.push_wait(1, 0, &waited));
+  EXPECT_FALSE(waited);
+  SpscRing<int> bytes(4, 10);
+  EXPECT_FALSE(bytes.push_wait(1, 11, &waited));  // above the byte cap
+  EXPECT_TRUE(bytes.push_wait(2, 10, &waited));   // exactly at it: fits
+}
+
+TEST(SpscRing, CloseUnblocksPushWait) {
+  // The shutdown race the Dekker fence protocol exists for: a producer
+  // asleep on a full ring must see close() and fail, not hang.
+  SpscRing<int> q(1);
+  ASSERT_TRUE(q.try_push(1));
+  std::thread closer([&q] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    q.close();
+  });
+  EXPECT_FALSE(q.push_wait(2));  // woken by close => push fails, no hang
+  closer.join();
+  EXPECT_EQ(q.try_pop().value(), 1);  // queued item still drains
+}
+
+TEST(SpscRing, CloseWakesBlockedPopper) {
+  SpscRing<int> q(8);  // empty: pop() blocks
+  std::thread popper([&q] {
+    EXPECT_FALSE(q.pop().has_value());  // end-of-stream, not an item
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  popper.join();
+}
+
+TEST(SpscRing, ByteCapacityBindsIndependently) {
+  SpscRing<std::string> q(100, 10);
+  EXPECT_TRUE(q.try_push("aaaa", 4));
+  EXPECT_TRUE(q.try_push("bbbb", 4));
+  EXPECT_EQ(q.size_bytes(), 8u);
+  EXPECT_FALSE(q.try_push("cccc", 4));  // 12 > 10: byte cap binds
+  EXPECT_TRUE(q.try_push("cc", 2));     // exactly at the cap is fine
+  EXPECT_EQ(q.size_bytes(), 10u);
+  EXPECT_EQ(q.try_pop().value(), "aaaa");
+  EXPECT_EQ(q.size_bytes(), 6u);  // pops release their byte cost
+  EXPECT_TRUE(q.try_push("dddd", 4));
+}
+
+TEST(SpscRing, ZeroByteCapacityMeansUnlimited) {
+  SpscRing<std::string> q(4);
+  EXPECT_TRUE(q.try_push("x", 1 << 30));
+  EXPECT_TRUE(q.try_push("y", 1 << 30));
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(SpscRing, FullEmptyBoundaryModelCheck) {
+  // Property test: a random push/pop interleaving against a deque model.
+  // One thread plays both roles (legal: at most one thread per side), so
+  // every full->not-full and empty->not-empty transition — where the
+  // index caches go stale and must refresh — is hit hundreds of times.
+  Rng rng(404);
+  SpscRing<int> q(5);  // non-power-of-two: masks and capacity disagree
+  std::deque<int> model;
+  int next = 0;
+  for (int step = 0; step < 20000; ++step) {
+    if (rng.uniform() < 0.55) {
+      const bool pushed = q.try_push(next);
+      ASSERT_EQ(pushed, model.size() < 5u);
+      if (pushed) model.push_back(next++);
+    } else {
+      const auto v = q.try_pop();
+      ASSERT_EQ(v.has_value(), !model.empty());
+      if (v.has_value()) {
+        ASSERT_EQ(*v, model.front());
+        model.pop_front();
+      }
+    }
+    ASSERT_EQ(q.size(), model.size());
+  }
+}
+
+TEST(SpscRing, CrossThreadDelivery) {
+  // The deployment shape: one producer thread (push_wait, back-pressure
+  // not loss), one consumer thread (pop), items arrive exactly once in
+  // order.  Runs under TSan in CI — this is the release/acquire
+  // publication proof in executable form.
+  SpscRing<int> q(8);  // tiny: constant wrap + frequent blocking
+  std::thread producer([&] {
+    for (int i = 0; i < 20000; ++i) ASSERT_TRUE(q.push_wait(i));
+    q.close();
+  });
+  int expected = 0;
+  while (auto v = q.pop()) {
+    ASSERT_EQ(*v, expected++);
+  }
+  producer.join();
+  EXPECT_EQ(expected, 20000);
+}
+
+TEST(SpscRing, CloseRacesPushWaitWithoutLossOfAcceptedItems) {
+  // close() fired from a third thread mid-stream: the producer must come
+  // unstuck and stop, and every push that REPORTED success must still be
+  // delivered.  close() is a producer-quiesce protocol (see spsc_ring.hpp),
+  // so the consumer joins the producer before declaring the backlog
+  // drained — the same order the executor and forwarder shut down in.
+  SpscRing<int> q(2);
+  std::atomic<int> accepted{0};
+  std::thread producer([&] {
+    for (int i = 0; i < 100000; ++i) {
+      if (!q.push_wait(i)) return;  // closed: exit, don't spin
+      accepted.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  std::thread closer([&q] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.close();
+  });
+  int drained = 0;
+  while (q.pop()) ++drained;  // end-of-stream after close + apparent-empty
+  producer.join();
+  closer.join();
+  while (q.try_pop()) ++drained;  // in-flight push that raced the close
+  EXPECT_EQ(drained, accepted.load());
+  EXPECT_FALSE(q.try_push(7));  // stays closed
 }
 
 // ------------------------------------------------------------- lockdep ----

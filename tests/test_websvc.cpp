@@ -5,8 +5,10 @@
 #include <memory>
 
 #include "core/schema_darshan.hpp"
+#include "dsos/ingest.hpp"
 #include "json/parser.hpp"
 #include "rollup/engine.hpp"
+#include "util/cpu.hpp"
 #include "rollup/policy.hpp"
 #include "websvc/dashboard.hpp"
 #include "websvc/http.hpp"
@@ -193,6 +195,38 @@ TEST(Http, ServesManySequentialClients) {
     EXPECT_EQ(status, 200);
   }
   server.stop();
+}
+
+TEST(Service, ApiObsExposesWriterPlacementGauges) {
+  // Regression for writer pinning observability: after a pinned ingest
+  // drains, /api/obs (the registry's JSON twin) must carry the
+  // dlc.ingest.writer.<w>.cpu and .pinned_cpu gauges with the CPU the
+  // worker actually pinned to — this is the operator's only way to
+  // confirm DARSHAN_LDMS_PIN placement took effect.
+  util::PinPolicy policy;
+  ASSERT_TRUE(util::parse_pin_policy("auto", policy));
+  const std::vector<int> cpus = util::resolve_pin_cpus(policy);
+  ASSERT_FALSE(cpus.empty());
+  auto db = demo_db();
+  {
+    dsos::IngestConfig icfg;
+    icfg.workers = 1;
+    icfg.pin_cpus = cpus;
+    dsos::IngestExecutor ex(*db, icfg);
+    ex.drain();  // worker ran, pinned itself, published its gauges
+  }
+  DashboardService svc(db);  // default registry: the global one
+  const Response r = svc.handle("/api/obs");
+  EXPECT_EQ(r.status, 200);
+  const auto parsed = json::parse(r.body);
+  ASSERT_TRUE(parsed.has_value());
+  const json::Value* metrics = parsed->find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_DOUBLE_EQ(
+      metrics->get_double("dlc.ingest.writer.0.pinned_cpu", -2.0),
+      static_cast<double>(cpus[0]));
+  EXPECT_DOUBLE_EQ(metrics->get_double("dlc.ingest.writer.0.cpu", -2.0),
+                   static_cast<double>(cpus[0]));
 }
 
 TEST(Service, RollupEndpointsNeedAnAttachedEngine) {

@@ -384,6 +384,109 @@ TEST(Codec, TruncatedFramesNeverYieldExtraRows) {
   }
 }
 
+// -------------------------------------------------------- frame cursor ----
+//
+// FrameCursor is the single source of truth for binary decode:
+// decode_frame wraps it and the core decoder's binary fast path walks it
+// directly (codec.hpp).  These tests pin the cursor's own contract —
+// header validation, event-by-event equivalence to decode_frame, the
+// whole-frame -1 discard rule, and trace-block delivery.
+
+TEST(FrameCursor, HeaderParsesAndSeqMatchesDecodeFrameSeq) {
+  wire::FrameEncoder enc(test_context());
+  enc.add(make_event(darshan::Op::kWrite, kSecond), "nid00001");
+  const std::string frame = enc.take_frame();
+  wire::FrameCursor cursor(frame);
+  EXPECT_TRUE(cursor.ok());
+  EXPECT_EQ(cursor.frame_seq(), wire::decode_frame_seq(frame));
+
+  wire::FrameCursor bad_magic("Xnothing");
+  EXPECT_FALSE(bad_magic.ok());
+  EXPECT_EQ(bad_magic.frame_seq(), 0u);
+  wire::FrameCursor truncated(frame.substr(0, 3));  // header cut short
+  EXPECT_FALSE(truncated.ok());
+}
+
+TEST(FrameCursor, YieldsExactlyDecodeFrameRowsInOrder) {
+  // A frame exercising every optional block: open with file metadata,
+  // plain write, HDF5 read with a dataset name.
+  wire::FrameEncoder enc(test_context());
+  const std::string path = "/fscratch/testFile";
+  darshan::IoEvent open = make_event(darshan::Op::kOpen, kSecond);
+  open.file_path = &path;
+  enc.add(open, "nid00052");
+  darshan::IoEvent write = make_event(darshan::Op::kWrite, 2 * kSecond);
+  write.offset = 4096;
+  write.length = 65536;
+  enc.add(write, "nid00052");
+  darshan::IoEvent h5 = make_event(darshan::Op::kRead, 3 * kSecond);
+  h5.module = darshan::Module::kH5D;
+  h5.h5.ndims = 2;
+  h5.h5.npoints = 1024;
+  h5.h5.data_set = "/dset/a";
+  enc.add(h5, "nid00052");
+  const std::string frame = enc.take_frame();
+  const auto schema = core::darshan_data_schema();
+
+  const auto objs = wire::decode_frame(schema, frame);
+  ASSERT_EQ(objs.size(), 3u);
+  wire::FrameCursor cursor(frame);
+  ASSERT_TRUE(cursor.ok());
+  std::vector<dsos::Value> values;
+  for (const dsos::Object& obj : objs) {
+    ASSERT_EQ(cursor.next(values, nullptr), 1);
+    EXPECT_EQ(values, obj.values);
+  }
+  EXPECT_EQ(cursor.next(values, nullptr), 0);  // clean end of frame
+  EXPECT_EQ(cursor.next(values, nullptr), 0);  // and stays ended
+}
+
+TEST(FrameCursor, MalformedBytesReturnMinusOne) {
+  // Same corruption decode_frame rejects wholesale: an out-of-range op
+  // byte mid-frame.  The first event still yields, then -1 — and the
+  // caller contract says discard everything from the frame.
+  wire::FrameEncoder enc(test_context());
+  enc.add(make_event(darshan::Op::kWrite, kSecond), "nid00001");
+  std::string frame = enc.take_frame();
+  const std::size_t event_start = frame.size();
+  {
+    wire::FrameEncoder two(test_context());
+    two.add(make_event(darshan::Op::kWrite, kSecond), "nid00001");
+    two.add(make_event(darshan::Op::kRead, 2 * kSecond), "nid00001");
+    frame = two.take_frame();
+  }
+  frame[event_start + 2] = 0x7f;  // second event's op byte: out of range
+  ASSERT_TRUE(wire::decode_frame(core::darshan_data_schema(), frame).empty());
+  wire::FrameCursor cursor(frame);
+  ASSERT_TRUE(cursor.ok());
+  std::vector<dsos::Value> values;
+  EXPECT_EQ(cursor.next(values, nullptr), 1);   // first event is intact
+  EXPECT_EQ(cursor.next(values, nullptr), -1);  // corruption surfaces
+}
+
+TEST(FrameCursor, DeliversTraceBlocksPerEvent) {
+  obs::TraceContext traced;
+  traced.id = 42;
+  traced.stamp(obs::Hop::kIntercepted, 100);
+  traced.stamp(obs::Hop::kPublished, 250);
+  wire::FrameEncoder enc(test_context());
+  enc.add(make_event(darshan::Op::kWrite, kSecond), "nid00001", &traced);
+  enc.add(make_event(darshan::Op::kRead, 2 * kSecond), "nid00001");
+  const std::string frame = enc.take_frame();
+
+  wire::FrameCursor cursor(frame);
+  ASSERT_TRUE(cursor.ok());
+  std::vector<dsos::Value> values;
+  obs::TraceContext got;
+  ASSERT_EQ(cursor.next(values, &got), 1);
+  EXPECT_EQ(got.id, 42u);
+  EXPECT_EQ(got.hop(obs::Hop::kIntercepted), 100);
+  EXPECT_EQ(got.hop(obs::Hop::kPublished), 250);
+  ASSERT_EQ(cursor.next(values, &got), 1);
+  EXPECT_EQ(got.id, 0u);  // untraced event resets the out-param
+  ASSERT_EQ(cursor.next(values, &got), 0);
+}
+
 // ------------------------------------------------------------- batcher ----
 
 struct SinkCapture {

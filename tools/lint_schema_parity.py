@@ -336,7 +336,7 @@ FIELD_TOKEN = {
 
 # On-wire event field order (after the fixed flags/module/op preamble),
 # as (canonical token, wire primitive).  Both FrameEncoder::add and
-# decode_frame must realize exactly this sequence.
+# FrameCursor::next must realize exactly this sequence.
 WIRE_SEQUENCE = [
     ("rank", "zigzag"),
     ("record_id", "varint"),
@@ -412,11 +412,13 @@ def check_codec(repo, fields):
     check_eq("wire encoder field sequence (codec.cpp FrameEncoder::add)",
              WIRE_SEQUENCE, enc_seq)
 
-    # --- decoder: ordered reads in decode_frame --------------------------
-    dec = strip_block(src, r"std::vector<dsos::Object> decode_frame\(",
-                      r"\n  if \(!r\.ok\(\)\) \{", "decode_frame")
-    # Skip the frame header (everything before the per-event loop).
-    loop = dec[dec.index("while (r.ok()"):]
+    # --- decoder: ordered reads in FrameCursor::next ---------------------
+    # (decode_frame is a thin wrapper over the cursor, so linting the
+    # cursor covers both the wrapper and the core decoder's fast path.)
+    # The frame-header reads live in the FrameCursor constructor, so the
+    # whole body is per-event — no loop-skipping needed.
+    loop = strip_block(src, r"int FrameCursor::next\(",
+                       r"\n  return 1;", "FrameCursor::next")
     dec_seq = []
     dec_trace = []
     for m in re.finditer(
@@ -435,7 +437,7 @@ def check_codec(repo, fields):
                  "irreg": "irreg_hslab", "reg": "reg_hslab",
                  "end": "end_delta"}.get(var, var)
         dec_seq.append((alias, prim))
-    check_eq("wire decoder read sequence (codec.cpp decode_frame)",
+    check_eq("wire decoder read sequence (codec.cpp FrameCursor::next)",
              WIRE_SEQUENCE, dec_seq)
 
     # --- row assembly: comment sequence == schema order, tokens match ----
@@ -576,10 +578,10 @@ def check_trace(repo, enc_trace, dec_trace):
     if not enc_trace:
         die_extract("no // trace: tags found in FrameEncoder::add")
     if not dec_trace:
-        die_extract("no // trace: tags found in decode_frame")
+        die_extract("no // trace: tags found in FrameCursor::next")
     check_eq("wire encoder trace block (codec.cpp FrameEncoder::add)",
              fields, enc_trace)
-    check_eq("wire decoder trace block (codec.cpp decode_frame)",
+    check_eq("wire decoder trace block (codec.cpp FrameCursor::next)",
              fields, dec_trace)
 
     # Hop enum (trace.hpp) vs kHopNames (trace.cpp) vs kHopCount.
