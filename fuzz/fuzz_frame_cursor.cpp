@@ -1,0 +1,8 @@
+// libFuzzer entry point for the frame_cursor decode surface; the logic lives in
+// fuzz/targets.cpp so the standalone driver and corpus test share it.
+#include "fuzz/targets.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return dlc::fuzz::frame_cursor_one(data, size);
+}

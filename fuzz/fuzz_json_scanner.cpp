@@ -1,0 +1,8 @@
+// libFuzzer entry point for the json_scanner decode surface; the logic lives in
+// fuzz/targets.cpp so the standalone driver and corpus test share it.
+#include "fuzz/targets.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return dlc::fuzz::json_scanner_one(data, size);
+}

@@ -1,0 +1,101 @@
+// Driver for fuzz targets when libFuzzer is unavailable (gcc builds,
+// the tier-1 smoke job).  Usage:
+//
+//   fuzz_<target> FILE...              run each corpus file once
+//   fuzz_<target> -runs=N FILE...      then N deterministic mutations of
+//                                      the corpus (xorshift RNG, seed
+//                                      fixed so CI failures reproduce)
+//
+// Exit 0 means every input ran without tripping an invariant (the
+// targets abort on violation, like libFuzzer crashes).
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+std::uint64_t rng_state = 0x9e3779b97f4a7c15ull;
+
+std::uint64_t next_rand() {
+  rng_state ^= rng_state << 13;
+  rng_state ^= rng_state >> 7;
+  rng_state ^= rng_state << 17;
+  return rng_state;
+}
+
+bool read_file(const char* path, std::vector<std::uint8_t>& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out.assign(std::istreambuf_iterator<char>(in),
+             std::istreambuf_iterator<char>());
+  return true;
+}
+
+void mutate(std::vector<std::uint8_t>& buf) {
+  const std::uint64_t r = next_rand();
+  switch (r % 4) {
+    case 0:  // flip a byte
+      if (!buf.empty()) buf[next_rand() % buf.size()] ^= 1u << (r >> 8) % 8;
+      break;
+    case 1:  // truncate
+      if (!buf.empty()) buf.resize(next_rand() % buf.size());
+      break;
+    case 2:  // insert a byte
+      buf.insert(buf.begin() + static_cast<std::ptrdiff_t>(
+                                   buf.empty() ? 0 : next_rand() % buf.size()),
+                 static_cast<std::uint8_t>(r >> 16));
+      break;
+    case 3:  // overwrite a short run
+      if (!buf.empty()) {
+        std::size_t pos = next_rand() % buf.size();
+        for (std::size_t k = 0; k < 1 + (r >> 24) % 8 && pos + k < buf.size();
+             ++k) {
+          buf[pos + k] = static_cast<std::uint8_t>(r >> (k * 7));
+        }
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long runs = 0;
+  std::vector<std::vector<std::uint8_t>> corpus;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "-runs=", 6) == 0) {
+      runs = std::strtol(argv[i] + 6, nullptr, 10);
+      continue;
+    }
+    std::vector<std::uint8_t> buf;
+    if (!read_file(argv[i], buf)) {
+      std::fprintf(stderr, "cannot read %s\n", argv[i]);
+      return 2;
+    }
+    corpus.push_back(std::move(buf));
+  }
+  if (corpus.empty()) {
+    std::fprintf(stderr, "usage: %s [-runs=N] FILE...\n", argv[0]);
+    return 2;
+  }
+  std::size_t executed = 0;
+  for (const auto& input : corpus) {
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+    ++executed;
+  }
+  for (long i = 0; i < runs; ++i) {
+    std::vector<std::uint8_t> buf = corpus[next_rand() % corpus.size()];
+    mutate(buf);
+    LLVMFuzzerTestOneInput(buf.data(), buf.size());
+    ++executed;
+  }
+  std::printf("ok: %zu inputs (%zu corpus + %ld mutations)\n", executed,
+              corpus.size(), runs);
+  return 0;
+}

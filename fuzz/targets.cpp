@@ -1,0 +1,430 @@
+// Implementations of the fuzz targets (see targets.hpp).  Invariant
+// failures call fuzz_fail(), which prints and aborts — the signal every
+// fuzzing driver (libFuzzer, standalone, gtest corpus test) understands.
+#include "fuzz/targets.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/schema_darshan.hpp"
+#include "darshan/events.hpp"
+#include "dsos/cluster.hpp"
+#include "dsos/schema.hpp"
+#include "json/parser.hpp"
+#include "json/scan.hpp"
+#include "obs/trace.hpp"
+#include "rollup/policy.hpp"
+#include "store/store.hpp"
+#include "util/cpu.hpp"
+#include "wire/codec.hpp"
+
+namespace dlc::fuzz {
+namespace {
+
+namespace fsys = std::filesystem;
+
+[[noreturn]] void fuzz_fail(const char* target, const char* what) {
+  std::fprintf(stderr, "FUZZ INVARIANT VIOLATED [%s]: %s\n", target, what);
+  std::abort();
+}
+
+void require(bool ok, const char* target, const char* what) {
+  if (!ok) fuzz_fail(target, what);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ frames ----
+
+int frame_cursor_one(const std::uint8_t* data, std::size_t size) {
+  const std::string_view payload(reinterpret_cast<const char*>(data), size);
+  (void)wire::looks_like_frame(payload);
+  (void)wire::decode_frame_seq(payload);
+
+  static const dsos::SchemaPtr schema = core::darshan_data_schema();
+  const std::size_t n_attrs = schema->attrs().size();
+
+  wire::FrameCursor cur(payload);
+  std::vector<dsos::Value> values;
+  obs::TraceContext trace;
+  std::size_t rows = 0;
+  int rc = 0;
+  if (cur.ok()) {
+    while ((rc = cur.next(values, &trace)) == 1) {
+      require(values.size() == n_attrs, "frame_cursor",
+              "cursor row is not in schema arity");
+      ++rows;
+      // Every decoded event consumes payload bytes; more rows than bytes
+      // means the cursor stopped making progress.
+      require(rows <= size + 1, "frame_cursor",
+              "cursor produced more rows than the payload can hold");
+    }
+    require(rc == 0 || rc == -1, "frame_cursor",
+            "cursor returned an undocumented code");
+  }
+
+  // The wrapped decoder is a thin shim over the cursor and must agree
+  // byte-for-byte: a clean walk yields exactly the cursor's rows, any
+  // malformed byte drops the whole frame.
+  std::vector<obs::TraceContext> traces;
+  const std::vector<dsos::Object> objs =
+      wire::decode_frame(schema, payload, &traces);
+  if (cur.ok() && rc == 0) {
+    require(objs.size() == rows, "frame_cursor",
+            "decode_frame row count disagrees with FrameCursor");
+    require(traces.size() == objs.size(), "frame_cursor",
+            "decode_frame trace count disagrees with its rows");
+  } else {
+    require(objs.empty(), "frame_cursor",
+            "decode_frame accepted a frame the cursor rejected");
+  }
+  return 0;
+}
+
+// ------------------------------------------------------- json scanner ----
+
+namespace {
+
+void append_token(std::string& out, const json::Token& tok) {
+  out += "tok(";
+  out += std::to_string(static_cast<int>(tok.kind));
+  out += ',';
+  out += std::to_string(tok.i);
+  out += ',';
+  out += std::to_string(tok.u);
+  out += ',';
+  // Exact bit pattern: the equivalence contract is byte-identical values.
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(tok.d));
+  std::memcpy(&bits, &tok.d, sizeof(bits));
+  out += std::to_string(bits);
+  out += ',';
+  out.append(tok.sv.data(), tok.sv.size());
+  out += ')';
+}
+
+/// Canonical scan transcript at the currently active SIMD level: the
+/// flat object walk the decode fast path performs (members scanned as
+/// scalars, nested values span-skipped), falling back to an array walk
+/// and then a single-token scan.  Every return code and token value goes
+/// into the transcript, so any divergence between kernels shows up as a
+/// transcript mismatch.
+std::string scan_transcript(std::string_view text) {
+  std::string out;
+  {
+    json::Scanner s(text);
+    if (s.enter_object()) {
+      out += "obj:";
+      std::string key_scratch;
+      std::string scratch;
+      for (;;) {
+        std::string_view key;
+        const int m = s.next_member(key, key_scratch);
+        out += "m";
+        out += std::to_string(m);
+        if (m != 1) break;
+        out += '<';
+        out.append(key.data(), key.size());
+        out += '>';
+        if (s.peek_array() || s.peek_object()) {
+          std::string_view span;
+          const bool ok = s.value_span(span);
+          out += ok ? "span:" : "span-fail";
+          if (ok) out.append(span.data(), span.size());
+          if (!ok) break;
+        } else {
+          json::Token tok;
+          if (!s.scan_token(tok, scratch)) {
+            out += "tok-fail";
+            break;
+          }
+          append_token(out, tok);
+        }
+      }
+      out += s.at_end() ? "|end" : "|trail";
+      return out;
+    }
+  }
+  {
+    json::Scanner s(text);
+    if (s.enter_array()) {
+      out += "arr:";
+      std::string scratch;
+      for (;;) {
+        const int e = s.next_element();
+        out += "e";
+        out += std::to_string(e);
+        if (e != 1) break;
+        if (s.peek_array() || s.peek_object()) {
+          if (!s.skip_value()) {
+            out += "skip-fail";
+            break;
+          }
+          out += "skip";
+        } else {
+          json::Token tok;
+          if (!s.scan_token(tok, scratch)) {
+            out += "tok-fail";
+            break;
+          }
+          append_token(out, tok);
+        }
+      }
+      out += s.at_end() ? "|end" : "|trail";
+      return out;
+    }
+  }
+  json::Scanner s(text);
+  json::Token tok;
+  std::string scratch;
+  if (s.scan_token(tok, scratch)) {
+    out += "scalar:";
+    append_token(out, tok);
+    out += s.at_end() ? "|end" : "|trail";
+  } else {
+    out += "reject";
+  }
+  return out;
+}
+
+}  // namespace
+
+int json_scanner_one(const std::uint8_t* data, std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+
+  // Differential across every kernel the host can run: the scalar code
+  // is the semantics; SSE2/AVX2 only locate structural bytes and must be
+  // transcript-identical.
+  util::set_simd_level(util::SimdLevel::kScalar);
+  const std::string scalar = scan_transcript(text);
+  if (util::detected_simd() >= util::SimdLevel::kSse2) {
+    util::set_simd_level(util::SimdLevel::kSse2);
+    const std::string sse2 = scan_transcript(text);
+    require(sse2 == scalar, "json_scanner",
+            "SSE2 scan transcript diverges from scalar");
+  }
+  if (util::detected_simd() >= util::SimdLevel::kAvx2) {
+    util::set_simd_level(util::SimdLevel::kAvx2);
+    const std::string avx2 = scan_transcript(text);
+    require(avx2 == scalar, "json_scanner",
+            "AVX2 scan transcript diverges from scalar");
+  }
+  util::reset_simd_level();
+
+  // Subset contract: a document the fast path scans cleanly end-to-end
+  // must also be accepted by the DOM parser (Scanner accepts a strict
+  // subset of json::parse; see scan.hpp).
+  const bool clean_object_scan =
+      scalar.rfind("obj:", 0) == 0 && scalar.find("m0|end") != std::string::npos;
+  if (clean_object_scan) {
+    require(json::parse(text).has_value(), "json_scanner",
+            "Scanner accepted an object the DOM parser rejects");
+  }
+  return 0;
+}
+
+// ------------------------------------------------------ rollup policy ----
+
+int rollup_policy_one(const std::uint8_t* data, std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    const rollup::PolicySet set = rollup::parse_rollup_policies(text);
+    for (const rollup::PolicyConfig& p : set.policies) {
+      // Accepted policies must round-trip: render -> parse -> render is
+      // a fixed point, and the re-parse accepts exactly one policy.
+      const std::string spec = rollup::to_string(p);
+      const rollup::PolicySet again = rollup::parse_rollup_policies(spec);
+      require(again.ok(), "rollup_policy",
+              "to_string() rendered a spec parse rejects");
+      require(again.policies.size() == 1, "rollup_policy",
+              "to_string() rendered a spec that parses to != 1 policy");
+      require(rollup::to_string(again.policies[0]) == spec, "rollup_policy",
+              "render -> parse -> render is not a fixed point");
+    }
+    double secs = 0.0;
+    (void)rollup::parse_seconds(text.substr(0, std::min<std::size_t>(size, 32)),
+                                secs);
+  } catch (...) {
+    fuzz_fail("rollup_policy", "parse_rollup_policies threw (contract: never)");
+  }
+  return 0;
+}
+
+// ----------------------------------------------------- store recovery ----
+
+namespace {
+
+dsos::SchemaPtr recovery_schema() {
+  return dsos::SchemaBuilder("darshan_data")
+      .attr("job_id", dsos::AttrType::kUint64)
+      .attr("rank", dsos::AttrType::kInt64)
+      .attr("timestamp", dsos::AttrType::kTimestamp)
+      .attr("bytes", dsos::AttrType::kUint64)
+      .attr("op", dsos::AttrType::kString)
+      .index("job_rank_time", {"job_id", "rank", "timestamp"})
+      .build();
+}
+
+dsos::ClusterConfig recovery_cluster_config() {
+  dsos::ClusterConfig cfg;
+  cfg.shard_count = 2;
+  cfg.parallel_query = false;
+  return cfg;
+}
+
+store::StoreConfig recovery_store_config(const std::string& dir) {
+  store::StoreConfig cfg;
+  cfg.mode = store::StoreMode::kTiered;
+  cfg.dir = dir;
+  cfg.wal_group_records = 8;
+  cfg.seal_bytes = 512;  // small: the template gets sealed segments
+  cfg.compact_interval_ms = 0;
+  return cfg;
+}
+
+/// Builds the template store directory once per process: sealed segments
+/// plus an unsealed WAL tail, so mutations can hit every on-disk format.
+const std::string& template_store_dir() {
+  static const std::string dir = [] {
+    std::string d = (fsys::temp_directory_path() /
+                     ("dlc_fuzz_store_template_" +
+                      std::to_string(static_cast<std::uint64_t>(::getpid()))))
+                        .string();
+    fsys::remove_all(d);
+    fsys::create_directories(d);
+    const dsos::SchemaPtr schema = recovery_schema();
+    dsos::DsosCluster db(recovery_cluster_config());
+    db.register_schema(schema);
+    store::Store st(recovery_store_config(d));
+    st.open(db);
+    for (int i = 0; i < 64; ++i) {
+      db.insert(dsos::make_object(
+          schema, {std::uint64_t{7}, std::int64_t{i % 4}, 100.0 + i,
+                   std::uint64_t{64u + static_cast<unsigned>(i)},
+                   std::string(i % 2 ? "write" : "read")}));
+    }
+    st.flush_all();
+    st.seal_all();
+    // A second batch left in the WAL (unsealed) so recovery exercises
+    // both the segment and the WAL replay path.
+    for (int i = 0; i < 16; ++i) {
+      db.insert(dsos::make_object(
+          schema, {std::uint64_t{8}, std::int64_t{i % 4}, 200.0 + i,
+                   std::uint64_t{32}, std::string("open")}));
+    }
+    st.close();
+    return d;
+  }();
+  return dir;
+}
+
+void copy_template(const std::string& dst) {
+  fsys::remove_all(dst);
+  fsys::create_directories(dst);
+  for (const auto& entry : fsys::directory_iterator(template_store_dir())) {
+    if (entry.is_regular_file()) {
+      fsys::copy_file(entry.path(), fsys::path(dst) / entry.path().filename());
+    }
+  }
+}
+
+std::string recovered_rows(const std::string& dir) {
+  const dsos::SchemaPtr schema = recovery_schema();
+  dsos::DsosCluster db(recovery_cluster_config());
+  db.register_schema(schema);
+  store::Store st(recovery_store_config(dir));
+  st.open(db);  // must not crash on any mutated dir
+  std::string out;
+  for (const dsos::Object* o : db.query("darshan_data", "job_rank_time")) {
+    out += std::to_string(o->as_uint("job_id")) + "/";
+    out += std::to_string(o->as_int("rank")) + "/";
+    out += std::to_string(o->as_double("timestamp")) + "/";
+    out += std::to_string(o->as_uint("bytes")) + "/";
+    out += o->as_string("op") + ";";
+  }
+  st.close();
+  return out;
+}
+
+}  // namespace
+
+int store_recovery_one(const std::uint8_t* data, std::size_t size) {
+  // The input is a mutation script over a copy of the template store
+  // dir: records of 6 bytes [file, op, off_hi, off_lo, val, extra]
+  // applied in order.  op % 4: 0 flip byte, 1 truncate, 2 append,
+  // 3 overwrite run.
+  static std::uint64_t iteration = 0;
+  const std::string dir =
+      (fsys::temp_directory_path() /
+       ("dlc_fuzz_store_" + std::to_string(static_cast<std::uint64_t>(::getpid())) +
+        "_" + std::to_string(iteration++)))
+          .string();
+  copy_template(dir);
+
+  std::vector<fsys::path> files;
+  for (const auto& entry : fsys::directory_iterator(dir)) {
+    if (entry.is_regular_file()) files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+
+  for (std::size_t i = 0; !files.empty() && i + 6 <= size; i += 6) {
+    const fsys::path& f = files[data[i] % files.size()];
+    const std::uint8_t op = data[i + 1] % 4;
+    const std::size_t off = (static_cast<std::size_t>(data[i + 2]) << 8) |
+                            data[i + 3];
+    const char val = static_cast<char>(data[i + 4]);
+    std::error_code ec;
+    const std::uintmax_t fsize = fsys::file_size(f, ec);
+    if (ec) continue;
+    switch (op) {
+      case 0:
+      case 3: {
+        std::fstream fs(f, std::ios::in | std::ios::out | std::ios::binary);
+        if (!fs) break;
+        const std::size_t pos = fsize == 0 ? 0 : off % fsize;
+        fs.seekp(static_cast<std::streamoff>(pos));
+        const std::size_t run = op == 3 ? 1u + data[i + 5] % 16u : 1u;
+        for (std::size_t k = 0; k < run; ++k) fs.put(val);
+        break;
+      }
+      case 1:
+        fsys::resize_file(f, fsize == 0 ? 0 : off % fsize, ec);
+        break;
+      case 2: {
+        std::ofstream fs(f, std::ios::app | std::ios::binary);
+        if (!fs) break;
+        const std::size_t run = 1u + data[i + 5] % 32u;
+        for (std::size_t k = 0; k < run; ++k) fs.put(val);
+        break;
+      }
+    }
+  }
+
+  // Recovery must not crash, and must be idempotent: opening the
+  // recovered directory a second time yields exactly the same rows
+  // (quarantine/truncate decisions are themselves durable).
+  try {
+    const std::string first = recovered_rows(dir);
+    const std::string second = recovered_rows(dir);
+    require(first == second, "store_recovery",
+            "recovery is not idempotent: second open saw different rows");
+  } catch (const store::StoreCrash&) {
+    fuzz_fail("store_recovery", "recovery hit an (unarmed) crash point");
+  } catch (const std::exception&) {
+    // Allowed: open() documents logic_error/runtime_error for unusable
+    // directories.  What it must never do is crash or corrupt silently.
+  }
+  fsys::remove_all(dir);
+  return 0;
+}
+
+}  // namespace dlc::fuzz

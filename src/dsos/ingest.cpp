@@ -59,7 +59,7 @@ IngestExecutor::IngestExecutor(DsosCluster& cluster, IngestConfig config)
     workers_.push_back(std::make_unique<Worker>());
   }
   for (std::size_t w = 0; w < n; ++w) {
-    threads_.emplace_back([this, w] { worker_loop(w); });
+    threads_.emplace_back("dlc-ingest", [this, w] { worker_loop(w); });
   }
 }
 
@@ -71,7 +71,7 @@ IngestExecutor::~IngestExecutor() {
       const util::LockGuard lock(worker->m);
     }
     for (auto& worker : workers_) worker->cv.notify_all();
-    for (std::thread& t : threads_) t.join();
+    for (util::Thread& t : threads_) t.join();
   }
   for (auto& q : queues_) q->close();
 }

@@ -30,13 +30,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <thread>
 #include <utility>
 #include <vector>
 
 #include "dsos/cluster.hpp"
 #include "obs/spans.hpp"
 #include "util/spsc_ring.hpp"
+#include "util/thread.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace dlc::dsos {
@@ -126,7 +126,9 @@ class IngestExecutor {
     // "Concurrency invariants & lock hierarchy".
     util::Mutex m{"IngestWorker"};
     util::CondVar cv;
+    // atomic-protocol: kind=gauge pairs=IngestExecutor::stats
     std::atomic<int> pinned_cpu{-1};
+    // atomic-protocol: kind=gauge pairs=IngestExecutor::stats
     std::atomic<int> last_cpu{-1};
   };
 
@@ -155,8 +157,9 @@ class IngestExecutor {
   std::vector<std::unique_ptr<SpscRing<Batch>>> queues_;
   std::vector<Batch> pending_;  // caller-side batch buffers
   std::vector<std::unique_ptr<Worker>> workers_;
-  std::vector<std::thread> threads_;
+  std::vector<util::Thread> threads_;
 
+  // atomic-protocol: kind=flag pairs=worker_loop-wakeup-predicate
   std::atomic<bool> stop_{false};
 
   // Written only by the submitting thread (which is also the drain()
@@ -165,9 +168,13 @@ class IngestExecutor {
   // reads, so they are relaxed atomics now (single writer, monotonic;
   // no ordering required).  inserted_ is multi-writer and stays guarded
   // by done_m_, which also serves the drain() wakeup.
+  // atomic-protocol: kind=counter pairs=IngestExecutor::stats/drain
   std::atomic<std::uint64_t> submitted_{0};
+  // atomic-protocol: kind=counter pairs=IngestExecutor::stats
   std::atomic<std::uint64_t> batches_{0};
+  // atomic-protocol: kind=counter pairs=IngestExecutor::stats
   std::atomic<std::uint64_t> backpressure_waits_{0};
+  // atomic-protocol: kind=counter pairs=IngestExecutor::stats
   std::atomic<std::uint64_t> backpressure_wait_ns_{0};
   mutable util::Mutex done_m_{"IngestDone"};
   util::CondVar done_cv_;

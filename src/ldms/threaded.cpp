@@ -12,7 +12,7 @@ ThreadedForwarder::ThreadedForwarder(StreamBus& from, StreamBus& to,
       dropped_.fetch_add(1, std::memory_order_relaxed);
     }
   });
-  worker_ = std::thread([this] { run(); });
+  worker_ = util::Thread("dlc-forward", [this] { run(); });
 }
 
 ThreadedForwarder::~ThreadedForwarder() { stop(); }

@@ -8,7 +8,7 @@
 
 #include <atomic>
 #include <cstdint>
-#include <thread>
+#include "util/thread.hpp"
 
 #include "ldms/message.hpp"
 #include "ldms/stream_bus.hpp"
@@ -57,12 +57,15 @@ class ThreadedForwarder {
 
   StreamBus& to_;
   SpscRing<StreamMessage> queue_;
+  // atomic-protocol: kind=counter pairs=ThreadedForwarder::stats
   std::atomic<std::uint64_t> dropped_{0};
+  // atomic-protocol: kind=counter pairs=ThreadedForwarder::stats
   std::atomic<std::uint64_t> forwarded_{0};
+  // atomic-protocol: kind=counter pairs=ThreadedForwarder::stats
   std::atomic<std::uint64_t> forwarded_bytes_{0};
   SubscriptionId sub_id_;
   StreamBus& from_;
-  std::thread worker_;
+  util::Thread worker_;
 };
 
 }  // namespace dlc::ldms

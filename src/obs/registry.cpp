@@ -6,11 +6,13 @@ namespace dlc::obs {
 
 namespace {
 
+// atomic-protocol: kind=flag pairs=obs::set_enabled/enabled
 std::atomic<bool> g_enabled{true};
 
 /// Round-robin thread -> shard assignment; stable per thread so a worker
 /// keeps hitting the same cache lines.
 std::size_t thread_shard() {
+  // atomic-protocol: kind=counter pairs=thread_shard-assignment
   static std::atomic<std::size_t> next{0};
   thread_local const std::size_t mine =
       next.fetch_add(1, std::memory_order_relaxed);

@@ -47,6 +47,7 @@ class Counter {
   void reset() { v_.store(0, std::memory_order_relaxed); }
 
  private:
+  // atomic-protocol: kind=counter pairs=Registry::scrape
   std::atomic<std::uint64_t> v_{0};
 };
 
@@ -65,6 +66,7 @@ class Gauge {
   void reset() { v_.store(0, std::memory_order_relaxed); }
 
  private:
+  // atomic-protocol: kind=gauge pairs=Registry::scrape
   std::atomic<std::int64_t> v_{0};
 };
 
@@ -103,9 +105,13 @@ class LogHistogram {
 
  private:
   struct alignas(64) Shard {
+    // atomic-protocol: kind=counter pairs=LogHistogram::snapshot
     std::array<std::atomic<std::uint64_t>, kLogBucketCount> buckets{};
+    // atomic-protocol: kind=counter pairs=LogHistogram::snapshot
     std::atomic<std::uint64_t> count{0};
+    // atomic-protocol: kind=counter pairs=LogHistogram::snapshot
     std::atomic<std::uint64_t> sum{0};
+    // atomic-protocol: kind=gauge pairs=LogHistogram::snapshot-cas-max
     std::atomic<std::uint64_t> max{0};
   };
   std::array<Shard, kShards> shards_;

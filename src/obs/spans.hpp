@@ -56,7 +56,9 @@ class TraceCollector {
   LogHistogram& durable_ns_;
   std::vector<LogHistogram*> hop_ns_;  // per transition, index = to-hop
 
+  // atomic-protocol: kind=counter pairs=SpanRecorder::stats
   std::atomic<std::uint64_t> completed_count_{0};
+  // atomic-protocol: kind=counter pairs=SpanRecorder::stats
   std::atomic<std::uint64_t> incomplete_count_{0};
 
   mutable util::Mutex m_{"ObsSpanRing"};

@@ -213,6 +213,7 @@ class RollupEngine {
     /// This shard's open-cell count as of its last commit — lets the
     /// dlc.rollup.cells_open gauge publish the engine-wide total
     /// without taking the other shards' locks on the commit path.
+    // atomic-protocol: kind=gauge pairs=RollupEngine::stats
     std::atomic<std::uint64_t> open_count{0};
     // Writer-thread schema cache (unguarded by the single-writer
     // contract, like Container::objects_).
@@ -255,10 +256,14 @@ class RollupEngine {
   std::uint64_t sealed_rows_ DLC_GUARDED_BY(sealed_m_) = 0;
   std::uint64_t spills_ DLC_GUARDED_BY(sealed_m_) = 0;
 
+  // atomic-protocol: kind=flag pairs=crash-injection-test-hooks
   mutable std::atomic<bool> crashed_{false};
+  // atomic-protocol: kind=counter pairs=crash-injection-test-hooks
   std::array<std::atomic<std::uint64_t>, kRollupCrashPointCount>
       crash_after_{};
+  // atomic-protocol: kind=counter pairs=RollupEngine::stats
   std::atomic<std::uint64_t> events_{0};
+  // atomic-protocol: kind=counter pairs=RollupEngine::stats
   std::atomic<std::uint64_t> late_dropped_{0};
 
   // Pre-resolved dlc.rollup.* instruments (nullptr when obs is off).

@@ -535,7 +535,7 @@ RecoveryReport Store::open(dsos::DsosCluster& cluster) {
 
     if (config_.mode == StoreMode::kTiered &&
         config_.compact_interval_ms != 0) {
-      compact_thread_ = std::thread([this] { compactor_loop(); });
+      compact_thread_ = util::Thread("dlc-compact", [this] { compactor_loop(); });
     }
   } catch (...) {
     shards_.clear();

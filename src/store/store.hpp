@@ -43,7 +43,6 @@
 #include <set>
 #include <string>
 #include <string_view>
-#include <thread>
 #include <vector>
 
 #include "dsos/cluster.hpp"
@@ -51,6 +50,7 @@
 #include "store/format.hpp"
 #include "store/segment.hpp"
 #include "store/wal.hpp"
+#include "util/thread.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace dlc::store {
@@ -112,6 +112,7 @@ class FaultInjector {
   bool should_crash(CrashPoint p);
 
  private:
+  // atomic-protocol: kind=counter pairs=crash-injection-test-hooks
   std::array<std::atomic<std::uint64_t>, kCrashPointCount> after_{};
 };
 
@@ -220,15 +221,19 @@ class Store {
   std::uint64_t compactions_ DLC_GUARDED_BY(state_m_) = 0;
   std::uint64_t retention_deleted_ DLC_GUARDED_BY(state_m_) = 0;
 
+  // atomic-protocol: kind=flag pairs=SegmentStore::open/close
   std::atomic<bool> open_{false};
+  // atomic-protocol: kind=flag pairs=crash-injection-test-hooks
   mutable std::atomic<bool> crashed_{false};
+  // atomic-protocol: kind=counter pairs=segment-id-allocation
   std::atomic<std::uint64_t> next_segment_id_{1};
+  // atomic-protocol: kind=gauge pairs=SegmentStore::stats
   std::atomic<std::int64_t> live_segments_{0};
 
   util::Mutex compact_m_{"StoreCompactor"};
   util::CondVar compact_cv_;
   bool compact_stop_ DLC_GUARDED_BY(compact_m_) = false;
-  std::thread compact_thread_;
+  util::Thread compact_thread_;
 };
 
 }  // namespace dlc::store

@@ -1,0 +1,51 @@
+// Atomics policy for lock-free containers (SpscRingT).
+//
+// A policy names the synchronization vocabulary a container is written
+// against: atomic cells, plain shared fields, mutex/condvar types, and
+// fences.  Production code instantiates containers with
+// StdAtomicsPolicy below — every alias maps straight onto the std/util
+// type the container used before it was templatized, so the production
+// instantiation stays header-only and compiles to identical code (the
+// extra `name`/`site` hooks are empty inline functions).  The model
+// checker instantiates the same container with mc::McPolicy
+// (util/mc/policy.hpp), which routes every operation through the
+// interleaving explorer instead.
+#pragma once
+
+#include <atomic>
+
+#include "util/thread_annotations.hpp"
+
+namespace dlc::util {
+
+struct StdAtomicsPolicy {
+  /// Atomic cell.  Must support load/store/fetch_add/fetch_sub/
+  /// exchange/compare_exchange_{weak,strong} with explicit
+  /// std::memory_order arguments.
+  template <typename U>
+  using Atomic = std::atomic<U>;
+
+  /// Plain shared field (published via the protocol's atomics).  The
+  /// mc policy wraps these in a race detector; production stores them
+  /// bare.
+  template <typename U>
+  using Var = U;
+
+  using Mutex = util::Mutex;
+  using CondVar = util::CondVar;
+  using LockGuard = util::LockGuard;
+  using UniqueLock = util::UniqueLock;
+
+  /// Registers a human-readable name for an atomic (model-checker
+  /// traces and mutation sites); free in production.
+  template <typename U>
+  static void name(Atomic<U>&, const char*) {}
+
+  /// Standalone fence with a site label (the label is what the model
+  /// checker's fence-drop mutations match on).
+  static void fence(std::memory_order mo, const char* /*site*/) {
+    std::atomic_thread_fence(mo);
+  }
+};
+
+}  // namespace dlc::util

@@ -89,6 +89,7 @@ std::size_t effective_cpus() { return cpu_budget().effective; }
 namespace {
 
 /// 255 = "auto": no cap installed, active == detected.
+// atomic-protocol: kind=config pairs=active_simd/set_simd_level
 std::atomic<std::uint8_t> g_simd_cap{255};
 
 }  // namespace

@@ -2,13 +2,15 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "util/thread_annotations.hpp"
 
 namespace dlc {
 
 namespace {
+// atomic-protocol: kind=config pairs=log_level/set_log_level
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_sink_mutex;
+util::Mutex g_sink_mutex{"LogSink"};
 LogSink g_sink;  // guarded by g_sink_mutex
 
 const char* level_name(LogLevel level) {
@@ -35,13 +37,13 @@ void set_log_level(LogLevel level) {
 }
 
 void set_log_sink(LogSink sink) {
-  const std::scoped_lock lock(g_sink_mutex);
+  const util::LockGuard lock(g_sink_mutex);
   g_sink = std::move(sink);
 }
 
 void log_message(LogLevel level, const std::string& msg) {
   if (level < log_level()) return;
-  const std::scoped_lock lock(g_sink_mutex);
+  const util::LockGuard lock(g_sink_mutex);
   if (g_sink) {
     g_sink(level, msg);
   } else {

@@ -1,0 +1,1084 @@
+// Model checker internals: cooperative fibers (ucontext), an operational
+// TSO memory model with per-thread store buffers, vector-clock
+// happens-before tracking with data-race detection on mc::var, and a
+// replay-based DFS explorer with state-fingerprint pruning and an
+// optional preemption bound.  See mc.hpp for the model's contract and
+// its documented limitations.
+#include "util/mc/mc.hpp"
+
+#include <ucontext.h>
+
+#include <array>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define MC_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define MC_ASAN 1
+#endif
+#endif
+#if defined(MC_ASAN)
+#include <sanitizer/common_interface_defs.h>
+#endif
+
+namespace dlc::mc {
+namespace detail {
+
+constexpr std::size_t kStackSize = 256 * 1024;
+
+/// Thrown inside a fiber to unwind its stack when the execution is
+/// cancelled (violation found / exploration stopped mid-tree).  Never
+/// escapes the fiber entry wrapper.
+struct McCancel {};
+
+inline std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  // splitmix64-style avalanche; good enough for fingerprints.
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  return h;
+}
+
+struct VC {
+  std::array<std::uint32_t, kMaxThreads> c{};
+
+  void join(const VC& o) {
+    for (int i = 0; i < kMaxThreads; ++i) {
+      if (o.c[i] > c[i]) c[i] = o.c[i];
+    }
+  }
+  std::uint64_t digest() const {
+    std::uint64_t h = 0x811c9dc5;
+    for (int i = 0; i < kMaxThreads; ++i) h = mix(h, c[i]);
+    return h;
+  }
+};
+
+inline bool is_acquire(std::memory_order mo) {
+  return mo == std::memory_order_acquire || mo == std::memory_order_acq_rel ||
+         mo == std::memory_order_seq_cst;
+}
+inline bool is_release(std::memory_order mo) {
+  return mo == std::memory_order_release || mo == std::memory_order_acq_rel ||
+         mo == std::memory_order_seq_cst;
+}
+
+struct Access {
+  int tid = -1;
+  std::uint32_t clock = 0;
+};
+
+struct LocState {
+  int id = -1;
+  const char* name = "?";
+  bool is_var = false;
+  std::uint64_t mem = 0;
+  /// Release clock carried by the location's current value (absent for a
+  /// plain relaxed store); RMWs join instead of replacing it, so release
+  /// sequences survive intervening relaxed RMWs.
+  VC msync;
+  bool has_msync = false;
+  // Race metadata (vars only).
+  Access last_write;
+  std::array<Access, kMaxThreads> reads{};  // one slot per reader tid
+};
+
+struct Buffered {
+  LocState* loc = nullptr;
+  std::uint64_t val = 0;
+  bool release = false;
+  VC rel_vc;
+};
+
+struct MutexState {
+  int id = -1;
+  const char* name = "mutex";
+  int owner = -1;
+  VC clock;
+};
+
+struct CvState {
+  int id = -1;
+  std::vector<int> waiters;  // FIFO of tids asleep on this condvar
+};
+
+enum class TStatus : std::uint8_t {
+  kUnborn,
+  kRunnable,      // parked at a scheduling point, can be stepped
+  kBlockedMutex,  // waiting for wait_mutex to free up
+  kBlockedCv,     // asleep on wait_cv until a notify
+  kBlockedJoin,   // main thread inside join_all()
+  kFinished,
+};
+
+/// Compact pending-op descriptor; formatted into text only when a
+/// violation needs its trace.
+struct OpDesc {
+  const char* op = "start";
+  const char* what = "";
+  std::uint64_t arg = 0;
+};
+
+struct CtxInfo {
+  ucontext_t uc{};
+  const void* stack_bottom = nullptr;
+  std::size_t stack_size = 0;
+#if defined(MC_ASAN)
+  void* fake_save = nullptr;
+#endif
+};
+
+struct ThreadState {
+  int tid = -1;
+  const char* name = "T";
+  TStatus status = TStatus::kUnborn;
+  bool started = false;
+  std::function<void()> fn;
+  VC vc;
+  std::uint64_t hist = 0;
+  std::deque<Buffered> buffer;
+  void* wait_mutex = nullptr;
+  void* wait_cv = nullptr;
+  bool cancel = false;
+  bool unwinding = false;
+  OpDesc pending;
+  CtxInfo ctx;
+  std::unique_ptr<char[]> stack;
+};
+
+struct Action {
+  enum Kind : std::uint8_t { kStep, kFlush } kind = kStep;
+  int tid = 0;
+};
+
+struct TraceEntry {
+  int tid;
+  const char* tname;
+  OpDesc desc;
+  bool flush;
+  const char* flush_loc;
+};
+
+class Sched {
+ public:
+  explicit Sched(const Options& opts) : opts_(opts) {}
+
+  // ---- execution lifecycle (driven by the explorer in check()) ----
+
+  void begin(const std::function<void(Env&)>* harness) {
+    for (ThreadState& t : threads_) {
+      t.status = TStatus::kUnborn;
+      t.fn = nullptr;
+      t.buffer.clear();
+    }
+    locs_.clear();
+    loc_by_addr_.clear();
+    mutexes_.clear();
+    mutex_by_addr_.clear();
+    cvs_.clear();
+    cv_by_addr_.clear();
+    trace_.clear();
+    n_threads_ = 0;
+    steps_ = 0;
+    preemptions_ = 0;
+    last_stepped_ = -1;
+    cancel_mode_ = false;
+    violated_ = false;
+    violation_ = Violation{};
+    cur_ = -1;
+    harness_ = harness;
+    spawn_internal(
+        [this] {
+          Env env;
+          (*harness_)(env);
+        },
+        "main");
+  }
+
+  /// Enumerates the enabled transitions, deterministically ordered.
+  /// Applies the preemption bound when configured.
+  std::vector<Action> enumerate() {
+    std::vector<Action> out;
+    const bool bounded =
+        opts_.max_preemptions >= 0 && preemptions_ >= opts_.max_preemptions;
+    const bool last_enabled =
+        last_stepped_ >= 0 && step_enabled(threads_[last_stepped_]);
+    for (int i = 0; i < n_threads_; ++i) {
+      if (!step_enabled(threads_[i])) continue;
+      if (bounded && last_enabled && i != last_stepped_) continue;
+      out.push_back({Action::kStep, i});
+    }
+    for (int i = 0; i < n_threads_; ++i) {
+      if (!threads_[i].buffer.empty()) out.push_back({Action::kFlush, i});
+    }
+    return out;
+  }
+
+  bool all_finished() const {
+    for (int i = 0; i < n_threads_; ++i) {
+      if (threads_[i].status != TStatus::kFinished) return false;
+    }
+    return true;
+  }
+
+  void apply(const Action& a) {
+    ++steps_;
+    ThreadState& t = threads_[a.tid];
+    if (a.kind == Action::kFlush) {
+      trace_.push_back({a.tid, t.name, {}, true, t.buffer.front().loc->name});
+      flush_one(t);
+      return;
+    }
+    if (last_stepped_ >= 0 && last_stepped_ != a.tid &&
+        step_enabled(threads_[last_stepped_])) {
+      ++preemptions_;
+    }
+    trace_.push_back({a.tid, t.name, t.pending, false, ""});
+    last_stepped_ = a.tid;
+    grant(t);
+  }
+
+  /// Records a violation found from scheduler context (deadlock, step
+  /// limit, replay divergence).
+  void violate_from_scheduler(Violation::Kind kind, std::string msg) {
+    record_violation(kind, std::move(msg));
+  }
+
+  /// Ends the current execution; unwinds any fiber still alive (pruned
+  /// leaves, violations) so every destructor runs before the next
+  /// execution reuses the fiber stacks.
+  void finish_execution() {
+    if (!all_finished()) unwind_all();
+    for (int i = 0; i < n_threads_; ++i) {
+      threads_[i].fn = nullptr;
+      threads_[i].buffer.clear();
+    }
+  }
+
+  std::uint64_t fingerprint() const {
+    std::uint64_t h = 0x100001b3;
+    for (int i = 0; i < n_threads_; ++i) {
+      const ThreadState& t = threads_[i];
+      h = mix(h, static_cast<std::uint64_t>(t.status));
+      // `started` distinguishes "not yet run" from "parked at the first
+      // yield point having executed nothing": the only step that changes
+      // no other hashed state is a fiber's run-to-first-yield slice, and
+      // without this bit that step fingerprints identically to its
+      // predecessor and the DFS wrongly prunes the whole branch.
+      h = mix(h, t.started ? 2 : 1);
+      h = mix(h, t.hist);
+      h = mix(h, t.vc.digest());
+      h = mix(h, stable_mutex_id(t.wait_mutex));
+      h = mix(h, stable_cv_id(t.wait_cv));
+      for (const Buffered& b : t.buffer) {
+        h = mix(h, static_cast<std::uint64_t>(b.loc->id));
+        h = mix(h, b.val);
+        h = mix(h, b.release ? b.rel_vc.digest() : 0);
+      }
+      h = mix(h, 0x5eed);
+    }
+    for (const auto& loc : locs_) {
+      h = mix(h, loc->mem);
+      h = mix(h, loc->has_msync ? loc->msync.digest() : 0);
+      h = mix(h, access_digest(loc->last_write));
+      for (const Access& r : loc->reads) h = mix(h, access_digest(r));
+    }
+    for (const auto& m : mutexes_) {
+      h = mix(h,
+              static_cast<std::uint64_t>(static_cast<std::uint32_t>(m->owner)));
+      h = mix(h, m->clock.digest());
+    }
+    for (const auto& cv : cvs_) {
+      for (int w : cv->waiters) h = mix(h, static_cast<std::uint64_t>(w) + 7);
+      h = mix(h, 0xc0de);
+    }
+    if (opts_.max_preemptions >= 0) {
+      h = mix(h, static_cast<std::uint64_t>(preemptions_));
+      h = mix(h, static_cast<std::uint64_t>(
+                     static_cast<std::uint32_t>(last_stepped_)));
+    }
+    return h;
+  }
+
+  bool violated() const { return violated_; }
+  Violation take_violation() { return std::move(violation_); }
+  std::size_t steps() const { return steps_; }
+
+  // ---- fiber-side operations (called from instrumentation shims) ----
+
+  ThreadState& cur() { return threads_[cur_]; }
+  bool in_fiber() const { return cur_ >= 0; }
+  bool thread_unwinding() const {
+    return cur_ >= 0 && threads_[cur_].unwinding;
+  }
+
+  std::uint64_t do_load(const void* addr, std::memory_order mo,
+                        const char* opname) {
+    LocState& loc = loc_for(const_cast<void*>(addr), false);
+    ThreadState& t = cur();
+    yield_point(t, {opname, loc.name, 0});
+    mo = mutated_order(loc, Mutation::kWeakenLoad, mo);
+    std::uint64_t v = 0;
+    bool from_buffer = false;
+    for (auto it = t.buffer.rbegin(); it != t.buffer.rend(); ++it) {
+      if (it->loc == &loc) {
+        v = it->val;
+        from_buffer = true;
+        break;
+      }
+    }
+    if (!from_buffer) {
+      v = loc.mem;
+      if (is_acquire(mo) && loc.has_msync) t.vc.join(loc.msync);
+    }
+    t.hist = mix(t.hist, mix(0x4c /*L*/, mix(loc.id, v)));
+    tick(t);
+    return v;
+  }
+
+  void do_store(void* addr, std::uint64_t v, std::memory_order mo,
+                const char* opname) {
+    LocState& loc = loc_for(addr, false);
+    ThreadState& t = cur();
+    yield_point(t, {opname, loc.name, v});
+    mo = mutated_order(loc, Mutation::kWeakenStore, mo);
+    if (mo == std::memory_order_seq_cst) {
+      flush_all(t);
+      write_mem(loc, v, true, t.vc);
+    } else {
+      Buffered b;
+      b.loc = &loc;
+      b.val = v;
+      b.release = is_release(mo);
+      if (b.release) b.rel_vc = t.vc;
+      t.buffer.push_back(std::move(b));
+    }
+    t.hist = mix(t.hist, mix(0x53 /*S*/, mix(loc.id, v)));
+    tick(t);
+  }
+
+  std::uint64_t do_rmw(void* addr, bool is_add, std::uint64_t operand,
+                       bool is_cas, std::uint64_t* cas_expected,
+                       std::memory_order mo, const char* opname) {
+    LocState& loc = loc_for(addr, false);
+    ThreadState& t = cur();
+    yield_point(t, {opname, loc.name, operand});
+    mo = mutated_order(loc, Mutation::kWeakenRmw, mo);
+    // Atomic against memory: the store half does not buffer (x86 locked
+    // semantics; see the mc.hpp header comment for the resulting
+    // limitation on waiter-side fences).
+    flush_all(t);
+    const std::uint64_t old = loc.mem;
+    if (is_acquire(mo) && loc.has_msync) t.vc.join(loc.msync);
+    bool wrote = true;
+    std::uint64_t nv = 0;
+    if (is_cas) {
+      if (old == *cas_expected) {
+        nv = operand;
+      } else {
+        *cas_expected = old;
+        wrote = false;
+      }
+    } else {
+      nv = is_add ? old + operand : operand;  // exchange passes is_add=false
+    }
+    if (wrote) {
+      // RMWs continue the release sequence of the store they read: the
+      // existing msync survives, joined with this thread's clock when
+      // the RMW itself releases.
+      if (is_release(mo)) {
+        if (!loc.has_msync) loc.msync = VC{};
+        loc.msync.join(t.vc);
+        loc.has_msync = true;
+      }
+      loc.mem = nv;
+    }
+    t.hist = mix(t.hist, mix(0x52 /*R*/, mix(loc.id, mix(old, wrote))));
+    tick(t);
+    return old;
+  }
+
+  void do_fence(std::memory_order mo, const char* site) {
+    ThreadState& t = cur();
+    yield_point(t, {"fence", site, 0});
+    const Mutation& m = opts_.mutation;
+    if (m.kind == Mutation::kDropFence && m.site == site) {
+      t.hist = mix(t.hist, 0xdead);
+      tick(t);
+      return;
+    }
+    if (mo == std::memory_order_seq_cst) flush_all(t);
+    t.hist = mix(t.hist, 0xfe);
+    tick(t);
+  }
+
+  void do_var_access(void* addr, bool is_write) {
+    LocState& loc = loc_for(addr, true);
+    ThreadState& t = cur();
+    // NOT a scheduling point: plain accesses interleave as the atomics
+    // around them dictate; the happens-before check below is what the
+    // explored schedules feed.
+    const Access& w = loc.last_write;
+    if (w.tid >= 0 && w.tid != t.tid && t.vc.c[w.tid] < w.clock) {
+      race(loc, is_write ? "write" : "read", "write", w.tid);
+    }
+    if (is_write) {
+      for (int i = 0; i < kMaxThreads; ++i) {
+        const Access& r = loc.reads[i];
+        if (r.tid >= 0 && r.tid != t.tid && t.vc.c[r.tid] < r.clock) {
+          race(loc, "write", "read", r.tid);
+        }
+      }
+      loc.last_write = {t.tid, t.vc.c[t.tid]};
+      for (auto& r : loc.reads) r = Access{};
+    } else {
+      loc.reads[t.tid] = {t.tid, t.vc.c[t.tid]};
+    }
+    t.hist = mix(t.hist, mix(0x56 /*V*/, mix(loc.id, is_write ? 1 : 0)));
+    tick(t);
+  }
+
+  void do_mutex_lock(void* addr, const char* name, bool try_only,
+                     bool* acquired) {
+    MutexState& m = mutex_for(addr, name);
+    ThreadState& t = cur();
+    yield_point(t, {try_only ? "try_lock" : "lock", m.name, 0});
+    // Mutex/condvar ops are locked RMWs on real hardware: they drain
+    // the caller's store buffer.  Without this, a release store made
+    // before an unlock could stay invisible past a later lock of the
+    // same mutex — a behavior TSO's FIFO buffers cannot produce.
+    flush_all(t);
+    if (try_only) {
+      if (m.owner == -1) {
+        lock_acquired(m, t);
+        *acquired = true;
+      } else {
+        *acquired = false;
+      }
+      t.hist = mix(t.hist, mix(0x74, *acquired ? 1 : 0));
+      tick(t);
+      return;
+    }
+    while (m.owner != -1) {
+      t.status = TStatus::kBlockedMutex;
+      t.wait_mutex = addr;
+      park(t);
+    }
+    t.wait_mutex = nullptr;
+    lock_acquired(m, t);
+    t.hist = mix(t.hist, 0x6c);
+    tick(t);
+  }
+
+  void do_mutex_unlock(void* addr) {
+    MutexState& m = mutex_for(addr, nullptr);
+    ThreadState& t = cur();
+    yield_point(t, {"unlock", m.name, 0});
+    flush_all(t);  // see do_mutex_lock
+    m.clock.join(t.vc);
+    m.owner = -1;
+    t.hist = mix(t.hist, 0x75);
+    tick(t);
+  }
+
+  void do_cv_wait(void* cv_addr, void* mutex_addr) {
+    CvState& cv = cv_for(cv_addr);
+    MutexState& m = mutex_for(mutex_addr, nullptr);
+    ThreadState& t = cur();
+    yield_point(t, {"cv_wait", m.name, 0});
+    flush_all(t);  // see do_mutex_lock
+    // Atomically: release the mutex and go to sleep.  No spurious
+    // wakeups — only a notify can move us out of kBlockedCv, so a lost
+    // notify becomes a visible deadlock.
+    m.clock.join(t.vc);
+    m.owner = -1;
+    t.status = TStatus::kBlockedCv;
+    t.wait_cv = cv_addr;
+    t.wait_mutex = mutex_addr;
+    cv.waiters.push_back(t.tid);
+    park(t);  // sleeps until a notify flips us to kBlockedMutex
+    while (m.owner != -1) {
+      t.status = TStatus::kBlockedMutex;
+      park(t);
+    }
+    t.wait_mutex = nullptr;
+    t.wait_cv = nullptr;
+    lock_acquired(m, t);
+    t.hist = mix(t.hist, 0x77);
+    tick(t);
+  }
+
+  void do_cv_notify(void* cv_addr, bool all) {
+    CvState& cv = cv_for(cv_addr);
+    ThreadState& t = cur();
+    yield_point(t, {all ? "notify_all" : "notify_one", "cv", 0});
+    flush_all(t);  // see do_mutex_lock
+    const std::size_t n =
+        all ? cv.waiters.size() : (cv.waiters.empty() ? 0 : 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      ThreadState& w = threads_[cv.waiters[i]];
+      w.status = TStatus::kBlockedMutex;  // awake; contends for the mutex
+      w.wait_cv = nullptr;
+    }
+    cv.waiters.erase(cv.waiters.begin(),
+                     cv.waiters.begin() + static_cast<std::ptrdiff_t>(n));
+    t.hist = mix(t.hist, mix(0x6e, n));
+    tick(t);
+  }
+
+  void do_assert(bool ok, const char* msg) {
+    if (ok) return;
+    record_violation(Violation::kAssert,
+                     std::string("assertion failed: ") + msg);
+    throw_cancel(cur());
+  }
+
+  void do_spawn(std::function<void()> fn, const char* name) {
+    ThreadState& parent = cur();
+    yield_point(parent, {"spawn", name != nullptr ? name : "T", 0});
+    if (n_threads_ >= kMaxThreads) {
+      record_violation(Violation::kAssert, "too many mc threads");
+      throw_cancel(parent);
+    }
+    ThreadState& child = spawn_internal(std::move(fn), name);
+    child.vc = parent.vc;  // spawn happens-before the child's first op
+    child.vc.c[child.tid] = 1;
+    parent.hist = mix(parent.hist, mix(0x73, child.tid));
+    tick(parent);
+  }
+
+  void do_join_all() {
+    ThreadState& t = cur();
+    yield_point(t, {"join_all", "", 0});
+    while (!join_ready()) {
+      t.status = TStatus::kBlockedJoin;
+      park(t);
+    }
+    for (int i = 1; i < n_threads_; ++i) t.vc.join(threads_[i].vc);
+    t.hist = mix(t.hist, 0x6a);
+    tick(t);
+  }
+
+  // ---- registration (never a scheduling point) ----
+
+  void reg_atomic(void* addr, std::uint64_t init) {
+    LocState& loc = loc_for(addr, false);
+    loc.mem = init;
+    loc.has_msync = false;
+  }
+  void name_atomic(void* addr, const char* name) {
+    loc_for(addr, false).name = name;
+  }
+  void forget(void* addr) {
+    // Keep the slot (ids and fingerprint layout must stay stable) but
+    // detach the address so a later object reusing it registers fresh.
+    loc_by_addr_.erase(addr);
+  }
+  void forget_mutex(void* addr) { mutex_by_addr_.erase(addr); }
+  void forget_cv(void* addr) { cv_by_addr_.erase(addr); }
+
+  void run_entry();  // body of the fiber trampoline
+
+ private:
+  bool step_enabled(const ThreadState& t) const {
+    switch (t.status) {
+      case TStatus::kRunnable:
+        return true;
+      case TStatus::kBlockedMutex: {
+        auto it = mutex_by_addr_.find(t.wait_mutex);
+        return it != mutex_by_addr_.end() && it->second->owner == -1;
+      }
+      case TStatus::kBlockedJoin:
+        return join_ready();
+      case TStatus::kBlockedCv:
+      case TStatus::kFinished:
+      case TStatus::kUnborn:
+        return false;
+    }
+    return false;
+  }
+
+  bool join_ready() const {
+    for (int i = 1; i < n_threads_; ++i) {
+      if (threads_[i].status != TStatus::kFinished) return false;
+      if (!threads_[i].buffer.empty()) return false;
+    }
+    // The joiner's own buffer need not drain: its stores are already
+    // ordered before everything it does next.
+    return true;
+  }
+
+  std::uint64_t stable_mutex_id(void* addr) const {
+    if (addr == nullptr) return 0xffffffff;
+    auto it = mutex_by_addr_.find(addr);
+    return it == mutex_by_addr_.end()
+               ? 0xfffffffe
+               : static_cast<std::uint64_t>(it->second->id);
+  }
+  std::uint64_t stable_cv_id(void* addr) const {
+    if (addr == nullptr) return 0xffffffff;
+    auto it = cv_by_addr_.find(addr);
+    return it == cv_by_addr_.end()
+               ? 0xfffffffe
+               : static_cast<std::uint64_t>(it->second->id);
+  }
+  static std::uint64_t access_digest(const Access& a) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a.tid))
+            << 32) |
+           a.clock;
+  }
+
+  void lock_acquired(MutexState& m, ThreadState& t) {
+    m.owner = t.tid;
+    t.vc.join(m.clock);
+  }
+
+  void tick(ThreadState& t) { ++t.vc.c[t.tid]; }
+
+  std::memory_order mutated_order(const LocState& loc, Mutation::Kind kind,
+                                  std::memory_order mo) const {
+    const Mutation& m = opts_.mutation;
+    if (m.kind == kind && m.site == loc.name) {
+      return std::memory_order_relaxed;
+    }
+    return mo;
+  }
+
+  void write_mem(LocState& loc, std::uint64_t v, bool release, const VC& vc) {
+    loc.mem = v;
+    loc.has_msync = release;
+    if (release) loc.msync = vc;
+  }
+
+  void flush_one(ThreadState& t) {
+    Buffered b = std::move(t.buffer.front());
+    t.buffer.pop_front();
+    write_mem(*b.loc, b.val, b.release, b.rel_vc);
+  }
+
+  void flush_all(ThreadState& t) {
+    while (!t.buffer.empty()) flush_one(t);
+  }
+
+  [[noreturn]] void race(const LocState& loc, const char* a, const char* b,
+                         int other_tid) {
+    std::string msg = "data race on ";
+    msg += loc.name;
+    msg += ": ";
+    msg += a;
+    msg += " by T" + std::to_string(cur_);
+    msg += " unordered with ";
+    msg += b;
+    msg += " by T" + std::to_string(other_tid);
+    record_violation(Violation::kDataRace, std::move(msg));
+    throw_cancel(cur());
+  }
+
+  void record_violation(Violation::Kind kind, std::string msg) {
+    if (violated_) return;
+    violated_ = true;
+    violation_.kind = kind;
+    violation_.message = std::move(msg);
+    violation_.trace = format_trace();
+    cancel_mode_ = true;
+    for (int i = 0; i < n_threads_; ++i) threads_[i].cancel = true;
+  }
+
+  [[noreturn]] void throw_cancel(ThreadState& t) {
+    t.unwinding = true;
+    throw McCancel{};
+  }
+
+  /// Resumes every live fiber so it unwinds via McCancel and releases
+  /// its resources (the ASan CI job leak-checks mc tests like any
+  /// other binary).
+  void unwind_all() {
+    cancel_mode_ = true;
+    for (int i = 0; i < n_threads_; ++i) threads_[i].cancel = true;
+    for (int i = 0; i < n_threads_; ++i) {
+      ThreadState& t = threads_[i];
+      while (t.status != TStatus::kFinished) grant(t);
+    }
+  }
+
+  std::vector<std::string> format_trace() const {
+    std::vector<std::string> out;
+    out.reserve(trace_.size());
+    for (const TraceEntry& e : trace_) {
+      std::string line = "T" + std::to_string(e.tid) + "(" + e.tname + "): ";
+      if (e.flush) {
+        line += "flush -> ";
+        line += e.flush_loc;
+      } else {
+        line += e.desc.op;
+        if (e.desc.what != nullptr && e.desc.what[0] != '\0') {
+          line += " ";
+          line += e.desc.what;
+        }
+      }
+      out.push_back(std::move(line));
+    }
+    return out;
+  }
+
+  // ---- fiber plumbing ----
+
+  static void trampoline();
+
+  ThreadState& spawn_internal(std::function<void()> fn, const char* name) {
+    const int tid = n_threads_++;
+    ThreadState& t = threads_[tid];
+    t.tid = tid;
+    t.name = name != nullptr ? name : "T";
+    t.status = TStatus::kRunnable;
+    t.started = false;
+    t.fn = std::move(fn);
+    t.vc = VC{};
+    t.vc.c[tid] = 1;
+    t.hist = mix(0xcbf29ce484222325ull, tid);
+    t.buffer.clear();
+    t.wait_mutex = nullptr;
+    t.wait_cv = nullptr;
+    t.cancel = false;
+    t.unwinding = false;
+    t.pending = OpDesc{};
+    if (t.stack == nullptr) t.stack = std::make_unique<char[]>(kStackSize);
+    getcontext(&t.ctx.uc);
+    t.ctx.uc.uc_stack.ss_sp = t.stack.get();
+    t.ctx.uc.uc_stack.ss_size = kStackSize;
+    t.ctx.uc.uc_link = nullptr;
+    t.ctx.stack_bottom = t.stack.get();
+    t.ctx.stack_size = kStackSize;
+    makecontext(&t.ctx.uc, &Sched::trampoline, 0);
+    return t;
+  }
+
+  void switch_ctx(CtxInfo& from, CtxInfo& to) {
+#if defined(MC_ASAN)
+    __sanitizer_start_switch_fiber(&from.fake_save, to.stack_bottom,
+                                   to.stack_size);
+#endif
+    swapcontext(&from.uc, &to.uc);
+#if defined(MC_ASAN)
+    __sanitizer_finish_switch_fiber(from.fake_save, nullptr, nullptr);
+#endif
+  }
+
+  void yield_point(ThreadState& t, const OpDesc& desc) {
+    t.pending = desc;
+    park(t);
+  }
+
+  void park(ThreadState& t) {
+    const int self = t.tid;
+    switch_ctx(t.ctx, sched_ctx_);
+    cur_ = self;
+    if (t.cancel && !t.unwinding) throw_cancel(t);
+  }
+
+  void grant(ThreadState& t) {
+    cur_ = t.tid;
+    starting_ = t.tid;  // consumed by run_entry on a fiber's first slice
+    if (t.status != TStatus::kFinished && t.status != TStatus::kUnborn) {
+      t.status = TStatus::kRunnable;
+    }
+    switch_ctx(sched_ctx_, t.ctx);
+    cur_ = -1;
+  }
+
+  LocState& loc_for(void* addr, bool is_var) {
+    auto it = loc_by_addr_.find(addr);
+    if (it != loc_by_addr_.end()) return *it->second;
+    locs_.push_back(std::make_unique<LocState>());
+    LocState& loc = *locs_.back();
+    loc.id = static_cast<int>(locs_.size()) - 1;
+    loc.is_var = is_var;
+    loc.name = is_var ? "var" : "atomic";
+    loc_by_addr_.emplace(addr, &loc);
+    return loc;
+  }
+
+  MutexState& mutex_for(void* addr, const char* name) {
+    auto it = mutex_by_addr_.find(addr);
+    if (it != mutex_by_addr_.end()) return *it->second;
+    mutexes_.push_back(std::make_unique<MutexState>());
+    MutexState& m = *mutexes_.back();
+    m.id = static_cast<int>(mutexes_.size()) - 1;
+    if (name != nullptr) m.name = name;
+    mutex_by_addr_.emplace(addr, &m);
+    return m;
+  }
+
+  CvState& cv_for(void* addr) {
+    auto it = cv_by_addr_.find(addr);
+    if (it != cv_by_addr_.end()) return *it->second;
+    cvs_.push_back(std::make_unique<CvState>());
+    CvState& cv = *cvs_.back();
+    cv.id = static_cast<int>(cvs_.size()) - 1;
+    cv_by_addr_.emplace(addr, &cv);
+    return cv;
+  }
+
+  Options opts_;
+  const std::function<void(Env&)>* harness_ = nullptr;
+  std::array<ThreadState, kMaxThreads> threads_;
+  int n_threads_ = 0;
+  int cur_ = -1;
+  int starting_ = -1;
+  std::size_t steps_ = 0;
+  int preemptions_ = 0;
+  int last_stepped_ = -1;
+  bool cancel_mode_ = false;
+  bool violated_ = false;
+  Violation violation_;
+  std::vector<std::unique_ptr<LocState>> locs_;
+  std::unordered_map<const void*, LocState*> loc_by_addr_;
+  std::vector<std::unique_ptr<MutexState>> mutexes_;
+  std::unordered_map<const void*, MutexState*> mutex_by_addr_;
+  std::vector<std::unique_ptr<CvState>> cvs_;
+  std::unordered_map<const void*, CvState*> cv_by_addr_;
+  std::vector<TraceEntry> trace_;
+  CtxInfo sched_ctx_;
+};
+
+namespace {
+Sched* g_sched = nullptr;
+}  // namespace
+
+void Sched::trampoline() { g_sched->run_entry(); }
+
+void Sched::run_entry() {
+  const int tid = starting_;
+  ThreadState& t = threads_[tid];
+  t.started = true;
+  cur_ = tid;
+#if defined(MC_ASAN)
+  // First entry into this fiber: pick up the scheduler's stack bounds
+  // so later switches back into it stay annotated correctly.
+  __sanitizer_finish_switch_fiber(nullptr, &sched_ctx_.stack_bottom,
+                                  &sched_ctx_.stack_size);
+#endif
+  try {
+    if (!t.cancel) t.fn();
+  } catch (const McCancel&) {
+    // Cancelled: stack unwound, destructors ran.
+  } catch (const std::exception& e) {
+    record_violation(Violation::kAssert,
+                     std::string("harness threw: ") + e.what());
+  } catch (...) {
+    record_violation(Violation::kAssert, "harness threw");
+  }
+  t.status = TStatus::kFinished;
+  t.unwinding = false;
+  for (;;) {
+    switch_ctx(t.ctx, sched_ctx_);  // finished; never resumes past here
+  }
+}
+
+Sched* active() { return g_sched; }
+
+// ---- instrumentation entry points (fiber side) ----
+
+namespace {
+/// True when the op must be a benign no-op: no checker running, called
+/// from scheduler context, or this fiber is unwinding from a cancel
+/// (destructors must neither park nor throw).
+bool passthrough() {
+  return g_sched == nullptr || !g_sched->in_fiber() ||
+         g_sched->thread_unwinding();
+}
+}  // namespace
+
+std::uint64_t atomic_load(const void* loc, std::memory_order mo) {
+  if (passthrough()) return 0;
+  return g_sched->do_load(loc, mo, "load");
+}
+void atomic_store(void* loc, std::uint64_t v, std::memory_order mo) {
+  if (passthrough()) return;
+  g_sched->do_store(loc, v, mo, "store");
+}
+std::uint64_t atomic_rmw_add(void* loc, std::uint64_t add,
+                             std::memory_order mo) {
+  if (passthrough()) return 0;
+  return g_sched->do_rmw(loc, true, add, false, nullptr, mo, "fetch_add");
+}
+std::uint64_t atomic_exchange(void* loc, std::uint64_t v,
+                              std::memory_order mo) {
+  if (passthrough()) return 0;
+  return g_sched->do_rmw(loc, false, v, false, nullptr, mo, "exchange");
+}
+bool atomic_cas(void* loc, std::uint64_t& expected, std::uint64_t desired,
+                std::memory_order mo) {
+  if (passthrough()) return false;
+  const std::uint64_t before = expected;
+  g_sched->do_rmw(loc, false, desired, true, &expected, mo, "cas");
+  return expected == before;
+}
+void atomic_init(void* loc, std::uint64_t v) {
+  if (g_sched == nullptr) return;
+  g_sched->reg_atomic(loc, v);
+}
+void atomic_name(void* loc, const char* name) {
+  if (g_sched == nullptr) return;
+  g_sched->name_atomic(loc, name);
+}
+void atomic_forget(void* loc) {
+  if (g_sched == nullptr) return;
+  g_sched->forget(loc);
+}
+void var_read(const void* loc, const char*) {
+  if (passthrough()) return;
+  g_sched->do_var_access(const_cast<void*>(loc), false);
+}
+void var_write(void* loc, const char*) {
+  if (passthrough()) return;
+  g_sched->do_var_access(loc, true);
+}
+void var_forget(void* loc) {
+  if (g_sched == nullptr) return;
+  g_sched->forget(loc);
+}
+void fence_op(std::memory_order mo, const char* site) {
+  if (passthrough()) return;
+  g_sched->do_fence(mo, site);
+}
+void mutex_lock(void* m, const char* name) {
+  if (passthrough()) return;
+  bool unused = false;
+  g_sched->do_mutex_lock(m, name, false, &unused);
+}
+bool mutex_try_lock(void* m, const char* name) {
+  if (passthrough()) return true;
+  bool acquired = false;
+  g_sched->do_mutex_lock(m, name, true, &acquired);
+  return acquired;
+}
+void mutex_unlock(void* m) {
+  if (passthrough()) return;
+  g_sched->do_mutex_unlock(m);
+}
+void mutex_forget(void* m) {
+  if (g_sched == nullptr) return;
+  g_sched->forget_mutex(m);
+}
+void cv_wait(void* cv, void* m) {
+  if (passthrough()) return;
+  g_sched->do_cv_wait(cv, m);
+}
+void cv_notify(void* cv, bool all) {
+  if (passthrough()) return;
+  g_sched->do_cv_notify(cv, all);
+}
+void cv_forget(void* cv) {
+  if (g_sched == nullptr) return;
+  g_sched->forget_cv(cv);
+}
+void assert_op(bool ok, const char* msg) {
+  if (passthrough()) return;
+  g_sched->do_assert(ok, msg);
+}
+void spawn_thread(std::function<void()> fn, const char* name) {
+  if (passthrough()) return;
+  g_sched->do_spawn(std::move(fn), name);
+}
+void join_all_op() {
+  if (passthrough()) return;
+  g_sched->do_join_all();
+}
+
+}  // namespace detail
+
+// ---- explorer ----
+
+Result check(const Options& opts, const std::function<void(Env&)>& harness) {
+  using detail::Action;
+  using detail::Sched;
+
+  Result result;
+  Sched sched(opts);
+  detail::g_sched = &sched;
+
+  struct Frame {
+    int chosen;
+    int num_actions;
+  };
+  std::vector<int> path;  // committed choice prefix (last entry bumped)
+  std::unordered_set<std::uint64_t> visited;
+
+  while (result.executions < opts.max_executions) {
+    sched.begin(&harness);
+    std::vector<Frame> frames;
+
+    for (;;) {
+      std::vector<Action> actions = sched.enumerate();
+      if (actions.empty()) {
+        if (!sched.all_finished()) {
+          sched.violate_from_scheduler(
+              Violation::kDeadlock,
+              "deadlock: threads blocked with no enabled transition "
+              "(lost wakeup or lock cycle)");
+        }
+        break;
+      }
+      const std::size_t depth = frames.size();
+      if (depth >= path.size()) {
+        // Frontier: prune states the DFS has already expanded.  Replay
+        // depths (< path.size()) were inserted on an earlier execution.
+        const std::uint64_t fp = sched.fingerprint();
+        if (!visited.insert(fp).second) {
+          ++result.pruned;
+          break;
+        }
+        ++result.states;
+      }
+      const int idx = depth < path.size() ? path[depth] : 0;
+      if (idx >= static_cast<int>(actions.size())) {
+        // Replay can only diverge if the harness is nondeterministic.
+        sched.violate_from_scheduler(
+            Violation::kAssert,
+            "replay divergence: harness is nondeterministic");
+        break;
+      }
+      frames.push_back({idx, static_cast<int>(actions.size())});
+      sched.apply(actions[idx]);
+      if (sched.violated()) break;
+      if (sched.steps() > opts.max_steps) {
+        sched.violate_from_scheduler(
+            Violation::kStepLimit,
+            "step limit exceeded (runaway schedule or livelock)");
+        break;
+      }
+    }
+
+    ++result.executions;
+    const bool violated = sched.violated();
+    if (violated) result.violation = sched.take_violation();
+    sched.finish_execution();
+    if (violated) break;
+
+    // Backtrack: deepest frame with an unexplored sibling action.
+    while (!frames.empty() &&
+           frames.back().chosen + 1 >= frames.back().num_actions) {
+      frames.pop_back();
+    }
+    if (frames.empty()) {
+      result.complete = true;
+      break;
+    }
+    path.clear();
+    path.reserve(frames.size());
+    for (std::size_t i = 0; i + 1 < frames.size(); ++i) {
+      path.push_back(frames[i].chosen);
+    }
+    path.push_back(frames.back().chosen + 1);
+  }
+
+  detail::g_sched = nullptr;
+  return result;
+}
+
+}  // namespace dlc::mc

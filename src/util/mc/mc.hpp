@@ -1,0 +1,362 @@
+// Exhaustive interleaving model checker for the lock-free layer.
+//
+// PR 4 made lock discipline checkable (clang thread-safety + lockdep);
+// this header gives the *lock-free* protocols the same treatment.  A
+// harness spawns a handful of mc threads that exercise a protocol built
+// from the mc:: shims below; mc::check() then explores every distinct
+// interleaving deterministically and reports the first violation
+// (assertion failure, data race, deadlock/lost wakeup) together with the
+// schedule that produced it.
+//
+// Execution model
+//   * All mc threads are cooperative fibers multiplexed on the calling
+//     OS thread.  Every shim operation (atomic load/store/RMW, fence,
+//     mutex lock/unlock, condvar wait/notify) is a scheduling point: the
+//     fiber parks and the explorer picks which enabled transition runs
+//     next.  Replay-based DFS: one execution = one path through the
+//     choice tree; the explorer re-runs the harness from scratch for
+//     every path, which is sound because harness code must be a
+//     deterministic function of the values its operations observe.
+//   * State hashing: at every choice point the explorer fingerprints
+//     (shared memory, store buffers, per-thread observation history,
+//     blocked/finished status) and prunes branches that re-reach an
+//     already-expanded state.  Soundness rests on harness determinism:
+//     two executions with equal fingerprints behave identically forever.
+//   * Bounded-preemption fallback: Options::max_preemptions < 0 is
+//     exhaustive; >= 0 restricts exploration to schedules with at most
+//     that many involuntary context switches (the CHESS result: almost
+//     all real concurrency bugs manifest within 2-3 preemptions), which
+//     keeps bigger harnesses tractable.
+//
+// Weak-memory simulation (what "relaxed" can actually do here)
+//   * The memory model is operational TSO plus C++ happens-before
+//     bookkeeping.  Every mc::atomic store below seq_cst enters the
+//     storing thread's FIFO buffer and becomes globally visible only
+//     when the explorer schedules its flush — so loads genuinely observe
+//     stale values, and the store-buffering (Dekker) litmus outcome
+//     r1 == r2 == 0 is reachable unless seq_cst fences forbid it.
+//     seq_cst stores and fences drain the issuing thread's buffer; RMWs
+//     are atomic against memory (their store part does not buffer, as on
+//     x86 locked ops — see DESIGN.md section 10 for what that limitation
+//     means for the waiter-side Dekker fences).  mc::Mutex/CondVar ops
+//     also drain the caller's buffer, like the locked RMWs inside a real
+//     mutex: TSO's FIFO buffers cannot leave a pre-unlock store
+//     invisible to a thread that later acquires the same mutex.
+//   * Release/acquire edges maintain vector clocks: an acquire load that
+//     reads a release store joins the storing thread's clock (release
+//     sequences survive intervening relaxed RMWs).  mc::var<T> wraps
+//     plain shared data and reports a DATA RACE whenever two conflicting
+//     accesses are not ordered by happens-before — this is what catches
+//     a release store weakened to relaxed even though TSO would still
+//     deliver the right value.
+//
+// Mutation mode (non-vacuity): Options::mutation weakens exactly one
+// named ordering (a store/load/RMW to relaxed, or deletes a fence site).
+// tests/test_mc.cpp runs every seeded SpscRing mutant and asserts the
+// checker reports a violation for each — the checker is proven able to
+// see the bugs it claims to rule out.
+#pragma once
+
+#include <atomic>  // std::memory_order only; mc uses no std::atomic state
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace dlc::mc {
+
+inline constexpr int kMaxThreads = 8;
+
+/// One seeded protocol weakening for the non-vacuity gate.
+struct Mutation {
+  enum Kind {
+    kNone,
+    kWeakenStore,  // store at `site` runs relaxed
+    kWeakenLoad,   // load at `site` runs relaxed
+    kWeakenRmw,    // RMW at `site` runs relaxed
+    kDropFence,    // fence at `site` becomes a no-op
+  };
+  Kind kind = kNone;
+  /// Atomic name (set via mc::atomic::set_name / Policy::name) or fence
+  /// site label.
+  std::string site;
+};
+
+struct Options {
+  /// Re-runs of the harness before giving up (Result::complete tells
+  /// whether the tree was fully explored within this budget).
+  std::size_t max_executions = 1 << 20;
+  /// Scheduling points per execution (runaway-loop backstop; hitting it
+  /// is reported as a violation so it can never pass silently).
+  std::size_t max_steps = 20000;
+  /// < 0: exhaustive.  >= 0: bounded-preemption exploration.
+  int max_preemptions = -1;
+  Mutation mutation;
+};
+
+struct Violation {
+  enum Kind { kNone, kAssert, kDataRace, kDeadlock, kStepLimit };
+  Kind kind = kNone;
+  std::string message;
+  /// The schedule that produced it, one scheduled transition per line.
+  std::vector<std::string> trace;
+};
+
+struct Result {
+  std::size_t executions = 0;
+  std::size_t states = 0;  // distinct fingerprints expanded
+  std::size_t pruned = 0;  // branches cut by the state hash
+  bool complete = false;   // exhausted the tree within max_executions
+  Violation violation;
+
+  bool ok() const { return violation.kind == Violation::kNone; }
+};
+
+namespace detail {
+class Sched;
+Sched* active();
+
+std::uint64_t atomic_load(const void* loc, std::memory_order mo);
+void atomic_store(void* loc, std::uint64_t v, std::memory_order mo);
+/// Returns the OLD value; `add` is two's-complement (fetch_sub passes
+/// the negated delta).
+std::uint64_t atomic_rmw_add(void* loc, std::uint64_t add,
+                             std::memory_order mo);
+std::uint64_t atomic_exchange(void* loc, std::uint64_t v,
+                              std::memory_order mo);
+bool atomic_cas(void* loc, std::uint64_t& expected, std::uint64_t desired,
+                std::memory_order mo);
+void atomic_init(void* loc, std::uint64_t v);
+void atomic_name(void* loc, const char* name);
+void atomic_forget(void* loc);
+void var_read(const void* loc, const char* what);
+void var_write(void* loc, const char* what);
+void var_forget(void* loc);
+void fence_op(std::memory_order mo, const char* site);
+void mutex_lock(void* m, const char* name);
+bool mutex_try_lock(void* m, const char* name);
+void mutex_unlock(void* m);
+void mutex_forget(void* m);
+void cv_wait(void* cv, void* m);
+void cv_notify(void* cv, bool all);
+void cv_forget(void* cv);
+void assert_op(bool ok, const char* msg);
+void spawn_thread(std::function<void()> fn, const char* name);
+void join_all_op();
+}  // namespace detail
+
+/// Model-checked std::atomic<T> stand-in (T: integral/bool/enum, <= 64
+/// bits).  Outside an active mc::check() the shim degrades to plain
+/// (non-atomic, single-threaded) storage so helpers can be reused in
+/// ordinary unit tests.
+template <typename T>
+class atomic {
+  static_assert(sizeof(T) <= 8, "mc::atomic models <= 64-bit payloads");
+
+ public:
+  atomic() : atomic(T{}) {}
+  atomic(T v) : plain_(to_rep(v)) {  // NOLINT: implicit like std::atomic
+    if (detail::active() != nullptr) detail::atomic_init(this, plain_);
+  }
+  ~atomic() { detail::atomic_forget(this); }
+  atomic(const atomic&) = delete;
+  atomic& operator=(const atomic&) = delete;
+
+  /// Names the location for traces and Mutation::site matching.
+  void set_name(const char* name) {
+    if (detail::active() != nullptr) detail::atomic_name(this, name);
+  }
+
+  T load(std::memory_order mo = std::memory_order_seq_cst) const {
+    if (detail::active() == nullptr) return from_rep(plain_);
+    return from_rep(detail::atomic_load(this, mo));
+  }
+  void store(T v, std::memory_order mo = std::memory_order_seq_cst) {
+    if (detail::active() == nullptr) {
+      plain_ = to_rep(v);
+      return;
+    }
+    detail::atomic_store(this, to_rep(v), mo);
+  }
+  T fetch_add(T d, std::memory_order mo = std::memory_order_seq_cst) {
+    if (detail::active() == nullptr) {
+      const T old = from_rep(plain_);
+      plain_ = to_rep(static_cast<T>(old + d));
+      return old;
+    }
+    return from_rep(detail::atomic_rmw_add(this, to_rep(d), mo));
+  }
+  T fetch_sub(T d, std::memory_order mo = std::memory_order_seq_cst) {
+    return fetch_add(static_cast<T>(T{} - d), mo);
+  }
+  T exchange(T v, std::memory_order mo = std::memory_order_seq_cst) {
+    if (detail::active() == nullptr) {
+      const T old = from_rep(plain_);
+      plain_ = to_rep(v);
+      return old;
+    }
+    return from_rep(detail::atomic_exchange(this, to_rep(v), mo));
+  }
+  bool compare_exchange_weak(
+      T& expected, T desired,
+      std::memory_order mo = std::memory_order_seq_cst) {
+    return compare_exchange_strong(expected, desired, mo);
+  }
+  bool compare_exchange_strong(
+      T& expected, T desired,
+      std::memory_order mo = std::memory_order_seq_cst) {
+    if (detail::active() == nullptr) {
+      if (plain_ == to_rep(expected)) {
+        plain_ = to_rep(desired);
+        return true;
+      }
+      expected = from_rep(plain_);
+      return false;
+    }
+    std::uint64_t e = to_rep(expected);
+    const bool ok = detail::atomic_cas(this, e, to_rep(desired), mo);
+    if (!ok) expected = from_rep(e);
+    return ok;
+  }
+
+ private:
+  static std::uint64_t to_rep(T v) {
+    return static_cast<std::uint64_t>(v);
+  }
+  static T from_rep(std::uint64_t r) { return static_cast<T>(r); }
+
+  std::uint64_t plain_;  // storage when no checker is active
+};
+
+/// Plain (non-atomic) shared data with happens-before race detection.
+/// Reads/writes go straight to memory — if two threads touch a var
+/// without a synchronizing edge between them, that is reported as a data
+/// race regardless of whether the observed value happened to be right.
+template <typename T>
+class var {
+ public:
+  var() : v_{} {}
+  var(T v) : v_(std::move(v)) {}  // NOLINT: implicit by design
+  ~var() { detail::var_forget(this); }
+  var(const var&) = delete;
+  var& operator=(const var&) = delete;
+
+  var& operator=(T v) {
+    detail::var_write(this, "var");
+    v_ = std::move(v);
+    return *this;
+  }
+  operator const T&() const {  // NOLINT: mirrors plain-field reads
+    detail::var_read(this, "var");
+    return v_;
+  }
+  operator T&&() && {  // NOLINT: enables std::move(slot.item)
+    detail::var_read(this, "var");
+    return std::move(v_);
+  }
+
+ private:
+  T v_;
+};
+
+inline void fence(std::memory_order mo, const char* site = "fence") {
+  if (detail::active() != nullptr) detail::fence_op(mo, site);
+}
+
+/// Scheduler-aware mutex/condvar shims matching util::Mutex/CondVar's
+/// surface.  mc::CondVar generates NO spurious wakeups: a lost notify
+/// stays lost, so missing-wakeup protocols deadlock visibly instead of
+/// being rescued by the scheduler.
+class Mutex {
+ public:
+  explicit Mutex(const char* name = nullptr) : name_(name) {}
+  ~Mutex() { detail::mutex_forget(this); }
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() { detail::mutex_lock(this, name_); }
+  bool try_lock() { return detail::mutex_try_lock(this, name_); }
+  void unlock() { detail::mutex_unlock(this); }
+  const char* name() const { return name_; }
+
+ private:
+  const char* name_;
+};
+
+class LockGuard {
+ public:
+  explicit LockGuard(Mutex& mu) : mu_(mu) { mu_.lock(); }
+  // noexcept(false): a fiber parked at the unlock scheduling point may
+  // be cancelled mid-destructor; the cancel exception must propagate.
+  ~LockGuard() noexcept(false) { mu_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+class UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) : mu_(mu) { mu_.lock(); }
+  ~UniqueLock() noexcept(false) { mu_.unlock(); }
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  Mutex& mutex() { return mu_; }
+
+ private:
+  Mutex& mu_;
+};
+
+class CondVar {
+ public:
+  CondVar() = default;
+  ~CondVar() { detail::cv_forget(this); }
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() { detail::cv_notify(this, false); }
+  void notify_all() { detail::cv_notify(this, true); }
+  void wait(UniqueLock& lock) { detail::cv_wait(this, &lock.mutex()); }
+  template <typename Pred>
+  void wait(UniqueLock& lock, Pred pred) {
+    while (!pred()) detail::cv_wait(this, &lock.mutex());
+  }
+
+ private:
+};
+
+/// Harness assertion: records a violation (with the schedule) and
+/// terminates the current execution.  Use instead of gtest ASSERTs
+/// inside harness threads.
+inline void mc_assert(bool ok, const char* msg) {
+  detail::assert_op(ok, msg);
+}
+
+/// Harness-facing environment: spawn model threads and join them.
+class Env {
+ public:
+  /// Spawns a model thread: it becomes schedulable at the next choice
+  /// point, and the spawn happens-before its first action.
+  void thread(std::function<void()> fn, const char* name = nullptr) {
+    detail::spawn_thread(std::move(fn), name);
+  }
+  /// Blocks the harness until every spawned thread finished AND every
+  /// store buffer drained (the drain order remains explored).  All
+  /// thread clocks join the harness clock, so post-join assertions are
+  /// race-free.
+  void join_all() { detail::join_all_op(); }
+};
+
+/// Runs `harness` under every explored schedule.  The harness must be
+/// deterministic: any run-to-run nondeterminism outside the mc:: shims
+/// breaks replay and fingerprint soundness.
+Result check(const Options& opts, const std::function<void(Env&)>& harness);
+
+inline Result check(const std::function<void(Env&)>& harness) {
+  return check(Options{}, harness);
+}
+
+}  // namespace dlc::mc

@@ -1,0 +1,36 @@
+// Model-checked atomics policy: instantiating SpscRingT (or any other
+// policy-templated container) with mc::McPolicy routes every atomic
+// operation, plain shared access, fence, and mutex/condvar call through
+// the interleaving explorer in mc.hpp.  The production twin is
+// util::StdAtomicsPolicy (util/atomics_policy.hpp).
+#pragma once
+
+#include <atomic>
+
+#include "util/mc/mc.hpp"
+
+namespace dlc::mc {
+
+struct McPolicy {
+  template <typename U>
+  using Atomic = mc::atomic<U>;
+
+  template <typename U>
+  using Var = mc::var<U>;
+
+  using Mutex = mc::Mutex;
+  using CondVar = mc::CondVar;
+  using LockGuard = mc::LockGuard;
+  using UniqueLock = mc::UniqueLock;
+
+  template <typename U>
+  static void name(Atomic<U>& a, const char* n) {
+    a.set_name(n);
+  }
+
+  static void fence(std::memory_order mo, const char* site) {
+    mc::fence(mo, site);
+  }
+};
+
+}  // namespace dlc::mc

@@ -51,6 +51,17 @@
 //     notifies.  The signaller's empty lock/unlock of m_ before
 //     notify closes the remaining window between the waiter's final
 //     predicate check (under m_) and its actual sleep.
+//
+// VERIFICATION: the class is templated over an atomics policy
+// (util/atomics_policy.hpp).  Production code uses the SpscRing<T>
+// alias = SpscRingT<T, util::StdAtomicsPolicy>, which compiles to
+// exactly the pre-templatization code (the policy aliases are the std
+// types and the name()/fence-site hooks are empty inline functions).
+// tests/test_mc.cpp instantiates SpscRingT<T, mc::McPolicy> and
+// exhaustively model-checks push/pop, wraparound, close-vs-push_wait
+// and the Dekker sleep/wake handshake — including seeded ordering
+// mutants that prove the checker actually sees weakened protocols
+// (DESIGN.md section 10).
 #pragma once
 
 #include <atomic>
@@ -60,24 +71,32 @@
 #include <optional>
 #include <utility>
 
+#include "util/atomics_policy.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace dlc {
 
-template <typename T>
-class SpscRing {
+template <typename T, typename P>
+class SpscRingT {
  public:
   /// `capacity` = max queued items; `capacity_bytes` additionally caps
   /// the queued payload bytes when nonzero (same accounting as
   /// BoundedQueue: the caller passes each item's size to push).
-  explicit SpscRing(std::size_t capacity, std::size_t capacity_bytes = 0)
+  explicit SpscRingT(std::size_t capacity, std::size_t capacity_bytes = 0)
       : capacity_(capacity),
         capacity_bytes_(capacity_bytes),
         mask_(slot_count(capacity) - 1),
-        slots_(std::make_unique<Slot[]>(slot_count(capacity))) {}
+        slots_(std::make_unique<Slot[]>(slot_count(capacity))) {
+    P::name(head_, "spsc.head");
+    P::name(tail_, "spsc.tail");
+    P::name(bytes_, "spsc.bytes");
+    P::name(closed_, "spsc.closed");
+    P::name(data_waiters_, "spsc.data_waiters");
+    P::name(space_waiters_, "spsc.space_waiters");
+  }
 
-  SpscRing(const SpscRing&) = delete;
-  SpscRing& operator=(const SpscRing&) = delete;
+  SpscRingT(const SpscRingT&) = delete;
+  SpscRingT& operator=(const SpscRingT&) = delete;
 
   /// Producer only.  False when closed or full (item or byte cap).
   bool try_push(T item, std::size_t bytes = 0) {
@@ -103,9 +122,9 @@ class SpscRing {
     }
     if (waited != nullptr) *waited = true;
     space_waiters_.fetch_add(1, std::memory_order_relaxed);
-    std::atomic_thread_fence(std::memory_order_seq_cst);
+    P::fence(std::memory_order_seq_cst, "spsc.fence.push_waiter");
     {
-      util::UniqueLock lock(m_);
+      typename P::UniqueLock lock(m_);
       cv_space_.wait(lock, [&] {
         return closed_.load(std::memory_order_acquire) || room_for(bytes);
       });
@@ -140,9 +159,9 @@ class SpscRing {
     for (;;) {
       if (auto out = try_pop()) return out;
       data_waiters_.fetch_add(1, std::memory_order_relaxed);
-      std::atomic_thread_fence(std::memory_order_seq_cst);
+      P::fence(std::memory_order_seq_cst, "spsc.fence.pop_waiter");
       {
-        util::UniqueLock lock(m_);
+        typename P::UniqueLock lock(m_);
         cv_data_.wait(lock, [&] {
           return closed_.load(std::memory_order_acquire) ||
                  tail_.load(std::memory_order_acquire) !=
@@ -160,7 +179,7 @@ class SpscRing {
   /// checks (also under m_), so no waiter can sleep through a close.
   void close() {
     {
-      const util::LockGuard lock(m_);
+      const typename P::LockGuard lock(m_);
       closed_.store(true, std::memory_order_release);
     }
     cv_data_.notify_all();
@@ -184,8 +203,8 @@ class SpscRing {
 
  private:
   struct Slot {
-    T item{};
-    std::size_t bytes = 0;
+    typename P::template Var<T> item{};
+    typename P::template Var<std::size_t> bytes{};
   };
 
   /// Smallest power of two >= capacity (>= 1 so the masks stay valid
@@ -229,11 +248,11 @@ class SpscRing {
   /// Dekker signaller half: fence, then notify only if the other side
   /// registered as waiting.  The empty critical section serialises with
   /// the waiter's predicate check under m_ (see file comment).
-  void wake_side(const std::atomic<std::uint32_t>& waiters,
-                 util::CondVar& cv) {
-    std::atomic_thread_fence(std::memory_order_seq_cst);
+  void wake_side(const typename P::template Atomic<std::uint32_t>& waiters,
+                 typename P::CondVar& cv) {
+    P::fence(std::memory_order_seq_cst, "spsc.fence.wake");
     if (waiters.load(std::memory_order_relaxed) != 0) {
-      { const util::LockGuard lock(m_); }
+      { const typename P::LockGuard lock(m_); }
       cv.notify_one();
     }
   }
@@ -245,22 +264,33 @@ class SpscRing {
 
   // Consumer cache line: the consumer's own index plus its cached view
   // of the producer's.
-  alignas(64) std::atomic<std::uint64_t> head_{0};
+  // atomic-protocol: kind=spsc-index pairs=spsc_ring.hpp:try_pop/room_for
+  alignas(64) typename P::template Atomic<std::uint64_t> head_{0};
   std::uint64_t tail_cache_ = 0;
   // Producer cache line, symmetric.
-  alignas(64) std::atomic<std::uint64_t> tail_{0};
+  // atomic-protocol: kind=spsc-index pairs=spsc_ring.hpp:publish/try_pop
+  alignas(64) typename P::template Atomic<std::uint64_t> tail_{0};
   std::uint64_t head_cache_ = 0;
 
-  alignas(64) std::atomic<std::size_t> bytes_{0};
-  std::atomic<bool> closed_{false};
-  std::atomic<std::uint32_t> data_waiters_{0};
-  std::atomic<std::uint32_t> space_waiters_{0};
+  // atomic-protocol: kind=counter pairs=spsc_ring.hpp:publish/try_pop
+  alignas(64) typename P::template Atomic<std::size_t> bytes_{0};
+  // atomic-protocol: kind=flag pairs=spsc_ring.hpp:close/push_wait/pop
+  typename P::template Atomic<bool> closed_{false};
+  // atomic-protocol: kind=dekker-waiters pairs=spsc_ring.hpp:pop/wake_side
+  typename P::template Atomic<std::uint32_t> data_waiters_{0};
+  // atomic-protocol: kind=dekker-waiters pairs=spsc_ring.hpp:push_wait/wake_side
+  typename P::template Atomic<std::uint32_t> space_waiters_{0};
 
   // Slow paths only: push_wait on full, pop on empty, close().
   // Leaf lock — nothing else is acquired while it is held.
-  mutable util::Mutex m_{"SpscRing"};
-  util::CondVar cv_data_;
-  util::CondVar cv_space_;
+  mutable typename P::Mutex m_{"SpscRing"};
+  typename P::CondVar cv_data_;
+  typename P::CondVar cv_space_;
 };
+
+/// Production instantiation: plain std::atomic / util::Mutex, identical
+/// code to the pre-policy SpscRing.
+template <typename T>
+using SpscRing = SpscRingT<T, util::StdAtomicsPolicy>;
 
 }  // namespace dlc

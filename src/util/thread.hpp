@@ -1,0 +1,58 @@
+// util::Thread: the one sanctioned way to start a thread outside util/.
+//
+// tools/lint_atomics.py forbids raw std::thread (and std::mutex /
+// std::condition_variable) outside src/util/ so every concurrency
+// primitive in the tree is either annotated (util::Mutex — lockdep +
+// clang thread-safety) or inventoried (std::atomic — the DESIGN.md §10
+// protocol table).  This wrapper is deliberately thin: it adds only a
+// kernel-visible name (what `top -H`, gdb and TSan reports show), and
+// otherwise behaves exactly like the std::thread it wraps — same
+// joinability rules, same std::terminate on destroying a joinable
+// thread, zero overhead after start.
+#pragma once
+
+#include <pthread.h>
+
+#include <cstring>
+#include <thread>
+#include <utility>
+
+namespace dlc::util {
+
+class Thread {
+ public:
+  Thread() = default;
+
+  /// Starts `fn` on a new thread named `name` (truncated to the
+  /// kernel's 15-character limit).
+  template <typename Fn>
+  Thread(const char* name, Fn&& fn) : t_(std::forward<Fn>(fn)) {
+    set_native_name(name);
+  }
+
+  Thread(Thread&&) = default;
+  Thread& operator=(Thread&&) = default;
+  Thread(const Thread&) = delete;
+  Thread& operator=(const Thread&) = delete;
+
+  bool joinable() const { return t_.joinable(); }
+  void join() { t_.join(); }
+
+ private:
+  void set_native_name(const char* name) {
+#if defined(__linux__)
+    if (name != nullptr && *name != '\0') {
+      char buf[16];
+      std::strncpy(buf, name, sizeof(buf) - 1);
+      buf[sizeof(buf) - 1] = '\0';
+      pthread_setname_np(t_.native_handle(), buf);
+    }
+#else
+    (void)name;
+#endif
+  }
+
+  std::thread t_;
+};
+
+}  // namespace dlc::util

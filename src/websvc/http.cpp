@@ -73,13 +73,13 @@ HttpServer::HttpServer(std::uint16_t port, HttpHandler handler)
   socklen_t len = sizeof(addr);
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
-  thread_ = std::thread([this] { run(); });
+  thread_ = util::Thread("dlc-http", [this] { run(); });
 }
 
 HttpServer::~HttpServer() { stop(); }
 
 void HttpServer::stop() {
-  if (!stopping_.exchange(true)) {
+  if (!stopping_.exchange(true, std::memory_order_acq_rel)) {
     // Shutdown unblocks accept().
     ::shutdown(listen_fd_, SHUT_RDWR);
     ::close(listen_fd_);

@@ -13,7 +13,7 @@
 #include <functional>
 #include <optional>
 #include <string>
-#include <thread>
+#include "util/thread.hpp"
 
 #include "websvc/service.hpp"
 
@@ -52,9 +52,11 @@ class HttpServer {
   HttpHandler handler_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
+  // atomic-protocol: kind=flag pairs=HttpServer::stop/serve-loop
   std::atomic<bool> stopping_{false};
+  // atomic-protocol: kind=counter pairs=HttpServer::stats
   std::atomic<std::uint64_t> connections_{0};
-  std::thread thread_;
+  util::Thread thread_;
 };
 
 /// Blocking GET against 127.0.0.1:`port`; returns nullopt on connection
