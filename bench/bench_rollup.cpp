@@ -30,6 +30,7 @@
 // (< ~11% overhead).  Timings are the median of DLC_ROLLUP_REPS (3)
 // runs.  Writes BENCH_rollup.json (override: DLC_BENCH_OUT).
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
@@ -304,10 +305,11 @@ PanelTiming time_panel(const std::string& name, std::size_t raw_iters,
 }
 
 /// Histogram-resolution quantile check over every rank_durations cell:
-/// the cell histogram's percentile(p) must equal log_bucket_hi of the
-/// bucket holding the true rank-convention sample of the raw durations —
-/// i.e. the sparse histogram is exactly as lossy as its bucket geometry
-/// and no lossier.
+/// the cell histogram's percentile(p) must equal log_bucket_percentile
+/// over a dense histogram rebuilt from the exact raw durations — i.e.
+/// the sparse histogram is exactly as lossy as its bucket geometry and
+/// no lossier, and it must land inside the bucket holding the true
+/// rank-convention sample.
 bool check_quantiles(const rollup::RollupEngine& engine,
                      const dsos::DsosCluster& db, double bucket_w,
                      std::size_t& cells_checked, std::string& why) {
@@ -362,17 +364,27 @@ bool check_quantiles(const rollup::RollupEngine& engine,
       why = "cell min/max/sum not bit-exact vs raw scan order";
       return false;
     }
+    // Dense reference histogram over the exact samples: the sparse cell
+    // histogram must reproduce log_bucket_percentile bit-for-bit.
+    std::array<std::uint64_t, kLogBucketCount> dense{};
+    for (const double d : it->second) {
+      dense[log_bucket_index(
+          static_cast<std::uint64_t>(std::llround(d * 1e9)))]++;
+    }
     for (const double p : {50.0, 95.0, 99.0}) {
       const auto rank = static_cast<std::size_t>(std::max(
           1.0, std::ceil(p / 100.0 * static_cast<double>(n))));
       const std::uint64_t exact_ns =
           static_cast<std::uint64_t>(std::llround(durs[rank - 1] * 1e9));
       const double expect =
-          static_cast<double>(log_bucket_hi(log_bucket_index(exact_ns)));
+          log_bucket_percentile(dense.data(), dense.size(), p);
       const double got = cell.agg.dur_hist.percentile(p);
-      if (got != expect) {
+      const std::uint32_t exact_idx = log_bucket_index(exact_ns);
+      if (got != expect ||
+          got < static_cast<double>(log_bucket_lo(exact_idx)) ||
+          got > static_cast<double>(log_bucket_hi(exact_idx))) {
         std::snprintf(buf, sizeof(buf),
-                      "p%.0f: histogram %.17g vs bucket-of-exact %.17g "
+                      "p%.0f: histogram %.17g vs dense reference %.17g "
                       "(exact sample %llu ns)",
                       p, got, expect,
                       static_cast<unsigned long long>(exact_ns));

@@ -1,0 +1,216 @@
+#include "anomaly/alert.hpp"
+
+#include <algorithm>
+
+#include "json/writer.hpp"
+
+namespace dlc::anomaly {
+
+std::string_view alert_kind_name(AlertKind k) {
+  switch (k) {
+    case AlertKind::kStraggler:
+      return "straggler";
+    case AlertKind::kSlowdown:
+      return "slowdown";
+    case AlertKind::kBurst:
+      return "burst";
+  }
+  return "?";
+}
+
+std::string_view alert_state_name(AlertState s) {
+  switch (s) {
+    case AlertState::kPending:
+      return "pending";
+    case AlertState::kFiring:
+      return "firing";
+    case AlertState::kResolved:
+      return "resolved";
+  }
+  return "?";
+}
+
+std::string_view severity_name(Severity s) {
+  switch (s) {
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kCritical:
+      return "critical";
+  }
+  return "?";
+}
+
+std::size_t AlertManager::observe_bucket(double bucket,
+                                         const std::vector<Observation>& obs) {
+  std::size_t newly_fired = 0;
+  // Mark every live key clean-by-default; anomalous observations below
+  // override.  This is what makes "the straggler went quiet" count as a
+  // clean bucket without the detector having to enumerate non-findings.
+  for (auto& [key, live] : live_) (void)key, live.clean_streak += 1;
+
+  for (const Observation& o : obs) {
+    const Key key{o.kind, o.job, o.node, o.op};
+    auto it = live_.find(key);
+    if (!o.anomalous) {
+      // An explicit clean verdict only matters for existing state; the
+      // default sweep above already counted this bucket.
+      continue;
+    }
+    if (it == live_.end()) {
+      Live fresh;
+      fresh.alert.kind = o.kind;
+      fresh.alert.job = o.job;
+      fresh.alert.node = o.node;
+      fresh.alert.op = o.op;
+      fresh.alert.first_bucket = o.bucket;
+      it = live_.emplace(key, std::move(fresh)).first;
+    }
+    Live& live = it->second;
+    live.clean_streak = 0;
+    live.streak += 1;
+    live.alert.hit_buckets += 1;
+    live.alert.last_bucket = o.bucket;
+    live.alert.severity = std::max(live.alert.severity, o.severity);
+    Evidence ev = o.evidence;
+    // Merge the bounded cell history: keep older cells, append new.
+    std::vector<std::string> cells = std::move(live.alert.evidence.cells);
+    for (std::string& c : ev.cells) {
+      if (std::find(cells.begin(), cells.end(), c) == cells.end()) {
+        cells.push_back(std::move(c));
+      }
+    }
+    if (cells.size() > cfg_.max_cells) {
+      cells.erase(cells.begin(),
+                  cells.begin() + (cells.size() - cfg_.max_cells));
+    }
+    ev.cells = std::move(cells);
+    live.alert.evidence = std::move(ev);
+    if (live.alert.state == AlertState::kPending &&
+        live.streak >= cfg_.fire_after) {
+      live.alert.state = AlertState::kFiring;
+      live.alert.fired_bucket = o.bucket;
+      total_fired_ += 1;
+      newly_fired += 1;
+    }
+  }
+
+  // Retire keys whose clean streak crossed the damping threshold.
+  for (auto it = live_.begin(); it != live_.end();) {
+    Live& live = it->second;
+    if (live.clean_streak == 0) {
+      ++it;
+      continue;
+    }
+    live.streak = 0;  // any clean bucket breaks the anomalous streak
+    const bool retire = live.alert.state == AlertState::kPending
+                            ? true  // a pending blip dies on first clean bucket
+                            : live.clean_streak >= cfg_.resolve_after;
+    if (!retire) {
+      ++it;
+      continue;
+    }
+    if (live.alert.state == AlertState::kFiring) {
+      live.alert.state = AlertState::kResolved;
+      live.alert.resolved_bucket = bucket;
+      live.alert.id = live.alert.id ? live.alert.id : next_id_++;
+      total_resolved_ += 1;
+      resolved_.push_back(std::move(live.alert));
+      while (resolved_.size() > cfg_.retention) resolved_.pop_front();
+    }
+    it = live_.erase(it);
+  }
+
+  // Assign ids lazily at fire time (pending alerts are internal).
+  for (auto& [key, live] : live_) {
+    (void)key;
+    if (live.alert.state == AlertState::kFiring && live.alert.id == 0) {
+      live.alert.id = next_id_++;
+    }
+  }
+  return newly_fired;
+}
+
+std::size_t AlertManager::firing() const {
+  std::size_t n = 0;
+  for (const auto& [key, live] : live_) {
+    (void)key;
+    if (live.alert.state == AlertState::kFiring) ++n;
+  }
+  return n;
+}
+
+std::vector<Alert> AlertManager::snapshot(std::string_view job,
+                                          bool include_pending) const {
+  std::vector<Alert> out;
+  for (const auto& [key, live] : live_) {
+    (void)key;
+    if (!job.empty() && live.alert.job != job) continue;
+    if (live.alert.state == AlertState::kPending && !include_pending) continue;
+    out.push_back(live.alert);
+  }
+  std::sort(out.begin(), out.end(), [](const Alert& a, const Alert& b) {
+    if (a.state != b.state) return a.state < b.state;  // firing before pending
+    if (a.severity != b.severity) return a.severity > b.severity;
+    return a.last_bucket > b.last_bucket;
+  });
+  for (auto it = resolved_.rbegin(); it != resolved_.rend(); ++it) {
+    if (!job.empty() && it->job != job) continue;
+    out.push_back(*it);
+  }
+  return out;
+}
+
+void AlertManager::write_alert_json(json::Writer& w, const Alert& a) {
+  w.begin_object();
+  w.member("id", a.id);
+  w.member("kind", alert_kind_name(a.kind));
+  w.member("state", alert_state_name(a.state));
+  w.member("severity", severity_name(a.severity));
+  w.member("job", a.job);
+  if (!a.node.empty()) w.member("node", a.node);
+  if (!a.op.empty()) w.member("op", a.op);
+  w.member("first_bucket", a.first_bucket);
+  if (a.state != AlertState::kPending) w.member("fired_bucket", a.fired_bucket);
+  w.member("last_bucket", a.last_bucket);
+  if (a.state == AlertState::kResolved) {
+    w.member("resolved_bucket", a.resolved_bucket);
+  }
+  w.member("hit_buckets", static_cast<std::uint64_t>(a.hit_buckets));
+  w.key("evidence");
+  w.begin_object();
+  switch (a.kind) {
+    case AlertKind::kStraggler:
+      w.member("z", a.evidence.z);
+      w.member("node_mean_s", a.evidence.node_mean);
+      w.member("peer_mean_s", a.evidence.peer_mean);
+      break;
+    case AlertKind::kSlowdown:
+      w.member("slope_s_per_bucket", a.evidence.slope);
+      w.member("rel_rise", a.evidence.rel_rise);
+      w.member("r2", a.evidence.r2);
+      break;
+    case AlertKind::kBurst:
+      w.member("rate_eps", a.evidence.rate);
+      w.member("ewma_eps", a.evidence.ewma);
+      break;
+  }
+  if (!a.evidence.cells.empty()) {
+    w.key("cells");
+    w.begin_array();
+    for (const std::string& c : a.evidence.cells) w.value_string(c);
+    w.end_array();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+void AlertManager::write_json(json::Writer& w, std::string_view job,
+                              bool include_pending) const {
+  w.begin_array();
+  for (const Alert& a : snapshot(job, include_pending)) {
+    write_alert_json(w, a);
+  }
+  w.end_array();
+}
+
+}  // namespace dlc::anomaly

@@ -1,0 +1,166 @@
+// Alert objects + the AlertManager lifecycle (DESIGN.md §11).
+//
+// Detectors emit *observations* every evaluated bucket; the manager owns
+// turning those into operator-facing alerts with hysteresis:
+//
+//   pending --(fire_after consecutive hits)--> firing
+//   firing  --(resolve_after consecutive clean buckets)--> resolved
+//
+// so a single noisy bucket neither fires nor clears anything
+// (flap damping).  Alerts dedup on (kind, job, node, op): a straggler
+// that stays slow updates the one firing alert's evidence instead of
+// spawning a new alert per bucket.  Resolved alerts are retained on a
+// bounded ring for the dashboard's history view.
+//
+// The manager is deliberately pipeline-free: it consumes Observation
+// values and hands back Alert snapshots, so the whole lifecycle is
+// testable without a rollup engine behind it.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dlc::json {
+class Writer;
+}
+
+namespace dlc::anomaly {
+
+enum class AlertKind : std::uint8_t {
+  kStraggler = 0,   // one node far out in the job's cross-node spread
+  kSlowdown = 1,    // per-bucket write durations trending up
+  kBurst = 2,       // event rate jumped past the smoothed history
+};
+
+enum class AlertState : std::uint8_t {
+  kPending = 0,   // hits accumulating, not yet surfaced
+  kFiring = 1,
+  kResolved = 2,
+};
+
+enum class Severity : std::uint8_t {
+  kWarning = 0,
+  kCritical = 1,  // detector value cleared ~2x its firing threshold
+};
+
+std::string_view alert_kind_name(AlertKind k);
+std::string_view alert_state_name(AlertState s);
+std::string_view severity_name(Severity s);
+
+/// Detector-specific numbers backing an alert, kept flat (one struct,
+/// unused fields zero) so evidence survives dedup updates in place.
+struct Evidence {
+  double z = 0.0;           // straggler: leave-one-out z-score
+  double node_mean = 0.0;   // straggler: offending node's mean (s)
+  double peer_mean = 0.0;   // straggler: leave-one-out peer mean (s)
+  double slope = 0.0;       // slowdown: fitted per-bucket slope (s/bucket)
+  double rel_rise = 0.0;    // slowdown: projected rise across the window
+  double r2 = 0.0;          // slowdown: fit quality
+  double rate = 0.0;        // burst: observed events/s
+  double ewma = 0.0;        // burst: prior smoothed events/s
+  /// Offending (op, bucket) rollup cells, newest last, bounded.
+  std::vector<std::string> cells;
+};
+
+/// One detector verdict for one (kind, job, node, op) key in one bucket.
+struct Observation {
+  AlertKind kind = AlertKind::kStraggler;
+  std::string job;
+  std::string node;  // empty for job-scoped detectors (slowdown, burst)
+  std::string op;    // "read" | "write" | ... ; empty when not scoped
+  bool anomalous = false;
+  Severity severity = Severity::kWarning;
+  double bucket = 0.0;  // bucket start (virtual seconds)
+  Evidence evidence;
+};
+
+struct Alert {
+  std::uint64_t id = 0;  // monotone per manager, never reused
+  AlertKind kind = AlertKind::kStraggler;
+  AlertState state = AlertState::kPending;
+  Severity severity = Severity::kWarning;
+  std::string job;
+  std::string node;
+  std::string op;
+  double first_bucket = 0.0;    // first anomalous bucket observed
+  double fired_bucket = 0.0;    // bucket that crossed fire_after
+  double last_bucket = 0.0;     // latest anomalous bucket
+  double resolved_bucket = 0.0; // bucket that crossed resolve_after
+  std::uint32_t hit_buckets = 0;   // total anomalous buckets observed
+  Evidence evidence;               // latest evidence snapshot
+};
+
+struct AlertManagerConfig {
+  /// Consecutive anomalous buckets before a pending alert fires.
+  std::uint32_t fire_after = 2;
+  /// Consecutive clean buckets before a firing alert resolves.
+  std::uint32_t resolve_after = 2;
+  /// Resolved-alert history ring bound.
+  std::size_t retention = 256;
+  /// Evidence cell list bound per alert.
+  std::size_t max_cells = 8;
+};
+
+class AlertManager {
+ public:
+  explicit AlertManager(AlertManagerConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Folds one bucket's observations in.  Keys absent from `obs` that
+  /// have live state are treated as clean for this bucket, so callers
+  /// must synthesize nothing — absence of evidence is evidence of
+  /// absence once a bucket is fully evaluated.  Returns the number of
+  /// alerts that transitioned into kFiring.
+  std::size_t observe_bucket(double bucket, const std::vector<Observation>& obs);
+
+  /// Live (pending + firing) alert count.
+  std::size_t active() const { return live_.size(); }
+  std::size_t firing() const;
+  std::uint64_t total_fired() const { return total_fired_; }
+  std::uint64_t total_resolved() const { return total_resolved_; }
+
+  /// Snapshot: firing first (severity, then recency), then pending,
+  /// then resolved history (newest first).  `job` filters when
+  /// non-empty; `include_pending` adds not-yet-fired state (debugging).
+  std::vector<Alert> snapshot(std::string_view job = {},
+                              bool include_pending = false) const;
+
+  /// Renders `snapshot(job, include_pending)` as a JSON array of alert
+  /// objects into `w` (caller owns the surrounding document).
+  void write_json(json::Writer& w, std::string_view job = {},
+                  bool include_pending = false) const;
+
+  /// Renders one alert as a JSON object.
+  static void write_alert_json(json::Writer& w, const Alert& a);
+
+ private:
+  struct Key {
+    AlertKind kind;
+    std::string job;
+    std::string node;
+    std::string op;
+    bool operator<(const Key& o) const {
+      if (kind != o.kind) return kind < o.kind;
+      if (job != o.job) return job < o.job;
+      if (node != o.node) return node < o.node;
+      return op < o.op;
+    }
+  };
+  struct Live {
+    Alert alert;
+    std::uint32_t streak = 0;        // consecutive anomalous buckets
+    std::uint32_t clean_streak = 0;  // consecutive clean buckets
+  };
+
+  AlertManagerConfig cfg_;
+  std::map<Key, Live> live_;
+  std::deque<Alert> resolved_;  // newest at back, bounded by retention
+  std::uint64_t next_id_ = 1;
+  std::uint64_t total_fired_ = 0;
+  std::uint64_t total_resolved_ = 0;
+};
+
+}  // namespace dlc::anomaly

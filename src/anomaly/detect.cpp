@@ -1,0 +1,92 @@
+#include "anomaly/detect.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dlc::anomaly {
+
+TrendFit fit_trend(const std::vector<double>& y) {
+  TrendFit fit;
+  fit.n = y.size();
+  if (fit.n < 2) return fit;
+  const double n = static_cast<double>(fit.n);
+  // x = 0..n-1, so the x moments are closed-form.
+  const double x_mean = (n - 1.0) / 2.0;
+  const double sxx = n * (n * n - 1.0) / 12.0;  // sum((x - x_mean)^2)
+  double y_mean = 0.0;
+  for (const double v : y) y_mean += v;
+  y_mean /= n;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const double dx = static_cast<double>(i) - x_mean;
+    const double dy = y[i] - y_mean;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  fit.slope = sxy / sxx;
+  fit.intercept = y_mean - fit.slope * x_mean;
+  // r2 = explained/total variance; a flat series has no variance to
+  // explain — call it 0 (no trend) rather than dividing by zero.
+  fit.r2 = syy > 0.0 ? std::clamp((sxy * sxy) / (sxx * syy), 0.0, 1.0) : 0.0;
+  fit.valid = true;
+  return fit;
+}
+
+double trend_relative_rise(const TrendFit& fit) {
+  if (!fit.valid || fit.n < 2) return 0.0;
+  const double base = std::max(std::abs(fit.intercept), 1e-12);
+  return fit.slope * static_cast<double>(fit.n - 1) / base;
+}
+
+BurstDecision judge_burst(Ewma& state, double rate, const BurstConfig& cfg) {
+  BurstDecision d;
+  d.rate = rate;
+  d.ewma = state.value;
+  if (state.primed) {
+    d.fired = rate >= cfg.min_rate && rate > cfg.factor * state.value;
+  }
+  state.update(rate);
+  return d;
+}
+
+std::vector<StragglerFinding> find_stragglers(
+    const std::vector<NodeSample>& nodes, const StragglerConfig& cfg) {
+  std::vector<StragglerFinding> out;
+  if (nodes.size() < std::max<std::size_t>(cfg.min_nodes, 2)) return out;
+  // Whole-population moments once; each candidate's peers are then the
+  // leave-one-out complement, recovered in O(1) per node.
+  double total = 0.0;
+  double total_sq = 0.0;
+  for (const NodeSample& n : nodes) {
+    total += n.mean;
+    total_sq += n.mean * n.mean;
+  }
+  const double peers = static_cast<double>(nodes.size() - 1);
+  for (const NodeSample& n : nodes) {
+    if (n.count == 0) continue;
+    const double peer_mean = (total - n.mean) / peers;
+    const double peer_var =
+        std::max((total_sq - n.mean * n.mean) / peers - peer_mean * peer_mean,
+                 0.0);
+    const double peer_std = std::sqrt(peer_var);
+    // Floor the stddev so a suspiciously tight peer distribution cannot
+    // produce astronomical z from operationally tiny skew.
+    const double floor = cfg.rel_std_floor * std::max(peer_mean, 0.0);
+    const double denom = std::max(peer_std, std::max(floor, 1e-12));
+    const double z = (n.mean - peer_mean) / denom;
+    const double rel_excess =
+        peer_mean > 0.0 ? (n.mean - peer_mean) / peer_mean
+                        : (n.mean > 0.0 ? cfg.min_rel_excess : 0.0);
+    if (z >= cfg.z_threshold && rel_excess >= cfg.min_rel_excess) {
+      out.push_back({n.node, z, n.mean, peer_mean, peer_std});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const StragglerFinding& a, const StragglerFinding& b) {
+              return a.z > b.z;
+            });
+  return out;
+}
+
+}  // namespace dlc::anomaly

@@ -1,0 +1,112 @@
+// Detector math for the online anomaly stage (DESIGN.md §11): pure
+// functions over small in-memory series, no pipeline types, so every
+// detector is testable in isolation.
+//
+// Three detectors cover the paper's diagnosis stories:
+//   * straggler/imbalance — one node's mean I/O duration sits far out in
+//     the job's cross-node distribution (Fig. 6's per-node request view);
+//   * write-slowdown trend — a job's per-bucket mean write duration
+//     rises steadily across recent sealed buckets (Fig. 8's degrading
+//     write phases);
+//   * burst — a job's event rate jumps well past its smoothed history
+//     (EWMA + threshold, à la the Darshan-logs burst-prediction paper).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace dlc::anomaly {
+
+// --- trend regression ----------------------------------------------------
+
+/// Ordinary-least-squares fit of y against x = 0..n-1.
+struct TrendFit {
+  std::size_t n = 0;
+  double slope = 0.0;      // per-step change
+  double intercept = 0.0;  // fitted value at x = 0
+  double r2 = 0.0;         // coefficient of determination in [0, 1]
+  bool valid = false;      // n >= 2 (r2 needs y variance; 0 when flat)
+};
+
+/// Fits y over x = 0..n-1.  A perfectly flat series is valid with
+/// slope 0 and r2 0 (no trend, not an error).
+TrendFit fit_trend(const std::vector<double>& y);
+
+/// Projected relative rise across the fitted window:
+/// slope * (n-1) / max(|intercept|, eps) — "writes are 50% slower at the
+/// window's end than its start".  0 for invalid/degenerate fits.
+double trend_relative_rise(const TrendFit& fit);
+
+// --- EWMA burst predictor ------------------------------------------------
+
+/// Exponentially-weighted moving average over per-bucket rates.
+struct Ewma {
+  double alpha = 0.3;
+  double value = 0.0;
+  bool primed = false;  // first observation seeds the average
+
+  void update(double x) {
+    value = primed ? alpha * x + (1.0 - alpha) * value : x;
+    primed = true;
+  }
+};
+
+struct BurstConfig {
+  /// Rate must exceed `factor` x the prior EWMA to fire.
+  double factor = 3.0;
+  /// Absolute floor (events/s): tiny jobs idling near zero never fire.
+  double min_rate = 100.0;
+};
+
+struct BurstDecision {
+  bool fired = false;
+  double rate = 0.0;  // this bucket's observed rate
+  double ewma = 0.0;  // the *prior* smoothed rate it was judged against
+};
+
+/// Judges this bucket's rate against the EWMA of the preceding buckets,
+/// then folds it into `state`.  The first bucket only primes (no
+/// history, no verdict).
+BurstDecision judge_burst(Ewma& state, double rate, const BurstConfig& cfg);
+
+// --- straggler / cross-node imbalance ------------------------------------
+
+struct StragglerConfig {
+  /// Leave-one-out z-score threshold.
+  double z_threshold = 3.0;
+  /// Minimum node count for a meaningful cross-node distribution.
+  std::size_t min_nodes = 3;
+  /// Relative-excess floor: the node's mean must also exceed the peer
+  /// mean by this fraction, so tight distributions (tiny stddev) cannot
+  /// fire on operationally irrelevant skew.
+  double min_rel_excess = 0.5;
+  /// Stddev floor as a fraction of the peer mean, guarding z against
+  /// near-zero peer variance.
+  double rel_std_floor = 0.1;
+};
+
+struct NodeSample {
+  std::string node;
+  double mean = 0.0;          // mean I/O duration on this node (seconds)
+  std::uint64_t count = 0;    // events behind the mean
+};
+
+struct StragglerFinding {
+  std::string node;
+  double z = 0.0;
+  double node_mean = 0.0;
+  double peer_mean = 0.0;  // leave-one-out mean over the other nodes
+  double peer_std = 0.0;   // leave-one-out stddev (before the floor)
+};
+
+/// Scans per-node means against the leave-one-out peer distribution and
+/// returns every node exceeding both the z and relative-excess gates.
+/// Empty when fewer than `min_nodes` nodes reported.
+std::vector<StragglerFinding> find_stragglers(
+    const std::vector<NodeSample>& nodes, const StragglerConfig& cfg);
+
+}  // namespace dlc::anomaly

@@ -156,6 +156,33 @@ struct ConnectorConfig {
   /// Rollup spill retention in seconds, 0 = keep forever
   /// (env DARSHAN_LDMS_ROLLUP_RETENTION).
   std::uint64_t rollup_retention_s = 0;
+  /// Online anomaly detection riding the rollup seal path
+  /// (env DARSHAN_LDMS_ANOMALY, unset/0 = off).  When on, whoever
+  /// mounts the rollup engine appends the dedicated source policy and
+  /// attaches an anomaly::AnomalyEngine — plain data here, core does
+  /// not link the anomaly stage (same pattern as rollup_policies).
+  bool anomaly = false;
+  /// Anomaly source-policy bucket width, seconds
+  /// (env DARSHAN_LDMS_ANOMALY_BUCKET, > 0).
+  double anomaly_bucket_s = 10.0;
+  /// Straggler leave-one-out z-score threshold
+  /// (env DARSHAN_LDMS_ANOMALY_Z, > 0).
+  double anomaly_z = 3.0;
+  /// Minimum nodes for a cross-node distribution
+  /// (env DARSHAN_LDMS_ANOMALY_MIN_NODES, >= 2).
+  std::uint64_t anomaly_min_nodes = 3;
+  /// Write-slowdown trend window, sealed buckets
+  /// (env DARSHAN_LDMS_ANOMALY_TREND_WINDOW, >= 2).
+  std::uint64_t anomaly_trend_window = 12;
+  /// Relative rise across the trend window that flags a slowdown
+  /// (env DARSHAN_LDMS_ANOMALY_TREND_RISE, > 0).
+  double anomaly_trend_rise = 0.5;
+  /// Burst threshold: rate vs EWMA multiple
+  /// (env DARSHAN_LDMS_ANOMALY_BURST, > 1).
+  double anomaly_burst_factor = 3.0;
+  /// Resolved-alert history retention, entries
+  /// (env DARSHAN_LDMS_ANOMALY_RETENTION, >= 1).
+  std::uint64_t anomaly_retention = 256;
   /// When false the connector observes events but never publishes
   /// (darshan-only baseline shares the same code path shape).
   bool publish = true;

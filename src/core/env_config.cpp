@@ -20,6 +20,11 @@ bool parse_u64(const std::string& s, std::uint64_t& out) {
   return ec == std::errc() && p == s.data() + s.size();
 }
 
+bool parse_f64(const std::string& s, double& out) {
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc() && p == s.data() + s.size();
+}
+
 /// Upper bound on DARSHAN_LDMS_INGEST_THREADS.  A typo'd but lexically
 /// valid value ("10000000") would otherwise make IngestExecutor try to
 /// spawn that many OS threads; anything past this is treated like
@@ -241,6 +246,65 @@ EnvConfig connector_config_from_env(const EnvGetter& getenv_fn) {
       cfg.connector.rollup_retention_s = n;
     } else {
       reject(cfg, "DARSHAN_LDMS_ROLLUP_RETENTION", v);
+    }
+  }
+  if (const char* v = get("DARSHAN_LDMS_ANOMALY")) {
+    cfg.connector.anomaly = std::string(v) != "0";
+  }
+  if (const char* v = get("DARSHAN_LDMS_ANOMALY_BUCKET")) {
+    double s;
+    if (parse_f64(v, s) && s > 0.0) {
+      cfg.connector.anomaly_bucket_s = s;
+    } else {
+      reject(cfg, "DARSHAN_LDMS_ANOMALY_BUCKET", v);
+    }
+  }
+  if (const char* v = get("DARSHAN_LDMS_ANOMALY_Z")) {
+    double z;
+    if (parse_f64(v, z) && z > 0.0) {
+      cfg.connector.anomaly_z = z;
+    } else {
+      reject(cfg, "DARSHAN_LDMS_ANOMALY_Z", v);
+    }
+  }
+  if (const char* v = get("DARSHAN_LDMS_ANOMALY_MIN_NODES")) {
+    std::uint64_t n;
+    if (parse_u64(v, n) && n >= 2) {
+      cfg.connector.anomaly_min_nodes = n;
+    } else {
+      reject(cfg, "DARSHAN_LDMS_ANOMALY_MIN_NODES", v);
+    }
+  }
+  if (const char* v = get("DARSHAN_LDMS_ANOMALY_TREND_WINDOW")) {
+    std::uint64_t n;
+    if (parse_u64(v, n) && n >= 2) {
+      cfg.connector.anomaly_trend_window = n;
+    } else {
+      reject(cfg, "DARSHAN_LDMS_ANOMALY_TREND_WINDOW", v);
+    }
+  }
+  if (const char* v = get("DARSHAN_LDMS_ANOMALY_TREND_RISE")) {
+    double r;
+    if (parse_f64(v, r) && r > 0.0) {
+      cfg.connector.anomaly_trend_rise = r;
+    } else {
+      reject(cfg, "DARSHAN_LDMS_ANOMALY_TREND_RISE", v);
+    }
+  }
+  if (const char* v = get("DARSHAN_LDMS_ANOMALY_BURST")) {
+    double f;
+    if (parse_f64(v, f) && f > 1.0) {
+      cfg.connector.anomaly_burst_factor = f;
+    } else {
+      reject(cfg, "DARSHAN_LDMS_ANOMALY_BURST", v);
+    }
+  }
+  if (const char* v = get("DARSHAN_LDMS_ANOMALY_RETENTION")) {
+    std::uint64_t n;
+    if (parse_u64(v, n) && n >= 1) {
+      cfg.connector.anomaly_retention = n;
+    } else {
+      reject(cfg, "DARSHAN_LDMS_ANOMALY_RETENTION", v);
     }
   }
   if (const char* v = get("DARSHAN_LDMS_MODULES")) {

@@ -38,6 +38,23 @@
 //                            (unset = rollups stay in memory)
 //   DARSHAN_LDMS_ROLLUP_RETENTION  rollup spill retention, seconds
 //                            (0 = keep forever)
+//   DARSHAN_LDMS_ANOMALY     unset/0 => online anomaly detection off;
+//                            anything else enables the streaming
+//                            detectors on the rollup seal path
+//   DARSHAN_LDMS_ANOMALY_BUCKET  anomaly source-policy bucket width,
+//                            seconds (> 0; default 10)
+//   DARSHAN_LDMS_ANOMALY_Z   straggler z-score threshold (> 0;
+//                            default 3)
+//   DARSHAN_LDMS_ANOMALY_MIN_NODES  minimum nodes for the cross-node
+//                            scan (>= 2; default 3)
+//   DARSHAN_LDMS_ANOMALY_TREND_WINDOW  slowdown trend window, buckets
+//                            (>= 2; default 12)
+//   DARSHAN_LDMS_ANOMALY_TREND_RISE  relative rise across the window
+//                            that flags a slowdown (> 0; default 0.5)
+//   DARSHAN_LDMS_ANOMALY_BURST  burst threshold, rate vs EWMA multiple
+//                            (> 1; default 3)
+//   DARSHAN_LDMS_ANOMALY_RETENTION  resolved-alert history bound
+//                            (>= 1; default 256)
 //   DARSHAN_LDMS_PIN         shard-writer placement: none | auto |
 //                            comma CPU list "0,2,4" (default none)
 //   DARSHAN_LDMS_SIMD        JSON-scanner SIMD cap: auto | avx2 | sse2

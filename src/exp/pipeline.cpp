@@ -29,6 +29,40 @@ RunResult run_experiment(const ExperimentSpec& spec) {
   for (const auto& incident : spec.incidents) {
     variability->add_incident(incident);
   }
+  // `ioslow` fault directives become node-scoped variability incidents:
+  // the FS sees the slowdown, the transport never does.  Node names
+  // resolve against the job's allocation (node n of the job runs on
+  // cluster node n — jcfg.first_node is 0 — and is sampled by the
+  // daemon named cluster.node_name(n)); "*" hits every node.
+  for (const relia::FaultEvent& e : spec.fault_plan.events) {
+    if (e.kind != relia::FaultKind::kIoSlow) continue;
+    simfs::Incident inc;
+    inc.start = e.at;
+    inc.end = e.at + e.duration;
+    inc.peak_factor = e.factor;
+    inc.ramp = e.ramp;
+    if (e.op == "read") {
+      inc.applies_to = simfs::OpClass::kRead;
+    } else if (e.op == "write") {
+      inc.applies_to = simfs::OpClass::kWrite;
+    } else if (e.op == "meta") {
+      inc.applies_to = simfs::OpClass::kMetadata;
+    }
+    if (e.daemon != "*") {
+      inc.node = -1;
+      for (std::size_t n = 0; n < spec.node_count; ++n) {
+        if (cluster.node_name(n) == e.daemon) {
+          inc.node = static_cast<int>(n);
+          break;
+        }
+      }
+      if (inc.node < 0) {
+        throw std::invalid_argument("fault plan ioslow names unknown node: " +
+                                    relia::to_string(e));
+      }
+    }
+    variability->add_incident(inc);
+  }
   std::unique_ptr<simfs::FileSystem> fs;
   if (spec.fs == simfs::FsKind::kNfs) {
     fs = std::make_unique<simfs::NfsModel>(engine, spec.nfs, variability,
@@ -158,15 +192,33 @@ RunResult run_experiment(const ExperimentSpec& spec) {
   // any ingest starts; a shared engine re-attaching to the same shared
   // cluster is a no-op.
   std::shared_ptr<rollup::RollupEngine> rollup_engine;
+  std::shared_ptr<anomaly::AnomalyEngine> anomaly_engine;
+  const bool anomaly_on =
+      dsos_cluster && (spec.shared_anomaly || spec.connector.anomaly);
   if (dsos_cluster) {
     if (spec.shared_rollup) {
       rollup_engine = spec.shared_rollup;
-    } else if (!spec.connector.rollup_policies.empty()) {
-      const rollup::PolicySet pset =
-          rollup::parse_rollup_policies(spec.connector.rollup_policies);
-      if (!pset.ok()) {
-        throw std::invalid_argument("bad rollup policy: " +
-                                    pset.errors.front());
+    } else if (!spec.connector.rollup_policies.empty() || anomaly_on) {
+      rollup::PolicySet pset;
+      if (!spec.connector.rollup_policies.empty()) {
+        pset = rollup::parse_rollup_policies(spec.connector.rollup_policies);
+        if (!pset.ok()) {
+          throw std::invalid_argument("bad rollup policy: " +
+                                      pset.errors.front());
+        }
+      }
+      if (anomaly_on) {
+        // Anomaly detection rides a dedicated source policy; append it
+        // unless the configured policy list already defines one.
+        bool have = false;
+        for (const auto& p : pset.policies) {
+          if (p.name == anomaly::kAnomalyPolicyName) have = true;
+        }
+        if (!have) {
+          pset.policies.push_back(anomaly::anomaly_policy(
+              spec.shared_anomaly ? spec.shared_anomaly->config().bucket_s
+                                  : spec.connector.anomaly_bucket_s));
+        }
       }
       rollup::RollupEngineConfig rcfg;
       rcfg.policies = pset.policies;
@@ -178,6 +230,33 @@ RunResult run_experiment(const ExperimentSpec& spec) {
       rollup_engine = std::make_shared<rollup::RollupEngine>(rcfg);
     }
     if (rollup_engine) rollup_engine->attach(*dsos_cluster);
+    if (anomaly_on) {
+      if (!rollup_engine) {
+        // Unreachable by construction (anomaly_on forces an engine
+        // above), unless a shared_rollup was mistakenly reset.
+        throw std::invalid_argument("anomaly detection needs a rollup engine");
+      }
+      if (spec.shared_anomaly) {
+        anomaly_engine = spec.shared_anomaly;
+      } else {
+        anomaly::AnomalyConfig acfg;
+        acfg.bucket_s = spec.connector.anomaly_bucket_s;
+        acfg.straggler.z_threshold = spec.connector.anomaly_z;
+        acfg.straggler.min_nodes =
+            static_cast<std::size_t>(spec.connector.anomaly_min_nodes);
+        acfg.trend_window =
+            static_cast<std::size_t>(spec.connector.anomaly_trend_window);
+        acfg.trend_rise = spec.connector.anomaly_trend_rise;
+        acfg.burst.factor = spec.connector.anomaly_burst_factor;
+        acfg.alerts.retention =
+            static_cast<std::size_t>(spec.connector.anomaly_retention);
+        anomaly_engine = std::make_shared<anomaly::AnomalyEngine>(acfg);
+      }
+      // Registered after the rollup attach so recovery-replay seals are
+      // not re-diagnosed; attach() validates the source policy exists
+      // with the engine's bucket width.
+      anomaly_engine->attach(*rollup_engine);
+    }
   }
 
   // System metric samplers: one per allocated node, publishing on the
@@ -297,6 +376,7 @@ RunResult run_experiment(const ExperimentSpec& spec) {
   if (decoder) result.decoded_rows = decoder->decoded();
   result.dsos = dsos_cluster;
   result.rollups = rollup_engine;
+  result.anomalies = anomaly_engine;
   result.traces = traces;
   if (traces) result.traces_completed = traces->completed();
   result.darshan_log = runtime.finalize();

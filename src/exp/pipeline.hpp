@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "analysis/correlate.hpp"
+#include "anomaly/engine.hpp"
 #include "core/connector.hpp"
 #include "core/decoder.hpp"
 #include "darshan/log.hpp"
@@ -65,6 +66,14 @@ struct ExperimentSpec {
   /// campaigns.  When unset, connector.rollup_policies (if non-empty)
   /// creates a per-run engine; see DESIGN.md §8.
   std::shared_ptr<rollup::RollupEngine> shared_rollup;
+  /// When set (and decode_to_dsos), this anomaly engine rides the run's
+  /// rollup engine (shared or per-run) instead of a per-run one —
+  /// multi-job campaigns keep one alert surface.  Per-run rollup
+  /// engines get the `anomaly_node` source policy appended
+  /// automatically; a shared_rollup must already include it.
+  /// Alternatively spec.connector.anomaly (DARSHAN_LDMS_ANOMALY)
+  /// builds a per-run engine from the connector's anomaly_* knobs.
+  std::shared_ptr<anomaly::AnomalyEngine> shared_anomaly;
   /// Optional live tap: subscribed on the final aggregator alongside the
   /// stores, invoked at each message's virtual arrival time (monitoring
   /// dashboards, alerting examples).
@@ -122,6 +131,11 @@ struct RunResult {
   /// Populated when a rollup engine observed this run (shared_rollup or
   /// connector.rollup_policies): the flushed, queryable rollup engine.
   std::shared_ptr<rollup::RollupEngine> rollups;
+  /// Populated when anomaly detection rode this run (shared_anomaly or
+  /// connector.anomaly): the live alert surface.  Declared after
+  /// `rollups` so it detaches from the rollup engine before the engine
+  /// itself is destroyed.
+  std::shared_ptr<anomaly::AnomalyEngine> anomalies;
   /// Populated when decode_to_dsos and connector.trace_sample_n > 0: the
   /// finished pipeline traces (metrics + slow-span exemplar ring).
   std::shared_ptr<obs::TraceCollector> traces;

@@ -6,9 +6,13 @@ std::vector<relia::FaultEvent> apply_fault_plan(const relia::FaultPlan& plan,
                                                 const DaemonResolver& resolve) {
   std::vector<relia::FaultEvent> unresolved;
   for (const relia::FaultEvent& e : plan.events) {
-    // Storage-layer faults name crash points, not daemons; they are
-    // consumed by store::FaultInjector::arm_from_plan, not here.
-    if (e.kind == relia::FaultKind::kStoreCrash) continue;
+    // Storage-layer faults name crash points, not daemons (consumed by
+    // store::FaultInjector::arm_from_plan), and ioslow names simulated
+    // FS nodes (consumed by exp::run_experiment) — neither is ours.
+    if (e.kind == relia::FaultKind::kStoreCrash ||
+        e.kind == relia::FaultKind::kIoSlow) {
+      continue;
+    }
     LdmsDaemon* daemon = resolve(e.daemon);
     if (!daemon) {
       unresolved.push_back(e);
@@ -28,6 +32,7 @@ std::vector<relia::FaultEvent> apply_fault_plan(const relia::FaultPlan& plan,
         daemon->restart_at(e.at);
         break;
       case relia::FaultKind::kStoreCrash:
+      case relia::FaultKind::kIoSlow:
         break;  // unreachable: filtered above
     }
   }

@@ -83,8 +83,8 @@ class LogHistogram {
 
   void record(std::uint64_t v);
 
-  /// Point-in-time merged view.  Quantiles are conservative (bucket
-  /// upper bound); max is exact.
+  /// Point-in-time merged view.  Quantiles interpolate within the
+  /// containing bucket (within one bucket width of exact); max is exact.
   struct Snapshot {
     std::array<std::uint64_t, kLogBucketCount> buckets{};
     std::uint64_t count = 0;

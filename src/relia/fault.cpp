@@ -3,6 +3,7 @@
 #include <cctype>
 #include <charconv>
 #include <cmath>
+#include <cstdio>
 
 #include "util/strings.hpp"
 
@@ -13,6 +14,26 @@ namespace {
 bool parse_u64(std::string_view s, std::uint64_t& out) {
   const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
   return ec == std::errc() && p == s.data() + s.size();
+}
+
+bool parse_f64(std::string_view s, double& out) {
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc() && p == s.data() + s.size();
+}
+
+bool valid_op_class(std::string_view s) {
+  return s == "read" || s == "write" || s == "meta" || s == "any";
+}
+
+std::string format_f64(double v) {
+  // Shortest representation that round-trips through parse_f64.
+  char buf[64];
+  for (int prec = 0; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    double back = 0.0;
+    if (parse_f64(buf, back) && back == v) break;
+  }
+  return buf;
 }
 
 /// Splits a line on whitespace.
@@ -114,6 +135,30 @@ FaultPlan parse_fault_plan(std::string_view text) {
                parse_u64(t[3], e.count) && e.count > 0) {
       e.kind = FaultKind::kStoreCrash;
       e.daemon = std::string(t[1]);
+    } else if (t[0] == "ioslow" && t.size() >= 8 && t[2] == "at" &&
+               t[4] == "for" && t[6] == "factor" &&
+               parse_sim_duration(t[3], at) &&
+               parse_sim_duration(t[5], e.duration) &&
+               parse_f64(t[7], e.factor) && e.factor > 0.0) {
+      e.kind = FaultKind::kIoSlow;
+      e.daemon = std::string(t[1]);
+      // Optional trailing clauses, any order: `op <class>`, `ramp`.
+      bool tail_ok = true;
+      for (std::size_t i = 8; i < t.size(); ++i) {
+        if (t[i] == "ramp") {
+          e.ramp = true;
+        } else if (t[i] == "op" && i + 1 < t.size() &&
+                   valid_op_class(t[i + 1])) {
+          e.op = std::string(t[++i]);
+        } else {
+          tail_ok = false;
+          break;
+        }
+      }
+      if (!tail_ok) {
+        bad();
+        continue;
+      }
     } else {
       bad();
       continue;
@@ -136,6 +181,8 @@ std::string_view fault_kind_name(FaultKind k) {
       return "restart";
     case FaultKind::kStoreCrash:
       return "storecrash";
+    case FaultKind::kIoSlow:
+      return "ioslow";
   }
   return "?";
 }
@@ -156,6 +203,12 @@ std::string to_string(const FaultEvent& e) {
       break;
     case FaultKind::kOverflow:
       out += " count " + std::to_string(e.count);
+      break;
+    case FaultKind::kIoSlow:
+      out += " for " + format_duration(e.duration);
+      out += " factor " + format_f64(e.factor);
+      if (e.op != "any") out += " op " + e.op;
+      if (e.ramp) out += " ramp";
       break;
     case FaultKind::kRestart:
     case FaultKind::kStoreCrash:

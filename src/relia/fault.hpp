@@ -10,6 +10,7 @@
 //   overflow <daemon> at <time> count <n>
 //   restart <daemon> at <time>
 //   storecrash <point> after <n>
+//   ioslow <node|*> at <time> for <duration> factor <f> [op <class>] [ramp]
 //
 // `crash` opens a daemon-wide outage window (every route of <daemon>
 // refuses new arrivals); `partition` scopes the window to the one route
@@ -23,6 +24,14 @@
 // — consumed by store::FaultInjector, not by the transport.  It is
 // occurrence-counted, not timed: the store runs on real threads off the
 // virtual timeline.
+// `ioslow` perturbs the simulated file system instead of the transport:
+// ops issued from <node> (a cluster node name, or `*` for every node)
+// during the window see service times multiplied by <f> — flat, or
+// ramping linearly from 1 to <f> with the `ramp` suffix (Fig. 8's
+// degrading write phase).  The optional `op` clause (read | write |
+// meta | any, default any) scopes the slowdown to one operation class.
+// Consumed by exp::run_experiment, which translates it into simfs
+// variability incidents; transports and daemons never see it.
 //
 // Parsing is pure data — applying a plan to live daemons lives in
 // ldms/fault_inject.hpp so this header stays free of transport types.
@@ -43,6 +52,7 @@ enum class FaultKind : std::uint8_t {
   kOverflow = 2,
   kRestart = 3,
   kStoreCrash = 4,
+  kIoSlow = 5,
 };
 
 std::string_view fault_kind_name(FaultKind k);
@@ -51,7 +61,7 @@ struct FaultEvent {
   FaultKind kind = FaultKind::kCrash;
   /// The daemon the fault applies to (the *from* side for partitions;
   /// the crash-point name — commit/seal/compact/compact_swap — for
-  /// storecrash).
+  /// storecrash; the node name, or "*", for ioslow).
   std::string daemon;
   /// Partition target (empty otherwise).
   std::string upstream;
@@ -60,6 +70,14 @@ struct FaultEvent {
   /// Forced enqueue rejections (overflow) or the 1-based occurrence the
   /// store crash fires at (storecrash).
   std::uint64_t count = 0;
+  /// ioslow: service-time multiplier at the window peak (> 1 slows).
+  double factor = 1.0;
+  /// ioslow: operation class the slowdown applies to
+  /// ("read" | "write" | "meta" | "any").
+  std::string op = "any";
+  /// ioslow: ramp linearly from 1 to `factor` across the window instead
+  /// of applying `factor` flat.
+  bool ramp = false;
 };
 
 struct FaultPlan {

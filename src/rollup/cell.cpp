@@ -43,14 +43,15 @@ std::uint64_t SparseLogHist::total() const {
 double SparseLogHist::percentile(double p) const {
   const std::uint64_t n = total();
   if (n == 0) return 0.0;
-  const double clamped = std::clamp(p, 0.0, 100.0);
-  // Same rank convention as util::log_bucket_percentile: 1-based, ceil.
-  const auto rank = static_cast<std::uint64_t>(
-      std::max(1.0, std::ceil(clamped / 100.0 * static_cast<double>(n))));
+  // Same rank + interpolation convention as util::log_bucket_percentile,
+  // so sparse and dense views of the same samples agree exactly.
+  const std::uint64_t rank = log_bucket_rank(p, n);
   std::uint64_t cum = 0;
   for (const auto& [idx, count] : buckets_) {
+    if (cum + count >= rank) {
+      return log_bucket_interpolate(idx, rank, cum, count);
+    }
     cum += count;
-    if (cum >= rank) return static_cast<double>(log_bucket_hi(idx));
   }
   return static_cast<double>(log_bucket_hi(buckets_.back().first));
 }

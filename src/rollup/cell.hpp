@@ -45,7 +45,8 @@ class SparseLogHist {
   void record(std::uint64_t sample);
   void merge(const SparseLogHist& other);
   std::uint64_t total() const;
-  /// Conservative within one log bucket, like log_bucket_percentile.
+  /// In-bucket interpolated, identical convention to
+  /// util::log_bucket_percentile (within one log bucket of exact).
   double percentile(double p) const;
 
   /// "idx:count idx:count ..." (ascending idx; empty string when empty).

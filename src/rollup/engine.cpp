@@ -440,16 +440,21 @@ void RollupEngine::on_commit(std::size_t shard, bool seal_everything) {
     }
     m_cells_open_->set(static_cast<std::int64_t>(total));
   }
-  for (SealBatch& batch : batches) spill(shard, std::move(batch));
+  for (SealBatch& batch : batches) {
+    std::sort(batch.cells.begin(), batch.cells.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    spill(shard, batch);
+    // Observers see the batch only once its rows are durable, with no
+    // engine lock held (RollupShard and RollupSealed both released).
+    notify_sealed(shard, batch);
+  }
 }
 
-void RollupEngine::spill(std::size_t shard, SealBatch batch) {
+void RollupEngine::spill(std::size_t shard, const SealBatch& batch) {
   if (should_crash(RollupCrashPoint::kSeal)) {
     mark_crashed();
     throw store::StoreCrash("rollup: crashed at rollup_seal");
   }
-  std::sort(batch.cells.begin(), batch.cells.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
   const PolicyConfig& policy = policies_[batch.policy];
   const util::LockGuard lock(sealed_m_);
   if (!sealed_db_) return;
@@ -473,6 +478,34 @@ void RollupEngine::spill(std::size_t shard, SealBatch batch) {
   if (obs::enabled()) {
     m_sealed_rows_->add(batch.cells.size());
     m_spills_->add(1);
+  }
+}
+
+void RollupEngine::add_seal_observer(SealObserver* observer) {
+  const util::LockGuard lock(observers_m_);
+  if (std::find(observers_.begin(), observers_.end(), observer) ==
+      observers_.end()) {
+    observers_.push_back(observer);
+  }
+}
+
+void RollupEngine::remove_seal_observer(SealObserver* observer) {
+  const util::LockGuard lock(observers_m_);
+  observers_.erase(
+      std::remove(observers_.begin(), observers_.end(), observer),
+      observers_.end());
+}
+
+void RollupEngine::notify_sealed(std::size_t shard, const SealBatch& batch) {
+  std::vector<SealObserver*> observers;
+  {
+    const util::LockGuard lock(observers_m_);
+    if (observers_.empty()) return;
+    observers = observers_;
+  }
+  const std::string_view policy = policies_[batch.policy].name;
+  for (SealObserver* o : observers) {
+    o->on_sealed(policy, shard, batch.watermark, batch.cells);
   }
 }
 

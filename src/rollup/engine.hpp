@@ -75,6 +75,24 @@ std::string_view rollup_crash_point_name(RollupCrashPoint p);
 bool rollup_crash_point_from_name(std::string_view name,
                                   RollupCrashPoint& out);
 
+/// Observer of sealed batches — how downstream streaming stages (the
+/// anomaly engine) ride the seal path, mirroring how the engine itself
+/// rides dsos::CommitSinks.  on_sealed fires after the batch has been
+/// durably spilled, on the thread that drove the commit (a shard writer
+/// thread, or the drain/flush thread), with cells in canonical CellKey
+/// order and NO engine lock held — observers may query the engine or
+/// take their own locks freely.  Batches sealed by the attach()-time
+/// recovery replay fire too when the observer is registered before
+/// attach(); register after attach() to see only live seals.
+class SealObserver {
+ public:
+  virtual ~SealObserver() = default;
+  virtual void on_sealed(std::string_view policy, std::size_t shard,
+                         double watermark,
+                         const std::vector<std::pair<CellKey, CellAgg>>&
+                             cells) = 0;
+};
+
 /// What attach() reconstructed.
 struct RollupRecovery {
   std::uint64_t sealed_rows = 0;      // rows restored from the spill store
@@ -137,6 +155,12 @@ class RollupEngine {
 
   const std::vector<PolicyConfig>& policies() const { return policies_; }
   const PolicyConfig* find_policy(std::string_view name) const;
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// Registers/removes a seal observer (see SealObserver).  Safe at any
+  /// time; the observer must outlive the engine or be removed first.
+  void add_seal_observer(SealObserver* observer);
+  void remove_seal_observer(SealObserver* observer);
 
   /// Arms engine-level crash points from `storecrash rollup_seal|
   /// rollup_spill after <n>` directives and forwards the rest to the
@@ -231,7 +255,8 @@ class RollupEngine {
 
   void on_insert(std::size_t shard, const dsos::Object& obj);
   void on_commit(std::size_t shard, bool seal_everything = false);
-  void spill(std::size_t shard, SealBatch batch);
+  void spill(std::size_t shard, const SealBatch& batch);
+  void notify_sealed(std::size_t shard, const SealBatch& batch);
   const AttrIds& resolve_ids(ShardState& sh, const dsos::Object& obj);
   bool matches_policy(std::size_t policy, const dsos::Object& obj,
                       const AttrIds& ids) const;
@@ -249,6 +274,12 @@ class RollupEngine {
   /// Sealed side: a single-shard cluster of `rollup_cell` rows plus its
   /// optional durable store.  RollupSealed is taken *after* RollupShard
   /// is released (spill batches are extracted first), never nested.
+  /// Seal observers.  The mutex is a leaf taken only to copy the list;
+  /// on_sealed itself runs with no engine lock held (RollupShard and
+  /// RollupSealed are released before notify_sealed).
+  mutable util::Mutex observers_m_{"RollupObservers"};
+  std::vector<SealObserver*> observers_ DLC_GUARDED_BY(observers_m_);
+
   dsos::SchemaPtr cell_schema_;
   mutable util::Mutex sealed_m_{"RollupSealed"};
   std::unique_ptr<dsos::DsosCluster> sealed_db_ DLC_GUARDED_BY(sealed_m_);

@@ -51,17 +51,17 @@ sim::Task<void> LustreModel::chunk_rpc(std::size_t ost, SimDuration service) {
   co_await osts_[ost]->use(service);
 }
 
-sim::Task<SimDuration> LustreModel::metadata_op() {
+sim::Task<SimDuration> LustreModel::metadata_op(int node) {
   const SimTime start = engine_.now();
   const double factor =
-      variability_->factor(start, OpClass::kMetadata) * jitter();
+      variability_->factor(start, OpClass::kMetadata, node) * jitter();
   const auto service = static_cast<SimDuration>(
       static_cast<double>(config_.mds_latency) * factor);
   co_await mds_.use(service);
   co_return engine_.now() - start;
 }
 
-sim::Task<SimDuration> LustreModel::data_op(std::string_view path,
+sim::Task<SimDuration> LustreModel::data_op(int node, std::string_view path,
                                             std::uint64_t offset,
                                             std::uint64_t bytes, IoFlags flags,
                                             OpClass op_class) {
@@ -82,7 +82,7 @@ sim::Task<SimDuration> LustreModel::data_op(std::string_view path,
     lock_penalty = 1.0;  // stripe-aligned aggregator access
   }
   const double factor =
-      variability_->factor(start, op_class) * jitter() * lock_penalty;
+      variability_->factor(start, op_class, node) * jitter() * lock_penalty;
   std::vector<sim::Task<void>> rpcs;
   for (const Chunk& chunk : layout(path, offset, bytes)) {
     const double transfer_sec = static_cast<double>(chunk.bytes) /
@@ -96,15 +96,14 @@ sim::Task<SimDuration> LustreModel::data_op(std::string_view path,
   co_return engine_.now() - start;
 }
 
-sim::Task<SimDuration> LustreModel::open(int /*node*/,
-                                         std::string_view /*path*/,
+sim::Task<SimDuration> LustreModel::open(int node, std::string_view /*path*/,
                                          bool /*create*/) {
-  return metadata_op();
+  return metadata_op(node);
 }
 
-sim::Task<SimDuration> LustreModel::close(int /*node*/,
+sim::Task<SimDuration> LustreModel::close(int node,
                                           std::string_view /*path*/) {
-  return metadata_op();
+  return metadata_op(node);
 }
 
 sim::Task<SimDuration> LustreModel::read(int node, std::string_view path,
@@ -115,7 +114,7 @@ sim::Task<SimDuration> LustreModel::read(int node, std::string_view path,
       jitter_rng_.bernoulli(config_.read_cache_hit_rate)) {
     return cached_read(bytes);
   }
-  return data_op(path, offset, bytes, flags, OpClass::kRead);
+  return data_op(node, path, offset, bytes, flags, OpClass::kRead);
 }
 
 sim::Task<SimDuration> LustreModel::cached_read(std::uint64_t bytes) {
@@ -131,12 +130,12 @@ sim::Task<SimDuration> LustreModel::write(int node, std::string_view path,
                                           std::uint64_t offset,
                                           std::uint64_t bytes, IoFlags flags) {
   note_write(node, path, offset, bytes);
-  return data_op(path, offset, bytes, flags, OpClass::kWrite);
+  return data_op(node, path, offset, bytes, flags, OpClass::kWrite);
 }
 
-sim::Task<SimDuration> LustreModel::flush(int /*node*/,
+sim::Task<SimDuration> LustreModel::flush(int node,
                                           std::string_view /*path*/) {
-  return metadata_op();
+  return metadata_op(node);
 }
 
 }  // namespace dlc::simfs

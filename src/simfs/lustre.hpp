@@ -87,12 +87,12 @@ class LustreModel final : public FileSystem {
   std::vector<Chunk> layout(std::string_view path, std::uint64_t offset,
                             std::uint64_t bytes) const;
 
-  sim::Task<SimDuration> data_op(std::string_view path, std::uint64_t offset,
-                                 std::uint64_t bytes, IoFlags flags,
-                                 OpClass op_class);
+  sim::Task<SimDuration> data_op(int node, std::string_view path,
+                                 std::uint64_t offset, std::uint64_t bytes,
+                                 IoFlags flags, OpClass op_class);
   sim::Task<void> chunk_rpc(std::size_t ost, SimDuration service);
   sim::Task<SimDuration> cached_read(std::uint64_t bytes);
-  sim::Task<SimDuration> metadata_op();
+  sim::Task<SimDuration> metadata_op(int node);
   double jitter();
 
   sim::Engine& engine_;

@@ -58,17 +58,17 @@ double NfsModel::jitter() {
   return jitter_rng_.lognormal(0.0, config_.jitter_sigma);
 }
 
-sim::Task<SimDuration> NfsModel::metadata_op() {
+sim::Task<SimDuration> NfsModel::metadata_op(int node) {
   const SimTime start = engine_.now();
   const double factor =
-      variability_->factor(start, OpClass::kMetadata) * jitter();
+      variability_->factor(start, OpClass::kMetadata, node) * jitter();
   const auto service = static_cast<SimDuration>(
       static_cast<double>(config_.metadata_latency) * factor);
   co_await server_.use(service);
   co_return engine_.now() - start;
 }
 
-sim::Task<SimDuration> NfsModel::data_op(std::uint64_t bytes,
+sim::Task<SimDuration> NfsModel::data_op(int node, std::uint64_t bytes,
                                          OpClass op_class, bool collective) {
   const SimTime start = engine_.now();
   if (collective) co_await engine_.delay(config_.collective_exchange);
@@ -82,7 +82,7 @@ sim::Task<SimDuration> NfsModel::data_op(std::uint64_t bytes,
     // The RPC that does go out carries the batched bytes.
     bytes *= config_.small_io_batch;
   }
-  double factor = variability_->factor(start, op_class) * jitter();
+  double factor = variability_->factor(start, op_class, node) * jitter();
   if (collective) factor *= config_.collective_penalty_factor;
   const double transfer_sec =
       static_cast<double>(bytes) / config_.bandwidth_bytes_per_sec;
@@ -94,14 +94,13 @@ sim::Task<SimDuration> NfsModel::data_op(std::uint64_t bytes,
   co_return engine_.now() - start;
 }
 
-sim::Task<SimDuration> NfsModel::open(int /*node*/, std::string_view /*path*/,
+sim::Task<SimDuration> NfsModel::open(int node, std::string_view /*path*/,
                                       bool /*create*/) {
-  return metadata_op();
+  return metadata_op(node);
 }
 
-sim::Task<SimDuration> NfsModel::close(int /*node*/,
-                                       std::string_view /*path*/) {
-  return metadata_op();
+sim::Task<SimDuration> NfsModel::close(int node, std::string_view /*path*/) {
+  return metadata_op(node);
 }
 
 sim::Task<SimDuration> NfsModel::read(int node, std::string_view path,
@@ -112,7 +111,7 @@ sim::Task<SimDuration> NfsModel::read(int node, std::string_view path,
       jitter_rng_.bernoulli(config_.read_cache_hit_rate)) {
     return cached_read(bytes);
   }
-  return data_op(bytes, OpClass::kRead, flags.collective);
+  return data_op(node, bytes, OpClass::kRead, flags.collective);
 }
 
 sim::Task<SimDuration> NfsModel::cached_read(std::uint64_t bytes) {
@@ -128,12 +127,11 @@ sim::Task<SimDuration> NfsModel::write(int node, std::string_view path,
                                        std::uint64_t offset,
                                        std::uint64_t bytes, IoFlags flags) {
   note_write(node, path, offset, bytes);
-  return data_op(bytes, OpClass::kWrite, flags.collective);
+  return data_op(node, bytes, OpClass::kWrite, flags.collective);
 }
 
-sim::Task<SimDuration> NfsModel::flush(int /*node*/,
-                                       std::string_view /*path*/) {
-  return metadata_op();
+sim::Task<SimDuration> NfsModel::flush(int node, std::string_view /*path*/) {
+  return metadata_op(node);
 }
 
 }  // namespace dlc::simfs

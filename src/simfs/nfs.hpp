@@ -80,10 +80,10 @@ class NfsModel final : public FileSystem {
   const sim::Resource& server() const { return server_; }
 
  private:
-  sim::Task<SimDuration> data_op(std::uint64_t bytes, OpClass op_class,
-                                 bool collective);
+  sim::Task<SimDuration> data_op(int node, std::uint64_t bytes,
+                                 OpClass op_class, bool collective);
   sim::Task<SimDuration> cached_read(std::uint64_t bytes);
-  sim::Task<SimDuration> metadata_op();
+  sim::Task<SimDuration> metadata_op(int node);
   double jitter();
 
   sim::Engine& engine_;

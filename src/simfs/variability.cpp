@@ -38,10 +38,12 @@ double VariabilityProcess::ar_level_at(SimTime t) const {
   return ar_path_[window];
 }
 
-double VariabilityProcess::factor(SimTime t, OpClass op_class) const {
+double VariabilityProcess::factor(SimTime t, OpClass op_class,
+                                  int node) const {
   double f = epoch_factor_ * std::exp(ar_level_at(t));
   for (const Incident& inc : incidents_) {
-    if (t < inc.start || t >= inc.end || !applies(inc.applies_to, op_class)) {
+    if (t < inc.start || t >= inc.end || !applies(inc.applies_to, op_class) ||
+        (inc.node >= 0 && inc.node != node)) {
       continue;
     }
     if (inc.ramp && inc.end > inc.start) {

@@ -26,12 +26,16 @@ enum class OpClass { kRead, kWrite, kMetadata, kAny };
 /// A contention episode: between [start, end) service times are multiplied
 /// by a factor that ramps linearly from 1 at `start` to `peak_factor` at
 /// `end` when `ramp` is true, or applies `peak_factor` flat otherwise.
+/// `node >= 0` scopes the incident to ops issued from that one node (the
+/// Fig. 6 slow-node scenario); -1 hits every node (the Fig. 8 FS-wide
+/// degradation).
 struct Incident {
   SimTime start = 0;
   SimTime end = 0;
   double peak_factor = 1.0;
   bool ramp = false;
   OpClass applies_to = OpClass::kAny;
+  int node = -1;
 };
 
 struct VariabilityConfig {
@@ -56,8 +60,11 @@ class VariabilityProcess {
   /// Adds a contention episode (e.g. the Fig. 8 write slowdown).
   void add_incident(const Incident& incident);
 
-  /// Service-time multiplier at virtual time `t` for the given op class.
-  double factor(SimTime t, OpClass op_class = OpClass::kAny) const;
+  /// Service-time multiplier at virtual time `t` for the given op class,
+  /// as seen from `node` (-1 = unknown: node-scoped incidents don't
+  /// apply).
+  double factor(SimTime t, OpClass op_class = OpClass::kAny,
+                int node = -1) const;
 
   double epoch_factor() const { return epoch_factor_; }
 

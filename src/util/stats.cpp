@@ -111,22 +111,43 @@ std::uint64_t log_bucket_hi(std::uint32_t idx) {
   return log_bucket_lo(idx) + ((std::uint64_t{1} << (octave - 2)) - 1);
 }
 
+std::uint64_t log_bucket_rank(double p, std::uint64_t total) {
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  // 1-based, ceil: p=0 lands on the first sample, p=100 on the last.
+  return static_cast<std::uint64_t>(
+      std::max(1.0, std::ceil(clamped / 100.0 * static_cast<double>(total))));
+}
+
+double log_bucket_interpolate(std::uint32_t idx, std::uint64_t rank,
+                              std::uint64_t cum_before,
+                              std::uint64_t in_bucket) {
+  const auto lo = static_cast<double>(log_bucket_lo(idx));
+  const auto hi = static_cast<double>(log_bucket_hi(idx));
+  if (in_bucket == 0 || hi <= lo) return lo;
+  // The rank-th sample is the (rank - cum_before)-th of in_bucket samples
+  // assumed evenly spread through [lo, hi]; -0.5 centres each sample in
+  // its 1/in_bucket slice so a lone sample sits on the bucket midpoint.
+  const double frac = std::clamp(
+      (static_cast<double>(rank - cum_before) - 0.5) /
+          static_cast<double>(in_bucket),
+      0.0, 1.0);
+  return lo + frac * (hi - lo);
+}
+
 double log_bucket_percentile(const std::uint64_t* counts, std::size_t n,
                              double p) {
   std::uint64_t total = 0;
   for (std::size_t i = 0; i < n; ++i) total += counts[i];
   if (total == 0) return 0.0;
-  const double clamped = std::clamp(p, 0.0, 100.0);
-  // Rank of the target order statistic, 1-based; ceil so p=0 lands on the
-  // first sample and p=100 on the last.
-  const auto rank = static_cast<std::uint64_t>(
-      std::max(1.0, std::ceil(clamped / 100.0 * static_cast<double>(total))));
+  const std::uint64_t rank = log_bucket_rank(p, total);
   std::uint64_t cum = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    cum += counts[i];
-    if (cum >= rank) {
-      return static_cast<double>(log_bucket_hi(static_cast<std::uint32_t>(i)));
+    if (counts[i] == 0) continue;
+    if (cum + counts[i] >= rank) {
+      return log_bucket_interpolate(static_cast<std::uint32_t>(i), rank, cum,
+                                    counts[i]);
     }
+    cum += counts[i];
   }
   return static_cast<double>(log_bucket_hi(static_cast<std::uint32_t>(n - 1)));
 }

@@ -92,12 +92,29 @@ std::uint64_t log_bucket_lo(std::uint32_t idx);
 /// Largest sample value mapping to bucket `idx` (inclusive).
 std::uint64_t log_bucket_hi(std::uint32_t idx);
 
+/// Estimate for the `rank`-th sample (1-based) given that it falls in
+/// bucket `idx` with `cum_before` samples in strictly earlier buckets and
+/// `in_bucket` (> 0) samples in this one: samples are assumed spread
+/// evenly through [lo, hi], so the estimate is
+///   lo + clamp((rank - cum_before - 0.5) / in_bucket, 0, 1) * (hi - lo).
+/// Degenerate cases pin naturally: a single sample lands on the bucket
+/// midpoint, and with every sample in one bucket p~0 -> lo, p50 -> mid,
+/// p100 -> hi.  Always within the bucket's [lo, hi] bounds.
+double log_bucket_interpolate(std::uint32_t idx, std::uint64_t rank,
+                              std::uint64_t cum_before,
+                              std::uint64_t in_bucket);
+
 /// Percentile estimate from an array of kLogBucketCount bucket counts:
-/// the inclusive upper bound of the bucket containing the rank, so the
-/// estimate is conservative and within one bucket width of the exact
-/// order statistic.  `p` in [0, 100]; 0 when the histogram is empty.
+/// in-bucket interpolation (log_bucket_interpolate) at the bucket holding
+/// the rank, so the estimate is within one bucket width of the exact
+/// order statistic and never exceeds the bucket bounds.  `p` in [0, 100];
+/// 0 when the histogram is empty.
 double log_bucket_percentile(const std::uint64_t* counts, std::size_t n,
                              double p);
+
+/// The 1-based rank (ceil convention) shared by every log-bucket
+/// percentile walk: p=0 lands on the first sample, p=100 on the last.
+std::uint64_t log_bucket_rank(double p, std::uint64_t total);
 
 /// Fixed-width histogram over [lo, hi); values outside are clamped into the
 /// first/last bin.  Used by the heatmap module and ASCII renderers.

@@ -18,6 +18,7 @@ Dashboard default_io_dashboard(std::uint64_t job_id) {
                "fig9",
                {{"job", job}, {"bucket_s", "10"}},
                "timeseries"},
+      PanelDef{"Alerts", "alerts", {{"job", job}}, "table"},
   };
   return dash;
 }

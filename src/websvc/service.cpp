@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdio>
 #include <set>
 #include <sstream>
 
@@ -234,6 +235,62 @@ DashboardService::DashboardService(std::shared_ptr<dsos::DsosCluster> db)
     }
     return df;
   });
+  // Live-alert table off the anomaly engine (the default dashboard's
+  // alerts panel); empty when no engine is attached.
+  register_module("alerts", [this](const dsos::DsosCluster&,
+                                   const Params& params) {
+    analysis::DataFrame df;
+    analysis::DataFrame::StringCol kind, state, severity, job, node, op;
+    analysis::DataFrame::StringCol detail;
+    analysis::DataFrame::DoubleCol fired_bucket, last_bucket;
+    if (anomaly_ != nullptr) {
+      const auto it = params.find("job");
+      const std::string job_filter =
+          it != params.end() ? it->second : std::string();
+      const auto fmt = [](const char* f, double a, double b, double c) {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf), f, a, b, c);
+        return std::string(buf);
+      };
+      for (const anomaly::Alert& a : anomaly_->alerts(job_filter)) {
+        kind.push_back(std::string(anomaly::alert_kind_name(a.kind)));
+        state.push_back(std::string(anomaly::alert_state_name(a.state)));
+        severity.push_back(std::string(anomaly::severity_name(a.severity)));
+        job.push_back(a.job);
+        node.push_back(a.node);
+        op.push_back(a.op);
+        fired_bucket.push_back(a.fired_bucket);
+        last_bucket.push_back(a.last_bucket);
+        switch (a.kind) {
+          case anomaly::AlertKind::kStraggler:
+            detail.push_back(fmt("z=%.3g node=%.3gs peers=%.3gs",
+                                 a.evidence.z, a.evidence.node_mean,
+                                 a.evidence.peer_mean));
+            break;
+          case anomaly::AlertKind::kSlowdown:
+            detail.push_back(fmt("rise=%.3g slope=%.3g r2=%.3g",
+                                 a.evidence.rel_rise, a.evidence.slope,
+                                 a.evidence.r2));
+            break;
+          case anomaly::AlertKind::kBurst:
+            // Trailing arg unused by the format (printf ignores extras).
+            detail.push_back(fmt("rate=%.4g/s ewma=%.4g/s", a.evidence.rate,
+                                 a.evidence.ewma, 0.0));
+            break;
+        }
+      }
+    }
+    df.add_string_column("kind", std::move(kind));
+    df.add_string_column("state", std::move(state));
+    df.add_string_column("severity", std::move(severity));
+    df.add_string_column("job", std::move(job));
+    df.add_string_column("node", std::move(node));
+    df.add_string_column("op", std::move(op));
+    df.add_double_column("fired_bucket", std::move(fired_bucket));
+    df.add_double_column("last_bucket", std::move(last_bucket));
+    df.add_string_column("detail", std::move(detail));
+    return df;
+  });
 }
 
 void DashboardService::register_module(const std::string& name,
@@ -278,6 +335,13 @@ Response DashboardService::handle(const std::string& path_and_query) const {
     if (path.starts_with("/api/rollup/")) {
       return api_rollup_cells(path.substr(sizeof("/api/rollup/") - 1),
                               params);
+    }
+    if (path == "/api/anomalies") {
+      const auto it = params.find("job");
+      return api_anomalies(it != params.end() ? it->second : std::string());
+    }
+    if (path.starts_with("/api/anomalies/")) {
+      return api_anomalies(path.substr(sizeof("/api/anomalies/") - 1));
     }
   } catch (const std::exception& e) {
     return Response{500, "application/json", error_body(e.what())};
@@ -567,6 +631,34 @@ Response DashboardService::api_rollup_cells(const std::string& policy,
     w.key("dur_p99_ns");
     w.value_double(cell.agg.dur_hist.percentile(99.0), 3);
     w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return Response{200, "application/json", w.take()};
+}
+
+Response DashboardService::api_anomalies(const std::string& job) const {
+  if (anomaly_ == nullptr) {
+    return not_found("no anomaly engine attached");
+  }
+  const std::vector<anomaly::Alert> alerts = anomaly_->alerts(job);
+  std::size_t firing = 0;
+  for (const anomaly::Alert& a : alerts) {
+    if (a.state == anomaly::AlertState::kFiring) ++firing;
+  }
+  const anomaly::AnomalyStats stats = anomaly_->stats();
+  json::Writer w;
+  w.begin_object();
+  if (!job.empty()) w.member("job", job);
+  w.member("firing", static_cast<std::uint64_t>(firing));
+  w.member("total_fired", stats.alerts_fired);
+  w.member("total_resolved", stats.alerts_resolved);
+  w.key("engine");
+  w.value_raw(anomaly_->status_json());
+  w.key("alerts");
+  w.begin_array();
+  for (const anomaly::Alert& a : alerts) {
+    anomaly::AlertManager::write_alert_json(w, a);
   }
   w.end_array();
   w.end_object();

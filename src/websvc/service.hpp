@@ -31,6 +31,11 @@
 //   /api/rollup/<policy>?job=1,2&op=read,write&producer=nid40&rank=3
 //              &from_s=0&to_s=600&bucket_s=60
 //                                       -> rollup cells (JSON)
+//   /api/anomalies                      -> online-anomaly alert feed:
+//                                          firing/resolved alerts with
+//                                          evidence plus engine status
+//                                          (404 when no engine attached)
+//   /api/anomalies/<job>  (or ?job=<j>) -> the same, one job only
 //
 // When a rollup engine is attached (set_rollup), the fig5/6/7/7_summary/9
 // panel modules answer from rollup cells whenever a policy covers the
@@ -45,6 +50,7 @@
 #include <string>
 
 #include "analysis/frame.hpp"
+#include "anomaly/engine.hpp"
 #include "dsos/cluster.hpp"
 #include "obs/registry.hpp"
 #include "obs/spans.hpp"
@@ -102,6 +108,11 @@ class DashboardService {
   /// panels run raw scans.
   void set_rollup(const rollup::RollupEngine* engine) { rollup_ = engine; }
 
+  /// Anomaly engine behind /api/anomalies and the `alerts` panel
+  /// module; nullptr (the default) makes /api/anomalies answer 404 and
+  /// the panel render empty.
+  void set_anomaly(const anomaly::AnomalyEngine* engine) { anomaly_ = engine; }
+
  private:
   Response api_health() const;
   Response api_schemas() const;
@@ -116,6 +127,7 @@ class DashboardService {
   Response api_rollup_status() const;
   Response api_rollup_cells(const std::string& policy,
                             const Params& params) const;
+  Response api_anomalies(const std::string& job) const;
 
   std::shared_ptr<dsos::DsosCluster> db_;
   std::map<std::string, AnalysisModule> modules_;
@@ -123,6 +135,7 @@ class DashboardService {
   const obs::TraceCollector* collector_ = nullptr;
   const store::Store* store_ = nullptr;
   const rollup::RollupEngine* rollup_ = nullptr;
+  const anomaly::AnomalyEngine* anomaly_ = nullptr;
   mutable std::uint64_t requests_ = 0;
 };
 

@@ -1,0 +1,586 @@
+// Online anomaly detection (DESIGN.md §11): detector math in isolation,
+// AlertManager lifecycle, the seal-fed engine over synthetic batches,
+// end-to-end ioslow fault campaigns through run_experiment, and the
+// /api/anomalies web surface.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "anomaly/alert.hpp"
+#include "anomaly/detect.hpp"
+#include "anomaly/engine.hpp"
+#include "exp/pipeline.hpp"
+#include "json/parser.hpp"
+#include "json/writer.hpp"
+#include "relia/fault.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "websvc/service.hpp"
+#include "workloads/mpi_io_test.hpp"
+
+namespace dlc::anomaly {
+namespace {
+
+// --- detector math -------------------------------------------------------
+
+TEST(Trend, ExactLineRecovered) {
+  std::vector<double> y;
+  for (int i = 0; i < 10; ++i) y.push_back(1.0 + 2.0 * i);
+  const TrendFit fit = fit_trend(y);
+  ASSERT_TRUE(fit.valid);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+  // Rise across the window: slope * 9 / intercept = 18.
+  EXPECT_NEAR(trend_relative_rise(fit), 18.0, 1e-9);
+}
+
+TEST(Trend, FlatSeriesIsValidWithNoTrend) {
+  const TrendFit fit = fit_trend({3.0, 3.0, 3.0, 3.0});
+  ASSERT_TRUE(fit.valid);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.r2, 0.0);
+  EXPECT_DOUBLE_EQ(trend_relative_rise(fit), 0.0);
+}
+
+TEST(Trend, TooFewPointsIsInvalid) {
+  EXPECT_FALSE(fit_trend({}).valid);
+  EXPECT_FALSE(fit_trend({1.0}).valid);
+  EXPECT_DOUBLE_EQ(trend_relative_rise(fit_trend({1.0})), 0.0);
+}
+
+TEST(Trend, NoisyRisingSeriesKeepsSignAndQuality) {
+  Rng rng(7);
+  std::vector<double> y;
+  for (int i = 0; i < 12; ++i) {
+    y.push_back(0.1 + 0.02 * i + 0.002 * (rng.uniform() - 0.5));
+  }
+  const TrendFit fit = fit_trend(y);
+  ASSERT_TRUE(fit.valid);
+  EXPECT_GT(fit.slope, 0.015);
+  EXPECT_LT(fit.slope, 0.025);
+  EXPECT_GT(fit.r2, 0.9);
+  EXPECT_GT(trend_relative_rise(fit), 1.0);
+}
+
+TEST(Trend, SymmetricNoiseHasLowR2) {
+  // Alternating series: slope ~0, r2 ~0 — must not read as a trend.
+  std::vector<double> y;
+  for (int i = 0; i < 12; ++i) y.push_back(i % 2 == 0 ? 0.1 : 0.3);
+  const TrendFit fit = fit_trend(y);
+  ASSERT_TRUE(fit.valid);
+  EXPECT_LT(fit.r2, 0.2);
+}
+
+// Welford merge: splitting a stream arbitrarily and merging recovers the
+// single-pass moments (the per-node fold the straggler scan relies on).
+TEST(Welford, MergeMatchesSinglePassAnySplit) {
+  Rng rng(42);
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(rng.uniform() * 10.0);
+  RunningStats whole;
+  for (const double x : xs) whole.add(x);
+  for (const std::size_t split : {std::size_t{1}, std::size_t{17},
+                                  std::size_t{500}, std::size_t{999}}) {
+    RunningStats a, b;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      (i < split ? a : b).add(xs[i]);
+    }
+    RunningStats merged = a;
+    merged.merge(b);
+    EXPECT_EQ(merged.count(), whole.count());
+    EXPECT_NEAR(merged.mean(), whole.mean(), 1e-12);
+    EXPECT_NEAR(merged.variance(), whole.variance(), 1e-9);
+  }
+}
+
+TEST(Welford, MergeIsAssociativeAndOffsetStable) {
+  // Large common offset: naive sum-of-squares would cancel
+  // catastrophically; Welford keeps full precision.
+  const double offset = 1e9;
+  RunningStats a, b, c;
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) a.add(offset + rng.uniform());
+  for (int i = 0; i < 100; ++i) b.add(offset + rng.uniform());
+  for (int i = 0; i < 100; ++i) c.add(offset + rng.uniform());
+  RunningStats ab = a;
+  ab.merge(b);
+  RunningStats ab_c = ab;
+  ab_c.merge(c);
+  RunningStats bc = b;
+  bc.merge(c);
+  RunningStats a_bc = a;
+  a_bc.merge(bc);
+  EXPECT_NEAR(ab_c.mean(), a_bc.mean(), 1e-6);
+  EXPECT_NEAR(ab_c.variance(), a_bc.variance(), 1e-6);
+  // Variance of uniform(0,1) is ~1/12 regardless of the 1e9 offset.
+  EXPECT_NEAR(ab_c.variance(), 1.0 / 12.0, 0.02);
+}
+
+TEST(Ewma, HitAndMissTable) {
+  // (rate, expect_fired) against alpha=0.5, factor=3, min_rate=10.
+  Ewma state;
+  state.alpha = 0.5;
+  const BurstConfig cfg{3.0, 10.0};
+  struct Row {
+    double rate;
+    bool fired;
+  };
+  // ewma after each row: 100, 100, 102, 251, 225.5, ...
+  const std::vector<Row> table = {
+      {100.0, false},  // priming: no history, never fires
+      {100.0, false},  // 100 !> 3*100
+      {104.0, false},  // 104 !> 3*100
+      {400.0, true},   // 400 > 3*102
+      {200.0, false},  // 200 !> 3*251
+  };
+  for (const Row& row : table) {
+    const BurstDecision d = judge_burst(state, row.rate, cfg);
+    EXPECT_EQ(d.fired, row.fired) << "rate " << row.rate;
+    EXPECT_DOUBLE_EQ(d.rate, row.rate);
+  }
+}
+
+TEST(Ewma, MinRateFloorSuppressesTinyJobs) {
+  Ewma state;
+  const BurstConfig cfg{3.0, 100.0};
+  judge_burst(state, 1.0, cfg);  // prime at 1 event/s
+  // 50x jump but under the absolute floor: stays quiet.
+  EXPECT_FALSE(judge_burst(state, 50.0, cfg).fired);
+  // Past the floor AND the relative threshold: fires.
+  EXPECT_TRUE(judge_burst(state, 200.0, cfg).fired);
+}
+
+TEST(Straggler, OneSlowNodeFlagged) {
+  StragglerConfig cfg;
+  std::vector<NodeSample> nodes;
+  for (int n = 0; n < 7; ++n) {
+    nodes.push_back({"nid4" + std::to_string(n), 0.10 + 0.002 * n, 100});
+  }
+  nodes.push_back({"nid47", 0.50, 100});
+  const auto found = find_stragglers(nodes, cfg);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].node, "nid47");
+  EXPECT_GE(found[0].z, cfg.z_threshold);
+  EXPECT_NEAR(found[0].node_mean, 0.50, 1e-12);
+  EXPECT_NEAR(found[0].peer_mean, 0.106, 1e-3);
+}
+
+TEST(Straggler, TightDistributionSmallSkewDoesNotFlag) {
+  // All nodes within 2%: raw z would explode off the tiny stddev, but
+  // the rel-std floor and min_rel_excess keep it quiet.
+  StragglerConfig cfg;
+  std::vector<NodeSample> nodes;
+  for (int n = 0; n < 8; ++n) {
+    nodes.push_back({std::string("n") + std::to_string(n),
+                     0.100 + 0.0002 * n, 100});
+  }
+  nodes.push_back({"n8", 0.104, 100});
+  EXPECT_TRUE(find_stragglers(nodes, cfg).empty());
+}
+
+TEST(Straggler, TooFewNodesNeverFlags) {
+  StragglerConfig cfg;  // min_nodes = 3
+  const std::vector<NodeSample> nodes = {{"a", 0.1, 10}, {"b", 10.0, 10}};
+  EXPECT_TRUE(find_stragglers(nodes, cfg).empty());
+}
+
+// --- AlertManager lifecycle ----------------------------------------------
+
+Observation straggler_obs(const std::string& node, double bucket,
+                          double z = 5.0) {
+  Observation o;
+  o.kind = AlertKind::kStraggler;
+  o.job = "7";
+  o.node = node;
+  o.op = "read";
+  o.anomalous = true;
+  o.bucket = bucket;
+  o.evidence.z = z;
+  o.evidence.cells.push_back(node + "@" + std::to_string(bucket));
+  return o;
+}
+
+TEST(AlertManager, FiresAfterConsecutiveHitsAndResolvesAfterClean) {
+  AlertManager mgr;  // fire_after = 2, resolve_after = 2
+  EXPECT_EQ(mgr.observe_bucket(0.0, {straggler_obs("nid42", 0.0)}), 0u);
+  EXPECT_EQ(mgr.firing(), 0u);  // one hit: pending only
+  EXPECT_TRUE(mgr.snapshot().empty());
+  EXPECT_EQ(mgr.observe_bucket(10.0, {straggler_obs("nid42", 10.0)}), 1u);
+  ASSERT_EQ(mgr.firing(), 1u);
+  const std::vector<Alert> firing = mgr.snapshot();
+  ASSERT_EQ(firing.size(), 1u);
+  EXPECT_EQ(firing[0].state, AlertState::kFiring);
+  EXPECT_EQ(firing[0].node, "nid42");
+  EXPECT_GT(firing[0].id, 0u);
+  // One clean bucket: still firing (damped).
+  mgr.observe_bucket(20.0, {});
+  EXPECT_EQ(mgr.firing(), 1u);
+  // Second consecutive clean bucket: resolved, retained in history.
+  mgr.observe_bucket(30.0, {});
+  EXPECT_EQ(mgr.firing(), 0u);
+  EXPECT_EQ(mgr.total_resolved(), 1u);
+  const std::vector<Alert> hist = mgr.snapshot();
+  ASSERT_EQ(hist.size(), 1u);
+  EXPECT_EQ(hist[0].state, AlertState::kResolved);
+  EXPECT_DOUBLE_EQ(hist[0].resolved_bucket, 30.0);
+}
+
+TEST(AlertManager, FlappingNeverFires) {
+  AlertManager mgr;
+  for (int i = 0; i < 10; ++i) {
+    const double b = 10.0 * i;
+    if (i % 2 == 0) {
+      mgr.observe_bucket(b, {straggler_obs("nid42", b)});
+    } else {
+      mgr.observe_bucket(b, {});  // clean bucket resets the streak
+    }
+    EXPECT_EQ(mgr.firing(), 0u) << "bucket " << b;
+  }
+  EXPECT_EQ(mgr.total_fired(), 0u);
+}
+
+TEST(AlertManager, DedupUpdatesOneAlertAndBoundsEvidence) {
+  AlertManagerConfig cfg;
+  cfg.max_cells = 4;
+  AlertManager mgr(cfg);
+  for (int i = 0; i < 8; ++i) {
+    mgr.observe_bucket(10.0 * i, {straggler_obs("nid42", 10.0 * i, 4.0 + i)});
+  }
+  const std::vector<Alert> alerts = mgr.snapshot();
+  ASSERT_EQ(alerts.size(), 1u);  // same key every bucket: one alert
+  EXPECT_EQ(mgr.total_fired(), 1u);
+  EXPECT_EQ(alerts[0].hit_buckets, 8u);
+  EXPECT_DOUBLE_EQ(alerts[0].evidence.z, 11.0);  // latest evidence wins
+  EXPECT_EQ(alerts[0].evidence.cells.size(), cfg.max_cells);
+  // Distinct nodes are distinct alerts.
+  mgr.observe_bucket(80.0, {straggler_obs("nid42", 80.0),
+                            straggler_obs("nid43", 80.0)});
+  mgr.observe_bucket(90.0, {straggler_obs("nid42", 90.0),
+                            straggler_obs("nid43", 90.0)});
+  EXPECT_EQ(mgr.firing(), 2u);
+}
+
+TEST(AlertManager, SeverityEscalatesAndResolvedHistoryIsBounded) {
+  AlertManagerConfig cfg;
+  cfg.retention = 3;
+  AlertManager mgr(cfg);
+  for (int k = 0; k < 6; ++k) {
+    // Each round fires a distinct node then lets it resolve.
+    const std::string node = "nid" + std::to_string(k);
+    Observation o = straggler_obs(node, 100.0 * k);
+    if (k == 5) o.severity = Severity::kCritical;
+    mgr.observe_bucket(100.0 * k, {o});
+    o.bucket += 10.0;
+    mgr.observe_bucket(100.0 * k + 10.0, {o});
+    mgr.observe_bucket(100.0 * k + 20.0, {});
+    mgr.observe_bucket(100.0 * k + 30.0, {});
+  }
+  EXPECT_EQ(mgr.total_fired(), 6u);
+  EXPECT_EQ(mgr.total_resolved(), 6u);
+  const std::vector<Alert> hist = mgr.snapshot();
+  ASSERT_EQ(hist.size(), cfg.retention);  // newest 3 retained
+  EXPECT_EQ(hist[0].node, "nid5");        // newest first
+  EXPECT_EQ(hist[0].severity, Severity::kCritical);
+}
+
+TEST(AlertManager, JsonRoundTripsThroughParser) {
+  AlertManager mgr;
+  mgr.observe_bucket(0.0, {straggler_obs("nid42", 0.0)});
+  mgr.observe_bucket(10.0, {straggler_obs("nid42", 10.0)});
+  json::Writer w;
+  mgr.write_json(w);
+  const std::optional<json::Value> v = json::parse(w.take());
+  ASSERT_TRUE(v.has_value());
+  ASSERT_TRUE(v->is_array());
+  ASSERT_EQ(v->as_array().size(), 1u);
+  const json::Value& alert = v->as_array()[0];
+  EXPECT_EQ(alert.get_string("kind"), "straggler");
+  EXPECT_EQ(alert.get_string("state"), "firing");
+  EXPECT_EQ(alert.get_string("node"), "nid42");
+  const json::Value* ev = alert.find("evidence");
+  ASSERT_NE(ev, nullptr);
+  EXPECT_NE(ev->find("z"), nullptr);
+}
+
+// --- seal-fed engine over synthetic batches ------------------------------
+
+using rollup::CellAgg;
+using rollup::CellKey;
+
+std::vector<std::pair<CellKey, CellAgg>> bucket_cells(
+    std::int64_t bucket, std::uint64_t job,
+    const std::vector<std::pair<std::string, double>>& node_means,
+    const std::string& op = "read", std::uint64_t count = 50) {
+  std::vector<std::pair<CellKey, CellAgg>> cells;
+  for (const auto& [node, mean] : node_means) {
+    CellKey key;
+    key.job = job;
+    key.producer = node;
+    key.op = op;
+    key.bucket = bucket;
+    CellAgg agg;
+    agg.count = count;
+    agg.dur_sum = mean * static_cast<double>(count);
+    cells.emplace_back(key, agg);
+  }
+  return cells;
+}
+
+TEST(AnomalyEngine, StragglerFiresOncePerFrontierAndNamesTheNode) {
+  AnomalyConfig cfg;
+  cfg.bucket_s = 10.0;
+  AnomalyEngine eng(cfg);
+  const std::vector<std::pair<std::string, double>> skewed = {
+      {"nid40", 0.1}, {"nid41", 0.11}, {"nid42", 1.2}, {"nid43", 0.09}};
+  for (std::int64_t b = 0; b < 4; ++b) {
+    // Watermark covers the bucket just sealed; nothing is evaluated
+    // until the frontier passes the bucket end.
+    eng.on_sealed(kAnomalyPolicyName, 0,
+                  static_cast<double>(b + 1) * cfg.bucket_s,
+                  bucket_cells(b, 7, skewed));
+  }
+  const AnomalyStats stats = eng.stats();
+  EXPECT_EQ(stats.buckets_evaluated, 4u);
+  EXPECT_EQ(stats.cells, 16u);
+  ASSERT_EQ(stats.alerts_firing, 1u);
+  const std::vector<Alert> alerts = eng.alerts();
+  ASSERT_FALSE(alerts.empty());
+  EXPECT_EQ(alerts[0].kind, AlertKind::kStraggler);
+  EXPECT_EQ(alerts[0].job, "7");
+  EXPECT_EQ(alerts[0].node, "nid42");
+  EXPECT_EQ(alerts[0].op, "read");
+  EXPECT_EQ(alerts[0].state, AlertState::kFiring);
+  // Job filter: another job sees nothing.
+  EXPECT_TRUE(eng.alerts("8").empty());
+  EXPECT_EQ(eng.alerts("7").size(), alerts.size());
+}
+
+TEST(AnomalyEngine, MultiShardFrontierHoldsBackEvaluation) {
+  AnomalyConfig cfg;
+  cfg.bucket_s = 10.0;
+  AnomalyEngine eng(cfg);
+  const std::vector<std::pair<std::string, double>> even = {
+      {"nid40", 0.1}, {"nid41", 0.1}, {"nid42", 0.1}};
+  // Shard 0 races ahead; shard 1 lags at watermark 10 — only bucket 0
+  // may be evaluated.
+  eng.on_sealed(kAnomalyPolicyName, 0, 40.0, bucket_cells(0, 1, even));
+  EXPECT_EQ(eng.stats().buckets_evaluated, 1u);  // single-shard so far
+  eng.on_sealed(kAnomalyPolicyName, 1, 10.0, bucket_cells(1, 1, even));
+  EXPECT_EQ(eng.stats().buckets_evaluated, 1u);  // min(40, 10) = 10
+  // Shard 1 catches up: bucket 1 evaluates.
+  eng.on_sealed(kAnomalyPolicyName, 1, 40.0, {});
+  EXPECT_EQ(eng.stats().buckets_evaluated, 2u);
+  // A cell arriving behind the evaluated frontier is counted, dropped.
+  eng.on_sealed(kAnomalyPolicyName, 0, 40.0, bucket_cells(0, 1, even));
+  EXPECT_EQ(eng.stats().late_cells, 3u);
+}
+
+TEST(AnomalyEngine, SlowdownTrendFiresOnDegradingWrites) {
+  AnomalyConfig cfg;
+  cfg.bucket_s = 10.0;
+  cfg.trend_min_points = 6;
+  AnomalyEngine eng(cfg);
+  // Mean write duration doubles across 8 buckets: rise well past 0.5.
+  for (std::int64_t b = 0; b < 8; ++b) {
+    const double mean = 0.1 * (1.0 + 0.15 * static_cast<double>(b));
+    eng.on_sealed(kAnomalyPolicyName, 0,
+                  static_cast<double>(b + 1) * cfg.bucket_s,
+                  bucket_cells(b, 3, {{"nid40", mean}, {"nid41", mean}},
+                               "write"));
+  }
+  const std::vector<Alert> alerts = eng.alerts();
+  ASSERT_FALSE(alerts.empty());
+  EXPECT_EQ(alerts[0].kind, AlertKind::kSlowdown);
+  EXPECT_EQ(alerts[0].job, "3");
+  EXPECT_EQ(alerts[0].op, "write");
+  EXPECT_GT(alerts[0].evidence.rel_rise, cfg.trend_rise);
+  EXPECT_GT(alerts[0].evidence.r2, cfg.trend_r2);
+}
+
+TEST(AnomalyEngine, BurstFiresOnRateJumpAndResolves) {
+  AnomalyConfig cfg;
+  cfg.bucket_s = 10.0;
+  cfg.burst.min_rate = 10.0;
+  AnomalyEngine eng(cfg);
+  const auto feed = [&](std::int64_t b, std::uint64_t count) {
+    eng.on_sealed(kAnomalyPolicyName, 0,
+                  static_cast<double>(b + 1) * cfg.bucket_s,
+                  bucket_cells(b, 5, {{"nid40", 0.1}}, "read", count));
+  };
+  std::int64_t b = 0;
+  for (; b < 4; ++b) feed(b, 100);    // steady 10 events/s
+  for (; b < 6; ++b) feed(b, 5000);   // 500/s: > 3x EWMA, two buckets
+  const std::vector<Alert> firing = eng.alerts();
+  ASSERT_FALSE(firing.empty());
+  EXPECT_EQ(firing[0].kind, AlertKind::kBurst);
+  EXPECT_EQ(firing[0].state, AlertState::kFiring);
+  EXPECT_GT(firing[0].evidence.rate, firing[0].evidence.ewma);
+  // Rate settles: the EWMA absorbs it and the alert resolves.
+  for (; b < 12; ++b) feed(b, 5000);
+  const std::vector<Alert> after = eng.alerts();
+  ASSERT_FALSE(after.empty());
+  EXPECT_EQ(after[0].state, AlertState::kResolved);
+  EXPECT_EQ(eng.stats().alerts_firing, 0u);
+}
+
+TEST(AnomalyEngine, CleanUniformTrafficNeverAlerts) {
+  AnomalyConfig cfg;
+  cfg.bucket_s = 10.0;
+  AnomalyEngine eng(cfg);
+  Rng rng(31);
+  for (std::int64_t b = 0; b < 30; ++b) {
+    std::vector<std::pair<std::string, double>> nodes;
+    for (int n = 0; n < 6; ++n) {
+      // ±10% node-to-node jitter around a common mean.
+      nodes.push_back({"nid4" + std::to_string(n),
+                       0.1 * (0.9 + 0.2 * rng.uniform())});
+    }
+    eng.on_sealed(kAnomalyPolicyName, 0,
+                  static_cast<double>(b + 1) * cfg.bucket_s,
+                  bucket_cells(b, 9, nodes, "read"));
+  }
+  EXPECT_EQ(eng.stats().alerts_fired, 0u);
+  EXPECT_TRUE(eng.alerts().empty());
+}
+
+TEST(AnomalyEngine, IgnoresOtherPoliciesAndReportsStatus) {
+  AnomalyEngine eng;
+  eng.on_sealed("op_counts", 0, 100.0,
+                bucket_cells(0, 1, {{"nid40", 0.1}}));
+  EXPECT_EQ(eng.stats().cells, 0u);
+  const std::optional<json::Value> status = json::parse(eng.status_json());
+  ASSERT_TRUE(status.has_value());
+  const json::Value* attached = status->find("attached");
+  ASSERT_NE(attached, nullptr);
+  ASSERT_TRUE(attached->is_bool());
+  EXPECT_FALSE(attached->as_bool());
+  const std::optional<json::Value> feed = json::parse(eng.alerts_json());
+  ASSERT_TRUE(feed.has_value());
+  EXPECT_NE(feed->find("alerts"), nullptr);
+}
+
+// --- end-to-end: ioslow campaigns through the full pipeline --------------
+
+exp::ExperimentSpec anomaly_spec() {
+  exp::ExperimentSpec spec;
+  workloads::MpiIoTestConfig io;
+  io.iterations = 30;
+  io.block_size = 1 << 20;
+  io.collective = false;
+  io.compute_per_iteration = 2 * kSecond;
+  spec.workload = workloads::mpi_io_test(io);
+  spec.exe = workloads::kMpiIoTestExe;
+  spec.node_count = 4;
+  spec.ranks_per_node = 2;
+  spec.fs = simfs::FsKind::kLustre;
+  spec.decode_to_dsos = true;
+  spec.connector.anomaly = true;
+  spec.connector.anomaly_bucket_s = 5.0;
+  return spec;
+}
+
+TEST(AnomalyE2E, SlowNodeCampaignFlagsTheInjectedNode) {
+  exp::ExperimentSpec spec = anomaly_spec();
+  // Cluster nodes are nid00040..; the job's 4 nodes are nid00040-nid00043.
+  spec.fault_plan = relia::parse_fault_plan(
+      "ioslow nid00042 at 10s for 45s factor 12 op write");
+  ASSERT_TRUE(spec.fault_plan.ok());
+  const exp::RunResult r = run_experiment(spec);
+  ASSERT_TRUE(r.anomalies != nullptr);
+  ASSERT_TRUE(r.rollups != nullptr);
+  // The alert must have fired from mid-run seals, before the quiescent
+  // flush: detection happened while ingest was still in progress.
+  const std::vector<Alert> alerts = r.anomalies->alerts();
+  ASSERT_FALSE(alerts.empty()) << r.anomalies->status_json();
+  bool found = false;
+  for (const Alert& a : alerts) {
+    if (a.kind != AlertKind::kStraggler) continue;
+    EXPECT_EQ(a.node, "nid00042") << "straggler named the wrong node";
+    EXPECT_EQ(a.job, std::to_string(spec.job_id));
+    EXPECT_EQ(a.op, "write");
+    EXPECT_GE(a.evidence.z, 3.0);
+    found = true;
+  }
+  EXPECT_TRUE(found) << r.anomalies->alerts_json();
+  // The websvc surface serves the same alerts.
+  websvc::DashboardService svc(r.dsos);
+  svc.set_rollup(r.rollups.get());
+  svc.set_anomaly(r.anomalies.get());
+  const websvc::Response resp = svc.handle("/api/anomalies");
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_NE(resp.body.find("straggler"), std::string::npos);
+  EXPECT_NE(resp.body.find("nid00042"), std::string::npos);
+  const websvc::Response by_job =
+      svc.handle("/api/anomalies/" + std::to_string(spec.job_id));
+  EXPECT_EQ(by_job.status, 200);
+  EXPECT_NE(by_job.body.find("nid00042"), std::string::npos);
+  const websvc::Response other = svc.handle("/api/anomalies/999");
+  EXPECT_EQ(other.status, 200);
+  EXPECT_EQ(other.body.find("straggler"), std::string::npos);
+}
+
+TEST(AnomalyE2E, DegradingWriteCampaignFiresSlowdown) {
+  exp::ExperimentSpec spec = anomaly_spec();
+  // FS-wide write degradation ramping to 10x across most of the run:
+  // Fig. 8's "write durations grow as the run progresses".
+  spec.fault_plan = relia::parse_fault_plan(
+      "ioslow * at 5s for 80s factor 10 op write ramp");
+  ASSERT_TRUE(spec.fault_plan.ok());
+  spec.connector.anomaly_trend_window = 10;
+  const exp::RunResult r = run_experiment(spec);
+  ASSERT_TRUE(r.anomalies != nullptr);
+  bool slowdown = false;
+  for (const Alert& a : r.anomalies->alerts()) {
+    if (a.kind == AlertKind::kSlowdown) {
+      EXPECT_EQ(a.job, std::to_string(spec.job_id));
+      EXPECT_GT(a.evidence.rel_rise, 0.5);
+      slowdown = true;
+    }
+    // A uniform FS-wide slowdown must not be blamed on one node.
+    EXPECT_NE(a.kind, AlertKind::kStraggler)
+        << "straggler misfired on uniform slowdown: "
+        << r.anomalies->alerts_json();
+  }
+  EXPECT_TRUE(slowdown) << r.anomalies->alerts_json();
+}
+
+TEST(AnomalyE2E, CleanRunFiresNoAlerts) {
+  exp::ExperimentSpec spec = anomaly_spec();
+  const exp::RunResult r = run_experiment(spec);
+  ASSERT_TRUE(r.anomalies != nullptr);
+  EXPECT_GT(r.anomalies->stats().buckets_evaluated, 0u);
+  EXPECT_EQ(r.anomalies->stats().alerts_fired, 0u)
+      << r.anomalies->alerts_json();
+}
+
+TEST(AnomalyE2E, SharedAnomalyEngineAcrossRunsKeepsOneSurface) {
+  exp::ExperimentSpec spec = anomaly_spec();
+  spec.connector.anomaly = false;
+  auto shared = std::make_shared<AnomalyEngine>([] {
+    AnomalyConfig cfg;
+    cfg.bucket_s = 5.0;
+    return cfg;
+  }());
+  spec.shared_anomaly = shared;
+  spec.fault_plan = relia::parse_fault_plan(
+      "ioslow nid00042 at 10s for 45s factor 12 op write");
+  const exp::RunResult r = run_experiment(spec);
+  EXPECT_EQ(r.anomalies.get(), shared.get());
+  EXPECT_GT(shared->stats().buckets_evaluated, 0u);
+  EXPECT_GT(shared->stats().alerts_fired, 0u);
+  // The engine detaches with the run's rollup engine going away.
+  shared->detach();
+  EXPECT_FALSE(shared->attached());
+}
+
+TEST(AnomalyWebsvc, NoEngineAttachedIs404) {
+  auto db = std::make_shared<dsos::DsosCluster>(dsos::ClusterConfig{});
+  const websvc::DashboardService svc(db);
+  EXPECT_EQ(svc.handle("/api/anomalies").status, 404);
+}
+
+}  // namespace
+}  // namespace dlc::anomaly

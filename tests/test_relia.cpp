@@ -439,6 +439,60 @@ TEST(FaultPlan, StorecrashDirectiveIsOccurrenceCounted) {
   EXPECT_FALSE(relia::parse_fault_plan("storecrash seal after 0\n").ok());
 }
 
+TEST(FaultPlan, IoslowDirectiveParsesAllClauses) {
+  const auto plan = relia::parse_fault_plan(
+      "ioslow nid00042 at 10s for 45s factor 12\n"
+      "ioslow * at 5s for 80s factor 8.5 op write ramp\n"
+      "ioslow nid00040 at 1s for 2s factor 2 op meta\n");
+  ASSERT_TRUE(plan.ok()) << plan.errors.front();
+  ASSERT_EQ(plan.events.size(), 3u);
+
+  EXPECT_EQ(plan.events[0].kind, relia::FaultKind::kIoSlow);
+  EXPECT_EQ(plan.events[0].daemon, "nid00042");
+  EXPECT_EQ(plan.events[0].at, 10 * kSecond);
+  EXPECT_EQ(plan.events[0].duration, 45 * kSecond);
+  EXPECT_DOUBLE_EQ(plan.events[0].factor, 12.0);
+  EXPECT_EQ(plan.events[0].op, "any");  // default scope
+  EXPECT_FALSE(plan.events[0].ramp);
+
+  EXPECT_EQ(plan.events[1].daemon, "*");
+  EXPECT_DOUBLE_EQ(plan.events[1].factor, 8.5);
+  EXPECT_EQ(plan.events[1].op, "write");
+  EXPECT_TRUE(plan.events[1].ramp);
+
+  EXPECT_EQ(plan.events[2].op, "meta");
+}
+
+TEST(FaultPlan, IoslowRoundTripsThroughToString) {
+  const auto plan = relia::parse_fault_plan(
+      "ioslow * at 5s for 80s factor 8.5 op write ramp\n"
+      "ioslow nid00042 at 10s for 45s factor 12\n");
+  ASSERT_TRUE(plan.ok());
+  for (const relia::FaultEvent& e : plan.events) {
+    const auto replay = relia::parse_fault_plan(relia::to_string(e));
+    ASSERT_TRUE(replay.ok()) << relia::to_string(e);
+    ASSERT_EQ(replay.events.size(), 1u);
+    EXPECT_EQ(replay.events[0].daemon, e.daemon);
+    EXPECT_EQ(replay.events[0].at, e.at);
+    EXPECT_EQ(replay.events[0].duration, e.duration);
+    EXPECT_DOUBLE_EQ(replay.events[0].factor, e.factor);
+    EXPECT_EQ(replay.events[0].op, e.op);
+    EXPECT_EQ(replay.events[0].ramp, e.ramp);
+  }
+}
+
+TEST(FaultPlan, IoslowRejectsBadFactorAndOpClass) {
+  // A non-positive factor is meaningless; an unknown op class is a typo.
+  EXPECT_FALSE(
+      relia::parse_fault_plan("ioslow nid1 at 1s for 1s factor 0\n").ok());
+  EXPECT_FALSE(
+      relia::parse_fault_plan("ioslow nid1 at 1s for 1s factor -2\n").ok());
+  EXPECT_FALSE(
+      relia::parse_fault_plan("ioslow nid1 at 1s for 1s factor 2 op fsync\n")
+          .ok());
+  EXPECT_FALSE(relia::parse_fault_plan("ioslow nid1 at 1s factor 2\n").ok());
+}
+
 TEST(FaultPlan, MalformedLinesAreReportedWithLineNumbers) {
   const auto plan = relia::parse_fault_plan(
       "crash nid1 at 1s for 1s\n"

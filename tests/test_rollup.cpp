@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cmath>
 #include <cstdint>
@@ -266,10 +267,32 @@ TEST(SparseLogHist, RecordMatchesLogBucketGeometry) {
   const std::uint64_t sample = 123456;
   h.record(sample);
   EXPECT_EQ(h.total(), 1u);
-  EXPECT_EQ(h.percentile(50),
-            static_cast<double>(log_bucket_hi(log_bucket_index(sample))));
-  // The bucket hi bound is conservative: >= the true sample.
-  EXPECT_GE(h.percentile(99), static_cast<double>(sample));
+  // A lone sample interpolates to the midpoint of its bucket, at every p.
+  const std::uint32_t idx = log_bucket_index(sample);
+  const double lo = static_cast<double>(log_bucket_lo(idx));
+  const double hi = static_cast<double>(log_bucket_hi(idx));
+  for (const double p : {0.0, 50.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(h.percentile(p), lo + 0.5 * (hi - lo)) << p;
+  }
+}
+
+TEST(SparseLogHist, PercentileMatchesDenseLogBucketPercentile) {
+  // Sparse and dense views of the same samples must agree bit-for-bit at
+  // every p — the detectors read SparseLogHist, the obs histograms read
+  // the dense walk, and both feed the same z-score math.
+  Rng rng(99);
+  SparseLogHist sparse;
+  std::array<std::uint64_t, kLogBucketCount> dense{};
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.next_u64() % 10'000'000;
+    sparse.record(v);
+    dense[log_bucket_index(v)]++;
+  }
+  for (double p = 0.0; p <= 100.0; p += 1.0) {
+    EXPECT_DOUBLE_EQ(sparse.percentile(p),
+                     log_bucket_percentile(dense.data(), dense.size(), p))
+        << p;
+  }
 }
 
 TEST(SparseLogHist, MergeEqualsConcatenation) {

@@ -399,6 +399,30 @@ TEST(Variability, RampedIncidentGrowsLinearly) {
   EXPECT_NEAR(v.factor(99 * kSecond), 4.96, 0.01);
 }
 
+TEST(Variability, NodeScopedIncidentHitsOnlyThatNode) {
+  // The Fig. 6 slow-node scenario: one node's I/O degrades while its
+  // peers (and node-less queries) stay at baseline.
+  VariabilityConfig cfg;
+  cfg.epoch_sigma = 0.0;
+  cfg.ar_sigma = 0.0;
+  VariabilityProcess v(cfg, 1);
+  v.add_incident({.start = 10 * kSecond,
+                  .end = 20 * kSecond,
+                  .peak_factor = 12.0,
+                  .ramp = false,
+                  .applies_to = OpClass::kWrite,
+                  .node = 2});
+  EXPECT_DOUBLE_EQ(v.factor(15 * kSecond, OpClass::kWrite, 2), 12.0);
+  EXPECT_DOUBLE_EQ(v.factor(15 * kSecond, OpClass::kWrite, 0), 1.0);
+  EXPECT_DOUBLE_EQ(v.factor(15 * kSecond, OpClass::kWrite, 3), 1.0);
+  // Scoped to writes: the slow node's reads are untouched.
+  EXPECT_DOUBLE_EQ(v.factor(15 * kSecond, OpClass::kRead, 2), 1.0);
+  // Unknown issuing node (-1): node-scoped incidents don't apply.
+  EXPECT_DOUBLE_EQ(v.factor(15 * kSecond, OpClass::kWrite), 1.0);
+  // Outside the window the node is back to baseline.
+  EXPECT_DOUBLE_EQ(v.factor(25 * kSecond, OpClass::kWrite, 2), 1.0);
+}
+
 TEST(Variability, IncidentsCompose) {
   VariabilityConfig cfg;
   cfg.epoch_sigma = 0.0;

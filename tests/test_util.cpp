@@ -2,6 +2,8 @@
 // strings, bounded queue, virtual time.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -192,6 +194,82 @@ TEST(Stats, PercentileInterpolates) {
   EXPECT_DOUBLE_EQ(percentile(v, 100), 40);
   EXPECT_DOUBLE_EQ(percentile(v, 50), 25);
   EXPECT_DOUBLE_EQ(percentile({}, 50), 0);
+}
+
+// Degenerate-case pins for the log-bucket quantile interpolation: the
+// anomaly detectors divide by these values, so single-sample and
+// all-in-one-bucket inputs must be stable, bounded and monotone rather
+// than collapsing to a bucket edge.
+TEST(Stats, LogBucketPercentileSingleSampleIsBucketMidpoint) {
+  std::array<std::uint64_t, kLogBucketCount> counts{};
+  const std::uint64_t sample = 123456;
+  const std::uint32_t idx = log_bucket_index(sample);
+  counts[idx] = 1;
+  const double lo = static_cast<double>(log_bucket_lo(idx));
+  const double hi = static_cast<double>(log_bucket_hi(idx));
+  for (const double p : {0.0, 1.0, 50.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(log_bucket_percentile(counts.data(), counts.size(), p),
+                     lo + 0.5 * (hi - lo))
+        << p;
+  }
+}
+
+TEST(Stats, LogBucketPercentileOneBucketSpansLoToHi) {
+  std::array<std::uint64_t, kLogBucketCount> counts{};
+  const std::uint32_t idx = log_bucket_index(100000);
+  const std::uint64_t n = 1000;
+  counts[idx] = n;
+  const double lo = static_cast<double>(log_bucket_lo(idx));
+  const double hi = static_cast<double>(log_bucket_hi(idx));
+  const double w = hi - lo;
+  const double p0 = log_bucket_percentile(counts.data(), counts.size(), 0.0);
+  const double p50 = log_bucket_percentile(counts.data(), counts.size(), 50.0);
+  const double p100 =
+      log_bucket_percentile(counts.data(), counts.size(), 100.0);
+  // p=0 sits half a sample slice above lo, p=100 half a slice below hi,
+  // p=50 on the midpoint; all strictly inside [lo, hi].
+  EXPECT_NEAR(p0, lo + 0.5 / static_cast<double>(n) * w, 1e-9);
+  EXPECT_NEAR(p50, lo + 0.5 * w, w / static_cast<double>(n));
+  EXPECT_NEAR(p100, hi - 0.5 / static_cast<double>(n) * w, 1e-9);
+  EXPECT_LT(p0, p50);
+  EXPECT_LT(p50, p100);
+}
+
+TEST(Stats, LogBucketPercentileZeroBucketAndEmpty) {
+  std::array<std::uint64_t, kLogBucketCount> counts{};
+  EXPECT_DOUBLE_EQ(log_bucket_percentile(counts.data(), counts.size(), 50.0),
+                   0.0);
+  counts[0] = 7;  // bucket 0 holds exactly v == 0: lo == hi == 0
+  for (const double p : {0.0, 50.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(log_bucket_percentile(counts.data(), counts.size(), p),
+                     0.0)
+        << p;
+  }
+}
+
+TEST(Stats, LogBucketPercentileMonotoneAndWithinBucketBounds) {
+  Rng rng(4242);
+  std::array<std::uint64_t, kLogBucketCount> counts{};
+  std::vector<std::uint64_t> samples;
+  for (int i = 0; i < 2000; ++i) {
+    const auto mag = rng.uniform(0.0, 30.0);
+    const auto v = static_cast<std::uint64_t>(std::exp2(mag));
+    samples.push_back(v);
+    counts[log_bucket_index(v)]++;
+  }
+  std::sort(samples.begin(), samples.end());
+  double prev = -1.0;
+  for (double p = 0.0; p <= 100.0; p += 2.5) {
+    const double est =
+        log_bucket_percentile(counts.data(), counts.size(), p);
+    EXPECT_GE(est, prev) << "non-monotone at p=" << p;
+    prev = est;
+    const auto rank = static_cast<std::size_t>(std::max(
+        1.0, std::ceil(p / 100.0 * static_cast<double>(samples.size()))));
+    const std::uint32_t idx = log_bucket_index(samples[rank - 1]);
+    EXPECT_GE(est, static_cast<double>(log_bucket_lo(idx))) << "p=" << p;
+    EXPECT_LE(est, static_cast<double>(log_bucket_hi(idx))) << "p=" << p;
+  }
 }
 
 TEST(Stats, HistogramBinsAndClamps) {
